@@ -1,0 +1,63 @@
+//! Ablation bench: direct O(n·K) vs FFT O(n log n) autocorrelation
+//! estimation, plus the Hurst estimators (DESIGN.md ablation #2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svbr::lrd::acf::FgnAcf;
+use svbr::lrd::DaviesHarte;
+use svbr::stats::{
+    gph_estimate, rs_hurst, sample_acf, sample_acf_fft, variance_time_hurst, RsOptions, VtOptions,
+};
+
+fn series(n: usize) -> Vec<f64> {
+    let dh = DaviesHarte::new(FgnAcf::new(0.9).unwrap(), n).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    dh.generate(&mut rng)
+}
+
+fn bench_acf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acf_estimation");
+    for &n in &[8_192usize, 65_536] {
+        let xs = series(n);
+        let lags = 500;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("direct_500_lags", n), &xs, |b, xs| {
+            b.iter(|| sample_acf(xs, lags).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("fft_500_lags", n), &xs, |b, xs| {
+            b.iter(|| sample_acf_fft(xs, lags).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_hurst(c: &mut Criterion) {
+    let xs = series(131_072);
+    let mut group = c.benchmark_group("hurst_estimators");
+    group.bench_function("variance_time", |b| {
+        let opts = VtOptions {
+            min_m: 50,
+            max_m: 5000,
+            points: 15,
+            min_blocks: 10,
+        };
+        b.iter(|| variance_time_hurst(&xs, &opts).unwrap());
+    });
+    group.bench_function("rs_analysis", |b| {
+        let opts = RsOptions {
+            min_n: 64,
+            max_n: 1 << 14,
+            sizes: 12,
+            starts: 10,
+        };
+        b.iter(|| rs_hurst(&xs, &opts).unwrap());
+    });
+    group.bench_function("gph", |b| {
+        b.iter(|| gph_estimate(&xs, Some(256)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_acf, bench_hurst);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation bench: exact O(n²) Hosking vs exact O(n log n) Davies–Harte vs
+//! truncated AR(M) Hosking, across trace lengths (DESIGN.md ablation #1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svbr::lrd::acf::{CompositeAcf, FgnAcf};
+use svbr::lrd::davies_harte::pd_project;
+use svbr::lrd::{DaviesHarte, HoskingSampler, TruncatedHosking};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators_fgn_h09");
+    for &n in &[256usize, 1024, 4096] {
+        let acf = FgnAcf::new(0.9).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("hosking_exact", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                HoskingSampler::new(&acf)
+                    .generate(n, &mut rng)
+                    .expect("fGn is PD")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("davies_harte", n), &n, |b, &n| {
+            let dh = DaviesHarte::new(&acf, n).unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| dh.generate(&mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("truncated_ar64", n), &n, |b, &n| {
+            let t = TruncatedHosking::new(&acf, 64).unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| t.generate(&acf, n, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("generators_composite_paper_fit");
+    let acf = CompositeAcf::paper_fit();
+    for &n in &[512usize, 2048] {
+        let projected = pd_project(&acf, n).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("hosking_projected", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                HoskingSampler::new(&projected)
+                    .generate(n, &mut rng)
+                    .expect("projected ACF is PD")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("davies_harte_approx", n), &n, |b, &n| {
+            let dh = DaviesHarte::new_approx(&acf, n, 1e-2).unwrap();
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| dh.generate(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Queue-recursion throughput and trace-driven steady-state estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use svbr::queue::{queue_path, sup_workload, tail_curve_from_path, LindleyQueue};
+use svbr::video::reference_trace_intra_of_len;
+
+fn bench_queue(c: &mut Criterion) {
+    let arrivals = reference_trace_intra_of_len(100_000).as_f64();
+    let mean = arrivals.iter().sum::<f64>() / arrivals.len() as f64;
+    let service = mean / 0.6;
+
+    let mut group = c.benchmark_group("lindley");
+    group.throughput(Throughput::Elements(arrivals.len() as u64));
+    group.bench_function("recursion_100k_slots", |b| {
+        b.iter(|| {
+            let mut q = LindleyQueue::new(service).unwrap();
+            q.run(&arrivals)
+        });
+    });
+    group.bench_function("queue_path_100k_slots", |b| {
+        b.iter(|| queue_path(&arrivals, service, 0.0).unwrap());
+    });
+    group.bench_function("sup_workload_100k_slots", |b| {
+        b.iter(|| sup_workload(&arrivals, service));
+    });
+    group.bench_function("tail_curve_8_buffers", |b| {
+        let buffers: Vec<f64> = (1..=8).map(|i| i as f64 * 25.0 * mean).collect();
+        b.iter(|| tail_curve_from_path(&arrivals, service, 1000, &buffers).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation bench: importance sampling vs plain Monte Carlo at equal
+//! replication budget on a rare overflow event (DESIGN.md ablation #4).
+//!
+//! The *statistical* payoff (variance reduction ~10²–10³) is reported by
+//! `repro fig14`; this bench measures the *computational* side: cost per
+//! replication with and without twisting, including the early-termination
+//! benefit a good twist brings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svbr::is::{IsEstimator, IsEvent};
+use svbr::lrd::acf::FgnAcf;
+use svbr::marginal::transform::GaussianTransform;
+use svbr::marginal::Normal;
+
+fn bench_is(c: &mut Criterion) {
+    let make = |twist: f64| {
+        IsEstimator::new(
+            FgnAcf::new(0.8).unwrap(),
+            500,
+            GaussianTransform::new(Normal::standard()),
+            1.0,
+            30.0,
+            twist,
+            IsEvent::FirstPassage,
+        )
+        .unwrap()
+    };
+    let mut group = c.benchmark_group("rare_event_500_slots");
+    group.bench_function("mc_100_reps", |b| {
+        let est = make(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| est.run(100, &mut rng));
+    });
+    group.bench_function("is_twist2_100_reps", |b| {
+        let est = make(2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| est.run(100, &mut rng));
+    });
+    group.bench_function("is_twist2_100_reps_parallel", |b| {
+        let est = make(2.0);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            est.run_parallel(100, seed, 4)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_is);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all                 # everything (respect SVBR_REPS etc.)
+//! repro table1 fig3 fig16   # selected artifacts
+//! repro list                # available experiment ids
+//! ```
+
+use svbr_bench::experiments::{self, Context};
+
+const LIGHT: &[&str] = &[
+    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+];
+const COMPOSITE: &[&str] = &["fig9", "fig12", "fig13"];
+const HEAVY: &[&str] = &["fig14", "fig15", "fig16", "fig17"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "help") {
+        usage();
+        return;
+    }
+    if args.iter().any(|a| a == "list") {
+        for id in LIGHT.iter().chain(COMPOSITE).chain(HEAVY) {
+            println!("{id}");
+        }
+        return;
+    }
+    let mut ids: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "all" => ids.extend(
+                LIGHT
+                    .iter()
+                    .chain(COMPOSITE)
+                    .chain(HEAVY)
+                    .map(|s| s.to_string()),
+            ),
+            "light" => ids.extend(LIGHT.iter().map(|s| s.to_string())),
+            "heavy" => ids.extend(HEAVY.iter().map(|s| s.to_string())),
+            // figs 9-11 are one experiment; accept any alias.
+            "fig10" | "fig11" | "fig9-11" | "fig9_11" => ids.push("fig9".into()),
+            other => ids.push(other.to_string()),
+        }
+    }
+    ids.dedup();
+
+    // The shared context (trace + Steps 1–3 fit) is needed by most
+    // experiments; build it once.
+    let needs_ctx = ids.iter().any(|id| {
+        matches!(
+            id.as_str(),
+            "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "fig14"
+                | "fig15" | "fig16" | "fig17"
+        )
+    });
+    let ctx = if needs_ctx {
+        eprintln!(
+            "[repro] building context: trace_len = {}, reps = {}, threads = {}{}",
+            svbr_bench::trace_len(),
+            svbr_bench::reps(),
+            svbr_bench::threads(),
+            if svbr_bench::fast_mode() { " (FAST)" } else { "" }
+        );
+        Some(Context::load().unwrap_or_else(|e| fail("context", &*e)))
+    } else {
+        None
+    };
+    let ctx = ctx.as_ref();
+
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let r: Result<(), Box<dyn std::error::Error>> = match id.as_str() {
+            "table1" => experiments::table1(),
+            "fig1" => experiments::fig1(ctx.expect("ctx")),
+            "fig2" => experiments::fig2(ctx.expect("ctx")),
+            "fig3" => experiments::fig3(ctx.expect("ctx")),
+            "fig4" => experiments::fig4(ctx.expect("ctx")),
+            "fig5" => experiments::fig5(ctx.expect("ctx")),
+            "fig6" => experiments::fig6(ctx.expect("ctx")),
+            "fig7" => experiments::fig7(ctx.expect("ctx")),
+            "fig8" => experiments::fig8(ctx.expect("ctx")),
+            "fig9" => experiments::fig9_11(),
+            "fig12" => experiments::fig12(),
+            "fig13" => experiments::fig13(),
+            "fig14" => experiments::fig14(ctx.expect("ctx")),
+            "fig15" => experiments::fig15(ctx.expect("ctx")),
+            "fig16" => experiments::fig16(ctx.expect("ctx")),
+            "fig17" => experiments::fig17(ctx.expect("ctx")),
+            other => {
+                eprintln!("unknown experiment `{other}` — try `repro list`");
+                std::process::exit(2);
+            }
+        };
+        match r {
+            Ok(()) => eprintln!("[repro] {id} done in {:.1?}", started.elapsed()),
+            Err(e) => fail(id, &*e),
+        }
+    }
+}
+
+fn fail(id: &str, e: &dyn std::error::Error) -> ! {
+    eprintln!("[repro] {id} FAILED: {e}");
+    std::process::exit(1);
+}
+
+fn usage() {
+    println!(
+        "repro — regenerate the paper's tables and figures\n\n\
+         usage: repro <id>... | all | light | heavy | list\n\n\
+         env: SVBR_REPS (default 1000), SVBR_TRACE_LEN (default 238626),\n\
+         SVBR_THREADS (default #cores), SVBR_FAST=1 (smoke mode),\n\
+         SVBR_RESULTS_DIR (default ./results)"
+    );
+}

@@ -1,0 +1,168 @@
+//! Step 3: the attenuation factor `a` (§3.2, Fig. 7, Appendix A).
+//!
+//! Two routes to the same number:
+//!
+//! * [`theoretical_attenuation`] — Appendix A's closed form
+//!   `a = E[h(Z)Z]²/Var h(Z)` evaluated by Gauss–Hermite quadrature
+//!   (fast, deterministic).
+//! * [`measure_attenuation`] — the paper's route: generate the background
+//!   process with the fitted ACF, push it through `h`, and measure the
+//!   ratio `r_h(k)/r(k)` "at a large lag" (we average the ratio over a lag
+//!   window and over replications to tame LRD noise).
+//!
+//! The two agree for every marginal in the test-suite, which is itself a
+//! check of the Appendix A theorem.
+
+use crate::CoreError;
+use rand::Rng;
+use svbr_lrd::acf::Acf;
+use svbr_lrd::davies_harte::DaviesHarte;
+use svbr_marginal::transform::GaussianTransform;
+use svbr_marginal::Marginal;
+use svbr_stats::sample_acf_fft;
+
+/// Appendix A's closed form via quadrature (`quad_points` ≈ 80 is plenty).
+pub fn theoretical_attenuation<M: Marginal>(target: &M, quad_points: usize) -> f64 {
+    svbr_marginal::attenuation_factor(target, quad_points)
+}
+
+/// Measure `a` from generated paths: average of `r_Y(k)/r_X(k)` over
+/// `lag_window` (inclusive bounds), over `reps` independent paths of
+/// length `n`.
+///
+/// Uses the (possibly approximate) Davies–Harte generator so the
+/// measurement is O(reps·n log n); the unified pipeline defaults to the
+/// theoretical route and uses this one for validation.
+pub fn measure_attenuation<A, M, R>(
+    background: A,
+    target: &M,
+    n: usize,
+    reps: usize,
+    lag_window: (usize, usize),
+    rng: &mut R,
+) -> Result<f64, CoreError>
+where
+    A: Acf,
+    M: Marginal,
+    R: Rng + ?Sized,
+{
+    let (lo, hi) = lag_window;
+    if lo == 0 || hi < lo || hi >= n {
+        return Err(CoreError::InvalidParameter {
+            name: "lag_window",
+            constraint: "1 <= lo <= hi < n",
+        });
+    }
+    if reps == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "reps",
+            constraint: ">= 1",
+        });
+    }
+    let dh = DaviesHarte::new_approx(&background, n, 1e-2)?;
+    let transform = GaussianTransform::new(target);
+    // Average the x and y autocovariances across replications, then ratio —
+    // far lower variance than averaging per-path ratios.
+    let mut cov_x = vec![0.0; hi + 1];
+    let mut cov_y = vec![0.0; hi + 1];
+    for _ in 0..reps {
+        let xs = dh.generate(rng);
+        let ys = transform.apply_slice(&xs);
+        let rx = sample_acf_fft(&xs, hi)?;
+        let ry = sample_acf_fft(&ys, hi)?;
+        for k in 0..=hi {
+            cov_x[k] += rx[k];
+            cov_y[k] += ry[k];
+        }
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for k in lo..=hi {
+        num += cov_y[k];
+        den += cov_x[k];
+    }
+    if den <= 0.0 {
+        return Err(CoreError::InvalidParameter {
+            name: "background",
+            constraint: "positive correlation over the lag window",
+        });
+    }
+    Ok((num / den).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use svbr_lrd::acf::{CompositeAcf, FgnAcf};
+    use svbr_marginal::{Gamma, Lognormal, Normal};
+
+    #[test]
+    fn gaussian_target_measures_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = measure_attenuation(
+            FgnAcf::new(0.85).unwrap(),
+            &Normal::standard(),
+            4096,
+            20,
+            (20, 60),
+            &mut rng,
+        )
+        .unwrap();
+        assert!((a - 1.0).abs() < 0.02, "a {a}");
+    }
+
+    #[test]
+    fn measured_matches_theoretical_lognormal() {
+        let target = Lognormal::new(0.0, 0.8).unwrap();
+        let theory = theoretical_attenuation(&target, 100);
+        let mut rng = StdRng::seed_from_u64(2);
+        let measured = measure_attenuation(
+            FgnAcf::new(0.85).unwrap(),
+            &target,
+            4096,
+            40,
+            (20, 60),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            (measured - theory).abs() < 0.05,
+            "measured {measured} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn measured_matches_theoretical_gamma_on_composite_background() {
+        // The actual pipeline configuration: composite ACF + skewed target.
+        let target = Gamma::new(1.2, 1000.0).unwrap();
+        let theory = theoretical_attenuation(&target, 100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let measured = measure_attenuation(
+            CompositeAcf::paper_fit(),
+            &target,
+            4096,
+            40,
+            (60, 150),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            (measured - theory).abs() < 0.06,
+            "measured {measured} vs theory {theory}"
+        );
+        assert!(theory < 1.0 && theory > 0.7, "theory {theory}");
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Normal::standard();
+        let acf = FgnAcf::new(0.8).unwrap();
+        assert!(measure_attenuation(acf, &t, 128, 1, (0, 10), &mut rng).is_err());
+        assert!(measure_attenuation(acf, &t, 128, 1, (10, 5), &mut rng).is_err());
+        assert!(measure_attenuation(acf, &t, 128, 1, (10, 200), &mut rng).is_err());
+        assert!(measure_attenuation(acf, &t, 128, 0, (1, 10), &mut rng).is_err());
+    }
+}

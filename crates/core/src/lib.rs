@@ -1,0 +1,127 @@
+//! # svbr-core — the unified self-similar VBR video model
+//!
+//! This crate assembles the paper's primary contribution from the substrate
+//! crates: the **unified approach** of §3, which models an empirical VBR
+//! video trace's marginal distribution *and* both its short- and long-range
+//! autocorrelation structure, in four steps:
+//!
+//! 1. **Estimate H** — variance-time and R/S analyses (plus GPH as a
+//!    cross-check) on the bytes-per-frame series ([`hurst`]).
+//! 2. **Fit the composite ACF** — exponential(s) below the knee, power law
+//!    above (eqs. 10–13), via `svbr-stats::fitting`.
+//! 3. **Measure the attenuation factor** `a` — the inverse-CDF transform
+//!    shrinks the background ACF by `a = E[h(Z)Z]²/Var h(Z)` (Appendix A);
+//!    computed analytically by quadrature and/or measured from generated
+//!    paths ([`attenuation`]).
+//! 4. **Compensate and generate** — drive Hosking's method with
+//!    `r(k) = r̂(k)/a` (re-solving the SRD rate per eq. 14), transform
+//!    through `h`, and obtain a synthetic trace whose foreground ACF and
+//!    marginal match the empirical ones ([`pipeline`]).
+//!
+//! §3.3's composite **I-B-P model** (one background process, per-frame-type
+//! transforms, I-frame ACF rescaled by the GOP period, eq. 15) lives in
+//! [`composite`]; [`validate`] scores synthetic-vs-empirical agreement
+//! (Figs. 8–13).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attenuation;
+pub mod composite;
+pub mod hurst;
+pub mod pipeline;
+pub mod validate;
+
+pub use attenuation::{measure_attenuation, theoretical_attenuation};
+pub use composite::{CompositeVideoFit, CompositeVideoOptions};
+pub use hurst::{estimate_hurst, HurstEstimates, HurstOptions};
+pub use pipeline::{
+    BackgroundKind, UnifiedFit, UnifiedGenerator, UnifiedOptions,
+};
+pub use validate::{validate_model, ValidationOptions, ValidationReport};
+
+/// Errors produced by the modeling pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Estimation failure.
+    Stats(svbr_stats::StatsError),
+    /// Generator failure.
+    Lrd(svbr_lrd::LrdError),
+    /// Marginal-distribution failure.
+    Marginal(svbr_marginal::MarginalError),
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint description.
+        constraint: &'static str,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Stats(e) => write!(f, "estimation error: {e}"),
+            CoreError::Lrd(e) => write!(f, "generator error: {e}"),
+            CoreError::Marginal(e) => write!(f, "marginal error: {e}"),
+            CoreError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter `{name}`: must satisfy {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            CoreError::Lrd(e) => Some(e),
+            CoreError::Marginal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<svbr_stats::StatsError> for CoreError {
+    fn from(e: svbr_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<svbr_lrd::LrdError> for CoreError {
+    fn from(e: svbr_lrd::LrdError) -> Self {
+        CoreError::Lrd(e)
+    }
+}
+
+impl From<svbr_marginal::MarginalError> for CoreError {
+    fn from(e: svbr_marginal::MarginalError) -> Self {
+        CoreError::Marginal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = CoreError::from(svbr_stats::StatsError::Degenerate("x"));
+        assert!(e.to_string().contains("estimation"));
+        assert!(e.source().is_some());
+        let e = CoreError::from(svbr_lrd::LrdError::NotPositiveDefinite { lag: 1 });
+        assert!(e.to_string().contains("generator"));
+        let e = CoreError::from(svbr_marginal::MarginalError::TooFewSamples {
+            needed: 2,
+            got: 0,
+        });
+        assert!(e.to_string().contains("marginal"));
+        let e = CoreError::InvalidParameter {
+            name: "n",
+            constraint: "n >= 1",
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains('n'));
+    }
+}

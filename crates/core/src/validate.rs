@@ -1,0 +1,208 @@
+//! Model validation: the quantitative counterpart of Figs. 8–13.
+//!
+//! "The similarity between the synthetic and real data trace is evaluated
+//! by means of the corresponding estimates of autocorrelation functions and
+//! marginal distribution histograms." We add scalar scores (ACF RMSE,
+//! histogram L1, K-S distance, Q-Q deviation, Hurst re-estimate) so a test
+//! suite — not just an eyeball — can accept or reject a model.
+
+use crate::CoreError;
+use svbr_stats::{
+    qq_points, quantiles, sample_acf_fft, two_sample_ks, variance_time_hurst, Histogram,
+    VtOptions,
+};
+
+/// Options for [`validate_model`].
+#[derive(Debug, Clone)]
+pub struct ValidationOptions {
+    /// Compare sample ACFs over lags `1..=acf_lags`.
+    pub acf_lags: usize,
+    /// Histogram bins (shared binning over the union range — Fig. 12).
+    pub bins: usize,
+    /// Number of Q-Q quantiles (Fig. 13).
+    pub qq_points: usize,
+    /// Variance-time options for re-estimating H on the synthetic trace
+    /// (`None` skips the re-estimate, e.g. for short traces).
+    pub vt: Option<VtOptions>,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        Self {
+            acf_lags: 300,
+            bins: 100,
+            qq_points: 100,
+            vt: Some(VtOptions::default()),
+        }
+    }
+}
+
+/// Scalar agreement scores between an empirical and a synthetic series.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Root-mean-square difference between the two sample ACFs over the
+    /// requested lags.
+    pub acf_rmse: f64,
+    /// Maximum absolute ACF difference and the lag where it occurs.
+    pub acf_max_dev: (usize, f64),
+    /// Histogram L1 distance (half the total variation; 0 = identical).
+    pub histogram_l1: f64,
+    /// Two-sample Kolmogorov–Smirnov distance.
+    pub ks: f64,
+    /// Maximum relative Q-Q deviation from the diagonal.
+    pub qq_max_relative: f64,
+    /// Hurst re-estimate on the synthetic series (`None` if skipped).
+    pub synthetic_hurst: Option<f64>,
+    /// The Q-Q points, for plotting (Fig. 13).
+    pub qq: Vec<(f64, f64)>,
+    /// The two ACFs `(empirical, synthetic)`, for plotting (Figs. 8–11).
+    pub acfs: (Vec<f64>, Vec<f64>),
+}
+
+/// Compare a synthetic series against the empirical one it models.
+pub fn validate_model(
+    empirical: &[f64],
+    synthetic: &[f64],
+    opts: &ValidationOptions,
+) -> Result<ValidationReport, CoreError> {
+    let r_e = sample_acf_fft(empirical, opts.acf_lags)?;
+    let r_s = sample_acf_fft(synthetic, opts.acf_lags)?;
+    let mut sq = 0.0;
+    let mut max_dev = (0usize, 0.0f64);
+    for k in 1..=opts.acf_lags {
+        let d = (r_e[k] - r_s[k]).abs();
+        sq += d * d;
+        if d > max_dev.1 {
+            max_dev = (k, d);
+        }
+    }
+    let acf_rmse = (sq / opts.acf_lags as f64).sqrt();
+
+    // Shared-binning histograms over the union range.
+    let lo = empirical
+        .iter()
+        .chain(synthetic.iter())
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let hi = empirical
+        .iter()
+        .chain(synthetic.iter())
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut h_e = Histogram::with_range(lo, hi, opts.bins)?;
+    h_e.add_all(empirical);
+    let mut h_s = Histogram::with_range(lo, hi, opts.bins)?;
+    h_s.add_all(synthetic);
+    let histogram_l1 = h_e.l1_distance(&h_s)?;
+
+    let ks = two_sample_ks(empirical, synthetic)?;
+    let qq = qq_points(empirical, synthetic, opts.qq_points)?;
+    let qq_max_relative = svbr_stats::quantiles::qq_max_relative_deviation(&qq);
+
+    let synthetic_hurst = match &opts.vt {
+        Some(vt) => Some(variance_time_hurst(synthetic, vt)?.hurst),
+        None => None,
+    };
+
+    // Keep the quantiles computed (validates inputs) — cheap and useful for
+    // downstream plotting even though the report carries qq already.
+    let _ = quantiles(synthetic, 4)?;
+
+    Ok(ValidationReport {
+        acf_rmse,
+        acf_max_dev: max_dev,
+        histogram_l1,
+        ks,
+        qq_max_relative,
+        synthetic_hurst,
+        qq,
+        acfs: (r_e, r_s),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use svbr_video::reference_trace_of_len;
+
+    fn opts_no_vt() -> ValidationOptions {
+        ValidationOptions {
+            acf_lags: 100,
+            bins: 60,
+            qq_points: 50,
+            vt: None,
+        }
+    }
+
+    #[test]
+    fn identical_series_score_perfectly() {
+        let xs = reference_trace_of_len(20_000).as_f64();
+        let r = validate_model(&xs, &xs, &opts_no_vt()).unwrap();
+        assert!(r.acf_rmse < 1e-12);
+        assert!(r.acf_max_dev.1 < 1e-12);
+        assert!(r.histogram_l1 < 1e-12);
+        assert!(r.ks < 1e-12);
+        assert!(r.qq_max_relative < 1e-12);
+        assert!(r.synthetic_hurst.is_none());
+        assert_eq!(r.qq.len(), 50);
+        assert_eq!(r.acfs.0.len(), 101);
+    }
+
+    #[test]
+    fn shuffled_series_keeps_marginal_loses_acf() {
+        let xs = reference_trace_of_len(20_000).as_f64();
+        // Deterministic shuffle.
+        let mut shuffled = xs.clone();
+        let mut state = 88172645463325252u64;
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let r = validate_model(&xs, &shuffled, &opts_no_vt()).unwrap();
+        assert!(r.ks < 1e-12, "marginal unchanged by shuffling");
+        assert!(r.histogram_l1 < 1e-12);
+        assert!(
+            r.acf_rmse > 0.2,
+            "shuffling must destroy the ACF (rmse {})",
+            r.acf_rmse
+        );
+    }
+
+    #[test]
+    fn scaled_series_fails_marginal() {
+        let xs = reference_trace_of_len(10_000).as_f64();
+        let scaled: Vec<f64> = xs.iter().map(|&x| 2.0 * x).collect();
+        let r = validate_model(&xs, &scaled, &opts_no_vt()).unwrap();
+        assert!(r.ks > 0.3, "KS {}", r.ks);
+        assert!(r.qq_max_relative > 0.4, "QQ {}", r.qq_max_relative);
+        // But correlations are scale-invariant:
+        assert!(r.acf_rmse < 1e-12);
+    }
+
+    #[test]
+    fn hurst_reestimate_runs() {
+        let xs = reference_trace_of_len(120_000).as_f64();
+        let opts = ValidationOptions {
+            vt: Some(VtOptions {
+                min_m: 50,
+                max_m: 2000,
+                points: 10,
+                min_blocks: 10,
+            }),
+            ..opts_no_vt()
+        };
+        let r = validate_model(&xs, &xs, &opts).unwrap();
+        let h = r.synthetic_hurst.unwrap();
+        assert!(h > 0.6 && h < 1.0, "H {h}");
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        let xs = vec![5.0; 1000];
+        assert!(validate_model(&xs, &xs, &opts_no_vt()).is_err());
+    }
+}

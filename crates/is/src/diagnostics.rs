@@ -1,0 +1,177 @@
+//! Importance-sampling weight diagnostics.
+//!
+//! The valley plot (Fig. 14) tells you *which* twist wins; these
+//! diagnostics tell you whether any given IS run can be trusted at all.
+//! The canonical failure mode (visible on the right-hand slope of the
+//! valley) is weight degeneracy: a handful of replications carry almost
+//! all of the estimate. The standard summary is the **effective sample
+//! size**
+//!
+//! ```text
+//! ESS = (Σ wᵢ)² / Σ wᵢ²
+//! ```
+//!
+//! (= N for equal weights, → 1 under total degeneracy), along with the
+//! largest single weight's share of the total.
+
+use crate::estimator::IsReplication;
+
+/// Weight-degeneracy summary of a set of IS replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightDiagnostics {
+    /// Number of replications inspected.
+    pub n: usize,
+    /// Number with nonzero weight (hits).
+    pub hits: usize,
+    /// Effective sample size `(Σw)²/Σw²` over the hitting replications.
+    pub effective_sample_size: f64,
+    /// Largest single weight divided by the weight total (1 = one
+    /// replication dominates; ≈ 1/hits = healthy).
+    pub max_weight_share: f64,
+    /// Variance of ln(w) over the hitting replications — large values
+    /// (≫ 1) indicate the lognormal-degeneracy regime where the sample
+    /// mean of weights sits far below its expectation.
+    pub log_weight_variance: f64,
+}
+
+impl WeightDiagnostics {
+    /// A crude health verdict: ESS at least 5% of hits and no single
+    /// weight above half the mass.
+    pub fn is_healthy(&self) -> bool {
+        self.hits > 0
+            && self.effective_sample_size >= 0.05 * self.hits as f64
+            && self.max_weight_share <= 0.5
+    }
+}
+
+/// Summarize the weights of a replication set.
+pub fn weight_diagnostics(reps: &[IsReplication]) -> WeightDiagnostics {
+    let n = reps.len();
+    let weights: Vec<f64> = reps
+        .iter()
+        .filter(|r| r.hit && r.weight > 0.0)
+        .map(|r| r.weight)
+        .collect();
+    let hits = weights.len();
+    if hits == 0 {
+        return WeightDiagnostics {
+            n,
+            hits: 0,
+            effective_sample_size: 0.0,
+            max_weight_share: 0.0,
+            log_weight_variance: 0.0,
+        };
+    }
+    let sum: f64 = weights.iter().sum();
+    let sum_sq: f64 = weights.iter().map(|w| w * w).sum();
+    let max = weights.iter().copied().fold(0.0f64, f64::max);
+    let logs: Vec<f64> = weights.iter().map(|w| w.ln()).collect();
+    let lmean = logs.iter().sum::<f64>() / hits as f64;
+    let lvar = logs.iter().map(|l| (l - lmean) * (l - lmean)).sum::<f64>() / hits as f64;
+    WeightDiagnostics {
+        n,
+        hits,
+        effective_sample_size: sum * sum / sum_sq,
+        max_weight_share: max / sum,
+        log_weight_variance: lvar,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{IsEstimator, IsEvent};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use svbr_lrd::acf::FgnAcf;
+    use svbr_marginal::transform::GaussianTransform;
+    use svbr_marginal::Normal as NormalDist;
+
+    fn reps_at_twist(twist: f64, n: usize, seed: u64) -> Vec<IsReplication> {
+        let est = IsEstimator::new(
+            FgnAcf::new(0.5).unwrap(),
+            60,
+            GaussianTransform::new(NormalDist::standard()),
+            1.0,
+            10.0,
+            twist,
+            IsEvent::FirstPassage,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| est.replicate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn equal_weights_give_full_ess() {
+        let reps: Vec<IsReplication> = (0..100)
+            .map(|_| IsReplication {
+                hit: true,
+                weight: 0.25,
+                log_lr: 0.25f64.ln(),
+                slots_used: 10,
+            })
+            .collect();
+        let d = weight_diagnostics(&reps);
+        assert_eq!(d.hits, 100);
+        assert!((d.effective_sample_size - 100.0).abs() < 1e-9);
+        assert!((d.max_weight_share - 0.01).abs() < 1e-12);
+        assert!(d.log_weight_variance < 1e-12);
+        assert!(d.is_healthy());
+    }
+
+    #[test]
+    fn single_dominant_weight_flagged() {
+        let mut reps: Vec<IsReplication> = (0..50)
+            .map(|_| IsReplication {
+                hit: true,
+                weight: 1e-6,
+                log_lr: (1e-6f64).ln(),
+                slots_used: 1,
+            })
+            .collect();
+        reps.push(IsReplication {
+            hit: true,
+            weight: 1.0,
+            log_lr: 0.0,
+            slots_used: 1,
+        });
+        let d = weight_diagnostics(&reps);
+        assert!(d.max_weight_share > 0.99);
+        assert!(d.effective_sample_size < 1.5);
+        assert!(!d.is_healthy());
+    }
+
+    #[test]
+    fn no_hits_is_degenerate() {
+        let reps = vec![
+            IsReplication {
+                hit: false,
+                weight: 0.0,
+                log_lr: -1.0,
+                slots_used: 60,
+            };
+            10
+        ];
+        let d = weight_diagnostics(&reps);
+        assert_eq!(d.hits, 0);
+        assert!(!d.is_healthy());
+    }
+
+    #[test]
+    fn overtwisting_degrades_ess_share() {
+        // The right-hand slope of the Fig. 14 valley, in diagnostic form:
+        // at a sensible twist the weight mass is spread; at a huge twist
+        // the per-hit ESS fraction collapses.
+        let good = weight_diagnostics(&reps_at_twist(2.0, 4_000, 1));
+        let bad = weight_diagnostics(&reps_at_twist(6.0, 4_000, 2));
+        assert!(good.hits > 100 && bad.hits > 100);
+        let good_frac = good.effective_sample_size / good.hits as f64;
+        let bad_frac = bad.effective_sample_size / bad.hits as f64;
+        assert!(
+            bad_frac < 0.5 * good_frac,
+            "overtwist ESS fraction {bad_frac} vs {good_frac}"
+        );
+        assert!(bad.log_weight_variance > good.log_weight_variance);
+    }
+}

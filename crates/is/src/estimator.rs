@@ -1,0 +1,692 @@
+//! The IS replication loop and replicated estimator (§4 procedure,
+//! steps 1–8).
+
+use crate::IsError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svbr_lrd::acf::Acf;
+use svbr_lrd::gauss::Normal;
+use svbr_lrd::hosking::PreparedHosking;
+use svbr_marginal::transform::GaussianTransform;
+use svbr_marginal::Marginal;
+
+/// Which overflow event a replication scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IsEvent {
+    /// `sup_{i ≤ k} W_i > b` — the paper's procedure. Equivalent in
+    /// distribution to `Q_k > b` for a queue started empty (eq. 17), and
+    /// allows early termination on the first crossing (step 5).
+    FirstPassage,
+    /// `Q_k > b` for the Lindley recursion started at the given level —
+    /// needed for the full-buffer curves of Fig. 15. No early termination.
+    LevelAtHorizon {
+        /// Initial queue level `Q_0`.
+        initial: f64,
+    },
+}
+
+/// Outcome of one IS replication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsReplication {
+    /// Whether the overflow event occurred (`I_n`).
+    pub hit: bool,
+    /// `I_n · L` — the unbiased contribution of this replication.
+    pub weight: f64,
+    /// Accumulated log-likelihood ratio at termination.
+    pub log_lr: f64,
+    /// Slots actually simulated (early termination makes this < horizon).
+    pub slots_used: usize,
+}
+
+/// Replicated IS estimate of `Pr(Q_k > b)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsEstimate {
+    /// Point estimate `P̂ = (1/N) Σ I_n L_n`.
+    pub p: f64,
+    /// Number of replications.
+    pub n: usize,
+    /// Estimated variance of the estimator (sample variance of the
+    /// weights divided by N).
+    pub variance: f64,
+    /// Number of replications in which the event occurred.
+    pub hits: usize,
+    /// Mean slots simulated per replication.
+    pub mean_slots: f64,
+}
+
+impl IsEstimate {
+    /// Standard error.
+    pub fn std_err(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Normalized variance `Var[P̂]/P̂²` — the y-axis of Fig. 14.
+    pub fn normalized_variance(&self) -> f64 {
+        if self.p > 0.0 {
+            self.variance / (self.p * self.p)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// 95% normal-approximation confidence interval.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_err();
+        ((self.p - half).max(0.0), self.p + half)
+    }
+
+    /// Variance-reduction factor vs. plain Monte Carlo at the same
+    /// replication count: `p(1−p)/N` over this estimator's variance.
+    /// (The paper reports ≈1000 at the near-optimal twist.)
+    pub fn variance_reduction(&self) -> f64 {
+        if self.variance > 0.0 {
+            (self.p * (1.0 - self.p) / self.n as f64) / self.variance
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Relative error `std_err/p` (∞ when the estimate is 0).
+    pub fn relative_error(&self) -> f64 {
+        if self.p > 0.0 {
+            self.std_err() / self.p
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Merge two independent estimates of the same quantity (pooling their
+    /// replications). Exact: the weight sums and sums of squares are
+    /// recovered from `(p, variance, n)`.
+    pub fn merge(&self, other: &IsEstimate) -> IsEstimate {
+        let n = self.n + other.n;
+        if n == 0 {
+            return *self;
+        }
+        let sum = self.p * self.n as f64 + other.p * other.n as f64;
+        let sum_sq = |e: &IsEstimate| {
+            // variance = (sum_sq/n − p²)/n  ⇒  sum_sq = n·(n·variance + p²)
+            e.n as f64 * (e.n as f64 * e.variance + e.p * e.p)
+        };
+        let total_sq = sum_sq(self) + sum_sq(other);
+        let p = sum / n as f64;
+        let var_w = (total_sq / n as f64 - p * p).max(0.0);
+        IsEstimate {
+            p,
+            n,
+            variance: var_w / n as f64,
+            hits: self.hits + other.hits,
+            mean_slots: (self.mean_slots * self.n as f64 + other.mean_slots * other.n as f64)
+                / n as f64,
+        }
+    }
+}
+
+/// The IS estimator for a fixed system configuration.
+///
+/// Construction runs the Durbin–Levinson recursion once
+/// ([`PreparedHosking`]); each replication then costs O(slots²) in dot
+/// products only — and early termination (step 5 of the paper's procedure)
+/// usually keeps `slots ≪ horizon` at a good twist.
+#[derive(Debug, Clone)]
+pub struct IsEstimator<M> {
+    prepared: PreparedHosking,
+    transform: GaussianTransform<M>,
+    service: f64,
+    buffer: f64,
+    twist: f64,
+    event: IsEvent,
+}
+
+impl<M: Marginal> IsEstimator<M> {
+    /// Build from the background ACF (twisting happens on this process),
+    /// the foreground transform, and the queueing configuration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<A: Acf>(
+        acf: A,
+        horizon: usize,
+        transform: GaussianTransform<M>,
+        service: f64,
+        buffer: f64,
+        twist: f64,
+        event: IsEvent,
+    ) -> Result<Self, IsError> {
+        if horizon == 0 {
+            return Err(IsError::InvalidParameter {
+                name: "horizon",
+                constraint: ">= 1",
+            });
+        }
+        if !(service > 0.0 && service.is_finite()) {
+            return Err(IsError::InvalidParameter {
+                name: "service",
+                constraint: "> 0 and finite",
+            });
+        }
+        if !twist.is_finite() || !buffer.is_finite() {
+            return Err(IsError::InvalidParameter {
+                name: "twist/buffer",
+                constraint: "finite",
+            });
+        }
+        Ok(Self {
+            prepared: PreparedHosking::new(acf, horizon)?,
+            transform,
+            service,
+            buffer,
+            twist,
+            event,
+        })
+    }
+
+    /// Reuse an already-prepared recursion (e.g. across twists in a valley
+    /// search — the preparation is the expensive part).
+    pub fn from_prepared(
+        prepared: PreparedHosking,
+        transform: GaussianTransform<M>,
+        service: f64,
+        buffer: f64,
+        twist: f64,
+        event: IsEvent,
+    ) -> Self {
+        Self {
+            prepared,
+            transform,
+            service,
+            buffer,
+            twist,
+            event,
+        }
+    }
+
+    /// The horizon `k`.
+    pub fn horizon(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// The twist `m*`.
+    pub fn twist(&self) -> f64 {
+        self.twist
+    }
+
+    /// Clone with a different twist (sharing nothing mutable; the prepared
+    /// recursion is cloned — use [`Self::from_prepared`] to share).
+    pub fn with_twist(&self, twist: f64) -> Self
+    where
+        M: Clone,
+    {
+        Self {
+            prepared: self.prepared.clone(),
+            transform: self.transform.clone(),
+            service: self.service,
+            buffer: self.buffer,
+            twist,
+            event: self.event,
+        }
+    }
+
+    /// Run one replication (steps 2–7 of the paper's procedure).
+    pub fn replicate<R: Rng + ?Sized>(&self, rng: &mut R) -> IsReplication {
+        let horizon = self.prepared.len();
+        let mut normal = Normal::new();
+        let mut hist: Vec<f64> = Vec::with_capacity(horizon);
+        let mut log_lr = 0.0f64;
+        let mut w = 0.0f64; // running workload (FirstPassage)
+        let mut q = match self.event {
+            IsEvent::LevelAtHorizon { initial } => initial,
+            IsEvent::FirstPassage => 0.0,
+        };
+        for i in 0..horizon {
+            let m = self.prepared.moments(i, &hist);
+            // Twisted conditional mean: m_i + m*·(1 − Σφ) (eqs. 35–36).
+            let shift = self.twist * (1.0 - m.phi_sum);
+            let eps = normal.sample(rng) * m.var.sqrt();
+            let x = m.mean + shift + eps;
+            hist.push(x);
+            // ln L_i = −shift·(2ε + shift)/(2v)  (see crate docs).
+            if shift != 0.0 {
+                log_lr -= shift * (2.0 * eps + shift) / (2.0 * m.var);
+            }
+            let y = self.transform.apply(x);
+            match self.event {
+                IsEvent::FirstPassage => {
+                    w += y - self.service;
+                    if w > self.buffer {
+                        return IsReplication {
+                            hit: true,
+                            weight: log_lr.exp(),
+                            log_lr,
+                            slots_used: i + 1,
+                        };
+                    }
+                }
+                IsEvent::LevelAtHorizon { .. } => {
+                    q = (q + y - self.service).max(0.0);
+                }
+            }
+        }
+        let hit = match self.event {
+            IsEvent::FirstPassage => false,
+            IsEvent::LevelAtHorizon { .. } => q > self.buffer,
+        };
+        IsReplication {
+            hit,
+            weight: if hit { log_lr.exp() } else { 0.0 },
+            log_lr,
+            slots_used: horizon,
+        }
+    }
+
+    /// Run `n` replications sequentially.
+    pub fn run<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> IsEstimate {
+        let mut acc = Accumulator::default();
+        for _ in 0..n {
+            acc.add(&self.replicate(rng));
+        }
+        acc.finish()
+    }
+
+    /// Run batches of replications until the estimate's relative error
+    /// drops to `target` (e.g. 0.1 for ±10% at one σ) or `max_reps` is
+    /// exhausted. Returns the pooled estimate.
+    ///
+    /// This is how a practitioner actually drives the paper's method:
+    /// pick a precision, not a replication count.
+    pub fn run_to_relative_error(
+        &self,
+        target: f64,
+        batch: usize,
+        max_reps: usize,
+        base_seed: u64,
+        threads: usize,
+    ) -> IsEstimate
+    where
+        M: Sync,
+    {
+        let batch = batch.max(16);
+        let mut pooled: Option<IsEstimate> = None;
+        let mut round = 0u64;
+        while pooled.map_or(0, |e| e.n) < max_reps {
+            let remaining = max_reps - pooled.map_or(0, |e| e.n);
+            let e = self.run_parallel(
+                batch.min(remaining),
+                base_seed.wrapping_add(round.wrapping_mul(0x517c_c1b7_2722_0a95)),
+                threads,
+            );
+            pooled = Some(match pooled {
+                Some(prev) => prev.merge(&e),
+                None => e,
+            });
+            round += 1;
+            if pooled.expect("just set").relative_error() <= target {
+                break;
+            }
+        }
+        pooled.unwrap_or(IsEstimate {
+            p: 0.0,
+            n: 0,
+            variance: 0.0,
+            hits: 0,
+            mean_slots: 0.0,
+        })
+    }
+
+    /// Run `n` replications across `threads` OS threads (deterministic
+    /// given `base_seed`; each thread derives its own `StdRng`).
+    pub fn run_parallel(&self, n: usize, base_seed: u64, threads: usize) -> IsEstimate
+    where
+        M: Sync,
+    {
+        let threads = threads.max(1).min(n.max(1));
+        let per = n / threads;
+        let extra = n % threads;
+        let mut accs: Vec<Accumulator> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let reps = per + usize::from(t < extra);
+                let est = &*self;
+                handles.push(s.spawn(move |_| {
+                    let mut rng =
+                        StdRng::seed_from_u64(base_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)));
+                    let mut acc = Accumulator::default();
+                    for _ in 0..reps {
+                        acc.add(&est.replicate(&mut rng));
+                    }
+                    acc
+                }));
+            }
+            for h in handles {
+                accs.push(h.join().expect("replication thread panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        let mut total = Accumulator::default();
+        for a in accs {
+            total.merge(&a);
+        }
+        total.finish()
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Accumulator {
+    n: usize,
+    sum: f64,
+    sum_sq: f64,
+    hits: usize,
+    slots: u64,
+}
+
+impl Accumulator {
+    fn add(&mut self, r: &IsReplication) {
+        self.n += 1;
+        self.sum += r.weight;
+        self.sum_sq += r.weight * r.weight;
+        self.hits += usize::from(r.hit);
+        self.slots += r.slots_used as u64;
+    }
+
+    fn merge(&mut self, o: &Accumulator) {
+        self.n += o.n;
+        self.sum += o.sum;
+        self.sum_sq += o.sum_sq;
+        self.hits += o.hits;
+        self.slots += o.slots;
+    }
+
+    fn finish(&self) -> IsEstimate {
+        let n = self.n.max(1) as f64;
+        let p = self.sum / n;
+        let var_w = (self.sum_sq / n - p * p).max(0.0);
+        IsEstimate {
+            p,
+            n: self.n,
+            variance: var_w / n,
+            hits: self.hits,
+            mean_slots: self.slots as f64 / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svbr_lrd::acf::{ExponentialAcf, FgnAcf};
+    use svbr_marginal::Normal as NormalDist;
+
+    fn white_noise_system(
+        horizon: usize,
+        service: f64,
+        buffer: f64,
+        twist: f64,
+        event: IsEvent,
+    ) -> IsEstimator<NormalDist> {
+        IsEstimator::new(
+            FgnAcf::new(0.5).unwrap(),
+            horizon,
+            GaussianTransform::new(NormalDist::standard()),
+            service,
+            buffer,
+            twist,
+            event,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_twist_is_plain_mc() {
+        let est = white_noise_system(50, 0.5, 3.0, 0.0, IsEvent::FirstPassage);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let r = est.replicate(&mut rng);
+            assert_eq!(r.log_lr, 0.0);
+            assert!(r.weight == 0.0 || r.weight == 1.0);
+            assert_eq!(r.weight == 1.0, r.hit);
+        }
+    }
+
+    #[test]
+    fn likelihood_ratio_mean_is_one() {
+        // With an always-true event the estimator targets probability 1, so
+        // the mean weight E[L] must be 1 for any twist — the unbiasedness
+        // identity E_{p'}[L] = 1. The twist must be kept small here: ln L is
+        // N(−σ²/2, σ²) with σ² = m*²·k for white noise, so a large twist
+        // makes the sample mean of L collapse below 1 at any feasible
+        // replication count (the classic IS-degeneracy effect — exactly why
+        // the valley in Fig. 14 rises again on the right).
+        let est = white_noise_system(
+            20,
+            0.5,
+            -1.0,
+            0.1,
+            IsEvent::LevelAtHorizon { initial: 0.0 },
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = est.run(40_000, &mut rng);
+        assert_eq!(e.hits, 40_000, "Q_k > −1 always");
+        assert!(
+            (e.p - 1.0).abs() < 4.0 * e.std_err(),
+            "p {} ± {}",
+            e.p,
+            e.std_err()
+        );
+    }
+
+    #[test]
+    fn is_estimate_agrees_with_mc() {
+        // Moderate-probability event: IS (twist 1.0) and MC (twist 0) must
+        // agree within joint CIs.
+        let mc = white_noise_system(30, 0.6, 4.0, 0.0, IsEvent::FirstPassage);
+        let is = mc.with_twist(0.7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let e_mc = mc.run(30_000, &mut rng);
+        let e_is = is.run(30_000, &mut rng);
+        let tol = 3.0 * (e_mc.std_err() + e_is.std_err());
+        assert!(
+            (e_mc.p - e_is.p).abs() < tol,
+            "MC {} vs IS {} (tol {tol})",
+            e_mc.p,
+            e_is.p
+        );
+        assert!(e_mc.p > 0.001, "event should not be too rare for MC");
+    }
+
+    #[test]
+    fn variance_reduction_on_rare_event() {
+        // Rare event: with a sensible twist the normalized variance must
+        // drop well below plain MC's.
+        let mc = white_noise_system(50, 1.0, 8.0, 0.0, IsEvent::FirstPassage);
+        let is = mc.with_twist(1.3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let e_is = is.run(n, &mut rng);
+        assert!(e_is.p > 0.0, "IS must find the rare event");
+        assert!(
+            e_is.variance_reduction() > 5.0,
+            "VRF {} (p = {})",
+            e_is.variance_reduction(),
+            e_is.p
+        );
+        // MC at the same budget almost never sees the event.
+        let e_mc = mc.run(n, &mut rng);
+        assert!(e_mc.hits < e_is.hits, "MC hits {} IS hits {}", e_mc.hits, e_is.hits);
+    }
+
+    #[test]
+    fn early_termination_shortens_replications() {
+        let is = white_noise_system(200, 0.8, 5.0, 1.5, IsEvent::FirstPassage);
+        let mut rng = StdRng::seed_from_u64(5);
+        let e = is.run(2_000, &mut rng);
+        assert!(e.hits > 1_000, "strong twist makes hits common");
+        assert!(
+            e.mean_slots < 100.0,
+            "early termination: mean slots {}",
+            e.mean_slots
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_statistically() {
+        let est = white_noise_system(30, 0.6, 3.0, 0.8, IsEvent::FirstPassage);
+        let par = est.run_parallel(20_000, 42, 4);
+        let mut rng = StdRng::seed_from_u64(43);
+        let seq = est.run(20_000, &mut rng);
+        let tol = 3.0 * (par.std_err() + seq.std_err());
+        assert!((par.p - seq.p).abs() < tol, "par {} seq {}", par.p, seq.p);
+        assert_eq!(par.n, 20_000);
+    }
+
+    #[test]
+    fn parallel_is_deterministic_given_seed() {
+        let est = white_noise_system(20, 0.6, 2.0, 0.5, IsEvent::FirstPassage);
+        let a = est.run_parallel(1_000, 7, 3);
+        let b = est.run_parallel(1_000, 7, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn works_with_lrd_background() {
+        // The real use case: fGn background, H = 0.8.
+        let est = IsEstimator::new(
+            FgnAcf::new(0.8).unwrap(),
+            100,
+            GaussianTransform::new(NormalDist::standard()),
+            0.8,
+            6.0,
+            1.0,
+            IsEvent::FirstPassage,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let e = est.run(5_000, &mut rng);
+        assert!(e.p > 0.0 && e.p < 1.0, "p = {}", e.p);
+        assert!(e.variance_reduction() > 1.0);
+    }
+
+    #[test]
+    fn srd_background_twist_shift_uses_phi_sum() {
+        // For an AR(1) exponential ACF the twist shift after step 1 must be
+        // m*(1−φ), not m* — regression through the conditional mean.
+        let est = IsEstimator::new(
+            ExponentialAcf::new(0.5).unwrap(),
+            10,
+            GaussianTransform::new(NormalDist::standard()),
+            1.0,
+            100.0,
+            2.0,
+            IsEvent::FirstPassage,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        // Long-run mean of the twisted process must approach m*, not m*(1+…).
+        let mut sum = 0.0;
+        let reps = 20_000;
+        for _ in 0..reps {
+            let r = est.replicate(&mut rng);
+            assert!(!r.hit, "buffer is unreachable");
+            sum += r.log_lr;
+        }
+        // E[ln L] = −Σ (m* s_i)²/(2 v_i) < 0 under the twisted measure.
+        assert!((sum / reps as f64) < 0.0);
+    }
+
+    #[test]
+    fn merge_is_exact_pooling() {
+        // Split one run into two halves: merge must equal the full run.
+        let est = white_noise_system(30, 0.6, 3.0, 0.8, IsEvent::FirstPassage);
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut acc_all = Vec::new();
+        for _ in 0..2000 {
+            acc_all.push(est.replicate(&mut rng));
+        }
+        let build = |reps: &[IsReplication]| {
+            let n = reps.len() as f64;
+            let sum: f64 = reps.iter().map(|r| r.weight).sum();
+            let sum_sq: f64 = reps.iter().map(|r| r.weight * r.weight).sum();
+            let p = sum / n;
+            IsEstimate {
+                p,
+                n: reps.len(),
+                variance: (sum_sq / n - p * p).max(0.0) / n,
+                hits: reps.iter().filter(|r| r.hit).count(),
+                mean_slots: reps.iter().map(|r| r.slots_used as f64).sum::<f64>() / n,
+            }
+        };
+        let full = build(&acc_all);
+        let merged = build(&acc_all[..700]).merge(&build(&acc_all[700..]));
+        assert!((full.p - merged.p).abs() < 1e-12);
+        assert!((full.variance - merged.variance).abs() < 1e-14);
+        assert_eq!(full.hits, merged.hits);
+        assert_eq!(full.n, merged.n);
+        assert!((full.mean_slots - merged.mean_slots).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_to_relative_error_stops_when_precise() {
+        let est = white_noise_system(30, 0.6, 3.0, 0.8, IsEvent::FirstPassage);
+        let e = est.run_to_relative_error(0.1, 500, 50_000, 1, 2);
+        assert!(
+            e.relative_error() <= 0.1 || e.n == 50_000,
+            "re {} at n {}",
+            e.relative_error(),
+            e.n
+        );
+        assert!(e.n >= 500);
+        // A looser target needs fewer replications.
+        let loose = est.run_to_relative_error(0.5, 500, 50_000, 2, 2);
+        assert!(loose.n <= e.n);
+    }
+
+    #[test]
+    fn estimate_helpers() {
+        let e = IsEstimate {
+            p: 0.01,
+            n: 1000,
+            variance: 1e-8,
+            hits: 500,
+            mean_slots: 42.0,
+        };
+        assert!((e.std_err() - 1e-4).abs() < 1e-12);
+        assert!((e.normalized_variance() - 1e-4).abs() < 1e-12);
+        let (lo, hi) = e.ci95();
+        assert!(lo < 0.01 && hi > 0.01);
+        let vr = e.variance_reduction();
+        assert!((vr - (0.01 * 0.99 / 1000.0) / 1e-8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        let t = GaussianTransform::new(NormalDist::standard());
+        assert!(IsEstimator::new(
+            FgnAcf::new(0.5).unwrap(),
+            0,
+            t.clone(),
+            1.0,
+            1.0,
+            0.0,
+            IsEvent::FirstPassage
+        )
+        .is_err());
+        assert!(IsEstimator::new(
+            FgnAcf::new(0.5).unwrap(),
+            5,
+            t.clone(),
+            0.0,
+            1.0,
+            0.0,
+            IsEvent::FirstPassage
+        )
+        .is_err());
+        assert!(IsEstimator::new(
+            FgnAcf::new(0.5).unwrap(),
+            5,
+            t,
+            1.0,
+            1.0,
+            f64::NAN,
+            IsEvent::FirstPassage
+        )
+        .is_err());
+    }
+}

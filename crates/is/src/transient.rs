@@ -1,0 +1,271 @@
+//! Importance-sampled transient curves (Fig. 15).
+//!
+//! Fig. 15 plots `Pr(Q_k > b)` against the stop time `k` for empty and full
+//! initial buffers. One IS replication can score *every* stop time at once:
+//! run the twisted path to the full horizon, maintain the Lindley recursion
+//! and the running log-likelihood ratio, and at each requested stop time
+//! record `1{Q_k > b}·L(k)`.
+
+use crate::IsError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svbr_lrd::acf::Acf;
+use svbr_lrd::gauss::Normal;
+use svbr_lrd::hosking::PreparedHosking;
+use svbr_marginal::transform::GaussianTransform;
+use svbr_marginal::Marginal;
+
+/// Configuration for an IS transient-curve run.
+#[derive(Debug, Clone)]
+pub struct TransientConfig {
+    /// Deterministic per-slot service rate.
+    pub service: f64,
+    /// Buffer threshold `b`.
+    pub buffer: f64,
+    /// Initial queue level `Q_0`.
+    pub initial: f64,
+    /// Twist `m*` applied to the background process.
+    pub twist: f64,
+    /// Stop times (nondecreasing, last one = horizon).
+    pub stop_times: Vec<usize>,
+}
+
+/// Per-stop-time IS estimates.
+#[derive(Debug, Clone)]
+pub struct TransientEstimate {
+    /// The stop times.
+    pub stop_times: Vec<usize>,
+    /// `P̂(Q_k > b)` per stop time.
+    pub p: Vec<f64>,
+    /// Estimator variance per stop time.
+    pub variance: Vec<f64>,
+    /// Replications used.
+    pub n: usize,
+}
+
+impl TransientEstimate {
+    /// `(k, P̂, std_err)` rows.
+    pub fn rows(&self) -> Vec<(usize, f64, f64)> {
+        self.stop_times
+            .iter()
+            .zip(self.p.iter().zip(self.variance.iter()))
+            .map(|(&k, (&p, &v))| (k, p, v.sqrt()))
+            .collect()
+    }
+}
+
+/// Estimate the transient overflow curve by importance sampling.
+///
+/// The Durbin–Levinson recursion is prepared once for the full horizon;
+/// each replication runs to the horizon (no early termination — every stop
+/// time needs its indicator) and is scored at all stop times.
+pub fn is_transient_curve<A, M>(
+    acf: A,
+    transform: &GaussianTransform<M>,
+    config: &TransientConfig,
+    n_reps: usize,
+    base_seed: u64,
+    threads: usize,
+) -> Result<TransientEstimate, IsError>
+where
+    A: Acf,
+    M: Marginal + Sync,
+{
+    if config.stop_times.is_empty()
+        || config.stop_times.windows(2).any(|w| w[1] < w[0])
+        || config.stop_times[0] == 0
+    {
+        return Err(IsError::InvalidParameter {
+            name: "stop_times",
+            constraint: "non-empty, nondecreasing, starting >= 1",
+        });
+    }
+    if n_reps == 0 {
+        return Err(IsError::InvalidParameter {
+            name: "n_reps",
+            constraint: ">= 1",
+        });
+    }
+    if !(config.service > 0.0 && config.initial >= 0.0 && config.twist.is_finite()) {
+        return Err(IsError::InvalidParameter {
+            name: "service/initial/twist",
+            constraint: "service > 0, initial >= 0, finite twist",
+        });
+    }
+    let horizon = *config.stop_times.last().expect("non-empty");
+    let prepared = PreparedHosking::new(acf, horizon)?;
+    let threads = threads.max(1).min(n_reps);
+    let per = n_reps / threads;
+    let extra = n_reps % threads;
+    let m = config.stop_times.len();
+    let mut sums = vec![0.0f64; m];
+    let mut sums_sq = vec![0.0f64; m];
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let reps = per + usize::from(t < extra);
+            let prepared = &prepared;
+            let config = &*config;
+            let transform = transform;
+            handles.push(s.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(
+                    base_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
+                );
+                let mut normal = Normal::new();
+                let mut sums = vec![0.0f64; m];
+                let mut sums_sq = vec![0.0f64; m];
+                let mut hist: Vec<f64> = Vec::with_capacity(horizon);
+                for _ in 0..reps {
+                    hist.clear();
+                    let mut log_lr = 0.0f64;
+                    let mut q = config.initial;
+                    let mut next = 0usize;
+                    for i in 0..horizon {
+                        let mo = prepared.moments(i, &hist);
+                        let shift = config.twist * (1.0 - mo.phi_sum);
+                        let eps = normal.sample(&mut rng) * mo.var.sqrt();
+                        let x = mo.mean + shift + eps;
+                        hist.push(x);
+                        if shift != 0.0 {
+                            log_lr -= shift * (2.0 * eps + shift) / (2.0 * mo.var);
+                        }
+                        let y = transform.apply(x);
+                        q = (q + y - config.service).max(0.0);
+                        while next < m && config.stop_times[next] == i + 1 {
+                            if q > config.buffer {
+                                let w = log_lr.exp();
+                                sums[next] += w;
+                                sums_sq[next] += w * w;
+                            }
+                            next += 1;
+                        }
+                    }
+                }
+                (sums, sums_sq)
+            }));
+        }
+        for h in handles {
+            let (s1, s2) = h.join().expect("transient thread panicked");
+            for i in 0..m {
+                sums[i] += s1[i];
+                sums_sq[i] += s2[i];
+            }
+        }
+    })
+    .expect("crossbeam scope");
+    let n = n_reps as f64;
+    let p: Vec<f64> = sums.iter().map(|&s| s / n).collect();
+    let variance: Vec<f64> = sums_sq
+        .iter()
+        .zip(p.iter())
+        .map(|(&s2, &pk)| ((s2 / n - pk * pk).max(0.0)) / n)
+        .collect();
+    Ok(TransientEstimate {
+        stop_times: config.stop_times.clone(),
+        p,
+        variance,
+        n: n_reps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svbr_lrd::acf::FgnAcf;
+    use svbr_marginal::Normal as NormalDist;
+
+    fn config(stop_times: Vec<usize>, twist: f64, initial: f64) -> TransientConfig {
+        TransientConfig {
+            service: 0.7,
+            buffer: 3.0,
+            initial,
+            twist,
+            stop_times,
+        }
+    }
+
+    #[test]
+    fn matches_plain_mc_at_zero_twist() {
+        let t = GaussianTransform::new(NormalDist::standard());
+        let acf = FgnAcf::new(0.5).unwrap();
+        let est = is_transient_curve(&acf, &t, &config(vec![10, 50, 150], 0.0, 0.0), 20_000, 1, 4)
+            .unwrap();
+        // Plain-MC comparison via the queue crate.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut normal = Normal::new();
+        let mc = svbr_queue::transient_curve(
+            |_| (0..150).map(|_| normal.sample(&mut rng)).collect(),
+            20_000,
+            &[10, 50, 150],
+            0.7,
+            3.0,
+            svbr_queue::InitialCondition::Empty,
+        )
+        .unwrap();
+        for (i, (&p_is, &p_mc)) in est.p.iter().zip(mc.iter()).enumerate() {
+            let tol = 4.0 * (est.variance[i].sqrt() + (p_mc * (1.0 - p_mc) / 20_000.0).sqrt())
+                + 1e-4;
+            assert!(
+                (p_is - p_mc).abs() < tol,
+                "stop {i}: IS {p_is} vs MC {p_mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn twisted_estimate_agrees_with_untwisted() {
+        let t = GaussianTransform::new(NormalDist::standard());
+        let acf = FgnAcf::new(0.5).unwrap();
+        let a = is_transient_curve(&acf, &t, &config(vec![40], 0.0, 0.0), 40_000, 2, 4).unwrap();
+        let b = is_transient_curve(&acf, &t, &config(vec![40], 0.5, 0.0), 40_000, 3, 4).unwrap();
+        let tol = 4.0 * (a.variance[0].sqrt() + b.variance[0].sqrt());
+        assert!(
+            (a.p[0] - b.p[0]).abs() < tol,
+            "untwisted {} vs twisted {}",
+            a.p[0],
+            b.p[0]
+        );
+    }
+
+    #[test]
+    fn full_start_exceeds_empty_start_early() {
+        let t = GaussianTransform::new(NormalDist::standard());
+        let acf = FgnAcf::new(0.5).unwrap();
+        let empty =
+            is_transient_curve(&acf, &t, &config(vec![5, 100], 0.3, 0.0), 10_000, 4, 4).unwrap();
+        let full =
+            is_transient_curve(&acf, &t, &config(vec![5, 100], 0.3, 3.0), 10_000, 5, 4).unwrap();
+        assert!(
+            full.p[0] > empty.p[0],
+            "early: full {} vs empty {}",
+            full.p[0],
+            empty.p[0]
+        );
+        // Late: closer together (both near steady state).
+        assert!((full.p[1] - empty.p[1]).abs() < (full.p[0] - empty.p[0]));
+    }
+
+    #[test]
+    fn rows_shape() {
+        let t = GaussianTransform::new(NormalDist::standard());
+        let acf = FgnAcf::new(0.5).unwrap();
+        let est = is_transient_curve(&acf, &t, &config(vec![5, 10], 0.2, 0.0), 500, 6, 2).unwrap();
+        let rows = est.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 5);
+        assert!(rows.iter().all(|r| r.1 >= 0.0 && r.2 >= 0.0));
+    }
+
+    #[test]
+    fn validation() {
+        let t = GaussianTransform::new(NormalDist::standard());
+        let acf = FgnAcf::new(0.5).unwrap();
+        assert!(is_transient_curve(&acf, &t, &config(vec![], 0.0, 0.0), 10, 1, 1).is_err());
+        assert!(is_transient_curve(&acf, &t, &config(vec![0, 5], 0.0, 0.0), 10, 1, 1).is_err());
+        assert!(is_transient_curve(&acf, &t, &config(vec![5, 3], 0.0, 0.0), 10, 1, 1).is_err());
+        assert!(is_transient_curve(&acf, &t, &config(vec![5], 0.0, 0.0), 0, 1, 1).is_err());
+        let mut c = config(vec![5], 0.0, 0.0);
+        c.initial = -1.0;
+        assert!(is_transient_curve(&acf, &t, &c, 10, 1, 1).is_err());
+    }
+}

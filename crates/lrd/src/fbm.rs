@@ -1,0 +1,171 @@
+//! Fractional Brownian motion and aggregation helpers.
+//!
+//! fGn is the increment process of fractional Brownian motion (fBm) —
+//! Mandelbrot & Van Ness, the paper's reference [20]. The self-similarity
+//! that gives the paper its title is cleanest at the fBm level:
+//! `B(at) =d a^H·B(t)`, equivalently `Var B(t) = t^{2H}`. This module
+//! provides the cumulative view plus the block-aggregation identity
+//! `X^{(m)} =d m^{H−1}·X` that underpins the variance-time estimator.
+
+use crate::acf::FgnAcf;
+use crate::davies_harte::DaviesHarte;
+use crate::LrdError;
+use rand::Rng;
+
+/// Cumulative sum: turn an increment path (fGn) into a motion path (fBm),
+/// with `B_0 = x_0`.
+pub fn cumulative(increments: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    increments
+        .iter()
+        .map(|&x| {
+            acc += x;
+            acc
+        })
+        .collect()
+}
+
+/// First differences: the inverse of [`cumulative`] (up to the convention
+/// that the first increment equals the first value).
+pub fn increments(motion: &[f64]) -> Vec<f64> {
+    let mut prev = 0.0;
+    motion
+        .iter()
+        .map(|&x| {
+            let d = x - prev;
+            prev = x;
+            d
+        })
+        .collect()
+}
+
+/// A fractional-Brownian-motion sampler (exact, via Davies–Harte fGn).
+#[derive(Debug, Clone)]
+pub struct Fbm {
+    dh: DaviesHarte,
+    hurst: f64,
+}
+
+impl Fbm {
+    /// Prepare a sampler for paths of `n` steps at Hurst parameter `h`.
+    pub fn new(h: f64, n: usize) -> Result<Self, LrdError> {
+        Ok(Self {
+            dh: DaviesHarte::new(FgnAcf::new(h)?, n)?,
+            hurst: h,
+        })
+    }
+
+    /// The Hurst parameter.
+    pub fn hurst(&self) -> f64 {
+        self.hurst
+    }
+
+    /// Number of steps per path.
+    pub fn len(&self) -> usize {
+        self.dh.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Generate one fBm path `B_1 … B_n` (so `B_t ~ N(0, t^{2H})`).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        cumulative(&self.dh.generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cumulative_and_increments_are_inverse() {
+        let xs = vec![1.0, -2.0, 3.5, 0.0, 4.0];
+        let motion = cumulative(&xs);
+        assert_eq!(motion, vec![1.0, -1.0, 2.5, 2.5, 6.5]);
+        let back = increments(&motion);
+        for (a, b) in xs.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fbm_variance_grows_like_t_to_2h() {
+        // Var B_t = t^{2H}: estimate at two times across many paths and
+        // compare the ratio with the theoretical power.
+        for h in [0.6, 0.9] {
+            let n = 256;
+            let fbm = Fbm::new(h, n).unwrap();
+            assert_eq!(fbm.len(), n);
+            assert!(!fbm.is_empty());
+            let mut rng = StdRng::seed_from_u64((h * 100.0) as u64);
+            let reps = 4000;
+            let (t1, t2) = (32usize, 256usize);
+            let (mut v1, mut v2) = (0.0, 0.0);
+            for _ in 0..reps {
+                let b = fbm.generate(&mut rng);
+                v1 += b[t1 - 1] * b[t1 - 1] / reps as f64;
+                v2 += b[t2 - 1] * b[t2 - 1] / reps as f64;
+            }
+            let measured = (v2 / v1).ln() / ((t2 as f64 / t1 as f64).ln());
+            assert!(
+                (measured - 2.0 * h).abs() < 0.12,
+                "H = {h}: measured exponent {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn fbm_is_nonstationary_but_increments_are_stationary() {
+        let fbm = Fbm::new(0.8, 512).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let reps = 3000;
+        let (mut var_early, mut var_late) = (0.0, 0.0);
+        let (mut inc_early, mut inc_late) = (0.0, 0.0);
+        for _ in 0..reps {
+            let b = fbm.generate(&mut rng);
+            var_early += b[31] * b[31] / reps as f64;
+            var_late += b[511] * b[511] / reps as f64;
+            let d = increments(&b);
+            inc_early += d[31] * d[31] / reps as f64;
+            inc_late += d[511] * d[511] / reps as f64;
+        }
+        assert!(var_late > 5.0 * var_early, "motion variance grows");
+        assert!(
+            (inc_late / inc_early - 1.0).abs() < 0.15,
+            "increment variance is flat: {inc_early} vs {inc_late}"
+        );
+    }
+
+    #[test]
+    fn aggregation_scaling_identity() {
+        // X^{(m)} =d m^{H-1} X: the variance of block means of size m is
+        // m^{2H-2}.
+        let h = 0.85;
+        let n = 4096;
+        let dh = DaviesHarte::new(FgnAcf::new(h).unwrap(), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = 64usize;
+        let reps = 800;
+        let mut var_agg = 0.0;
+        let mut count = 0usize;
+        for _ in 0..reps {
+            let xs = dh.generate(&mut rng);
+            for chunk in xs.chunks_exact(m) {
+                let mean = chunk.iter().sum::<f64>() / m as f64;
+                var_agg += mean * mean;
+                count += 1;
+            }
+        }
+        var_agg /= count as f64;
+        let expected = (m as f64).powf(2.0 * h - 2.0);
+        assert!(
+            (var_agg / expected - 1.0).abs() < 0.1,
+            "var(X^(m)) = {var_agg} vs m^(2H-2) = {expected}"
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! A self-contained radix-2 complex FFT.
+//!
+//! Used by the Davies–Harte circulant-embedding generator and the
+//! FFT-accelerated autocorrelation estimator. Only power-of-two lengths are
+//! supported; callers zero-pad. The implementation is the classic iterative
+//! Cooley–Tukey with bit-reversal permutation — simple, allocation-free in
+//! the transform itself, and fast enough for every workload in this repo
+//! (the paper's longest traces are a few hundred thousand samples).
+
+/// A complex number (re, im). Deliberately minimal — this crate needs only
+/// what the FFT uses.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real complex number.
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Complex multiplication.
+    pub fn mul(self, other: Self) -> Self {
+        Self {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// Return true if `n` is a power of two (and nonzero).
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// The smallest power of two `>= n` (n must be >= 1).
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place forward FFT. `data.len()` must be a power of two.
+///
+/// Computes `X[j] = Σ_k x[k]·e^{−2πi jk/n}` (engineering sign convention).
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT, including the `1/n` normalization, so
+/// `ifft(fft(x)) == x` up to rounding.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, true);
+    let scale = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        z.re *= scale;
+        z.im *= scale;
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(is_power_of_two(n), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::real(1.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// FFT of a real sequence (zero-padded to the next power of two ≥ `min_len`).
+/// Returns the full complex spectrum of length `max(next_pow2(x.len()), min_len)`.
+pub fn fft_real(x: &[f64], min_len: usize) -> Vec<Complex> {
+    let n = next_power_of_two(x.len().max(min_len).max(1));
+    let mut data = vec![Complex::default(); n];
+    for (d, &v) in data.iter_mut().zip(x.iter()) {
+        *d = Complex::real(v);
+    }
+    fft(&mut data);
+    data
+}
+
+/// Circular autocorrelation support: compute the (linear) autocovariance of
+/// `x` at lags `0..=max_lag` via FFT in O(n log n), *without* mean removal
+/// or normalization — callers handle centering.
+///
+/// This pads to at least `2n` so circular wrap-around never contaminates the
+/// requested lags.
+pub fn autocovariance_fft(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = x.len();
+    assert!(max_lag < n, "max_lag must be < series length");
+    let m = next_power_of_two(2 * n);
+    let mut data = vec![Complex::default(); m];
+    for (d, &v) in data.iter_mut().zip(x.iter()) {
+        *d = Complex::real(v);
+    }
+    fft(&mut data);
+    for z in data.iter_mut() {
+        let p = z.norm_sqr();
+        *z = Complex::real(p);
+    }
+    ifft(&mut data);
+    (0..=max_lag).map(|k| data[k].re / n as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::default(); 8];
+        x[0] = Complex::real(1.0);
+        fft(&mut x);
+        for z in &x {
+            assert_close(z.re, 1.0, 1e-12);
+            assert_close(z.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut x = vec![Complex::real(1.0); 16];
+        fft(&mut x);
+        assert_close(x[0].re, 16.0, 1e-12);
+        for z in &x[1..] {
+            assert_close(z.re, 0.0, 1e-10);
+            assert_close(z.im, 0.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let orig: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert_close(a.re, b.re, 1e-10);
+            assert_close(a.im, b.im, 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let n = x.len();
+        let naive: Vec<Complex> = (0..n)
+            .map(|j| {
+                let mut acc = Complex::default();
+                for (k, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                    acc = acc + v.mul(Complex::new(ang.cos(), ang.sin()));
+                }
+                acc
+            })
+            .collect();
+        let mut fast = x.clone();
+        fft(&mut fast);
+        for (a, b) in fast.iter().zip(naive.iter()) {
+            assert_close(a.re, b.re, 1e-9);
+            assert_close(a.im, b.im, 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut x = vec![Complex::default(); 12];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let x: Vec<Complex> = (0..128)
+            .map(|i| Complex::real(((i * 31) % 17) as f64 / 17.0 - 0.5))
+            .collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut f = x.clone();
+        fft(&mut f);
+        let freq_energy: f64 = f.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        assert_close(time_energy, freq_energy, 1e-9);
+    }
+
+    #[test]
+    fn autocovariance_fft_matches_direct() {
+        let x: Vec<f64> = (0..200)
+            .map(|i| ((i as f64 * 0.17).sin() + (i as f64 * 0.03).cos()) * 2.0)
+            .collect();
+        let max_lag = 20;
+        let fast = autocovariance_fft(&x, max_lag);
+        let n = x.len() as f64;
+        for (k, &f) in fast.iter().enumerate() {
+            let direct: f64 = x
+                .iter()
+                .zip(x.iter().skip(k))
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+                / n;
+            assert_close(f, direct, 1e-9);
+        }
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let p = a.mul(b);
+        assert_close(p.re, 5.0, 0.0);
+        assert_close(p.im, 5.0, 0.0);
+        assert_eq!(a.conj().im, -2.0);
+        assert_close(a.norm_sqr(), 5.0, 0.0);
+        let s = a + b;
+        assert_eq!((s.re, s.im), (4.0, 1.0));
+        let d = a - b;
+        assert_eq!((d.re, d.im), (-2.0, 3.0));
+    }
+
+    #[test]
+    fn power_of_two_helpers() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(12));
+        assert_eq!(next_power_of_two(5), 8);
+        assert_eq!(next_power_of_two(8), 8);
+    }
+
+    #[test]
+    fn fft_real_pads() {
+        let spec = fft_real(&[1.0, 2.0, 3.0], 8);
+        assert_eq!(spec.len(), 8);
+        assert_close(spec[0].re, 6.0, 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn fft_roundtrip_random(log_n in 1usize..10, seed in 0u64..1000) {
+            let n = 1usize << log_n;
+            // Cheap deterministic pseudo-data from the seed.
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            };
+            let orig: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+            let mut x = orig.clone();
+            fft(&mut x);
+            ifft(&mut x);
+            for (a, b) in x.iter().zip(orig.iter()) {
+                prop_assert!((a.re - b.re).abs() < 1e-9);
+                prop_assert!((a.im - b.im).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn fft_is_linear(log_n in 1usize..8, c in -3.0f64..3.0) {
+            let n = 1usize << log_n;
+            let a: Vec<Complex> = (0..n).map(|i| Complex::real((i as f64 * 0.7).sin())).collect();
+            let b: Vec<Complex> = (0..n).map(|i| Complex::real((i as f64 * 0.3).cos())).collect();
+            let mut fa = a.clone();
+            fft(&mut fa);
+            let mut fb = b.clone();
+            fft(&mut fb);
+            let mut combo: Vec<Complex> = a
+                .iter()
+                .zip(b.iter())
+                .map(|(x, y)| Complex::new(x.re + c * y.re, x.im + c * y.im))
+                .collect();
+            fft(&mut combo);
+            for i in 0..n {
+                prop_assert!((combo[i].re - (fa[i].re + c * fb[i].re)).abs() < 1e-8);
+                prop_assert!((combo[i].im - (fa[i].im + c * fb[i].im)).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn autocovariance_fft_lag0_is_mean_square(len in 10usize..300) {
+            let xs: Vec<f64> = (0..len).map(|i| ((i * 31 % 17) as f64) / 17.0 - 0.5).collect();
+            let cov = autocovariance_fft(&xs, 0);
+            let direct: f64 = xs.iter().map(|x| x * x).sum::<f64>() / len as f64;
+            prop_assert!((cov[0] - direct).abs() < 1e-9);
+        }
+    }
+}

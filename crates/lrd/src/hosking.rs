@@ -1,0 +1,746 @@
+//! Hosking's exact method for sampling a stationary Gaussian process with an
+//! arbitrary autocorrelation function (§2 of the paper).
+//!
+//! The Durbin–Levinson recursion maintains the partial linear-regression
+//! coefficients `φ_{k,j}` and the prediction-error variance `v_k` so that
+//!
+//! ```text
+//! m_k = Σ_{j=1..k} φ_{k,j} · x_{k-j}          (conditional mean, eq. 1)
+//! v_k = v_{k-1} · (1 − φ_{k,k}²),  v_0 = 1    (conditional variance, eq. 2)
+//! ```
+//!
+//! and each sample is drawn as `x_k ~ N(m_k, v_k)`. (The paper's eq. 3 has a
+//! typo — the sum must run over `r(k−j)`, not `r(k)`; we implement the
+//! standard recursion, which is what the authors' other equations assume.)
+//!
+//! Beyond plain generation, the sampler exposes per-step conditional
+//! moments, innovations, and `Σ_j φ_{k,j}`: these are exactly the quantities
+//! the importance-sampling likelihood ratio of Appendix B (eqs. 42–48)
+//! needs, so the `svbr-is` crate drives this type directly.
+//!
+//! Cost is O(k) per step (O(n²) per trace) and O(n) memory. For long traces
+//! use [`TruncatedHosking`] (an AR(M) approximation that freezes the
+//! regression coefficients after lag M) or the O(n log n) exact
+//! [`crate::davies_harte::DaviesHarte`] generator.
+
+use crate::acf::Acf;
+use crate::gauss::Normal;
+use crate::LrdError;
+use rand::Rng;
+
+/// What to do when the ACF turns out not to be positive definite
+/// (|partial correlation| ≥ 1 at some lag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NonPdPolicy {
+    /// Return [`LrdError::NotPositiveDefinite`].
+    #[default]
+    Error,
+    /// Freeze the regression at the last valid order: if the recursion
+    /// first violates positive definiteness at lag `k₀`, all subsequent
+    /// samples are drawn from the AR(k₀−1) model defined by the last valid
+    /// coefficients. The output is exact for the first `k₀` samples and a
+    /// well-behaved short-memory approximation beyond.
+    ///
+    /// For ACFs that are *nearly* PD (like the paper's piecewise composite
+    /// fit before projection), prefer repairing the ACF itself with
+    /// [`crate::davies_harte::pd_project`] — freezing is the pragmatic
+    /// fallback, projection is the accurate fix.
+    Freeze,
+}
+
+/// Conditional moments of the next sample given the history so far.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CondMoments {
+    /// Conditional mean `m_k = Σ φ_{k,j} x_{k-j}`.
+    pub mean: f64,
+    /// Conditional variance `v_k`.
+    pub var: f64,
+    /// `Σ_j φ_{k,j}` — the regression weights' sum, used by the
+    /// importance-sampling likelihood ratio.
+    pub phi_sum: f64,
+}
+
+/// Everything produced by one generation step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoskingStep {
+    /// The generated value `x_k`.
+    pub value: f64,
+    /// Conditional mean `m_k` given the history.
+    pub cond_mean: f64,
+    /// Conditional variance `v_k`.
+    pub cond_var: f64,
+    /// The innovation `x_k − m_k`.
+    pub innovation: f64,
+    /// `Σ_j φ_{k,j}`.
+    pub phi_sum: f64,
+}
+
+/// Incremental exact sampler for a zero-mean, unit-variance stationary
+/// Gaussian process with autocorrelation `r(k)`.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use svbr_lrd::acf::FgnAcf;
+/// use svbr_lrd::hosking::HoskingSampler;
+///
+/// let acf = FgnAcf::new(0.9).unwrap();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let path = HoskingSampler::new(&acf).generate(256, &mut rng).unwrap();
+/// assert_eq!(path.len(), 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HoskingSampler<A> {
+    acf: A,
+    policy: NonPdPolicy,
+    /// Cached `r(0..)` values, extended lazily.
+    r: Vec<f64>,
+    /// `φ_{k,j}` for the most recently completed step, `phi[j-1] = φ_{k,j}`.
+    phi: Vec<f64>,
+    /// Scratch buffer holding the previous step's coefficients.
+    phi_prev: Vec<f64>,
+    /// Generated history `x_0 … x_{k-1}`.
+    history: Vec<f64>,
+    /// Current prediction-error variance `v_{k-1}` (v for the *next* sample
+    /// is computed during [`Self::next_moments`]).
+    v: f64,
+    /// Moments already computed for the next step but not yet consumed.
+    pending: Option<CondMoments>,
+    /// Lag at which the recursion froze (see [`NonPdPolicy::Freeze`]).
+    frozen_at: Option<usize>,
+    normal: Normal,
+}
+
+impl<A: Acf> HoskingSampler<A> {
+    /// Create a sampler that errors on non-positive-definite ACFs.
+    pub fn new(acf: A) -> Self {
+        Self::with_policy(acf, NonPdPolicy::Error)
+    }
+
+    /// Create a sampler with an explicit non-PD policy.
+    pub fn with_policy(acf: A, policy: NonPdPolicy) -> Self {
+        Self {
+            acf,
+            policy,
+            r: vec![1.0],
+            phi: Vec::new(),
+            phi_prev: Vec::new(),
+            history: Vec::new(),
+            v: 1.0,
+            pending: None,
+            frozen_at: None,
+            normal: Normal::new(),
+        }
+    }
+
+    /// The lag at which the recursion froze under [`NonPdPolicy::Freeze`],
+    /// if it did.
+    pub fn frozen_at(&self) -> Option<usize> {
+        self.frozen_at
+    }
+
+    /// Number of samples generated (or pushed) so far.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The generated history so far.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    fn r_at(&mut self, k: usize) -> f64 {
+        while self.r.len() <= k {
+            let v = self.acf.r(self.r.len());
+            self.r.push(v);
+        }
+        self.r[k]
+    }
+
+    /// Advance the Durbin–Levinson recursion for the next step and return
+    /// the conditional moments of `X_k | x_{k-1}, …, x_0`.
+    ///
+    /// Idempotent: calling twice without an intervening [`Self::push`]
+    /// returns the same moments.
+    pub fn next_moments(&mut self) -> Result<CondMoments, LrdError> {
+        if let Some(m) = self.pending {
+            return Ok(m);
+        }
+        let k = self.history.len();
+        let m = if k == 0 {
+            CondMoments {
+                mean: 0.0,
+                var: 1.0,
+                phi_sum: 0.0,
+            }
+        } else {
+            if self.frozen_at.is_none() {
+                // Numerator: r(k) − Σ_{j=1}^{k−1} φ_{k−1,j}·r(k−j)
+                let mut num = self.r_at(k);
+                for j in 1..k {
+                    num -= self.phi[j - 1] * self.r_at(k - j);
+                }
+                let kappa = num / self.v;
+                if kappa.abs() >= 1.0 {
+                    match self.policy {
+                        NonPdPolicy::Error => {
+                            return Err(LrdError::NotPositiveDefinite { lag: k });
+                        }
+                        NonPdPolicy::Freeze => {
+                            self.frozen_at = Some(k);
+                        }
+                    }
+                } else {
+                    // φ_{k,j} = φ_{k−1,j} − κ·φ_{k−1,k−j}
+                    self.phi_prev.clear();
+                    self.phi_prev.extend_from_slice(&self.phi);
+                    for j in 1..k {
+                        self.phi[j - 1] = self.phi_prev[j - 1] - kappa * self.phi_prev[k - j - 1];
+                    }
+                    self.phi.push(kappa);
+                    self.v *= 1.0 - kappa * kappa;
+                }
+            }
+            // Frozen or not, the moments come from the current coefficient
+            // vector regressing on the most recent phi.len() values.
+            let p = self.phi.len();
+            let mut mean = 0.0;
+            let mut phi_sum = 0.0;
+            for j in 1..=p {
+                mean += self.phi[j - 1] * self.history[k - j];
+                phi_sum += self.phi[j - 1];
+            }
+            CondMoments {
+                mean,
+                var: self.v,
+                phi_sum,
+            }
+        };
+        self.pending = Some(m);
+        Ok(m)
+    }
+
+    /// Append an externally chosen value for the step whose moments were
+    /// returned by [`Self::next_moments`]. Used by the importance-sampling
+    /// driver, which draws from a *twisted* conditional distribution.
+    ///
+    /// # Panics
+    /// Panics if called without a preceding `next_moments`.
+    pub fn push(&mut self, value: f64) {
+        assert!(
+            self.pending.take().is_some(),
+            "push() requires a preceding next_moments()"
+        );
+        self.history.push(value);
+    }
+
+    /// Generate one sample `x_k ~ N(m_k, v_k)`.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<HoskingStep, LrdError> {
+        let m = self.next_moments()?;
+        let value = self.normal.sample_with(rng, m.mean, m.var);
+        self.push(value);
+        Ok(HoskingStep {
+            value,
+            cond_mean: m.mean,
+            cond_var: m.var,
+            innovation: value - m.mean,
+            phi_sum: m.phi_sum,
+        })
+    }
+
+    /// Generate `n` samples, consuming and returning the full history.
+    pub fn generate<R: Rng + ?Sized>(
+        mut self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, LrdError> {
+        while self.history.len() < n {
+            self.step(rng)?;
+        }
+        self.history.truncate(n);
+        Ok(self.history)
+    }
+}
+
+/// Convenience: generate `n` samples of a zero-mean unit-variance Gaussian
+/// process with the given ACF using Hosking's exact method.
+pub fn generate<A: Acf, R: Rng + ?Sized>(
+    acf: A,
+    n: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>, LrdError> {
+    HoskingSampler::new(acf).generate(n, rng)
+}
+
+/// Precomputed Durbin–Levinson state for generating many replications of
+/// the *same* process.
+///
+/// The regression rows `φ_{k,·}` and variances `v_k` depend only on the
+/// ACF, not on the sample path, so a replicated experiment (the paper runs
+/// 1000 replications per point in Figs. 14–17) should compute them once.
+/// Memory is O(n²/2) f64s — ~25 MB at n = 2500, the paper's longest
+/// horizon.
+///
+/// [`PreparedHosking::moments`] exposes the same conditional moments as
+/// [`HoskingSampler::next_moments`], which is what the importance-sampling
+/// driver consumes.
+#[derive(Debug, Clone)]
+pub struct PreparedHosking {
+    /// `rows[k]` = `φ_{k,1..k}` (row 0 is empty).
+    rows: Vec<Vec<f64>>,
+    /// `v[k]` = conditional variance of step k.
+    v: Vec<f64>,
+    /// `phi_sum[k]` = Σ_j φ_{k,j}.
+    phi_sum: Vec<f64>,
+}
+
+impl PreparedHosking {
+    /// Run the recursion once for a horizon of `n` steps.
+    pub fn new<A: Acf>(acf: A, n: usize) -> Result<Self, LrdError> {
+        let mut s = HoskingSampler::new(&acf);
+        let mut rows = Vec::with_capacity(n);
+        let mut v = Vec::with_capacity(n);
+        let mut phi_sum = Vec::with_capacity(n);
+        for _ in 0..n {
+            let m = s.next_moments()?;
+            rows.push(s.phi.clone());
+            v.push(m.var);
+            phi_sum.push(m.phi_sum);
+            s.push(0.0); // history values don't affect the recursion
+        }
+        Ok(Self { rows, v, phi_sum })
+    }
+
+    /// Horizon (number of prepared steps).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no steps were prepared.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Conditional moments of step `k` given `history` (`history.len()`
+    /// must be ≥ k; only the most recent k values are read).
+    ///
+    /// # Panics
+    /// Panics if `k >= len()` or the history is shorter than `k`.
+    pub fn moments(&self, k: usize, history: &[f64]) -> CondMoments {
+        let row = &self.rows[k];
+        assert!(history.len() >= k, "need k history values");
+        let mut mean = 0.0;
+        let h = history.len();
+        for (j, &phi) in row.iter().enumerate() {
+            mean += phi * history[h - 1 - j];
+        }
+        CondMoments {
+            mean,
+            var: self.v[k],
+            phi_sum: self.phi_sum[k],
+        }
+    }
+
+    /// Generate one path of length `len()`.
+    pub fn sample_path<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut normal = Normal::new();
+        let mut xs = Vec::with_capacity(self.len());
+        for k in 0..self.len() {
+            let m = self.moments(k, &xs);
+            xs.push(normal.sample_with(rng, m.mean, m.var));
+        }
+        xs
+    }
+}
+
+/// Memory-truncated Hosking generator: runs the exact Durbin–Levinson
+/// recursion up to lag `M`, then freezes the AR(M) coefficients
+/// `φ_{M,1..M}` and prediction variance `v_M` and generates
+///
+/// `x_k ~ N(Σ_{j=1..M} φ_{M,j}·x_{k-j}, v_M)` for `k > M`.
+///
+/// This is exact for the first `M+1` samples and an AR(M) approximation
+/// afterwards; with `M` well past the ACF knee it preserves the SRD
+/// structure exactly and the LRD structure out to lag ≈ M, at O(M) per step
+/// instead of O(k).
+#[derive(Debug, Clone)]
+pub struct TruncatedHosking {
+    /// Frozen AR coefficients (only populated once `k > M`).
+    coeffs: Vec<f64>,
+    frozen_var: f64,
+    frozen_phi_sum: f64,
+    memory: usize,
+}
+
+impl TruncatedHosking {
+    /// Precompute the AR(`memory`) model for the given ACF.
+    pub fn new<A: Acf>(acf: A, memory: usize) -> Result<Self, LrdError> {
+        Self::with_policy(acf, memory, NonPdPolicy::Error)
+    }
+
+    /// Like [`Self::new`] with an explicit non-positive-definite policy.
+    pub fn with_policy<A: Acf>(
+        acf: A,
+        memory: usize,
+        policy: NonPdPolicy,
+    ) -> Result<Self, LrdError> {
+        if memory == 0 {
+            return Err(LrdError::InvalidParameter {
+                name: "memory",
+                constraint: "memory >= 1",
+            });
+        }
+        let mut s = HoskingSampler::with_policy(&acf, policy);
+        // Drive the recursion M steps with dummy values; only φ and v matter.
+        for _ in 0..=memory {
+            let _ = s.next_moments()?;
+            s.push(0.0);
+        }
+        let frozen_phi_sum = s.phi.iter().sum();
+        Ok(Self {
+            coeffs: s.phi,
+            frozen_var: s.v,
+            frozen_phi_sum,
+            memory,
+        })
+    }
+
+    /// The AR order M.
+    pub fn memory(&self) -> usize {
+        self.memory
+    }
+
+    /// The frozen innovation variance `v_M`.
+    pub fn innovation_variance(&self) -> f64 {
+        self.frozen_var
+    }
+
+    /// The frozen coefficient sum `Σ φ_{M,j}`.
+    pub fn phi_sum(&self) -> f64 {
+        self.frozen_phi_sum
+    }
+
+    /// Generate `n` samples. The warm-up (first `memory` samples) is drawn
+    /// with the exact recursion, so short traces coincide with
+    /// [`HoskingSampler`] in distribution.
+    pub fn generate<A: Acf, R: Rng + ?Sized>(
+        &self,
+        acf: A,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, LrdError> {
+        let mut normal = Normal::new();
+        let warm = n.min(self.memory + 1);
+        let mut exact = HoskingSampler::with_policy(&acf, NonPdPolicy::Freeze);
+        let mut xs = Vec::with_capacity(n);
+        for _ in 0..warm {
+            xs.push(exact.step(rng)?.value);
+        }
+        let m = self.memory;
+        for k in warm..n {
+            let mut mean = 0.0;
+            for j in 1..=m {
+                mean += self.coeffs[j - 1] * xs[k - j];
+            }
+            xs.push(normal.sample_with(rng, mean, self.frozen_var));
+        }
+        Ok(xs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acf::{CompositeAcf, ExponentialAcf, FgnAcf};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (0..=max_lag)
+            .map(|k| {
+                xs.iter()
+                    .zip(xs.iter().skip(k))
+                    .map(|(a, b)| (a - mean) * (b - mean))
+                    .sum::<f64>()
+                    / n
+                    / var
+            })
+            .collect()
+    }
+
+    #[test]
+    fn white_noise_has_unit_conditional_variance() {
+        let acf = FgnAcf::new(0.5).unwrap();
+        let mut s = HoskingSampler::new(acf);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let st = s.step(&mut rng).unwrap();
+            assert!((st.cond_var - 1.0).abs() < 1e-9);
+            assert!(st.cond_mean.abs() < 1e-9);
+            assert!(st.phi_sum.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ar1_conditional_structure() {
+        // ACF exp(-λk) is AR(1) with φ = e^{-λ}: after the first step the
+        // conditional mean must be φ·x_{k-1} and variance 1−φ².
+        let lambda = 0.3_f64;
+        let phi = (-lambda).exp();
+        let acf = ExponentialAcf::new(lambda).unwrap();
+        let mut s = HoskingSampler::new(acf);
+        let mut rng = StdRng::seed_from_u64(2);
+        let first = s.step(&mut rng).unwrap();
+        for _ in 0..20 {
+            let prev = *s.history().last().unwrap();
+            let st = s.step(&mut rng).unwrap();
+            assert!((st.cond_mean - phi * prev).abs() < 1e-9, "AR(1) mean");
+            assert!((st.cond_var - (1.0 - phi * phi)).abs() < 1e-9, "AR(1) var");
+            assert!((st.phi_sum - phi).abs() < 1e-9);
+        }
+        assert!((first.cond_var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_decreases_monotonically_for_persistent_process() {
+        let acf = FgnAcf::new(0.85).unwrap();
+        let mut s = HoskingSampler::new(acf);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut last_v = f64::INFINITY;
+        for _ in 0..100 {
+            let st = s.step(&mut rng).unwrap();
+            assert!(st.cond_var <= last_v + 1e-12);
+            assert!(st.cond_var > 0.0);
+            last_v = st.cond_var;
+        }
+    }
+
+    #[test]
+    fn generated_acf_matches_target_fgn() {
+        let h = 0.8;
+        let acf = FgnAcf::new(h).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs = generate(acf, 20_000, &mut rng).unwrap();
+        let est = sample_acf(&xs, 10);
+        for k in 1..=10 {
+            assert!(
+                (est[k] - acf.r(k)).abs() < 0.05,
+                "lag {k}: est {} vs target {}",
+                est[k],
+                acf.r(k)
+            );
+        }
+    }
+
+    #[test]
+    fn generated_acf_matches_composite_target() {
+        // The raw piecewise fit is not PD; project it first (the unified
+        // pipeline does the same), then Hosking runs with the strict policy.
+        let acf = CompositeAcf::paper_fit();
+        let projected = crate::davies_harte::pd_project(&acf, 2048).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        // Average the per-lag sample autocovariance across paths: LRD
+        // single-path ACF estimates are far too noisy to test against.
+        let n = 1024;
+        let paths = 30;
+        let mut cov = vec![0.0; 61];
+        for _ in 0..paths {
+            let xs = HoskingSampler::new(&projected)
+                .generate(n, &mut rng)
+                .unwrap();
+            for (k, c) in cov.iter_mut().enumerate() {
+                *c += xs
+                    .iter()
+                    .zip(xs.iter().skip(k))
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    / n as f64
+                    / paths as f64;
+            }
+        }
+        for k in [1usize, 5, 20, 59] {
+            let est = cov[k] / cov[0];
+            assert!(
+                (est - acf.r(k)).abs() < 0.1,
+                "lag {k}: est {est} vs target {}",
+                acf.r(k)
+            );
+        }
+    }
+
+    #[test]
+    fn marginal_is_standard_normal() {
+        let acf = FgnAcf::new(0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let xs = generate(acf, 20_000, &mut rng).unwrap();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        // For H = 0.9 the sample mean has sd ≈ n^{H-1} ≈ 0.37 at n = 20000 —
+        // LRD converges *slowly*; the bounds are ±3σ-ish, not tight.
+        assert!(mean.abs() < 1.1, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.35, "var {var}");
+    }
+
+    #[test]
+    fn push_without_moments_panics() {
+        let acf = FgnAcf::new(0.7).unwrap();
+        let mut s = HoskingSampler::new(acf);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.push(0.0)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn next_moments_is_idempotent() {
+        let acf = FgnAcf::new(0.7).unwrap();
+        let mut s = HoskingSampler::new(acf);
+        let a = s.next_moments().unwrap();
+        let b = s.next_moments().unwrap();
+        assert_eq!(a, b);
+        s.push(1.5);
+        let c = s.next_moments().unwrap();
+        assert!(c.mean != 0.0, "conditioned on pushed value");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let acf = FgnAcf::new(0.9).unwrap();
+        let mut r1 = StdRng::seed_from_u64(77);
+        let mut r2 = StdRng::seed_from_u64(77);
+        let a = generate(acf, 500, &mut r1).unwrap();
+        let b = generate(acf, 500, &mut r2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_pd_acf_is_rejected() {
+        // r(1) = 0.99, r(k)=0 afterwards is far from positive definite
+        // (needs r(2) >= 2·0.99² − 1 ≈ 0.96).
+        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99]).unwrap();
+        let mut s = HoskingSampler::new(t);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut failed = None;
+        for k in 0..10 {
+            if let Err(e) = s.step(&mut rng) {
+                failed = Some((k, e));
+                break;
+            }
+        }
+        let (_, e) = failed.expect("should fail");
+        assert!(matches!(e, LrdError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn freeze_policy_survives_non_pd() {
+        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99]).unwrap();
+        let mut s = HoskingSampler::with_policy(t, NonPdPolicy::Freeze);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let st = s.step(&mut rng).unwrap();
+            assert!(st.cond_var > 0.0);
+            assert!(st.value.is_finite());
+        }
+        // r(2)=0 needs r(2) >= 2·0.99²−1 for PD, so the freeze must trigger
+        // at lag 2 and the sampler continues as an AR(1) with φ = 0.99.
+        assert_eq!(s.frozen_at(), Some(2));
+        let m = s.next_moments().unwrap();
+        assert!((m.phi_sum - 0.99).abs() < 1e-12);
+        assert!((m.var - (1.0 - 0.99 * 0.99)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_matches_exact_within_memory() {
+        // For an AR(1)-like exponential ACF, truncation at any M >= 1 is
+        // exact: the frozen coefficients are (φ, 0, 0, …).
+        let acf = ExponentialAcf::new(0.2).unwrap();
+        let t = TruncatedHosking::new(&acf, 10).unwrap();
+        let phi = (-0.2f64).exp();
+        assert!((t.phi_sum() - phi).abs() < 1e-9);
+        assert!((t.innovation_variance() - (1.0 - phi * phi)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_generates_plausible_lrd() {
+        let acf = FgnAcf::new(0.85).unwrap();
+        let t = TruncatedHosking::new(&acf, 200).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let xs = t.generate(&acf, 20_000, &mut rng).unwrap();
+        let est = sample_acf(&xs, 50);
+        for k in [1usize, 10, 50] {
+            assert!(
+                (est[k] - acf.r(k)).abs() < 0.08,
+                "lag {k}: est {} vs target {}",
+                est[k],
+                acf.r(k)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_rejects_zero_memory() {
+        let acf = FgnAcf::new(0.8).unwrap();
+        assert!(TruncatedHosking::new(&acf, 0).is_err());
+    }
+
+    #[test]
+    fn prepared_matches_incremental_moments() {
+        let acf = FgnAcf::new(0.85).unwrap();
+        let prep = PreparedHosking::new(&acf, 50).unwrap();
+        assert_eq!(prep.len(), 50);
+        assert!(!prep.is_empty());
+        let mut s = HoskingSampler::new(&acf);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut history = Vec::new();
+        for k in 0..50 {
+            let inc = s.next_moments().unwrap();
+            let pre = prep.moments(k, &history);
+            assert!((inc.mean - pre.mean).abs() < 1e-12, "mean at {k}");
+            assert!((inc.var - pre.var).abs() < 1e-12, "var at {k}");
+            assert!((inc.phi_sum - pre.phi_sum).abs() < 1e-12, "phi_sum at {k}");
+            let x = inc.mean + inc.var.sqrt() * rng.gen_range(-1.0..1.0);
+            s.push(x);
+            history.push(x);
+        }
+    }
+
+    #[test]
+    fn prepared_sample_path_statistics() {
+        let acf = ExponentialAcf::new(0.2).unwrap();
+        let prep = PreparedHosking::new(&acf, 200).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut r1_acc = 0.0;
+        let reps = 300;
+        for _ in 0..reps {
+            let xs = prep.sample_path(&mut rng);
+            let c1: f64 = xs.windows(2).map(|w| w[0] * w[1]).sum::<f64>() / (xs.len() - 1) as f64;
+            r1_acc += c1 / reps as f64;
+        }
+        let target = (-0.2f64).exp();
+        assert!((r1_acc - target).abs() < 0.02, "r1 {r1_acc} vs {target}");
+    }
+
+    #[test]
+    fn prepared_rejects_non_pd() {
+        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99]).unwrap();
+        assert!(PreparedHosking::new(&t, 10).is_err());
+    }
+
+    #[test]
+    fn history_accessors() {
+        let acf = FgnAcf::new(0.6).unwrap();
+        let mut s = HoskingSampler::new(acf);
+        assert!(s.is_empty());
+        let mut rng = StdRng::seed_from_u64(11);
+        s.step(&mut rng).unwrap();
+        s.step(&mut rng).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.history().len(), 2);
+    }
+}

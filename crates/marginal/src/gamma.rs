@@ -1,0 +1,200 @@
+//! Gamma distribution — the "body" of the Gamma/Pareto video marginal.
+
+use crate::special::{gamma_p, inv_gamma_p, ln_gamma};
+use crate::{Marginal, MarginalError};
+use rand::Rng;
+
+/// Gamma(shape k, scale θ) with density
+/// `f(x) = x^{k−1} e^{−x/θ} / (Γ(k) θ^k)`, `x > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Construct with `shape > 0`, `scale > 0`.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, MarginalError> {
+        if shape > 0.0 && shape.is_finite() && scale > 0.0 && scale.is_finite() {
+            Ok(Self { shape, scale })
+        } else {
+            Err(MarginalError::InvalidParameter {
+                name: "shape/scale",
+                constraint: "both > 0 and finite",
+            })
+        }
+    }
+
+    /// Method-of-moments fit: `shape = mean²/var`, `scale = var/mean`.
+    pub fn from_moments(mean: f64, var: f64) -> Result<Self, MarginalError> {
+        if mean > 0.0 && var > 0.0 {
+            Self::new(mean * mean / var, var / mean)
+        } else {
+            Err(MarginalError::InvalidParameter {
+                name: "mean/var",
+                constraint: "both > 0",
+            })
+        }
+    }
+
+    /// The shape parameter k.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter θ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k = self.shape;
+        ((k - 1.0) * x.ln() - x / self.scale - ln_gamma(k) - k * self.scale.ln()).exp()
+    }
+
+    /// Draw a sample via Marsaglia–Tsang (with the shape<1 boost).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let k = self.shape;
+        if k < 1.0 {
+            // Boost: Gamma(k) = Gamma(k+1) · U^{1/k}
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            return Gamma {
+                shape: k + 1.0,
+                scale: self.scale,
+            }
+            .sample(rng)
+                * u.powf(1.0 / k);
+        }
+        let d = k - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            // Polar normal variate.
+            let x = loop {
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                let s = u * u + v * v;
+                if s > 0.0 && s < 1.0 {
+                    break u * (-2.0 * s.ln() / s).sqrt();
+                }
+            };
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+                return d * v3 * self.scale;
+            }
+        }
+    }
+}
+
+impl Marginal for Gamma {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.shape, x / self.scale)
+        }
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0 - 1e-16);
+        self.scale * inv_gamma_p(self.shape, p)
+    }
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn exponential_special_case() {
+        // Gamma(1, θ) is Exp(θ): F(x) = 1 − e^{−x/θ}.
+        let d = Gamma::new(1.0, 2.0).unwrap();
+        for x in [0.5, 1.0, 3.0] {
+            close(d.cdf(x), 1.0 - (-x / 2.0f64).exp(), 1e-12);
+        }
+        close(d.quantile(0.5), 2.0 * std::f64::consts::LN_2, 1e-9);
+    }
+
+    #[test]
+    fn moments() {
+        let d = Gamma::new(3.0, 2.0).unwrap();
+        close(d.mean(), 6.0, 0.0);
+        close(d.variance(), 12.0, 0.0);
+    }
+
+    #[test]
+    fn from_moments_roundtrip() {
+        let d = Gamma::from_moments(6.0, 12.0).unwrap();
+        close(d.shape(), 3.0, 1e-12);
+        close(d.scale(), 2.0, 1e-12);
+        assert!(Gamma::from_moments(-1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn quantile_cdf_roundtrip() {
+        let d = Gamma::new(2.5, 1.5).unwrap();
+        for p in [0.01, 0.1, 0.5, 0.9, 0.999] {
+            close(d.cdf(d.quantile(p)), p, 1e-9);
+        }
+    }
+
+    #[test]
+    fn cdf_boundaries() {
+        let d = Gamma::new(2.0, 1.0).unwrap();
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.cdf(-5.0), 0.0);
+        close(d.cdf(1e6), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (shape, scale) in [(0.5, 1.0), (2.0, 3.0), (9.0, 0.5)] {
+            let d = Gamma::new(shape, scale).unwrap();
+            let n = 100_000;
+            let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            close(mean, d.mean(), 0.03 * d.mean());
+            close(var, d.variance(), 0.08 * d.variance());
+            assert!(xs.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn sampling_matches_cdf() {
+        // Empirical fraction below the true median ≈ 0.5.
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Gamma::new(3.0, 2.0).unwrap();
+        let median = d.quantile(0.5);
+        let n = 50_000;
+        let below = (0..n).filter(|_| d.sample(&mut rng) < median).count() as f64 / n as f64;
+        close(below, 0.5, 0.01);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(Gamma::new(f64::INFINITY, 1.0).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Lognormal distribution — a common alternative marginal for per-frame
+//! video bit counts (used in the teleconference-video literature the paper
+//! cites).
+
+use crate::normal::{norm_cdf, norm_quantile};
+use crate::{Marginal, MarginalError};
+
+/// Lognormal(μ, σ): `ln Y ~ N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lognormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Lognormal {
+    /// Construct with log-scale σ > 0.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, MarginalError> {
+        if sigma > 0.0 && sigma.is_finite() && mu.is_finite() {
+            Ok(Self { mu, sigma })
+        } else {
+            Err(MarginalError::InvalidParameter {
+                name: "sigma",
+                constraint: "sigma > 0 and finite",
+            })
+        }
+    }
+
+    /// Method-of-moments fit from a target mean and variance.
+    pub fn from_moments(mean: f64, var: f64) -> Result<Self, MarginalError> {
+        if mean > 0.0 && var > 0.0 {
+            let s2 = (1.0 + var / (mean * mean)).ln();
+            Self::new(mean.ln() - s2 / 2.0, s2.sqrt())
+        } else {
+            Err(MarginalError::InvalidParameter {
+                name: "mean/var",
+                constraint: "both > 0",
+            })
+        }
+    }
+}
+
+impl Marginal for Lognormal {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            norm_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(1e-300, 1.0 - 1e-16);
+        (self.mu + self.sigma * norm_quantile(p)).exp()
+    }
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = Lognormal::new(1.0, 0.5).unwrap();
+        close(d.quantile(0.5), 1.0f64.exp(), 1e-9);
+        close(d.cdf(1.0f64.exp()), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn moments() {
+        let d = Lognormal::new(0.0, 1.0).unwrap();
+        close(d.mean(), (0.5f64).exp(), 1e-12);
+        close(
+            d.variance(),
+            (1f64.exp() - 1.0) * 1f64.exp(),
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn from_moments_roundtrip() {
+        let d = Lognormal::from_moments(10.0, 25.0).unwrap();
+        close(d.mean(), 10.0, 1e-9);
+        close(d.variance(), 25.0, 1e-7);
+        assert!(Lognormal::from_moments(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn quantile_cdf_roundtrip() {
+        let d = Lognormal::new(2.0, 0.7).unwrap();
+        for p in [0.001, 0.2, 0.5, 0.8, 0.999] {
+            close(d.cdf(d.quantile(p)), p, 1e-10);
+        }
+    }
+
+    #[test]
+    fn support_is_positive() {
+        let d = Lognormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.cdf(-3.0), 0.0);
+        assert!(d.quantile(1e-12) > 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Lognormal::new(0.0, 0.0).is_err());
+        assert!(Lognormal::new(f64::NAN, 1.0).is_err());
+    }
+}

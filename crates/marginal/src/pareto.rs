@@ -1,0 +1,126 @@
+//! Pareto distribution — the heavy tail of the VBR video marginal.
+
+use crate::{Marginal, MarginalError};
+
+/// Pareto(xₘ, α): `F(x) = 1 − (xₘ/x)^α` for `x ≥ xₘ`.
+///
+/// The long marginal tail of bytes-per-frame in compressed video (observed
+/// in the paper's Fig. 1 and modeled as Gamma/Pareto in Garrett–Willinger)
+/// is Pareto-like; α ∈ (1, 2) gives finite mean but infinite variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Construct with minimum `xm > 0` and tail index `alpha > 0`.
+    pub fn new(xm: f64, alpha: f64) -> Result<Self, MarginalError> {
+        if xm > 0.0 && xm.is_finite() && alpha > 0.0 && alpha.is_finite() {
+            Ok(Self { xm, alpha })
+        } else {
+            Err(MarginalError::InvalidParameter {
+                name: "xm/alpha",
+                constraint: "both > 0 and finite",
+            })
+        }
+    }
+
+    /// The minimum (scale) parameter xₘ.
+    pub fn min(&self) -> f64 {
+        self.xm
+    }
+
+    /// The tail index α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Survival function `P(Y > x) = (xₘ/x)^α` for `x ≥ xₘ`.
+    pub fn survival(&self, x: f64) -> f64 {
+        if x <= self.xm {
+            1.0
+        } else {
+            (self.xm / x).powf(self.alpha)
+        }
+    }
+}
+
+impl Marginal for Pareto {
+    fn cdf(&self, x: f64) -> f64 {
+        1.0 - self.survival(x)
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0 - 1e-16);
+        self.xm * (1.0 - p).powf(-1.0 / self.alpha)
+    }
+    fn mean(&self) -> f64 {
+        if self.alpha > 1.0 {
+            self.alpha * self.xm / (self.alpha - 1.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+    fn variance(&self) -> f64 {
+        if self.alpha > 2.0 {
+            let a = self.alpha;
+            self.xm * self.xm * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn cdf_values() {
+        let d = Pareto::new(1.0, 2.0).unwrap();
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert_eq!(d.cdf(1.0), 0.0);
+        close(d.cdf(2.0), 0.75, 1e-15);
+        close(d.survival(10.0), 0.01, 1e-15);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        let d = Pareto::new(3.0, 1.5).unwrap();
+        for p in [0.0, 0.1, 0.5, 0.99, 0.99999] {
+            close(d.cdf(d.quantile(p)), p, 1e-12);
+        }
+        assert!(d.quantile(0.0) == 3.0);
+    }
+
+    #[test]
+    fn moments() {
+        let d = Pareto::new(1.0, 3.0).unwrap();
+        close(d.mean(), 1.5, 1e-15);
+        close(d.variance(), 3.0 / (4.0 * 1.0), 1e-12);
+        let heavy = Pareto::new(1.0, 1.5).unwrap();
+        assert!(heavy.mean().is_finite());
+        assert!(heavy.variance().is_infinite());
+        let very_heavy = Pareto::new(1.0, 0.8).unwrap();
+        assert!(very_heavy.mean().is_infinite());
+    }
+
+    #[test]
+    fn heavy_tail_dominates_exponential() {
+        // For large x, Pareto survival ≫ any exponential tail.
+        let d = Pareto::new(1.0, 1.2).unwrap();
+        let x = 10_000.0;
+        assert!(d.survival(x) > (-0.01 * x).exp() * 1e6);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(f64::NAN, 1.0).is_err());
+    }
+}

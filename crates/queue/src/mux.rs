@@ -1,0 +1,111 @@
+//! ATM-multiplexer conventions.
+//!
+//! The paper reports results against **utilization** (`ρ = E[Y]/μ`) and
+//! **normalized buffer size** ("the ratio of true buffer size to mean
+//! arrival rate"). [`Mux`] owns these conversions so every experiment uses
+//! the same definitions.
+
+use crate::QueueError;
+
+/// Conversion helper between (mean arrival rate, utilization) and
+/// (service rate, normalized buffers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mux {
+    mean_arrival: f64,
+    utilization: f64,
+}
+
+impl Mux {
+    /// Construct from the arrival process's mean per-slot load and the
+    /// target utilization `0 < ρ < 1`.
+    pub fn new(mean_arrival: f64, utilization: f64) -> Result<Self, QueueError> {
+        if !(mean_arrival > 0.0 && mean_arrival.is_finite()) {
+            return Err(QueueError::InvalidParameter {
+                name: "mean_arrival",
+                constraint: "> 0 and finite",
+            });
+        }
+        if !(utilization > 0.0 && utilization < 1.0) {
+            return Err(QueueError::InvalidParameter {
+                name: "utilization",
+                constraint: "0 < rho < 1 (stability)",
+            });
+        }
+        Ok(Self {
+            mean_arrival,
+            utilization,
+        })
+    }
+
+    /// Construct directly from an arrival path's empirical mean.
+    pub fn from_path(arrivals: &[f64], utilization: f64) -> Result<Self, QueueError> {
+        if arrivals.is_empty() {
+            return Err(QueueError::PathTooShort { needed: 1, got: 0 });
+        }
+        let mean = arrivals.iter().sum::<f64>() / arrivals.len() as f64;
+        Self::new(mean, utilization)
+    }
+
+    /// The service rate `μ = E[Y]/ρ`.
+    pub fn service_rate(&self) -> f64 {
+        self.mean_arrival / self.utilization
+    }
+
+    /// The utilization ρ.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// The mean arrival rate E[Y].
+    pub fn mean_arrival(&self) -> f64 {
+        self.mean_arrival
+    }
+
+    /// Absolute buffer size for a normalized size `b_norm`
+    /// (`b = b_norm · E[Y]`).
+    pub fn buffer(&self, normalized: f64) -> f64 {
+        normalized * self.mean_arrival
+    }
+
+    /// Normalized buffer size for an absolute one.
+    pub fn normalize(&self, absolute: f64) -> f64 {
+        absolute / self.mean_arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let m = Mux::new(4.0, 0.8).unwrap();
+        assert_eq!(m.service_rate(), 5.0);
+        assert_eq!(m.buffer(25.0), 100.0);
+        assert_eq!(m.normalize(100.0), 25.0);
+        assert_eq!(m.utilization(), 0.8);
+        assert_eq!(m.mean_arrival(), 4.0);
+    }
+
+    #[test]
+    fn from_path_uses_empirical_mean() {
+        let m = Mux::from_path(&[1.0, 3.0], 0.5).unwrap();
+        assert_eq!(m.mean_arrival(), 2.0);
+        assert_eq!(m.service_rate(), 4.0);
+    }
+
+    #[test]
+    fn stability_enforced() {
+        assert!(Mux::new(1.0, 1.0).is_err());
+        assert!(Mux::new(1.0, 0.0).is_err());
+        assert!(Mux::new(0.0, 0.5).is_err());
+        assert!(Mux::from_path(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = Mux::new(7.3, 0.42).unwrap();
+        let b = 123.4;
+        assert!((m.normalize(m.buffer(b)) - b).abs() < 1e-12);
+    }
+}

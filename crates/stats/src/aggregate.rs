@@ -1,0 +1,59 @@
+//! Block-mean aggregation `X^{(m)}` (§3.2 Step 1 of the paper).
+
+use crate::StatsError;
+
+/// Aggregate a series into non-overlapping block means of size `m`:
+///
+/// `X^{(m)}_k = (X_{km−m+1} + … + X_{km}) / m`
+///
+/// A trailing partial block is discarded, matching the paper's definition.
+pub fn aggregate(xs: &[f64], m: usize) -> Result<Vec<f64>, StatsError> {
+    if m == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "m",
+            constraint: "m >= 1",
+        });
+    }
+    if xs.len() < m {
+        return Err(StatsError::TooShort {
+            needed: m,
+            got: xs.len(),
+        });
+    }
+    Ok(xs
+        .chunks_exact(m)
+        .map(|c| c.iter().sum::<f64>() / m as f64)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_m1() {
+        let xs = vec![1.0, 2.0, 3.0];
+        assert_eq!(aggregate(&xs, 1).unwrap(), xs);
+    }
+
+    #[test]
+    fn block_means() {
+        let xs = vec![1.0, 3.0, 2.0, 4.0, 10.0];
+        assert_eq!(aggregate(&xs, 2).unwrap(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(aggregate(&[1.0], 0).is_err());
+        assert!(aggregate(&[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn preserves_mean() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 13) as f64).collect();
+        let agg = aggregate(&xs, 10).unwrap();
+        let m1 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let m2 = agg.iter().sum::<f64>() / agg.len() as f64;
+        assert!((m1 - m2).abs() < 1e-12);
+    }
+}

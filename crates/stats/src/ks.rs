@@ -1,0 +1,169 @@
+//! Kolmogorov–Smirnov distances, used to score how well a synthetic
+//! marginal matches the empirical one (a scalar companion to the paper's
+//! Fig. 12 histogram and Fig. 13 Q-Q comparisons).
+
+use crate::StatsError;
+
+/// One-sample KS distance between a *sorted* sample and a CDF:
+/// `sup_x |F_n(x) − F(x)|`.
+pub fn ks_distance_sorted<F: Fn(f64) -> f64>(sorted: &[f64], cdf: F) -> Result<f64, StatsError> {
+    if sorted.is_empty() {
+        return Err(StatsError::TooShort { needed: 1, got: 0 });
+    }
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    Ok(d)
+}
+
+/// Two-sample KS distance `sup_x |F_a(x) − F_b(x)|` (samples need not be
+/// sorted or equally sized).
+pub fn two_sample_ks(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::TooShort {
+            needed: 1,
+            got: a.len().min(b.len()),
+        });
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    Ok(d)
+}
+
+/// Approximate p-value for the two-sample KS statistic via the asymptotic
+/// Kolmogorov distribution: `Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}` with
+/// `λ = D·sqrt(na·nb/(na+nb))` (plus the standard small-sample correction).
+pub fn two_sample_ks_pvalue(d: f64, na: usize, nb: usize) -> f64 {
+    let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64 * lambda).powi(2)).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_sample_uniform_fit() {
+        // Perfectly spaced uniform sample against U(0,1): D = 1/(2n).
+        let n = 100;
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_distance_sorted(&xs, |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!((d - 0.5 / n as f64).abs() < 1e-12, "D {d}");
+    }
+
+    #[test]
+    fn one_sample_bad_fit() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 100.0 * 0.5).collect();
+        let d = ks_distance_sorted(&xs, |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!(d > 0.4, "D {d}");
+    }
+
+    #[test]
+    fn two_sample_identical() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64).sin()).collect();
+        let d = two_sample_ks(&xs, &xs).unwrap();
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn two_sample_disjoint() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![10.0, 11.0];
+        assert!((two_sample_ks(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_sample_shifted() {
+        let a: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let b: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0 + 0.25).collect();
+        let d = two_sample_ks(&a, &b).unwrap();
+        assert!((d - 0.25).abs() < 0.01, "D {d}");
+    }
+
+    #[test]
+    fn two_sample_with_ties() {
+        let a = vec![1.0, 1.0, 2.0, 2.0];
+        let b = vec![1.0, 2.0];
+        let d = two_sample_ks(&a, &b).unwrap();
+        assert!(d < 1e-12, "tied values handled: D {d}");
+    }
+
+    #[test]
+    fn pvalue_behaviour() {
+        // Small D on large samples → p ≈ 1; large D → p ≈ 0.
+        assert!(two_sample_ks_pvalue(0.01, 1000, 1000) > 0.9);
+        assert!(two_sample_ks_pvalue(0.5, 1000, 1000) < 1e-6);
+        let mid = two_sample_ks_pvalue(0.06, 1000, 1000);
+        assert!(mid > 0.01 && mid < 0.99, "mid p {mid}");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(ks_distance_sorted(&[], |_| 0.0).is_err());
+        assert!(two_sample_ks(&[], &[1.0]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn ks_is_a_metricish_distance(
+            a in proptest::collection::vec(-1e3f64..1e3, 1..150),
+            b in proptest::collection::vec(-1e3f64..1e3, 1..150),
+        ) {
+            let d_ab = two_sample_ks(&a, &b).unwrap();
+            let d_ba = two_sample_ks(&b, &a).unwrap();
+            prop_assert!((0.0..=1.0).contains(&d_ab));
+            prop_assert!((d_ab - d_ba).abs() < 1e-12, "symmetry");
+            prop_assert!(two_sample_ks(&a, &a).unwrap() < 1e-12, "identity");
+        }
+
+        #[test]
+        fn ks_shift_increases_distance(
+            a in proptest::collection::vec(0.0f64..1.0, 20..150),
+            shift in 1.01f64..5.0, // beyond the data range ⇒ disjoint samples
+        ) {
+            let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+            // A shift beyond the data range makes the samples disjoint.
+            prop_assert!((two_sample_ks(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+}

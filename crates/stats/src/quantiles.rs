@@ -1,0 +1,171 @@
+//! Empirical quantiles and Q-Q plot data (Fig. 13 of the paper).
+
+use crate::StatsError;
+
+/// Quantile of a *sorted* slice at probability `p ∈ [0, 1]`, with linear
+/// interpolation between order statistics (type-7, the common default).
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> Result<f64, StatsError> {
+    if sorted.is_empty() {
+        return Err(StatsError::TooShort { needed: 1, got: 0 });
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidParameter {
+            name: "p",
+            constraint: "0 <= p <= 1",
+        });
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let frac = h - lo as f64;
+    if lo + 1 >= n {
+        return Ok(sorted[n - 1]);
+    }
+    Ok(sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac)
+}
+
+/// `count` evenly spaced quantiles of an (unsorted) sample, at probabilities
+/// `(i + ½)/count`.
+pub fn quantiles(xs: &[f64], count: usize) -> Result<Vec<f64>, StatsError> {
+    if count == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "count",
+            constraint: "count >= 1",
+        });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    (0..count)
+        .map(|i| quantile_sorted(&sorted, (i as f64 + 0.5) / count as f64))
+        .collect()
+}
+
+/// Q-Q plot points comparing two samples: `count` pairs
+/// `(quantile_a(p_i), quantile_b(p_i))`. Points on the diagonal indicate
+/// matching marginal distributions — the validation of Fig. 13.
+pub fn qq_points(a: &[f64], b: &[f64], count: usize) -> Result<Vec<(f64, f64)>, StatsError> {
+    let qa = quantiles(a, count)?;
+    let qb = quantiles(b, count)?;
+    Ok(qa.into_iter().zip(qb).collect())
+}
+
+/// Maximum relative deviation of Q-Q points from the diagonal, a scalar
+/// summary of marginal mismatch: `max |q_a − q_b| / (max(|q_a|,|q_b|,ε))`.
+pub fn qq_max_relative_deviation(points: &[(f64, f64)]) -> f64 {
+    points
+        .iter()
+        .map(|&(a, b)| (a - b).abs() / a.abs().max(b.abs()).max(1e-12))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(quantiles(&xs, 1).unwrap()[0], 2.0);
+    }
+
+    #[test]
+    fn interpolation() {
+        let sorted = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(quantile_sorted(&sorted, 0.5).unwrap(), 1.5);
+        assert_eq!(quantile_sorted(&sorted, 0.0).unwrap(), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0).unwrap(), 3.0);
+        assert!((quantile_sorted(&sorted, 1.0 / 3.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile_sorted(&[5.0], 0.7).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(quantile_sorted(&[], 0.5).is_err());
+        assert!(quantile_sorted(&[1.0], 1.5).is_err());
+        assert!(quantile_sorted(&[1.0], -0.1).is_err());
+        assert!(quantiles(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let q = quantiles(&xs, 20).unwrap();
+        for w in q.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn qq_identical_samples_on_diagonal() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let pts = qq_points(&xs, &xs, 50).unwrap();
+        for (a, b) in pts.iter() {
+            assert_eq!(a, b);
+        }
+        assert!(qq_max_relative_deviation(&pts) < 1e-12);
+    }
+
+    #[test]
+    fn qq_detects_scale_mismatch() {
+        let a: Vec<f64> = (1..=500).map(|i| i as f64).collect();
+        let b: Vec<f64> = (1..=500).map(|i| 2.0 * i as f64).collect();
+        let pts = qq_points(&a, &b, 20).unwrap();
+        let dev = qq_max_relative_deviation(&pts);
+        assert!(dev > 0.4, "dev {dev}");
+    }
+
+    #[test]
+    fn qq_different_sample_sizes() {
+        let a: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let b: Vec<f64> = (0..337).map(|i| i as f64 / 337.0).collect();
+        let pts = qq_points(&a, &b, 30).unwrap();
+        assert!(qq_max_relative_deviation(&pts) < 0.05);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn quantiles_bracket_data(xs in proptest::collection::vec(-1e6f64..1e6, 2..200), count in 1usize..30) {
+            let q = quantiles(&xs, count).unwrap();
+            let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            for v in &q {
+                prop_assert!(*v >= min - 1e-9 && *v <= max + 1e-9);
+            }
+            for w in q.windows(2) {
+                prop_assert!(w[1] >= w[0]);
+            }
+        }
+
+        #[test]
+        fn quantile_sorted_interpolation_bounds(
+            xs in proptest::collection::vec(-100f64..100.0, 2..100),
+            p in 0.0f64..1.0,
+        ) {
+            let mut sorted = xs.clone();
+            sorted.sort_by(f64::total_cmp);
+            let q = quantile_sorted(&sorted, p).unwrap();
+            prop_assert!(q >= sorted[0] && q <= sorted[sorted.len() - 1]);
+        }
+
+        #[test]
+        fn qq_of_identical_samples_is_diagonal(xs in proptest::collection::vec(0.0f64..1e4, 4..100)) {
+            let pts = qq_points(&xs, &xs, 10).unwrap();
+            prop_assert!(qq_max_relative_deviation(&pts) < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Ordinary least squares on (x, y) pairs.
+//!
+//! All three Hurst estimators in this crate (variance-time, R/S,
+//! log-periodogram) reduce to a least-squares line through points in a
+//! log-log plane, exactly as the paper does by "fitting a simple least
+//! squares line through the resulting points".
+
+use crate::StatsError;
+
+/// Result of a simple linear regression `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Standard error of the slope estimate.
+    pub slope_std_err: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Evaluate the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fit `y ≈ a + b·x` by ordinary least squares over paired points.
+///
+/// Requires at least two points with distinct x values.
+pub fn linear_fit(points: &[(f64, f64)]) -> Result<LinearFit, StatsError> {
+    if points.len() < 2 {
+        return Err(StatsError::TooShort {
+            needed: 2,
+            got: points.len(),
+        });
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 {
+        return Err(StatsError::Degenerate("all x values identical"));
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_res = (syy - slope * sxy).max(0.0);
+    let r_squared = if syy > 0.0 { 1.0 - ss_res / syy } else { 1.0 };
+    let slope_std_err = if points.len() > 2 {
+        (ss_res / (n - 2.0) / sxx).sqrt()
+    } else {
+        0.0
+    };
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        slope_std_err,
+        n: points.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.slope_std_err < 1e-9);
+        assert!((fit.predict(20.0) - 43.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line() {
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                let noise = ((i * 37) % 11) as f64 / 11.0 - 0.5;
+                (x, 1.0 - 0.5 * x + 0.1 * noise)
+            })
+            .collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope + 0.5).abs() < 0.01, "slope {}", fit.slope);
+        assert!(fit.r_squared > 0.99);
+        assert!(fit.slope_std_err > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[(1.0, 2.0)]).is_err());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_err());
+    }
+
+    #[test]
+    fn two_points_exact() {
+        let fit = linear_fit(&[(0.0, 1.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(fit.slope, 2.0);
+        assert_eq!(fit.intercept, 1.0);
+        assert_eq!(fit.n, 2);
+    }
+
+    #[test]
+    fn flat_data_r_squared() {
+        let pts: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 7.0)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0, "zero total variance convention");
+    }
+}

@@ -1,0 +1,227 @@
+//! Variance–time analysis (§3.2 Step 1, Fig. 3).
+//!
+//! For a self-similar process, `var(X^{(m)}) ∝ m^{−β}` with
+//! `β = 2 − 2H`, so the variance of the aggregated process falls on a line
+//! of slope `−β` in a log-log plot. The paper fits a least-squares line
+//! "ignoring the small values for m" and reports `Ĥ = 1 − β̂/2 = 0.89` for
+//! the *Last Action Hero* trace.
+
+use crate::aggregate::aggregate;
+use crate::regression::{linear_fit, LinearFit};
+use crate::StatsError;
+
+/// Options for the variance-time estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct VtOptions {
+    /// Smallest aggregation level included in the regression. The paper
+    /// ignores small `m` where SRD effects dominate; its Fig. 3 starts at
+    /// `log10(m) = 2`.
+    pub min_m: usize,
+    /// Largest aggregation level. Must leave enough blocks (see
+    /// `min_blocks`) to estimate a variance.
+    pub max_m: usize,
+    /// Number of log-spaced aggregation levels to evaluate.
+    pub points: usize,
+    /// Minimum number of blocks required at each level (levels with fewer
+    /// blocks are skipped).
+    pub min_blocks: usize,
+}
+
+impl Default for VtOptions {
+    fn default() -> Self {
+        Self {
+            min_m: 100,
+            max_m: 10_000,
+            points: 20,
+            min_blocks: 10,
+        }
+    }
+}
+
+/// The variance-time plot points: `(log10 m, log10 var(X^{(m)}))`.
+pub fn variance_time_points(xs: &[f64], opts: &VtOptions) -> Result<Vec<(f64, f64)>, StatsError> {
+    if opts.min_m == 0 || opts.max_m < opts.min_m {
+        return Err(StatsError::InvalidParameter {
+            name: "min_m/max_m",
+            constraint: "1 <= min_m <= max_m",
+        });
+    }
+    if opts.points < 2 {
+        return Err(StatsError::InvalidParameter {
+            name: "points",
+            constraint: "points >= 2",
+        });
+    }
+    if xs.len() < opts.min_m * opts.min_blocks.max(2) {
+        return Err(StatsError::TooShort {
+            needed: opts.min_m * opts.min_blocks.max(2),
+            got: xs.len(),
+        });
+    }
+    let lo = (opts.min_m as f64).ln();
+    let hi = (opts.max_m as f64).ln();
+    let mut out = Vec::new();
+    let mut last_m = 0usize;
+    for i in 0..opts.points {
+        let f = i as f64 / (opts.points - 1) as f64;
+        let m = (lo + f * (hi - lo)).exp().round() as usize;
+        let m = m.max(1);
+        if m == last_m {
+            continue;
+        }
+        last_m = m;
+        if xs.len() / m < opts.min_blocks.max(2) {
+            break;
+        }
+        let agg = aggregate(xs, m)?;
+        let n = agg.len() as f64;
+        let mean = agg.iter().sum::<f64>() / n;
+        let var = agg.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        if var > 0.0 {
+            out.push(((m as f64).log10(), var.log10()));
+        }
+    }
+    if out.len() < 2 {
+        return Err(StatsError::Degenerate(
+            "fewer than two usable aggregation levels",
+        ));
+    }
+    Ok(out)
+}
+
+/// Estimate of the Hurst parameter from a variance-time plot.
+#[derive(Debug, Clone)]
+pub struct VtEstimate {
+    /// `Ĥ = 1 − β̂/2` where `−β̂` is the fitted slope.
+    pub hurst: f64,
+    /// `β̂` (the absolute slope).
+    pub beta: f64,
+    /// The underlying line fit (in log10-log10 coordinates).
+    pub fit: LinearFit,
+    /// The plot points used.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Run the full variance-time analysis and return `Ĥ`.
+pub fn variance_time_hurst(xs: &[f64], opts: &VtOptions) -> Result<VtEstimate, StatsError> {
+    let points = variance_time_points(xs, opts)?;
+    let fit = linear_fit(&points)?;
+    let beta = -fit.slope;
+    Ok(VtEstimate {
+        hurst: 1.0 - beta / 2.0,
+        beta,
+        fit,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use svbr_lrd::acf::FgnAcf;
+    use svbr_lrd::arma::Ar1;
+    use svbr_lrd::DaviesHarte;
+
+    fn fgn(h: f64, n: usize, seed: u64) -> Vec<f64> {
+        let acf = FgnAcf::new(h).unwrap();
+        let dh = DaviesHarte::new(acf, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        dh.generate(&mut rng)
+    }
+
+    #[test]
+    fn white_noise_gives_half() {
+        let xs = fgn(0.5, 200_000, 1);
+        let opts = VtOptions {
+            min_m: 10,
+            max_m: 2000,
+            points: 15,
+            min_blocks: 20,
+        };
+        let est = variance_time_hurst(&xs, &opts).unwrap();
+        assert!((est.hurst - 0.5).abs() < 0.05, "H {}", est.hurst);
+        assert!(est.fit.r_squared > 0.95);
+    }
+
+    #[test]
+    fn strong_lrd_detected() {
+        let xs = fgn(0.9, 400_000, 2);
+        let opts = VtOptions {
+            min_m: 50,
+            max_m: 5000,
+            points: 15,
+            min_blocks: 20,
+        };
+        let est = variance_time_hurst(&xs, &opts).unwrap();
+        assert!((est.hurst - 0.9).abs() < 0.07, "H {}", est.hurst);
+    }
+
+    #[test]
+    fn moderate_lrd_detected() {
+        let xs = fgn(0.7, 400_000, 3);
+        let opts = VtOptions {
+            min_m: 50,
+            max_m: 5000,
+            points: 15,
+            min_blocks: 20,
+        };
+        let est = variance_time_hurst(&xs, &opts).unwrap();
+        assert!((est.hurst - 0.7).abs() < 0.07, "H {}", est.hurst);
+    }
+
+    #[test]
+    fn srd_process_reads_as_half_at_large_m() {
+        // An AR(1) has H = 1/2 asymptotically; with min_m past its
+        // correlation length the estimator must not report LRD.
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs = Ar1::new(0.7).unwrap().generate(400_000, &mut rng);
+        let opts = VtOptions {
+            min_m: 100,
+            max_m: 5000,
+            points: 12,
+            min_blocks: 20,
+        };
+        let est = variance_time_hurst(&xs, &opts).unwrap();
+        assert!(est.hurst < 0.62, "AR(1) misread as LRD: H {}", est.hurst);
+    }
+
+    #[test]
+    fn slope_points_are_monotone_decreasing_for_lrd() {
+        let xs = fgn(0.85, 100_000, 5);
+        let opts = VtOptions {
+            min_m: 10,
+            max_m: 1000,
+            points: 10,
+            min_blocks: 20,
+        };
+        let pts = variance_time_points(&xs, &opts).unwrap();
+        assert!(pts.len() >= 5);
+        for w in pts.windows(2) {
+            assert!(w[1].1 < w[0].1 + 0.1, "variance must fall with m");
+        }
+    }
+
+    #[test]
+    fn option_validation() {
+        let xs = vec![1.0; 100];
+        assert!(variance_time_points(
+            &xs,
+            &VtOptions {
+                min_m: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(variance_time_points(
+            &xs,
+            &VtOptions {
+                points: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(variance_time_points(&xs, &VtOptions::default()).is_err());
+    }
+}

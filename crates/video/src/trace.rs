@@ -1,0 +1,257 @@
+//! Frame traces: the unit of data every other crate consumes.
+
+use crate::gop::{FrameType, GopPattern};
+use crate::VideoError;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A VBR video frame trace: bytes per frame plus the GOP pattern that
+/// assigns each frame its type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTrace {
+    sizes: Vec<u32>,
+    pattern: GopPattern,
+}
+
+impl FrameTrace {
+    /// Wrap raw sizes and a pattern.
+    pub fn new(sizes: Vec<u32>, pattern: GopPattern) -> Self {
+        Self { sizes, pattern }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True when the trace has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Bytes per frame.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// The GOP pattern.
+    pub fn pattern(&self) -> &GopPattern {
+        &self.pattern
+    }
+
+    /// Frame type of frame `k`.
+    pub fn frame_type(&self, k: usize) -> FrameType {
+        self.pattern.frame_type(k)
+    }
+
+    /// Sizes as `f64` (the form the statistical estimators take).
+    pub fn as_f64(&self) -> Vec<f64> {
+        self.sizes.iter().map(|&s| s as f64).collect()
+    }
+
+    /// All frame sizes of one type, in order.
+    pub fn sizes_of_type(&self, t: FrameType) -> Vec<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| self.pattern.frame_type(*k) == t)
+            .map(|(_, &s)| s)
+            .collect()
+    }
+
+    /// Per-GOP total bytes (trailing partial GOP discarded).
+    pub fn gop_totals(&self) -> Vec<u64> {
+        self.sizes
+            .chunks_exact(self.pattern.period())
+            .map(|c| c.iter().map(|&s| s as u64).sum())
+            .collect()
+    }
+
+    /// Total bytes in the trace.
+    pub fn total_bytes(&self) -> u64 {
+        self.sizes.iter().map(|&s| s as u64).sum()
+    }
+
+    /// Mean bytes per frame.
+    pub fn mean_frame_bytes(&self) -> f64 {
+        if self.sizes.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.sizes.len() as f64
+        }
+    }
+
+    /// Mean bit rate in bits/second at the given frame rate.
+    pub fn mean_bit_rate(&self, fps: f64) -> f64 {
+        self.mean_frame_bytes() * 8.0 * fps
+    }
+
+    /// Duration in seconds at the given frame rate.
+    pub fn duration_seconds(&self, fps: f64) -> f64 {
+        self.sizes.len() as f64 / fps
+    }
+
+    /// Serialize to the line-oriented text format:
+    ///
+    /// ```text
+    /// svbr-trace v1 <frames> <pattern>
+    /// <size 0>
+    /// <size 1>
+    /// …
+    /// ```
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), VideoError> {
+        writeln!(w, "svbr-trace v1 {} {}", self.sizes.len(), self.pattern)?;
+        for &s in &self.sizes {
+            writeln!(w, "{s}")?;
+        }
+        Ok(())
+    }
+
+    /// Parse from the format produced by [`Self::write_to`].
+    pub fn read_from<R: Read>(r: R) -> Result<Self, VideoError> {
+        let mut lines = BufReader::new(r).lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| VideoError::Parse("missing header".into()))??;
+        let mut parts = header.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some("svbr-trace"), Some("v1")) => {}
+            _ => return Err(VideoError::Parse("bad magic/version".into())),
+        }
+        let n: usize = parts
+            .next()
+            .ok_or_else(|| VideoError::Parse("missing frame count".into()))?
+            .parse()
+            .map_err(|e| VideoError::Parse(format!("bad frame count: {e}")))?;
+        let pattern = GopPattern::parse(
+            parts
+                .next()
+                .ok_or_else(|| VideoError::Parse("missing GOP pattern".into()))?,
+        )?;
+        let mut sizes = Vec::with_capacity(n);
+        for line in lines {
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            sizes.push(
+                t.parse::<u32>()
+                    .map_err(|e| VideoError::Parse(format!("bad size '{t}': {e}")))?,
+            );
+        }
+        if sizes.len() != n {
+            return Err(VideoError::Parse(format!(
+                "expected {n} frames, found {}",
+                sizes.len()
+            )));
+        }
+        Ok(Self { sizes, pattern })
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), VideoError> {
+        let f = std::fs::File::create(path)?;
+        self.write_to(std::io::BufWriter::new(f))
+    }
+
+    /// Load from a file.
+    pub fn load(path: &std::path::Path) -> Result<Self, VideoError> {
+        Self::read_from(std::fs::File::open(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> FrameTrace {
+        let sizes: Vec<u32> = (0..36).map(|k| 100 + (k % 12) as u32 * 10).collect();
+        FrameTrace::new(sizes, GopPattern::mpeg1_default())
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = sample_trace();
+        assert_eq!(t.len(), 36);
+        assert!(!t.is_empty());
+        assert_eq!(t.frame_type(0), FrameType::I);
+        assert_eq!(t.frame_type(13), FrameType::B);
+        assert_eq!(t.as_f64().len(), 36);
+    }
+
+    #[test]
+    fn type_extraction() {
+        let t = sample_trace();
+        let i = t.sizes_of_type(FrameType::I);
+        assert_eq!(i.len(), 3);
+        assert!(i.iter().all(|&s| s == 100), "I frames are phase 0");
+        let b = t.sizes_of_type(FrameType::B);
+        assert_eq!(b.len(), 24);
+        let p = t.sizes_of_type(FrameType::P);
+        assert_eq!(p.len(), 9);
+    }
+
+    #[test]
+    fn gop_totals() {
+        let t = sample_trace();
+        let g = t.gop_totals();
+        assert_eq!(g.len(), 3);
+        let expect: u64 = (0..12).map(|k| 100 + k * 10).sum();
+        assert!(g.iter().all(|&x| x == expect));
+    }
+
+    #[test]
+    fn rate_math() {
+        let t = FrameTrace::new(vec![1000; 300], GopPattern::mpeg1_default());
+        assert_eq!(t.total_bytes(), 300_000);
+        assert_eq!(t.mean_frame_bytes(), 1000.0);
+        assert_eq!(t.mean_bit_rate(30.0), 240_000.0);
+        assert_eq!(t.duration_seconds(30.0), 10.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = FrameTrace::new(vec![], GopPattern::mpeg1_default());
+        assert!(t.is_empty());
+        assert_eq!(t.mean_frame_bytes(), 0.0);
+        assert!(t.gop_totals().is_empty());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = FrameTrace::read_from(&buf[..]).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("svbr_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        t.save(&path).unwrap();
+        let back = FrameTrace::load(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FrameTrace::read_from(&b""[..]).is_err());
+        assert!(FrameTrace::read_from(&b"not-a-trace v1 3 IBB\n1\n2\n3\n"[..]).is_err());
+        assert!(FrameTrace::read_from(&b"svbr-trace v2 3 IBB\n1\n2\n3\n"[..]).is_err());
+        assert!(FrameTrace::read_from(&b"svbr-trace v1 x IBB\n"[..]).is_err());
+        assert!(FrameTrace::read_from(&b"svbr-trace v1 3 IBB\n1\n2\n"[..]).is_err());
+        assert!(FrameTrace::read_from(&b"svbr-trace v1 2 IBB\n1\nfoo\n"[..]).is_err());
+        assert!(FrameTrace::read_from(&b"svbr-trace v1 2 XYZ\n1\n2\n"[..]).is_err());
+    }
+
+    #[test]
+    fn parse_tolerates_blank_lines() {
+        let t = FrameTrace::read_from(&b"svbr-trace v1 2 IBB\n1\n\n2\n"[..]).unwrap();
+        assert_eq!(t.sizes(), &[1, 2]);
+    }
+}

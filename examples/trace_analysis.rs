@@ -1,0 +1,67 @@
+//! Self-similarity analysis of a traffic trace: the paper's Step-1 toolbox
+//! (variance-time, R/S, GPH) plus the ACF knee diagnosis, applied to three
+//! qualitatively different sources so the differences are visible.
+//!
+//! ```text
+//! cargo run --release --example trace_analysis
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svbr::lrd::acf::FgnAcf;
+use svbr::lrd::markov::Mmpp2;
+use svbr::lrd::DaviesHarte;
+use svbr::stats::{
+    gph_estimate, rs_hurst, sample_acf_fft, variance_time_hurst, RsOptions, VtOptions,
+};
+
+fn analyze(name: &str, xs: &[f64]) -> Result<(), Box<dyn std::error::Error>> {
+    let vt = variance_time_hurst(
+        xs,
+        &VtOptions {
+            min_m: 50,
+            max_m: 5_000,
+            points: 15,
+            min_blocks: 10,
+        },
+    )?;
+    let rs = rs_hurst(
+        xs,
+        &RsOptions {
+            min_n: 64,
+            max_n: 1 << 14,
+            sizes: 14,
+            starts: 10,
+        },
+    )?;
+    let gph = gph_estimate(xs, Some(256))?;
+    let acf = sample_acf_fft(xs, 200)?;
+    println!(
+        "{name:<22} H_vt = {:>5.2}  H_rs = {:>5.2}  H_gph = {:>5.2}   r(1) = {:>5.2}  r(50) = {:>5.2}  r(200) = {:>5.2}",
+        vt.hurst, rs.hurst, gph.hurst, acf[1], acf[50], acf[200]
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 200_000;
+    let mut rng = StdRng::seed_from_u64(1995);
+
+    // 1. The VBR video reference trace — LRD with an SRD knee.
+    let video = svbr::video::reference_trace_intra_of_len(n).as_f64();
+
+    // 2. Exact fractional Gaussian noise at H = 0.9 — pure LRD.
+    let fgn = DaviesHarte::new(FgnAcf::new(0.9)?, n)?.generate(&mut rng);
+
+    // 3. A traditional 2-state MMPP — SRD: every Hurst estimator should
+    //    read ≈ 0.5 once the aggregation scale passes its (short)
+    //    correlation length.
+    let mmpp = Mmpp2::new(1.0, 12.0, 0.02, 0.05)?.generate(n, &mut rng);
+
+    println!("source                 Hurst estimates                      autocorrelation");
+    analyze("VBR video (svbr)", &video)?;
+    analyze("fGn H=0.9", &fgn)?;
+    analyze("MMPP (traditional)", &mmpp)?;
+    println!("\nExpected: video and fGn read H ≈ 0.85-0.95 on all estimators; MMPP reads ≈ 0.5-0.6.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Feed synthetic VBR video into an ATM multiplexer and estimate buffer
+//! overflow probabilities by plain Monte Carlo — the paper's §4 setting
+//! (before importance sampling enters; see `rare_event_is` for that).
+//!
+//! ```text
+//! cargo run --release --example video_multiplexer
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svbr::model::{BackgroundKind, UnifiedFit, UnifiedOptions};
+use svbr::queue::{estimate_overflow, tail_curve_from_path, Mux};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The "empirical" trace and its unified model.
+    let series = svbr::video::reference_trace_intra_of_len(60_000).as_f64();
+    let fit = UnifiedFit::fit(&series, &UnifiedOptions::default())?;
+    let utilization = 0.7;
+    let mux = Mux::from_path(&series, utilization)?;
+    println!(
+        "multiplexer: utilization {utilization}, mean arrival {:.0} bytes/slot, service {:.0} bytes/slot",
+        mux.mean_arrival(),
+        mux.service_rate()
+    );
+
+    // 1. Steady-state tail from the empirical trace itself (one long
+    //    replication — exactly how the paper had to treat real data).
+    let norm_buffers = [5.0, 10.0, 20.0, 40.0, 80.0];
+    let abs: Vec<f64> = norm_buffers.iter().map(|&b| mux.buffer(b)).collect();
+    let trace_curve = tail_curve_from_path(&series, mux.service_rate(), 1_000, &abs)?;
+
+    // 2. Transient overflow probability from replicated synthetic paths
+    //    (k = 10·b, queue started empty), plain Monte Carlo.
+    let generator = fit.generator(BackgroundKind::SrdLrd, 800)?;
+    println!(
+        "\n{:>8}  {:>14}  {:>14}",
+        "buffer b", "P synthetic MC", "P trace"
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    for (i, &b) in norm_buffers.iter().enumerate() {
+        let horizon = (10.0 * b) as usize;
+        let est = estimate_overflow(
+            |_| generator.generate(horizon, true, &mut rng).expect("generate"),
+            2_000,
+            horizon,
+            mux.service_rate(),
+            mux.buffer(b),
+        )?;
+        println!(
+            "{b:>8}  {:>10.4} ±{:>5.3}  {:>14.4}",
+            est.p,
+            1.96 * est.std_err(),
+            trace_curve[i].1
+        );
+    }
+    println!(
+        "\nNote the slow (sub-exponential) decay with b — the LRD signature the\n\
+         paper contrasts against Markovian models, and the reason importance\n\
+         sampling (see `rare_event_is`) is needed once P drops below ~1e-3."
+    );
+    Ok(())
+}

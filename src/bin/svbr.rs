@@ -1,0 +1,282 @@
+//! `svbr` — command-line front end for trace analysis, model fitting,
+//! synthetic-traffic generation, and queueing evaluation.
+//!
+//! ```text
+//! svbr synth -n 100000 -o trace.svbr          # built-in reference source
+//! svbr analyze trace.svbr                      # Hurst toolbox + ACF + marginal
+//! svbr fit trace.svbr                          # the unified model's parameters
+//! svbr generate trace.svbr -n 50000 -o out.svbr --seed 7
+//! svbr queue trace.svbr --utilization 0.6 --buffers 10,50,100
+//! ```
+//!
+//! Trace files are either the `svbr-trace v1` format or plain text with one
+//! bytes-per-frame value per line.
+
+use std::io::BufRead;
+use std::path::Path;
+use std::process::exit;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svbr::marginal::Marginal;
+use svbr::model::{BackgroundKind, UnifiedFit, UnifiedOptions};
+use svbr::queue::{tail_curve_from_path, Mux};
+use svbr::stats::{
+    gph_estimate, local_whittle, rs_hurst, sample_acf_fft, variance_time_hurst, wavelet_hurst,
+    RsOptions, Summary, VtOptions,
+};
+use svbr::video::{FrameTrace, GopPattern};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let rest = &args[1..];
+    let r = match cmd.as_str() {
+        "synth" => cmd_synth(rest),
+        "analyze" => cmd_analyze(rest),
+        "fit" => cmd_fit(rest),
+        "generate" => cmd_generate(rest),
+        "queue" => cmd_queue(rest),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            exit(2);
+        }
+    };
+    if let Err(e) = r {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    println!(
+        "svbr — self-similar VBR video modeling toolkit\n\n\
+         commands:\n\
+         \x20 synth    -n <frames> [-o file] [--seed s] [--gop]   generate the reference source\n\
+         \x20 analyze  <trace>                                    Hurst toolbox, ACF, marginal\n\
+         \x20 fit      <trace>                                    unified-model parameters\n\
+         \x20 generate <trace> -n <frames> [-o file] [--seed s]   fit + synthesize traffic\n\
+         \x20 queue    <trace> --utilization <rho> [--buffers a,b,...]  tail curve\n\n\
+         traces: `svbr-trace v1` files or plain one-value-per-line text"
+    );
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn opt_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn opt_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load_series(path: &str) -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+    // Try the trace format first, then plain numbers.
+    if let Ok(trace) = FrameTrace::load(Path::new(path)) {
+        return Ok(trace.as_f64());
+    }
+    let f = std::fs::File::open(path)?;
+    let mut out = Vec::new();
+    for line in std::io::BufReader::new(f).lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        out.push(t.parse::<f64>()?);
+    }
+    if out.len() < 1000 {
+        return Err(format!("trace too short: {} samples (need >= 1000)", out.len()).into());
+    }
+    Ok(out)
+}
+
+fn scaled_opts(n: usize) -> UnifiedOptions {
+    let mut o = UnifiedOptions::default();
+    o.hurst.vt = VtOptions {
+        min_m: 100.min(n / 200).max(10),
+        max_m: (n / 50).clamp(200, 10_000),
+        points: 20,
+        min_blocks: 50,
+    };
+    o.hurst.rs = RsOptions {
+        min_n: 64,
+        max_n: (n / 4).next_power_of_two().min(1 << 16),
+        sizes: 16,
+        starts: 10,
+    };
+    o.acf_lags = 500.min(n / 10);
+    o.fit.max_lag = o.acf_lags;
+    o.fit.knee_max = o.fit.knee_max.min(o.acf_lags / 3).max(o.fit.knee_min + 1);
+    o
+}
+
+fn cmd_synth(args: &[String]) -> CliResult {
+    let n: usize = opt_value(args, "-n").unwrap_or("100000").parse()?;
+    let out = opt_value(args, "-o").unwrap_or("reference.svbr");
+    let gop = opt_flag(args, "--gop");
+    let trace = if gop {
+        svbr::video::reference_trace_of_len(n)
+    } else {
+        svbr::video::reference_trace_intra_of_len(n)
+    };
+    trace.save(Path::new(out))?;
+    println!(
+        "wrote {n} frames ({}) to {out}: mean {:.0} bytes/frame, {:.2} Mbit/s at 30 fps",
+        if gop { "GOP IBBPBBPBBPBB" } else { "intra-only" },
+        trace.mean_frame_bytes(),
+        trace.mean_bit_rate(30.0) / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("analyze needs a trace file")?;
+    let xs = load_series(path)?;
+    let n = xs.len();
+    let s = Summary::of(&xs)?;
+    println!("trace: {n} frames");
+    println!(
+        "marginal: mean {:.1}  sd {:.1}  cv {:.2}  skew {:.2}  min {:.0}  max {:.0}",
+        s.mean,
+        s.std_dev(),
+        s.cv(),
+        s.skewness,
+        s.min,
+        s.max
+    );
+    let o = scaled_opts(n);
+    println!("\nHurst estimators:");
+    match variance_time_hurst(&xs, &o.hurst.vt) {
+        Ok(e) => println!("  variance-time   H = {:.3}  (R^2 {:.3})", e.hurst, e.fit.r_squared),
+        Err(e) => println!("  variance-time   failed: {e}"),
+    }
+    match rs_hurst(&xs, &o.hurst.rs) {
+        Ok(e) => println!("  R/S pox         H = {:.3}  (R^2 {:.3})", e.hurst, e.fit.r_squared),
+        Err(e) => println!("  R/S pox         failed: {e}"),
+    }
+    match gph_estimate(&xs, None) {
+        Ok(e) => println!("  GPH             H = {:.3}  (m = {})", e.hurst, e.m_used),
+        Err(e) => println!("  GPH             failed: {e}"),
+    }
+    match local_whittle(&xs, None) {
+        Ok(e) => println!("  local Whittle   H = {:.3}  (se {:.3})", e.hurst, e.std_err),
+        Err(e) => println!("  local Whittle   failed: {e}"),
+    }
+    match wavelet_hurst(&xs, 4, 16) {
+        Ok(e) => println!(
+            "  wavelet (AV)    H = {:.3}  (octaves {}..{})",
+            e.hurst, e.range.0, e.range.1
+        ),
+        Err(e) => println!("  wavelet (AV)    failed: {e}"),
+    }
+    let lags = o.acf_lags;
+    let r = sample_acf_fft(&xs, lags)?;
+    println!("\nautocorrelation: r(1) = {:.3}", r[1]);
+    for k in [10usize, 30, 60, 100, 200, lags] {
+        if k <= lags {
+            println!("  r({k:>4}) = {:.3}", r[k]);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fit(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("fit needs a trace file")?;
+    let xs = load_series(path)?;
+    let fit = UnifiedFit::fit(&xs, &scaled_opts(xs.len()))?;
+    println!("unified model (paper §3.2):");
+    println!(
+        "  step 1  H: vt {:.3} / rs {:.3} / gph {:.3} / whittle {:.3} / wavelet {:.3}  => combined {:.2}",
+        fit.hurst.vt, fit.hurst.rs, fit.hurst.gph, fit.hurst.whittle, fit.hurst.wavelet,
+        fit.hurst.combined
+    );
+    println!(
+        "  step 2  ACF: exp(-{:.5}·k) for k < {}, then {:.3}·k^-{:.3}",
+        fit.acf_fit.lambda, fit.acf_fit.knee, fit.acf_fit.l, fit.acf_fit.beta
+    );
+    println!(
+        "  step 3  attenuation a = {:.4} (Appendix A quadrature)",
+        fit.attenuation
+    );
+    let comp = fit
+        .composite_acf()
+        .map_err(|e| format!("composite model invalid: {e}"))?
+        .compensate(fit.attenuation)
+        .map_err(|e| format!("compensation failed: {e}"))?;
+    println!(
+        "  step 4  compensated SRD rate: {:.5} (eq. 14)",
+        comp.composite().terms()[0].rate
+    );
+    println!(
+        "  marginal: {} bins over [{:.0}, {:.0}], mean {:.1}",
+        fit.marginal.bins(),
+        fit.marginal.edges()[0],
+        fit.marginal.edges()[fit.marginal.bins()],
+        fit.marginal.mean()
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("generate needs a trace file")?;
+    let xs = load_series(path)?;
+    let n: usize = opt_value(args, "-n").unwrap_or("50000").parse()?;
+    let seed: u64 = opt_value(args, "--seed").unwrap_or("1995").parse()?;
+    let out = opt_value(args, "-o").unwrap_or("synthetic.svbr");
+    let fit = UnifiedFit::fit(&xs, &scaled_opts(xs.len()))?;
+    let generator = fit.generator(BackgroundKind::SrdLrd, n)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ys = generator.generate(n, true, &mut rng)?;
+    let sizes: Vec<u32> = ys
+        .iter()
+        .map(|&y| y.round().clamp(1.0, u32::MAX as f64) as u32)
+        .collect();
+    let trace = FrameTrace::new(sizes, GopPattern::intra_only());
+    trace.save(Path::new(out))?;
+    let s = Summary::of(&ys)?;
+    println!(
+        "wrote {n} synthetic frames to {out}: mean {:.1} bytes/frame (source mean {:.1})",
+        s.mean,
+        xs.iter().sum::<f64>() / xs.len() as f64
+    );
+    Ok(())
+}
+
+fn cmd_queue(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("queue needs a trace file")?;
+    let xs = load_series(path)?;
+    let util: f64 = opt_value(args, "--utilization")
+        .ok_or("--utilization <0..1> required")?
+        .parse()?;
+    let buffers: Vec<f64> = opt_value(args, "--buffers")
+        .unwrap_or("10,25,50,100,200")
+        .split(',')
+        .map(|b| b.trim().parse::<f64>())
+        .collect::<Result<_, _>>()?;
+    let mux = Mux::from_path(&xs, util)?;
+    let abs: Vec<f64> = buffers.iter().map(|&b| mux.buffer(b)).collect();
+    let curve = tail_curve_from_path(&xs, mux.service_rate(), 1000, &abs)?;
+    println!(
+        "queue at utilization {util}: service {:.1} bytes/slot, mean arrival {:.1}",
+        mux.service_rate(),
+        mux.mean_arrival()
+    );
+    println!("{:>12}  {:>12}", "buffer (xE[Y])", "P(Q > b)");
+    for (norm, (_, p)) in buffers.iter().zip(curve.iter()) {
+        println!("{norm:>12}  {p:>12.4e}");
+    }
+    Ok(())
+}

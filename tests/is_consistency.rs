@@ -1,0 +1,139 @@
+//! Importance-sampling consistency on the *full video system* (not just
+//! toy Gaussians): IS and plain MC must estimate the same overflow
+//! probabilities, and the transient machinery must match the queue crate's.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svbr::is::{is_transient_curve, IsEstimator, IsEvent, TransientConfig};
+use svbr::marginal::transform::GaussianTransform;
+use svbr::marginal::Marginal;
+use svbr::model::{BackgroundKind, UnifiedFit, UnifiedOptions};
+use svbr::queue::{estimate_overflow, Mux};
+
+fn fitted() -> UnifiedFit {
+    let series = svbr::video::reference_trace_intra_of_len(60_000).as_f64();
+    UnifiedFit::fit(&series, &UnifiedOptions::default()).unwrap()
+}
+
+#[test]
+fn is_matches_mc_on_video_traffic() {
+    let fit = fitted();
+    let mux = Mux::new(fit.marginal.mean(), 0.6).unwrap();
+    let horizon = 200;
+    let buffer = mux.buffer(10.0);
+    let background = fit
+        .background_table(BackgroundKind::SrdLrd, horizon)
+        .unwrap();
+    let transform = GaussianTransform::new(fit.marginal.clone());
+
+    // Plain MC via the queue crate on generated paths.
+    let generator = fit.generator(BackgroundKind::SrdLrd, horizon).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mc = estimate_overflow(
+        |_| generator.generate(horizon, true, &mut rng).unwrap(),
+        4_000,
+        horizon,
+        mux.service_rate(),
+        buffer,
+    )
+    .unwrap();
+
+    // IS with a modest twist.
+    let is = IsEstimator::new(
+        &background,
+        horizon,
+        transform,
+        mux.service_rate(),
+        buffer,
+        0.8,
+        IsEvent::FirstPassage,
+    )
+    .unwrap()
+    .run_parallel(4_000, 2, 2);
+
+    let tol = 4.0 * (mc.std_err() + is.std_err()) + 0.01;
+    assert!(mc.p > 0.01, "event should be common enough for MC: {}", mc.p);
+    assert!(
+        (mc.p - is.p).abs() < tol,
+        "MC {} vs IS {} (tol {tol})",
+        mc.p,
+        is.p
+    );
+}
+
+#[test]
+fn is_transient_matches_queue_transient() {
+    let fit = fitted();
+    let mux = Mux::new(fit.marginal.mean(), 0.7).unwrap();
+    let buffer = mux.buffer(5.0);
+    let stop_times = vec![20usize, 80, 200];
+    let background = fit.background_table(BackgroundKind::SrdLrd, 200).unwrap();
+    let transform = GaussianTransform::new(fit.marginal.clone());
+    let est = is_transient_curve(
+        &background,
+        &transform,
+        &TransientConfig {
+            service: mux.service_rate(),
+            buffer,
+            initial: 0.0,
+            twist: 0.0,
+            stop_times: stop_times.clone(),
+        },
+        6_000,
+        3,
+        2,
+    )
+    .unwrap();
+
+    let generator = fit.generator(BackgroundKind::SrdLrd, 200).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let mc = svbr::queue::transient_curve(
+        |_| generator.generate(200, true, &mut rng).unwrap(),
+        6_000,
+        &stop_times,
+        mux.service_rate(),
+        buffer,
+        svbr::queue::InitialCondition::Empty,
+    )
+    .unwrap();
+
+    for i in 0..stop_times.len() {
+        let se = est.variance[i].sqrt() + (mc[i] * (1.0 - mc[i]) / 6_000.0).sqrt();
+        assert!(
+            (est.p[i] - mc[i]).abs() < 4.0 * se + 0.01,
+            "k = {}: IS {} vs MC {}",
+            stop_times[i],
+            est.p[i],
+            mc[i]
+        );
+    }
+}
+
+#[test]
+fn variance_reduction_materializes_on_video_rare_event() {
+    let fit = fitted();
+    let mux = Mux::new(fit.marginal.mean(), 0.3).unwrap();
+    let horizon = 300;
+    let buffer = mux.buffer(20.0);
+    let background = fit
+        .background_table(BackgroundKind::SrdLrd, horizon)
+        .unwrap();
+    let est = IsEstimator::new(
+        &background,
+        horizon,
+        GaussianTransform::new(fit.marginal.clone()),
+        mux.service_rate(),
+        buffer,
+        3.0,
+        IsEvent::FirstPassage,
+    )
+    .unwrap()
+    .run_parallel(3_000, 5, 2);
+    assert!(est.p > 0.0, "rare event resolved");
+    assert!(est.p < 0.05, "event is actually rare: {}", est.p);
+    assert!(
+        est.variance_reduction() > 10.0,
+        "VRF = {}",
+        est.variance_reduction()
+    );
+}

@@ -1,0 +1,129 @@
+//! End-to-end test of the unified modeling pipeline (§3.1–§3.2): trace in,
+//! statistically matching synthetic traffic out, scored by the validation
+//! report.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svbr::model::{
+    validate_model, BackgroundKind, UnifiedFit, UnifiedOptions, ValidationOptions,
+};
+use svbr::stats::{FitOptions, RsOptions, VtOptions};
+
+fn opts() -> UnifiedOptions {
+    UnifiedOptions {
+        hurst: svbr::model::HurstOptions {
+            vt: VtOptions {
+                min_m: 50,
+                max_m: 3000,
+                points: 12,
+                min_blocks: 10,
+            },
+            rs: RsOptions {
+                min_n: 64,
+                max_n: 1 << 14,
+                sizes: 10,
+                starts: 8,
+            },
+            gph_frequencies: Some(128),
+            extended_estimators: false,
+            round_to: 0.05,
+        },
+        acf_lags: 400,
+        fit: FitOptions {
+            knee_min: 20,
+            knee_max: 120,
+            max_lag: 400,
+            min_correlation: 0.05,
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn unified_model_validates_against_its_source() {
+    let series = svbr::video::reference_trace_intra_of_len(100_000).as_f64();
+    let fit = UnifiedFit::fit(&series, &opts()).unwrap();
+
+    // The fitted parameters land where the reference trace was built to put
+    // them (and where the paper's movie put its own).
+    assert!(
+        fit.hurst.combined >= 0.75 && fit.hurst.combined <= 0.975,
+        "H = {}",
+        fit.hurst.combined
+    );
+    assert!(fit.attenuation > 0.85 && fit.attenuation <= 1.0);
+    assert!(fit.acf_fit.knee >= 20 && fit.acf_fit.knee <= 120);
+
+    // Generate a long synthetic trace and validate. Pool several paths so
+    // marginal scores measure the model, not single-path LRD wander.
+    let generator = fit.generator(BackgroundKind::SrdLrd, 16_384).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut synthetic = Vec::new();
+    for _ in 0..16 {
+        synthetic.extend(generator.generate(16_384, true, &mut rng).unwrap());
+    }
+    let report = validate_model(
+        &series,
+        &synthetic,
+        &ValidationOptions {
+            acf_lags: 200,
+            bins: 80,
+            qq_points: 100,
+            vt: Some(VtOptions {
+                min_m: 50,
+                max_m: 2000,
+                points: 10,
+                min_blocks: 10,
+            }),
+        },
+    )
+    .unwrap();
+
+    assert!(report.ks < 0.1, "KS = {}", report.ks);
+    assert!(report.histogram_l1 < 0.12, "hist L1 = {}", report.histogram_l1);
+    assert!(report.acf_rmse < 0.2, "ACF RMSE = {}", report.acf_rmse);
+    let h_synth = report.synthetic_hurst.unwrap();
+    assert!(
+        h_synth > 0.7,
+        "synthetic trace must still be strongly LRD: H = {h_synth}"
+    );
+}
+
+#[test]
+fn model_kinds_order_large_lag_correlations() {
+    let series = svbr::video::reference_trace_intra_of_len(60_000).as_f64();
+    let fit = UnifiedFit::fit(&series, &opts()).unwrap();
+    use svbr::lrd::acf::Acf;
+    let full = fit.background_table(BackgroundKind::SrdLrd, 1000).unwrap();
+    let srd = fit.background_table(BackgroundKind::SrdOnly, 1000).unwrap();
+    let lrd = fit.background_table(BackgroundKind::LrdOnly, 1000).unwrap();
+    // Fig. 17's mechanism in ACF form.
+    assert!(full.r(800) > 0.1, "unified keeps LRD: {}", full.r(800));
+    assert!(srd.r(800) < full.r(800) * 0.6, "SRD-only forgets");
+    assert!(lrd.r(2) < full.r(2), "fGn lacks the SRD hump");
+}
+
+#[test]
+fn hosking_and_davies_harte_agree_through_full_pipeline() {
+    let series = svbr::video::reference_trace_intra_of_len(60_000).as_f64();
+    let fit = UnifiedFit::fit(&series, &opts()).unwrap();
+    let generator = fit.generator(BackgroundKind::SrdLrd, 512).unwrap();
+    let mut rng = StdRng::seed_from_u64(12);
+    let reps = 30;
+    let mean_of = |fast: bool, rng: &mut StdRng| -> f64 {
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let ys = generator.generate(512, fast, rng).unwrap();
+            acc += ys.iter().sum::<f64>() / ys.len() as f64 / reps as f64;
+        }
+        acc
+    };
+    let m_fast = mean_of(true, &mut rng);
+    let m_slow = mean_of(false, &mut rng);
+    let emp = series.iter().sum::<f64>() / series.len() as f64;
+    assert!(
+        (m_fast - m_slow).abs() / emp < 0.2,
+        "fast {m_fast} vs exact {m_slow}"
+    );
+    assert!((m_fast - emp).abs() / emp < 0.25, "fast {m_fast} vs empirical {emp}");
+}

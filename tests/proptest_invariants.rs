@@ -1,0 +1,165 @@
+//! Property-based cross-crate invariants.
+//!
+//! These exercise the public API with randomized inputs: transforms stay
+//! monotone, ACF models stay bounded, the queue respects its defining
+//! inequalities, estimators respect their ranges, serialization roundtrips.
+
+use proptest::prelude::*;
+use svbr::lrd::acf::{Acf, CompositeAcf, ExponentialAcf, FarimaAcf, FgnAcf, PowerLawAcf};
+use svbr::marginal::transform::GaussianTransform;
+use svbr::marginal::{Gamma, Lognormal, Marginal, Pareto};
+use svbr::queue::{queue_path, sup_workload, LindleyQueue};
+use svbr::video::{FrameTrace, GopPattern};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fgn_acf_is_bounded_and_unit_at_zero(h in 0.01f64..0.99, k in 0usize..10_000) {
+        let acf = FgnAcf::new(h).unwrap();
+        prop_assert_eq!(acf.r(0), 1.0);
+        let r = acf.r(k);
+        prop_assert!(r.abs() <= 1.0 + 1e-12, "r({}) = {}", k, r);
+    }
+
+    #[test]
+    fn farima_acf_monotone_decreasing_for_positive_d(d in 0.01f64..0.49, k in 1usize..500) {
+        let acf = FarimaAcf::new(d).unwrap();
+        prop_assert!(acf.r(k) > 0.0);
+        prop_assert!(acf.r(k + 1) < acf.r(k));
+    }
+
+    #[test]
+    fn power_law_and_exponential_acfs_bounded(
+        l in 0.1f64..3.0,
+        beta in 0.05f64..0.95,
+        lambda in 0.001f64..2.0,
+        k in 0usize..5_000,
+    ) {
+        let p = PowerLawAcf::new(l, beta).unwrap();
+        prop_assert!(p.r(k) <= 1.0 && p.r(k) >= 0.0);
+        let e = ExponentialAcf::new(lambda).unwrap();
+        // exp(-λk) can underflow to exactly 0.0 at extreme rate·lag products.
+        prop_assert!(e.r(k) <= 1.0 && e.r(k) >= 0.0);
+    }
+
+    #[test]
+    fn composite_acf_decreasing_across_knee(
+        lambda in 0.001f64..0.02,
+        knee in 20usize..100,
+    ) {
+        // Choose L to satisfy the continuity condition at the knee, β from
+        // a typical H; the result must be a decreasing correlation.
+        let beta = 0.2;
+        let at_knee = (-lambda * knee as f64).exp();
+        let l = at_knee * (knee as f64).powf(beta);
+        if let Ok(acf) = CompositeAcf::single(lambda, l, beta, knee) {
+            let mut prev = 1.0;
+            for k in 1..(3 * knee) {
+                let r = acf.r(k);
+                prop_assert!(r <= prev + 1e-9, "increase at lag {}", k);
+                prop_assert!(r > 0.0);
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_transform_monotone_for_any_target(
+        shape in 0.2f64..10.0,
+        scale in 0.1f64..1e4,
+        xs in proptest::collection::vec(-6.0f64..6.0, 2..40),
+    ) {
+        let t = GaussianTransform::new(Gamma::new(shape, scale).unwrap());
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let ys: Vec<f64> = sorted.iter().map(|&x| t.apply(x)).collect();
+        for w in ys.windows(2) {
+            prop_assert!(w[1] >= w[0], "transform must be nondecreasing");
+        }
+    }
+
+    #[test]
+    fn quantile_cdf_consistency_random_marginals(
+        p in 0.001f64..0.999,
+        mu in -2.0f64..2.0,
+        sigma in 0.1f64..2.0,
+        alpha in 1.1f64..8.0,
+    ) {
+        let ln = Lognormal::new(mu, sigma).unwrap();
+        prop_assert!((ln.cdf(ln.quantile(p)) - p).abs() < 1e-8);
+        let pa = Pareto::new(1.0, alpha).unwrap();
+        prop_assert!((pa.cdf(pa.quantile(p)) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lindley_queue_bounds(
+        arrivals in proptest::collection::vec(0.0f64..100.0, 1..200),
+        service in 0.1f64..50.0,
+        q0 in 0.0f64..100.0,
+    ) {
+        let path = queue_path(&arrivals, service, q0).unwrap();
+        let mut prev = q0;
+        for (k, (&q, &y)) in path.iter().zip(arrivals.iter()).enumerate() {
+            // Defining inequalities of the Lindley recursion.
+            prop_assert!(q >= 0.0, "negative queue at {}", k);
+            prop_assert!(q >= prev + y - service - 1e-9);
+            prop_assert!(q <= prev + y, "queue grew more than the arrival at {}", k);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn queue_monotone_in_service_rate(
+        arrivals in proptest::collection::vec(0.0f64..10.0, 1..100),
+        service in 0.5f64..5.0,
+    ) {
+        let mut fast = LindleyQueue::new(service + 1.0).unwrap();
+        let mut slow = LindleyQueue::new(service).unwrap();
+        for &y in &arrivals {
+            let qf = fast.step(y);
+            let qs = slow.step(y);
+            prop_assert!(qf <= qs + 1e-9, "faster server must not queue more");
+        }
+    }
+
+    #[test]
+    fn peak_queue_dominates_sup_workload(
+        arrivals in proptest::collection::vec(0.0f64..10.0, 1..100),
+        service in 0.5f64..5.0,
+    ) {
+        // From an empty start, Q_k = W_k − min_{j≤k} W_j ≥ W_k, so the
+        // peak queue level dominates the workload supremum — the pathwise
+        // half of the eq. 17 duality.
+        let path = queue_path(&arrivals, service, 0.0).unwrap();
+        let sup = sup_workload(&arrivals, service);
+        let peak = path.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(peak >= sup - 1e-9, "peak {} < sup workload {}", peak, sup);
+    }
+
+    #[test]
+    fn frame_trace_roundtrip(
+        sizes in proptest::collection::vec(1u32..1_000_000, 1..300),
+    ) {
+        let t = FrameTrace::new(sizes, GopPattern::mpeg1_default());
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = FrameTrace::read_from(&buf[..]).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn gop_pattern_roundtrip(period_b in 0usize..6, groups in 1usize..5) {
+        // Patterns of the form I (BB…B P)^groups with period_b B frames.
+        let mut s = String::from("I");
+        for _ in 0..groups {
+            for _ in 0..period_b {
+                s.push('B');
+            }
+            s.push('P');
+        }
+        let g = GopPattern::parse(&s).unwrap();
+        prop_assert_eq!(g.to_string(), s);
+        prop_assert_eq!(g.period(), 1 + groups * (period_b + 1));
+    }
+}

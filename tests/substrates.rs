@@ -1,0 +1,138 @@
+//! Cross-substrate integration: slice-level traffic, alternative LRD
+//! sources (M/G/∞), batch-means on video, and multiplexing of model output.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svbr::lrd::mg_inf::MgInfinity;
+use svbr::queue::{batch_means, superpose, tail_curve_from_path, Mux};
+use svbr::stats::{sample_acf_fft, variance_time_hurst, VtOptions};
+use svbr::video::{reference_trace_of_len, SliceTrace};
+
+#[test]
+fn slice_level_queueing_agrees_with_frame_level_at_scale() {
+    // Queueing the slice stream with 1/15th the per-slot service must give
+    // the same steady-state tail as the frame stream at buffer sizes large
+    // against a frame — the slice split only reshuffles bytes *within*
+    // frames.
+    let trace = reference_trace_of_len(60_000);
+    let mut rng = StdRng::seed_from_u64(1);
+    let slices = SliceTrace::split(&trace, 15, 0.5, &mut rng).unwrap();
+    let frames = trace.as_f64();
+    let slice_series = slices.as_f64();
+    let util = 0.7;
+    let mux_f = Mux::from_path(&frames, util).unwrap();
+    let buffers_f: Vec<f64> = [20.0, 50.0, 100.0].iter().map(|&b| mux_f.buffer(b)).collect();
+    let frame_curve = tail_curve_from_path(&frames, mux_f.service_rate(), 500, &buffers_f).unwrap();
+    // Slice stream: same byte rate, service split across 15 slots/frame.
+    let slice_curve = tail_curve_from_path(
+        &slice_series,
+        mux_f.service_rate() / 15.0,
+        500 * 15,
+        &buffers_f,
+    )
+    .unwrap();
+    for ((b, pf), (_, ps)) in frame_curve.iter().zip(slice_curve.iter()) {
+        assert!(
+            (pf - ps).abs() < 0.05 * pf.max(0.02),
+            "b = {b}: frame {pf} vs slice {ps}"
+        );
+    }
+}
+
+#[test]
+fn mg_infinity_is_a_valid_lrd_substrate_for_the_queue() {
+    // The M/G/∞ source should produce the same qualitative queueing
+    // behaviour as the video source: sub-exponential tail decay.
+    let src = MgInfinity::new(0.5, 1.3, 10.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let xs = src.generate(400_000, &mut rng);
+    let h = variance_time_hurst(
+        &xs,
+        &VtOptions {
+            min_m: 50,
+            max_m: 4000,
+            points: 12,
+            min_blocks: 20,
+        },
+    )
+    .unwrap()
+    .hurst;
+    assert!(h > 0.7, "M/G/∞ H = {h}");
+    let mux = Mux::from_path(&xs, 0.8).unwrap();
+    // Modest buffers: single-path estimation can only see events with
+    // probability ≳ 1e-4 over 400k slots.
+    let buffers: Vec<f64> = [2.0, 8.0, 32.0].iter().map(|&b| mux.buffer(b)).collect();
+    let curve = tail_curve_from_path(&xs, mux.service_rate(), 1_000, &buffers).unwrap();
+    // Sub-exponential: quadrupling the buffer from 8→32 must NOT drop the
+    // tail by anything close to an SRD (geometric) prediction.
+    assert!(curve[1].1 > 0.0 && curve[2].1 > 0.0, "{curve:?}");
+    assert!(
+        curve[2].1 > curve[1].1 / 100.0,
+        "LRD tails decay slowly: {curve:?}"
+    );
+}
+
+#[test]
+fn batch_means_on_video_show_correlated_batches() {
+    // The paper's §4 argument for not batching the empirical trace.
+    let series = reference_trace_of_len(120_000).as_f64();
+    let est = batch_means(&series, 32).unwrap();
+    assert!(
+        est.batch_lag1 > 0.2,
+        "video batch means stay correlated: lag1 = {}",
+        est.batch_lag1
+    );
+}
+
+#[test]
+fn superposed_video_sources_smooth_the_acf() {
+    // Independent sources: the superposition keeps the same ACF (sum of
+    // independent processes averages correlations) but its *relative*
+    // variability drops — the marginal smooths while LRD persists.
+    let a = reference_trace_of_len(50_000).as_f64();
+    // A second, independent source (different seed via different length
+    // trick is not enough — build from the codec directly).
+    let mut rng = StdRng::seed_from_u64(77);
+    let b = svbr::video::VirtualCodec::default_codec()
+        .encode(50_000, &mut rng)
+        .as_f64();
+    let agg = superpose(&[a.clone(), b.clone()]).unwrap();
+    let cv = |xs: &[f64]| {
+        let n = xs.len() as f64;
+        let m = xs.iter().sum::<f64>() / n;
+        (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n).sqrt() / m
+    };
+    assert!(cv(&agg) < cv(&a), "superposition smooths: {} vs {}", cv(&agg), cv(&a));
+    // Exact covariance bookkeeping: with centered paths α = a − ā and
+    // β = b − b̄, cov_agg(k) = cov_a(k) + cov_b(k) + c_αβ(k) + c_βα(k)
+    // *pathwise*. (The cross terms are NOT negligible here even though the
+    // sources are independent — sample cross-covariances of LRD paths are
+    // the classic "spurious correlation" effect, wandering by ±0.2 in
+    // correlation units at this length. Including them makes the identity
+    // exact and the test deterministic.)
+    let n = a.len() as f64;
+    let center = |xs: &[f64]| {
+        let m = xs.iter().sum::<f64>() / n;
+        xs.iter().map(|x| x - m).collect::<Vec<f64>>()
+    };
+    let (ca, cb, cagg) = (center(&a), center(&b), center(&agg));
+    let k = 60usize;
+    let dot = |x: &[f64], y: &[f64]| {
+        x.iter().zip(y.iter().skip(k)).map(|(u, v)| u * v).sum::<f64>() / n
+    };
+    let lhs = dot(&cagg, &cagg);
+    let rhs = dot(&ca, &ca) + dot(&cb, &cb) + dot(&ca, &cb) + dot(&cb, &ca);
+    assert!(
+        (lhs - rhs).abs() < 1e-6 * lhs.abs().max(1.0),
+        "covariance bookkeeping: {lhs} vs {rhs}"
+    );
+    // And the FFT estimator agrees with the direct computation.
+    let ragg = sample_acf_fft(&agg, k).unwrap();
+    let r_direct = lhs / (cagg.iter().map(|x| x * x).sum::<f64>() / n);
+    assert!(
+        (ragg[k] - r_direct).abs() < 1e-9,
+        "FFT {} vs direct {}",
+        ragg[k],
+        r_direct
+    );
+}
