@@ -17,19 +17,20 @@ fn bench_generators(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| {
                 HoskingSampler::new(&acf)
+                    .unwrap()
                     .generate(n, &mut rng)
                     .expect("fGn is PD")
             });
         });
         group.bench_with_input(BenchmarkId::new("davies_harte", n), &n, |b, &n| {
-            let dh = DaviesHarte::new(&acf, n).unwrap();
+            let dh = DaviesHarte::new(acf, n).unwrap();
             let mut rng = StdRng::seed_from_u64(2);
             b.iter(|| dh.generate(&mut rng));
         });
         group.bench_with_input(BenchmarkId::new("truncated_ar64", n), &n, |b, &n| {
-            let t = TruncatedHosking::new(&acf, 64).unwrap();
+            let t = TruncatedHosking::new(acf, 64).unwrap();
             let mut rng = StdRng::seed_from_u64(3);
-            b.iter(|| t.generate(&acf, n, &mut rng).unwrap());
+            b.iter(|| t.generate(acf, n, &mut rng).unwrap());
         });
     }
     group.finish();
@@ -43,6 +44,7 @@ fn bench_generators(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(4);
             b.iter(|| {
                 HoskingSampler::new(&projected)
+                    .unwrap()
                     .generate(n, &mut rng)
                     .expect("projected ACF is PD")
             });

@@ -50,8 +50,18 @@ fn main() {
     let needs_ctx = ids.iter().any(|id| {
         matches!(
             id.as_str(),
-            "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "fig14"
-                | "fig15" | "fig16" | "fig17"
+            "fig1"
+                | "fig2"
+                | "fig3"
+                | "fig4"
+                | "fig5"
+                | "fig6"
+                | "fig7"
+                | "fig8"
+                | "fig14"
+                | "fig15"
+                | "fig16"
+                | "fig17"
         )
     });
     let ctx = if needs_ctx {
@@ -60,7 +70,11 @@ fn main() {
             svbr_bench::trace_len(),
             svbr_bench::reps(),
             svbr_bench::threads(),
-            if svbr_bench::fast_mode() { " (FAST)" } else { "" }
+            if svbr_bench::fast_mode() {
+                " (FAST)"
+            } else {
+                ""
+            }
         );
         Some(Context::load().unwrap_or_else(|e| fail("context", &*e)))
     } else {
@@ -68,25 +82,27 @@ fn main() {
     };
     let ctx = ctx.as_ref();
 
+    let stdout = std::io::stdout();
     for id in &ids {
+        let out: &mut dyn std::io::Write = &mut stdout.lock();
         let started = std::time::Instant::now();
         let r: Result<(), Box<dyn std::error::Error>> = match id.as_str() {
-            "table1" => experiments::table1(),
-            "fig1" => experiments::fig1(ctx.expect("ctx")),
-            "fig2" => experiments::fig2(ctx.expect("ctx")),
-            "fig3" => experiments::fig3(ctx.expect("ctx")),
-            "fig4" => experiments::fig4(ctx.expect("ctx")),
-            "fig5" => experiments::fig5(ctx.expect("ctx")),
-            "fig6" => experiments::fig6(ctx.expect("ctx")),
-            "fig7" => experiments::fig7(ctx.expect("ctx")),
-            "fig8" => experiments::fig8(ctx.expect("ctx")),
-            "fig9" => experiments::fig9_11(),
-            "fig12" => experiments::fig12(),
-            "fig13" => experiments::fig13(),
-            "fig14" => experiments::fig14(ctx.expect("ctx")),
-            "fig15" => experiments::fig15(ctx.expect("ctx")),
-            "fig16" => experiments::fig16(ctx.expect("ctx")),
-            "fig17" => experiments::fig17(ctx.expect("ctx")),
+            "table1" => experiments::table1(out),
+            "fig1" => experiments::fig1(ctx.expect("ctx"), out),
+            "fig2" => experiments::fig2(ctx.expect("ctx"), out),
+            "fig3" => experiments::fig3(ctx.expect("ctx"), out),
+            "fig4" => experiments::fig4(ctx.expect("ctx"), out),
+            "fig5" => experiments::fig5(ctx.expect("ctx"), out),
+            "fig6" => experiments::fig6(ctx.expect("ctx"), out),
+            "fig7" => experiments::fig7(ctx.expect("ctx"), out),
+            "fig8" => experiments::fig8(ctx.expect("ctx"), out),
+            "fig9" => experiments::fig9_11(out),
+            "fig12" => experiments::fig12(out),
+            "fig13" => experiments::fig13(out),
+            "fig14" => experiments::fig14(ctx.expect("ctx"), out),
+            "fig15" => experiments::fig15(ctx.expect("ctx"), out),
+            "fig16" => experiments::fig16(ctx.expect("ctx"), out),
+            "fig17" => experiments::fig17(ctx.expect("ctx"), out),
             other => {
                 eprintln!("unknown experiment `{other}` — try `repro list`");
                 std::process::exit(2);

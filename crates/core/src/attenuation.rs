@@ -87,7 +87,11 @@ where
             constraint: "positive correlation over the lag window",
         });
     }
-    Ok((num / den).clamp(0.0, 1.0))
+    // Route the estimate through the Attenuation newtype so a degenerate
+    // measurement (a ≤ 0: the transform destroyed all correlation over the
+    // window) is an error rather than a silently clamped zero.
+    let a = (num / den).min(1.0);
+    Ok(svbr_domain::Attenuation::new(a)?.value())
 }
 
 #[cfg(test)]
@@ -99,70 +103,71 @@ mod tests {
     use svbr_marginal::{Gamma, Lognormal, Normal};
 
     #[test]
-    fn gaussian_target_measures_one() {
+    fn gaussian_target_measures_one() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(1);
         let a = measure_attenuation(
-            FgnAcf::new(0.85).unwrap(),
+            FgnAcf::new(0.85)?,
             &Normal::standard(),
             4096,
             20,
             (20, 60),
             &mut rng,
-        )
-        .unwrap();
+        )?;
         assert!((a - 1.0).abs() < 0.02, "a {a}");
+        Ok(())
     }
 
     #[test]
-    fn measured_matches_theoretical_lognormal() {
-        let target = Lognormal::new(0.0, 0.8).unwrap();
+    fn measured_matches_theoretical_lognormal() -> Result<(), Box<dyn std::error::Error>> {
+        let target = Lognormal::new(0.0, 0.8)?;
         let theory = theoretical_attenuation(&target, 100);
         let mut rng = StdRng::seed_from_u64(2);
-        let measured = measure_attenuation(
-            FgnAcf::new(0.85).unwrap(),
-            &target,
-            4096,
-            40,
-            (20, 60),
-            &mut rng,
-        )
-        .unwrap();
+        let measured =
+            measure_attenuation(FgnAcf::new(0.85)?, &target, 4096, 40, (20, 60), &mut rng)?;
         assert!(
             (measured - theory).abs() < 0.05,
             "measured {measured} vs theory {theory}"
         );
+        Ok(())
     }
 
     #[test]
-    fn measured_matches_theoretical_gamma_on_composite_background() {
+    fn measured_matches_theoretical_gamma_on_composite_background(
+    ) -> Result<(), Box<dyn std::error::Error>> {
         // The actual pipeline configuration: composite ACF + skewed target.
-        let target = Gamma::new(1.2, 1000.0).unwrap();
+        let target = Gamma::new(1.2, 1000.0)?;
         let theory = theoretical_attenuation(&target, 100);
         let mut rng = StdRng::seed_from_u64(3);
+        // The ratio r_Y(k)/r_X(k) only converges to `a` where r_X(k) is
+        // small: at moderate correlations the higher Hermite terms
+        // (c_j²/j!)·r^j add a positive bias (~ +0.07 at lags 60–150 for this
+        // configuration). Measure out at lags 300–800 where the composite
+        // tail has decayed enough for the rank-1 term to dominate.
         let measured = measure_attenuation(
             CompositeAcf::paper_fit(),
             &target,
-            4096,
+            8192,
             40,
-            (60, 150),
+            (300, 800),
             &mut rng,
-        )
-        .unwrap();
+        )?;
         assert!(
             (measured - theory).abs() < 0.06,
             "measured {measured} vs theory {theory}"
         );
         assert!(theory < 1.0 && theory > 0.7, "theory {theory}");
+        Ok(())
     }
 
     #[test]
-    fn validation() {
+    fn validation() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(4);
         let t = Normal::standard();
-        let acf = FgnAcf::new(0.8).unwrap();
+        let acf = FgnAcf::new(0.8)?;
         assert!(measure_attenuation(acf, &t, 128, 1, (0, 10), &mut rng).is_err());
         assert!(measure_attenuation(acf, &t, 128, 1, (10, 5), &mut rng).is_err());
         assert!(measure_attenuation(acf, &t, 128, 1, (10, 200), &mut rng).is_err());
         assert!(measure_attenuation(acf, &t, 128, 0, (1, 10), &mut rng).is_err());
+        Ok(())
     }
 }

@@ -130,7 +130,7 @@ impl CompositeVideoFit {
             DaviesHarte::new_approx(&scaled, n, 5e-2)?.generate(rng)
         } else {
             let table = self.background_table(n.max(2))?;
-            HoskingSampler::new(&table).generate(n, rng)?
+            HoskingSampler::new(&table)?.generate(n, rng)?
         };
         let t_i = GaussianTransform::new(&self.marginal_i);
         let t_p = GaussianTransform::new(&self.marginal_p);
@@ -207,17 +207,14 @@ mod tests {
         assert!(fit.marginal_i.mean() > fit.marginal_p.mean());
         assert!(fit.marginal_p.mean() > fit.marginal_b.mean());
         assert_eq!(fit.pattern.period(), 12);
-        assert_eq!(
-            fit.marginal(FrameType::I).mean(),
-            fit.marginal_i.mean()
-        );
+        assert_eq!(fit.marginal(FrameType::I).mean(), fit.marginal_i.mean());
     }
 
     #[test]
-    fn generated_trace_reproduces_gop_structure() {
+    fn generated_trace_reproduces_gop_structure() -> Result<(), Box<dyn std::error::Error>> {
         let (_, fit) = fitted();
         let mut rng = StdRng::seed_from_u64(1);
-        let synth = fit.generate(24_000, true, &mut rng).unwrap();
+        let synth = fit.generate(24_000, true, &mut rng)?;
         assert_eq!(synth.len(), 24_000);
         // Per-type means ordered I > P > B, as in the source.
         let mean_of = |t: FrameType| {
@@ -226,18 +223,19 @@ mod tests {
         };
         assert!(mean_of(FrameType::I) > mean_of(FrameType::P));
         assert!(mean_of(FrameType::P) > mean_of(FrameType::B));
+        Ok(())
     }
 
     #[test]
-    fn per_type_marginals_match_source() {
+    fn per_type_marginals_match_source() -> Result<(), Box<dyn std::error::Error>> {
         let (trace, fit) = fitted();
         let mut rng = StdRng::seed_from_u64(2);
         // Pool over replications: the GOP-rescaled background is extremely
         // persistent (its lag axis is stretched 12×), so a single path's
         // marginal wanders far from F_Y — see the pipeline marginal test.
         let synths: Vec<FrameTrace> = (0..12)
-            .map(|_| fit.generate(24_000, true, &mut rng).unwrap())
-            .collect();
+            .map(|_| fit.generate(24_000, true, &mut rng))
+            .collect::<Result<_, _>>()?;
         for t in [FrameType::I, FrameType::P, FrameType::B] {
             let a: Vec<f64> = trace.sizes_of_type(t).iter().map(|&x| x as f64).collect();
             let b: Vec<f64> = synths
@@ -245,22 +243,23 @@ mod tests {
                 .flat_map(|s| s.sizes_of_type(t))
                 .map(|x| x as f64)
                 .collect();
-            let ks = two_sample_ks(&a, &b).unwrap();
+            let ks = two_sample_ks(&a, &b)?;
             assert!(ks < 0.13, "{t:?}: KS {ks}");
         }
+        Ok(())
     }
 
     #[test]
-    fn composite_acf_shows_gop_periodicity() {
+    fn composite_acf_shows_gop_periodicity() -> Result<(), Box<dyn std::error::Error>> {
         // The paper's Figs. 9–11: the composite foreground ACF oscillates
         // with the GOP period because adjacent frames are of different
         // types. Check that r(12) (same phase) exceeds r(6) (opposite
         // phase) in the synthetic trace, mirroring the source trace.
         let (trace, fit) = fitted();
         let mut rng = StdRng::seed_from_u64(3);
-        let synth = fit.generate(48_000, true, &mut rng).unwrap();
-        let r_synth = sample_acf_fft(&synth.as_f64(), 30).unwrap();
-        let r_src = sample_acf_fft(&trace.as_f64(), 30).unwrap();
+        let synth = fit.generate(48_000, true, &mut rng)?;
+        let r_synth = sample_acf_fft(&synth.as_f64(), 30)?;
+        let r_src = sample_acf_fft(&trace.as_f64(), 30)?;
         assert!(
             r_synth[12] > r_synth[6],
             "synthetic: r(12) {} vs r(6) {}",
@@ -273,20 +272,19 @@ mod tests {
             r_src[12],
             r_src[6]
         );
+        Ok(())
     }
 
     #[test]
-    fn background_table_rescales_lags() {
+    fn background_table_rescales_lags() -> Result<(), Box<dyn std::error::Error>> {
         let (_, fit) = fitted();
-        let table = fit.background_table(600).unwrap();
+        let table = fit.background_table(600)?;
         // The per-frame background at lag 12 ≈ the I-frame process at lag 1
         // (both attenuation-compensated), modulo PD projection.
         let comp = fit
             .i_fit
-            .composite_acf()
-            .unwrap()
-            .compensate(fit.i_fit.attenuation)
-            .unwrap();
+            .composite_acf()?
+            .compensate(fit.i_fit.attenuation)?;
         assert!(
             (table.r(12) - comp.r(1)).abs() < 0.05,
             "table r(12) {} vs I-process r(1) {}",
@@ -295,6 +293,7 @@ mod tests {
         );
         // And it decays slowly — LRD carried through the rescaling.
         assert!(table.r(500) > 0.05);
+        Ok(())
     }
 
     #[test]
@@ -304,10 +303,11 @@ mod tests {
     }
 
     #[test]
-    fn hosking_path_works_for_short_composite_traces() {
+    fn hosking_path_works_for_short_composite_traces() -> Result<(), Box<dyn std::error::Error>> {
         let (_, fit) = fitted();
         let mut rng = StdRng::seed_from_u64(4);
-        let synth = fit.generate(600, false, &mut rng).unwrap();
+        let synth = fit.generate(600, false, &mut rng)?;
         assert_eq!(synth.len(), 600);
+        Ok(())
     }
 }

@@ -8,8 +8,7 @@
 
 use crate::CoreError;
 use svbr_stats::{
-    gph_estimate, local_whittle, rs_hurst, variance_time_hurst, wavelet_hurst, RsOptions,
-    VtOptions,
+    gph_estimate, local_whittle, rs_hurst, variance_time_hurst, wavelet_hurst, RsOptions, VtOptions,
 };
 
 /// Options for the combined Hurst estimation.
@@ -136,38 +135,45 @@ mod tests {
     }
 
     #[test]
-    fn recovers_strong_lrd() {
+    fn recovers_strong_lrd() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.9, 200_000, 1);
-        let est = estimate_hurst(&xs, &opts()).unwrap();
+        let est = estimate_hurst(&xs, &opts())?;
         assert!((est.vt - 0.9).abs() < 0.1, "vt {}", est.vt);
         assert!((est.rs - 0.9).abs() < 0.12, "rs {}", est.rs);
-        assert!((est.combined - 0.9).abs() <= 0.05, "combined {}", est.combined);
+        assert!(
+            (est.combined - 0.9).abs() <= 0.05,
+            "combined {}",
+            est.combined
+        );
         assert!((est.beta() - 0.2).abs() <= 0.11);
         assert!(est.gph.is_finite());
         assert!((est.whittle - 0.9).abs() < 0.1, "whittle {}", est.whittle);
         assert!((est.wavelet - 0.9).abs() < 0.12, "wavelet {}", est.wavelet);
+        Ok(())
     }
 
     #[test]
-    fn rounding_behaviour() {
+    fn rounding_behaviour() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.7, 100_000, 2);
         let mut o = opts();
         o.round_to = 0.05;
-        let est = estimate_hurst(&xs, &o).unwrap();
+        let est = estimate_hurst(&xs, &o)?;
         let multiple = est.combined / 0.05;
         assert!((multiple - multiple.round()).abs() < 1e-9);
         o.round_to = 0.0;
-        let raw = estimate_hurst(&xs, &o).unwrap();
+        let raw = estimate_hurst(&xs, &o)?;
         assert!((raw.combined - 0.5 * (raw.vt + raw.rs)).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn combined_clamped_to_lrd_regime() {
+    fn combined_clamped_to_lrd_regime() -> Result<(), Box<dyn std::error::Error>> {
         // Anti-persistent input: combined must still land in (0.5, 1) so the
         // downstream power-law model stays valid.
         let xs = fgn(0.5, 100_000, 3);
-        let est = estimate_hurst(&xs, &opts()).unwrap();
+        let est = estimate_hurst(&xs, &opts())?;
         assert!(est.combined >= 0.55 && est.combined <= 0.975);
+        Ok(())
     }
 
     #[test]

@@ -35,10 +35,10 @@ pub mod validate;
 pub use attenuation::{measure_attenuation, theoretical_attenuation};
 pub use composite::{CompositeVideoFit, CompositeVideoOptions};
 pub use hurst::{estimate_hurst, HurstEstimates, HurstOptions};
-pub use pipeline::{
-    BackgroundKind, UnifiedFit, UnifiedGenerator, UnifiedOptions,
-};
+pub use pipeline::{BackgroundKind, UnifiedFit, UnifiedGenerator, UnifiedOptions};
 pub use validate::{validate_model, ValidationOptions, ValidationReport};
+
+pub use svbr_domain::{Attenuation, Correlation, Hurst, Probability, SvbrError};
 
 /// Errors produced by the modeling pipeline.
 #[derive(Debug)]
@@ -56,6 +56,8 @@ pub enum CoreError {
         /// Human-readable constraint description.
         constraint: &'static str,
     },
+    /// A validated-newtype constraint failed (see [`svbr_domain`]).
+    Domain(SvbrError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -67,6 +69,7 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidParameter { name, constraint } => {
                 write!(f, "invalid parameter `{name}`: must satisfy {constraint}")
             }
+            CoreError::Domain(e) => write!(f, "{e}"),
         }
     }
 }
@@ -79,6 +82,12 @@ impl std::error::Error for CoreError {
             CoreError::Marginal(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<SvbrError> for CoreError {
+    fn from(e: SvbrError) -> Self {
+        CoreError::Domain(e)
     }
 }
 
@@ -112,10 +121,7 @@ mod tests {
         assert!(e.source().is_some());
         let e = CoreError::from(svbr_lrd::LrdError::NotPositiveDefinite { lag: 1 });
         assert!(e.to_string().contains("generator"));
-        let e = CoreError::from(svbr_marginal::MarginalError::TooFewSamples {
-            needed: 2,
-            got: 0,
-        });
+        let e = CoreError::from(svbr_marginal::MarginalError::TooFewSamples { needed: 2, got: 0 });
         assert!(e.to_string().contains("marginal"));
         let e = CoreError::InvalidParameter {
             name: "n",

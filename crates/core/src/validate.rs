@@ -8,8 +8,7 @@
 
 use crate::CoreError;
 use svbr_stats::{
-    qq_points, quantiles, sample_acf_fft, two_sample_ks, variance_time_hurst, Histogram,
-    VtOptions,
+    qq_points, quantiles, sample_acf_fft, two_sample_ks, variance_time_hurst, Histogram, VtOptions,
 };
 
 /// Options for [`validate_model`].
@@ -123,8 +122,6 @@ pub fn validate_model(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use svbr_video::reference_trace_of_len;
 
     fn opts_no_vt() -> ValidationOptions {
@@ -137,9 +134,9 @@ mod tests {
     }
 
     #[test]
-    fn identical_series_score_perfectly() {
+    fn identical_series_score_perfectly() -> Result<(), Box<dyn std::error::Error>> {
         let xs = reference_trace_of_len(20_000).as_f64();
-        let r = validate_model(&xs, &xs, &opts_no_vt()).unwrap();
+        let r = validate_model(&xs, &xs, &opts_no_vt())?;
         assert!(r.acf_rmse < 1e-12);
         assert!(r.acf_max_dev.1 < 1e-12);
         assert!(r.histogram_l1 < 1e-12);
@@ -148,10 +145,11 @@ mod tests {
         assert!(r.synthetic_hurst.is_none());
         assert_eq!(r.qq.len(), 50);
         assert_eq!(r.acfs.0.len(), 101);
+        Ok(())
     }
 
     #[test]
-    fn shuffled_series_keeps_marginal_loses_acf() {
+    fn shuffled_series_keeps_marginal_loses_acf() -> Result<(), Box<dyn std::error::Error>> {
         let xs = reference_trace_of_len(20_000).as_f64();
         // Deterministic shuffle.
         let mut shuffled = xs.clone();
@@ -162,7 +160,7 @@ mod tests {
             state ^= state << 17;
             shuffled.swap(i, (state % (i as u64 + 1)) as usize);
         }
-        let r = validate_model(&xs, &shuffled, &opts_no_vt()).unwrap();
+        let r = validate_model(&xs, &shuffled, &opts_no_vt())?;
         assert!(r.ks < 1e-12, "marginal unchanged by shuffling");
         assert!(r.histogram_l1 < 1e-12);
         assert!(
@@ -170,21 +168,23 @@ mod tests {
             "shuffling must destroy the ACF (rmse {})",
             r.acf_rmse
         );
+        Ok(())
     }
 
     #[test]
-    fn scaled_series_fails_marginal() {
+    fn scaled_series_fails_marginal() -> Result<(), Box<dyn std::error::Error>> {
         let xs = reference_trace_of_len(10_000).as_f64();
         let scaled: Vec<f64> = xs.iter().map(|&x| 2.0 * x).collect();
-        let r = validate_model(&xs, &scaled, &opts_no_vt()).unwrap();
+        let r = validate_model(&xs, &scaled, &opts_no_vt())?;
         assert!(r.ks > 0.3, "KS {}", r.ks);
         assert!(r.qq_max_relative > 0.4, "QQ {}", r.qq_max_relative);
         // But correlations are scale-invariant:
         assert!(r.acf_rmse < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn hurst_reestimate_runs() {
+    fn hurst_reestimate_runs() -> Result<(), Box<dyn std::error::Error>> {
         let xs = reference_trace_of_len(120_000).as_f64();
         let opts = ValidationOptions {
             vt: Some(VtOptions {
@@ -195,9 +195,10 @@ mod tests {
             }),
             ..opts_no_vt()
         };
-        let r = validate_model(&xs, &xs, &opts).unwrap();
-        let h = r.synthetic_hurst.unwrap();
+        let r = validate_model(&xs, &xs, &opts)?;
+        let h = r.synthetic_hurst.ok_or("no synthetic Hurst estimate")?;
         assert!(h > 0.6 && h < 1.0, "H {h}");
+        Ok(())
     }
 
     #[test]

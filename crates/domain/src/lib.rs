@@ -1,0 +1,316 @@
+//! Validated numerical newtypes shared across the svbr workspace.
+//!
+//! Every quantity in the unified VBR model lives on a bounded domain: the
+//! Hurst exponent `H ∈ (0, 1)`, lag correlations `r(k) ∈ [-1, 1]`, tail
+//! probabilities `p ∈ [0, 1]`, and the attenuation factor
+//! `a = E[h(Z)Z]² / Var h(Z) ∈ (0, 1]` (eq. 5 of the paper). Passing a raw
+//! `f64` across a crate boundary loses that information and forces every
+//! kernel to re-validate (or silently mis-handle) out-of-range values.
+//!
+//! The newtypes here validate **once, at the edge**: construction returns
+//! `Result<_, SvbrError>` and the inner value is then known-good everywhere
+//! downstream, so kernels can use `debug_assert!` instead of branches.
+//!
+//! Design rules:
+//!
+//! * constructors reject NaN and ±∞ before range checks, so the error names
+//!   the actual failure (`NotFinite` vs `OutOfRange`);
+//! * `value()` returns the raw `f64`; the wrappers are `Copy` and ordered,
+//!   so they are free to pass around;
+//! * [`SvbrError`] carries only `&'static str` context — it is `Copy`,
+//!   `Eq`, and cheap to match on, and every crate-local error enum
+//!   (`LrdError`, `CoreError`, `IsError`) embeds it via a `Domain` variant.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Workspace-wide domain error: a numerical parameter failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvbrError {
+    /// The parameter was NaN or ±∞.
+    NotFinite {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// The parameter was finite but outside its mathematical domain.
+    OutOfRange {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint, e.g. `"0 < H < 1"`.
+        constraint: &'static str,
+    },
+    /// A correlation structure was not positive definite (detected when the
+    /// Durbin–Levinson innovation variance turned non-positive).
+    NotPositiveDefinite {
+        /// The lag at which positive-definiteness failed.
+        lag: usize,
+    },
+}
+
+impl fmt::Display for SvbrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvbrError::NotFinite { name } => write!(f, "parameter `{name}` must be finite"),
+            SvbrError::OutOfRange { name, constraint } => {
+                write!(f, "parameter `{name}` out of range: requires {constraint}")
+            }
+            SvbrError::NotPositiveDefinite { lag } => {
+                write!(
+                    f,
+                    "correlation structure not positive definite at lag {lag}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SvbrError {}
+
+/// Validate finiteness, then a predicate, returning the raw value.
+fn checked(
+    value: f64,
+    name: &'static str,
+    constraint: &'static str,
+    ok: impl Fn(f64) -> bool,
+) -> Result<f64, SvbrError> {
+    if !value.is_finite() {
+        return Err(SvbrError::NotFinite { name });
+    }
+    if !ok(value) {
+        return Err(SvbrError::OutOfRange { name, constraint });
+    }
+    Ok(value)
+}
+
+macro_rules! newtype_common {
+    ($ty:ident) => {
+        impl $ty {
+            /// The validated inner value.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$ty> for f64 {
+            fn from(v: $ty) -> f64 {
+                v.0
+            }
+        }
+
+        impl TryFrom<f64> for $ty {
+            type Error = SvbrError;
+            fn try_from(v: f64) -> Result<Self, SvbrError> {
+                Self::new(v)
+            }
+        }
+
+        impl PartialOrd for $ty {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl Ord for $ty {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Inner values are validated finite, so total_cmp agrees
+                // with the usual order.
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl Eq for $ty {}
+    };
+}
+
+/// A Hurst exponent `H ∈ (0, 1)`.
+///
+/// `H = 1 - β/2` where `β` is the index of the power-law autocorrelation
+/// decay `r(k) ~ k^{-β}`; `H > 1/2` is the long-range-dependent regime the
+/// paper models, but the open unit interval is the full domain of fGn
+/// (`H < 1/2` gives anti-persistent noise, `H = 1/2` white noise).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hurst(f64);
+
+impl Hurst {
+    /// Validate `0 < h < 1`.
+    pub fn new(h: f64) -> Result<Self, SvbrError> {
+        checked(h, "hurst", "0 < H < 1", |v| v > 0.0 && v < 1.0).map(Self)
+    }
+
+    /// The power-law decay index `β = 2 - 2H ∈ (0, 2)`.
+    #[inline]
+    pub fn beta(self) -> f64 {
+        2.0 - 2.0 * self.0
+    }
+}
+
+newtype_common!(Hurst);
+
+/// A correlation coefficient `r ∈ [-1, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correlation(f64);
+
+impl Correlation {
+    /// Validate `-1 <= r <= 1`.
+    pub fn new(r: f64) -> Result<Self, SvbrError> {
+        checked(r, "correlation", "-1 <= r <= 1", |v| {
+            (-1.0..=1.0).contains(&v)
+        })
+        .map(Self)
+    }
+
+    /// Validate with absolute slack `tol` for accumulated floating-point
+    /// error (values within `tol` outside `[-1, 1]` are clamped in).
+    ///
+    /// Model-derived ACF tables routinely land at `1 + few·ulp`; rejecting
+    /// those would make valid pipelines fail, while accepting arbitrary
+    /// overshoot would hide genuine invalid inputs.
+    pub fn new_clamped(r: f64, tol: f64) -> Result<Self, SvbrError> {
+        let v = checked(r, "correlation", "-1 <= r <= 1 (within tolerance)", |v| {
+            v.abs() <= 1.0 + tol
+        })?;
+        Ok(Self(v.clamp(-1.0, 1.0)))
+    }
+}
+
+newtype_common!(Correlation);
+
+/// A probability `p ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Probability(f64);
+
+impl Probability {
+    /// Validate `0 <= p <= 1`.
+    pub fn new(p: f64) -> Result<Self, SvbrError> {
+        checked(p, "probability", "0 <= p <= 1", |v| {
+            (0.0..=1.0).contains(&v)
+        })
+        .map(Self)
+    }
+
+    /// The complement `1 - p`.
+    #[inline]
+    pub fn complement(self) -> Self {
+        Self(1.0 - self.0)
+    }
+}
+
+newtype_common!(Probability);
+
+/// The SRD/LRD attenuation factor `a ∈ (0, 1]` (paper eq. 5):
+/// `a = E[h(Z)Z]² / Var h(Z)` for the marginal transform `h`.
+///
+/// `a = 1` iff `h` is affine (pure pass-through of the Gaussian
+/// correlation); any genuine non-linearity attenuates, and `a = 0` would
+/// mean the transform destroys all correlation — excluded because the
+/// compensation step divides by `a`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attenuation(f64);
+
+impl Attenuation {
+    /// Validate `0 < a <= 1`.
+    pub fn new(a: f64) -> Result<Self, SvbrError> {
+        checked(a, "attenuation", "0 < a <= 1", |v| v > 0.0 && v <= 1.0).map(Self)
+    }
+}
+
+newtype_common!(Attenuation);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hurst_accepts_open_interval() -> Result<(), Box<dyn std::error::Error>> {
+        for h in [1e-9, 0.3, 0.5, 0.83, 1.0 - 1e-12] {
+            let v = Hurst::new(h)?;
+            assert_eq!(v.value(), h);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn hurst_rejects_boundary_and_outside() {
+        for h in [0.0, 1.0, -0.2, 1.2] {
+            assert!(matches!(Hurst::new(h), Err(SvbrError::OutOfRange { .. })));
+        }
+        for h in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(Hurst::new(h), Err(SvbrError::NotFinite { .. })));
+        }
+    }
+
+    #[test]
+    fn hurst_beta_relation() -> Result<(), Box<dyn std::error::Error>> {
+        let h = Hurst::new(0.83)?;
+        assert!((h.beta() - 0.34).abs() < 1e-12);
+        Ok(())
+    }
+
+    #[test]
+    fn correlation_closed_interval() {
+        assert!(Correlation::new(-1.0).is_ok());
+        assert!(Correlation::new(1.0).is_ok());
+        assert!(Correlation::new(1.0000001).is_err());
+        assert!(Correlation::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn correlation_clamped_tolerates_ulps() -> Result<(), Box<dyn std::error::Error>> {
+        let r = Correlation::new_clamped(1.0 + 1e-12, 1e-9)?;
+        assert_eq!(r.value(), 1.0);
+        assert!(Correlation::new_clamped(1.1, 1e-9).is_err());
+        assert!(Correlation::new_clamped(f64::NAN, 1e-9).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn probability_bounds_and_complement() -> Result<(), Box<dyn std::error::Error>> {
+        let p = Probability::new(0.25)?;
+        assert_eq!(p.complement().value(), 0.75);
+        assert!(Probability::new(-0.1).is_err());
+        assert!(Probability::new(1.1).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn attenuation_half_open() {
+        assert!(Attenuation::new(1.0).is_ok());
+        assert!(Attenuation::new(0.0).is_err());
+        assert!(Attenuation::new(1.0 + 1e-9).is_err());
+    }
+
+    #[test]
+    fn error_display_names_parameter() {
+        let e = Hurst::new(2.0).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("hurst") && msg.contains("0 < H < 1"), "{msg}");
+        let e = Hurst::new(f64::NAN).unwrap_err();
+        assert!(e.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn ordering_is_total_on_valid_values() -> Result<(), Box<dyn std::error::Error>> {
+        let a = Hurst::new(0.3)?;
+        let b = Hurst::new(0.7)?;
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        Ok(())
+    }
+
+    #[test]
+    fn try_from_round_trip() -> Result<(), Box<dyn std::error::Error>> {
+        let h: Hurst = 0.83f64.try_into()?;
+        let raw: f64 = h.into();
+        assert_eq!(raw, 0.83);
+        Ok(())
+    }
+}

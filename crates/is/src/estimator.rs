@@ -1,9 +1,9 @@
 //! The IS replication loop and replicated estimator (§4 procedure,
 //! steps 1–8).
 
-use crate::IsError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use svbr_domain::SvbrError;
 use svbr_lrd::acf::Acf;
 use svbr_lrd::gauss::Normal;
 use svbr_lrd::hosking::PreparedHosking;
@@ -150,27 +150,30 @@ impl<M: Marginal> IsEstimator<M> {
         buffer: f64,
         twist: f64,
         event: IsEvent,
-    ) -> Result<Self, IsError> {
+    ) -> Result<Self, SvbrError> {
         if horizon == 0 {
-            return Err(IsError::InvalidParameter {
+            return Err(SvbrError::OutOfRange {
                 name: "horizon",
                 constraint: ">= 1",
             });
         }
-        if !(service > 0.0 && service.is_finite()) {
-            return Err(IsError::InvalidParameter {
+        if !service.is_finite() {
+            return Err(SvbrError::NotFinite { name: "service" });
+        }
+        if service <= 0.0 {
+            return Err(SvbrError::OutOfRange {
                 name: "service",
-                constraint: "> 0 and finite",
+                constraint: "> 0",
             });
         }
-        if !twist.is_finite() || !buffer.is_finite() {
-            return Err(IsError::InvalidParameter {
-                name: "twist/buffer",
-                constraint: "finite",
-            });
+        if !twist.is_finite() {
+            return Err(SvbrError::NotFinite { name: "twist" });
+        }
+        if !buffer.is_finite() {
+            return Err(SvbrError::NotFinite { name: "buffer" });
         }
         Ok(Self {
-            prepared: PreparedHosking::new(acf, horizon)?,
+            prepared: PreparedHosking::new(acf, horizon).map_err(SvbrError::from)?,
             transform,
             service,
             buffer,
@@ -244,8 +247,13 @@ impl<M: Marginal> IsEstimator<M> {
             let x = m.mean + shift + eps;
             hist.push(x);
             // ln L_i = −shift·(2ε + shift)/(2v)  (see crate docs).
+            // svbr-lint: allow(float-eq) exact zero: untwisted replications must skip the LR update entirely
             if shift != 0.0 {
                 log_lr -= shift * (2.0 * eps + shift) / (2.0 * m.var);
+                debug_assert!(
+                    log_lr.is_finite(),
+                    "likelihood-ratio accumulator left the finite range at slot {i}"
+                );
             }
             let y = self.transform.apply(x);
             match self.event {
@@ -318,6 +326,7 @@ impl<M: Marginal> IsEstimator<M> {
                 None => e,
             });
             round += 1;
+            // svbr-lint: allow(no-expect) `pooled` is assigned on every loop iteration before this read
             if pooled.expect("just set").relative_error() <= target {
                 break;
             }
@@ -341,14 +350,15 @@ impl<M: Marginal> IsEstimator<M> {
         let per = n / threads;
         let extra = n % threads;
         let mut accs: Vec<Accumulator> = Vec::new();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let reps = per + usize::from(t < extra);
                 let est = &*self;
-                handles.push(s.spawn(move |_| {
-                    let mut rng =
-                        StdRng::seed_from_u64(base_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)));
+                handles.push(s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(
+                        base_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
+                    );
                     let mut acc = Accumulator::default();
                     for _ in 0..reps {
                         acc.add(&est.replicate(&mut rng));
@@ -357,10 +367,10 @@ impl<M: Marginal> IsEstimator<M> {
                 }));
             }
             for h in handles {
+                // svbr-lint: allow(no-expect) worker threads only do arithmetic; a panic here is a bug worth propagating
                 accs.push(h.join().expect("replication thread panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         let mut total = Accumulator::default();
         for a in accs {
             total.merge(&a);
@@ -455,13 +465,7 @@ mod tests {
         // makes the sample mean of L collapse below 1 at any feasible
         // replication count (the classic IS-degeneracy effect — exactly why
         // the valley in Fig. 14 rises again on the right).
-        let est = white_noise_system(
-            20,
-            0.5,
-            -1.0,
-            0.1,
-            IsEvent::LevelAtHorizon { initial: 0.0 },
-        );
+        let est = white_noise_system(20, 0.5, -1.0, 0.1, IsEvent::LevelAtHorizon { initial: 0.0 });
         let mut rng = StdRng::seed_from_u64(2);
         let e = est.run(40_000, &mut rng);
         assert_eq!(e.hits, 40_000, "Q_k > −1 always");
@@ -510,7 +514,12 @@ mod tests {
         );
         // MC at the same budget almost never sees the event.
         let e_mc = mc.run(n, &mut rng);
-        assert!(e_mc.hits < e_is.hits, "MC hits {} IS hits {}", e_mc.hits, e_is.hits);
+        assert!(
+            e_mc.hits < e_is.hits,
+            "MC hits {} IS hits {}",
+            e_mc.hits,
+            e_is.hits
+        );
     }
 
     #[test]
@@ -546,38 +555,37 @@ mod tests {
     }
 
     #[test]
-    fn works_with_lrd_background() {
+    fn works_with_lrd_background() -> Result<(), Box<dyn std::error::Error>> {
         // The real use case: fGn background, H = 0.8.
         let est = IsEstimator::new(
-            FgnAcf::new(0.8).unwrap(),
+            FgnAcf::new(0.8)?,
             100,
             GaussianTransform::new(NormalDist::standard()),
             0.8,
             6.0,
             1.0,
             IsEvent::FirstPassage,
-        )
-        .unwrap();
+        )?;
         let mut rng = StdRng::seed_from_u64(6);
         let e = est.run(5_000, &mut rng);
         assert!(e.p > 0.0 && e.p < 1.0, "p = {}", e.p);
         assert!(e.variance_reduction() > 1.0);
+        Ok(())
     }
 
     #[test]
-    fn srd_background_twist_shift_uses_phi_sum() {
+    fn srd_background_twist_shift_uses_phi_sum() -> Result<(), Box<dyn std::error::Error>> {
         // For an AR(1) exponential ACF the twist shift after step 1 must be
         // m*(1−φ), not m* — regression through the conditional mean.
         let est = IsEstimator::new(
-            ExponentialAcf::new(0.5).unwrap(),
+            ExponentialAcf::new(0.5)?,
             10,
             GaussianTransform::new(NormalDist::standard()),
             1.0,
             100.0,
             2.0,
             IsEvent::FirstPassage,
-        )
-        .unwrap();
+        )?;
         let mut rng = StdRng::seed_from_u64(7);
         // Long-run mean of the twisted process must approach m*, not m*(1+…).
         let mut sum = 0.0;
@@ -589,6 +597,7 @@ mod tests {
         }
         // E[ln L] = −Σ (m* s_i)²/(2 v_i) < 0 under the twisted measure.
         assert!((sum / reps as f64) < 0.0);
+        Ok(())
     }
 
     #[test]
@@ -656,10 +665,10 @@ mod tests {
     }
 
     #[test]
-    fn validation() {
+    fn validation() -> Result<(), Box<dyn std::error::Error>> {
         let t = GaussianTransform::new(NormalDist::standard());
         assert!(IsEstimator::new(
-            FgnAcf::new(0.5).unwrap(),
+            FgnAcf::new(0.5)?,
             0,
             t.clone(),
             1.0,
@@ -669,7 +678,7 @@ mod tests {
         )
         .is_err());
         assert!(IsEstimator::new(
-            FgnAcf::new(0.5).unwrap(),
+            FgnAcf::new(0.5)?,
             5,
             t.clone(),
             0.0,
@@ -679,7 +688,7 @@ mod tests {
         )
         .is_err());
         assert!(IsEstimator::new(
-            FgnAcf::new(0.5).unwrap(),
+            FgnAcf::new(0.5)?,
             5,
             t,
             1.0,
@@ -688,5 +697,6 @@ mod tests {
             IsEvent::FirstPassage
         )
         .is_err());
+        Ok(())
     }
 }

@@ -46,6 +46,8 @@ pub use estimator::{IsEstimate, IsEstimator, IsEvent, IsReplication};
 pub use search::{suggest_twist, valley_search, TwistPoint};
 pub use transient::{is_transient_curve, TransientConfig, TransientEstimate};
 
+pub use svbr_domain::SvbrError;
+
 /// Errors produced by this crate.
 #[derive(Debug)]
 pub enum IsError {
@@ -60,6 +62,8 @@ pub enum IsError {
         /// Human-readable constraint description.
         constraint: &'static str,
     },
+    /// A validated-newtype constraint failed (see [`svbr_domain`]).
+    Domain(SvbrError),
 }
 
 impl std::fmt::Display for IsError {
@@ -70,6 +74,7 @@ impl std::fmt::Display for IsError {
             IsError::InvalidParameter { name, constraint } => {
                 write!(f, "invalid parameter `{name}`: must satisfy {constraint}")
             }
+            IsError::Domain(e) => write!(f, "{e}"),
         }
     }
 }
@@ -93,6 +98,12 @@ impl From<svbr_lrd::LrdError> for IsError {
 impl From<svbr_queue::QueueError> for IsError {
     fn from(e: svbr_queue::QueueError) -> Self {
         IsError::Queue(e)
+    }
+}
+
+impl From<SvbrError> for IsError {
+    fn from(e: SvbrError) -> Self {
+        IsError::Domain(e)
     }
 }
 

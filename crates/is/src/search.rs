@@ -78,6 +78,7 @@ pub fn valley_search<A: Acf, M: Marginal + Clone + Sync>(
                 .total_cmp(&b.1.normalized_variance())
         })
         .map(|(i, _)| i)
+        // svbr-lint: allow(no-expect) `points` has one entry per twist and twists was checked non-empty
         .expect("non-empty");
     Ok((points, best))
 }
@@ -140,17 +141,20 @@ pub fn suggest_twist<M: Marginal>(
     let mut best: Option<(f64, f64)> = None; // (cost, twist)
     let steps = 24usize;
     for i in 0..=steps {
-        let t = ((horizon as f64).ln() * i as f64 / steps as f64).exp().round();
+        let t = ((horizon as f64).ln() * i as f64 / steps as f64)
+            .exp()
+            .round();
         let t = t.clamp(1.0, horizon as f64);
         let needed = service + buffer / t;
         let Some(m) = twist_for_drift(needed) else {
             continue;
         };
+        // svbr-lint: allow(float-eq) exact zero sentinel returned by the heuristic, not a computed value
         if m == 0.0 {
             return Ok(0.0); // the event is not rare; no twist required
         }
         let cost = t * m * m / 2.0;
-        if best.map_or(true, |(c, _)| cost < c) {
+        if best.is_none_or(|(c, _)| cost < c) {
             best = Some((cost, m));
         }
     }
@@ -164,13 +168,13 @@ mod tests {
     use svbr_marginal::Normal as NormalDist;
 
     #[test]
-    fn valley_has_interior_minimum() {
+    fn valley_has_interior_minimum() -> Result<(), Box<dyn std::error::Error>> {
         // Rare event under white noise: untwisted MC sees almost nothing
         // (∞ or huge normalized variance), over-twisting inflates weights,
         // a middle twist wins.
         let twists = [0.0, 0.5, 1.0, 1.5, 2.5, 4.0, 6.0];
         let (points, best) = valley_search(
-            FgnAcf::new(0.5).unwrap(),
+            FgnAcf::new(0.5)?,
             60,
             GaussianTransform::new(NormalDist::standard()),
             1.0,
@@ -180,8 +184,7 @@ mod tests {
             4_000,
             11,
             4,
-        )
-        .unwrap();
+        )?;
         assert_eq!(points.len(), twists.len());
         assert!(best > 0, "twist 0 cannot be optimal for a rare event");
         assert!(
@@ -192,12 +195,13 @@ mod tests {
         // The winning estimate must be usable.
         assert!(points[best].estimate.p > 0.0);
         assert!(points[best].normalized_variance().is_finite());
+        Ok(())
     }
 
     #[test]
-    fn untwisted_point_misses_rare_event() {
+    fn untwisted_point_misses_rare_event() -> Result<(), Box<dyn std::error::Error>> {
         let (points, _) = valley_search(
-            FgnAcf::new(0.5).unwrap(),
+            FgnAcf::new(0.5)?,
             40,
             GaussianTransform::new(NormalDist::standard()),
             1.2,
@@ -207,52 +211,54 @@ mod tests {
             2_000,
             5,
             2,
-        )
-        .unwrap();
+        )?;
         // At twist 0 the event {W crosses 12 under drift −1.2} is
         // essentially invisible at 2000 reps.
         assert_eq!(points[0].estimate.hits, 0);
         assert!(points[0].normalized_variance().is_infinite());
         assert!(points[1].estimate.hits > 0);
+        Ok(())
     }
 
     #[test]
-    fn suggested_twist_matches_ld_optimum_for_gaussian_target() {
+    fn suggested_twist_matches_ld_optimum_for_gaussian_target(
+    ) -> Result<(), Box<dyn std::error::Error>> {
         // For a standard-normal target h is the identity: E[h(Z+m)] = m.
         // Cost(t) = t·(service + b/t)²/2 is minimized at t* = b/service,
         // giving m* = 2·service.
-        let m = suggest_twist(&NormalDist::standard(), 1.0, 10.0, 60, 60).unwrap();
+        let m = suggest_twist(&NormalDist::standard(), 1.0, 10.0, 60, 60)?;
         assert!((m - 2.0).abs() < 0.15, "m* = {m}");
         // Horizon shorter than t*: crossing must happen by k, m* = 1 + b/k.
-        let m = suggest_twist(&NormalDist::standard(), 1.0, 10.0, 5, 60).unwrap();
+        let m = suggest_twist(&NormalDist::standard(), 1.0, 10.0, 5, 60)?;
         assert!((m - 3.0).abs() < 0.25, "m* = {m}");
         // Not rare (target mean already exceeds the needed drift) → 0.
-        let rich = NormalDist::new(5.0, 1.0).unwrap();
-        let z = suggest_twist(&rich, 1.0, 10.0, 1_000, 60).unwrap();
+        let rich = NormalDist::new(5.0, 1.0)?;
+        let z = suggest_twist(&rich, 1.0, 10.0, 1_000, 60)?;
         assert_eq!(z, 0.0);
+        Ok(())
     }
 
     #[test]
-    fn suggested_twist_saturates_when_unreachable() {
+    fn suggested_twist_saturates_when_unreachable() -> Result<(), Box<dyn std::error::Error>> {
         // No 6σ shift of a standard normal reaches drift 100: saturate at 6.
-        let m = suggest_twist(&NormalDist::standard(), 100.0, 10.0, 1, 60).unwrap();
+        let m = suggest_twist(&NormalDist::standard(), 100.0, 10.0, 1, 60)?;
         assert!((m - 6.0).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn suggested_twist_lands_in_valley() {
+    fn suggested_twist_lands_in_valley() -> Result<(), Box<dyn std::error::Error>> {
         // The drift-matching twist must be competitive: within 10x of the
         // best normalized variance found by a full grid search.
         let service = 1.0;
         let buffer = 10.0;
         let horizon = 60;
-        let suggested =
-            suggest_twist(&NormalDist::standard(), service, buffer, horizon, 60).unwrap();
+        let suggested = suggest_twist(&NormalDist::standard(), service, buffer, horizon, 60)?;
         let grid: Vec<f64> = (1..=12).map(|i| i as f64 * 0.5).collect();
         let mut twists = grid.clone();
         twists.push(suggested);
         let (points, best) = valley_search(
-            FgnAcf::new(0.5).unwrap(),
+            FgnAcf::new(0.5)?,
             horizon,
             GaussianTransform::new(NormalDist::standard()),
             service,
@@ -262,8 +268,8 @@ mod tests {
             4_000,
             7,
             4,
-        )
-        .unwrap();
+        )?;
+        // svbr-lint: allow(no-expect) `points` has one entry per twist and twists was checked non-empty
         let suggested_point = points.last().expect("non-empty");
         let best_nv = points[best].normalized_variance();
         assert!(
@@ -272,6 +278,7 @@ mod tests {
             suggested_point.normalized_variance(),
             best_nv
         );
+        Ok(())
     }
 
     #[test]
@@ -282,9 +289,9 @@ mod tests {
     }
 
     #[test]
-    fn rejects_empty_twists() {
+    fn rejects_empty_twists() -> Result<(), Box<dyn std::error::Error>> {
         let r = valley_search(
-            FgnAcf::new(0.5).unwrap(),
+            FgnAcf::new(0.5)?,
             10,
             GaussianTransform::new(NormalDist::standard()),
             1.0,
@@ -296,5 +303,6 @@ mod tests {
             1,
         );
         assert!(r.is_err());
+        Ok(())
     }
 }

@@ -92,6 +92,7 @@ where
             constraint: "service > 0, initial >= 0, finite twist",
         });
     }
+    // svbr-lint: allow(no-expect) stop_times emptiness is rejected by the guard above
     let horizon = *config.stop_times.last().expect("non-empty");
     let prepared = PreparedHosking::new(acf, horizon)?;
     let threads = threads.max(1).min(n_reps);
@@ -100,14 +101,13 @@ where
     let m = config.stop_times.len();
     let mut sums = vec![0.0f64; m];
     let mut sums_sq = vec![0.0f64; m];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let reps = per + usize::from(t < extra);
             let prepared = &prepared;
             let config = &*config;
-            let transform = transform;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(
                     base_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
                 );
@@ -126,6 +126,7 @@ where
                         let eps = normal.sample(&mut rng) * mo.var.sqrt();
                         let x = mo.mean + shift + eps;
                         hist.push(x);
+                        // svbr-lint: allow(float-eq) exact zero: untwisted replications must skip the LR update entirely
                         if shift != 0.0 {
                             log_lr -= shift * (2.0 * eps + shift) / (2.0 * mo.var);
                         }
@@ -145,14 +146,14 @@ where
             }));
         }
         for h in handles {
+            // svbr-lint: allow(no-expect) worker threads only do arithmetic; a panic here is a bug worth propagating
             let (s1, s2) = h.join().expect("transient thread panicked");
             for i in 0..m {
                 sums[i] += s1[i];
                 sums_sq[i] += s2[i];
             }
         }
-    })
-    .expect("crossbeam scope");
+    });
     let n = n_reps as f64;
     let p: Vec<f64> = sums.iter().map(|&s| s / n).collect();
     let variance: Vec<f64> = sums_sq
@@ -185,11 +186,10 @@ mod tests {
     }
 
     #[test]
-    fn matches_plain_mc_at_zero_twist() {
+    fn matches_plain_mc_at_zero_twist() -> Result<(), Box<dyn std::error::Error>> {
         let t = GaussianTransform::new(NormalDist::standard());
-        let acf = FgnAcf::new(0.5).unwrap();
-        let est = is_transient_curve(&acf, &t, &config(vec![10, 50, 150], 0.0, 0.0), 20_000, 1, 4)
-            .unwrap();
+        let acf = FgnAcf::new(0.5)?;
+        let est = is_transient_curve(acf, &t, &config(vec![10, 50, 150], 0.0, 0.0), 20_000, 1, 4)?;
         // Plain-MC comparison via the queue crate.
         let mut rng = StdRng::seed_from_u64(99);
         let mut normal = Normal::new();
@@ -200,24 +200,24 @@ mod tests {
             0.7,
             3.0,
             svbr_queue::InitialCondition::Empty,
-        )
-        .unwrap();
+        )?;
         for (i, (&p_is, &p_mc)) in est.p.iter().zip(mc.iter()).enumerate() {
-            let tol = 4.0 * (est.variance[i].sqrt() + (p_mc * (1.0 - p_mc) / 20_000.0).sqrt())
-                + 1e-4;
+            let tol =
+                4.0 * (est.variance[i].sqrt() + (p_mc * (1.0 - p_mc) / 20_000.0).sqrt()) + 1e-4;
             assert!(
                 (p_is - p_mc).abs() < tol,
                 "stop {i}: IS {p_is} vs MC {p_mc}"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn twisted_estimate_agrees_with_untwisted() {
+    fn twisted_estimate_agrees_with_untwisted() -> Result<(), Box<dyn std::error::Error>> {
         let t = GaussianTransform::new(NormalDist::standard());
-        let acf = FgnAcf::new(0.5).unwrap();
-        let a = is_transient_curve(&acf, &t, &config(vec![40], 0.0, 0.0), 40_000, 2, 4).unwrap();
-        let b = is_transient_curve(&acf, &t, &config(vec![40], 0.5, 0.0), 40_000, 3, 4).unwrap();
+        let acf = FgnAcf::new(0.5)?;
+        let a = is_transient_curve(acf, &t, &config(vec![40], 0.0, 0.0), 40_000, 2, 4)?;
+        let b = is_transient_curve(acf, &t, &config(vec![40], 0.5, 0.0), 40_000, 3, 4)?;
         let tol = 4.0 * (a.variance[0].sqrt() + b.variance[0].sqrt());
         assert!(
             (a.p[0] - b.p[0]).abs() < tol,
@@ -225,16 +225,15 @@ mod tests {
             a.p[0],
             b.p[0]
         );
+        Ok(())
     }
 
     #[test]
-    fn full_start_exceeds_empty_start_early() {
+    fn full_start_exceeds_empty_start_early() -> Result<(), Box<dyn std::error::Error>> {
         let t = GaussianTransform::new(NormalDist::standard());
-        let acf = FgnAcf::new(0.5).unwrap();
-        let empty =
-            is_transient_curve(&acf, &t, &config(vec![5, 100], 0.3, 0.0), 10_000, 4, 4).unwrap();
-        let full =
-            is_transient_curve(&acf, &t, &config(vec![5, 100], 0.3, 3.0), 10_000, 5, 4).unwrap();
+        let acf = FgnAcf::new(0.5)?;
+        let empty = is_transient_curve(acf, &t, &config(vec![5, 100], 0.3, 0.0), 10_000, 4, 4)?;
+        let full = is_transient_curve(acf, &t, &config(vec![5, 100], 0.3, 3.0), 10_000, 5, 4)?;
         assert!(
             full.p[0] > empty.p[0],
             "early: full {} vs empty {}",
@@ -243,29 +242,32 @@ mod tests {
         );
         // Late: closer together (both near steady state).
         assert!((full.p[1] - empty.p[1]).abs() < (full.p[0] - empty.p[0]));
+        Ok(())
     }
 
     #[test]
-    fn rows_shape() {
+    fn rows_shape() -> Result<(), Box<dyn std::error::Error>> {
         let t = GaussianTransform::new(NormalDist::standard());
-        let acf = FgnAcf::new(0.5).unwrap();
-        let est = is_transient_curve(&acf, &t, &config(vec![5, 10], 0.2, 0.0), 500, 6, 2).unwrap();
+        let acf = FgnAcf::new(0.5)?;
+        let est = is_transient_curve(acf, &t, &config(vec![5, 10], 0.2, 0.0), 500, 6, 2)?;
         let rows = est.rows();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, 5);
         assert!(rows.iter().all(|r| r.1 >= 0.0 && r.2 >= 0.0));
+        Ok(())
     }
 
     #[test]
-    fn validation() {
+    fn validation() -> Result<(), Box<dyn std::error::Error>> {
         let t = GaussianTransform::new(NormalDist::standard());
-        let acf = FgnAcf::new(0.5).unwrap();
-        assert!(is_transient_curve(&acf, &t, &config(vec![], 0.0, 0.0), 10, 1, 1).is_err());
-        assert!(is_transient_curve(&acf, &t, &config(vec![0, 5], 0.0, 0.0), 10, 1, 1).is_err());
-        assert!(is_transient_curve(&acf, &t, &config(vec![5, 3], 0.0, 0.0), 10, 1, 1).is_err());
-        assert!(is_transient_curve(&acf, &t, &config(vec![5], 0.0, 0.0), 0, 1, 1).is_err());
+        let acf = FgnAcf::new(0.5)?;
+        assert!(is_transient_curve(acf, &t, &config(vec![], 0.0, 0.0), 10, 1, 1).is_err());
+        assert!(is_transient_curve(acf, &t, &config(vec![0, 5], 0.0, 0.0), 10, 1, 1).is_err());
+        assert!(is_transient_curve(acf, &t, &config(vec![5, 3], 0.0, 0.0), 10, 1, 1).is_err());
+        assert!(is_transient_curve(acf, &t, &config(vec![5], 0.0, 0.0), 0, 1, 1).is_err());
         let mut c = config(vec![5], 0.0, 0.0);
         c.initial = -1.0;
-        assert!(is_transient_curve(&acf, &t, &c, 10, 1, 1).is_err());
+        assert!(is_transient_curve(acf, &t, &c, 10, 1, 1).is_err());
+        Ok(())
     }
 }

@@ -7,15 +7,18 @@ use svbr_lrd::hosking::{HoskingSampler, NonPdPolicy};
 
 fn main() {
     let acf = CompositeAcf::paper_fit();
-    let mut raw = HoskingSampler::with_policy(&acf, NonPdPolicy::Freeze);
+    let mut raw = HoskingSampler::with_policy(&acf, NonPdPolicy::Freeze).unwrap();
     let mut rng = StdRng::seed_from_u64(1);
     for _ in 0..200 {
         raw.step(&mut rng).unwrap();
     }
-    println!("raw composite ACF: recursion froze at lag {:?}", raw.frozen_at());
+    println!(
+        "raw composite ACF: recursion froze at lag {:?}",
+        raw.frozen_at()
+    );
 
     let projected = pd_project(&acf, 2048).unwrap();
-    let mut fixed = HoskingSampler::new(&projected);
+    let mut fixed = HoskingSampler::new(&projected).unwrap();
     let mut min_v = f64::INFINITY;
     for _ in 0..2048 {
         let st = fixed.step(&mut rng).unwrap();

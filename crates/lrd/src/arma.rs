@@ -204,27 +204,30 @@ mod tests {
     }
 
     #[test]
-    fn pure_ma_filter() {
-        let f = ArmaFilter::new(vec![], vec![0.5]).unwrap();
+    fn pure_ma_filter() -> Result<(), Box<dyn std::error::Error>> {
+        let f = ArmaFilter::new(vec![], vec![0.5])?;
         let out = f.apply(&[1.0, 0.0, 0.0, 2.0]);
         assert_eq!(out, vec![1.0, 0.5, 0.0, 2.0]);
+        Ok(())
     }
 
     #[test]
-    fn pure_ar_filter() {
-        let f = ArmaFilter::new(vec![0.5], vec![]).unwrap();
+    fn pure_ar_filter() -> Result<(), Box<dyn std::error::Error>> {
+        let f = ArmaFilter::new(vec![0.5], vec![])?;
         let out = f.apply(&[1.0, 0.0, 0.0, 0.0]);
         assert_eq!(out, vec![1.0, 0.5, 0.25, 0.125]);
+        Ok(())
     }
 
     #[test]
-    fn arma11_impulse_response() {
-        let f = ArmaFilter::new(vec![0.5], vec![0.3]).unwrap();
+    fn arma11_impulse_response() -> Result<(), Box<dyn std::error::Error>> {
+        let f = ArmaFilter::new(vec![0.5], vec![0.3])?;
         let out = f.apply(&[1.0, 0.0, 0.0]);
         // ψ0=1, ψ1=φ+θ=0.8, ψ2=φψ1=0.4
         assert!((out[0] - 1.0).abs() < 1e-15);
         assert!((out[1] - 0.8).abs() < 1e-15);
         assert!((out[2] - 0.4).abs() < 1e-15);
+        Ok(())
     }
 
     #[test]
@@ -235,8 +238,8 @@ mod tests {
     }
 
     #[test]
-    fn ar1_acf_is_geometric() {
-        let p = Ar1::new(0.8).unwrap();
+    fn ar1_acf_is_geometric() -> Result<(), Box<dyn std::error::Error>> {
+        let p = Ar1::new(0.8)?;
         let mut rng = StdRng::seed_from_u64(1);
         let xs = p.generate(100_000, &mut rng);
         for k in 1..=5 {
@@ -244,61 +247,67 @@ mod tests {
             let target = 0.8f64.powi(k as i32);
             assert!((est - target).abs() < 0.02, "lag {k}: {est} vs {target}");
         }
+        Ok(())
     }
 
     #[test]
-    fn ar1_stationary_from_start() {
+    fn ar1_stationary_from_start() -> Result<(), Box<dyn std::error::Error>> {
         // First-sample variance must already be 1 (no ramp-up).
-        let p = Ar1::new(0.9).unwrap();
+        let p = Ar1::new(0.9)?;
         let mut rng = StdRng::seed_from_u64(2);
         let firsts: Vec<f64> = (0..20_000).map(|_| p.generate(1, &mut rng)[0]).collect();
         let n = firsts.len() as f64;
         let mean = firsts.iter().sum::<f64>() / n;
         let var = firsts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
         assert!((var - 1.0).abs() < 0.05, "var {var}");
+        Ok(())
     }
 
     #[test]
-    fn ar1_from_rate_matches_exponential_acf() {
-        let p = Ar1::from_rate(0.005_65).unwrap();
+    fn ar1_from_rate_matches_exponential_acf() -> Result<(), Box<dyn std::error::Error>> {
+        let p = Ar1::from_rate(0.005_65)?;
         assert!((p.phi() - (-0.005_65f64).exp()).abs() < 1e-15);
         assert!(Ar1::from_rate(0.0).is_err());
         assert!(Ar1::new(1.0).is_err());
+        Ok(())
     }
 
     #[test]
-    fn fit_ar_recovers_ar1() {
+    fn fit_ar_recovers_ar1() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(10);
-        let xs = Ar1::new(0.7).unwrap().generate(200_000, &mut rng);
-        let (phi, innov_var) = fit_ar(&xs, 1).unwrap();
+        let xs = Ar1::new(0.7)?.generate(200_000, &mut rng);
+        let (phi, innov_var) = fit_ar(&xs, 1)?;
         assert!((phi[0] - 0.7).abs() < 0.01, "phi {}", phi[0]);
         assert!((innov_var - (1.0 - 0.49)).abs() < 0.02, "v {innov_var}");
+        Ok(())
     }
 
     #[test]
-    fn fit_ar_recovers_ar2() {
+    fn fit_ar_recovers_ar2() -> Result<(), Box<dyn std::error::Error>> {
         // X_t = 0.5 X_{t-1} + 0.3 X_{t-2} + ε
-        let f = ArmaFilter::new(vec![0.5, 0.3], vec![]).unwrap();
+        let f = ArmaFilter::new(vec![0.5, 0.3], vec![])?;
         let mut rng = StdRng::seed_from_u64(11);
         let innov: Vec<f64> = {
             let mut g = crate::gauss::Normal::new();
             (0..300_000).map(|_| g.sample(&mut rng)).collect()
         };
         let xs = f.apply(&innov);
-        let (phi, _) = fit_ar(&xs[1000..], 2).unwrap();
+        let (phi, _) = fit_ar(&xs[1000..], 2)?;
         assert!((phi[0] - 0.5).abs() < 0.02, "phi1 {}", phi[0]);
         assert!((phi[1] - 0.3).abs() < 0.02, "phi2 {}", phi[1]);
+        Ok(())
     }
 
     #[test]
-    fn fit_ar_higher_order_finds_near_zero_extras() {
+    fn fit_ar_higher_order_finds_near_zero_extras() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(12);
-        let xs = Ar1::new(0.6).unwrap().generate(200_000, &mut rng);
-        let (phi, _) = fit_ar(&xs, 4).unwrap();
+        let xs = Ar1::new(0.6)?.generate(200_000, &mut rng);
+        let (phi, _) = fit_ar(&xs, 4)?;
         assert!((phi[0] - 0.6).abs() < 0.02);
         for p in &phi[1..] {
             assert!(p.abs() < 0.03, "spurious coefficient {p}");
         }
+        Ok(())
     }
 
     #[test]
@@ -309,12 +318,13 @@ mod tests {
     }
 
     #[test]
-    fn ar1_empty_and_deterministic() {
-        let p = Ar1::new(0.5).unwrap();
+    fn ar1_empty_and_deterministic() -> Result<(), Box<dyn std::error::Error>> {
+        let p = Ar1::new(0.5)?;
         let mut rng = StdRng::seed_from_u64(3);
         assert!(p.generate(0, &mut rng).is_empty());
         let mut r1 = StdRng::seed_from_u64(4);
         let mut r2 = StdRng::seed_from_u64(4);
         assert_eq!(p.generate(100, &mut r1), p.generate(100, &mut r2));
+        Ok(())
     }
 }

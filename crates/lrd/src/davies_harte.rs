@@ -94,8 +94,8 @@ impl DaviesHarte {
         for (j, item) in row.iter_mut().enumerate().take(half + 1) {
             *item = Complex::real(acf.r(j));
         }
-        for j in half + 1..m {
-            row[j] = Complex::real(acf.r(m - j));
+        for (j, item) in row.iter_mut().enumerate().skip(half + 1) {
+            *item = Complex::real(acf.r(m - j));
         }
         fft(&mut row);
         let pos_mass: f64 = row.iter().map(|z| z.re.max(0.0)).sum();
@@ -107,6 +107,7 @@ impl DaviesHarte {
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.re.total_cmp(&b.1.re))
+                // svbr-lint: allow(no-expect) the eigenvalue row has 2n-2 >= 2 entries by construction
                 .expect("row is non-empty");
             return Err(LrdError::NegativeCirculantEigenvalue {
                 index: j,
@@ -197,8 +198,8 @@ pub fn pd_project<A: Acf>(acf: A, n: usize) -> Result<TabulatedAcf, LrdError> {
     for (j, item) in row.iter_mut().enumerate().take(half + 1) {
         *item = Complex::real(acf.r(j));
     }
-    for j in half + 1..m {
-        row[j] = Complex::real(acf.r(m - j));
+    for (j, item) in row.iter_mut().enumerate().skip(half + 1) {
+        *item = Complex::real(acf.r(m - j));
     }
     fft(&mut row);
     // Flooring at a small *positive* value (rather than zero) keeps the
@@ -243,33 +244,35 @@ mod tests {
     }
 
     #[test]
-    fn fgn_embedding_is_valid_across_hurst_range() {
+    fn fgn_embedding_is_valid_across_hurst_range() -> Result<(), Box<dyn std::error::Error>> {
         for h in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
-            let acf = FgnAcf::new(h).unwrap();
+            let acf = FgnAcf::new(h)?;
             assert!(DaviesHarte::new(acf, 1024).is_ok(), "H = {h}");
         }
+        Ok(())
     }
 
     #[test]
-    fn white_noise_path_statistics() {
-        let acf = FgnAcf::new(0.5).unwrap();
-        let dh = DaviesHarte::new(acf, 4096).unwrap();
+    fn white_noise_path_statistics() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.5)?;
+        let dh = DaviesHarte::new(acf, 4096)?;
         let mut rng = StdRng::seed_from_u64(1);
         let xs = dh.generate(&mut rng);
         assert_eq!(xs.len(), 4096);
         let var = sample_acov(&xs, 0);
         assert!((var - 1.0).abs() < 0.08, "var {var}");
         assert!(sample_acov(&xs, 1).abs() < 0.05);
+        Ok(())
     }
 
     #[test]
-    fn fgn_acf_reproduced() {
+    fn fgn_acf_reproduced() -> Result<(), Box<dyn std::error::Error>> {
         let h = 0.85;
-        let acf = FgnAcf::new(h).unwrap();
-        let dh = DaviesHarte::new(&acf, 8192).unwrap();
+        let acf = FgnAcf::new(h)?;
+        let dh = DaviesHarte::new(acf, 8192)?;
         let mut rng = StdRng::seed_from_u64(2);
         // Average the sample ACF over several paths to tame LRD noise.
-        let mut acc = vec![0.0; 21];
+        let mut acc = [0.0; 21];
         let paths = 20;
         for _ in 0..paths {
             let xs = dh.generate(&mut rng);
@@ -278,18 +281,19 @@ mod tests {
                 *a += sample_acov(&xs, k) / var / paths as f64;
             }
         }
-        for k in 1..=20 {
+        for (k, a) in acc.iter().enumerate().take(21).skip(1) {
             assert!(
-                (acc[k] - acf.r(k)).abs() < 0.05,
+                (a - acf.r(k)).abs() < 0.05,
                 "lag {k}: est {} vs {}",
                 acc[k],
                 acf.r(k)
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn composite_model_needs_approximate_embedding() {
+    fn composite_model_needs_approximate_embedding() -> Result<(), Box<dyn std::error::Error>> {
         // The paper's piecewise-fitted ACF is *not* exactly positive
         // definite: the strict construction must refuse it…
         let acf = CompositeAcf::paper_fit();
@@ -300,7 +304,7 @@ mod tests {
         ));
         // …while the approximate construction (tiny negative mass clamped)
         // succeeds and produces a path whose ACF still matches the target.
-        let dh = DaviesHarte::new_approx(&acf, 2048, 1e-2).unwrap();
+        let dh = DaviesHarte::new_approx(&acf, 2048, 1e-2)?;
         let mut rng = StdRng::seed_from_u64(3);
         // LRD sample-ACF noise is large (Bartlett variance is dominated by
         // the non-summable Σr²), so average covariances over many paths.
@@ -320,53 +324,59 @@ mod tests {
                 acf.r(k)
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn exponential_acf_embeds() {
-        let acf = ExponentialAcf::new(0.005_65).unwrap();
+    fn exponential_acf_embeds() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = ExponentialAcf::new(0.005_65)?;
         assert!(DaviesHarte::new(acf, 2048).is_ok());
+        Ok(())
     }
 
     #[test]
-    fn single_sample_path() {
-        let acf = FgnAcf::new(0.9).unwrap();
-        let dh = DaviesHarte::new(acf, 1).unwrap();
+    fn single_sample_path() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.9)?;
+        let dh = DaviesHarte::new(acf, 1)?;
         let mut rng = StdRng::seed_from_u64(4);
         assert_eq!(dh.generate(&mut rng).len(), 1);
         assert_eq!(dh.len(), 1);
         assert!(!dh.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn zero_samples_rejected() {
-        let acf = FgnAcf::new(0.9).unwrap();
+    fn zero_samples_rejected() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.9)?;
         assert!(DaviesHarte::new(acf, 0).is_err());
+        Ok(())
     }
 
     #[test]
-    fn deterministic_given_seed() {
-        let acf = FgnAcf::new(0.75).unwrap();
-        let dh = DaviesHarte::new(acf, 512).unwrap();
+    fn deterministic_given_seed() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.75)?;
+        let dh = DaviesHarte::new(acf, 512)?;
         let mut r1 = StdRng::seed_from_u64(5);
         let mut r2 = StdRng::seed_from_u64(5);
         assert_eq!(dh.generate(&mut r1), dh.generate(&mut r2));
+        Ok(())
     }
 
     #[test]
-    fn generate_many_counts() {
-        let acf = FgnAcf::new(0.6).unwrap();
-        let dh = DaviesHarte::new(acf, 64).unwrap();
+    fn generate_many_counts() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.6)?;
+        let dh = DaviesHarte::new(acf, 64)?;
         let mut rng = StdRng::seed_from_u64(6);
         let paths = dh.generate_many(5, &mut rng);
         assert_eq!(paths.len(), 5);
         assert!(paths.iter().all(|p| p.len() == 64));
+        Ok(())
     }
 
     #[test]
-    fn pd_projection_repairs_composite_acf() {
+    fn pd_projection_repairs_composite_acf() -> Result<(), Box<dyn std::error::Error>> {
         let acf = CompositeAcf::paper_fit();
-        let projected = pd_project(&acf, 1024).unwrap();
+        let projected = pd_project(&acf, 1024)?;
         // The correction is tiny…
         for k in 0..1024 {
             assert!(
@@ -377,45 +387,48 @@ mod tests {
             );
         }
         // …and the result is strictly usable by the exact recursion.
-        let mut s = crate::hosking::HoskingSampler::new(&projected);
+        let mut s = crate::hosking::HoskingSampler::new(&projected)?;
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..1024 {
-            let st = s.step(&mut rng).unwrap();
+            let st = s.step(&mut rng)?;
             assert!(st.cond_var > 0.0);
             assert!(st.value.is_finite());
         }
+        Ok(())
     }
 
     #[test]
-    fn pd_projection_is_identity_for_valid_acf() {
-        let acf = FgnAcf::new(0.9).unwrap();
-        let projected = pd_project(&acf, 256).unwrap();
+    fn pd_projection_is_identity_for_valid_acf() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.9)?;
+        let projected = pd_project(acf, 256)?;
         for k in 0..256 {
             assert!(
                 (projected.r(k) - acf.r(k)).abs() < 1e-10,
                 "fGn is already PD; projection must not move it (lag {k})"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn pd_projection_edge_cases() {
-        let acf = FgnAcf::new(0.7).unwrap();
-        assert!(pd_project(&acf, 0).is_err());
-        let one = pd_project(&acf, 1).unwrap();
+    fn pd_projection_edge_cases() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.7)?;
+        assert!(pd_project(acf, 0).is_err());
+        let one = pd_project(acf, 1)?;
         assert_eq!(one.r(0), 1.0);
+        Ok(())
     }
 
     #[test]
-    fn agreement_with_hosking_in_distribution() {
+    fn agreement_with_hosking_in_distribution() -> Result<(), Box<dyn std::error::Error>> {
         // Compare lag-1 sample autocovariance between the two exact
         // generators over many short paths: both are exact so the estimates
         // must agree within Monte-Carlo error.
         let h = 0.8;
-        let acf = FgnAcf::new(h).unwrap();
+        let acf = FgnAcf::new(h)?;
         let n = 128;
         let paths = 200;
-        let dh = DaviesHarte::new(&acf, n).unwrap();
+        let dh = DaviesHarte::new(acf, n)?;
         let mut rng = StdRng::seed_from_u64(7);
         let mut dh_r1 = 0.0;
         for _ in 0..paths {
@@ -424,7 +437,7 @@ mod tests {
         }
         let mut ho_r1 = 0.0;
         for _ in 0..paths {
-            let xs = crate::hosking::generate(&acf, n, &mut rng).unwrap();
+            let xs = crate::hosking::generate(acf, n, &mut rng)?;
             ho_r1 += sample_acov(&xs, 1) / paths as f64;
         }
         assert!(
@@ -432,5 +445,6 @@ mod tests {
             "Davies–Harte {dh_r1} vs Hosking {ho_r1}"
         );
         assert!((dh_r1 - acf.r(1)).abs() < 0.05);
+        Ok(())
     }
 }

@@ -94,12 +94,12 @@ mod tests {
     }
 
     #[test]
-    fn fbm_variance_grows_like_t_to_2h() {
+    fn fbm_variance_grows_like_t_to_2h() -> Result<(), Box<dyn std::error::Error>> {
         // Var B_t = t^{2H}: estimate at two times across many paths and
         // compare the ratio with the theoretical power.
         for h in [0.6, 0.9] {
             let n = 256;
-            let fbm = Fbm::new(h, n).unwrap();
+            let fbm = Fbm::new(h, n)?;
             assert_eq!(fbm.len(), n);
             assert!(!fbm.is_empty());
             let mut rng = StdRng::seed_from_u64((h * 100.0) as u64);
@@ -117,11 +117,13 @@ mod tests {
                 "H = {h}: measured exponent {measured}"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn fbm_is_nonstationary_but_increments_are_stationary() {
-        let fbm = Fbm::new(0.8, 512).unwrap();
+    fn fbm_is_nonstationary_but_increments_are_stationary() -> Result<(), Box<dyn std::error::Error>>
+    {
+        let fbm = Fbm::new(0.8, 512)?;
         let mut rng = StdRng::seed_from_u64(5);
         let reps = 3000;
         let (mut var_early, mut var_late) = (0.0, 0.0);
@@ -139,15 +141,16 @@ mod tests {
             (inc_late / inc_early - 1.0).abs() < 0.15,
             "increment variance is flat: {inc_early} vs {inc_late}"
         );
+        Ok(())
     }
 
     #[test]
-    fn aggregation_scaling_identity() {
+    fn aggregation_scaling_identity() -> Result<(), Box<dyn std::error::Error>> {
         // X^{(m)} =d m^{H-1} X: the variance of block means of size m is
         // m^{2H-2}.
         let h = 0.85;
         let n = 4096;
-        let dh = DaviesHarte::new(FgnAcf::new(h).unwrap(), n).unwrap();
+        let dh = DaviesHarte::new(FgnAcf::new(h)?, n)?;
         let mut rng = StdRng::seed_from_u64(6);
         let m = 64usize;
         let reps = 800;
@@ -167,5 +170,6 @@ mod tests {
             (var_agg / expected - 1.0).abs() < 0.1,
             "var(X^(m)) = {var_agg} vs m^(2H-2) = {expected}"
         );
+        Ok(())
     }
 }

@@ -28,14 +28,6 @@ impl Complex {
         Self { re, im: 0.0 }
     }
 
-    /// Complex multiplication.
-    pub fn mul(self, other: Self) -> Self {
-        Self {
-            re: self.re * other.re - self.im * other.im,
-            im: self.re * other.im + self.im * other.re,
-        }
-    }
-
     /// Complex conjugate.
     pub fn conj(self) -> Self {
         Self {
@@ -47,6 +39,16 @@ impl Complex {
     /// Squared magnitude `re² + im²`.
     pub fn norm_sqr(self) -> f64 {
         self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Self;
+    fn mul(self, other: Self) -> Self {
+        Self {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
     }
 }
 
@@ -128,10 +130,10 @@ fn transform(data: &mut [Complex], inverse: bool) {
             let mut w = Complex::real(1.0);
             for k in 0..len / 2 {
                 let u = data[i + k];
-                let v = data[i + k + len / 2].mul(w);
+                let v = data[i + k + len / 2] * w;
                 data[i + k] = u + v;
                 data[i + k + len / 2] = u - v;
-                w = w.mul(wlen);
+                w = w * wlen;
             }
             i += len;
         }
@@ -229,7 +231,7 @@ mod tests {
                 let mut acc = Complex::default();
                 for (k, &v) in x.iter().enumerate() {
                     let ang = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
-                    acc = acc + v.mul(Complex::new(ang.cos(), ang.sin()));
+                    acc = acc + v * Complex::new(ang.cos(), ang.sin());
                 }
                 acc
             })
@@ -284,7 +286,7 @@ mod tests {
     fn complex_arithmetic() {
         let a = Complex::new(1.0, 2.0);
         let b = Complex::new(3.0, -1.0);
-        let p = a.mul(b);
+        let p = a * b;
         assert_close(p.re, 5.0, 0.0);
         assert_close(p.im, 5.0, 0.0);
         assert_eq!(a.conj().im, -2.0);

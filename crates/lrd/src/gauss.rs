@@ -108,9 +108,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(123);
         let mut g = Normal::new();
         let n = 200_000;
-        let count = (0..n)
-            .filter(|_| g.sample(&mut rng).abs() > 2.0)
-            .count() as f64;
+        let count = (0..n).filter(|_| g.sample(&mut rng).abs() > 2.0).count() as f64;
         let p = count / n as f64;
         assert!((p - 0.0455).abs() < 0.004, "tail prob {p}");
     }

@@ -27,6 +27,7 @@ use crate::acf::Acf;
 use crate::gauss::Normal;
 use crate::LrdError;
 use rand::Rng;
+use svbr_domain::{Correlation, SvbrError};
 
 /// What to do when the ACF turns out not to be positive definite
 /// (|partial correlation| ≥ 1 at some lag).
@@ -85,7 +86,10 @@ pub struct HoskingStep {
 ///
 /// let acf = FgnAcf::new(0.9).unwrap();
 /// let mut rng = StdRng::seed_from_u64(7);
-/// let path = HoskingSampler::new(&acf).generate(256, &mut rng).unwrap();
+/// let path = HoskingSampler::new(&acf)
+///     .unwrap()
+///     .generate(256, &mut rng)
+///     .unwrap();
 /// assert_eq!(path.len(), 256);
 /// ```
 #[derive(Debug, Clone)]
@@ -112,13 +116,29 @@ pub struct HoskingSampler<A> {
 
 impl<A: Acf> HoskingSampler<A> {
     /// Create a sampler that errors on non-positive-definite ACFs.
-    pub fn new(acf: A) -> Self {
+    ///
+    /// Validates the ACF at the boundary: `r(0)` must equal 1 (the sampler
+    /// assumes a unit-variance process) and `r(1)` must be a correlation
+    /// in `[-1, 1]`. Deeper positive-definiteness violations surface from
+    /// the recursion itself as [`LrdError::NotPositiveDefinite`].
+    pub fn new(acf: A) -> Result<Self, SvbrError> {
         Self::with_policy(acf, NonPdPolicy::Error)
     }
 
     /// Create a sampler with an explicit non-PD policy.
-    pub fn with_policy(acf: A, policy: NonPdPolicy) -> Self {
-        Self {
+    pub fn with_policy(acf: A, policy: NonPdPolicy) -> Result<Self, SvbrError> {
+        let r0 = acf.r(0);
+        if !r0.is_finite() {
+            return Err(SvbrError::NotFinite { name: "r(0)" });
+        }
+        if (r0 - 1.0).abs() > 1e-9 {
+            return Err(SvbrError::OutOfRange {
+                name: "r(0)",
+                constraint: "r(0) == 1 (unit-variance process)",
+            });
+        }
+        Correlation::new_clamped(acf.r(1), 1e-9)?;
+        Ok(Self {
             acf,
             policy,
             r: vec![1.0],
@@ -129,7 +149,7 @@ impl<A: Acf> HoskingSampler<A> {
             pending: None,
             frozen_at: None,
             normal: Normal::new(),
-        }
+        })
     }
 
     /// The lag at which the recursion froze under [`NonPdPolicy::Freeze`],
@@ -202,7 +222,20 @@ impl<A: Acf> HoskingSampler<A> {
                         self.phi[j - 1] = self.phi_prev[j - 1] - kappa * self.phi_prev[k - j - 1];
                     }
                     self.phi.push(kappa);
+                    let prev_v = self.v;
                     self.v *= 1.0 - kappa * kappa;
+                    // Kernel invariants: |φ_kk| < 1 here (the ≥ 1 case took
+                    // the policy branch above), so the innovation variance
+                    // is non-negative and non-increasing.
+                    debug_assert!(
+                        kappa.abs() < 1.0,
+                        "partial correlation escaped policy check"
+                    );
+                    debug_assert!(
+                        self.v >= 0.0 && self.v <= prev_v,
+                        "innovation variance must be non-increasing and >= 0: {prev_v} -> {}",
+                        self.v
+                    );
                 }
             }
             // Frozen or not, the moments come from the current coefficient
@@ -273,7 +306,7 @@ pub fn generate<A: Acf, R: Rng + ?Sized>(
     n: usize,
     rng: &mut R,
 ) -> Result<Vec<f64>, LrdError> {
-    HoskingSampler::new(acf).generate(n, rng)
+    HoskingSampler::new(acf)?.generate(n, rng)
 }
 
 /// Precomputed Durbin–Levinson state for generating many replications of
@@ -301,7 +334,7 @@ pub struct PreparedHosking {
 impl PreparedHosking {
     /// Run the recursion once for a horizon of `n` steps.
     pub fn new<A: Acf>(acf: A, n: usize) -> Result<Self, LrdError> {
-        let mut s = HoskingSampler::new(&acf);
+        let mut s = HoskingSampler::new(&acf)?;
         let mut rows = Vec::with_capacity(n);
         let mut v = Vec::with_capacity(n);
         let mut phi_sum = Vec::with_capacity(n);
@@ -394,7 +427,7 @@ impl TruncatedHosking {
                 constraint: "memory >= 1",
             });
         }
-        let mut s = HoskingSampler::with_policy(&acf, policy);
+        let mut s = HoskingSampler::with_policy(&acf, policy)?;
         // Drive the recursion M steps with dummy values; only φ and v matter.
         for _ in 0..=memory {
             let _ = s.next_moments()?;
@@ -435,7 +468,7 @@ impl TruncatedHosking {
     ) -> Result<Vec<f64>, LrdError> {
         let mut normal = Normal::new();
         let warm = n.min(self.memory + 1);
-        let mut exact = HoskingSampler::with_policy(&acf, NonPdPolicy::Freeze);
+        let mut exact = HoskingSampler::with_policy(&acf, NonPdPolicy::Freeze)?;
         let mut xs = Vec::with_capacity(n);
         for _ in 0..warm {
             xs.push(exact.step(rng)?.value);
@@ -476,75 +509,80 @@ mod tests {
     }
 
     #[test]
-    fn white_noise_has_unit_conditional_variance() {
-        let acf = FgnAcf::new(0.5).unwrap();
-        let mut s = HoskingSampler::new(acf);
+    fn white_noise_has_unit_conditional_variance() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.5)?;
+        let mut s = HoskingSampler::new(acf)?;
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
-            let st = s.step(&mut rng).unwrap();
+            let st = s.step(&mut rng)?;
             assert!((st.cond_var - 1.0).abs() < 1e-9);
             assert!(st.cond_mean.abs() < 1e-9);
             assert!(st.phi_sum.abs() < 1e-9);
         }
+        Ok(())
     }
 
     #[test]
-    fn ar1_conditional_structure() {
+    fn ar1_conditional_structure() -> Result<(), Box<dyn std::error::Error>> {
         // ACF exp(-λk) is AR(1) with φ = e^{-λ}: after the first step the
         // conditional mean must be φ·x_{k-1} and variance 1−φ².
         let lambda = 0.3_f64;
         let phi = (-lambda).exp();
-        let acf = ExponentialAcf::new(lambda).unwrap();
-        let mut s = HoskingSampler::new(acf);
+        let acf = ExponentialAcf::new(lambda)?;
+        let mut s = HoskingSampler::new(acf)?;
         let mut rng = StdRng::seed_from_u64(2);
-        let first = s.step(&mut rng).unwrap();
+        let first = s.step(&mut rng)?;
         for _ in 0..20 {
-            let prev = *s.history().last().unwrap();
-            let st = s.step(&mut rng).unwrap();
+            let prev = *s.history().last().ok_or("empty")?;
+            let st = s.step(&mut rng)?;
             assert!((st.cond_mean - phi * prev).abs() < 1e-9, "AR(1) mean");
             assert!((st.cond_var - (1.0 - phi * phi)).abs() < 1e-9, "AR(1) var");
             assert!((st.phi_sum - phi).abs() < 1e-9);
         }
         assert!((first.cond_var - 1.0).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn variance_decreases_monotonically_for_persistent_process() {
-        let acf = FgnAcf::new(0.85).unwrap();
-        let mut s = HoskingSampler::new(acf);
+    fn variance_decreases_monotonically_for_persistent_process(
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.85)?;
+        let mut s = HoskingSampler::new(acf)?;
         let mut rng = StdRng::seed_from_u64(3);
         let mut last_v = f64::INFINITY;
         for _ in 0..100 {
-            let st = s.step(&mut rng).unwrap();
+            let st = s.step(&mut rng)?;
             assert!(st.cond_var <= last_v + 1e-12);
             assert!(st.cond_var > 0.0);
             last_v = st.cond_var;
         }
+        Ok(())
     }
 
     #[test]
-    fn generated_acf_matches_target_fgn() {
+    fn generated_acf_matches_target_fgn() -> Result<(), Box<dyn std::error::Error>> {
         let h = 0.8;
-        let acf = FgnAcf::new(h).unwrap();
+        let acf = FgnAcf::new(h)?;
         let mut rng = StdRng::seed_from_u64(4);
-        let xs = generate(acf, 20_000, &mut rng).unwrap();
+        let xs = generate(acf, 20_000, &mut rng)?;
         let est = sample_acf(&xs, 10);
-        for k in 1..=10 {
+        for (k, e) in est.iter().enumerate().take(11).skip(1) {
             assert!(
-                (est[k] - acf.r(k)).abs() < 0.05,
+                (e - acf.r(k)).abs() < 0.05,
                 "lag {k}: est {} vs target {}",
                 est[k],
                 acf.r(k)
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn generated_acf_matches_composite_target() {
+    fn generated_acf_matches_composite_target() -> Result<(), Box<dyn std::error::Error>> {
         // The raw piecewise fit is not PD; project it first (the unified
         // pipeline does the same), then Hosking runs with the strict policy.
         let acf = CompositeAcf::paper_fit();
-        let projected = crate::davies_harte::pd_project(&acf, 2048).unwrap();
+        let projected = crate::davies_harte::pd_project(&acf, 2048)?;
         let mut rng = StdRng::seed_from_u64(5);
         // Average the per-lag sample autocovariance across paths: LRD
         // single-path ACF estimates are far too noisy to test against.
@@ -552,9 +590,7 @@ mod tests {
         let paths = 30;
         let mut cov = vec![0.0; 61];
         for _ in 0..paths {
-            let xs = HoskingSampler::new(&projected)
-                .generate(n, &mut rng)
-                .unwrap();
+            let xs = HoskingSampler::new(&projected)?.generate(n, &mut rng)?;
             for (k, c) in cov.iter_mut().enumerate() {
                 *c += xs
                     .iter()
@@ -573,13 +609,14 @@ mod tests {
                 acf.r(k)
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn marginal_is_standard_normal() {
-        let acf = FgnAcf::new(0.9).unwrap();
+    fn marginal_is_standard_normal() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.9)?;
         let mut rng = StdRng::seed_from_u64(6);
-        let xs = generate(acf, 20_000, &mut rng).unwrap();
+        let xs = generate(acf, 20_000, &mut rng)?;
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
@@ -587,44 +624,48 @@ mod tests {
         // LRD converges *slowly*; the bounds are ±3σ-ish, not tight.
         assert!(mean.abs() < 1.1, "mean {mean}");
         assert!((var - 1.0).abs() < 0.35, "var {var}");
+        Ok(())
     }
 
     #[test]
-    fn push_without_moments_panics() {
-        let acf = FgnAcf::new(0.7).unwrap();
-        let mut s = HoskingSampler::new(acf);
+    fn push_without_moments_panics() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.7)?;
+        let mut s = HoskingSampler::new(acf)?;
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.push(0.0)));
         assert!(result.is_err());
+        Ok(())
     }
 
     #[test]
-    fn next_moments_is_idempotent() {
-        let acf = FgnAcf::new(0.7).unwrap();
-        let mut s = HoskingSampler::new(acf);
-        let a = s.next_moments().unwrap();
-        let b = s.next_moments().unwrap();
+    fn next_moments_is_idempotent() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.7)?;
+        let mut s = HoskingSampler::new(acf)?;
+        let a = s.next_moments()?;
+        let b = s.next_moments()?;
         assert_eq!(a, b);
         s.push(1.5);
-        let c = s.next_moments().unwrap();
+        let c = s.next_moments()?;
         assert!(c.mean != 0.0, "conditioned on pushed value");
+        Ok(())
     }
 
     #[test]
-    fn deterministic_given_seed() {
-        let acf = FgnAcf::new(0.9).unwrap();
+    fn deterministic_given_seed() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.9)?;
         let mut r1 = StdRng::seed_from_u64(77);
         let mut r2 = StdRng::seed_from_u64(77);
-        let a = generate(acf, 500, &mut r1).unwrap();
-        let b = generate(acf, 500, &mut r2).unwrap();
+        let a = generate(acf, 500, &mut r1)?;
+        let b = generate(acf, 500, &mut r2)?;
         assert_eq!(a, b);
+        Ok(())
     }
 
     #[test]
-    fn non_pd_acf_is_rejected() {
+    fn non_pd_acf_is_rejected() -> Result<(), Box<dyn std::error::Error>> {
         // r(1) = 0.99, r(k)=0 afterwards is far from positive definite
         // (needs r(2) >= 2·0.99² − 1 ≈ 0.96).
-        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99]).unwrap();
-        let mut s = HoskingSampler::new(t);
+        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99])?;
+        let mut s = HoskingSampler::new(t)?;
         let mut rng = StdRng::seed_from_u64(8);
         let mut failed = None;
         for k in 0..10 {
@@ -635,43 +676,46 @@ mod tests {
         }
         let (_, e) = failed.expect("should fail");
         assert!(matches!(e, LrdError::NotPositiveDefinite { .. }));
+        Ok(())
     }
 
     #[test]
-    fn freeze_policy_survives_non_pd() {
-        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99]).unwrap();
-        let mut s = HoskingSampler::with_policy(t, NonPdPolicy::Freeze);
+    fn freeze_policy_survives_non_pd() -> Result<(), Box<dyn std::error::Error>> {
+        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99])?;
+        let mut s = HoskingSampler::with_policy(t, NonPdPolicy::Freeze)?;
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..500 {
-            let st = s.step(&mut rng).unwrap();
+            let st = s.step(&mut rng)?;
             assert!(st.cond_var > 0.0);
             assert!(st.value.is_finite());
         }
         // r(2)=0 needs r(2) >= 2·0.99²−1 for PD, so the freeze must trigger
         // at lag 2 and the sampler continues as an AR(1) with φ = 0.99.
         assert_eq!(s.frozen_at(), Some(2));
-        let m = s.next_moments().unwrap();
+        let m = s.next_moments()?;
         assert!((m.phi_sum - 0.99).abs() < 1e-12);
         assert!((m.var - (1.0 - 0.99 * 0.99)).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn truncated_matches_exact_within_memory() {
+    fn truncated_matches_exact_within_memory() -> Result<(), Box<dyn std::error::Error>> {
         // For an AR(1)-like exponential ACF, truncation at any M >= 1 is
         // exact: the frozen coefficients are (φ, 0, 0, …).
-        let acf = ExponentialAcf::new(0.2).unwrap();
-        let t = TruncatedHosking::new(&acf, 10).unwrap();
+        let acf = ExponentialAcf::new(0.2)?;
+        let t = TruncatedHosking::new(acf, 10)?;
         let phi = (-0.2f64).exp();
         assert!((t.phi_sum() - phi).abs() < 1e-9);
         assert!((t.innovation_variance() - (1.0 - phi * phi)).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn truncated_generates_plausible_lrd() {
-        let acf = FgnAcf::new(0.85).unwrap();
-        let t = TruncatedHosking::new(&acf, 200).unwrap();
+    fn truncated_generates_plausible_lrd() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.85)?;
+        let t = TruncatedHosking::new(acf, 200)?;
         let mut rng = StdRng::seed_from_u64(10);
-        let xs = t.generate(&acf, 20_000, &mut rng).unwrap();
+        let xs = t.generate(acf, 20_000, &mut rng)?;
         let est = sample_acf(&xs, 50);
         for k in [1usize, 10, 50] {
             assert!(
@@ -681,25 +725,27 @@ mod tests {
                 acf.r(k)
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn truncated_rejects_zero_memory() {
-        let acf = FgnAcf::new(0.8).unwrap();
-        assert!(TruncatedHosking::new(&acf, 0).is_err());
+    fn truncated_rejects_zero_memory() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.8)?;
+        assert!(TruncatedHosking::new(acf, 0).is_err());
+        Ok(())
     }
 
     #[test]
-    fn prepared_matches_incremental_moments() {
-        let acf = FgnAcf::new(0.85).unwrap();
-        let prep = PreparedHosking::new(&acf, 50).unwrap();
+    fn prepared_matches_incremental_moments() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.85)?;
+        let prep = PreparedHosking::new(acf, 50)?;
         assert_eq!(prep.len(), 50);
         assert!(!prep.is_empty());
-        let mut s = HoskingSampler::new(&acf);
+        let mut s = HoskingSampler::new(&acf)?;
         let mut rng = StdRng::seed_from_u64(21);
         let mut history = Vec::new();
         for k in 0..50 {
-            let inc = s.next_moments().unwrap();
+            let inc = s.next_moments()?;
             let pre = prep.moments(k, &history);
             assert!((inc.mean - pre.mean).abs() < 1e-12, "mean at {k}");
             assert!((inc.var - pre.var).abs() < 1e-12, "var at {k}");
@@ -708,12 +754,13 @@ mod tests {
             s.push(x);
             history.push(x);
         }
+        Ok(())
     }
 
     #[test]
-    fn prepared_sample_path_statistics() {
-        let acf = ExponentialAcf::new(0.2).unwrap();
-        let prep = PreparedHosking::new(&acf, 200).unwrap();
+    fn prepared_sample_path_statistics() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = ExponentialAcf::new(0.2)?;
+        let prep = PreparedHosking::new(acf, 200)?;
         let mut rng = StdRng::seed_from_u64(22);
         let mut r1_acc = 0.0;
         let reps = 300;
@@ -724,23 +771,26 @@ mod tests {
         }
         let target = (-0.2f64).exp();
         assert!((r1_acc - target).abs() < 0.02, "r1 {r1_acc} vs {target}");
+        Ok(())
     }
 
     #[test]
-    fn prepared_rejects_non_pd() {
-        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99]).unwrap();
+    fn prepared_rejects_non_pd() -> Result<(), Box<dyn std::error::Error>> {
+        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99])?;
         assert!(PreparedHosking::new(&t, 10).is_err());
+        Ok(())
     }
 
     #[test]
-    fn history_accessors() {
-        let acf = FgnAcf::new(0.6).unwrap();
-        let mut s = HoskingSampler::new(acf);
+    fn history_accessors() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.6)?;
+        let mut s = HoskingSampler::new(acf)?;
         assert!(s.is_empty());
         let mut rng = StdRng::seed_from_u64(11);
-        s.step(&mut rng).unwrap();
-        s.step(&mut rng).unwrap();
+        s.step(&mut rng)?;
+        s.step(&mut rng)?;
         assert_eq!(s.len(), 2);
         assert_eq!(s.history().len(), 2);
+        Ok(())
     }
 }

@@ -54,6 +54,7 @@ pub use acf::{
 };
 pub use davies_harte::{pd_project, DaviesHarte};
 pub use hosking::{HoskingSampler, HoskingStep, PreparedHosking, TruncatedHosking};
+pub use svbr_domain::{Attenuation, Correlation, Hurst, Probability, SvbrError};
 
 /// Errors produced by the generators in this crate.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +81,29 @@ pub enum LrdError {
         /// Human-readable constraint description.
         constraint: &'static str,
     },
+    /// A validated-newtype constraint failed (see [`svbr_domain`]).
+    Domain(SvbrError),
+}
+
+impl From<SvbrError> for LrdError {
+    fn from(e: SvbrError) -> Self {
+        LrdError::Domain(e)
+    }
+}
+
+impl From<LrdError> for SvbrError {
+    fn from(e: LrdError) -> Self {
+        match e {
+            LrdError::Domain(d) => d,
+            LrdError::NotPositiveDefinite { lag } => SvbrError::NotPositiveDefinite { lag },
+            LrdError::NegativeCirculantEigenvalue { index, .. } => {
+                SvbrError::NotPositiveDefinite { lag: index }
+            }
+            LrdError::InvalidParameter { name, constraint } => {
+                SvbrError::OutOfRange { name, constraint }
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for LrdError {
@@ -95,6 +119,7 @@ impl std::fmt::Display for LrdError {
             LrdError::InvalidParameter { name, constraint } => {
                 write!(f, "invalid parameter `{name}`: must satisfy {constraint}")
             }
+            LrdError::Domain(e) => write!(f, "{e}"),
         }
     }
 }
@@ -102,15 +127,11 @@ impl std::fmt::Display for LrdError {
 impl std::error::Error for LrdError {}
 
 /// Validate a Hurst parameter, returning it if `0 < H < 1`.
+///
+/// Thin wrapper over [`Hurst::new`] for call sites that want the raw `f64`
+/// back with a crate-local error.
 pub fn check_hurst(h: f64) -> Result<f64, LrdError> {
-    if h > 0.0 && h < 1.0 && h.is_finite() {
-        Ok(h)
-    } else {
-        Err(LrdError::InvalidParameter {
-            name: "hurst",
-            constraint: "0 < H < 1",
-        })
-    }
+    Ok(Hurst::new(h)?.value())
 }
 
 #[cfg(test)]

@@ -94,7 +94,7 @@ pub struct Ibp {
 impl Ibp {
     /// Construct from the per-slot cell probability and persistence probs.
     pub fn new(alpha: f64, stay_on: f64, stay_off: f64) -> Result<Self, LrdError> {
-        if !(alpha >= 0.0 && alpha <= 1.0) {
+        if !(0.0..=1.0).contains(&alpha) {
             return Err(LrdError::InvalidParameter {
                 name: "alpha",
                 constraint: "0 <= alpha <= 1",
@@ -145,6 +145,7 @@ impl Ibp {
 /// recursively using the fact that Poisson(λ) = Poisson(λ/2) + Poisson(λ/2).
 pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
     debug_assert!(lambda >= 0.0);
+    // svbr-lint: allow(float-eq) exact zero rate: Poisson(0) is deterministically 0
     if lambda == 0.0 {
         return 0;
     }
@@ -208,8 +209,8 @@ mod tests {
     }
 
     #[test]
-    fn mmpp_stationary_mean() {
-        let m = Mmpp2::new(1.0, 10.0, 0.1, 0.3).unwrap();
+    fn mmpp_stationary_mean() -> Result<(), Box<dyn std::error::Error>> {
+        let m = Mmpp2::new(1.0, 10.0, 0.1, 0.3)?;
         let p1 = m.stationary_p1();
         assert!((p1 - 0.25).abs() < 1e-12);
         assert!((m.mean_rate() - (0.75 * 1.0 + 0.25 * 10.0)).abs() < 1e-12);
@@ -217,12 +218,13 @@ mod tests {
         let xs = m.generate(100_000, &mut rng);
         let emp = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!((emp - m.mean_rate()).abs() < 0.1, "empirical mean {emp}");
+        Ok(())
     }
 
     #[test]
-    fn mmpp_acf_decays_exponentially() {
+    fn mmpp_acf_decays_exponentially() -> Result<(), Box<dyn std::error::Error>> {
         // The SRD property: ACF ratio r(2k)/r(k) ≈ r(k) for geometric decay.
-        let m = Mmpp2::new(0.0, 8.0, 0.05, 0.05).unwrap();
+        let m = Mmpp2::new(0.0, 8.0, 0.05, 0.05)?;
         let decay = m.acf_decay();
         assert!((decay - 0.9).abs() < 1e-12);
         let mut rng = StdRng::seed_from_u64(4);
@@ -235,6 +237,7 @@ mod tests {
             "r5={r5} r10={r10} decay^5={}",
             decay.powi(5)
         );
+        Ok(())
     }
 
     #[test]
@@ -245,8 +248,8 @@ mod tests {
     }
 
     #[test]
-    fn ibp_mean_rate() {
-        let s = Ibp::new(0.8, 0.9, 0.95).unwrap();
+    fn ibp_mean_rate() -> Result<(), Box<dyn std::error::Error>> {
+        let s = Ibp::new(0.8, 0.9, 0.95)?;
         let p_on = s.stationary_on();
         assert!((p_on - 0.05 / 0.15).abs() < 1e-12);
         let mut rng = StdRng::seed_from_u64(5);
@@ -257,14 +260,16 @@ mod tests {
             "emp {emp} vs {}",
             s.mean_rate()
         );
+        Ok(())
     }
 
     #[test]
-    fn ibp_output_is_binary() {
-        let s = Ibp::new(0.5, 0.8, 0.8).unwrap();
+    fn ibp_output_is_binary() -> Result<(), Box<dyn std::error::Error>> {
+        let s = Ibp::new(0.5, 0.8, 0.8)?;
         let mut rng = StdRng::seed_from_u64(6);
         let xs = s.generate(10_000, &mut rng);
         assert!(xs.iter().all(|&x| x == 0.0 || x == 1.0));
+        Ok(())
     }
 
     #[test]

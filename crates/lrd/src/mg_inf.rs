@@ -121,8 +121,8 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn little_law_mean() {
-        let src = MgInfinity::new(0.5, 1.4, 5.0).unwrap();
+    fn little_law_mean() -> Result<(), Box<dyn std::error::Error>> {
+        let src = MgInfinity::new(0.5, 1.4, 5.0)?;
         let mut rng = StdRng::seed_from_u64(1);
         let xs = src.generate(200_000, &mut rng);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
@@ -132,25 +132,30 @@ mod tests {
             "mean {mean} vs {}",
             src.mean_count()
         );
+        Ok(())
     }
 
     #[test]
-    fn counts_are_nonnegative_integers() {
-        let src = MgInfinity::new(0.2, 1.5, 2.0).unwrap();
+    fn counts_are_nonnegative_integers() -> Result<(), Box<dyn std::error::Error>> {
+        let src = MgInfinity::new(0.2, 1.5, 2.0)?;
         let mut rng = StdRng::seed_from_u64(2);
         let xs = src.generate(10_000, &mut rng);
         assert!(xs.iter().all(|&x| x >= 0.0 && x.fract() == 0.0));
+        Ok(())
     }
 
     #[test]
-    fn busy_count_is_lrd() {
-        let src = MgInfinity::new(0.5, 1.3, 5.0).unwrap();
+    fn busy_count_is_lrd() -> Result<(), Box<dyn std::error::Error>> {
+        let src = MgInfinity::new(0.5, 1.3, 5.0)?;
         assert!((src.target_hurst() - 0.85).abs() < 1e-12);
         let mut rng = StdRng::seed_from_u64(3);
         let xs = src.generate(400_000, &mut rng);
         // Aggregated-variance slope must indicate strong LRD.
         let agg_var = |m: usize| {
-            let means: Vec<f64> = xs.chunks_exact(m).map(|c| c.iter().sum::<f64>() / m as f64).collect();
+            let means: Vec<f64> = xs
+                .chunks_exact(m)
+                .map(|c| c.iter().sum::<f64>() / m as f64)
+                .collect();
             let mu = means.iter().sum::<f64>() / means.len() as f64;
             means.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / means.len() as f64
         };
@@ -158,11 +163,12 @@ mod tests {
         let slope = (agg_var(m2) / agg_var(m1)).ln() / ((m2 as f64 / m1 as f64).ln());
         let h = 1.0 + slope / 2.0;
         assert!(h > 0.7, "estimated H = {h}");
+        Ok(())
     }
 
     #[test]
-    fn session_overlap_creates_correlation() {
-        let src = MgInfinity::new(0.3, 1.5, 10.0).unwrap();
+    fn session_overlap_creates_correlation() -> Result<(), Box<dyn std::error::Error>> {
+        let src = MgInfinity::new(0.3, 1.5, 10.0)?;
         let mut rng = StdRng::seed_from_u64(4);
         let xs = src.generate(100_000, &mut rng);
         let n = xs.len() as f64;
@@ -176,6 +182,7 @@ mod tests {
             / n
             / var;
         assert!(c10 > 0.4, "r(10) = {c10}");
+        Ok(())
     }
 
     #[test]
@@ -187,10 +194,11 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_with_seed() {
-        let src = MgInfinity::new(0.4, 1.6, 3.0).unwrap();
+    fn deterministic_with_seed() -> Result<(), Box<dyn std::error::Error>> {
+        let src = MgInfinity::new(0.4, 1.6, 3.0)?;
         let mut a = StdRng::seed_from_u64(9);
         let mut b = StdRng::seed_from_u64(9);
         assert_eq!(src.generate(1000, &mut a), src.generate(1000, &mut b));
+        Ok(())
     }
 }

@@ -155,8 +155,8 @@ mod tests {
     }
 
     #[test]
-    fn background_marginal_is_uniform() {
-        let tes = Tes::new(TesVariant::Plus, 0.3, 0.5).unwrap();
+    fn background_marginal_is_uniform() -> Result<(), Box<dyn std::error::Error>> {
+        let tes = Tes::new(TesVariant::Plus, 0.3, 0.5)?;
         let mut rng = StdRng::seed_from_u64(1);
         let us = tes.generate(200_000, &mut rng);
         assert!(us.iter().all(|&u| (0.0..=1.0).contains(&u)));
@@ -173,40 +173,35 @@ mod tests {
             let f = c as f64 / us.len() as f64;
             assert!((f - 0.1).abs() < 0.02, "decile {d}: {f}");
         }
+        Ok(())
     }
 
     #[test]
-    fn smaller_delta_means_stronger_correlation() {
+    fn smaller_delta_means_stronger_correlation() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(2);
-        let tight = Tes::new(TesVariant::Plus, 0.05, 0.5)
-            .unwrap()
-            .generate(100_000, &mut rng);
-        let loose = Tes::new(TesVariant::Plus, 0.8, 0.5)
-            .unwrap()
-            .generate(100_000, &mut rng);
+        let tight = Tes::new(TesVariant::Plus, 0.05, 0.5)?.generate(100_000, &mut rng);
+        let loose = Tes::new(TesVariant::Plus, 0.8, 0.5)?.generate(100_000, &mut rng);
         assert!(acf(&tight, 1) > 0.9, "tight r(1) = {}", acf(&tight, 1));
         assert!(acf(&loose, 1) < 0.5, "loose r(1) = {}", acf(&loose, 1));
+        Ok(())
     }
 
     #[test]
-    fn tes_minus_alternates_sign() {
+    fn tes_minus_alternates_sign() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(3);
-        let xs = Tes::new(TesVariant::Minus, 0.1, 1.0)
-            .unwrap()
-            .generate(100_000, &mut rng);
+        let xs = Tes::new(TesVariant::Minus, 0.1, 1.0)?.generate(100_000, &mut rng);
         assert!(acf(&xs, 1) < -0.3, "r(1) = {}", acf(&xs, 1));
         assert!(acf(&xs, 2) > 0.3, "r(2) = {}", acf(&xs, 2));
+        Ok(())
     }
 
     #[test]
-    fn tes_acf_decays_geometrically_ie_srd() {
+    fn tes_acf_decays_geometrically_ie_srd() -> Result<(), Box<dyn std::error::Error>> {
         // The structural limitation vs the paper's model: log r(k) is
         // ~linear in k, so r(60)/r(30) ≈ r(30)/r(1)^{29/29}… test the ratio
         // pattern: r(2k) ≈ r(k)² for a geometric ACF (far from a power law).
         let mut rng = StdRng::seed_from_u64(4);
-        let xs = Tes::new(TesVariant::Plus, 0.25, 0.5)
-            .unwrap()
-            .generate(400_000, &mut rng);
+        let xs = Tes::new(TesVariant::Plus, 0.25, 0.5)?.generate(400_000, &mut rng);
         let (r10, r20, r40) = (acf(&xs, 10), acf(&xs, 20), acf(&xs, 40));
         assert!(r10 > 0.0 && r20 > 0.0);
         let geo_pred = r20 / r10; // decay over 10 lags
@@ -218,28 +213,31 @@ mod tests {
         // A power law with β = 0.2 would give r(40)/r(20) = 2^-0.2 ≈ 0.87
         // regardless of level; geometric decay here is much faster:
         assert!(actual < 0.8, "decay too slow to be SRD? {actual}");
+        Ok(())
     }
 
     #[test]
-    fn foreground_marginal_exact() {
+    fn foreground_marginal_exact() -> Result<(), Box<dyn std::error::Error>> {
         // Exponential quantile: the foreground mean must equal 1/rate
         // to sampling accuracy — TES's headline property.
-        let tes = Tes::new(TesVariant::Plus, 0.3, 0.5).unwrap();
+        let tes = Tes::new(TesVariant::Plus, 0.3, 0.5)?;
         let mut rng = StdRng::seed_from_u64(5);
         let ys = tes.generate_with(200_000, |u| -((1.0 - u).max(1e-12)).ln() * 2.0, &mut rng);
         let mean = ys.iter().sum::<f64>() / ys.len() as f64;
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        Ok(())
     }
 
     #[test]
-    fn stitching_shape() {
-        let tes = Tes::new(TesVariant::Plus, 0.5, 0.5).unwrap();
+    fn stitching_shape() -> Result<(), Box<dyn std::error::Error>> {
+        let tes = Tes::new(TesVariant::Plus, 0.5, 0.5)?;
         assert_eq!(tes.stitch(0.0), 0.0);
         assert_eq!(tes.stitch(0.5), 1.0);
         assert_eq!(tes.stitch(1.0), 0.0);
         assert!((tes.stitch(0.25) - 0.5).abs() < 1e-12);
-        let unstitched = Tes::new(TesVariant::Plus, 0.5, 1.0).unwrap();
+        let unstitched = Tes::new(TesVariant::Plus, 0.5, 1.0)?;
         assert_eq!(unstitched.stitch(0.37), 0.37);
+        Ok(())
     }
 
     #[test]

@@ -114,7 +114,11 @@ impl BinnedEmpirical {
                 constraint: "edges.len() == counts.len() + 1 >= 2",
             });
         }
-        if edges.windows(2).any(|w| !(w[1] > w[0])) || edges.iter().any(|e| !e.is_finite()) {
+        if edges
+            .windows(2)
+            .any(|w| w[1].partial_cmp(&w[0]) != Some(std::cmp::Ordering::Greater))
+            || edges.iter().any(|e| !e.is_finite())
+        {
             return Err(MarginalError::InvalidParameter {
                 name: "edges",
                 constraint: "finite and strictly increasing",
@@ -166,7 +170,7 @@ impl BinnedEmpirical {
         }
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        if !(max > min) {
+        if max.partial_cmp(&min) != Some(std::cmp::Ordering::Greater) {
             return Err(MarginalError::InvalidParameter {
                 name: "samples",
                 constraint: "non-degenerate range",
@@ -198,6 +202,7 @@ impl Marginal for BinnedEmpirical {
         if x <= self.edges[0] {
             return 0.0;
         }
+        // svbr-lint: allow(no-expect) constructor rejects histograms with no bins
         if x >= *self.edges.last().expect("non-empty") {
             return 1.0;
         }
@@ -213,6 +218,7 @@ impl Marginal for BinnedEmpirical {
             return self.edges[0];
         }
         if p >= 1.0 {
+            // svbr-lint: allow(no-expect) constructor rejects histograms with no bins
             return *self.edges.last().expect("non-empty");
         }
         // First edge index with cum >= p; invert linearly within that bin.
@@ -244,31 +250,34 @@ mod tests {
     }
 
     #[test]
-    fn empirical_cdf_basic() {
-        let d = EmpiricalCdf::new(vec![3.0, 1.0, 2.0, 4.0]).unwrap();
+    fn empirical_cdf_basic() -> Result<(), Box<dyn std::error::Error>> {
+        let d = EmpiricalCdf::new(vec![3.0, 1.0, 2.0, 4.0])?;
         close(d.cdf(0.5), 0.0, 0.0);
         close(d.cdf(1.0), 0.25, 0.0);
         close(d.cdf(2.5), 0.5, 0.0);
         close(d.cdf(4.0), 1.0, 0.0);
         close(d.cdf(10.0), 1.0, 0.0);
+        Ok(())
     }
 
     #[test]
-    fn empirical_quantile_interpolates() {
-        let d = EmpiricalCdf::new(vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+    fn empirical_quantile_interpolates() -> Result<(), Box<dyn std::error::Error>> {
+        let d = EmpiricalCdf::new(vec![0.0, 1.0, 2.0, 3.0])?;
         close(d.quantile(0.0), 0.0, 0.0);
         close(d.quantile(1.0), 3.0, 0.0);
         close(d.quantile(0.5), 1.5, 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn empirical_moments() {
-        let d = EmpiricalCdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+    fn empirical_moments() -> Result<(), Box<dyn std::error::Error>> {
+        let d = EmpiricalCdf::new(vec![1.0, 2.0, 3.0, 4.0])?;
         close(d.mean(), 2.5, 1e-15);
         close(d.variance(), 1.25, 1e-15);
         assert_eq!(d.len(), 4);
         assert!(!d.is_empty());
         assert_eq!(d.samples(), &[1.0, 2.0, 3.0, 4.0]);
+        Ok(())
     }
 
     #[test]
@@ -278,53 +287,58 @@ mod tests {
     }
 
     #[test]
-    fn binned_cdf_piecewise_linear() {
+    fn binned_cdf_piecewise_linear() -> Result<(), Box<dyn std::error::Error>> {
         // Two bins [0,1), [1,2) with counts 1 and 3.
-        let d = BinnedEmpirical::new(vec![0.0, 1.0, 2.0], &[1, 3]).unwrap();
+        let d = BinnedEmpirical::new(vec![0.0, 1.0, 2.0], &[1, 3])?;
         close(d.cdf(0.0), 0.0, 0.0);
         close(d.cdf(0.5), 0.125, 1e-15);
         close(d.cdf(1.0), 0.25, 1e-15);
         close(d.cdf(1.5), 0.625, 1e-15);
         close(d.cdf(2.0), 1.0, 0.0);
+        Ok(())
     }
 
     #[test]
-    fn binned_quantile_inverts_cdf() {
-        let d = BinnedEmpirical::new(vec![0.0, 1.0, 2.0, 5.0], &[2, 5, 3]).unwrap();
+    fn binned_quantile_inverts_cdf() -> Result<(), Box<dyn std::error::Error>> {
+        let d = BinnedEmpirical::new(vec![0.0, 1.0, 2.0, 5.0], &[2, 5, 3])?;
         for p in [0.0, 0.1, 0.2, 0.5, 0.7, 0.95, 1.0] {
             close(d.cdf(d.quantile(p)), p, 1e-12);
         }
+        Ok(())
     }
 
     #[test]
-    fn binned_quantile_monotone() {
-        let d = BinnedEmpirical::new(vec![0.0, 1.0, 2.0, 5.0], &[2, 0, 3]).unwrap();
+    fn binned_quantile_monotone() -> Result<(), Box<dyn std::error::Error>> {
+        let d = BinnedEmpirical::new(vec![0.0, 1.0, 2.0, 5.0], &[2, 0, 3])?;
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=100 {
             let q = d.quantile(i as f64 / 100.0);
             assert!(q >= prev);
             prev = q;
         }
+        Ok(())
     }
 
     #[test]
-    fn binned_moments_uniform_bin() {
+    fn binned_moments_uniform_bin() -> Result<(), Box<dyn std::error::Error>> {
         // Single bin [0, 2]: uniform → mean 1, var 1/3.
-        let d = BinnedEmpirical::new(vec![0.0, 2.0], &[10]).unwrap();
+        let d = BinnedEmpirical::new(vec![0.0, 2.0], &[10])?;
         close(d.mean(), 1.0, 1e-15);
         close(d.variance(), 1.0 / 3.0, 1e-15);
+        Ok(())
     }
 
     #[test]
-    fn binned_from_samples_agrees_with_raw() {
+    fn binned_from_samples_agrees_with_raw() -> Result<(), Box<dyn std::error::Error>> {
         let samples: Vec<f64> = (0..10_000).map(|i| ((i * 7919) % 1000) as f64).collect();
-        let raw = EmpiricalCdf::new(samples.clone()).unwrap();
-        let binned = BinnedEmpirical::from_samples(&samples, 200).unwrap();
+        let raw = EmpiricalCdf::new(samples.clone())?;
+        let binned = BinnedEmpirical::from_samples(&samples, 200)?;
         for p in [0.05, 0.25, 0.5, 0.75, 0.95] {
             let (a, b) = (raw.quantile(p), binned.quantile(p));
             assert!((a - b).abs() < 15.0, "p={p}: raw {a} vs binned {b}");
         }
         close(raw.mean(), binned.mean(), 5.0);
+        Ok(())
     }
 
     #[test]
@@ -338,8 +352,8 @@ mod tests {
     }
 
     #[test]
-    fn binned_empty_bins_handled() {
-        let d = BinnedEmpirical::new(vec![0.0, 1.0, 2.0, 3.0], &[5, 0, 5]).unwrap();
+    fn binned_empty_bins_handled() -> Result<(), Box<dyn std::error::Error>> {
+        let d = BinnedEmpirical::new(vec![0.0, 1.0, 2.0, 3.0], &[5, 0, 5])?;
         // CDF flat across the empty middle bin.
         close(d.cdf(1.0), 0.5, 1e-15);
         close(d.cdf(1.7), 0.5, 1e-15);
@@ -347,5 +361,6 @@ mod tests {
         // Quantile at exactly 0.5 lands at the edge of the flat region.
         let q = d.quantile(0.5);
         assert!((1.0..=2.0).contains(&q));
+        Ok(())
     }
 }

@@ -125,51 +125,56 @@ mod tests {
     }
 
     #[test]
-    fn exponential_special_case() {
+    fn exponential_special_case() -> Result<(), Box<dyn std::error::Error>> {
         // Gamma(1, θ) is Exp(θ): F(x) = 1 − e^{−x/θ}.
-        let d = Gamma::new(1.0, 2.0).unwrap();
+        let d = Gamma::new(1.0, 2.0)?;
         for x in [0.5, 1.0, 3.0] {
             close(d.cdf(x), 1.0 - (-x / 2.0f64).exp(), 1e-12);
         }
         close(d.quantile(0.5), 2.0 * std::f64::consts::LN_2, 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn moments() {
-        let d = Gamma::new(3.0, 2.0).unwrap();
+    fn moments() -> Result<(), Box<dyn std::error::Error>> {
+        let d = Gamma::new(3.0, 2.0)?;
         close(d.mean(), 6.0, 0.0);
         close(d.variance(), 12.0, 0.0);
+        Ok(())
     }
 
     #[test]
-    fn from_moments_roundtrip() {
-        let d = Gamma::from_moments(6.0, 12.0).unwrap();
+    fn from_moments_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
+        let d = Gamma::from_moments(6.0, 12.0)?;
         close(d.shape(), 3.0, 1e-12);
         close(d.scale(), 2.0, 1e-12);
         assert!(Gamma::from_moments(-1.0, 2.0).is_err());
+        Ok(())
     }
 
     #[test]
-    fn quantile_cdf_roundtrip() {
-        let d = Gamma::new(2.5, 1.5).unwrap();
+    fn quantile_cdf_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
+        let d = Gamma::new(2.5, 1.5)?;
         for p in [0.01, 0.1, 0.5, 0.9, 0.999] {
             close(d.cdf(d.quantile(p)), p, 1e-9);
         }
+        Ok(())
     }
 
     #[test]
-    fn cdf_boundaries() {
-        let d = Gamma::new(2.0, 1.0).unwrap();
+    fn cdf_boundaries() -> Result<(), Box<dyn std::error::Error>> {
+        let d = Gamma::new(2.0, 1.0)?;
         assert_eq!(d.cdf(0.0), 0.0);
         assert_eq!(d.cdf(-5.0), 0.0);
         close(d.cdf(1e6), 1.0, 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn sampling_matches_moments() {
+    fn sampling_matches_moments() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(1);
         for (shape, scale) in [(0.5, 1.0), (2.0, 3.0), (9.0, 0.5)] {
-            let d = Gamma::new(shape, scale).unwrap();
+            let d = Gamma::new(shape, scale)?;
             let n = 100_000;
             let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
             let mean = xs.iter().sum::<f64>() / n as f64;
@@ -178,17 +183,19 @@ mod tests {
             close(var, d.variance(), 0.08 * d.variance());
             assert!(xs.iter().all(|&x| x > 0.0));
         }
+        Ok(())
     }
 
     #[test]
-    fn sampling_matches_cdf() {
+    fn sampling_matches_cdf() -> Result<(), Box<dyn std::error::Error>> {
         // Empirical fraction below the true median ≈ 0.5.
         let mut rng = StdRng::seed_from_u64(2);
-        let d = Gamma::new(3.0, 2.0).unwrap();
+        let d = Gamma::new(3.0, 2.0)?;
         let median = d.quantile(0.5);
         let n = 50_000;
         let below = (0..n).filter(|_| d.sample(&mut rng) < median).count() as f64 / n as f64;
         close(below, 0.5, 0.01);
+        Ok(())
     }
 
     #[test]

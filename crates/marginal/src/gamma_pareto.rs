@@ -148,12 +148,13 @@ mod tests {
     }
 
     #[test]
-    fn body_is_gamma() {
+    fn body_is_gamma() -> Result<(), Box<dyn std::error::Error>> {
         let d = model();
-        let g = Gamma::new(2.0, 1.0).unwrap();
+        let g = Gamma::new(2.0, 1.0)?;
         for x in [0.1, 0.5, 1.0, 2.0] {
             close(d.cdf(x), g.cdf(x), 1e-12);
         }
+        Ok(())
     }
 
     #[test]
@@ -185,19 +186,20 @@ mod tests {
     }
 
     #[test]
-    fn moments_finite_iff_alpha_allows() {
+    fn moments_finite_iff_alpha_allows() -> Result<(), Box<dyn std::error::Error>> {
         let heavy = model(); // α = 1.5
         assert!(heavy.mean().is_finite());
         assert!(heavy.variance().is_infinite());
-        let light = GammaPareto::new(Gamma::new(2.0, 1.0).unwrap(), 0.95, 3.0).unwrap();
+        let light = GammaPareto::new(Gamma::new(2.0, 1.0)?, 0.95, 3.0)?;
         assert!(light.variance().is_finite());
         // Sanity: mean should be near the Gamma mean (tail carries 5%).
         assert!(light.mean() > 1.9 && light.mean() < 3.0, "{}", light.mean());
+        Ok(())
     }
 
     #[test]
-    fn mean_matches_numerical_integral_of_quantile() {
-        let d = GammaPareto::new(Gamma::new(3.0, 2.0).unwrap(), 0.9, 4.0).unwrap();
+    fn mean_matches_numerical_integral_of_quantile() -> Result<(), Box<dyn std::error::Error>> {
+        let d = GammaPareto::new(Gamma::new(3.0, 2.0)?, 0.9, 4.0)?;
         // E[Y] = ∫₀¹ Q(p) dp
         let steps = 200_000;
         let mut acc = 0.0;
@@ -206,13 +208,15 @@ mod tests {
         }
         acc /= steps as f64;
         close(d.mean(), acc, 0.01 * acc);
+        Ok(())
     }
 
     #[test]
-    fn rejects_bad_params() {
-        let g = Gamma::new(2.0, 1.0).unwrap();
+    fn rejects_bad_params() -> Result<(), Box<dyn std::error::Error>> {
+        let g = Gamma::new(2.0, 1.0)?;
         assert!(GammaPareto::new(g, 0.0, 1.5).is_err());
         assert!(GammaPareto::new(g, 1.0, 1.5).is_err());
         assert!(GammaPareto::new(g, 0.9, 0.0).is_err());
+        Ok(())
     }
 }

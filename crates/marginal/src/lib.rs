@@ -142,11 +142,12 @@ mod tests {
     }
 
     #[test]
-    fn trait_objects_work() {
-        let d: Box<dyn Marginal + Send + Sync> = Box::new(Pareto::new(1.0, 2.5).unwrap());
+    fn trait_objects_work() -> Result<(), Box<dyn std::error::Error>> {
+        let d: Box<dyn Marginal + Send + Sync> = Box::new(Pareto::new(1.0, 2.5)?);
         assert!(d.cdf(2.0) > 0.0);
         assert!(d.quantile(0.5) >= 1.0);
         assert!(d.mean().is_finite());
         assert!(d.sample_u(0.5) == d.quantile(0.5));
+        Ok(())
     }
 }

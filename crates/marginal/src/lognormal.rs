@@ -69,45 +69,46 @@ mod tests {
     }
 
     #[test]
-    fn median_is_exp_mu() {
-        let d = Lognormal::new(1.0, 0.5).unwrap();
+    fn median_is_exp_mu() -> Result<(), Box<dyn std::error::Error>> {
+        let d = Lognormal::new(1.0, 0.5)?;
         close(d.quantile(0.5), 1.0f64.exp(), 1e-9);
         close(d.cdf(1.0f64.exp()), 0.5, 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn moments() {
-        let d = Lognormal::new(0.0, 1.0).unwrap();
+    fn moments() -> Result<(), Box<dyn std::error::Error>> {
+        let d = Lognormal::new(0.0, 1.0)?;
         close(d.mean(), (0.5f64).exp(), 1e-12);
-        close(
-            d.variance(),
-            (1f64.exp() - 1.0) * 1f64.exp(),
-            1e-10,
-        );
+        close(d.variance(), (1f64.exp() - 1.0) * 1f64.exp(), 1e-10);
+        Ok(())
     }
 
     #[test]
-    fn from_moments_roundtrip() {
-        let d = Lognormal::from_moments(10.0, 25.0).unwrap();
+    fn from_moments_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
+        let d = Lognormal::from_moments(10.0, 25.0)?;
         close(d.mean(), 10.0, 1e-9);
         close(d.variance(), 25.0, 1e-7);
         assert!(Lognormal::from_moments(0.0, 1.0).is_err());
+        Ok(())
     }
 
     #[test]
-    fn quantile_cdf_roundtrip() {
-        let d = Lognormal::new(2.0, 0.7).unwrap();
+    fn quantile_cdf_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
+        let d = Lognormal::new(2.0, 0.7)?;
         for p in [0.001, 0.2, 0.5, 0.8, 0.999] {
             close(d.cdf(d.quantile(p)), p, 1e-10);
         }
+        Ok(())
     }
 
     #[test]
-    fn support_is_positive() {
-        let d = Lognormal::new(0.0, 1.0).unwrap();
+    fn support_is_positive() -> Result<(), Box<dyn std::error::Error>> {
+        let d = Lognormal::new(0.0, 1.0)?;
         assert_eq!(d.cdf(0.0), 0.0);
         assert_eq!(d.cdf(-3.0), 0.0);
         assert!(d.quantile(1e-12) > 0.0);
+        Ok(())
     }
 
     #[test]

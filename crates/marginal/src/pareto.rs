@@ -80,41 +80,45 @@ mod tests {
     }
 
     #[test]
-    fn cdf_values() {
-        let d = Pareto::new(1.0, 2.0).unwrap();
+    fn cdf_values() -> Result<(), Box<dyn std::error::Error>> {
+        let d = Pareto::new(1.0, 2.0)?;
         assert_eq!(d.cdf(0.5), 0.0);
         assert_eq!(d.cdf(1.0), 0.0);
         close(d.cdf(2.0), 0.75, 1e-15);
         close(d.survival(10.0), 0.01, 1e-15);
+        Ok(())
     }
 
     #[test]
-    fn quantile_roundtrip() {
-        let d = Pareto::new(3.0, 1.5).unwrap();
+    fn quantile_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
+        let d = Pareto::new(3.0, 1.5)?;
         for p in [0.0, 0.1, 0.5, 0.99, 0.99999] {
             close(d.cdf(d.quantile(p)), p, 1e-12);
         }
         assert!(d.quantile(0.0) == 3.0);
+        Ok(())
     }
 
     #[test]
-    fn moments() {
-        let d = Pareto::new(1.0, 3.0).unwrap();
+    fn moments() -> Result<(), Box<dyn std::error::Error>> {
+        let d = Pareto::new(1.0, 3.0)?;
         close(d.mean(), 1.5, 1e-15);
         close(d.variance(), 3.0 / (4.0 * 1.0), 1e-12);
-        let heavy = Pareto::new(1.0, 1.5).unwrap();
+        let heavy = Pareto::new(1.0, 1.5)?;
         assert!(heavy.mean().is_finite());
         assert!(heavy.variance().is_infinite());
-        let very_heavy = Pareto::new(1.0, 0.8).unwrap();
+        let very_heavy = Pareto::new(1.0, 0.8)?;
         assert!(very_heavy.mean().is_infinite());
+        Ok(())
     }
 
     #[test]
-    fn heavy_tail_dominates_exponential() {
+    fn heavy_tail_dominates_exponential() -> Result<(), Box<dyn std::error::Error>> {
         // For large x, Pareto survival ≫ any exponential tail.
-        let d = Pareto::new(1.0, 1.2).unwrap();
+        let d = Pareto::new(1.0, 1.2)?;
         let x = 10_000.0;
         assert!(d.survival(x) > (-0.01 * x).exp() * 1e6);
+        Ok(())
     }
 
     #[test]

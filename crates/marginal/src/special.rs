@@ -13,10 +13,10 @@
 pub fn ln_gamma(x: f64) -> f64 {
     debug_assert!(x > 0.0, "ln_gamma requires x > 0");
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -123,7 +123,11 @@ pub fn inv_gamma_p(a: f64, p: f64) -> f64 {
     let gln = ln_gamma(a);
     let a1 = a - 1.0;
     let lna1 = if a > 1.0 { a1.ln() } else { 0.0 };
-    let afac = if a > 1.0 { (a1 * (lna1 - 1.0) - gln).exp() } else { 0.0 };
+    let afac = if a > 1.0 {
+        (a1 * (lna1 - 1.0) - gln).exp()
+    } else {
+        0.0
+    };
     let mut x;
     if a > 1.0 {
         // Wilson–Hilferty
@@ -155,6 +159,7 @@ pub fn inv_gamma_p(a: f64, p: f64) -> f64 {
         } else {
             (-x + a1 * x.ln() - gln).exp()
         };
+        // svbr-lint: allow(float-eq) exact underflow-to-zero terminates the series
         if t == 0.0 || !t.is_finite() {
             break;
         }
@@ -202,6 +207,7 @@ pub fn inv_gamma_p(a: f64, p: f64) -> f64 {
 /// Error function, via the incomplete gamma identity
 /// `erf(x) = sign(x)·P(½, x²)`.
 pub fn erf(x: f64) -> f64 {
+    // svbr-lint: allow(float-eq) erf(±0) = ±0 exactly; avoids 0/0 in the continued fraction
     if x == 0.0 {
         0.0
     } else if x > 0.0 {
@@ -230,7 +236,7 @@ pub fn gauss_hermite(n: usize) -> (Vec<f64>, Vec<f64>) {
     assert!(n >= 1, "need at least one node");
     let mut nodes = vec![0.0; n];
     let mut weights = vec![0.0; n];
-    let pim4 = 0.751_125_544_464_942_9_f64; // π^{-1/4}
+    let pim4 = 0.751_125_544_464_943_f64; // π^{-1/4}
     let mut z = 0.0f64;
     for i in 0..n.div_ceil(2) {
         // Initial guesses (NR).
@@ -308,7 +314,7 @@ mod tests {
     #[test]
     fn ln_gamma_small_via_reflection() {
         // Γ(0.1) = 9.513507698668731…
-        close(ln_gamma(0.1), 9.513_507_698_668_731_f64.ln(), 1e-10);
+        close(ln_gamma(0.1), 9.513_507_698_668_73_f64.ln(), 1e-10);
     }
 
     #[test]
@@ -397,11 +403,7 @@ mod tests {
         close(normal_expectation(|z| z * z, 20), 1.0, 1e-10);
         close(normal_expectation(|z| z.powi(4), 20), 3.0, 1e-9);
         // E[e^Z] = e^{1/2}
-        close(
-            normal_expectation(|z| z.exp(), 40),
-            (0.5f64).exp(),
-            1e-8,
-        );
+        close(normal_expectation(|z| z.exp(), 40), (0.5f64).exp(), 1e-8);
     }
 
     #[test]

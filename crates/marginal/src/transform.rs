@@ -81,10 +81,13 @@ pub fn attenuation_factor<M: Marginal>(target: &M, quad_points: usize) -> f64 {
     let h = |z: f64| target.quantile(norm_cdf(z));
     let m1 = normal_expectation(h, quad_points);
     let hz = normal_expectation(|z| h(z) * z, quad_points);
-    let m2 = normal_expectation(|z| {
-        let v = h(z);
-        v * v
-    }, quad_points);
+    let m2 = normal_expectation(
+        |z| {
+            let v = h(z);
+            v * v
+        },
+        quad_points,
+    );
     let var = (m2 - m1 * m1).max(f64::MIN_POSITIVE);
     ((hz * hz) / var).min(1.0)
 }
@@ -224,29 +227,31 @@ mod tests {
     }
 
     #[test]
-    fn affine_for_general_normal_target() {
-        let t = GaussianTransform::new(Normal::new(10.0, 3.0).unwrap());
+    fn affine_for_general_normal_target() -> Result<(), Box<dyn std::error::Error>> {
+        let t = GaussianTransform::new(Normal::new(10.0, 3.0)?);
         close(t.apply(0.0), 10.0, 1e-9);
         close(t.apply(1.0), 13.0, 1e-8);
         close(t.apply(-2.0), 4.0, 1e-8);
+        Ok(())
     }
 
     #[test]
-    fn transform_is_monotone() {
-        let t = GaussianTransform::new(Gamma::new(0.8, 1.0).unwrap());
+    fn transform_is_monotone() -> Result<(), Box<dyn std::error::Error>> {
+        let t = GaussianTransform::new(Gamma::new(0.8, 1.0)?);
         let mut prev = f64::NEG_INFINITY;
         for i in -60..=60 {
             let y = t.apply(i as f64 / 10.0);
             assert!(y >= prev, "h must be nondecreasing");
             prev = y;
         }
+        Ok(())
     }
 
     #[test]
-    fn transform_imposes_target_marginal() {
+    fn transform_imposes_target_marginal() -> Result<(), Box<dyn std::error::Error>> {
         // Push a fine grid of Gaussian quantiles through h; the result's
         // empirical CDF must match the target CDF.
-        let target = Gamma::new(2.0, 3.0).unwrap();
+        let target = Gamma::new(2.0, 3.0)?;
         let t = GaussianTransform::new(target);
         let n = 20_000;
         let ys: Vec<f64> = (0..n)
@@ -260,51 +265,59 @@ mod tests {
         // Median check
         let below = ys.iter().filter(|&&y| y < target.quantile(0.5)).count() as f64 / n as f64;
         close(below, 0.5, 0.01);
+        Ok(())
     }
 
     #[test]
-    fn attenuation_is_one_for_gaussian_target() {
+    fn attenuation_is_one_for_gaussian_target() -> Result<(), Box<dyn std::error::Error>> {
         close(attenuation_factor(&Normal::standard(), 60), 1.0, 1e-6);
         close(
-            attenuation_factor(&Normal::new(100.0, 25.0).unwrap(), 60),
+            attenuation_factor(&Normal::new(100.0, 25.0)?, 60),
             1.0,
             1e-6,
         );
+        Ok(())
     }
 
     #[test]
-    fn attenuation_below_one_for_skewed_targets() {
-        let a = attenuation_factor(&Lognormal::new(0.0, 1.0).unwrap(), 80);
+    fn attenuation_below_one_for_skewed_targets() -> Result<(), Box<dyn std::error::Error>> {
+        let a = attenuation_factor(&Lognormal::new(0.0, 1.0)?, 80);
         assert!(a < 0.95, "lognormal a = {a}");
         assert!(a > 0.5, "lognormal a = {a}");
-        let g = attenuation_factor(&Gamma::new(2.0, 1.0).unwrap(), 80);
-        assert!(g < 1.0 && g > 0.85, "gamma(2) a = {g} (mildly non-Gaussian)");
+        let g = attenuation_factor(&Gamma::new(2.0, 1.0)?, 80);
+        assert!(
+            g < 1.0 && g > 0.85,
+            "gamma(2) a = {g} (mildly non-Gaussian)"
+        );
+        Ok(())
     }
 
     #[test]
-    fn attenuation_lognormal_closed_form() {
+    fn attenuation_lognormal_closed_form() -> Result<(), Box<dyn std::error::Error>> {
         // For lognormal(0, σ): h(z) = e^{σz}, centered variance
         // e^{σ²}(e^{σ²}−1), E[hZ] = σ e^{σ²/2} ⇒
         // a = σ²e^{σ²} / (e^{σ²}(e^{σ²}−1)) = σ²/(e^{σ²}−1).
         for sigma in [0.3_f64, 0.8, 1.2] {
             let expect = sigma * sigma / ((sigma * sigma).exp() - 1.0);
-            let a = attenuation_factor(&Lognormal::new(0.0, sigma).unwrap(), 100);
+            let a = attenuation_factor(&Lognormal::new(0.0, sigma)?, 100);
             close(a, expect, 2e-3);
         }
+        Ok(())
     }
 
     #[test]
-    fn attenuation_heavier_tail_attenuates_more() {
-        let a_mild = attenuation_factor(&Pareto::new(1.0, 20.0).unwrap(), 80);
-        let a_heavy = attenuation_factor(&Pareto::new(1.0, 3.0).unwrap(), 80);
+    fn attenuation_heavier_tail_attenuates_more() -> Result<(), Box<dyn std::error::Error>> {
+        let a_mild = attenuation_factor(&Pareto::new(1.0, 20.0)?, 80);
+        let a_heavy = attenuation_factor(&Pareto::new(1.0, 3.0)?, 80);
         assert!(
             a_heavy < a_mild,
             "heavy {a_heavy} should be < mild {a_mild}"
         );
+        Ok(())
     }
 
     #[test]
-    fn attenuation_binned_empirical_target() {
+    fn attenuation_binned_empirical_target() -> Result<(), Box<dyn std::error::Error>> {
         // A long-tailed histogram (video-like) should show a ≈ 0.9ish.
         let edges: Vec<f64> = (0..=100).map(|i| i as f64 * 400.0).collect();
         let counts: Vec<u64> = (0..100)
@@ -314,9 +327,10 @@ mod tests {
                 ((1000.0 * x.powf(1.2) * (-(6.0 * x)).exp()) * 1000.0) as u64 + 1
             })
             .collect();
-        let d = BinnedEmpirical::new(edges, &counts).unwrap();
+        let d = BinnedEmpirical::new(edges, &counts)?;
         let a = attenuation_factor(&d, 80);
         assert!(a > 0.6 && a <= 1.0, "a = {a}");
+        Ok(())
     }
 
     #[test]
@@ -348,11 +362,11 @@ mod tests {
     }
 
     #[test]
-    fn hermite_expansion_lognormal_closed_form() {
+    fn hermite_expansion_lognormal_closed_form() -> Result<(), Box<dyn std::error::Error>> {
         // For h(z) = e^{σz}: c_m = e^{σ²/2}σ^m/m!, so
         // cov at corr r is e^{σ²}(e^{σ²r} − 1) — verify foreground_acf.
         let sigma = 0.8;
-        let exp = HermiteExpansion::of(&Lognormal::new(0.0, sigma).unwrap(), 24, 100);
+        let exp = HermiteExpansion::of(&Lognormal::new(0.0, sigma)?, 24, 100);
         let s2 = sigma * sigma;
         for r in [0.1, 0.3, 0.5, 0.8, 0.95] {
             let expect = ((s2 * r).exp() - 1.0) / (s2.exp() - 1.0);
@@ -360,6 +374,7 @@ mod tests {
         }
         close(exp.attenuation(), s2 / (s2.exp() - 1.0), 2e-3);
         assert_eq!(exp.hermite_rank(), 1);
+        Ok(())
     }
 
     #[test]
@@ -372,20 +387,19 @@ mod tests {
     }
 
     #[test]
-    fn hermite_expansion_matches_quadrature_attenuation() {
-        for target in [
-            Gamma::new(1.2, 1000.0).unwrap(),
-            Gamma::new(4.0, 10.0).unwrap(),
-        ] {
+    fn hermite_expansion_matches_quadrature_attenuation() -> Result<(), Box<dyn std::error::Error>>
+    {
+        for target in [Gamma::new(1.2, 1000.0)?, Gamma::new(4.0, 10.0)?] {
             let a1 = attenuation_factor(&target, 100);
             let a2 = HermiteExpansion::of(&target, 24, 100).attenuation();
             close(a1, a2, 5e-3);
         }
+        Ok(())
     }
 
     #[test]
-    fn foreground_acf_bounds_and_monotonicity() {
-        let exp = HermiteExpansion::of(&Gamma::new(0.8, 1.0).unwrap(), 20, 100);
+    fn foreground_acf_bounds_and_monotonicity() -> Result<(), Box<dyn std::error::Error>> {
+        let exp = HermiteExpansion::of(&Gamma::new(0.8, 1.0)?, 20, 100);
         let mut prev = 0.0;
         for i in 0..=20 {
             let r = i as f64 / 20.0;
@@ -395,16 +409,18 @@ mod tests {
             prev = f;
         }
         close(exp.foreground_acf(1.0), 1.0, 2e-2);
+        Ok(())
     }
 
     #[test]
-    fn apply_slice_matches_pointwise() {
-        let t = GaussianTransform::new(Gamma::new(2.0, 1.0).unwrap());
+    fn apply_slice_matches_pointwise() -> Result<(), Box<dyn std::error::Error>> {
+        let t = GaussianTransform::new(Gamma::new(2.0, 1.0)?);
         let xs = [-1.0, 0.0, 1.0];
         let ys = t.apply_slice(&xs);
         for (x, y) in xs.iter().zip(ys.iter()) {
             assert_eq!(t.apply(*x), *y);
         }
         assert_eq!(t.attenuation(60), attenuation_factor(t.target(), 60));
+        Ok(())
     }
 }

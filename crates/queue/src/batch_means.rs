@@ -83,40 +83,38 @@ mod tests {
     use svbr_lrd::DaviesHarte;
 
     #[test]
-    fn honest_for_iid_data() {
+    fn honest_for_iid_data() -> Result<(), Box<dyn std::error::Error>> {
         // Coverage experiment: over replications of iid data, the nominal
         // 95% interval should contain the true mean ~95% of the time.
-        let dh = DaviesHarte::new(FgnAcf::new(0.5).unwrap(), 8192).unwrap();
+        let dh = DaviesHarte::new(FgnAcf::new(0.5)?, 8192)?;
         let mut rng = StdRng::seed_from_u64(1);
         let reps = 300;
         let mut covered = 0;
         for _ in 0..reps {
             let xs = dh.generate(&mut rng);
-            let est = batch_means(&xs, 32).unwrap();
+            let est = batch_means(&xs, 32)?;
             if (est.mean - 0.0).abs() <= est.ci95_half_width() {
                 covered += 1;
             }
         }
         let coverage = covered as f64 / reps as f64;
-        assert!(
-            coverage > 0.9 && coverage <= 1.0,
-            "iid coverage {coverage}"
-        );
+        assert!(coverage > 0.9 && coverage <= 1.0, "iid coverage {coverage}");
+        Ok(())
     }
 
     #[test]
-    fn batch_means_undercover_under_lrd() {
+    fn batch_means_undercover_under_lrd() -> Result<(), Box<dyn std::error::Error>> {
         // The paper's warning, quantified: same experiment with H = 0.9
         // fGn — the nominal 95% intervals cover the true mean far less
         // often, and the batch means stay visibly correlated.
-        let dh = DaviesHarte::new(FgnAcf::new(0.9).unwrap(), 8192).unwrap();
+        let dh = DaviesHarte::new(FgnAcf::new(0.9)?, 8192)?;
         let mut rng = StdRng::seed_from_u64(2);
         let reps = 300;
         let mut covered = 0;
         let mut lag1_sum = 0.0;
         for _ in 0..reps {
             let xs = dh.generate(&mut rng);
-            let est = batch_means(&xs, 32).unwrap();
+            let est = batch_means(&xs, 32)?;
             if est.mean.abs() <= est.ci95_half_width() {
                 covered += 1;
             }
@@ -132,23 +130,26 @@ mod tests {
             mean_lag1 > 0.2,
             "batch means stay correlated under LRD: lag1 {mean_lag1}"
         );
+        Ok(())
     }
 
     #[test]
-    fn exact_small_case() {
+    fn exact_small_case() -> Result<(), Box<dyn std::error::Error>> {
         let xs = [1.0, 3.0, 5.0, 7.0];
-        let est = batch_means(&xs, 2).unwrap();
+        let est = batch_means(&xs, 2)?;
         assert_eq!(est.batch_size, 2);
         assert_eq!(est.mean, 4.0);
         // batch means 2 and 6: var = 8, var of mean = 4.
         assert!((est.variance_of_mean - 4.0).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn truncates_partial_batch() {
+    fn truncates_partial_batch() -> Result<(), Box<dyn std::error::Error>> {
         let xs = [1.0, 1.0, 1.0, 1.0, 100.0];
-        let est = batch_means(&xs, 2).unwrap();
+        let est = batch_means(&xs, 2)?;
         assert_eq!(est.mean, 1.0, "trailing partial batch dropped");
+        Ok(())
     }
 
     #[test]

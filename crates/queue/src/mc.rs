@@ -134,32 +134,38 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     #[test]
-    fn estimate_matches_exact_geometric_queue() {
+    fn estimate_matches_exact_geometric_queue() -> Result<(), Box<dyn std::error::Error>> {
         // Bernoulli(p) arrivals of size 1, service 1 per slot with batch
         // semantics won't queue at all; instead use batch arrivals of size 2
         // w.p. p, service 1: random walk +1 w.p. p, −1 w.p. 1−p. For p<1/2
         // the max of the walk is geometric: Pr(sup > b) = (p/(1−p))^{b+1}…
         // Use b = 2, p = 0.3: ρ... exact: (0.3/0.7)^3 ≈ 0.0787.
-        let p = 0.3;
+        let p = 0.3_f64;
         let mut rng = StdRng::seed_from_u64(1);
         let est = estimate_overflow(
             |_| {
                 (0..4000)
-                    .map(|_| if rng.gen_range(0.0..1.0) < p { 2.0 } else { 0.0 })
+                    .map(|_| {
+                        if rng.gen_range(0.0..1.0) < p {
+                            2.0
+                        } else {
+                            0.0
+                        }
+                    })
                     .collect()
             },
             20_000,
             4000,
             1.0,
             2.0,
-        )
-        .unwrap();
-        let exact = (p / (1.0 - p) as f64).powi(3);
+        )?;
+        let exact = (p / (1.0 - p)).powi(3);
         assert!(
             (est.p - exact).abs() < 3.0 * est.std_err().max(1e-3),
             "est {} vs exact {exact}",
             est.p
         );
+        Ok(())
     }
 
     #[test]
@@ -177,26 +183,29 @@ mod tests {
     }
 
     #[test]
-    fn zero_probability_estimate() {
-        let est = estimate_overflow(|_| vec![0.0; 100], 100, 100, 1.0, 5.0).unwrap();
+    fn zero_probability_estimate() -> Result<(), Box<dyn std::error::Error>> {
+        let est = estimate_overflow(|_| vec![0.0; 100], 100, 100, 1.0, 5.0)?;
         assert_eq!(est.p, 0.0);
         assert!(est.normalized_variance().is_infinite());
+        Ok(())
     }
 
     #[test]
-    fn certain_overflow() {
-        let est = estimate_overflow(|_| vec![10.0; 10], 50, 10, 1.0, 5.0).unwrap();
+    fn certain_overflow() -> Result<(), Box<dyn std::error::Error>> {
+        let est = estimate_overflow(|_| vec![10.0; 10], 50, 10, 1.0, 5.0)?;
         assert_eq!(est.p, 1.0);
         assert_eq!(est.variance, 0.0);
+        Ok(())
     }
 
     #[test]
-    fn horizon_respected() {
+    fn horizon_respected() -> Result<(), Box<dyn std::error::Error>> {
         // Arrival burst only after the horizon: never counted.
         let mut path = vec![0.0; 10];
         path.extend(vec![100.0; 10]);
-        let est = estimate_overflow(|_| path.clone(), 10, 10, 1.0, 5.0).unwrap();
+        let est = estimate_overflow(|_| path.clone(), 10, 10, 1.0, 5.0)?;
         assert_eq!(est.p, 0.0);
+        Ok(())
     }
 
     #[test]
@@ -207,13 +216,19 @@ mod tests {
     }
 
     #[test]
-    fn tail_curve_monotone_decreasing_in_b() {
+    fn tail_curve_monotone_decreasing_in_b() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(2);
         let arrivals: Vec<f64> = (0..200_000)
-            .map(|_| if rng.gen_range(0.0..1.0) < 0.4 { 2.0 } else { 0.0 })
+            .map(|_| {
+                if rng.gen_range(0.0..1.0) < 0.4 {
+                    2.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let buffers = [0.0, 1.0, 2.0, 4.0, 8.0];
-        let curve = tail_curve_from_path(&arrivals, 1.0, 1000, &buffers).unwrap();
+        let curve = tail_curve_from_path(&arrivals, 1.0, 1000, &buffers)?;
         for w in curve.windows(2) {
             assert!(w[1].1 <= w[0].1, "tail must decrease in b");
         }
@@ -226,5 +241,6 @@ mod tests {
                 exact(b)
             );
         }
+        Ok(())
     }
 }

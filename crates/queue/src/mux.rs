@@ -78,20 +78,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn conversions() {
-        let m = Mux::new(4.0, 0.8).unwrap();
+    fn conversions() -> Result<(), Box<dyn std::error::Error>> {
+        let m = Mux::new(4.0, 0.8)?;
         assert_eq!(m.service_rate(), 5.0);
         assert_eq!(m.buffer(25.0), 100.0);
         assert_eq!(m.normalize(100.0), 25.0);
         assert_eq!(m.utilization(), 0.8);
         assert_eq!(m.mean_arrival(), 4.0);
+        Ok(())
     }
 
     #[test]
-    fn from_path_uses_empirical_mean() {
-        let m = Mux::from_path(&[1.0, 3.0], 0.5).unwrap();
+    fn from_path_uses_empirical_mean() -> Result<(), Box<dyn std::error::Error>> {
+        let m = Mux::from_path(&[1.0, 3.0], 0.5)?;
         assert_eq!(m.mean_arrival(), 2.0);
         assert_eq!(m.service_rate(), 4.0);
+        Ok(())
     }
 
     #[test]
@@ -103,9 +105,10 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip() {
-        let m = Mux::new(7.3, 0.42).unwrap();
+    fn roundtrip() -> Result<(), Box<dyn std::error::Error>> {
+        let m = Mux::new(7.3, 0.42)?;
         let b = 123.4;
         assert!((m.normalize(m.buffer(b)) - b).abs() < 1e-12);
+        Ok(())
     }
 }

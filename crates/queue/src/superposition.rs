@@ -21,6 +21,7 @@ pub fn superpose(paths: &[Vec<f64>]) -> Result<Vec<f64>, QueueError> {
             constraint: "at least one source",
         });
     }
+    // svbr-lint: allow(no-expect) `paths` emptiness is rejected by the guard above
     let len = paths.iter().map(|p| p.len()).min().expect("non-empty");
     if len == 0 {
         return Err(QueueError::PathTooShort { needed: 1, got: 0 });
@@ -78,7 +79,10 @@ pub fn required_capacity(
             constraint: "0 < target < 1",
         });
     }
-    if !(buffer >= 0.0) {
+    if !matches!(
+        buffer.partial_cmp(&0.0),
+        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+    ) {
         return Err(QueueError::InvalidParameter {
             name: "buffer",
             constraint: ">= 0",
@@ -93,6 +97,7 @@ pub fn required_capacity(
         });
     }
     let overflow_frac = |service: f64| -> f64 {
+        // svbr-lint: allow(no-expect) caller-side binary search only probes positive service rates
         let mut q = LindleyQueue::new(service).expect("service > 0");
         let mut count = 0usize;
         let mut slots = 0usize;
@@ -172,51 +177,56 @@ mod tests {
     }
 
     #[test]
-    fn superpose_sums_elementwise() {
+    fn superpose_sums_elementwise() -> Result<(), Box<dyn std::error::Error>> {
         let a = vec![1.0, 2.0, 3.0];
         let b = vec![10.0, 20.0, 30.0, 40.0];
-        let s = superpose(&[a, b]).unwrap();
+        let s = superpose(&[a, b])?;
         assert_eq!(s, vec![11.0, 22.0, 33.0]);
         assert!(superpose(&[]).is_err());
         assert!(superpose(&[vec![]]).is_err());
+        Ok(())
     }
 
     #[test]
-    fn required_capacity_between_mean_and_peak() {
+    fn required_capacity_between_mean_and_peak() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(1);
         let src = onoff_source(&mut rng, 100_000);
-        let est = required_capacity(&src, 10.0, 0.01, 1000).unwrap();
+        let est = required_capacity(&src, 10.0, 0.01, 1000)?;
         assert!(est.service > est.mean_arrival, "above stability bound");
         assert!(est.service <= 4.0 + 1e-6, "at most the peak rate");
         assert!(est.achieved <= 0.01 + 1e-9);
         assert!(est.overprovision_factor() > 1.0);
+        Ok(())
     }
 
     #[test]
-    fn capacity_monotone_in_target() {
+    fn capacity_monotone_in_target() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(2);
         let src = onoff_source(&mut rng, 100_000);
-        let strict = required_capacity(&src, 10.0, 0.001, 1000).unwrap();
-        let loose = required_capacity(&src, 10.0, 0.05, 1000).unwrap();
+        let strict = required_capacity(&src, 10.0, 0.001, 1000)?;
+        let loose = required_capacity(&src, 10.0, 0.05, 1000)?;
         assert!(
             strict.service >= loose.service,
             "stricter target needs more capacity"
         );
+        Ok(())
     }
 
     #[test]
-    fn multiplexing_gain_positive_for_independent_onoff() {
+    fn multiplexing_gain_positive_for_independent_onoff() -> Result<(), Box<dyn std::error::Error>>
+    {
         // N independent ON/OFF sources smooth each other out: the
         // superposition needs less than N× the single-source capacity.
         let mut rng = StdRng::seed_from_u64(3);
         let n_src = 8;
         let len = 120_000;
         let paths: Vec<Vec<f64>> = (0..n_src).map(|_| onoff_source(&mut rng, len)).collect();
-        let single = required_capacity(&paths[0], 10.0, 0.01, 1000).unwrap();
-        let agg = superpose(&paths).unwrap();
-        let superposed = required_capacity(&agg, 10.0 * n_src as f64, 0.01, 1000).unwrap();
+        let single = required_capacity(&paths[0], 10.0, 0.01, 1000)?;
+        let agg = superpose(&paths)?;
+        let superposed = required_capacity(&agg, 10.0 * n_src as f64, 0.01, 1000)?;
         let gain = multiplexing_gain(&single, &superposed, n_src);
         assert!(gain > 1.2, "gain = {gain}");
+        Ok(())
     }
 
     #[test]
@@ -230,14 +240,15 @@ mod tests {
     }
 
     #[test]
-    fn constant_source_needs_mean_rate_only() {
+    fn constant_source_needs_mean_rate_only() -> Result<(), Box<dyn std::error::Error>> {
         let src = vec![2.0; 50_000];
-        let est = required_capacity(&src, 0.5, 0.01, 100).unwrap();
+        let est = required_capacity(&src, 0.5, 0.01, 100)?;
         assert!(
             (est.service - 2.0).abs() / 2.0 < 0.01,
             "CBR needs ~mean: {}",
             est.service
         );
         assert!((est.overprovision_factor() - 1.0).abs() < 0.01);
+        Ok(())
     }
 }

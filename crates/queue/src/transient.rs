@@ -60,6 +60,7 @@ where
             constraint: "non-empty and nondecreasing",
         });
     }
+    // svbr-lint: allow(no-expect) stop_times emptiness is rejected by the guard above
     let horizon = *stop_times.last().expect("non-empty");
     let mut hits = vec![0usize; stop_times.len()];
     for rep in 0..n_reps {
@@ -82,10 +83,7 @@ where
             }
         }
     }
-    Ok(hits
-        .into_iter()
-        .map(|h| h as f64 / n_reps as f64)
-        .collect())
+    Ok(hits.into_iter().map(|h| h as f64 / n_reps as f64).collect())
 }
 
 #[cfg(test)]
@@ -98,7 +96,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         move |_| {
             (0..len)
-                .map(|_| if rng.gen_range(0.0..1.0) < p { 2.0 } else { 0.0 })
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < p {
+                        2.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         }
     }
@@ -111,7 +115,7 @@ mod tests {
     }
 
     #[test]
-    fn empty_and_full_converge_to_same_steady_state() {
+    fn empty_and_full_converge_to_same_steady_state() -> Result<(), Box<dyn std::error::Error>> {
         let b = 3.0;
         let stop = [5, 50, 400];
         let from_empty = transient_curve(
@@ -121,8 +125,7 @@ mod tests {
             1.0,
             b,
             InitialCondition::Empty,
-        )
-        .unwrap();
+        )?;
         let from_full = transient_curve(
             walk_paths(2, 0.4, 400),
             8000,
@@ -130,8 +133,7 @@ mod tests {
             1.0,
             b,
             InitialCondition::Full,
-        )
-        .unwrap();
+        )?;
         // Early: full start overflows far more often.
         assert!(from_full[0] > from_empty[0] + 0.05);
         // Late: both near the steady state (2/3)^4 ≈ 0.198.
@@ -147,10 +149,11 @@ mod tests {
             from_full[2]
         );
         assert!((from_empty[2] - from_full[2]).abs() < 0.04);
+        Ok(())
     }
 
     #[test]
-    fn probability_monotone_from_empty() {
+    fn probability_monotone_from_empty() -> Result<(), Box<dyn std::error::Error>> {
         // From empty, the transient overflow probability grows with k.
         let curve = transient_curve(
             walk_paths(3, 0.45, 200),
@@ -159,32 +162,24 @@ mod tests {
             1.0,
             2.0,
             InitialCondition::Empty,
-        )
-        .unwrap();
+        )?;
         for w in curve.windows(2) {
             assert!(w[1] + 0.02 >= w[0], "{curve:?}");
         }
+        Ok(())
     }
 
     #[test]
     fn validation() {
         let mk = |_: usize| vec![0.0; 10];
-        assert!(
-            transient_curve(mk, 0, &[5], 1.0, 1.0, InitialCondition::Empty).is_err()
-        );
-        assert!(
-            transient_curve(mk, 5, &[], 1.0, 1.0, InitialCondition::Empty).is_err()
-        );
-        assert!(
-            transient_curve(mk, 5, &[5, 3], 1.0, 1.0, InitialCondition::Empty).is_err()
-        );
-        assert!(
-            transient_curve(mk, 5, &[20], 1.0, 1.0, InitialCondition::Empty).is_err()
-        );
+        assert!(transient_curve(mk, 0, &[5], 1.0, 1.0, InitialCondition::Empty).is_err());
+        assert!(transient_curve(mk, 5, &[], 1.0, 1.0, InitialCondition::Empty).is_err());
+        assert!(transient_curve(mk, 5, &[5, 3], 1.0, 1.0, InitialCondition::Empty).is_err());
+        assert!(transient_curve(mk, 5, &[20], 1.0, 1.0, InitialCondition::Empty).is_err());
     }
 
     #[test]
-    fn stop_time_alignment() {
+    fn stop_time_alignment() -> Result<(), Box<dyn std::error::Error>> {
         // Deterministic path: arrival 2 each slot, service 1 → Q_k = k.
         // Pr(Q_k > 2) is 0 for k ≤ 2, 1 for k ≥ 3.
         let curve = transient_curve(
@@ -194,8 +189,8 @@ mod tests {
             1.0,
             2.0,
             InitialCondition::Empty,
-        )
-        .unwrap();
+        )?;
         assert_eq!(curve, vec![0.0, 0.0, 1.0, 1.0]);
+        Ok(())
     }
 }

@@ -94,45 +94,45 @@ mod tests {
     use svbr_lrd::arma::Ar1;
 
     #[test]
-    fn lag_zero_is_one() {
+    fn lag_zero_is_one() -> Result<(), Box<dyn std::error::Error>> {
         let xs = vec![1.0, 3.0, 2.0, 5.0, 4.0];
-        let r = sample_acf(&xs, 2).unwrap();
+        let r = sample_acf(&xs, 2)?;
         assert_eq!(r[0], 1.0);
+        Ok(())
     }
 
     #[test]
-    fn direct_and_fft_agree() {
+    fn direct_and_fft_agree() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(1);
-        let xs = Ar1::new(0.7).unwrap().generate(5_000, &mut rng);
-        let a = sample_acf(&xs, 100).unwrap();
-        let b = sample_acf_fft(&xs, 100).unwrap();
+        let xs = Ar1::new(0.7)?.generate(5_000, &mut rng);
+        let a = sample_acf(&xs, 100)?;
+        let b = sample_acf_fft(&xs, 100)?;
         for (k, (x, y)) in a.iter().zip(b.iter()).enumerate() {
             assert!((x - y).abs() < 1e-9, "lag {k}: {x} vs {y}");
         }
+        Ok(())
     }
 
     #[test]
-    fn ar1_acf_recovered() {
+    fn ar1_acf_recovered() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(2);
-        let xs = Ar1::new(0.8).unwrap().generate(200_000, &mut rng);
-        let r = sample_acf_fft(&xs, 10).unwrap();
-        for k in 1..=5 {
-            assert!(
-                (r[k] - 0.8f64.powi(k as i32)).abs() < 0.02,
-                "lag {k}: {}",
-                r[k]
-            );
+        let xs = Ar1::new(0.8)?.generate(200_000, &mut rng);
+        let r = sample_acf_fft(&xs, 10)?;
+        for (k, rk) in r.iter().enumerate().take(6).skip(1) {
+            assert!((rk - 0.8f64.powi(k as i32)).abs() < 0.02, "lag {k}: {rk}");
         }
+        Ok(())
     }
 
     #[test]
-    fn white_noise_acf_near_zero() {
+    fn white_noise_acf_near_zero() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(3);
-        let xs = Ar1::new(0.0).unwrap().generate(50_000, &mut rng);
-        let r = sample_acf(&xs, 5).unwrap();
-        for k in 1..=5 {
-            assert!(r[k].abs() < 0.02, "lag {k}: {}", r[k]);
+        let xs = Ar1::new(0.0)?.generate(50_000, &mut rng);
+        let r = sample_acf(&xs, 5)?;
+        for (k, rk) in r.iter().enumerate().take(6).skip(1) {
+            assert!(rk.abs() < 0.02, "lag {k}: {rk}");
         }
+        Ok(())
     }
 
     #[test]
@@ -151,47 +151,49 @@ mod tests {
     }
 
     #[test]
-    fn autocovariance_scale() {
+    fn autocovariance_scale() -> Result<(), Box<dyn std::error::Error>> {
         // Var 4 series: covariance at lag 0 must be ≈ 4.
         let mut rng = StdRng::seed_from_u64(4);
-        let xs: Vec<f64> = Ar1::new(0.0)
-            .unwrap()
+        let xs: Vec<f64> = Ar1::new(0.0)?
             .generate(100_000, &mut rng)
             .iter()
             .map(|x| 2.0 * x)
             .collect();
-        let c = sample_autocovariance(&xs, 0).unwrap();
+        let c = sample_autocovariance(&xs, 0)?;
         assert!((c[0] - 4.0).abs() < 0.1, "c0 {}", c[0]);
+        Ok(())
     }
 
     #[test]
-    fn bartlett_bands_white_noise() {
+    fn bartlett_bands_white_noise() -> Result<(), Box<dyn std::error::Error>> {
         // For white noise the band at any lag is ≈ 1/√n, and ~95% of
         // sample autocorrelations fall within ±1.96·se.
         let mut rng = StdRng::seed_from_u64(5);
-        let xs = Ar1::new(0.0).unwrap().generate(10_000, &mut rng);
-        let r = sample_acf_fft(&xs, 50).unwrap();
-        let se = bartlett_se(&r, xs.len(), 10).unwrap();
+        let xs = Ar1::new(0.0)?.generate(10_000, &mut rng);
+        let r = sample_acf_fft(&xs, 50)?;
+        let se = bartlett_se(&r, xs.len(), 10)?;
         assert!((se - 0.01).abs() < 0.002, "se {se}");
         let inside = (1..=50)
-            .filter(|&k| r[k].abs() <= 1.96 * bartlett_se(&r, xs.len(), k).unwrap())
+            .filter(|&k| bartlett_se(&r, xs.len(), k).is_ok_and(|se| r[k].abs() <= 1.96 * se))
             .count();
         assert!(inside >= 44, "coverage {inside}/50");
+        Ok(())
     }
 
     #[test]
-    fn bartlett_bands_grow_under_persistence() {
+    fn bartlett_bands_grow_under_persistence() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(6);
-        let white = Ar1::new(0.0).unwrap().generate(20_000, &mut rng);
-        let persistent = Ar1::new(0.95).unwrap().generate(20_000, &mut rng);
-        let rw = sample_acf_fft(&white, 60).unwrap();
-        let rp = sample_acf_fft(&persistent, 60).unwrap();
-        let se_w = bartlett_se(&rw, 20_000, 50).unwrap();
-        let se_p = bartlett_se(&rp, 20_000, 50).unwrap();
+        let white = Ar1::new(0.0)?.generate(20_000, &mut rng);
+        let persistent = Ar1::new(0.95)?.generate(20_000, &mut rng);
+        let rw = sample_acf_fft(&white, 60)?;
+        let rp = sample_acf_fft(&persistent, 60)?;
+        let se_w = bartlett_se(&rw, 20_000, 50)?;
+        let se_p = bartlett_se(&rp, 20_000, 50)?;
         assert!(
             se_p > 3.0 * se_w,
             "persistence inflates the bands: {se_p} vs {se_w}"
         );
+        Ok(())
     }
 
     #[test]
@@ -203,14 +205,15 @@ mod tests {
     }
 
     #[test]
-    fn biased_estimator_shrinks_with_lag() {
+    fn biased_estimator_shrinks_with_lag() -> Result<(), Box<dyn std::error::Error>> {
         // For an alternating series the biased estimator divides by n, so
         // high lags shrink deterministically; check exact small example.
         let xs = vec![1.0, -1.0, 1.0, -1.0];
-        let c = sample_autocovariance(&xs, 3).unwrap();
+        let c = sample_autocovariance(&xs, 3)?;
         assert!((c[0] - 1.0).abs() < 1e-15);
         assert!((c[1] + 0.75).abs() < 1e-15);
         assert!((c[2] - 0.5).abs() < 1e-15);
         assert!((c[3] + 0.25).abs() < 1e-15);
+        Ok(())
     }
 }

@@ -31,15 +31,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn identity_at_m1() {
+    fn identity_at_m1() -> Result<(), Box<dyn std::error::Error>> {
         let xs = vec![1.0, 2.0, 3.0];
-        assert_eq!(aggregate(&xs, 1).unwrap(), xs);
+        assert_eq!(aggregate(&xs, 1)?, xs);
+        Ok(())
     }
 
     #[test]
-    fn block_means() {
+    fn block_means() -> Result<(), Box<dyn std::error::Error>> {
         let xs = vec![1.0, 3.0, 2.0, 4.0, 10.0];
-        assert_eq!(aggregate(&xs, 2).unwrap(), vec![2.0, 3.0]);
+        assert_eq!(aggregate(&xs, 2)?, vec![2.0, 3.0]);
+        Ok(())
     }
 
     #[test]
@@ -49,11 +51,12 @@ mod tests {
     }
 
     #[test]
-    fn preserves_mean() {
+    fn preserves_mean() -> Result<(), Box<dyn std::error::Error>> {
         let xs: Vec<f64> = (0..1000).map(|i| (i % 13) as f64).collect();
-        let agg = aggregate(&xs, 10).unwrap();
+        let agg = aggregate(&xs, 10)?;
         let m1 = xs.iter().sum::<f64>() / xs.len() as f64;
         let m2 = agg.iter().sum::<f64>() / agg.len() as f64;
         assert!((m1 - m2).abs() < 1e-12);
+        Ok(())
     }
 }

@@ -138,7 +138,7 @@ pub fn fit_composite(acf: &[f64], opts: &FitOptions) -> Result<CompositeFit, Sta
         let Some(fit) = fit_at_knee(acf, knee, max_lag, opts.min_correlation) else {
             continue;
         };
-        if best.as_ref().map_or(true, |b| fit.sse < b.sse) {
+        if best.as_ref().is_none_or(|b| fit.sse < b.sse) {
             best = Some(fit);
         }
     }
@@ -147,12 +147,7 @@ pub fn fit_composite(acf: &[f64], opts: &FitOptions) -> Result<CompositeFit, Sta
     ))
 }
 
-fn fit_at_knee(
-    acf: &[f64],
-    knee: usize,
-    max_lag: usize,
-    min_corr: f64,
-) -> Option<CompositeFit> {
+fn fit_at_knee(acf: &[f64], knee: usize, max_lag: usize, min_corr: f64) -> Option<CompositeFit> {
     // SRD piece: ln r(k) = −λk through the origin, k = 1..knee−1.
     let mut skk = 0.0;
     let mut sky = 0.0;
@@ -170,7 +165,7 @@ fn fit_at_knee(
         return None;
     }
     let lambda = -sky / skk;
-    if !(lambda > 0.0) {
+    if lambda.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return None;
     }
     // LRD piece: ln r(k) = ln L − β ln k, k = knee..max_lag.
@@ -314,7 +309,7 @@ pub fn refine_mixture(acf: &[f64], base: &CompositeFit) -> Result<MixtureFit, St
                 let e = r - m;
                 sse += e * e;
             }
-            if best.as_ref().map_or(true, |b| sse < b.srd_sse) {
+            if best.as_ref().is_none_or(|b| sse < b.srd_sse) {
                 best = Some(MixtureFit {
                     weight: w,
                     rate_slow,
@@ -340,14 +335,10 @@ mod tests {
     }
 
     #[test]
-    fn recovers_paper_parameters_from_clean_data() {
+    fn recovers_paper_parameters_from_clean_data() -> Result<(), Box<dyn std::error::Error>> {
         let table = paper_acf_table(501);
-        let fit = fit_composite(&table, &FitOptions::default()).unwrap();
-        assert!(
-            (fit.lambda - 0.005_650_93).abs() < 5e-4,
-            "λ {}",
-            fit.lambda
-        );
+        let fit = fit_composite(&table, &FitOptions::default())?;
+        assert!((fit.lambda - 0.005_650_93).abs() < 5e-4, "λ {}", fit.lambda);
         assert!((fit.beta - 0.2).abs() < 0.02, "β {}", fit.beta);
         assert!((fit.l - 1.594_68).abs() < 0.15, "L {}", fit.l);
         assert!(
@@ -356,10 +347,11 @@ mod tests {
             fit.knee
         );
         assert!((fit.hurst() - 0.9).abs() < 0.01);
+        Ok(())
     }
 
     #[test]
-    fn recovers_from_noisy_data() {
+    fn recovers_from_noisy_data() -> Result<(), Box<dyn std::error::Error>> {
         // Add deterministic pseudo-noise of magnitude ~0.01.
         let table: Vec<f64> = paper_acf_table(501)
             .iter()
@@ -372,44 +364,45 @@ mod tests {
                 }
             })
             .collect();
-        let fit = fit_composite(&table, &FitOptions::default()).unwrap();
+        let fit = fit_composite(&table, &FitOptions::default())?;
         assert!((fit.beta - 0.2).abs() < 0.05, "β {}", fit.beta);
         assert!((fit.hurst() - 0.9).abs() < 0.03, "H {}", fit.hurst());
         assert!((fit.lambda - 0.005_65).abs() < 2e-3, "λ {}", fit.lambda);
+        Ok(())
     }
 
     #[test]
-    fn fitted_model_evaluates_close_to_input() {
+    fn fitted_model_evaluates_close_to_input() -> Result<(), Box<dyn std::error::Error>> {
         let table = paper_acf_table(501);
-        let fit = fit_composite(&table, &FitOptions::default()).unwrap();
-        for k in 1..=500 {
+        let fit = fit_composite(&table, &FitOptions::default())?;
+        for (k, tk) in table.iter().enumerate().take(501).skip(1) {
             assert!(
-                (fit.r(k) - table[k]).abs() < 0.03,
+                (fit.r(k) - tk).abs() < 0.03,
                 "lag {k}: {} vs {}",
                 fit.r(k),
                 table[k]
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn intersection_lag_near_knee() {
+    fn intersection_lag_near_knee() -> Result<(), Box<dyn std::error::Error>> {
         let table = paper_acf_table(501);
-        let fit = fit_composite(&table, &FitOptions::default()).unwrap();
+        let fit = fit_composite(&table, &FitOptions::default())?;
         let x = fit.intersection_lag(500).expect("curves cross");
-        assert!(
-            (x as i64 - 60).unsigned_abs() <= 10,
-            "intersection at {x}"
-        );
+        assert!((x as i64 - 60).unsigned_abs() <= 10, "intersection at {x}");
+        Ok(())
     }
 
     #[test]
-    fn to_acf_roundtrip() {
+    fn to_acf_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
         let table = paper_acf_table(501);
-        let fit = fit_composite(&table, &FitOptions::default()).unwrap();
-        let acf = fit.to_acf().unwrap();
+        let fit = fit_composite(&table, &FitOptions::default())?;
+        let acf = fit.to_acf()?;
         assert!((acf.r(100) - fit.r(100)).abs() < 1e-12);
         assert_eq!(acf.knee(), fit.knee);
+        Ok(())
     }
 
     #[test]
@@ -446,32 +439,34 @@ mod tests {
     }
 
     #[test]
-    fn r_at_zero_is_one() {
+    fn r_at_zero_is_one() -> Result<(), Box<dyn std::error::Error>> {
         let table = paper_acf_table(501);
-        let fit = fit_composite(&table, &FitOptions::default()).unwrap();
+        let fit = fit_composite(&table, &FitOptions::default())?;
         assert_eq!(fit.r(0), 1.0);
+        Ok(())
     }
 
     #[test]
-    fn mixture_refit_recovers_single_exponential() {
+    fn mixture_refit_recovers_single_exponential() -> Result<(), Box<dyn std::error::Error>> {
         // On data that IS a single exponential the mixture must not hurt:
         // either w → 1 or both rates coincide with the true one.
         let table = paper_acf_table(501);
-        let base = fit_composite(&table, &FitOptions::default()).unwrap();
-        let mix = refine_mixture(&table, &base).unwrap();
-        for k in 1..base.knee {
+        let base = fit_composite(&table, &FitOptions::default())?;
+        let mix = refine_mixture(&table, &base)?;
+        for (k, tk) in table.iter().enumerate().take(base.knee).skip(1) {
             assert!(
-                (mix.r(k) - table[k]).abs() < 0.01,
+                (mix.r(k) - tk).abs() < 0.01,
                 "lag {k}: {} vs {}",
                 mix.r(k),
                 table[k]
             );
         }
         assert!(mix.srd_sse < 1e-3);
+        Ok(())
     }
 
     #[test]
-    fn mixture_beats_single_on_nugget_data() {
+    fn mixture_beats_single_on_nugget_data() -> Result<(), Box<dyn std::error::Error>> {
         // An SRD region with a white-noise "nugget": r(k) = 0.8·exp(−λk) +
         // 0.2·exp(−5λk) drops fast at lag 1 then decays slowly — a single
         // exponential through the origin cannot follow it.
@@ -493,8 +488,8 @@ mod tests {
             })
             .collect();
         table[0] = 1.0;
-        let base = fit_composite(&table, &FitOptions::default()).unwrap();
-        let mix = refine_mixture(&table, &base).unwrap();
+        let base = fit_composite(&table, &FitOptions::default())?;
+        let mix = refine_mixture(&table, &base)?;
         let single_sse: f64 = (1..base.knee)
             .map(|k| {
                 let e = table[k] - base.r(k);
@@ -510,17 +505,19 @@ mod tests {
         // The recovered structure is two-component.
         assert!(mix.weight > 0.5 && mix.weight < 0.95, "w = {}", mix.weight);
         assert!(mix.rate_fast > 3.0 * mix.rate_slow);
+        Ok(())
     }
 
     #[test]
-    fn mixture_converts_to_valid_acf() {
+    fn mixture_converts_to_valid_acf() -> Result<(), Box<dyn std::error::Error>> {
         let table = paper_acf_table(501);
-        let base = fit_composite(&table, &FitOptions::default()).unwrap();
-        let mix = refine_mixture(&table, &base).unwrap();
-        let acf = mix.to_acf().unwrap();
+        let base = fit_composite(&table, &FitOptions::default())?;
+        let mix = refine_mixture(&table, &base)?;
+        let acf = mix.to_acf()?;
         for k in [0usize, 1, 30, 60, 400] {
             assert!((acf.r(k) - mix.r(k)).abs() < 1e-12);
         }
+        Ok(())
     }
 
     #[test]

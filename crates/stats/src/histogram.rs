@@ -153,7 +153,11 @@ impl Histogram {
         }
         let p = self.frequencies();
         let q = other.frequencies();
-        Ok(p.iter().zip(q.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0)
+        Ok(p.iter()
+            .zip(q.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0)
     }
 }
 
@@ -162,76 +166,84 @@ mod tests {
     use super::*;
 
     #[test]
-    fn counts_land_in_right_bins() {
-        let h = Histogram::of(&[0.0, 0.1, 0.9, 1.0, 0.5], 2).unwrap();
+    fn counts_land_in_right_bins() -> Result<(), Box<dyn std::error::Error>> {
+        let h = Histogram::of(&[0.0, 0.1, 0.9, 1.0, 0.5], 2)?;
         // 0.5 sits exactly on the boundary and belongs to the upper bin.
         assert_eq!(h.counts(), &[2, 3]);
         assert_eq!(h.total(), 5);
+        Ok(())
     }
 
     #[test]
-    fn max_value_goes_in_last_bin() {
-        let h = Histogram::of(&[0.0, 10.0], 10).unwrap();
+    fn max_value_goes_in_last_bin() -> Result<(), Box<dyn std::error::Error>> {
+        let h = Histogram::of(&[0.0, 10.0], 10)?;
         assert_eq!(h.counts()[9], 1);
         assert_eq!(h.counts()[0], 1);
+        Ok(())
     }
 
     #[test]
-    fn degenerate_range() {
-        let h = Histogram::of(&[5.0, 5.0, 5.0], 4).unwrap();
+    fn degenerate_range() -> Result<(), Box<dyn std::error::Error>> {
+        let h = Histogram::of(&[5.0, 5.0, 5.0], 4)?;
         assert_eq!(h.counts().iter().sum::<u64>(), 3);
         assert_eq!(h.bin_width(), 0.0);
+        Ok(())
     }
 
     #[test]
-    fn out_of_range_tracked() {
-        let mut h = Histogram::with_range(0.0, 1.0, 2).unwrap();
+    fn out_of_range_tracked() -> Result<(), Box<dyn std::error::Error>> {
+        let mut h = Histogram::with_range(0.0, 1.0, 2)?;
         h.add_all(&[-1.0, 0.5, 2.0, 0.9]);
         assert_eq!(h.outside(), (1, 1));
         assert_eq!(h.total(), 4);
         assert_eq!(h.counts().iter().sum::<u64>(), 2);
+        Ok(())
     }
 
     #[test]
-    fn frequencies_sum_to_in_range_fraction() {
-        let mut h = Histogram::with_range(0.0, 1.0, 4).unwrap();
+    fn frequencies_sum_to_in_range_fraction() -> Result<(), Box<dyn std::error::Error>> {
+        let mut h = Histogram::with_range(0.0, 1.0, 4)?;
         h.add_all(&[0.1, 0.2, 0.3, 5.0]);
         let s: f64 = h.frequencies().iter().sum();
         assert!((s - 0.75).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn centers_and_points() {
-        let h = Histogram::with_range(0.0, 10.0, 5).unwrap();
+    fn centers_and_points() -> Result<(), Box<dyn std::error::Error>> {
+        let h = Histogram::with_range(0.0, 10.0, 5)?;
         assert_eq!(h.center(0), 1.0);
         assert_eq!(h.center(4), 9.0);
         assert_eq!(h.bin_width(), 2.0);
         assert_eq!(h.points().len(), 5);
         assert_eq!((h.min(), h.max()), (0.0, 10.0));
+        Ok(())
     }
 
     #[test]
-    fn l1_distance_properties() {
-        let mut a = Histogram::with_range(0.0, 1.0, 10).unwrap();
-        let mut b = Histogram::with_range(0.0, 1.0, 10).unwrap();
+    fn l1_distance_properties() -> Result<(), Box<dyn std::error::Error>> {
+        let mut a = Histogram::with_range(0.0, 1.0, 10)?;
+        let mut b = Histogram::with_range(0.0, 1.0, 10)?;
         let xs: Vec<f64> = (0..1000).map(|i| (i % 100) as f64 / 100.0).collect();
         a.add_all(&xs);
         b.add_all(&xs);
-        assert!(a.l1_distance(&b).unwrap() < 1e-12, "identical samples");
-        let mut c = Histogram::with_range(0.0, 1.0, 10).unwrap();
+        assert!(a.l1_distance(&b)? < 1e-12, "identical samples");
+        let mut c = Histogram::with_range(0.0, 1.0, 10)?;
         c.add_all(&vec![0.05; 1000]);
-        let d = a.l1_distance(&c).unwrap();
+        let d = a.l1_distance(&c)?;
         assert!(d > 0.8, "disjoint-ish distributions: {d}");
         assert!(d <= 1.0);
+        Ok(())
     }
 
     #[test]
-    fn l1_distance_requires_same_binning() {
-        let a = Histogram::with_range(0.0, 1.0, 10).unwrap();
-        let b = Histogram::with_range(0.0, 1.0, 5).unwrap();
+    fn l1_distance_requires_same_binning() -> Result<(), Box<dyn std::error::Error>> {
+        let a = Histogram::with_range(0.0, 1.0, 10)?;
+        let b = Histogram::with_range(0.0, 1.0, 5)?;
         assert!(a.l1_distance(&b).is_err());
-        let c = Histogram::with_range(0.0, 2.0, 10).unwrap();
+        let c = Histogram::with_range(0.0, 2.0, 10)?;
         assert!(a.l1_distance(&c).is_err());
+        Ok(())
     }
 
     #[test]

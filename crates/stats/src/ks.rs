@@ -75,49 +75,55 @@ mod tests {
     use super::*;
 
     #[test]
-    fn one_sample_uniform_fit() {
+    fn one_sample_uniform_fit() -> Result<(), Box<dyn std::error::Error>> {
         // Perfectly spaced uniform sample against U(0,1): D = 1/(2n).
         let n = 100;
         let xs: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
-        let d = ks_distance_sorted(&xs, |x| x.clamp(0.0, 1.0)).unwrap();
+        let d = ks_distance_sorted(&xs, |x| x.clamp(0.0, 1.0))?;
         assert!((d - 0.5 / n as f64).abs() < 1e-12, "D {d}");
+        Ok(())
     }
 
     #[test]
-    fn one_sample_bad_fit() {
+    fn one_sample_bad_fit() -> Result<(), Box<dyn std::error::Error>> {
         let xs: Vec<f64> = (0..100).map(|i| i as f64 / 100.0 * 0.5).collect();
-        let d = ks_distance_sorted(&xs, |x| x.clamp(0.0, 1.0)).unwrap();
+        let d = ks_distance_sorted(&xs, |x| x.clamp(0.0, 1.0))?;
         assert!(d > 0.4, "D {d}");
+        Ok(())
     }
 
     #[test]
-    fn two_sample_identical() {
+    fn two_sample_identical() -> Result<(), Box<dyn std::error::Error>> {
         let xs: Vec<f64> = (0..200).map(|i| (i as f64).sin()).collect();
-        let d = two_sample_ks(&xs, &xs).unwrap();
+        let d = two_sample_ks(&xs, &xs)?;
         assert!(d < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn two_sample_disjoint() {
+    fn two_sample_disjoint() -> Result<(), Box<dyn std::error::Error>> {
         let a = vec![1.0, 2.0, 3.0];
         let b = vec![10.0, 11.0];
-        assert!((two_sample_ks(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((two_sample_ks(&a, &b)? - 1.0).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn two_sample_shifted() {
+    fn two_sample_shifted() -> Result<(), Box<dyn std::error::Error>> {
         let a: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
         let b: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0 + 0.25).collect();
-        let d = two_sample_ks(&a, &b).unwrap();
+        let d = two_sample_ks(&a, &b)?;
         assert!((d - 0.25).abs() < 0.01, "D {d}");
+        Ok(())
     }
 
     #[test]
-    fn two_sample_with_ties() {
+    fn two_sample_with_ties() -> Result<(), Box<dyn std::error::Error>> {
         let a = vec![1.0, 1.0, 2.0, 2.0];
         let b = vec![1.0, 2.0];
-        let d = two_sample_ks(&a, &b).unwrap();
+        let d = two_sample_ks(&a, &b)?;
         assert!(d < 1e-12, "tied values handled: D {d}");
+        Ok(())
     }
 
     #[test]

@@ -66,23 +66,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn median_of_odd() {
+    fn median_of_odd() -> Result<(), Box<dyn std::error::Error>> {
         let xs = [3.0, 1.0, 2.0];
-        assert_eq!(quantiles(&xs, 1).unwrap()[0], 2.0);
+        assert_eq!(quantiles(&xs, 1)?[0], 2.0);
+        Ok(())
     }
 
     #[test]
-    fn interpolation() {
+    fn interpolation() -> Result<(), Box<dyn std::error::Error>> {
         let sorted = [0.0, 1.0, 2.0, 3.0];
-        assert_eq!(quantile_sorted(&sorted, 0.5).unwrap(), 1.5);
-        assert_eq!(quantile_sorted(&sorted, 0.0).unwrap(), 0.0);
-        assert_eq!(quantile_sorted(&sorted, 1.0).unwrap(), 3.0);
-        assert!((quantile_sorted(&sorted, 1.0 / 3.0).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&sorted, 0.5)?, 1.5);
+        assert_eq!(quantile_sorted(&sorted, 0.0)?, 0.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0)?, 3.0);
+        assert!((quantile_sorted(&sorted, 1.0 / 3.0)? - 1.0).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn single_element() {
-        assert_eq!(quantile_sorted(&[5.0], 0.7).unwrap(), 5.0);
+    fn single_element() -> Result<(), Box<dyn std::error::Error>> {
+        assert_eq!(quantile_sorted(&[5.0], 0.7)?, 5.0);
+        Ok(())
     }
 
     #[test]
@@ -94,39 +97,43 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_are_monotone() {
+    fn quantiles_are_monotone() -> Result<(), Box<dyn std::error::Error>> {
         let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
-        let q = quantiles(&xs, 20).unwrap();
+        let q = quantiles(&xs, 20)?;
         for w in q.windows(2) {
             assert!(w[1] >= w[0]);
         }
+        Ok(())
     }
 
     #[test]
-    fn qq_identical_samples_on_diagonal() {
+    fn qq_identical_samples_on_diagonal() -> Result<(), Box<dyn std::error::Error>> {
         let xs: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
-        let pts = qq_points(&xs, &xs, 50).unwrap();
+        let pts = qq_points(&xs, &xs, 50)?;
         for (a, b) in pts.iter() {
             assert_eq!(a, b);
         }
         assert!(qq_max_relative_deviation(&pts) < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn qq_detects_scale_mismatch() {
+    fn qq_detects_scale_mismatch() -> Result<(), Box<dyn std::error::Error>> {
         let a: Vec<f64> = (1..=500).map(|i| i as f64).collect();
         let b: Vec<f64> = (1..=500).map(|i| 2.0 * i as f64).collect();
-        let pts = qq_points(&a, &b, 20).unwrap();
+        let pts = qq_points(&a, &b, 20)?;
         let dev = qq_max_relative_deviation(&pts);
         assert!(dev > 0.4, "dev {dev}");
+        Ok(())
     }
 
     #[test]
-    fn qq_different_sample_sizes() {
+    fn qq_different_sample_sizes() -> Result<(), Box<dyn std::error::Error>> {
         let a: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
         let b: Vec<f64> = (0..337).map(|i| i as f64 / 337.0).collect();
-        let pts = qq_points(&a, &b, 30).unwrap();
+        let pts = qq_points(&a, &b, 30)?;
         assert!(qq_max_relative_deviation(&pts) < 0.05);
+        Ok(())
     }
 }
 

@@ -78,18 +78,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn exact_line() {
+    fn exact_line() -> Result<(), Box<dyn std::error::Error>> {
         let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
-        let fit = linear_fit(&pts).unwrap();
+        let fit = linear_fit(&pts)?;
         assert!((fit.slope - 2.0).abs() < 1e-12);
         assert!((fit.intercept - 3.0).abs() < 1e-12);
         assert!((fit.r_squared - 1.0).abs() < 1e-12);
         assert!(fit.slope_std_err < 1e-9);
         assert!((fit.predict(20.0) - 43.0).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn noisy_line() {
+    fn noisy_line() -> Result<(), Box<dyn std::error::Error>> {
         let pts: Vec<(f64, f64)> = (0..100)
             .map(|i| {
                 let x = i as f64 / 10.0;
@@ -97,10 +98,11 @@ mod tests {
                 (x, 1.0 - 0.5 * x + 0.1 * noise)
             })
             .collect();
-        let fit = linear_fit(&pts).unwrap();
+        let fit = linear_fit(&pts)?;
         assert!((fit.slope + 0.5).abs() < 0.01, "slope {}", fit.slope);
         assert!(fit.r_squared > 0.99);
         assert!(fit.slope_std_err > 0.0);
+        Ok(())
     }
 
     #[test]
@@ -110,18 +112,20 @@ mod tests {
     }
 
     #[test]
-    fn two_points_exact() {
-        let fit = linear_fit(&[(0.0, 1.0), (2.0, 5.0)]).unwrap();
+    fn two_points_exact() -> Result<(), Box<dyn std::error::Error>> {
+        let fit = linear_fit(&[(0.0, 1.0), (2.0, 5.0)])?;
         assert_eq!(fit.slope, 2.0);
         assert_eq!(fit.intercept, 1.0);
         assert_eq!(fit.n, 2);
+        Ok(())
     }
 
     #[test]
-    fn flat_data_r_squared() {
+    fn flat_data_r_squared() -> Result<(), Box<dyn std::error::Error>> {
         let pts: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 7.0)).collect();
-        let fit = linear_fit(&pts).unwrap();
+        let fit = linear_fit(&pts)?;
         assert_eq!(fit.slope, 0.0);
         assert_eq!(fit.r_squared, 1.0, "zero total variance convention");
+        Ok(())
     }
 }

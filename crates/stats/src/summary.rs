@@ -87,32 +87,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn constant_series() {
-        let s = Summary::of(&[2.0; 10]).unwrap();
+    fn constant_series() -> Result<(), Box<dyn std::error::Error>> {
+        let s = Summary::of(&[2.0; 10])?;
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.variance, 0.0);
         assert_eq!(s.skewness, 0.0);
         assert_eq!(s.kurtosis, 0.0);
         assert_eq!((s.min, s.max), (2.0, 2.0));
+        Ok(())
     }
 
     #[test]
-    fn known_values() {
-        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+    fn known_values() -> Result<(), Box<dyn std::error::Error>> {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0])?;
         assert_eq!(s.mean, 2.5);
         assert!((s.variance - 1.25).abs() < 1e-15);
         assert!((s.variance_unbiased() - 5.0 / 3.0).abs() < 1e-15);
         assert!(s.skewness.abs() < 1e-15, "symmetric data");
         assert_eq!((s.min, s.max), (1.0, 4.0));
         assert!((s.cv() - 1.25f64.sqrt() / 2.5).abs() < 1e-15);
+        Ok(())
     }
 
     #[test]
-    fn skewed_data() {
+    fn skewed_data() -> Result<(), Box<dyn std::error::Error>> {
         // Exponential-ish data has positive skew.
-        let xs: Vec<f64> = (0..1000).map(|i| ((i % 97) as f64 / 96.0).powi(4)).collect();
-        let s = Summary::of(&xs).unwrap();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i % 97) as f64 / 96.0).powi(4))
+            .collect();
+        let s = Summary::of(&xs)?;
         assert!(s.skewness > 0.5, "skew {}", s.skewness);
+        Ok(())
     }
 
     #[test]
@@ -121,30 +126,34 @@ mod tests {
     }
 
     #[test]
-    fn single_sample() {
-        let s = Summary::of(&[7.0]).unwrap();
+    fn single_sample() -> Result<(), Box<dyn std::error::Error>> {
+        let s = Summary::of(&[7.0])?;
         assert_eq!(s.mean, 7.0);
         assert_eq!(s.variance, 0.0);
         assert_eq!(s.variance_unbiased(), 0.0);
+        Ok(())
     }
 
     #[test]
-    fn gaussian_kurtosis_near_three() {
+    fn gaussian_kurtosis_near_three() -> Result<(), Box<dyn std::error::Error>> {
         // Deterministic "Gaussian-ish" data via inverse-CDF-like spacing is
         // overkill; instead use a simple seeded congruential scramble with
         // Box–Muller.
         let mut xs = Vec::new();
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..100_000 {
             let (u, v) = (next().max(1e-12), next());
             xs.push((-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos());
         }
-        let s = Summary::of(&xs).unwrap();
+        let s = Summary::of(&xs)?;
         assert!((s.kurtosis - 3.0).abs() < 0.1, "kurtosis {}", s.kurtosis);
         assert!(s.skewness.abs() < 0.05);
+        Ok(())
     }
 }

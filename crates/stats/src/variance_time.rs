@@ -132,7 +132,7 @@ mod tests {
     }
 
     #[test]
-    fn white_noise_gives_half() {
+    fn white_noise_gives_half() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.5, 200_000, 1);
         let opts = VtOptions {
             min_m: 10,
@@ -140,13 +140,14 @@ mod tests {
             points: 15,
             min_blocks: 20,
         };
-        let est = variance_time_hurst(&xs, &opts).unwrap();
+        let est = variance_time_hurst(&xs, &opts)?;
         assert!((est.hurst - 0.5).abs() < 0.05, "H {}", est.hurst);
         assert!(est.fit.r_squared > 0.95);
+        Ok(())
     }
 
     #[test]
-    fn strong_lrd_detected() {
+    fn strong_lrd_detected() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.9, 400_000, 2);
         let opts = VtOptions {
             min_m: 50,
@@ -154,12 +155,13 @@ mod tests {
             points: 15,
             min_blocks: 20,
         };
-        let est = variance_time_hurst(&xs, &opts).unwrap();
+        let est = variance_time_hurst(&xs, &opts)?;
         assert!((est.hurst - 0.9).abs() < 0.07, "H {}", est.hurst);
+        Ok(())
     }
 
     #[test]
-    fn moderate_lrd_detected() {
+    fn moderate_lrd_detected() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.7, 400_000, 3);
         let opts = VtOptions {
             min_m: 50,
@@ -167,28 +169,30 @@ mod tests {
             points: 15,
             min_blocks: 20,
         };
-        let est = variance_time_hurst(&xs, &opts).unwrap();
+        let est = variance_time_hurst(&xs, &opts)?;
         assert!((est.hurst - 0.7).abs() < 0.07, "H {}", est.hurst);
+        Ok(())
     }
 
     #[test]
-    fn srd_process_reads_as_half_at_large_m() {
+    fn srd_process_reads_as_half_at_large_m() -> Result<(), Box<dyn std::error::Error>> {
         // An AR(1) has H = 1/2 asymptotically; with min_m past its
         // correlation length the estimator must not report LRD.
         let mut rng = StdRng::seed_from_u64(4);
-        let xs = Ar1::new(0.7).unwrap().generate(400_000, &mut rng);
+        let xs = Ar1::new(0.7)?.generate(400_000, &mut rng);
         let opts = VtOptions {
             min_m: 100,
             max_m: 5000,
             points: 12,
             min_blocks: 20,
         };
-        let est = variance_time_hurst(&xs, &opts).unwrap();
+        let est = variance_time_hurst(&xs, &opts)?;
         assert!(est.hurst < 0.62, "AR(1) misread as LRD: H {}", est.hurst);
+        Ok(())
     }
 
     #[test]
-    fn slope_points_are_monotone_decreasing_for_lrd() {
+    fn slope_points_are_monotone_decreasing_for_lrd() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.85, 100_000, 5);
         let opts = VtOptions {
             min_m: 10,
@@ -196,11 +200,12 @@ mod tests {
             points: 10,
             min_blocks: 20,
         };
-        let pts = variance_time_points(&xs, &opts).unwrap();
+        let pts = variance_time_points(&xs, &opts)?;
         assert!(pts.len() >= 5);
         for w in pts.windows(2) {
             assert!(w[1].1 < w[0].1 + 0.1, "variance must fall with m");
         }
+        Ok(())
     }
 
     #[test]

@@ -106,57 +106,62 @@ mod tests {
     }
 
     #[test]
-    fn recovers_hurst_across_range() {
+    fn recovers_hurst_across_range() -> Result<(), Box<dyn std::error::Error>> {
         for (h, tol) in [(0.55, 0.05), (0.7, 0.05), (0.9, 0.06)] {
             let xs = fgn(h, 65_536, 1);
-            let est = local_whittle(&xs, None).unwrap();
+            let est = local_whittle(&xs, None)?;
             assert!(
                 (est.hurst - h).abs() < tol,
                 "H = {h}: estimated {}",
                 est.hurst
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn white_noise_reads_half() {
+    fn white_noise_reads_half() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.5, 32_768, 2);
-        let est = local_whittle(&xs, None).unwrap();
+        let est = local_whittle(&xs, None)?;
         assert!((est.hurst - 0.5).abs() < 0.05, "H {}", est.hurst);
+        Ok(())
     }
 
     #[test]
-    fn robust_to_srd_contamination() {
+    fn robust_to_srd_contamination() -> Result<(), Box<dyn std::error::Error>> {
         // Composite knee ACF: local Whittle at low frequencies must read the
         // LRD exponent (H = 0.9), not the exponential part.
         let acf = CompositeAcf::paper_fit();
-        let dh = DaviesHarte::new_approx(&acf, 65_536, 1e-2).unwrap();
+        let dh = DaviesHarte::new_approx(&acf, 65_536, 1e-2)?;
         let mut rng = StdRng::seed_from_u64(3);
         let xs = dh.generate(&mut rng);
-        let est = local_whittle(&xs, Some(256)).unwrap();
+        let est = local_whittle(&xs, Some(256))?;
         assert!(
             (est.hurst - 0.9).abs() < 0.1,
             "composite-knee H: {}",
             est.hurst
         );
+        Ok(())
     }
 
     #[test]
-    fn ar1_is_not_mistaken_for_lrd_at_low_frequencies() {
+    fn ar1_is_not_mistaken_for_lrd_at_low_frequencies() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(4);
-        let xs = Ar1::new(0.7).unwrap().generate(131_072, &mut rng);
+        let xs = Ar1::new(0.7)?.generate(131_072, &mut rng);
         // Narrow bandwidth → only the flat low-frequency part is seen.
-        let est = local_whittle(&xs, Some(128)).unwrap();
+        let est = local_whittle(&xs, Some(128))?;
         assert!(est.hurst < 0.65, "AR(1) H: {}", est.hurst);
+        Ok(())
     }
 
     #[test]
-    fn std_err_shrinks_with_bandwidth() {
+    fn std_err_shrinks_with_bandwidth() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.8, 32_768, 5);
-        let narrow = local_whittle(&xs, Some(64)).unwrap();
-        let wide = local_whittle(&xs, Some(1024)).unwrap();
+        let narrow = local_whittle(&xs, Some(64))?;
+        let wide = local_whittle(&xs, Some(1024))?;
         assert!(wide.std_err < narrow.std_err);
         assert_eq!(narrow.m_used, 64);
+        Ok(())
     }
 
     #[test]

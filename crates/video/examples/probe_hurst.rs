@@ -1,6 +1,6 @@
 use rand::{rngs::StdRng, SeedableRng};
+use svbr_stats::{rs_hurst, sample_acf_fft, variance_time_hurst, RsOptions, VtOptions};
 use svbr_video::scene::{SceneConfig, SceneProcess};
-use svbr_stats::{variance_time_hurst, VtOptions, rs_hurst, RsOptions, sample_acf_fft};
 
 fn main() {
     for (alpha, w, minf, phi) in [
@@ -9,18 +9,46 @@ fn main() {
         (1.12, 0.6, 40.0, 0.995),
         (1.15, 0.6, 60.0, 0.99),
     ] {
-        let mut accv = 0.0; let mut accr = 0.0;
+        let mut accv = 0.0;
+        let mut accr = 0.0;
         for seed in [3u64, 7, 11] {
-            let cfg = SceneConfig { scene_alpha: alpha, motion_weight: w, scene_min_frames: minf, motion_phi: phi };
+            let cfg = SceneConfig {
+                scene_alpha: alpha,
+                motion_weight: w,
+                scene_min_frames: minf,
+                motion_phi: phi,
+            };
             let p = SceneProcess::new(cfg).unwrap();
             let mut rng = StdRng::seed_from_u64(seed);
             let (a, _) = p.generate(400_000, &mut rng);
-            let vt = variance_time_hurst(&a, &VtOptions { min_m: 100, max_m: 10_000, points: 15, min_blocks: 10 }).unwrap();
-            let rs = rs_hurst(&a, &RsOptions { min_n: 100, max_n: 1<<16, sizes: 12, starts: 10 }).unwrap();
-            accv += vt.hurst/3.0; accr += rs.hurst/3.0;
+            let vt = variance_time_hurst(
+                &a,
+                &VtOptions {
+                    min_m: 100,
+                    max_m: 10_000,
+                    points: 15,
+                    min_blocks: 10,
+                },
+            )
+            .unwrap();
+            let rs = rs_hurst(
+                &a,
+                &RsOptions {
+                    min_n: 100,
+                    max_n: 1 << 16,
+                    sizes: 12,
+                    starts: 10,
+                },
+            )
+            .unwrap();
+            accv += vt.hurst / 3.0;
+            accr += rs.hurst / 3.0;
             if seed == 3 {
                 let acf = sample_acf_fft(&a, 500).unwrap();
-                println!("  acf: r1={:.2} r30={:.2} r60={:.2} r200={:.2} r500={:.2}", acf[1], acf[30], acf[60], acf[200], acf[500]);
+                println!(
+                    "  acf: r1={:.2} r30={:.2} r60={:.2} r200={:.2} r500={:.2}",
+                    acf[1], acf[30], acf[60], acf[200], acf[500]
+                );
             }
         }
         println!("alpha={alpha} w={w} minf={minf} phi={phi}: avg VT={accv:.3} avg RS={accr:.3}");

@@ -47,11 +47,7 @@ impl SceneSegmentation {
     pub fn lengths(&self, total_frames: usize) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.boundaries.len());
         for (i, &b) in self.boundaries.iter().enumerate() {
-            let end = self
-                .boundaries
-                .get(i + 1)
-                .copied()
-                .unwrap_or(total_frames);
+            let end = self.boundaries.get(i + 1).copied().unwrap_or(total_frames);
             out.push(end - b);
         }
         out
@@ -78,7 +74,7 @@ pub fn detect_scenes(
             constraint: ">= 1",
         });
     }
-    if !(opts.threshold_sigmas > 0.0) {
+    if opts.threshold_sigmas.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(VideoError::InvalidParameter {
             name: "threshold_sigmas",
             constraint: "> 0",
@@ -94,10 +90,18 @@ pub fn detect_scenes(
     // Windowed means (non-overlapping).
     let xs = trace.as_f64();
     let w = opts.window;
-    let smoothed: Vec<f64> = xs.chunks_exact(w).map(|c| c.iter().sum::<f64>() / w as f64).collect();
+    let smoothed: Vec<f64> = xs
+        .chunks_exact(w)
+        .map(|c| c.iter().sum::<f64>() / w as f64)
+        .collect();
     let m = smoothed.len() as f64;
     let mean = smoothed.iter().sum::<f64>() / m;
-    let sd = (smoothed.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / m).sqrt();
+    let sd = (smoothed
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / m)
+        .sqrt();
     if sd <= 0.0 {
         return Ok(SceneSegmentation {
             boundaries: vec![0],
@@ -149,7 +153,7 @@ mod tests {
     }
 
     #[test]
-    fn recovers_planted_boundaries() {
+    fn recovers_planted_boundaries() -> Result<(), Box<dyn std::error::Error>> {
         let trace = synthetic_scene_trace(&[600, 900, 300, 1200], &[1000, 4000, 1500, 5000]);
         let seg = detect_scenes(
             &trace,
@@ -158,8 +162,7 @@ mod tests {
                 threshold_sigmas: 0.5,
                 min_scene: 48,
             },
-        )
-        .unwrap();
+        )?;
         assert_eq!(seg.boundaries.len(), 4, "{:?}", seg.boundaries);
         // Boundaries within one window of the planted ones.
         for (found, planted) in seg.boundaries[1..].iter().zip([600usize, 1500, 1800]) {
@@ -171,37 +174,40 @@ mod tests {
         // Levels ordered like the planted ones.
         assert!(seg.levels[1] > seg.levels[0]);
         assert!(seg.levels[2] < seg.levels[1]);
+        Ok(())
     }
 
     #[test]
-    fn constant_trace_is_one_scene() {
+    fn constant_trace_is_one_scene() -> Result<(), Box<dyn std::error::Error>> {
         let trace = FrameTrace::new(vec![2000; 2000], GopPattern::intra_only());
-        let seg = detect_scenes(&trace, &SceneDetectOptions::default()).unwrap();
+        let seg = detect_scenes(&trace, &SceneDetectOptions::default())?;
         assert_eq!(seg.boundaries, vec![0]);
         assert_eq!(seg.lengths(2000), vec![2000]);
+        Ok(())
     }
 
     #[test]
-    fn reference_trace_scenes_are_heavy_tailed() {
+    fn reference_trace_scenes_are_heavy_tailed() -> Result<(), Box<dyn std::error::Error>> {
         // Close the loop on the substrate: the detector must find many
         // scenes in the reference trace and a heavy length tail.
         let trace = crate::reference::reference_trace_intra_of_len(120_000);
-        let seg = detect_scenes(&trace, &SceneDetectOptions::default()).unwrap();
+        let seg = detect_scenes(&trace, &SceneDetectOptions::default())?;
         assert!(seg.boundaries.len() > 30, "{} scenes", seg.boundaries.len());
         let ratio = seg.max_to_mean_length(trace.len());
         assert!(ratio > 4.0, "max/mean scene length {ratio}");
+        Ok(())
     }
 
     #[test]
-    fn deterministic_and_respects_min_scene() {
+    fn deterministic_and_respects_min_scene() -> Result<(), Box<dyn std::error::Error>> {
         let trace = crate::reference::reference_trace_intra_of_len(30_000);
         let opts = SceneDetectOptions {
             window: 12,
             threshold_sigmas: 0.4,
             min_scene: 120,
         };
-        let a = detect_scenes(&trace, &opts).unwrap();
-        let b = detect_scenes(&trace, &opts).unwrap();
+        let a = detect_scenes(&trace, &opts)?;
+        let b = detect_scenes(&trace, &opts)?;
         assert_eq!(a.boundaries, b.boundaries);
         // The minimum applies between boundaries; the trailing scene simply
         // runs to the end of the trace and may be shorter.
@@ -210,16 +216,21 @@ mod tests {
             assert!(*l >= 108, "scene of {l} frames violates min_scene");
         }
         let _ = StdRng::seed_from_u64(0); // (rand only used elsewhere)
+        Ok(())
     }
 
     #[test]
     fn validation() {
         let trace = crate::reference::reference_trace_intra_of_len(5_000);
-        let mut o = SceneDetectOptions::default();
-        o.window = 0;
+        let o = SceneDetectOptions {
+            window: 0,
+            ..SceneDetectOptions::default()
+        };
         assert!(detect_scenes(&trace, &o).is_err());
-        let mut o = SceneDetectOptions::default();
-        o.threshold_sigmas = 0.0;
+        let o = SceneDetectOptions {
+            threshold_sigmas: 0.0,
+            ..SceneDetectOptions::default()
+        };
         assert!(detect_scenes(&trace, &o).is_err());
         let tiny = crate::reference::reference_trace_intra_of_len(50);
         assert!(detect_scenes(&tiny, &SceneDetectOptions::default()).is_err());

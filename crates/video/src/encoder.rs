@@ -124,6 +124,7 @@ impl VirtualCodec {
     /// Construct with all defaults (the reference configuration).
     pub fn default_codec() -> Self {
         Self::new(SceneConfig::default(), CodecConfig::default())
+            // svbr-lint: allow(no-expect) the Default configs satisfy every constructor range check
             .expect("default configuration is valid")
     }
 
@@ -221,21 +222,21 @@ mod tests {
     }
 
     #[test]
-    fn external_activity_is_monotone_in_activity() {
+    fn external_activity_is_monotone_in_activity() -> Result<(), Box<dyn std::error::Error>> {
         let codec = VirtualCodec::new(
             SceneConfig::default(),
             CodecConfig {
                 noise: 0.0,
                 ..Default::default()
             },
-        )
-        .unwrap();
+        )?;
         let mut rng = StdRng::seed_from_u64(4);
-        let low = codec.encode_activity(&vec![-1.0; 12], &mut rng);
-        let high = codec.encode_activity(&vec![1.0; 12], &mut rng);
+        let low = codec.encode_activity(&[-1.0; 12], &mut rng);
+        let high = codec.encode_activity(&[1.0; 12], &mut rng);
         for (l, h) in low.sizes().iter().zip(high.sizes()) {
             assert!(h > l);
         }
+        Ok(())
     }
 
     #[test]

@@ -73,13 +73,16 @@ impl GopPattern {
 
     /// The paper's pattern: `IBBPBBPBBPBB` (period 12).
     pub fn mpeg1_default() -> Self {
+        // svbr-lint: allow(no-expect) the literal contains only I/B/P and starts with I
         Self::parse("IBBPBBPBBPBB").expect("static pattern is valid")
     }
 
     /// An intraframe-only pattern (the paper's first encoding pass used a
     /// hardware intraframe coder).
     pub fn intra_only() -> Self {
-        Self { types: vec![FrameType::I] }
+        Self {
+            types: vec![FrameType::I],
+        }
     }
 
     /// GOP length (the I-frame period `K_I`).
@@ -144,10 +147,11 @@ mod tests {
     }
 
     #[test]
-    fn parse_lowercase_and_custom() {
-        let g = GopPattern::parse("ibbp").unwrap();
+    fn parse_lowercase_and_custom() -> Result<(), Box<dyn std::error::Error>> {
+        let g = GopPattern::parse("ibbp")?;
         assert_eq!(g.period(), 4);
         assert_eq!(g.types()[3], FrameType::P);
+        Ok(())
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub fn reference_trace() -> FrameTrace {
 /// pinned seed.
 pub fn reference_trace_of_len(frames: usize) -> FrameTrace {
     let codec = VirtualCodec::new(SceneConfig::default(), CodecConfig::default())
+        // svbr-lint: allow(no-expect) the reference configuration is a compile-time constant within range
         .expect("reference configuration is valid");
     let mut rng = StdRng::seed_from_u64(REFERENCE.seed);
     codec.encode(frames, &mut rng)
@@ -78,6 +79,7 @@ pub fn reference_trace_intra_of_len(frames: usize) -> FrameTrace {
             ..CodecConfig::default()
         },
     )
+    // svbr-lint: allow(no-expect) the reference configuration is a compile-time constant within range
     .expect("reference configuration is valid");
     let mut rng = StdRng::seed_from_u64(REFERENCE.seed);
     codec.encode(frames, &mut rng)
@@ -100,7 +102,7 @@ mod tests {
     }
 
     #[test]
-    fn short_reference_trace_shape() {
+    fn short_reference_trace_shape() -> Result<(), Box<dyn std::error::Error>> {
         let t = reference_trace_of_len(24_000);
         assert_eq!(t.len(), 24_000);
         assert_eq!(t.pattern().period(), 12);
@@ -109,8 +111,9 @@ mod tests {
         // x-axis runs to ~35000 bytes).
         let mean = t.mean_frame_bytes();
         assert!(mean > 1_000.0 && mean < 10_000.0, "mean {mean}");
-        let max = *t.sizes().iter().max().unwrap();
+        let max = *t.sizes().iter().max().ok_or("empty")?;
         assert!(max < 200_000, "max {max}");
+        Ok(())
     }
 
     #[test]

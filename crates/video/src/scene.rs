@@ -77,7 +77,10 @@ impl SceneConfig {
                 constraint: "1 < alpha < 2 (finite mean, infinite variance)",
             });
         }
-        if !(self.scene_min_frames >= 1.0) {
+        if !matches!(
+            self.scene_min_frames.partial_cmp(&1.0),
+            Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+        ) {
             return Err(VideoError::InvalidParameter {
                 name: "scene_min_frames",
                 constraint: ">= 1",
@@ -154,8 +157,8 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn output_is_standardized() {
-        let p = SceneProcess::new(SceneConfig::default()).unwrap();
+    fn output_is_standardized() -> Result<(), Box<dyn std::error::Error>> {
+        let p = SceneProcess::new(SceneConfig::default())?;
         let mut rng = StdRng::seed_from_u64(1);
         let (a, bounds) = p.generate(50_000, &mut rng);
         assert_eq!(a.len(), 50_000);
@@ -165,11 +168,12 @@ mod tests {
         assert!((var - 1.0).abs() < 1e-9);
         assert_eq!(bounds[0], 0);
         assert!(bounds.len() > 10, "several scenes in 50k frames");
+        Ok(())
     }
 
     #[test]
-    fn scene_lengths_heavy_tailed() {
-        let p = SceneProcess::new(SceneConfig::default()).unwrap();
+    fn scene_lengths_heavy_tailed() -> Result<(), Box<dyn std::error::Error>> {
+        let p = SceneProcess::new(SceneConfig::default())?;
         let mut rng = StdRng::seed_from_u64(2);
         let (_, bounds) = p.generate(300_000, &mut rng);
         let lengths: Vec<usize> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
@@ -177,19 +181,20 @@ mod tests {
         // Mean scene length ≈ α·xm/(α−1) = 460 (sampling noise is large
         // because the length distribution is heavy-tailed).
         assert!(mean > 150.0 && mean < 1500.0, "mean scene length {mean}");
-        let max = *lengths.iter().max().unwrap();
+        let max = *lengths.iter().max().ok_or("empty")?;
         assert!(
             max > 20 * mean as usize,
             "heavy tail should produce giant scenes (max {max})"
         );
         assert!(lengths.iter().all(|&l| l >= 1));
+        Ok(())
     }
 
     #[test]
-    fn hurst_parameter_in_lrd_range() {
+    fn hurst_parameter_in_lrd_range() -> Result<(), Box<dyn std::error::Error>> {
         // The headline property: the activity series must be long-range
         // dependent with H near (3−α)/2 = 0.9.
-        let p = SceneProcess::new(SceneConfig::default()).unwrap();
+        let p = SceneProcess::new(SceneConfig::default())?;
         let mut rng = StdRng::seed_from_u64(3);
         let (a, _) = p.generate(400_000, &mut rng);
         let est = svbr_stats::variance_time_hurst(
@@ -200,26 +205,27 @@ mod tests {
                 points: 15,
                 min_blocks: 10,
             },
-        )
-        .unwrap();
+        )?;
         assert!(
             est.hurst > 0.75 && est.hurst < 1.0,
             "variance-time H = {}",
             est.hurst
         );
+        Ok(())
     }
 
     #[test]
-    fn short_range_correlation_present() {
-        let p = SceneProcess::new(SceneConfig::default()).unwrap();
+    fn short_range_correlation_present() -> Result<(), Box<dyn std::error::Error>> {
+        let p = SceneProcess::new(SceneConfig::default())?;
         let mut rng = StdRng::seed_from_u64(4);
         let (a, _) = p.generate(100_000, &mut rng);
-        let acf = svbr_stats::sample_acf_fft(&a, 100).unwrap();
+        let acf = svbr_stats::sample_acf_fft(&a, 100)?;
         // Strong positive correlation at small lags, decaying with lag.
         assert!(acf[1] > 0.7, "r(1) = {}", acf[1]);
         assert!(acf[1] > acf[20], "ACF must decay");
         assert!(acf[20] > acf[100], "ACF must keep decaying");
         assert!(acf[100] > 0.1, "LRD keeps correlation alive at lag 100");
+        Ok(())
     }
 
     #[test]
@@ -248,10 +254,11 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_with_seed() {
-        let p = SceneProcess::new(SceneConfig::default()).unwrap();
+    fn deterministic_with_seed() -> Result<(), Box<dyn std::error::Error>> {
+        let p = SceneProcess::new(SceneConfig::default())?;
         let mut r1 = StdRng::seed_from_u64(9);
         let mut r2 = StdRng::seed_from_u64(9);
         assert_eq!(p.generate(1000, &mut r1).0, p.generate(1000, &mut r2).0);
+        Ok(())
     }
 }

@@ -218,24 +218,26 @@ mod tests {
     }
 
     #[test]
-    fn serialization_roundtrip() {
+    fn serialization_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
         let t = sample_trace();
         let mut buf = Vec::new();
-        t.write_to(&mut buf).unwrap();
-        let back = FrameTrace::read_from(&buf[..]).unwrap();
+        t.write_to(&mut buf)?;
+        let back = FrameTrace::read_from(&buf[..])?;
         assert_eq!(t, back);
+        Ok(())
     }
 
     #[test]
-    fn file_roundtrip() {
+    fn file_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
         let t = sample_trace();
         let dir = std::env::temp_dir().join("svbr_trace_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("t.trace");
-        t.save(&path).unwrap();
-        let back = FrameTrace::load(&path).unwrap();
+        t.save(&path)?;
+        let back = FrameTrace::load(&path)?;
         assert_eq!(t, back);
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 
     #[test]
@@ -250,8 +252,9 @@ mod tests {
     }
 
     #[test]
-    fn parse_tolerates_blank_lines() {
-        let t = FrameTrace::read_from(&b"svbr-trace v1 2 IBB\n1\n\n2\n"[..]).unwrap();
+    fn parse_tolerates_blank_lines() -> Result<(), Box<dyn std::error::Error>> {
+        let t = FrameTrace::read_from(&b"svbr-trace v1 2 IBB\n1\n\n2\n"[..])?;
         assert_eq!(t.sizes(), &[1, 2]);
+        Ok(())
     }
 }

@@ -1,0 +1,398 @@
+//! `svbr-xtask` — workspace maintenance tasks, pure std (no dependencies).
+//!
+//! ```text
+//! cargo run -p svbr-xtask -- lint [--format text|json] [--todo-budget N]
+//! ```
+//!
+//! Walks every `.rs` file in the workspace (skipping `target/`, `vendor/`
+//! and VCS metadata) and enforces the svbr-lint rule set described in
+//! [`rules`]. Exits 0 on a clean tree, 1 when any violation survives its
+//! waivers, 2 on usage errors.
+
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod rules;
+
+use rules::{classify, lint_source, FileReport, TodoItem, Violation};
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".claude", "results"];
+
+/// Default TODO/FIXME budget: the inventory is always printed; only counts
+/// beyond this fail the lint.
+const DEFAULT_TODO_BUDGET: usize = 20;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&args, &workspace_root()));
+}
+
+/// The workspace root is two levels up from this crate's manifest — robust
+/// to `cargo run -p svbr-xtask` being invoked from any subdirectory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// Output format for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn run(args: &[String], root: &Path) -> i32 {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("lint") => {}
+        Some(other) => {
+            eprintln!("unknown task `{other}`\n{USAGE}");
+            return 2;
+        }
+        None => {
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    }
+    let mut format = Format::Text;
+    let mut todo_budget = DEFAULT_TODO_BUDGET;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("--format takes `text` or `json`, got {other:?}\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--todo-budget" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => todo_budget = n,
+                None => {
+                    eprintln!("--todo-budget takes an integer\n{USAGE}");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+
+    let report = lint_tree(root, todo_budget);
+    match format {
+        // svbr-lint: allow(no-print) emitting diagnostics to stdout is this binary's purpose
+        Format::Text => print!("{}", report.render_text()),
+        // svbr-lint: allow(no-print) emitting diagnostics to stdout is this binary's purpose
+        Format::Json => println!("{}", report.render_json()),
+    }
+    if report.violations.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+const USAGE: &str = "usage: cargo run -p svbr-xtask -- lint [--format text|json] [--todo-budget N]";
+
+/// Aggregated result over the whole tree.
+#[derive(Debug, Default)]
+struct TreeReport {
+    violations: Vec<Violation>,
+    todos: Vec<TodoItem>,
+    files_scanned: usize,
+    todo_budget: usize,
+}
+
+fn lint_tree(root: &Path, todo_budget: usize) -> TreeReport {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    files.sort();
+
+    let mut tree = TreeReport {
+        todo_budget,
+        ..TreeReport::default()
+    };
+    for path in files {
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let FileReport { violations, todos } = lint_source(&rel, &src, classify(&rel));
+        tree.violations.extend(violations);
+        tree.todos.extend(todos);
+        tree.files_scanned += 1;
+    }
+    if tree.todos.len() > todo_budget {
+        tree.violations.push(Violation {
+            file: String::new(),
+            line: 0,
+            rule: rules::Rule::TodoBudget,
+            message: format!(
+                "{} TODO/FIXME comments exceed the budget of {todo_budget}; \
+                 resolve some or raise --todo-budget deliberately",
+                tree.todos.len()
+            ),
+        });
+    }
+    // Deterministic ordering: by file, then line, then rule id.
+    tree.violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule.id()).cmp(&(&b.file, b.line, b.rule.id())));
+    tree
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+impl TreeReport {
+    fn render_text(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            if v.line == 0 {
+                s.push_str(&format!("[{}] {}\n", v.rule.id(), v.message));
+            } else {
+                s.push_str(&format!(
+                    "{}:{}: [{}] {}\n",
+                    v.file,
+                    v.line,
+                    v.rule.id(),
+                    v.message
+                ));
+            }
+        }
+        if !self.todos.is_empty() {
+            s.push_str(&format!(
+                "-- TODO/FIXME inventory ({} of budget {}) --\n",
+                self.todos.len(),
+                self.todo_budget
+            ));
+            for t in &self.todos {
+                s.push_str(&format!("{}:{}: {}\n", t.file, t.line, t.text));
+            }
+        }
+        s.push_str(&format!(
+            "svbr-lint: {} file(s) scanned, {} violation(s), {} TODO/FIXME\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.todos.len()
+        ));
+        s
+    }
+
+    fn render_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        s.push_str(&format!("\"todo_budget\":{},", self.todo_budget));
+        s.push_str("\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&v.file),
+                v.line,
+                v.rule.id(),
+                json_escape(&v.message)
+            ));
+        }
+        s.push_str("],\"todos\":[");
+        for (i, t) in self.todos.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"text\":\"{}\"}}",
+                json_escape(&t.file),
+                t.line,
+                json_escape(&t.text)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_tree(files: &[(&str, &str)]) -> PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let base = std::env::temp_dir().join(format!(
+            "svbr-xtask-test-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        for (rel, content) in files {
+            let path = base.join(rel);
+            std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+            std::fs::write(&path, content).expect("write fixture");
+        }
+        base
+    }
+
+    #[test]
+    fn clean_tree_exits_zero() {
+        let root = tmp_tree(&[(
+            "crates/demo/src/lib.rs",
+            "pub fn ok(x: Option<u8>) -> Option<u8> { x }\n",
+        )]);
+        let code = run(&["lint".into()], &root);
+        assert_eq!(code, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn seeded_violations_exit_nonzero_per_rule() {
+        let fixtures: &[(&str, &str)] = &[
+            ("unwrap", "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n"),
+            (
+                "expect",
+                "pub fn f(x: Option<u8>) -> u8 { x.expect(\"e\") }\n",
+            ),
+            ("floateq", "pub fn f(x: f64) -> bool { x == 1.0 }\n"),
+            ("rng", "pub fn f() { let _r = rand::thread_rng(); }\n"),
+            ("print", "pub fn f() { println!(\"x\"); }\n"),
+        ];
+        for (name, src) in fixtures {
+            let root = tmp_tree(&[("crates/demo/src/lib.rs", src)]);
+            let code = run(&["lint".into()], &root);
+            assert_eq!(code, 1, "fixture `{name}` should fail the lint");
+            std::fs::remove_dir_all(&root).ok();
+        }
+    }
+
+    #[test]
+    fn todo_budget_overflow_fails() {
+        let root = tmp_tree(&[(
+            "crates/demo/src/lib.rs",
+            "// TODO one\n// TODO two\npub fn ok() {}\n",
+        )]);
+        let report = lint_tree(&root, 1);
+        assert_eq!(report.todos.len(), 2);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, rules::Rule::TodoBudget);
+        // Within budget: inventory only, no violation.
+        let report = lint_tree(&root, 5);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.todos.len(), 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn vendor_and_target_are_skipped() {
+        let root = tmp_tree(&[
+            (
+                "vendor/fake/src/lib.rs",
+                "pub fn f() { None::<u8>.unwrap(); }\n",
+            ),
+            (
+                "target/debug/gen.rs",
+                "pub fn f() { None::<u8>.unwrap(); }\n",
+            ),
+            ("crates/demo/src/lib.rs", "pub fn ok() {}\n"),
+        ]);
+        let report = lint_tree(&root, 20);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.files_scanned, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn json_output_is_wellformed_and_complete() {
+        let root = tmp_tree(&[(
+            "crates/demo/src/lib.rs",
+            "// TODO tidy \"quotes\"\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )]);
+        let report = lint_tree(&root, 20);
+        let json = report.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rule\":\"no-unwrap\""));
+        assert!(json.contains("\"file\":\"crates/demo/src/lib.rs\""));
+        assert!(json.contains("\"line\":2"));
+        // The quote inside the TODO text must be escaped.
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"files_scanned\":1"));
+        // Balanced quotes: an unescaped count must be even.
+        let unescaped_quotes = json
+            .as_bytes()
+            .windows(2)
+            .filter(|w| w[1] == b'"' && w[0] != b'\\')
+            .count()
+            + usize::from(json.starts_with('"'));
+        assert_eq!(unescaped_quotes % 2, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn usage_errors_exit_two() {
+        let root = std::env::temp_dir();
+        assert_eq!(run(&[], &root), 2);
+        assert_eq!(run(&["frobnicate".into()], &root), 2);
+        assert_eq!(
+            run(&["lint".into(), "--format".into(), "xml".into()], &root),
+            2
+        );
+        assert_eq!(
+            run(&["lint".into(), "--todo-budget".into(), "x".into()], &root),
+            2
+        );
+        assert_eq!(run(&["lint".into(), "--bogus".into()], &root), 2);
+    }
+
+    #[test]
+    fn text_output_has_file_line_rule() {
+        let root = tmp_tree(&[(
+            "crates/demo/src/lib.rs",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )]);
+        let report = lint_tree(&root, 20);
+        let text = report.render_text();
+        assert!(text.contains("crates/demo/src/lib.rs:1: [no-unwrap]"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,522 @@
+//! The svbr-lint rule set.
+//!
+//! Each rule has a stable ID used in diagnostics and in waiver comments:
+//!
+//! | ID                | what it flags                                        |
+//! |-------------------|------------------------------------------------------|
+//! | `no-unwrap`       | `.unwrap()` in library code                          |
+//! | `no-expect`       | `.expect(…)` in library code                         |
+//! | `float-eq`        | `==` / `!=` against a floating-point literal         |
+//! | `no-unseeded-rng` | `thread_rng` / `from_entropy` (unreproducible runs)  |
+//! | `no-print`        | `println!` / `print!` in library code                |
+//! | `todo-budget`     | TODO/FIXME inventory over the configured budget      |
+//!
+//! A violation on line *n* is waived by `// svbr-lint: allow(<id>[, <id>…])`
+//! on line *n* or line *n − 1*. Waivers should name the safety invariant
+//! that makes the flagged pattern sound.
+
+use crate::lexer::{mask_source, test_scopes, Comment};
+
+/// Stable identity of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `.unwrap()` in library code.
+    NoUnwrap,
+    /// `.expect(…)` in library code.
+    NoExpect,
+    /// Exact float comparison with `==` / `!=`.
+    FloatEq,
+    /// Unseeded RNG construction.
+    NoUnseededRng,
+    /// Stdout printing from library code.
+    NoPrint,
+    /// TODO/FIXME count exceeded the budget.
+    TodoBudget,
+}
+
+impl Rule {
+    /// The stable rule ID (as used in waiver comments and JSON output).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoExpect => "no-expect",
+            Rule::FloatEq => "float-eq",
+            Rule::NoUnseededRng => "no-unseeded-rng",
+            Rule::NoPrint => "no-print",
+            Rule::TodoBudget => "todo-budget",
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// One TODO/FIXME inventory entry (not itself a violation unless the
+/// total exceeds the budget).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TodoItem {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The comment text, trimmed.
+    pub text: String,
+}
+
+/// How strictly a file is linted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// `crates/*/src/**` (excluding `src/bin/**`): the full rule set.
+    Library,
+    /// Examples, tests, benches, binaries: reproducibility rules only.
+    Support,
+}
+
+/// Classify a workspace-relative path (forward slashes).
+pub fn classify(rel_path: &str) -> FileClass {
+    let is_crate_src = rel_path.starts_with("crates/")
+        && rel_path.contains("/src/")
+        && !rel_path.contains("/src/bin/");
+    let is_root_src = rel_path.starts_with("src/") && !rel_path.starts_with("src/bin/");
+    if is_crate_src || is_root_src {
+        FileClass::Library
+    } else {
+        FileClass::Support
+    }
+}
+
+/// Per-file lint result.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations (waivers already applied).
+    pub violations: Vec<Violation>,
+    /// TODO/FIXME inventory for this file.
+    pub todos: Vec<TodoItem>,
+}
+
+/// Lint one file's source text.
+pub fn lint_source(rel_path: &str, src: &str, class: FileClass) -> FileReport {
+    let masked = mask_source(src);
+    let scopes = test_scopes(&masked.code);
+    let in_test = |line: usize| scopes.iter().any(|&(lo, hi)| line >= lo && line <= hi);
+    let orig_lines: Vec<&str> = src.lines().collect();
+    let waived = |line: usize, rule: Rule| {
+        let check = |l: usize| {
+            l >= 1
+                && orig_lines
+                    .get(l - 1)
+                    .is_some_and(|t| waiver_allows(t, rule.id()))
+        };
+        check(line) || check(line.saturating_sub(1))
+    };
+
+    let mut report = FileReport::default();
+    for (idx, line_text) in masked.code.lines().enumerate() {
+        let line_no = idx + 1;
+        let library_scope = class == FileClass::Library && !in_test(line_no);
+        let mut push = |rule: Rule, message: String| {
+            if !waived(line_no, rule) {
+                report.violations.push(Violation {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule,
+                    message,
+                });
+            }
+        };
+
+        if library_scope {
+            if line_text.contains(".unwrap()") {
+                push(
+                    Rule::NoUnwrap,
+                    "`.unwrap()` in library code: return a Result or waive with \
+                     `// svbr-lint: allow(no-unwrap) <why it cannot panic>`"
+                        .to_string(),
+                );
+            }
+            if contains_expect_call(line_text) {
+                push(
+                    Rule::NoExpect,
+                    "`.expect(…)` in library code: return a Result or waive with \
+                     `// svbr-lint: allow(no-expect) <why it cannot panic>`"
+                        .to_string(),
+                );
+            }
+            if let Some(op) = float_eq_comparison(line_text) {
+                push(
+                    Rule::FloatEq,
+                    format!(
+                        "exact float comparison `{op}` against a float literal: \
+                         compare with a tolerance or restructure"
+                    ),
+                );
+            }
+            if has_stdout_print(line_text) {
+                push(
+                    Rule::NoPrint,
+                    "`println!`/`print!` in library code: return data or take a \
+                     Write sink"
+                        .to_string(),
+                );
+            }
+        }
+        // Reproducibility applies everywhere, tests included: an unseeded
+        // RNG makes failures unreplayable.
+        if line_text.contains("thread_rng") || line_text.contains("from_entropy") {
+            push(
+                Rule::NoUnseededRng,
+                "unseeded RNG: use `StdRng::seed_from_u64` so runs are \
+                 reproducible"
+                    .to_string(),
+            );
+        }
+    }
+
+    for Comment { line, text } in &masked.comments {
+        let t = text.trim_start_matches('/').trim_start_matches('*').trim();
+        if t.contains("TODO") || t.contains("FIXME") {
+            report.todos.push(TodoItem {
+                file: rel_path.to_string(),
+                line: *line,
+                text: t.to_string(),
+            });
+        }
+    }
+    report
+}
+
+/// Does this original-source line carry a waiver for `rule_id`?
+fn waiver_allows(line: &str, rule_id: &str) -> bool {
+    let Some(pos) = line.find("svbr-lint:") else {
+        return false;
+    };
+    let rest = &line[pos + "svbr-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return false;
+    };
+    let rest = &rest[open + "allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    rest[..close].split(',').any(|id| id.trim() == rule_id)
+}
+
+/// `.expect(` as a method call — not `.expect_err(`, not `expect(` as a
+/// free function.
+fn contains_expect_call(masked_line: &str) -> bool {
+    let bytes = masked_line.as_bytes();
+    let needle = b".expect(";
+    (0..bytes.len().saturating_sub(needle.len()) + 1).any(|i| bytes[i..].starts_with(needle))
+}
+
+/// `print!` or `println!` — but not `eprint!`/`eprintln!` (stderr is fine
+/// for diagnostics) and not e.g. `my_print!`.
+fn has_stdout_print(masked_line: &str) -> bool {
+    let bytes = masked_line.as_bytes();
+    for needle in [b"println!".as_slice(), b"print!".as_slice()] {
+        let mut i = 0;
+        while i + needle.len() <= bytes.len() {
+            if bytes[i..].starts_with(needle) {
+                let prev_ok =
+                    i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+                if prev_ok {
+                    return true;
+                }
+            }
+            i += 1;
+        }
+    }
+    false
+}
+
+/// Detect `==` / `!=` where one operand is a floating-point literal (or an
+/// `f64::`/`f32::` associated constant). Returns the operator if found.
+fn float_eq_comparison(masked_line: &str) -> Option<&'static str> {
+    let bytes = masked_line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let op = match (bytes[i], bytes[i + 1]) {
+            (b'=', b'=') => Some("=="),
+            (b'!', b'=') => Some("!="),
+            _ => None,
+        };
+        if let Some(op) = op {
+            // Skip pattern-ish neighbours: `<=`, `>=`, `=>`, `===` cannot
+            // occur in Rust, but `x <= y` contains no `==`; `a != b` is
+            // exactly what we want. Guard against `=>`/`<=`-adjacency:
+            let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+            let next = bytes.get(i + 2).copied().unwrap_or(b' ');
+            let standalone =
+                prev != b'=' && prev != b'!' && prev != b'<' && prev != b'>' && next != b'=';
+            if standalone {
+                let left = token_left(masked_line, i);
+                let right = token_right(masked_line, i + 2);
+                if is_float_token(left) || is_float_token(right) {
+                    return Some(op);
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+fn token_right(line: &str, from: usize) -> &str {
+    let bytes = line.as_bytes();
+    let mut i = from;
+    while i < bytes.len() && (bytes[i] == b' ' || bytes[i] == b'-' || bytes[i] == b'(') {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() && is_token_byte(bytes[i]) {
+        i += 1;
+    }
+    &line[start..i]
+}
+
+fn token_left(line: &str, op_at: usize) -> &str {
+    let bytes = line.as_bytes();
+    let mut i = op_at;
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && is_token_byte(bytes[i - 1]) {
+        i -= 1;
+    }
+    &line[i..end]
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b':'
+}
+
+/// `1.0`, `0.`, `1e-3`, `2.5e9`, `1f64`, `f64::NAN`, `f32::EPSILON`, …
+fn is_float_token(tok: &str) -> bool {
+    if tok.starts_with("f64::") || tok.starts_with("f32::") {
+        return true;
+    }
+    if tok.ends_with("f64") || tok.ends_with("f32") {
+        let head = &tok[..tok.len() - 3];
+        if !head.is_empty()
+            && head
+                .bytes()
+                .all(|b| b.is_ascii_digit() || b == b'.' || b == b'_')
+        {
+            return true;
+        }
+    }
+    let bytes = tok.as_bytes();
+    if bytes.is_empty() || !bytes[0].is_ascii_digit() {
+        return false;
+    }
+    let has_dot = tok.contains('.');
+    let has_exp = tok.contains('e') || tok.contains('E');
+    if !has_dot && !has_exp {
+        return false;
+    }
+    tok.bytes().all(|b| {
+        b.is_ascii_digit()
+            || b == b'.'
+            || b == b'_'
+            || b == b'e'
+            || b == b'E'
+            || b == b'-'
+            || b == b'+'
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(src: &str) -> FileReport {
+        lint_source("crates/demo/src/lib.rs", src, FileClass::Library)
+    }
+
+    fn rule_lines(report: &FileReport, rule: Rule) -> Vec<usize> {
+        report
+            .violations
+            .iter()
+            .filter(|v| v.rule == rule)
+            .map(|v| v.line)
+            .collect()
+    }
+
+    // ---- fixture sources: one seeded violation per rule -----------------
+
+    #[test]
+    fn fixture_no_unwrap_fires() {
+        let r = lint_lib("pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n");
+        assert_eq!(rule_lines(&r, Rule::NoUnwrap), vec![2]);
+    }
+
+    #[test]
+    fn fixture_no_expect_fires() {
+        let r = lint_lib("pub fn f(x: Option<u8>) -> u8 {\n    x.expect(\"boom\")\n}\n");
+        assert_eq!(rule_lines(&r, Rule::NoExpect), vec![2]);
+        // `.expect_err(` must not fire.
+        let r = lint_lib("pub fn g(x: Result<u8, u8>) -> u8 {\n    x.expect_err(\"e\")\n}\n");
+        assert!(rule_lines(&r, Rule::NoExpect).is_empty());
+    }
+
+    #[test]
+    fn fixture_float_eq_fires() {
+        let r = lint_lib("pub fn f(x: f64) -> bool {\n    x == 1.0\n}\n");
+        assert_eq!(rule_lines(&r, Rule::FloatEq), vec![2]);
+        let r = lint_lib("pub fn f(x: f64) -> bool {\n    x != 0.5e-3\n}\n");
+        assert_eq!(rule_lines(&r, Rule::FloatEq), vec![2]);
+        let r = lint_lib("pub fn f(x: f64) -> bool {\n    x == f64::INFINITY\n}\n");
+        assert_eq!(rule_lines(&r, Rule::FloatEq), vec![2]);
+        // Integer comparison must not fire.
+        let r = lint_lib("pub fn f(x: usize) -> bool {\n    x == 10\n}\n");
+        assert!(rule_lines(&r, Rule::FloatEq).is_empty());
+        // `<=`/`>=`/`=>` must not fire.
+        let r = lint_lib(
+            "pub fn f(x: f64) -> bool {\n    match x { y if y <= 1.0 => true, _ => false }\n}\n",
+        );
+        assert!(rule_lines(&r, Rule::FloatEq).is_empty());
+    }
+
+    #[test]
+    fn fixture_unseeded_rng_fires() {
+        let r = lint_lib("pub fn f() {\n    let mut rng = rand::thread_rng();\n}\n");
+        assert_eq!(rule_lines(&r, Rule::NoUnseededRng), vec![2]);
+        let r = lint_lib("pub fn f() {\n    let rng = StdRng::from_entropy();\n}\n");
+        assert_eq!(rule_lines(&r, Rule::NoUnseededRng), vec![2]);
+    }
+
+    #[test]
+    fn fixture_no_print_fires() {
+        let r = lint_lib("pub fn f() {\n    println!(\"hi\");\n}\n");
+        assert_eq!(rule_lines(&r, Rule::NoPrint), vec![2]);
+        let r = lint_lib("pub fn f() {\n    print!(\"hi\");\n}\n");
+        assert_eq!(rule_lines(&r, Rule::NoPrint), vec![2]);
+        // eprintln! is allowed (diagnostics to stderr).
+        let r = lint_lib("pub fn f() {\n    eprintln!(\"hi\");\n}\n");
+        assert!(rule_lines(&r, Rule::NoPrint).is_empty());
+    }
+
+    #[test]
+    fn fixture_todo_inventory_collected() {
+        let r = lint_lib("// TODO: finish this\npub fn f() {}\n/* FIXME later */\n");
+        assert_eq!(r.todos.len(), 2);
+        assert_eq!(r.todos[0].line, 1);
+        assert!(r.todos[0].text.contains("TODO"));
+    }
+
+    // ---- waivers --------------------------------------------------------
+
+    #[test]
+    fn same_line_waiver_suppresses() {
+        let r = lint_lib(
+            "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // svbr-lint: allow(no-unwrap) guarded by is_some above\n}\n",
+        );
+        assert!(rule_lines(&r, Rule::NoUnwrap).is_empty());
+    }
+
+    #[test]
+    fn preceding_line_waiver_suppresses() {
+        let r = lint_lib(
+            "pub fn f(x: Option<u8>) -> u8 {\n    // svbr-lint: allow(no-unwrap) x is Some by construction\n    x.unwrap()\n}\n",
+        );
+        assert!(rule_lines(&r, Rule::NoUnwrap).is_empty());
+    }
+
+    #[test]
+    fn waiver_is_rule_specific() {
+        let r = lint_lib(
+            "pub fn f(x: Option<u8>) -> u8 {\n    // svbr-lint: allow(no-expect) wrong rule\n    x.unwrap()\n}\n",
+        );
+        assert_eq!(rule_lines(&r, Rule::NoUnwrap), vec![3]);
+    }
+
+    #[test]
+    fn waiver_accepts_rule_list() {
+        let r = lint_lib(
+            "pub fn f(x: Option<u8>) -> u8 {\n    // svbr-lint: allow(no-unwrap, no-expect) both fine here\n    x.unwrap() + x.expect(\"also\")\n}\n",
+        );
+        assert!(r.violations.is_empty());
+    }
+
+    // ---- scope handling -------------------------------------------------
+
+    #[test]
+    fn cfg_test_mod_is_exempt_from_library_rules() {
+        let src = "\
+pub fn lib_code(x: Option<u8>) -> Option<u8> { x }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+        assert!(1.0 == 1.0);
+        println!(\"test output is fine\");
+    }
+}
+";
+        let r = lint_lib(src);
+        assert!(rule_lines(&r, Rule::NoUnwrap).is_empty());
+        assert!(rule_lines(&r, Rule::FloatEq).is_empty());
+        assert!(rule_lines(&r, Rule::NoPrint).is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_fires_even_in_tests() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let mut rng = rand::thread_rng();
+    }
+}
+";
+        let r = lint_lib(src);
+        assert_eq!(rule_lines(&r, Rule::NoUnseededRng), vec![5]);
+    }
+
+    #[test]
+    fn support_files_skip_library_rules() {
+        let src =
+            "fn main() {\n    let x: Option<u8> = Some(1);\n    println!(\"{}\", x.unwrap());\n}\n";
+        let r = lint_source("examples/demo.rs", src, FileClass::Support);
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = "pub fn f() -> &'static str {\n    // mentions .unwrap() and thread_rng in prose\n    \"x.unwrap() == 1.0 println! thread_rng\"\n}\n";
+        let r = lint_lib(src);
+        assert!(r.violations.is_empty());
+    }
+
+    // ---- classification -------------------------------------------------
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/lrd/src/hosking.rs"), FileClass::Library);
+        assert_eq!(classify("src/lib.rs"), FileClass::Library);
+        assert_eq!(
+            classify("crates/bench/src/bin/repro.rs"),
+            FileClass::Support
+        );
+        assert_eq!(classify("src/bin/main.rs"), FileClass::Support);
+        assert_eq!(classify("examples/demo.rs"), FileClass::Support);
+        assert_eq!(classify("tests/e2e.rs"), FileClass::Support);
+        assert_eq!(classify("crates/lrd/benches/b.rs"), FileClass::Support);
+    }
+}

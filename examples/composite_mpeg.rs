@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for k in [1usize, 6, 11, 12, 13, 24, 36] {
         println!("{k:>3}   {:>8.3}  {:>11.3}", r_src[k], r_syn[k]);
     }
-    assert!(r_syn[12] > r_syn[6], "GOP periodicity must survive modeling");
+    assert!(
+        r_syn[12] > r_syn[6],
+        "GOP periodicity must survive modeling"
+    );
     println!("ok");
     Ok(())
 }

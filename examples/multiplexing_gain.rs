@@ -10,9 +10,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use svbr::model::{BackgroundKind, UnifiedFit, UnifiedOptions};
-use svbr::queue::{
-    multiplexing_gain, norros_overflow, required_capacity, superpose, FbmTraffic,
-};
+use svbr::queue::{multiplexing_gain, norros_overflow, required_capacity, superpose, FbmTraffic};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fit the unified model once, then spawn N independent synthetic
@@ -31,7 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // per-source buffer and loss target.
     let loss_target = 0.01;
     let buffer_per_source = 20.0 * fit.marginal.edges()[0].max(1.0); // bytes
-    let buffer_per_source = buffer_per_source.max(20.0 * series.iter().sum::<f64>() / series.len() as f64);
+    let buffer_per_source =
+        buffer_per_source.max(20.0 * series.iter().sum::<f64>() / series.len() as f64);
     let single = required_capacity(&sources[0], buffer_per_source, loss_target, 1_000)?;
     let agg = superpose(&sources)?;
     let superposed = required_capacity(
@@ -51,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         superposed.overprovision_factor()
     );
     let gain = multiplexing_gain(&single, &superposed, n_sources);
-    println!("multiplexing gain = {gain:.2}x  (dedicated {n_sources}x single-source capacity vs shared)");
+    println!(
+        "multiplexing gain = {gain:.2}x  (dedicated {n_sources}x single-source capacity vs shared)"
+    );
     assert!(gain > 1.0, "independent sources must multiplex");
 
     // Norros's analytic tail for the aggregate, as a theory companion.

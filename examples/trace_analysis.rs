@@ -62,6 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     analyze("VBR video (svbr)", &video)?;
     analyze("fGn H=0.9", &fgn)?;
     analyze("MMPP (traditional)", &mmpp)?;
-    println!("\nExpected: video and fGn read H ≈ 0.85-0.95 on all estimators; MMPP reads ≈ 0.5-0.6.");
+    println!(
+        "\nExpected: video and fGn read H ≈ 0.85-0.95 on all estimators; MMPP reads ≈ 0.5-0.6."
+    );
     Ok(())
 }

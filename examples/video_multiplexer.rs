@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, &b) in norm_buffers.iter().enumerate() {
         let horizon = (10.0 * b) as usize;
         let est = estimate_overflow(
-            |_| generator.generate(horizon, true, &mut rng).expect("generate"),
+            |_| {
+                generator
+                    .generate(horizon, true, &mut rng)
+                    .expect("generate")
+            },
             2_000,
             horizon,
             mux.service_rate(),

@@ -135,7 +135,11 @@ fn cmd_synth(args: &[String]) -> CliResult {
     trace.save(Path::new(out))?;
     println!(
         "wrote {n} frames ({}) to {out}: mean {:.0} bytes/frame, {:.2} Mbit/s at 30 fps",
-        if gop { "GOP IBBPBBPBBPBB" } else { "intra-only" },
+        if gop {
+            "GOP IBBPBBPBBPBB"
+        } else {
+            "intra-only"
+        },
         trace.mean_frame_bytes(),
         trace.mean_bit_rate(30.0) / 1e6
     );
@@ -160,11 +164,17 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     let o = scaled_opts(n);
     println!("\nHurst estimators:");
     match variance_time_hurst(&xs, &o.hurst.vt) {
-        Ok(e) => println!("  variance-time   H = {:.3}  (R^2 {:.3})", e.hurst, e.fit.r_squared),
+        Ok(e) => println!(
+            "  variance-time   H = {:.3}  (R^2 {:.3})",
+            e.hurst, e.fit.r_squared
+        ),
         Err(e) => println!("  variance-time   failed: {e}"),
     }
     match rs_hurst(&xs, &o.hurst.rs) {
-        Ok(e) => println!("  R/S pox         H = {:.3}  (R^2 {:.3})", e.hurst, e.fit.r_squared),
+        Ok(e) => println!(
+            "  R/S pox         H = {:.3}  (R^2 {:.3})",
+            e.hurst, e.fit.r_squared
+        ),
         Err(e) => println!("  R/S pox         failed: {e}"),
     }
     match gph_estimate(&xs, None) {
@@ -172,7 +182,10 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         Err(e) => println!("  GPH             failed: {e}"),
     }
     match local_whittle(&xs, None) {
-        Ok(e) => println!("  local Whittle   H = {:.3}  (se {:.3})", e.hurst, e.std_err),
+        Ok(e) => println!(
+            "  local Whittle   H = {:.3}  (se {:.3})",
+            e.hurst, e.std_err
+        ),
         Err(e) => println!("  local Whittle   failed: {e}"),
     }
     match wavelet_hurst(&xs, 4, 16) {

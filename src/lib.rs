@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub use svbr_core as model;
+pub use svbr_domain as domain;
 pub use svbr_is as is;
 pub use svbr_lrd as lrd;
 pub use svbr_marginal as marginal;

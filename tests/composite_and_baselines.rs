@@ -83,7 +83,9 @@ fn traditional_models_are_srd_video_is_not() {
     // needed: Markovian sources read H ≈ ½ at scale, video does not.
     let mut rng = StdRng::seed_from_u64(3);
     let n = 200_000;
-    let mmpp = Mmpp2::new(2.0, 20.0, 0.05, 0.1).unwrap().generate(n, &mut rng);
+    let mmpp = Mmpp2::new(2.0, 20.0, 0.05, 0.1)
+        .unwrap()
+        .generate(n, &mut rng);
     let ibp = Ibp::new(0.9, 0.95, 0.9).unwrap().generate(n, &mut rng);
     let video = reference_trace_of_len(n).as_f64();
     let opts = VtOptions {

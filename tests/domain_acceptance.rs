@@ -1,0 +1,194 @@
+//! Acceptance tests for the validated-newtype layer: out-of-domain
+//! parameters must be rejected at every public constructor they can reach,
+//! with the error naming the offending parameter — not deep inside a
+//! kernel as a panic or a silently wrong answer.
+//!
+//! The three canonical bad inputs from the issue: `H = 1.2` (outside the
+//! fGn domain), `|r| > 1` (not a correlation), and a negative
+//! variance/service rate.
+
+use proptest::prelude::*;
+use svbr::domain::{Attenuation, Correlation, Hurst, Probability, SvbrError};
+use svbr::is::{IsEstimator, IsEvent};
+use svbr::lrd::acf::{FgnAcf, TabulatedAcf};
+use svbr::lrd::hosking::HoskingSampler;
+use svbr::marginal::transform::GaussianTransform;
+use svbr::marginal::{BinnedEmpirical, Normal};
+use svbr::model::UnifiedGenerator;
+
+#[test]
+fn hurst_above_one_is_rejected_everywhere() {
+    assert_eq!(
+        Hurst::new(1.2),
+        Err(SvbrError::OutOfRange {
+            name: "hurst",
+            constraint: "0 < H < 1",
+        })
+    );
+    assert!(FgnAcf::new(1.2).is_err());
+    assert!(FgnAcf::new(0.0).is_err());
+    assert!(FgnAcf::new(1.0).is_err());
+}
+
+#[test]
+fn correlation_above_one_is_rejected_everywhere() -> Result<(), Box<dyn std::error::Error>> {
+    assert_eq!(
+        Correlation::new(1.5),
+        Err(SvbrError::OutOfRange {
+            name: "correlation",
+            constraint: "-1 <= r <= 1",
+        })
+    );
+    assert!(Correlation::new(-1.0001).is_err());
+    // A tabulated ACF containing a non-correlation must not construct,
+    // so the Hosking recursion can never see it.
+    assert!(TabulatedAcf::new(vec![1.0, 1.5, 0.2]).is_err());
+    assert!(TabulatedAcf::new(vec![1.0, -1.2]).is_err());
+    // The valid counterpart still feeds a sampler.
+    let acf = TabulatedAcf::new(vec![1.0, 0.5, 0.25])?;
+    assert!(HoskingSampler::new(acf).is_ok());
+    Ok(())
+}
+
+#[test]
+fn negative_service_is_rejected_by_the_is_estimator() -> Result<(), Box<dyn std::error::Error>> {
+    let build = |service: f64| {
+        IsEstimator::new(
+            FgnAcf::new(0.8)?,
+            64,
+            GaussianTransform::new(Normal::standard()),
+            service,
+            10.0,
+            0.5,
+            IsEvent::FirstPassage,
+        )
+    };
+    assert_eq!(
+        build(-1.0).err(),
+        Some(SvbrError::OutOfRange {
+            name: "service",
+            constraint: "> 0",
+        })
+    );
+    assert_eq!(
+        build(f64::NAN).err(),
+        Some(SvbrError::NotFinite { name: "service" })
+    );
+    assert!(build(2.0).is_ok());
+    Ok(())
+}
+
+#[test]
+fn generator_rejects_a_table_that_is_not_a_correlation_sequence(
+) -> Result<(), Box<dyn std::error::Error>> {
+    let marginal = BinnedEmpirical::from_samples(
+        &(0..200).map(|i| 1.0 + (i % 17) as f64).collect::<Vec<_>>(),
+        16,
+    )?;
+    let good = TabulatedAcf::new(vec![1.0, 0.6, 0.3])?;
+    assert!(UnifiedGenerator::from_parts(good, marginal).is_ok());
+    // `TabulatedAcf::new` already refuses |r| > 1, so the invalid table
+    // cannot even reach `from_parts` — the rejection happens at the edge.
+    assert!(TabulatedAcf::new(vec![1.0, 2.0]).is_err());
+    Ok(())
+}
+
+/// NaN and ±∞ must be reported as `NotFinite` (not `OutOfRange`) by every
+/// newtype, so callers can tell a computed-garbage input from a merely
+/// mis-ranged one.
+#[test]
+fn non_finite_inputs_name_the_failure() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert_eq!(Hurst::new(bad), Err(SvbrError::NotFinite { name: "hurst" }));
+        assert_eq!(
+            Correlation::new(bad),
+            Err(SvbrError::NotFinite {
+                name: "correlation"
+            })
+        );
+        assert_eq!(
+            Probability::new(bad),
+            Err(SvbrError::NotFinite {
+                name: "probability"
+            })
+        );
+        assert_eq!(
+            Attenuation::new(bad),
+            Err(SvbrError::NotFinite {
+                name: "attenuation"
+            })
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hurst_roundtrips_on_its_open_interval(h in 0.0001f64..0.9999) {
+        let v = Hurst::new(h).unwrap();
+        prop_assert_eq!(v.value(), h);
+        prop_assert_eq!(f64::from(v), h);
+        // β = 2 − 2H stays in (0, 2).
+        prop_assert!(v.beta() > 0.0 && v.beta() < 2.0);
+    }
+
+    #[test]
+    fn hurst_rejects_outside_the_unit_interval(lo in -10.0f64..0.0, hi in 1.0f64..10.0) {
+        prop_assert!(Hurst::new(lo).is_err(), "accepted H = {}", lo);
+        prop_assert!(Hurst::new(0.0).is_err());
+        prop_assert!(Hurst::new(hi).is_err(), "accepted H = {}", hi);
+    }
+
+    #[test]
+    fn correlation_roundtrips_on_its_closed_interval(r in -1.0f64..1.0) {
+        let v = Correlation::new(r).unwrap();
+        prop_assert_eq!(v.value(), r);
+        let c = Correlation::new_clamped(r, 1e-9).unwrap();
+        prop_assert_eq!(c.value(), r);
+    }
+
+    #[test]
+    fn correlation_rejects_beyond_unit_magnitude(m in 1.0f64..100.0) {
+        for r in [1.0 + m * 1e-3, -(1.0 + m * 1e-3)] {
+            prop_assert!(Correlation::new(r).is_err(), "accepted r = {}", r);
+            // The clamped form tolerates only its stated slack.
+            prop_assert!(Correlation::new_clamped(r, 1e-9).is_err());
+        }
+    }
+
+    #[test]
+    fn probability_roundtrips_and_complements(p in 0.0f64..1.0) {
+        let v = Probability::new(p).unwrap();
+        prop_assert_eq!(v.value(), p);
+        let q = v.complement();
+        prop_assert!((q.value() - (1.0 - p)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn probability_rejects_outside_unit(m in 1e-12f64..50.0) {
+        prop_assert!(Probability::new(-m).is_err(), "accepted p = {}", -m);
+        prop_assert!(Probability::new(1.0 + m).is_err(), "accepted p = {}", 1.0 + m);
+    }
+
+    #[test]
+    fn attenuation_roundtrips_on_half_open(a in 1e-6f64..1.0) {
+        let v = Attenuation::new(a).unwrap();
+        prop_assert_eq!(v.value(), a);
+    }
+
+    #[test]
+    fn attenuation_rejects_zero_and_above_one(lo in -10.0f64..0.0, m in 1e-12f64..10.0) {
+        prop_assert!(Attenuation::new(lo).is_err(), "accepted a = {}", lo);
+        prop_assert!(Attenuation::new(0.0).is_err());
+        prop_assert!(Attenuation::new(1.0 + m).is_err(), "accepted a = {}", 1.0 + m);
+    }
+
+    #[test]
+    fn try_from_agrees_with_new(x in -2.0f64..2.0) {
+        prop_assert_eq!(Hurst::try_from(x).is_ok(), Hurst::new(x).is_ok());
+        prop_assert_eq!(Correlation::try_from(x).is_ok(), Correlation::new(x).is_ok());
+        prop_assert_eq!(Probability::try_from(x).is_ok(), Probability::new(x).is_ok());
+        prop_assert_eq!(Attenuation::try_from(x).is_ok(), Attenuation::new(x).is_ok());
+    }
+}

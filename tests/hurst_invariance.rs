@@ -77,7 +77,7 @@ fn foreground_acf_matches_hermite_prediction() {
     let target = Lognormal::new(0.0, 1.0).unwrap();
     let expansion = svbr::marginal::HermiteExpansion::of(&target, 24, 100);
     let acf = FgnAcf::new(h).unwrap();
-    let dh = DaviesHarte::new(&acf, 4096).unwrap();
+    let dh = DaviesHarte::new(acf, 4096).unwrap();
     let t = GaussianTransform::new(&target);
     let mut rng = StdRng::seed_from_u64(4);
     let reps = 60;
@@ -113,7 +113,10 @@ fn foreground_acf_matches_hermite_prediction() {
     // And the asymptotic constant itself stays the Appendix A value.
     let theory = attenuation_factor(&target, 100);
     assert!((expansion.attenuation() - theory).abs() < 5e-3);
-    assert!(theory < 0.75, "lognormal(σ=1) attenuates strongly: {theory}");
+    assert!(
+        theory < 0.75,
+        "lognormal(σ=1) attenuates strongly: {theory}"
+    );
 }
 
 #[test]
@@ -153,7 +156,11 @@ fn lag_one_correlation_attenuates_not_destroyed() {
     let ys = transformed_path(h, &target, 200_000, 6);
     let ry = sample_acf_fft(&ys, 1).unwrap();
     let r1 = acf.r(1);
-    assert!(ry[1] <= r1 + 0.03, "foreground r(1) {} vs background {r1}", ry[1]);
+    assert!(
+        ry[1] <= r1 + 0.03,
+        "foreground r(1) {} vs background {r1}",
+        ry[1]
+    );
     assert!(
         ry[1] >= a * r1 - 0.05,
         "foreground r(1) {} vs attenuated bound {}",

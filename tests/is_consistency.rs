@@ -52,7 +52,11 @@ fn is_matches_mc_on_video_traffic() {
     .run_parallel(4_000, 2, 2);
 
     let tol = 4.0 * (mc.std_err() + is.std_err()) + 0.01;
-    assert!(mc.p > 0.01, "event should be common enough for MC: {}", mc.p);
+    assert!(
+        mc.p > 0.01,
+        "event should be common enough for MC: {}",
+        mc.p
+    );
     assert!(
         (mc.p - is.p).abs() < tol,
         "MC {} vs IS {} (tol {tol})",

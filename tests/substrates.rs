@@ -21,7 +21,10 @@ fn slice_level_queueing_agrees_with_frame_level_at_scale() {
     let slice_series = slices.as_f64();
     let util = 0.7;
     let mux_f = Mux::from_path(&frames, util).unwrap();
-    let buffers_f: Vec<f64> = [20.0, 50.0, 100.0].iter().map(|&b| mux_f.buffer(b)).collect();
+    let buffers_f: Vec<f64> = [20.0, 50.0, 100.0]
+        .iter()
+        .map(|&b| mux_f.buffer(b))
+        .collect();
     let frame_curve = tail_curve_from_path(&frames, mux_f.service_rate(), 500, &buffers_f).unwrap();
     // Slice stream: same byte rate, service split across 15 slots/frame.
     let slice_curve = tail_curve_from_path(
@@ -102,7 +105,12 @@ fn superposed_video_sources_smooth_the_acf() {
         let m = xs.iter().sum::<f64>() / n;
         (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n).sqrt() / m
     };
-    assert!(cv(&agg) < cv(&a), "superposition smooths: {} vs {}", cv(&agg), cv(&a));
+    assert!(
+        cv(&agg) < cv(&a),
+        "superposition smooths: {} vs {}",
+        cv(&agg),
+        cv(&a)
+    );
     // Exact covariance bookkeeping: with centered paths α = a − ā and
     // β = b − b̄, cov_agg(k) = cov_a(k) + cov_b(k) + c_αβ(k) + c_βα(k)
     // *pathwise*. (The cross terms are NOT negligible here even though the
@@ -118,7 +126,11 @@ fn superposed_video_sources_smooth_the_acf() {
     let (ca, cb, cagg) = (center(&a), center(&b), center(&agg));
     let k = 60usize;
     let dot = |x: &[f64], y: &[f64]| {
-        x.iter().zip(y.iter().skip(k)).map(|(u, v)| u * v).sum::<f64>() / n
+        x.iter()
+            .zip(y.iter().skip(k))
+            .map(|(u, v)| u * v)
+            .sum::<f64>()
+            / n
     };
     let lhs = dot(&cagg, &cagg);
     let rhs = dot(&ca, &ca) + dot(&cb, &cb) + dot(&ca, &cb) + dot(&cb, &ca);
