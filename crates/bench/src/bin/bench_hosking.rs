@@ -1,0 +1,83 @@
+//! `bench_hosking` — record generator throughput to `BENCH_hosking.json`.
+//!
+//! Measures samples/sec for Hosking's exact O(n²) method against the
+//! Davies–Harte O(n log n) circulant method at n ∈ {2¹², 2¹⁴, 2¹⁶} on fGn
+//! with the paper's H = 0.9, fixed seed, and writes a JSON record (one per
+//! run) so the performance trajectory of the generators is tracked in-repo.
+//!
+//! ```text
+//! cargo run -p svbr-bench --release --bin bench_hosking [-- <out.json>]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use svbr::lrd::acf::FgnAcf;
+use svbr::lrd::davies_harte::DaviesHarte;
+use svbr::lrd::hosking::HoskingSampler;
+
+const SEED: u64 = 42;
+const HURST: f64 = 0.9;
+const SIZES: [usize; 3] = [1 << 12, 1 << 14, 1 << 16];
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hosking.json".to_string());
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rows = Vec::new();
+    for n in SIZES {
+        let acf = FgnAcf::new(HURST).unwrap_or_else(|e| die(&format!("fgn acf: {e}")));
+
+        let t = Instant::now();
+        let sampler =
+            HoskingSampler::new(&acf).unwrap_or_else(|e| die(&format!("hosking setup: {e}")));
+        let xs = sampler
+            .generate(n, &mut rng)
+            .unwrap_or_else(|e| die(&format!("hosking generate: {e}")));
+        let hosking_secs = t.elapsed().as_secs_f64();
+        assert_eq!(xs.len(), n);
+
+        let t = Instant::now();
+        let dh =
+            DaviesHarte::new(acf, n).unwrap_or_else(|e| die(&format!("davies-harte setup: {e}")));
+        let dh_setup_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let ys = dh.generate(&mut rng);
+        let dh_generate_secs = t.elapsed().as_secs_f64();
+        assert_eq!(ys.len(), n);
+
+        eprintln!(
+            "[bench_hosking] n = {n}: hosking {:.0} samples/s, davies-harte {:.0} samples/s (+ {:.3}s setup)",
+            n as f64 / hosking_secs,
+            n as f64 / dh_generate_secs,
+            dh_setup_secs
+        );
+        rows.push(format!(
+            "    {{\"n\": {n}, \
+             \"hosking_secs\": {hosking_secs:.6}, \
+             \"hosking_samples_per_sec\": {:.1}, \
+             \"davies_harte_setup_secs\": {dh_setup_secs:.6}, \
+             \"davies_harte_generate_secs\": {dh_generate_secs:.6}, \
+             \"davies_harte_samples_per_sec\": {:.1}}}",
+            n as f64 / hosking_secs,
+            n as f64 / dh_generate_secs,
+        ));
+    }
+    let revision = svbr_obsv::manifest::git_revision(std::path::Path::new("."))
+        .unwrap_or_else(|| "unknown".to_string());
+    let json = format!(
+        "{{\n  \"name\": \"hosking_vs_davies_harte\",\n  \"hurst\": {HURST},\n  \
+         \"seed\": {SEED},\n  \"git_revision\": \"{revision}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        die(&format!("writing {out_path}: {e}"));
+    }
+    eprintln!("[bench_hosking] written {out_path}");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("[bench_hosking] FAILED: {msg}");
+    std::process::exit(1);
+}

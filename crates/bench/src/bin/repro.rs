@@ -4,8 +4,16 @@
 //! repro all                 # everything (respect SVBR_REPS etc.)
 //! repro table1 fig3 fig16   # selected artifacts
 //! repro list                # available experiment ids
+//! repro --trace t.jsonl --manifest m.json obsv   # traced smoke run
 //! ```
+//!
+//! `--trace <path.jsonl>` installs a JSONL sink for the whole run;
+//! `--manifest <path.json>` writes a run manifest (seed, fitted model
+//! parameters, git revision, wall-clock, final metric snapshot) at exit.
+//! Summarize a trace with `cargo run -p svbr-xtask -- obsv-report <path>`.
 
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use svbr_bench::experiments::{self, Context};
 
 const LIGHT: &[&str] = &[
@@ -13,6 +21,13 @@ const LIGHT: &[&str] = &[
 ];
 const COMPOSITE: &[&str] = &["fig9", "fig12", "fig13"];
 const HEAVY: &[&str] = &["fig14", "fig15", "fig16", "fig17"];
+/// Extra (non-paper) experiments: `obsv` exercises every instrumented layer
+/// on a tiny configuration — the CI trace-artifact run.
+const EXTRA: &[&str] = &["obsv"];
+
+/// Deterministic seed used by the `obsv` smoke experiment and recorded in
+/// the manifest.
+const RUN_SEED: u64 = 0x5eed_cafe;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,14 +36,27 @@ fn main() {
         return;
     }
     if args.iter().any(|a| a == "list") {
-        for id in LIGHT.iter().chain(COMPOSITE).chain(HEAVY) {
+        for id in LIGHT.iter().chain(COMPOSITE).chain(HEAVY).chain(EXTRA) {
             println!("{id}");
         }
         return;
     }
+
+    // Flag parsing: --trace <path> / --manifest <path> may appear anywhere.
+    let mut trace_path: Option<PathBuf> = None;
+    let mut manifest_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
-    for a in &args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(PathBuf::from(p)),
+                None => fail_usage("--trace requires a path"),
+            },
+            "--manifest" => match it.next() {
+                Some(p) => manifest_path = Some(PathBuf::from(p)),
+                None => fail_usage("--manifest requires a path"),
+            },
             "all" => ids.extend(
                 LIGHT
                     .iter()
@@ -44,6 +72,21 @@ fn main() {
         }
     }
     ids.dedup();
+    if ids.is_empty() {
+        fail_usage("no experiment ids given");
+    }
+
+    if let Some(path) = &trace_path {
+        match svbr_obsv::JsonlSink::create(path) {
+            Ok(sink) => svbr_obsv::install(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("[repro] cannot create trace file {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        eprintln!("[repro] tracing to {}", path.display());
+    }
+    let manifest = svbr_obsv::RunManifest::new("repro", RUN_SEED, Path::new("."));
 
     // The shared context (trace + Steps 1–3 fit) is needed by most
     // experiments; build it once.
@@ -103,6 +146,7 @@ fn main() {
             "fig15" => experiments::fig15(ctx.expect("ctx"), out),
             "fig16" => experiments::fig16(ctx.expect("ctx"), out),
             "fig17" => experiments::fig17(ctx.expect("ctx"), out),
+            "obsv" => experiments::obsv_demo(RUN_SEED, out),
             other => {
                 eprintln!("unknown experiment `{other}` — try `repro list`");
                 std::process::exit(2);
@@ -113,6 +157,42 @@ fn main() {
             Err(e) => fail(id, &*e),
         }
     }
+
+    finish_observability(trace_path.as_deref(), manifest_path.as_deref(), manifest);
+}
+
+/// Flush the trace and write the manifest, pulling the fitted model
+/// parameters (H, β, Kt, a) out of the final gauge snapshot.
+fn finish_observability(
+    trace_path: Option<&Path>,
+    manifest_path: Option<&Path>,
+    mut manifest: svbr_obsv::RunManifest,
+) {
+    if trace_path.is_some() {
+        svbr_obsv::flush();
+        svbr_obsv::uninstall();
+    }
+    let Some(path) = manifest_path else {
+        return;
+    };
+    let snapshot = svbr_obsv::snapshot();
+    for (gauge, param) in [
+        ("pipeline.hurst", "h"),
+        ("pipeline.beta", "beta"),
+        ("pipeline.knee", "kt"),
+        ("pipeline.attenuation", "a"),
+    ] {
+        if let Some(v) = snapshot.gauge(gauge) {
+            manifest.set_param(param, v);
+        }
+    }
+    match manifest.write(path, &snapshot) {
+        Ok(()) => eprintln!("[repro] manifest written to {}", path.display()),
+        Err(e) => {
+            eprintln!("[repro] cannot write manifest {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 fn fail(id: &str, e: &dyn std::error::Error) -> ! {
@@ -120,10 +200,19 @@ fn fail(id: &str, e: &dyn std::error::Error) -> ! {
     std::process::exit(1);
 }
 
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    usage();
+    std::process::exit(2);
+}
+
 fn usage() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro <id>... | all | light | heavy | list\n\n\
+         usage: repro [--trace <path.jsonl>] [--manifest <path.json>]\n\
+                      <id>... | all | light | heavy | list\n\n\
+         ids: paper artifacts (table1, fig1..fig17) plus `obsv`, a tiny\n\
+         traced smoke run exercising every instrumented layer\n\n\
          env: SVBR_REPS (default 1000), SVBR_TRACE_LEN (default 238626),\n\
          SVBR_THREADS (default #cores), SVBR_FAST=1 (smoke mode),\n\
          SVBR_RESULTS_DIR (default ./results)"

@@ -917,3 +917,102 @@ pub fn fig17(ctx: &Context, out: &mut dyn Write) -> AnyResult {
     writeln!(out, "[written {path:?}]")?;
     Ok(())
 }
+
+/// `obsv` — observability smoke run (not a paper artifact).
+///
+/// A deliberately tiny pass through every instrumented layer so that a
+/// `--trace`/`--manifest` run produces each class of signal the obsv layer
+/// defines: the fit span and parameter gauges, the attenuation-refinement
+/// trajectory (`pipeline.iteration`), Hosking samples/sec
+/// (`hosking.generate`), Davies–Harte setup/generate spans, IS
+/// effective-sample-size and valley points (`is.run`, `is.valley`), and
+/// queue overflow counts (`queue.tail`, `queue.overflow`, `queue.busy`).
+/// CI runs exactly this under `--trace` and uploads the artifacts.
+pub fn obsv_demo(seed: u64, out: &mut dyn Write) -> AnyResult {
+    banner(
+        out,
+        "obsv",
+        "observability smoke across fit/generate/IS/queue",
+    )?;
+    let n = 20_000;
+    let series = reference_trace_intra_of_len(n).as_f64();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Steps 1–3 (emits the pipeline.fit span and parameter gauges), then
+    // the measure-and-correct attenuation loop (pipeline.iteration points).
+    let mut fit = UnifiedFit::fit(&series, &unified_opts(n))?;
+    let refinement = fit.refine_attenuation(
+        &svbr::model::RefineOptions {
+            max_iterations: 3,
+            reps: 6,
+            path_len: 2_048,
+            lag_window: (5, 80),
+            tolerance: 5e-3,
+        },
+        &mut rng,
+    )?;
+    writeln!(
+        out,
+        "attenuation a = {:.4} after {} accepted iteration(s)",
+        refinement.attenuation,
+        refinement.iterations.len()
+    )?;
+
+    // Exact Hosking generation (hosking.generate span, samples/sec gauge).
+    let table = fit.background_table(BackgroundKind::SrdLrd, 2_048)?;
+    let xs = svbr::lrd::hosking::HoskingSampler::new(&table)?.generate(2_048, &mut rng)?;
+
+    // Queue layer on the transformed foreground: steady-state tail counts
+    // plus a replicated first-passage estimate (queue.* counters/points).
+    let transform = GaussianTransform::new(fit.marginal.clone());
+    let ys = transform.apply_slice(&xs);
+    let mean = fit.marginal.mean();
+    let service = mean / 0.8; // utilization 0.8
+    let buffers: Vec<f64> = [1.0, 2.0, 4.0].iter().map(|b| b * mean).collect();
+    let curve = tail_curve_from_path(&ys, service, 256, &buffers)?;
+    for (b, p) in &curve {
+        writeln!(out, "trace tail: Pr(Q > {b:.0}) = {p:.4}")?;
+    }
+    let model = fit.background_model(BackgroundKind::SrdLrd)?;
+    let dh = DaviesHarte::new_approx(&model, 512, 5e-2)?;
+    let mc = svbr::queue::estimate_overflow(
+        |_| transform.apply_slice(&dh.generate(&mut rng)),
+        64,
+        512,
+        service,
+        buffers[0],
+    )?;
+    writeln!(out, "MC first-passage: p = {:.4} (n = {})", mc.p, mc.n)?;
+
+    // IS layer: a 3-point valley search plus a final parallel run (is.valley
+    // and is.run points, effective-sample-size gauge).
+    let horizon = 200;
+    let (valley, best) = valley_search(
+        &table,
+        horizon,
+        transform.clone(),
+        service,
+        2.0 * mean,
+        IsEvent::FirstPassage,
+        &[0.5, 1.0, 1.5],
+        64,
+        seed,
+        threads().min(4),
+    )?;
+    let est = IsEstimator::new(
+        &table,
+        horizon,
+        transform,
+        service,
+        2.0 * mean,
+        valley[best].twist,
+        IsEvent::FirstPassage,
+    )?;
+    let is = est.run_parallel(128, seed ^ 0xabcd, threads().min(4));
+    writeln!(
+        out,
+        "IS at twist {:.2}: p = {:.3e}, hits = {}/{}",
+        valley[best].twist, is.p, is.hits, is.n
+    )?;
+    Ok(())
+}

@@ -35,7 +35,10 @@ pub mod validate;
 pub use attenuation::{measure_attenuation, theoretical_attenuation};
 pub use composite::{CompositeVideoFit, CompositeVideoOptions};
 pub use hurst::{estimate_hurst, HurstEstimates, HurstOptions};
-pub use pipeline::{BackgroundKind, UnifiedFit, UnifiedGenerator, UnifiedOptions};
+pub use pipeline::{
+    AttenuationRefinement, BackgroundKind, IterationRecord, RefineOptions, UnifiedFit,
+    UnifiedGenerator, UnifiedOptions,
+};
 pub use validate::{validate_model, ValidationOptions, ValidationReport};
 
 pub use svbr_domain::{Attenuation, Correlation, Hurst, Probability, SvbrError};

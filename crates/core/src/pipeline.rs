@@ -54,6 +54,57 @@ impl Default for UnifiedOptions {
     }
 }
 
+/// Options for [`UnifiedFit::refine_attenuation`] — the measure-and-correct
+/// loop that replaces the closed-form attenuation with an empirical one.
+#[derive(Debug, Clone)]
+pub struct RefineOptions {
+    /// Maximum correction iterations.
+    pub max_iterations: usize,
+    /// Replications averaged per ACF measurement (per-path sample ACFs of
+    /// an LRD process are far too noisy to compare individually).
+    pub reps: usize,
+    /// Length of each generated measurement path.
+    pub path_len: usize,
+    /// Inclusive lag window `(lo, hi)` the ACF error is averaged over.
+    pub lag_window: (usize, usize),
+    /// Stop once the mean absolute ACF error falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 6,
+            reps: 16,
+            path_len: 4096,
+            lag_window: (5, 100),
+            tolerance: 0.01,
+        }
+    }
+}
+
+/// One accepted iteration of the attenuation refinement loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// 0-based iteration index.
+    pub iteration: usize,
+    /// Attenuation factor `a` used for this iteration.
+    pub attenuation: f64,
+    /// Mean absolute foreground-ACF error over the lag window.
+    pub acf_error: f64,
+}
+
+/// The convergence trajectory returned by
+/// [`UnifiedFit::refine_attenuation`]. `iterations` is monotone decreasing
+/// in `acf_error` (non-improving steps are rejected).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttenuationRefinement {
+    /// The refined attenuation factor (the best iterate's `a`).
+    pub attenuation: f64,
+    /// Accepted iterations, in order.
+    pub iterations: Vec<IterationRecord>,
+}
+
 /// Which autocorrelation structure the background process carries —
 /// the three models compared in Fig. 17.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +141,7 @@ pub struct UnifiedFit {
 impl UnifiedFit {
     /// Run Steps 1–3 on an empirical bytes-per-frame series.
     pub fn fit(series: &[f64], opts: &UnifiedOptions) -> Result<Self, CoreError> {
+        let mut span = svbr_obsv::span("pipeline.fit");
         // Step 1: Hurst parameter.
         let hurst = estimate_hurst(series, &opts.hurst)?;
         // Step 2: sample ACF + composite fit.
@@ -116,6 +168,19 @@ impl UnifiedFit {
         let marginal = BinnedEmpirical::from_samples(series, opts.marginal_bins)?;
         // Step 3: attenuation factor (Appendix A closed form).
         let attenuation = theoretical_attenuation(&marginal, opts.quad_points);
+        // Publish the fitted parameters (H, β, Kt, a) as gauges so any run
+        // manifest can capture them, and annotate the fit span.
+        svbr_obsv::gauge("pipeline.hurst").set(hurst.combined);
+        svbr_obsv::gauge("pipeline.beta").set(acf_fit.beta);
+        svbr_obsv::gauge("pipeline.knee").set(acf_fit.knee as f64);
+        svbr_obsv::gauge("pipeline.attenuation").set(attenuation);
+        if span.is_live() {
+            span.field("n", series.len() as f64);
+            span.field("h", hurst.combined);
+            span.field("beta", acf_fit.beta);
+            span.field("knee", acf_fit.knee as f64);
+            span.field("attenuation", attenuation);
+        }
         Ok(Self {
             hurst,
             acf_fit,
@@ -123,6 +188,102 @@ impl UnifiedFit {
             mixture,
             attenuation,
             marginal,
+        })
+    }
+
+    /// Refine the attenuation factor `a` by closing the loop the paper
+    /// describes after eq. 14: generate synthetic traffic from the
+    /// `a`-compensated background, measure the *foreground* ACF after the
+    /// marginal transform, and correct `a` by the measured-to-target ratio
+    /// until the ACF error stops improving.
+    ///
+    /// Each accepted iteration is recorded in the returned trajectory and —
+    /// when a trace sink is installed — emitted as a `pipeline.iteration`
+    /// point with fields `iteration`, `attenuation`, and `acf_error`. Only
+    /// improving iterations are accepted, so the recorded trajectory is
+    /// monotone decreasing in ACF error by construction; the fit's
+    /// `attenuation` is updated to the best iterate.
+    pub fn refine_attenuation<R: Rng + ?Sized>(
+        &mut self,
+        opts: &RefineOptions,
+        rng: &mut R,
+    ) -> Result<AttenuationRefinement, CoreError> {
+        let mut span = svbr_obsv::span("pipeline.refine_attenuation");
+        let composite = self.composite_acf()?;
+        let transform = GaussianTransform::new(self.marginal.clone());
+        let lo = opts.lag_window.0.max(1);
+        let hi = opts.lag_window.1.min(opts.path_len / 2).max(lo);
+        let reps = opts.reps.max(1);
+        let mut a = self.attenuation;
+        let mut best_err = f64::INFINITY;
+        let mut iterations: Vec<IterationRecord> = Vec::new();
+        let gauge = svbr_obsv::gauge("pipeline.attenuation");
+        for _ in 0..opts.max_iterations {
+            // Generate with the current candidate `a` and measure the mean
+            // foreground ACF over the lag window.
+            let model = composite.compensate(a)?;
+            let dh = DaviesHarte::new_approx(&model, opts.path_len, 5e-2)?;
+            let mut acc = vec![0.0; hi + 1];
+            for _ in 0..reps {
+                let ys = transform.apply_slice(&dh.generate(rng));
+                let r = sample_acf_fft(&ys, hi)?;
+                for (slot, v) in acc.iter_mut().zip(r.iter()) {
+                    *slot += v / reps as f64;
+                }
+            }
+            let (mut err, mut measured, mut target) = (0.0, 0.0, 0.0);
+            for (k, &m) in acc.iter().enumerate().take(hi + 1).skip(lo) {
+                let t = composite.r(k);
+                err += (m - t).abs();
+                measured += m;
+                target += t;
+            }
+            err /= (hi - lo + 1) as f64;
+            if err >= best_err {
+                break; // no improvement — keep the previous iterate
+            }
+            best_err = err;
+            iterations.push(IterationRecord {
+                iteration: iterations.len(),
+                attenuation: a,
+                acf_error: err,
+            });
+            gauge.set(a);
+            svbr_obsv::point(
+                "pipeline.iteration",
+                &[
+                    ("iteration", (iterations.len() - 1) as f64),
+                    ("attenuation", a),
+                    ("acf_error", err),
+                ],
+            );
+            if err <= opts.tolerance {
+                break;
+            }
+            // Foreground came out weaker than the target ⇒ the transform
+            // attenuates more than assumed ⇒ lower `a` (more compensation).
+            let ratio = if target > 1e-9 && measured > 0.0 {
+                (measured / target).clamp(0.5, 2.0)
+            } else {
+                1.0
+            };
+            let next = (a * ratio).clamp(0.05, 1.0);
+            if (next - a).abs() < 1e-6 {
+                break;
+            }
+            a = next;
+        }
+        if let Some(last) = iterations.last() {
+            self.attenuation = last.attenuation;
+        }
+        if span.is_live() {
+            span.field("iterations", iterations.len() as f64);
+            span.field("attenuation", self.attenuation);
+            span.field("acf_error", best_err);
+        }
+        Ok(AttenuationRefinement {
+            attenuation: self.attenuation,
+            iterations,
         })
     }
 

@@ -1,0 +1,104 @@
+//! Integration test for the observability layer around the attenuation
+//! refinement loop: the convergence trajectory of `a` must be recorded via
+//! `pipeline.iteration` points and be monotone decreasing in ACF error.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use svbr_core::hurst::HurstOptions;
+use svbr_core::pipeline::{RefineOptions, UnifiedFit, UnifiedOptions};
+use svbr_stats::{FitOptions, RsOptions, VtOptions};
+use svbr_video::reference_trace_intra_of_len;
+
+fn quick_opts() -> UnifiedOptions {
+    UnifiedOptions {
+        hurst: HurstOptions {
+            vt: VtOptions {
+                min_m: 50,
+                max_m: 3000,
+                points: 12,
+                min_blocks: 10,
+            },
+            rs: RsOptions {
+                min_n: 64,
+                max_n: 1 << 14,
+                sizes: 10,
+                starts: 8,
+            },
+            gph_frequencies: Some(128),
+            extended_estimators: false,
+            round_to: 0.05,
+        },
+        acf_lags: 400,
+        fit: FitOptions {
+            knee_min: 20,
+            knee_max: 120,
+            max_lag: 400,
+            min_correlation: 0.05,
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn refinement_trajectory_recorded_and_monotone() {
+    let trace = reference_trace_intra_of_len(60_000);
+    let mut fit = UnifiedFit::fit(&trace.as_f64(), &quick_opts()).expect("fit");
+    let initial_a = fit.attenuation;
+
+    let sink = Arc::new(svbr_obsv::MemorySink::new());
+    svbr_obsv::install(sink.clone());
+    let mut rng = StdRng::seed_from_u64(7);
+    let refinement = fit
+        .refine_attenuation(
+            &RefineOptions {
+                max_iterations: 5,
+                reps: 8,
+                path_len: 2048,
+                lag_window: (5, 80),
+                tolerance: 1e-4, // effectively "run until no improvement"
+            },
+            &mut rng,
+        )
+        .expect("refine");
+    svbr_obsv::uninstall();
+
+    // The trajectory is non-empty (the first measurement always beats +inf)
+    // and monotone decreasing in ACF error by construction.
+    assert!(!refinement.iterations.is_empty());
+    for w in refinement.iterations.windows(2) {
+        assert!(
+            w[1].acf_error < w[0].acf_error,
+            "trajectory not monotone: {} -> {}",
+            w[0].acf_error,
+            w[1].acf_error
+        );
+    }
+    // The first iterate used the closed-form attenuation as its starting
+    // point, and the fit now carries the best iterate.
+    assert_eq!(refinement.iterations[0].attenuation, initial_a);
+    assert_eq!(refinement.attenuation, fit.attenuation);
+    assert!(fit.attenuation > 0.0 && fit.attenuation <= 1.0);
+    let best = refinement
+        .iterations
+        .last()
+        .expect("non-empty trajectory checked above");
+    assert_eq!(best.attenuation, fit.attenuation);
+
+    // Every accepted iteration was also emitted to the trace sink, with
+    // matching fields (other instrumented events are filtered out by name).
+    let points = sink.events_named("pipeline.iteration");
+    assert_eq!(points.len(), refinement.iterations.len());
+    for (p, it) in points.iter().zip(&refinement.iterations) {
+        assert_eq!(p.field("iteration"), Some(it.iteration as f64));
+        assert_eq!(p.field("attenuation"), Some(it.attenuation));
+        assert_eq!(p.field("acf_error"), Some(it.acf_error));
+    }
+
+    // The fit span and attenuation gauge were populated too.
+    assert_eq!(sink.events_named("pipeline.refine_attenuation").len(), 1);
+    let g = svbr_obsv::snapshot()
+        .gauge("pipeline.attenuation")
+        .expect("gauge registered");
+    assert_eq!(g, fit.attenuation);
+}

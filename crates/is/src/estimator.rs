@@ -291,7 +291,41 @@ impl<M: Marginal> IsEstimator<M> {
         for _ in 0..n {
             acc.add(&self.replicate(rng));
         }
-        acc.finish()
+        let est = acc.finish();
+        self.observe_run(&acc, &est);
+        est
+    }
+
+    /// Publish per-run diagnostics to the obsv layer: likelihood-ratio
+    /// mean/variance (in log space), Kish effective sample size, and the
+    /// twist used — the quantities that tell whether the change of measure
+    /// is healthy (cf. `crate::diagnostics`).
+    fn observe_run(&self, acc: &Accumulator, est: &IsEstimate) {
+        svbr_obsv::counter("is.replications").add(acc.n as u64);
+        svbr_obsv::counter("is.hits").add(acc.hits as u64);
+        let ess = acc.effective_sample_size();
+        svbr_obsv::gauge("is.effective_sample_size").set(ess);
+        if !svbr_obsv::enabled() {
+            return;
+        }
+        let nf = acc.n.max(1) as f64;
+        let log_lr_mean = acc.log_lr_sum / nf;
+        let log_lr_var = (acc.log_lr_sum_sq / nf - log_lr_mean * log_lr_mean).max(0.0);
+        svbr_obsv::point(
+            "is.run",
+            &[
+                ("twist", self.twist),
+                ("buffer", self.buffer),
+                ("horizon", self.prepared.len() as f64),
+                ("n", nf),
+                ("p", est.p),
+                ("hits", acc.hits as f64),
+                ("effective_sample_size", ess),
+                ("log_lr_mean", log_lr_mean),
+                ("log_lr_variance", log_lr_var),
+                ("mean_slots", est.mean_slots),
+            ],
+        );
     }
 
     /// Run batches of replications until the estimate's relative error
@@ -375,7 +409,9 @@ impl<M: Marginal> IsEstimator<M> {
         for a in accs {
             total.merge(&a);
         }
-        total.finish()
+        let est = total.finish();
+        self.observe_run(&total, &est);
+        est
     }
 }
 
@@ -386,6 +422,10 @@ struct Accumulator {
     sum_sq: f64,
     hits: usize,
     slots: u64,
+    // Log-likelihood-ratio moments over *all* replications (hit or not) —
+    // pure diagnostics for the obsv layer; never enter the estimate.
+    log_lr_sum: f64,
+    log_lr_sum_sq: f64,
 }
 
 impl Accumulator {
@@ -395,6 +435,8 @@ impl Accumulator {
         self.sum_sq += r.weight * r.weight;
         self.hits += usize::from(r.hit);
         self.slots += r.slots_used as u64;
+        self.log_lr_sum += r.log_lr;
+        self.log_lr_sum_sq += r.log_lr * r.log_lr;
     }
 
     fn merge(&mut self, o: &Accumulator) {
@@ -403,6 +445,19 @@ impl Accumulator {
         self.sum_sq += o.sum_sq;
         self.hits += o.hits;
         self.slots += o.slots;
+        self.log_lr_sum += o.log_lr_sum;
+        self.log_lr_sum_sq += o.log_lr_sum_sq;
+    }
+
+    /// Kish effective sample size of the weighted sample,
+    /// `(Σw)² / Σw²` — the number of i.i.d. draws the weighted estimate is
+    /// worth. 0 when no weight has been collected.
+    fn effective_sample_size(&self) -> f64 {
+        if self.sum_sq > 0.0 {
+            self.sum * self.sum / self.sum_sq
+        } else {
+            0.0
+        }
     }
 
     fn finish(&self) -> IsEstimate {

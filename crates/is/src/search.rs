@@ -68,6 +68,18 @@ pub fn valley_search<A: Acf, M: Marginal + Clone + Sync>(
         // Same seed across twists: common random numbers sharpen the
         // valley's shape comparison.
         let estimate = est.run_parallel(n_reps, base_seed.wrapping_add(i as u64), threads);
+        if svbr_obsv::enabled() {
+            svbr_obsv::point(
+                "is.valley",
+                &[
+                    ("twist", twist),
+                    ("buffer", buffer),
+                    ("p", estimate.p),
+                    ("normalized_variance", estimate.normalized_variance()),
+                    ("hits", estimate.hits as f64),
+                ],
+            );
+        }
         points.push(TwistPoint { twist, estimate });
     }
     let best = points

@@ -76,6 +76,10 @@ impl DaviesHarte {
     }
 
     fn build<A: Acf>(acf: A, n: usize, rel_tol: f64) -> Result<Self, LrdError> {
+        // Times the one-off FFT *setup* cost (eigenvalue computation), as
+        // opposed to the per-path cost timed by `davies_harte.generate`.
+        let mut span = svbr_obsv::span("davies_harte.setup");
+        span.field("n", n as f64);
         if n == 0 {
             return Err(LrdError::InvalidParameter {
                 name: "n",
@@ -133,6 +137,9 @@ impl DaviesHarte {
 
     /// Generate one exact sample path of length `n`.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut span = svbr_obsv::span("davies_harte.generate");
+        span.field("n", self.n as f64);
+        svbr_obsv::counter("lrd.davies_harte.samples").add(self.n as u64);
         if self.n == 1 {
             let mut g = Normal::new();
             return vec![g.sample(rng)];

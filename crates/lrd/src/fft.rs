@@ -103,6 +103,17 @@ pub fn ifft(data: &mut [Complex]) {
 fn transform(data: &mut [Complex], inverse: bool) {
     let n = data.len();
     assert!(is_power_of_two(n), "FFT length {n} is not a power of two");
+    // One counter bump + histogram record per transform (not per element);
+    // handles are resolved once so the per-call cost is two relaxed atomics.
+    use std::sync::OnceLock;
+    static FFT_CALLS: OnceLock<svbr_obsv::Counter> = OnceLock::new();
+    static FFT_LEN: OnceLock<svbr_obsv::Histogram> = OnceLock::new();
+    FFT_CALLS
+        .get_or_init(|| svbr_obsv::counter("lrd.fft.calls"))
+        .inc();
+    FFT_LEN
+        .get_or_init(|| svbr_obsv::histogram("lrd.fft.len"))
+        .record(n as u64);
     if n <= 1 {
         return;
     }

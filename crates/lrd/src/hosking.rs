@@ -286,18 +286,49 @@ impl<A: Acf> HoskingSampler<A> {
     }
 
     /// Generate `n` samples, consuming and returning the full history.
+    ///
+    /// With a trace sink installed this emits a `hosking.generate` span
+    /// (with `n` and `samples_per_sec`) plus one `hosking.progress` point
+    /// per [`PROGRESS_CHUNK`] samples carrying the Durbin–Levinson step
+    /// index and current innovation variance `v_k`. The instrumentation
+    /// never touches `rng`, so fixed-seed output is identical with tracing
+    /// on or off.
     pub fn generate<R: Rng + ?Sized>(
         mut self,
         n: usize,
         rng: &mut R,
     ) -> Result<Vec<f64>, LrdError> {
+        let mut span = svbr_obsv::span("hosking.generate");
         while self.history.len() < n {
             self.step(rng)?;
+            if svbr_obsv::enabled() && self.history.len().is_multiple_of(PROGRESS_CHUNK) {
+                svbr_obsv::point(
+                    "hosking.progress",
+                    &[
+                        ("k", self.history.len() as f64),
+                        ("innovation_variance", self.v),
+                    ],
+                );
+            }
         }
         self.history.truncate(n);
+        svbr_obsv::counter("lrd.hosking.samples").add(n as u64);
+        svbr_obsv::gauge("lrd.hosking.innovation_variance").set(self.v);
+        let elapsed = span.elapsed_secs();
+        if span.is_live() && elapsed > 0.0 {
+            let rate = n as f64 / elapsed;
+            svbr_obsv::gauge("lrd.hosking.samples_per_sec").set(rate);
+            span.field("n", n as f64);
+            span.field("samples_per_sec", rate);
+            span.field("innovation_variance", self.v);
+        }
         Ok(self.history)
     }
 }
+
+/// Interval (in samples) between `hosking.progress` trace points emitted by
+/// [`HoskingSampler::generate`].
+pub const PROGRESS_CHUNK: usize = 4096;
 
 /// Convenience: generate `n` samples of a zero-mean unit-variance Gaussian
 /// process with the given ACF using Hosking's exact method.
@@ -334,6 +365,8 @@ pub struct PreparedHosking {
 impl PreparedHosking {
     /// Run the recursion once for a horizon of `n` steps.
     pub fn new<A: Acf>(acf: A, n: usize) -> Result<Self, LrdError> {
+        let mut span = svbr_obsv::span("hosking.prepare");
+        span.field("n", n as f64);
         let mut s = HoskingSampler::new(&acf)?;
         let mut rows = Vec::with_capacity(n);
         let mut v = Vec::with_capacity(n);

@@ -1,0 +1,367 @@
+//! Trace events and their JSONL wire format.
+//!
+//! Each event serializes to one line of JSON; the parser here is a minimal
+//! hand-rolled reader for exactly the objects this crate writes (the crate
+//! is dependency-free by policy, so no serde). Non-finite floats serialize
+//! as `null` and parse back as `f64::NAN`.
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A timed region: name, duration in microseconds, plus free-form
+    /// numeric fields attached by the instrumented code.
+    Span {
+        /// Span name, e.g. `"hosking.generate"`.
+        name: String,
+        /// Wall-clock duration in microseconds (monotonic clock).
+        dur_us: u64,
+        /// Extra numeric attributes.
+        fields: Vec<(String, f64)>,
+    },
+    /// An instantaneous observation (no duration).
+    Point {
+        /// Point name, e.g. `"pipeline.iteration"`.
+        name: String,
+        /// Numeric attributes.
+        fields: Vec<(String, f64)>,
+    },
+}
+
+impl Event {
+    /// The event's name regardless of variant.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::Span { name, .. } | Event::Point { name, .. } => name,
+        }
+    }
+
+    /// The event's fields regardless of variant.
+    pub fn fields(&self) -> &[(String, f64)] {
+        match self {
+            Event::Span { fields, .. } | Event::Point { fields, .. } => fields,
+        }
+    }
+
+    /// Look up a field value by key.
+    pub fn field(&self, key: &str) -> Option<f64> {
+        self.fields()
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serialize to a single JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64);
+        match self {
+            Event::Span {
+                name,
+                dur_us,
+                fields,
+            } => {
+                out.push_str("{\"t\":\"span\",\"name\":");
+                push_json_string(&mut out, name);
+                out.push_str(",\"dur_us\":");
+                out.push_str(&dur_us.to_string());
+                push_fields(&mut out, fields);
+            }
+            Event::Point { name, fields } => {
+                out.push_str("{\"t\":\"point\",\"name\":");
+                push_json_string(&mut out, name);
+                push_fields(&mut out, fields);
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse one JSONL line produced by [`Event::to_jsonl`]. Returns `None`
+    /// for malformed input or JSON that is not an event object.
+    pub fn parse(line: &str) -> Option<Event> {
+        let value = parse_json(line)?;
+        let obj = value.as_object()?;
+        let kind = obj.get("t")?.as_str()?;
+        let name = obj.get("name")?.as_str()?.to_string();
+        let fields = match obj.get("fields") {
+            Some(v) => v
+                .as_object()?
+                .entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_f64().unwrap_or(f64::NAN)))
+                .collect(),
+            None => Vec::new(),
+        };
+        match kind {
+            "span" => {
+                let dur = obj.get("dur_us")?.as_f64()?;
+                Some(Event::Span {
+                    name,
+                    dur_us: dur as u64,
+                    fields,
+                })
+            }
+            "point" => Some(Event::Point { name, fields }),
+            _ => None,
+        }
+    }
+}
+
+fn push_fields(out: &mut String, fields: &[(String, f64)]) {
+    if fields.is_empty() {
+        return;
+    }
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, k);
+        out.push(':');
+        push_json_number(out, *v);
+    }
+    out.push('}');
+}
+
+/// Append `s` as a JSON string literal (quotes + escapes).
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `v` as a JSON number (`null` for non-finite values).
+pub fn push_json_number(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-round-trip Display keeps serialize → parse exact.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Minimal JSON value for the parser.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Obj(JsonObj),
+    Arr(Vec<Json>),
+}
+
+#[derive(Clone, Debug, PartialEq, Default)]
+pub(crate) struct JsonObj {
+    pub entries: Vec<(String, Json)>,
+}
+
+impl JsonObj {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+impl Json {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&JsonObj> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document; `None` on any syntax error or trailing
+/// garbage.
+pub(crate) fn parse_json(input: &str) -> Option<Json> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Option<()> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        self.skip_ws();
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Json::Str),
+            b't' => self.literal("true").map(|_| Json::Bool(true)),
+            b'f' => self.literal("false").map(|_| Json::Bool(false)),
+            b'n' => self.literal("null").map(|_| Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut obj = JsonObj::default();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(Json::Obj(obj));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            obj.entries.push((key, val));
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Json::Obj(obj));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let s = std::str::from_utf8(hex).ok()?;
+                            let code = u32::from_str_radix(s, 16).ok()?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        s.parse::<f64>().ok().map(Json::Num)
+    }
+}

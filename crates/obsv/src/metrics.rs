@@ -1,0 +1,295 @@
+//! Thread-safe metric registry: counters, gauges, and log-scale histograms.
+//!
+//! The hot path is lock-free: every metric handle is an `Arc` around plain
+//! atomics, so `Counter::add`, `Gauge::set`, and `Histogram::record` are a
+//! handful of relaxed atomic operations. The registry mutex is only taken
+//! when *resolving* a metric by name (do that once, outside loops) and when
+//! taking a [`Snapshot`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Number of histogram buckets: one for zero plus one per bit-length of a
+/// `u64` value (powers of two), so bucket `i >= 1` covers `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Monotone event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins `f64` gauge (stored as IEEE-754 bits in an atomic).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self(Arc::new(AtomicU64::new(0.0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// A detached gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistCore {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed log-scale (power-of-two bucket) histogram of `u64` samples —
+/// typically microsecond durations or element counts.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self(Arc::new(HistCore::new()))
+    }
+}
+
+/// Bucket index for a value: 0 for 0, otherwise the value's bit length
+/// (so bucket `i` covers `[2^(i-1), 2^i)`).
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive-exclusive `[lo, hi)` bounds of bucket `i` (`hi == u64::MAX`
+/// sentinel for the open top bucket).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else if i >= 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (i - 1), 1u64 << i)
+    }
+}
+
+impl Histogram {
+    /// A detached histogram (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let n = self.0.buckets[i].load(Ordering::Relaxed);
+                if n == 0 {
+                    None
+                } else {
+                    Some((bucket_bounds(i).0, n))
+                }
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// Frozen copy of a histogram: `(bucket_lower_bound, count)` pairs for the
+/// non-empty buckets only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Non-empty buckets as `(lower_bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Entry {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Named metric registry. One global instance lives behind
+/// [`crate::counter`]/[`crate::gauge`]/[`crate::histogram`]; local
+/// registries can be created for tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<HashMap<String, Entry>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Entry>> {
+        // A poisoned registry only means another thread panicked mid-insert;
+        // the map itself is still structurally valid, so keep going.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Resolve (creating if absent) the counter `name`. If the name is
+    /// already registered as a different kind, a detached counter is
+    /// returned so callers never panic on a kind mismatch.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Counter(Counter::new()))
+        {
+            Entry::Counter(c) => c.clone(),
+            _ => Counter::new(),
+        }
+    }
+
+    /// Resolve (creating if absent) the gauge `name`; detached on kind
+    /// mismatch.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Gauge(Gauge::new()))
+        {
+            Entry::Gauge(g) => g.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    /// Resolve (creating if absent) the histogram `name`; detached on kind
+    /// mismatch.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Histogram(Histogram::new()))
+        {
+            Entry::Histogram(h) => h.clone(),
+            _ => Histogram::new(),
+        }
+    }
+
+    /// Point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.lock();
+        let mut snap = Snapshot::default();
+        for (name, entry) in map.iter() {
+            match entry {
+                Entry::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Entry::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Entry::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap.counters.sort();
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+}
+
+/// Frozen copy of a [`Registry`], sorted by metric name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Look up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}

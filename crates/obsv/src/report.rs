@@ -1,0 +1,209 @@
+//! Trace summarization: fold a JSONL trace into per-name span timing and
+//! point-field statistics, rendered as a plain-text table.
+
+use crate::event::Event;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregated timing for one span name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of span records.
+    pub count: u64,
+    /// Total duration across records, microseconds.
+    pub total_us: u64,
+    /// Longest single record, microseconds.
+    pub max_us: u64,
+}
+
+impl SpanStats {
+    /// Mean duration in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregated statistics for one numeric field of one point name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldStats {
+    /// Observations seen (non-NaN only).
+    pub count: u64,
+    /// First observed value.
+    pub first: f64,
+    /// Last observed value.
+    pub last: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+impl FieldStats {
+    fn observe(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        if self.count == 0 {
+            self.first = v;
+            self.min = v;
+            self.max = v;
+        }
+        self.count += 1;
+        self.last = v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+impl Default for FieldStats {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            first: f64::NAN,
+            last: f64::NAN,
+            min: f64::NAN,
+            max: f64::NAN,
+        }
+    }
+}
+
+/// Summary of a whole trace; render with `Display`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Lines that failed to parse as events.
+    pub malformed_lines: u64,
+    /// Per-span-name timing, sorted by name.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Per-point-name event count, sorted by name.
+    pub points: BTreeMap<String, u64>,
+    /// `(point_name, field)` → statistics.
+    pub fields: BTreeMap<(String, String), FieldStats>,
+}
+
+impl TraceSummary {
+    /// Fold one already-parsed event into the summary.
+    pub fn observe(&mut self, event: &Event) {
+        match event {
+            Event::Span { name, dur_us, .. } => {
+                let s = self.spans.entry(name.clone()).or_default();
+                s.count += 1;
+                s.total_us += dur_us;
+                s.max_us = s.max_us.max(*dur_us);
+            }
+            Event::Point { name, fields } => {
+                *self.points.entry(name.clone()).or_default() += 1;
+                for (k, v) in fields {
+                    self.fields
+                        .entry((name.clone(), k.clone()))
+                        .or_default()
+                        .observe(*v);
+                }
+            }
+        }
+    }
+}
+
+/// Summarize an iterator of JSONL lines (e.g. from a trace file).
+pub fn summarize<I, S>(lines: I) -> TraceSummary
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut summary = TraceSummary::default();
+    for line in lines {
+        let line = line.as_ref().trim();
+        if line.is_empty() {
+            continue;
+        }
+        match Event::parse(line) {
+            Some(ev) => summary.observe(&ev),
+            None => summary.malformed_lines += 1,
+        }
+    }
+    summary
+}
+
+fn fmt_ms(us: f64) -> String {
+    format!("{:.3}", us / 1000.0)
+}
+
+fn fmt_val(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    // svbr-lint: allow(float-eq) exact zero picks the fixed-point format; near-zero is fine either way
+    } else if v == 0.0 || (v.abs() >= 1e-3 && v.abs() < 1e7) {
+        format!("{v:.6}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.spans.is_empty() {
+            writeln!(f, "spans:")?;
+            writeln!(
+                f,
+                "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+                "name", "count", "total_ms", "mean_ms", "max_ms"
+            )?;
+            for (name, s) in &self.spans {
+                writeln!(
+                    f,
+                    "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+                    name,
+                    s.count,
+                    fmt_ms(s.total_us as f64),
+                    fmt_ms(s.mean_us()),
+                    fmt_ms(s.max_us as f64),
+                )?;
+            }
+        }
+        if !self.points.is_empty() {
+            writeln!(f, "points:")?;
+            writeln!(
+                f,
+                "  {:<28} {:<20} {:>6} {:>12} {:>12} {:>12} {:>12}",
+                "name", "field", "n", "first", "last", "min", "max"
+            )?;
+            for (name, count) in &self.points {
+                let mut wrote_field = false;
+                for ((pname, field), st) in &self.fields {
+                    if pname != name {
+                        continue;
+                    }
+                    writeln!(
+                        f,
+                        "  {:<28} {:<20} {:>6} {:>12} {:>12} {:>12} {:>12}",
+                        if wrote_field { "" } else { name.as_str() },
+                        field,
+                        st.count,
+                        fmt_val(st.first),
+                        fmt_val(st.last),
+                        fmt_val(st.min),
+                        fmt_val(st.max),
+                    )?;
+                    wrote_field = true;
+                }
+                if !wrote_field {
+                    writeln!(
+                        f,
+                        "  {:<28} {:<20} {:>6} {:>12} {:>12} {:>12} {:>12}",
+                        name, "(none)", count, "-", "-", "-", "-"
+                    )?;
+                }
+            }
+        }
+        if self.malformed_lines > 0 {
+            writeln!(f, "malformed lines: {}", self.malformed_lines)?;
+        }
+        if self.spans.is_empty() && self.points.is_empty() {
+            writeln!(f, "(empty trace)")?;
+        }
+        Ok(())
+    }
+}

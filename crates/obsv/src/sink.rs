@@ -1,0 +1,105 @@
+//! Pluggable event sinks: JSONL file, in-memory buffer, and null.
+
+use crate::event::Event;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+/// Destination for trace events. Implementations must be cheap enough to
+/// call from instrumented hot loops (buffer internally; flush on demand).
+pub trait Sink: Send + Sync {
+    /// Record one event.
+    fn record(&self, event: &Event);
+
+    /// Flush any buffered output (default: no-op).
+    fn flush(&self) {}
+}
+
+/// Discards everything. Installing this is equivalent to tracing disabled,
+/// minus the short-circuit on the emit path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Buffers events in memory; used by tests and the report summarizer.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy out all recorded events.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Recorded events with the given name, in arrival order.
+    pub fn events_named(&self, name: &str) -> Vec<Event> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.name() == name)
+            .collect()
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.clone());
+    }
+}
+
+/// Writes one JSON object per line to a buffered file.
+pub struct JsonlSink {
+    writer: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(Self {
+            writer: Mutex::new(std::io::BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let line = event.to_jsonl();
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // Trace output is best-effort: a full disk must not abort the run.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = w.flush();
+    }
+}

@@ -1,0 +1,62 @@
+//! Lightweight timed spans over the monotonic clock.
+
+use crate::event::Event;
+use std::time::Instant;
+
+/// A timed region. Created by [`crate::span`]; emits a [`Event::Span`] to
+/// the installed sink when dropped (or explicitly [`Span::end`]ed).
+///
+/// When tracing is disabled at creation time the span is inert: no clock
+/// read, no allocation, and nothing is emitted on drop.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<(String, f64)>,
+}
+
+impl Span {
+    pub(crate) fn start(name: &'static str, enabled: bool) -> Self {
+        Self {
+            name,
+            start: enabled.then(Instant::now),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach a numeric field (no-op when the span is inert).
+    pub fn field(&mut self, key: &str, value: f64) -> &mut Self {
+        if self.start.is_some() {
+            self.fields.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// Whether the span is live (tracing was enabled when it was created).
+    pub fn is_live(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Seconds elapsed since the span started (0 when inert).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.map_or(0.0, |t| t.elapsed().as_secs_f64())
+    }
+
+    /// Finish the span now, emitting it to the sink.
+    pub fn end(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let dur_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            crate::emit(Event::Span {
+                name: self.name.to_string(),
+                dur_us,
+                fields: std::mem::take(&mut self.fields),
+            });
+        }
+    }
+}

@@ -42,7 +42,9 @@ pub mod superposition;
 pub mod transient;
 
 pub use batch_means::{batch_means, BatchMeansEstimate};
-pub use lindley::{first_passage_slot, queue_exceeds, queue_path, sup_workload, LindleyQueue};
+pub use lindley::{
+    first_passage_slot, queue_exceeds, queue_path, sup_workload, LindleyQueue, QueueStats,
+};
 pub use mc::{estimate_overflow, tail_curve_from_path, McEstimate};
 pub use mux::Mux;
 pub use norros::{norros_buffer_for_loss, norros_overflow, FbmTraffic};

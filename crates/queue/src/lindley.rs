@@ -69,6 +69,65 @@ impl LindleyQueue {
     }
 }
 
+/// Streaming summary of a queue-level path: maximum depth, busy-period
+/// count and lengths. Feed it every level produced by
+/// [`LindleyQueue::step`]; O(1) state, no allocation.
+///
+/// A *busy period* is a maximal run of slots with `Q > 0` (the standard
+/// definition for a slotted queue observed at slot boundaries).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueueStats {
+    /// Slots observed.
+    pub slots: u64,
+    /// Maximum queue level seen.
+    pub max_depth: f64,
+    /// Number of completed-or-ongoing busy periods.
+    pub busy_periods: u64,
+    /// Total slots spent busy (`Q > 0`).
+    pub busy_slots: u64,
+    in_busy: bool,
+}
+
+impl QueueStats {
+    /// Fresh (all-zero) statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one queue level.
+    pub fn observe(&mut self, level: f64) {
+        self.slots += 1;
+        self.max_depth = self.max_depth.max(level);
+        if level > 0.0 {
+            self.busy_slots += 1;
+            if !self.in_busy {
+                self.in_busy = true;
+                self.busy_periods += 1;
+            }
+        } else {
+            self.in_busy = false;
+        }
+    }
+
+    /// Mean busy-period length in slots (0 when the queue never filled).
+    pub fn mean_busy_len(&self) -> f64 {
+        if self.busy_periods == 0 {
+            0.0
+        } else {
+            self.busy_slots as f64 / self.busy_periods as f64
+        }
+    }
+
+    /// Fraction of observed slots spent busy.
+    pub fn utilization(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.busy_slots as f64 / self.slots as f64
+        }
+    }
+}
+
 /// The queue-level path `Q_1 … Q_n` for an arrival path (allocates; for
 /// large sweeps prefer streaming with [`LindleyQueue::step`]).
 pub fn queue_path(arrivals: &[f64], service: f64, q0: f64) -> Result<Vec<f64>, QueueError> {
@@ -206,6 +265,29 @@ mod tests {
         assert!(LindleyQueue::new(0.0).is_err());
         assert!(LindleyQueue::new(f64::NAN).is_err());
         assert!(LindleyQueue::with_initial(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn queue_stats_counts_busy_periods() -> Result<(), Box<dyn std::error::Error>> {
+        // μ = 2; arrivals 5, 0, 0, 10, 0: Q = 3, 1, 0, 8, 6 — two busy
+        // periods of lengths 2 and 2, max depth 8.
+        let mut q = LindleyQueue::new(2.0)?;
+        let mut stats = QueueStats::new();
+        for y in [5.0, 0.0, 0.0, 10.0, 0.0] {
+            stats.observe(q.step(y));
+        }
+        assert_eq!(stats.slots, 5);
+        assert_eq!(stats.max_depth, 8.0);
+        assert_eq!(stats.busy_periods, 2);
+        assert_eq!(stats.busy_slots, 4);
+        assert_eq!(stats.mean_busy_len(), 2.0);
+        assert!((stats.utilization() - 0.8).abs() < 1e-12);
+
+        // Empty path: all zeros and no division blowups.
+        let empty = QueueStats::new();
+        assert_eq!(empty.mean_busy_len(), 0.0);
+        assert_eq!(empty.utilization(), 0.0);
+        Ok(())
     }
 }
 

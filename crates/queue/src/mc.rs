@@ -12,7 +12,7 @@
 //!   option with one trace, and that it is why synthetic and empirical
 //!   curves disagree slightly).
 
-use crate::lindley::{first_passage_slot, LindleyQueue};
+use crate::lindley::{first_passage_slot, LindleyQueue, QueueStats};
 use crate::QueueError;
 
 /// A Monte-Carlo estimate with its sampling error.
@@ -81,7 +81,21 @@ where
             hits += 1;
         }
     }
+    svbr_obsv::counter("queue.mc.replications").add(n_reps as u64);
+    svbr_obsv::counter("queue.overflows").add(hits as u64);
     let p = hits as f64 / n_reps as f64;
+    if svbr_obsv::enabled() {
+        svbr_obsv::point(
+            "queue.overflow",
+            &[
+                ("buffer", b),
+                ("horizon", horizon as f64),
+                ("n", n_reps as f64),
+                ("overflows", hits as f64),
+                ("p", p),
+            ],
+        );
+    }
     Ok(McEstimate {
         p,
         n: n_reps,
@@ -108,17 +122,46 @@ pub fn tail_curve_from_path(
     let mut q = LindleyQueue::new(service)?;
     let mut counts = vec![0usize; buffers.len()];
     let mut slots = 0usize;
+    let mut stats = QueueStats::new();
     for (i, &y) in arrivals.iter().enumerate() {
         let level = q.step(y);
         if i < burn_in {
             continue;
         }
+        stats.observe(level);
         slots += 1;
         for (c, &b) in counts.iter_mut().zip(buffers.iter()) {
             if level > b {
                 *c += 1;
             }
         }
+    }
+    svbr_obsv::counter("queue.tail_slots").add(slots as u64);
+    svbr_obsv::counter("queue.overflows").add(counts.iter().map(|&c| c as u64).sum::<u64>());
+    svbr_obsv::gauge("queue.max_depth").set(stats.max_depth);
+    if svbr_obsv::enabled() {
+        // One point per buffer level keeps the trace schema uniform
+        // (buffer, overflows, p) and lets obsv-report track min/max over b.
+        for (&b, &c) in buffers.iter().zip(counts.iter()) {
+            svbr_obsv::point(
+                "queue.tail",
+                &[
+                    ("buffer", b),
+                    ("slots", slots as f64),
+                    ("overflows", c as f64),
+                    ("p", c as f64 / slots as f64),
+                ],
+            );
+        }
+        svbr_obsv::point(
+            "queue.busy",
+            &[
+                ("max_depth", stats.max_depth),
+                ("busy_periods", stats.busy_periods as f64),
+                ("mean_busy_len", stats.mean_busy_len()),
+                ("utilization", stats.utilization()),
+            ],
+        );
     }
     Ok(buffers
         .iter()

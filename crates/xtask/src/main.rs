@@ -1,13 +1,19 @@
-//! `svbr-xtask` — workspace maintenance tasks, pure std (no dependencies).
+//! `svbr-xtask` — workspace maintenance tasks. Depends only on the
+//! workspace's own zero-dependency `svbr-obsv` crate.
 //!
 //! ```text
 //! cargo run -p svbr-xtask -- lint [--format text|json] [--todo-budget N]
+//! cargo run -p svbr-xtask -- obsv-report <trace.jsonl>
 //! ```
 //!
-//! Walks every `.rs` file in the workspace (skipping `target/`, `vendor/`
-//! and VCS metadata) and enforces the svbr-lint rule set described in
-//! [`rules`]. Exits 0 on a clean tree, 1 when any violation survives its
-//! waivers, 2 on usage errors.
+//! `lint` walks every `.rs` file in the workspace (skipping `target/`,
+//! `vendor/` and VCS metadata) and enforces the svbr-lint rule set
+//! described in [`rules`], plus the `obsv-deps` manifest check keeping
+//! `crates/obsv` dependency-free. Exits 0 on a clean tree, 1 when any
+//! violation survives its waivers, 2 on usage errors.
+//!
+//! `obsv-report` summarizes a JSONL trace captured with
+//! `repro --trace <path>` into per-span timing and per-point field tables.
 
 #![forbid(unsafe_code)]
 
@@ -51,6 +57,15 @@ fn run(args: &[String], root: &Path) -> i32 {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("lint") => {}
+        Some("obsv-report") => {
+            return match (it.next(), it.next()) {
+                (Some(path), None) => obsv_report(path),
+                _ => {
+                    eprintln!("obsv-report takes exactly one trace path\n{USAGE}");
+                    2
+                }
+            };
+        }
         Some(other) => {
             eprintln!("unknown task `{other}`\n{USAGE}");
             return 2;
@@ -100,7 +115,26 @@ fn run(args: &[String], root: &Path) -> i32 {
     }
 }
 
-const USAGE: &str = "usage: cargo run -p svbr-xtask -- lint [--format text|json] [--todo-budget N]";
+const USAGE: &str = "\
+usage: cargo run -p svbr-xtask -- <task>
+  lint [--format text|json] [--todo-budget N]   enforce the svbr-lint rules
+  obsv-report <trace.jsonl>                     summarize an obsv trace";
+
+/// Summarize a JSONL trace (as written by `repro --trace`) to stdout.
+fn obsv_report(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read trace `{path}`: {e}");
+            return 1;
+        }
+    };
+    let summary = svbr_obsv::report::summarize(text.lines());
+    // Best-effort write: a closed pipe (`… | head`) must not panic.
+    use std::io::Write;
+    let _ = write!(std::io::stdout().lock(), "{summary}");
+    0
+}
 
 /// Aggregated result over the whole tree.
 #[derive(Debug, Default)]
@@ -133,6 +167,12 @@ fn lint_tree(root: &Path, todo_budget: usize) -> TreeReport {
         tree.violations.extend(violations);
         tree.todos.extend(todos);
         tree.files_scanned += 1;
+    }
+    // The obsv crate must stay dependency-free: lint its manifest too.
+    let obsv_manifest = root.join("crates/obsv/Cargo.toml");
+    if let Ok(src) = std::fs::read_to_string(&obsv_manifest) {
+        tree.violations
+            .extend(rules::lint_obsv_manifest("crates/obsv/Cargo.toml", &src));
     }
     if tree.todos.len() > todo_budget {
         tree.violations.push(Violation {
@@ -369,10 +409,80 @@ mod tests {
     }
 
     #[test]
+    fn obsv_manifest_with_dependency_fails_lint() {
+        let root = tmp_tree(&[
+            (
+                "crates/obsv/Cargo.toml",
+                "[package]\nname = \"svbr-obsv\"\n\n[dependencies]\nserde = \"1\"\n",
+            ),
+            ("crates/obsv/src/lib.rs", "pub fn ok() {}\n"),
+        ]);
+        let report = lint_tree(&root, 20);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, rules::Rule::ObsvDeps);
+        assert_eq!(report.violations[0].file, "crates/obsv/Cargo.toml");
+        assert_eq!(run(&["lint".into()], &root), 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn clean_obsv_crate_passes_and_panic_fires() {
+        let root = tmp_tree(&[
+            (
+                "crates/obsv/Cargo.toml",
+                "[package]\nname = \"svbr-obsv\"\n\n[lints]\nworkspace = true\n",
+            ),
+            ("crates/obsv/src/lib.rs", "pub fn ok() {}\n"),
+        ]);
+        assert_eq!(run(&["lint".into()], &root), 0);
+        std::fs::remove_dir_all(&root).ok();
+
+        // panic! inside the obsv source tree is a violation…
+        let root = tmp_tree(&[(
+            "crates/obsv/src/lib.rs",
+            "pub fn f() {\n    panic!(\"no\");\n}\n",
+        )]);
+        let report = lint_tree(&root, 20);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, rules::Rule::ObsvPanic);
+        std::fs::remove_dir_all(&root).ok();
+
+        // …and the generic library rules still apply there too.
+        let root = tmp_tree(&[(
+            "crates/obsv/src/lib.rs",
+            "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+        )]);
+        let report = lint_tree(&root, 20);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, rules::Rule::NoUnwrap);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn obsv_report_summarizes_a_trace_file() {
+        let root = tmp_tree(&[(
+            "trace.jsonl",
+            "{\"t\":\"span\",\"name\":\"pipeline.fit\",\"dur_us\":1500,\"fields\":{}}\n\
+             {\"t\":\"point\",\"name\":\"pipeline.iteration\",\"fields\":{\"attenuation\":0.8}}\n",
+        )]);
+        let path = root.join("trace.jsonl");
+        assert_eq!(obsv_report(&path.to_string_lossy()), 0);
+        std::fs::remove_dir_all(&root).ok();
+        // Unreadable file: exit 1.
+        assert_eq!(obsv_report("/nonexistent/trace.jsonl"), 1);
+    }
+
+    #[test]
     fn usage_errors_exit_two() {
         let root = std::env::temp_dir();
         assert_eq!(run(&[], &root), 2);
         assert_eq!(run(&["frobnicate".into()], &root), 2);
+        // obsv-report arity errors.
+        assert_eq!(run(&["obsv-report".into()], &root), 2);
+        assert_eq!(
+            run(&["obsv-report".into(), "a".into(), "b".into()], &root),
+            2
+        );
         assert_eq!(
             run(&["lint".into(), "--format".into(), "xml".into()], &root),
             2

@@ -10,6 +10,8 @@
 //! | `no-unseeded-rng` | `thread_rng` / `from_entropy` (unreproducible runs)  |
 //! | `no-print`        | `println!` / `print!` in library code                |
 //! | `todo-budget`     | TODO/FIXME inventory over the configured budget      |
+//! | `obsv-deps`       | a dependency declared in `crates/obsv/Cargo.toml`    |
+//! | `obsv-panic`      | `panic!` / `unreachable!` inside `crates/obsv/src`   |
 //!
 //! A violation on line *n* is waived by `// svbr-lint: allow(<id>[, <id>…])`
 //! on line *n* or line *n − 1*. Waivers should name the safety invariant
@@ -32,6 +34,12 @@ pub enum Rule {
     NoPrint,
     /// TODO/FIXME count exceeded the budget.
     TodoBudget,
+    /// `crates/obsv/Cargo.toml` declares a dependency (obsv must stay
+    /// zero-dependency so every crate can depend on it without cycles).
+    ObsvDeps,
+    /// `panic!` / `unreachable!` inside `crates/obsv/src` (instrumentation
+    /// must never be able to abort the instrumented computation).
+    ObsvPanic,
 }
 
 impl Rule {
@@ -44,6 +52,8 @@ impl Rule {
             Rule::NoUnseededRng => "no-unseeded-rng",
             Rule::NoPrint => "no-print",
             Rule::TodoBudget => "todo-budget",
+            Rule::ObsvDeps => "obsv-deps",
+            Rule::ObsvPanic => "obsv-panic",
         }
     }
 }
@@ -164,8 +174,18 @@ pub fn lint_source(rel_path: &str, src: &str, class: FileClass) -> FileReport {
             if has_stdout_print(line_text) {
                 push(
                     Rule::NoPrint,
-                    "`println!`/`print!` in library code: return data or take a \
-                     Write sink"
+                    "`println!`/`print!` in library code: instrumentation and \
+                     progress belong in an svbr-obsv sink (`svbr_obsv::point`, \
+                     `svbr_obsv::span`), data in return values"
+                        .to_string(),
+                );
+            }
+            if rel_path.starts_with("crates/obsv/src/") && has_panic_macro(line_text) {
+                push(
+                    Rule::ObsvPanic,
+                    "`panic!`/`unreachable!` in svbr-obsv: instrumentation must \
+                     degrade (drop the event, return a detached metric), never \
+                     abort the instrumented computation"
                         .to_string(),
                 );
             }
@@ -193,6 +213,53 @@ pub fn lint_source(rel_path: &str, src: &str, class: FileClass) -> FileReport {
         }
     }
     report
+}
+
+/// Lint `crates/obsv/Cargo.toml`: the observability crate must stay
+/// dependency-free (so every workspace crate can use it without cycles and
+/// tier-1 builds pull in nothing new). Any entry under `[dependencies]`,
+/// `[dev-dependencies]`, `[build-dependencies]`, or a `[target.….dependencies]`
+/// table is a violation. A `# svbr-lint: allow(obsv-deps) …` comment on the
+/// entry's line or the line above waives it.
+pub fn lint_obsv_manifest(rel_path: &str, src: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut violations = Vec::new();
+    let mut in_dep_table = false;
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            let table = line.trim_start_matches('[').trim_end_matches(']').trim();
+            in_dep_table = table == "dependencies"
+                || table == "dev-dependencies"
+                || table == "build-dependencies"
+                || (table.starts_with("target.") && table.ends_with(".dependencies"));
+            continue;
+        }
+        if !in_dep_table || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let line_no = idx + 1;
+        let waived = |l: usize| {
+            l >= 1
+                && lines
+                    .get(l - 1)
+                    .is_some_and(|t| waiver_allows(t, Rule::ObsvDeps.id()))
+        };
+        if waived(line_no) || waived(line_no - 1) {
+            continue;
+        }
+        let name = line.split(['=', '.']).next().unwrap_or(line).trim();
+        violations.push(Violation {
+            file: rel_path.to_string(),
+            line: line_no,
+            rule: Rule::ObsvDeps,
+            message: format!(
+                "svbr-obsv must stay dependency-free but declares `{name}`: \
+                 vendor the logic into the crate or move it elsewhere"
+            ),
+        });
+    }
+    violations
 }
 
 /// Does this original-source line carry a waiver for `rule_id`?
@@ -224,6 +291,26 @@ fn contains_expect_call(masked_line: &str) -> bool {
 fn has_stdout_print(masked_line: &str) -> bool {
     let bytes = masked_line.as_bytes();
     for needle in [b"println!".as_slice(), b"print!".as_slice()] {
+        let mut i = 0;
+        while i + needle.len() <= bytes.len() {
+            if bytes[i..].starts_with(needle) {
+                let prev_ok =
+                    i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+                if prev_ok {
+                    return true;
+                }
+            }
+            i += 1;
+        }
+    }
+    false
+}
+
+/// `panic!(` or `unreachable!(` as a macro invocation — not e.g.
+/// `my_panic!(` and not `#[should_panic]`.
+fn has_panic_macro(masked_line: &str) -> bool {
+    let bytes = masked_line.as_bytes();
+    for needle in [b"panic!(".as_slice(), b"unreachable!(".as_slice()] {
         let mut i = 0;
         while i + needle.len() <= bytes.len() {
             if bytes[i..].starts_with(needle) {
@@ -415,6 +502,59 @@ mod tests {
         assert_eq!(r.todos.len(), 2);
         assert_eq!(r.todos[0].line, 1);
         assert!(r.todos[0].text.contains("TODO"));
+    }
+
+    #[test]
+    fn fixture_obsv_panic_fires_only_inside_obsv() {
+        let src = "pub fn f() {\n    panic!(\"boom\");\n}\n";
+        let r = lint_source("crates/obsv/src/lib.rs", src, FileClass::Library);
+        assert_eq!(rule_lines(&r, Rule::ObsvPanic), vec![2]);
+        let r = lint_source(
+            "crates/obsv/src/sink.rs",
+            "fn g() {\n    unreachable!()\n}\n",
+            FileClass::Library,
+        );
+        assert_eq!(rule_lines(&r, Rule::ObsvPanic), vec![2]);
+        // Same source outside obsv: rule does not apply.
+        let r = lint_source("crates/lrd/src/fft.rs", src, FileClass::Library);
+        assert!(rule_lines(&r, Rule::ObsvPanic).is_empty());
+        // `#[should_panic]` and prose mentions must not fire.
+        let r = lint_source(
+            "crates/obsv/src/lib.rs",
+            "// a panic!(…) here would be bad\n#[should_panic]\nfn t() {}\n",
+            FileClass::Library,
+        );
+        assert!(rule_lines(&r, Rule::ObsvPanic).is_empty());
+    }
+
+    #[test]
+    fn obsv_manifest_dependency_fires() {
+        let clean = "[package]\nname = \"svbr-obsv\"\n\n[lib]\nbench = false\n\n[lints]\nworkspace = true\n";
+        assert!(lint_obsv_manifest("crates/obsv/Cargo.toml", clean).is_empty());
+
+        let dirty = "[package]\nname = \"svbr-obsv\"\n\n[dependencies]\nserde = \"1\"\n";
+        let v = lint_obsv_manifest("crates/obsv/Cargo.toml", dirty);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ObsvDeps);
+        assert_eq!(v[0].line, 5);
+        assert!(v[0].message.contains("serde"));
+
+        // dev- and build-dependencies count too; comments and blanks do not.
+        let dirty = "[dev-dependencies]\n# just a comment\n\nproptest.workspace = true\n";
+        let v = lint_obsv_manifest("crates/obsv/Cargo.toml", dirty);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("proptest"));
+        let dirty = "[build-dependencies]\ncc = \"1\"\n";
+        assert_eq!(lint_obsv_manifest("x", dirty).len(), 1);
+
+        // A following non-dependency table ends the scope.
+        let ok = "[dependencies]\n\n[lints]\nworkspace = true\n";
+        assert!(lint_obsv_manifest("x", ok).is_empty());
+
+        // Waiver on the preceding line suppresses.
+        let waived =
+            "[dependencies]\n# svbr-lint: allow(obsv-deps) vendored shim, temporary\nserde = \"1\"\n";
+        assert!(lint_obsv_manifest("x", waived).is_empty());
     }
 
     // ---- waivers --------------------------------------------------------
