@@ -22,8 +22,9 @@ const LIGHT: &[&str] = &[
 const COMPOSITE: &[&str] = &["fig9", "fig12", "fig13"];
 const HEAVY: &[&str] = &["fig14", "fig15", "fig16", "fig17"];
 /// Extra (non-paper) experiments: `obsv` exercises every instrumented layer
-/// on a tiny configuration — the CI trace-artifact run.
-const EXTRA: &[&str] = &["obsv"];
+/// on a tiny configuration — the CI trace-artifact run; `resilience` is the
+/// supervised, checkpointable pipeline (`--checkpoint`/`--resume`/`--faults`).
+const EXTRA: &[&str] = &["obsv", "resilience"];
 
 /// Deterministic seed used by the `obsv` smoke experiment and recorded in
 /// the manifest.
@@ -42,9 +43,13 @@ fn main() {
         return;
     }
 
-    // Flag parsing: --trace <path> / --manifest <path> may appear anywhere.
+    // Flag parsing: --trace <path> / --manifest <path> / --checkpoint
+    // <path> / --resume <path> / --faults <plan> may appear anywhere.
     let mut trace_path: Option<PathBuf> = None;
     let mut manifest_path: Option<PathBuf> = None;
+    let mut checkpoint_path: Option<PathBuf> = None;
+    let mut resume_path: Option<PathBuf> = None;
+    let mut fault_plan: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -56,6 +61,18 @@ fn main() {
             "--manifest" => match it.next() {
                 Some(p) => manifest_path = Some(PathBuf::from(p)),
                 None => fail_usage("--manifest requires a path"),
+            },
+            "--checkpoint" => match it.next() {
+                Some(p) => checkpoint_path = Some(PathBuf::from(p)),
+                None => fail_usage("--checkpoint requires a path"),
+            },
+            "--resume" => match it.next() {
+                Some(p) => resume_path = Some(PathBuf::from(p)),
+                None => fail_usage("--resume requires a path"),
+            },
+            "--faults" => match it.next() {
+                Some(p) => fault_plan = Some(p.clone()),
+                None => fail_usage("--faults requires a plan (kind@site:occurrence,...)"),
             },
             "all" => ids.extend(
                 LIGHT
@@ -74,6 +91,22 @@ fn main() {
     ids.dedup();
     if ids.is_empty() {
         fail_usage("no experiment ids given");
+    }
+
+    // Arm deterministic fault injection (--faults flag or SVBR_FAULTS env)
+    // before anything instrumented runs.
+    let fault_plan = fault_plan.or_else(|| std::env::var("SVBR_FAULTS").ok());
+    if let Some(plan) = &fault_plan {
+        match svbr_resilience::FaultPlan::parse(plan) {
+            Ok(plan) => {
+                eprintln!(
+                    "[repro] fault injection armed: {} spec(s)",
+                    plan.specs().len()
+                );
+                svbr_resilience::fault::arm(plan);
+            }
+            Err(e) => fail_usage(&e),
+        }
     }
 
     if let Some(path) = &trace_path {
@@ -147,6 +180,12 @@ fn main() {
             "fig16" => experiments::fig16(ctx.expect("ctx"), out),
             "fig17" => experiments::fig17(ctx.expect("ctx"), out),
             "obsv" => experiments::obsv_demo(RUN_SEED, out),
+            "resilience" => {
+                let mut cfg = svbr_bench::resilience_run::ResilienceConfig::from_env(RUN_SEED);
+                cfg.checkpoint = checkpoint_path.clone();
+                cfg.resume = resume_path.clone();
+                svbr_bench::resilience_run::resilience_run(&cfg, out)
+            }
             other => {
                 eprintln!("unknown experiment `{other}` — try `repro list`");
                 std::process::exit(2);
@@ -171,6 +210,12 @@ fn finish_observability(
     if trace_path.is_some() {
         svbr_obsv::flush();
         svbr_obsv::uninstall();
+    }
+    // Fold the resilience event log (recoveries, degradations, injected
+    // faults, checkpoint resumes) into the manifest so no recovery is
+    // silent.
+    for note in svbr_resilience::drain_events() {
+        manifest.add_note(note);
     }
     let Some(path) = manifest_path else {
         return;
@@ -210,11 +255,16 @@ fn usage() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro [--trace <path.jsonl>] [--manifest <path.json>]\n\
+                      [--checkpoint <path>] [--resume <path>]\n\
+                      [--faults <kind@site:occurrence,...>]\n\
                       <id>... | all | light | heavy | list\n\n\
          ids: paper artifacts (table1, fig1..fig17) plus `obsv`, a tiny\n\
-         traced smoke run exercising every instrumented layer\n\n\
+         traced smoke run exercising every instrumented layer, and\n\
+         `resilience`, the supervised checkpointable run (checkpoints\n\
+         every chunk; resume a killed run to byte-identical output)\n\n\
          env: SVBR_REPS (default 1000), SVBR_TRACE_LEN (default 238626),\n\
          SVBR_THREADS (default #cores), SVBR_FAST=1 (smoke mode),\n\
-         SVBR_RESULTS_DIR (default ./results)"
+         SVBR_RESULTS_DIR (default ./results), SVBR_CKPT_CHUNKS,\n\
+         SVBR_CKPT_LEN, SVBR_CKPT_EVERY, SVBR_DEADLINE_MS, SVBR_FAULTS"
     );
 }

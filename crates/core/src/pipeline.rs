@@ -530,14 +530,14 @@ mod tests {
         }
     }
 
-    fn reference_fit() -> UnifiedFit {
+    fn reference_fit() -> Result<UnifiedFit, CoreError> {
         let trace = reference_trace_intra_of_len(120_000);
-        UnifiedFit::fit(&trace.as_f64(), &quick_opts()).unwrap()
+        UnifiedFit::fit(&trace.as_f64(), &quick_opts())
     }
 
     #[test]
-    fn fit_on_reference_trace_recovers_structure() {
-        let fit = reference_fit();
+    fn fit_on_reference_trace_recovers_structure() -> Result<(), Box<dyn std::error::Error>> {
+        let fit = reference_fit()?;
         // Hurst in the strongly-LRD band.
         assert!(
             fit.hurst.combined >= 0.7 && fit.hurst.combined <= 0.975,
@@ -556,6 +556,7 @@ mod tests {
             "a = {}",
             fit.attenuation
         );
+        Ok(())
     }
 
     #[test]
@@ -619,7 +620,7 @@ mod tests {
 
     #[test]
     fn background_kinds_differ_correctly() -> Result<(), Box<dyn std::error::Error>> {
-        let fit = reference_fit();
+        let fit = reference_fit()?;
         let full = fit.background_table(BackgroundKind::SrdLrd, 600)?;
         let srd = fit.background_table(BackgroundKind::SrdOnly, 600)?;
         let lrd = fit.background_table(BackgroundKind::LrdOnly, 600)?;
@@ -650,7 +651,7 @@ mod tests {
         let mut opts = quick_opts();
         opts.srd_mixture = true;
         let fit = UnifiedFit::fit(&series, &opts)?;
-        let m = fit.mixture.as_ref().expect("mixture should fit here");
+        let m = fit.mixture.as_ref().ok_or("mixture should fit here")?;
         // The mixture must not be worse than the single exponential over
         // the SRD region.
         let single_sse: f64 = (1..fit.acf_fit.knee)
@@ -673,7 +674,7 @@ mod tests {
 
     #[test]
     fn generator_respects_max_len() -> Result<(), Box<dyn std::error::Error>> {
-        let fit = reference_fit();
+        let fit = reference_fit()?;
         let g = fit.generator(BackgroundKind::SrdLrd, 256)?;
         assert_eq!(g.max_len(), 256);
         let mut rng = StdRng::seed_from_u64(3);
@@ -685,7 +686,7 @@ mod tests {
 
     #[test]
     fn hosking_and_fast_share_distribution() -> Result<(), Box<dyn std::error::Error>> {
-        let fit = reference_fit();
+        let fit = reference_fit()?;
         let g = fit.generator(BackgroundKind::SrdLrd, 512)?;
         let mut rng = StdRng::seed_from_u64(4);
         let reps = 40;
@@ -709,7 +710,7 @@ mod tests {
 
     #[test]
     fn from_parts_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
-        let fit = reference_fit();
+        let fit = reference_fit()?;
         let table = fit.background_table(BackgroundKind::SrdLrd, 128)?;
         let g = UnifiedGenerator::from_parts(table.clone(), fit.marginal.clone())?;
         assert_eq!(g.background_acf().len(), table.len());

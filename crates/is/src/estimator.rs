@@ -86,6 +86,25 @@ impl IsEstimate {
         }
     }
 
+    /// Kish effective sample size `(Σw)²/Σw²`, recovered exactly from
+    /// `(p, variance, n)` (the weight sums are invertible from the stored
+    /// moments, the same identity [`Self::merge`] uses). 0 when no weight
+    /// was collected.
+    ///
+    /// This is the estimator-health number: `n` replications whose weights
+    /// are dominated by a handful of huge likelihood ratios are worth far
+    /// fewer than `n` i.i.d. draws, and an ESS collapse means the twist is
+    /// past the Fig. 14 valley and the estimate cannot be trusted.
+    pub fn effective_sample_size(&self) -> f64 {
+        // sum = n·p, sum_sq = n·(n·variance + p²) ⇒ ESS = n·p²/(n·variance + p²)
+        let denom = self.n as f64 * self.variance + self.p * self.p;
+        if denom > 0.0 {
+            self.n as f64 * self.p * self.p / denom
+        } else {
+            0.0
+        }
+    }
+
     /// Relative error `std_err/p` (∞ when the estimate is 0).
     pub fn relative_error(&self) -> f64 {
         if self.p > 0.0 {
@@ -328,6 +347,56 @@ impl<M: Marginal> IsEstimator<M> {
         );
     }
 
+    /// Like [`Self::run`], but abort-and-report when the Kish effective
+    /// sample size of the weighted sample falls below `min_ess`.
+    ///
+    /// A collapsed ESS means a few enormous likelihood ratios carry the
+    /// whole estimate — the classic silent IS failure mode. Rather than
+    /// hand back a confidently wrong number, this returns
+    /// [`crate::IsError::EssCollapse`] carrying both the measured ESS and
+    /// the (untrustworthy) estimate so the caller can record a degraded
+    /// result, and bumps the `is.ess_collapse` counter for the manifest.
+    pub fn run_checked<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+        min_ess: f64,
+    ) -> Result<IsEstimate, crate::IsError> {
+        self.check_ess(self.run(n, rng), min_ess)
+    }
+
+    /// Like [`Self::run_parallel`], with the same ESS floor as
+    /// [`Self::run_checked`].
+    pub fn run_parallel_checked(
+        &self,
+        n: usize,
+        base_seed: u64,
+        threads: usize,
+        min_ess: f64,
+    ) -> Result<IsEstimate, crate::IsError>
+    where
+        M: Sync,
+    {
+        self.check_ess(self.run_parallel(n, base_seed, threads), min_ess)
+    }
+
+    fn check_ess(&self, estimate: IsEstimate, min_ess: f64) -> Result<IsEstimate, crate::IsError> {
+        let ess = estimate.effective_sample_size();
+        if ess < min_ess {
+            svbr_obsv::counter("is.ess_collapse").add(1);
+            svbr_obsv::point(
+                "is.ess_collapse",
+                &[("ess", ess), ("floor", min_ess), ("twist", self.twist)],
+            );
+            return Err(crate::IsError::EssCollapse {
+                ess,
+                floor: min_ess,
+                estimate,
+            });
+        }
+        Ok(estimate)
+    }
+
     /// Run batches of replications until the estimate's relative error
     /// drops to `target` (e.g. 0.1 for ±10% at one σ) or `max_reps` is
     /// exhausted. Returns the pooled estimate.
@@ -497,6 +566,60 @@ mod tests {
             event,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn effective_sample_size_recovers_weight_moments() {
+        // Weights {1, 1, 2}: sum = 4, sum_sq = 6 ⇒ ESS = 16/6 = 8/3.
+        let n = 3usize;
+        let p = 4.0 / 3.0;
+        let var_w = 6.0 / 3.0 - p * p;
+        let est = IsEstimate {
+            p,
+            n,
+            variance: var_w / n as f64,
+            hits: 3,
+            mean_slots: 1.0,
+        };
+        assert!((est.effective_sample_size() - 8.0 / 3.0).abs() < 1e-12);
+        // Degenerate estimate: no weight collected.
+        let zero = IsEstimate {
+            p: 0.0,
+            n: 0,
+            variance: 0.0,
+            hits: 0,
+            mean_slots: 0.0,
+        };
+        assert_eq!(zero.effective_sample_size(), 0.0);
+    }
+
+    #[test]
+    fn checked_run_reports_ess_collapse() {
+        let est = white_noise_system(30, 0.5, 3.0, 1.0, IsEvent::FirstPassage);
+        let mut rng = StdRng::seed_from_u64(31);
+        // An infinite floor always trips the guard; the error must carry
+        // the measured ESS and the degraded estimate.
+        match est.run_checked(200, &mut rng, f64::INFINITY) {
+            Err(crate::IsError::EssCollapse {
+                ess,
+                floor,
+                estimate,
+            }) => {
+                assert!(ess.is_finite());
+                assert!(floor.is_infinite());
+                assert_eq!(estimate.n, 200);
+            }
+            other => panic!("expected EssCollapse, got {other:?}"),
+        }
+        // A floor of 0 never trips.
+        let mut rng = StdRng::seed_from_u64(31);
+        assert!(est.run_checked(200, &mut rng, 0.0).is_ok());
+        // The parallel variant applies the same guard.
+        assert!(matches!(
+            est.run_parallel_checked(100, 7, 2, f64::INFINITY),
+            Err(crate::IsError::EssCollapse { .. })
+        ));
+        assert!(est.run_parallel_checked(100, 7, 2, 0.0).is_ok());
     }
 
     #[test]

@@ -64,6 +64,19 @@ pub enum IsError {
     },
     /// A validated-newtype constraint failed (see [`svbr_domain`]).
     Domain(SvbrError),
+    /// The Kish effective sample size of a checked run fell below the
+    /// caller's floor: the weighted sample is dominated by a handful of
+    /// huge likelihood ratios and the estimate cannot be trusted. Carries
+    /// the untrustworthy estimate so callers can record a degraded-mode
+    /// result instead of silently using (or losing) it.
+    EssCollapse {
+        /// Measured Kish effective sample size.
+        ess: f64,
+        /// The floor the caller required.
+        floor: f64,
+        /// The estimate the run produced (for degraded-mode reporting only).
+        estimate: IsEstimate,
+    },
 }
 
 impl std::fmt::Display for IsError {
@@ -75,6 +88,10 @@ impl std::fmt::Display for IsError {
                 write!(f, "invalid parameter `{name}`: must satisfy {constraint}")
             }
             IsError::Domain(e) => write!(f, "{e}"),
+            IsError::EssCollapse { ess, floor, .. } => write!(
+                f,
+                "effective sample size collapsed: ESS {ess:.2} below floor {floor:.2}"
+            ),
         }
     }
 }

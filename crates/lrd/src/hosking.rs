@@ -23,7 +23,7 @@
 //! regression coefficients after lag M) or the O(n log n) exact
 //! [`crate::davies_harte::DaviesHarte`] generator.
 
-use crate::acf::Acf;
+use crate::acf::{Acf, TabulatedAcf};
 use crate::gauss::Normal;
 use crate::LrdError;
 use rand::Rng;
@@ -152,10 +152,92 @@ impl<A: Acf> HoskingSampler<A> {
         })
     }
 
+    /// Rebuild a sampler from previously captured recursion state, so a
+    /// checkpointed run can continue exactly where it stopped.
+    ///
+    /// `history`, `phi` and `v` must come from a sampler over the *same*
+    /// ACF, captured at a step boundary (after a [`Self::push`], i.e. with
+    /// no pending moments). The Durbin–Levinson invariants are validated:
+    ///
+    /// * unfrozen state: `phi.len() == history.len().saturating_sub(1)`
+    /// * frozen at `k₀`: `phi.len() == k₀ − 1`, `history.len() >= k₀`, and
+    ///   the policy must be [`NonPdPolicy::Freeze`]
+    /// * `v` must be a variance in `(0, 1]`, and every stored value finite.
+    ///
+    /// The internal Gaussian cache starts empty; callers that need a
+    /// bit-identical *random* stream across a resume should drive the
+    /// sampler through [`Self::next_moments`]/[`Self::push`] and checkpoint
+    /// their own normal-sampler state (this is what `svbr-resilience`
+    /// does).
+    pub fn resume(
+        acf: A,
+        policy: NonPdPolicy,
+        history: Vec<f64>,
+        phi: Vec<f64>,
+        v: f64,
+        frozen_at: Option<usize>,
+    ) -> Result<Self, SvbrError> {
+        let mut s = Self::with_policy(acf, policy)?;
+        if !v.is_finite() || v <= 0.0 || v > 1.0 + 1e-12 {
+            return Err(SvbrError::OutOfRange {
+                name: "v",
+                constraint: "0 < v <= 1 (innovation variance)",
+            });
+        }
+        if history.iter().any(|x| !x.is_finite()) {
+            return Err(SvbrError::NotFinite { name: "history" });
+        }
+        if phi.iter().any(|x| !x.is_finite()) {
+            return Err(SvbrError::NotFinite { name: "phi" });
+        }
+        match frozen_at {
+            None => {
+                if phi.len() != history.len().saturating_sub(1) {
+                    return Err(SvbrError::OutOfRange {
+                        name: "phi",
+                        constraint: "phi.len() == history.len() - 1 when not frozen",
+                    });
+                }
+            }
+            Some(k0) => {
+                if policy != NonPdPolicy::Freeze {
+                    return Err(SvbrError::OutOfRange {
+                        name: "frozen_at",
+                        constraint: "frozen state requires NonPdPolicy::Freeze",
+                    });
+                }
+                if k0 == 0 || phi.len() + 1 != k0 || history.len() < k0 {
+                    return Err(SvbrError::OutOfRange {
+                        name: "frozen_at",
+                        constraint: "phi.len() == frozen_at - 1 and history.len() >= frozen_at",
+                    });
+                }
+            }
+        }
+        s.history = history;
+        s.phi = phi;
+        s.v = v;
+        s.frozen_at = frozen_at;
+        Ok(s)
+    }
+
     /// The lag at which the recursion froze under [`NonPdPolicy::Freeze`],
     /// if it did.
     pub fn frozen_at(&self) -> Option<usize> {
         self.frozen_at
+    }
+
+    /// The current regression coefficients `φ_{k,1..k}` (`phi()[j-1]` is
+    /// `φ_{k,j}`). Together with [`Self::innovation_variance`] and
+    /// [`Self::history`] this is the full recursion state a checkpoint
+    /// needs; feed it back through [`Self::resume`].
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// The current prediction-error variance `v_k`.
+    pub fn innovation_variance(&self) -> f64 {
+        self.v
     }
 
     /// Number of samples generated (or pushed) so far.
@@ -340,6 +422,55 @@ pub fn generate<A: Acf, R: Rng + ?Sized>(
     HoskingSampler::new(acf)?.generate(n, rng)
 }
 
+/// Repair a non-positive-definite ACF by geometric damping.
+///
+/// Tabulates `r(k)·ρᵏ` over the first `n` lags with `ρ = 1 − shrink`,
+/// growing `shrink` from 0 until the Durbin–Levinson recursion completes
+/// all `n` steps without a partial correlation escaping `(−1, 1)`. Damping
+/// multiplies the ACF by the (positive-definite) AR(1) sequence `ρᵏ`, and
+/// at `ρ ≤ 0.49` the Toeplitz matrix is strictly diagonally dominant, so
+/// the search always terminates.
+///
+/// Returns the repaired table and the `shrink` that was needed (0.0 when
+/// the input was already PD over these lags). This is the resilience
+/// fallback when [`crate::davies_harte::pd_project`] is unavailable or has
+/// itself failed; projection is the accurate fix, damping is the blunt one
+/// — the caller should record the applied `shrink` as an accuracy caveat.
+pub fn regularize_to_pd<A: Acf>(acf: A, n: usize) -> Result<(TabulatedAcf, f64), LrdError> {
+    if n == 0 {
+        return Err(LrdError::InvalidParameter {
+            name: "n",
+            constraint: "n >= 1",
+        });
+    }
+    let mut shrink = 0.0_f64;
+    loop {
+        let rho = 1.0 - shrink;
+        let table: Vec<f64> = (0..n).map(|k| acf.r(k) * rho.powi(k as i32)).collect();
+        let attempt = TabulatedAcf::new(table.clone()).and_then(|t| {
+            let mut s = HoskingSampler::new(&t)?;
+            for _ in 0..n {
+                s.next_moments().map_err(SvbrError::from)?;
+                s.push(0.0);
+            }
+            Ok(t)
+        });
+        match attempt {
+            Ok(t) => {
+                svbr_obsv::point("lrd.regularize", &[("n", n as f64), ("shrink", shrink)]);
+                return Ok((t, shrink));
+            }
+            Err(_) if shrink < 0.51 => {
+                shrink = if shrink < 1e-9 { 1e-6 } else { shrink * 2.0 };
+                shrink = shrink.min(0.51);
+            }
+            // Unreachable for any bounded correlation table (ρ = 0.49 is
+            // diagonally dominant), but surface it rather than loop.
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Precomputed Durbin–Levinson state for generating many replications of
 /// the *same* process.
 ///
@@ -506,7 +637,10 @@ impl TruncatedHosking {
         for _ in 0..warm {
             xs.push(exact.step(rng)?.value);
         }
-        let m = self.memory;
+        // Under `NonPdPolicy::Freeze` the recursion may freeze before lag
+        // M, leaving fewer than `memory` coefficients — regress on however
+        // many are actually frozen.
+        let m = self.coeffs.len().min(self.memory);
         for k in warm..n {
             let mut mean = 0.0;
             for j in 1..=m {
@@ -811,6 +945,167 @@ mod tests {
     fn prepared_rejects_non_pd() -> Result<(), Box<dyn std::error::Error>> {
         let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99])?;
         assert!(PreparedHosking::new(&t, 10).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn non_pd_policy_default_is_error() {
+        assert_eq!(NonPdPolicy::default(), NonPdPolicy::Error);
+    }
+
+    #[test]
+    fn truncated_error_policy_rejects_non_pd_table() -> Result<(), Box<dyn std::error::Error>> {
+        // Same deliberately non-PD table as the sampler tests: r(2) = 0
+        // violates r(2) >= 2·0.99² − 1.
+        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99])?;
+        let err = TruncatedHosking::with_policy(&t, 8, NonPdPolicy::Error);
+        assert!(matches!(err, Err(LrdError::NotPositiveDefinite { lag: 2 })));
+        Ok(())
+    }
+
+    #[test]
+    fn truncated_freeze_policy_survives_non_pd_table() -> Result<(), Box<dyn std::error::Error>> {
+        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99])?;
+        let trunc = TruncatedHosking::with_policy(&t, 8, NonPdPolicy::Freeze)?;
+        // Frozen at lag 2, so the model is the AR(1) with φ = 0.99.
+        assert!((trunc.phi_sum() - 0.99).abs() < 1e-12);
+        assert!((trunc.innovation_variance() - (1.0 - 0.99 * 0.99)).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(12);
+        let xs = trunc.generate(&t, 300, &mut rng)?;
+        assert_eq!(xs.len(), 300);
+        assert!(xs.iter().all(|x| x.is_finite()));
+        Ok(())
+    }
+
+    #[test]
+    fn freeze_policy_state_survives_resume() -> Result<(), Box<dyn std::error::Error>> {
+        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99])?;
+        let mut s = HoskingSampler::with_policy(&t, NonPdPolicy::Freeze)?;
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..40 {
+            s.step(&mut rng)?;
+        }
+        assert_eq!(s.frozen_at(), Some(2));
+        let resumed = HoskingSampler::resume(
+            &t,
+            NonPdPolicy::Freeze,
+            s.history().to_vec(),
+            s.phi().to_vec(),
+            s.innovation_variance(),
+            s.frozen_at(),
+        )?;
+        assert_eq!(resumed.frozen_at(), Some(2));
+        assert_eq!(resumed.len(), 40);
+        Ok(())
+    }
+
+    #[test]
+    fn resume_continues_bit_identically() -> Result<(), Box<dyn std::error::Error>> {
+        // Drive the recursion with externally chosen values (as the IS and
+        // resilience drivers do), snapshot mid-stream, resume, and check
+        // the conditional moments agree bit-for-bit.
+        let acf = FgnAcf::new(0.85)?;
+        let values: Vec<f64> = (0..200)
+            .map(|i| ((i * 37 % 101) as f64 - 50.0) / 25.0)
+            .collect();
+        let mut full = HoskingSampler::new(&acf)?;
+        let mut snapshot = None;
+        for (i, &x) in values.iter().enumerate() {
+            full.next_moments()?;
+            full.push(x);
+            if i == 99 {
+                snapshot = Some((
+                    full.history().to_vec(),
+                    full.phi().to_vec(),
+                    full.innovation_variance(),
+                ));
+            }
+        }
+        let (history, phi, v) = snapshot.ok_or("no snapshot")?;
+        let mut resumed = HoskingSampler::resume(&acf, NonPdPolicy::Error, history, phi, v, None)?;
+        let mut reference = HoskingSampler::new(&acf)?;
+        for &x in &values[..100] {
+            reference.next_moments()?;
+            reference.push(x);
+        }
+        for &x in &values[100..] {
+            let a = resumed.next_moments()?;
+            let b = reference.next_moments()?;
+            assert_eq!(a, b, "resumed moments must match bit-for-bit");
+            resumed.push(x);
+            reference.push(x);
+        }
+        assert_eq!(resumed.history(), full.history());
+        Ok(())
+    }
+
+    #[test]
+    fn resume_validates_state_invariants() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.7)?;
+        // phi length inconsistent with history.
+        assert!(HoskingSampler::resume(
+            &acf,
+            NonPdPolicy::Error,
+            vec![0.1; 5],
+            vec![0.2; 5],
+            0.9,
+            None
+        )
+        .is_err());
+        // Non-finite history.
+        assert!(HoskingSampler::resume(
+            &acf,
+            NonPdPolicy::Error,
+            vec![f64::NAN, 0.0],
+            vec![0.2],
+            0.9,
+            None
+        )
+        .is_err());
+        // Invalid variance.
+        assert!(HoskingSampler::resume(
+            &acf,
+            NonPdPolicy::Error,
+            vec![0.1, 0.2],
+            vec![0.2],
+            -0.5,
+            None
+        )
+        .is_err());
+        // Frozen state requires the Freeze policy.
+        assert!(HoskingSampler::resume(
+            &acf,
+            NonPdPolicy::Error,
+            vec![0.1, 0.2, 0.3],
+            vec![0.2],
+            0.9,
+            Some(2)
+        )
+        .is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn regularize_leaves_pd_acf_untouched() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.8)?;
+        let (table, shrink) = regularize_to_pd(acf, 64)?;
+        assert_eq!(shrink, 0.0);
+        for k in 0..64 {
+            assert!((table.r(k) - acf.r(k)).abs() < 1e-15, "lag {k} unchanged");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn regularize_repairs_non_pd_table() -> Result<(), Box<dyn std::error::Error>> {
+        let t = crate::acf::TabulatedAcf::new(vec![1.0, 0.99])?;
+        let (repaired, shrink) = regularize_to_pd(&t, 16)?;
+        assert!(shrink > 0.0, "a non-PD table needs shrinking");
+        // The repaired table must run the strict recursion to completion
+        // over the lags it was validated for.
+        let mut rng = StdRng::seed_from_u64(14);
+        let xs = HoskingSampler::new(&repaired)?.generate(16, &mut rng)?;
+        assert!(xs.iter().all(|x| x.is_finite()));
         Ok(())
     }
 

@@ -53,7 +53,9 @@ pub use acf::{
     Acf, CompositeAcf, ExponentialAcf, FarimaAcf, FgnAcf, LagScaledAcf, PowerLawAcf, ScaledAcf,
 };
 pub use davies_harte::{pd_project, DaviesHarte};
-pub use hosking::{HoskingSampler, HoskingStep, PreparedHosking, TruncatedHosking};
+pub use hosking::{
+    regularize_to_pd, HoskingSampler, HoskingStep, NonPdPolicy, PreparedHosking, TruncatedHosking,
+};
 pub use svbr_domain::{Attenuation, Correlation, Hurst, Probability, SvbrError};
 
 /// Errors produced by the generators in this crate.

@@ -20,6 +20,11 @@ pub struct RunManifest {
     /// Model parameters — Hurst `h`, SRD decay `beta`, knee `kt`,
     /// attenuation `a`, and any others, as `(name, value)` pairs.
     pub params: Vec<(String, f64)>,
+    /// Free-form annotations appended during the run — the resilience
+    /// layer records every recovery (retry after a panic, degraded
+    /// generator tier, ESS collapse, resume-from-checkpoint) here so a
+    /// completed run is never silently "clean" when it wasn't.
+    pub notes: Vec<String>,
     started_wall: Option<u64>,
     started: Instant,
 }
@@ -32,6 +37,7 @@ impl RunManifest {
             seed,
             git_revision: git_revision(root),
             params: Vec::new(),
+            notes: Vec::new(),
             started_wall: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
                 .ok()
@@ -47,6 +53,11 @@ impl RunManifest {
         } else {
             self.params.push((name.to_string(), value));
         }
+    }
+
+    /// Append a free-form annotation (e.g. a recovery record).
+    pub fn add_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
     }
 
     /// Seconds since the manifest was created (the run's wall-clock total).
@@ -79,7 +90,15 @@ impl RunManifest {
             out.push_str(": ");
             push_json_number(&mut out, *v);
         }
-        out.push_str("\n  },\n  \"counters\": {");
+        out.push_str("\n  },\n  \"notes\": [");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, note);
+        }
+        out.push_str("\n  ],\n  \"counters\": {");
         for (i, (k, v)) in metrics.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');

@@ -43,12 +43,14 @@ pub mod transient;
 
 pub use batch_means::{batch_means, BatchMeansEstimate};
 pub use lindley::{
-    first_passage_slot, queue_exceeds, queue_path, sup_workload, LindleyQueue, QueueStats,
+    first_passage_slot, queue_exceeds, queue_path, sup_workload, validate_arrivals, LindleyQueue,
+    QueueStats,
 };
 pub use mc::{estimate_overflow, tail_curve_from_path, McEstimate};
 pub use mux::Mux;
 pub use norros::{norros_buffer_for_loss, norros_overflow, FbmTraffic};
 pub use superposition::{multiplexing_gain, required_capacity, superpose, CapacityEstimate};
+use svbr_domain::SvbrError;
 pub use transient::{transient_curve, InitialCondition};
 
 /// Errors produced by this crate.
@@ -68,6 +70,28 @@ pub enum QueueError {
         /// Slots supplied.
         got: usize,
     },
+    /// An arrival value was NaN or infinite. Feeding such a value into the
+    /// Lindley recursion would poison the workload for the rest of the run
+    /// (`max(NaN, _)` propagates), so it is rejected up front.
+    NonFiniteArrival {
+        /// Slot index of the offending arrival.
+        slot: usize,
+    },
+}
+
+impl From<QueueError> for SvbrError {
+    fn from(e: QueueError) -> Self {
+        match e {
+            QueueError::InvalidParameter { name, constraint } => {
+                SvbrError::OutOfRange { name, constraint }
+            }
+            QueueError::PathTooShort { .. } => SvbrError::OutOfRange {
+                name: "arrivals",
+                constraint: "path at least as long as the horizon",
+            },
+            QueueError::NonFiniteArrival { .. } => SvbrError::NotFinite { name: "arrival" },
+        }
+    }
 }
 
 impl std::fmt::Display for QueueError {
@@ -78,6 +102,9 @@ impl std::fmt::Display for QueueError {
             }
             QueueError::PathTooShort { needed, got } => {
                 write!(f, "arrival path too short: need {needed} slots, got {got}")
+            }
+            QueueError::NonFiniteArrival { slot } => {
+                write!(f, "non-finite arrival at slot {slot}")
             }
         }
     }

@@ -141,6 +141,18 @@ pub fn queue_exceeds(arrivals: &[f64], service: f64, q0: f64, b: f64) -> Result<
     Ok(q.run(arrivals) > b)
 }
 
+/// Reject any NaN or infinite arrival before it reaches the Lindley
+/// recursion. A single non-finite value silently poisons every subsequent
+/// queue level (`max(q + NaN − μ, 0)` is NaN or saturates), so callers on
+/// the estimation paths run this guard first and surface a typed error the
+/// supervisor can retry on.
+pub fn validate_arrivals(arrivals: &[f64]) -> Result<(), QueueError> {
+    match arrivals.iter().position(|y| !y.is_finite()) {
+        None => Ok(()),
+        Some(slot) => Err(QueueError::NonFiniteArrival { slot }),
+    }
+}
+
 /// The running supremum of the total workload `W_i = Σ_{j≤i}(Y_j − μ)`
 /// over the whole path (eq. 17's right-hand side, with `sup ≥ W_0 = 0`).
 pub fn sup_workload(arrivals: &[f64], service: f64) -> f64 {

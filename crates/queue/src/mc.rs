@@ -12,7 +12,7 @@
 //!   option with one trace, and that it is why synthetic and empirical
 //!   curves disagree slightly).
 
-use crate::lindley::{first_passage_slot, LindleyQueue, QueueStats};
+use crate::lindley::{first_passage_slot, validate_arrivals, LindleyQueue, QueueStats};
 use crate::QueueError;
 
 /// A Monte-Carlo estimate with its sampling error.
@@ -68,6 +68,24 @@ where
             constraint: ">= 1",
         });
     }
+    if horizon == 0 {
+        return Err(QueueError::InvalidParameter {
+            name: "horizon",
+            constraint: ">= 1",
+        });
+    }
+    if !service.is_finite() || service <= 0.0 {
+        return Err(QueueError::InvalidParameter {
+            name: "service",
+            constraint: "finite and > 0",
+        });
+    }
+    if !b.is_finite() || b < 0.0 {
+        return Err(QueueError::InvalidParameter {
+            name: "b",
+            constraint: "finite and >= 0",
+        });
+    }
     let mut hits = 0usize;
     for rep in 0..n_reps {
         let path = make_path(rep);
@@ -77,6 +95,7 @@ where
                 got: path.len(),
             });
         }
+        validate_arrivals(&path[..horizon])?;
         if first_passage_slot(&path[..horizon], service, b).is_some() {
             hits += 1;
         }
@@ -119,6 +138,13 @@ pub fn tail_curve_from_path(
             got: arrivals.len(),
         });
     }
+    if buffers.iter().any(|b| !b.is_finite()) {
+        return Err(QueueError::InvalidParameter {
+            name: "buffers",
+            constraint: "every buffer level finite",
+        });
+    }
+    validate_arrivals(arrivals)?;
     let mut q = LindleyQueue::new(service)?;
     let mut counts = vec![0usize; buffers.len()];
     let mut slots = 0usize;
@@ -256,6 +282,44 @@ mod tests {
         assert!(estimate_overflow(|_| vec![0.0; 5], 0, 5, 1.0, 1.0).is_err());
         assert!(estimate_overflow(|_| vec![0.0; 5], 10, 6, 1.0, 1.0).is_err());
         assert!(tail_curve_from_path(&[1.0, 2.0], 1.0, 2, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        // Empty trace / zero horizon.
+        assert!(matches!(
+            estimate_overflow(|_| Vec::new(), 10, 0, 1.0, 1.0),
+            Err(QueueError::InvalidParameter {
+                name: "horizon",
+                ..
+            })
+        ));
+        assert!(matches!(
+            estimate_overflow(|_| Vec::new(), 10, 1, 1.0, 1.0),
+            Err(QueueError::PathTooShort { needed: 1, got: 0 })
+        ));
+        assert!(matches!(
+            tail_curve_from_path(&[], 1.0, 0, &[1.0]),
+            Err(QueueError::PathTooShort { .. })
+        ));
+        // Non-finite / non-positive service rate.
+        assert!(estimate_overflow(|_| vec![0.0; 5], 5, 5, f64::NAN, 1.0).is_err());
+        assert!(estimate_overflow(|_| vec![0.0; 5], 5, 5, 0.0, 1.0).is_err());
+        assert!(tail_curve_from_path(&[1.0, 2.0], f64::INFINITY, 0, &[1.0]).is_err());
+        // Non-finite buffer threshold.
+        assert!(estimate_overflow(|_| vec![0.0; 5], 5, 5, 1.0, f64::NAN).is_err());
+        assert!(tail_curve_from_path(&[1.0, 2.0], 1.0, 0, &[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_arrivals_before_recursion() {
+        let err = estimate_overflow(|_| vec![0.0, f64::NAN, 0.0], 5, 3, 1.0, 1.0);
+        assert!(matches!(err, Err(QueueError::NonFiniteArrival { slot: 1 })));
+        let err = tail_curve_from_path(&[0.0, 0.0, f64::INFINITY], 1.0, 0, &[1.0]);
+        assert!(matches!(err, Err(QueueError::NonFiniteArrival { slot: 2 })));
+        // A NaN *after* the horizon is never fed to the queue, so it is fine.
+        let ok = estimate_overflow(|_| vec![0.0, 0.0, f64::NAN], 5, 2, 1.0, 1.0);
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Deterministic fault injection.
+//!
+//! Recovery code that is never exercised is broken code waiting for a
+//! production crash. A [`FaultPlan`] names exact (kind, site, occurrence)
+//! points — "panic on the 3rd `chunk` probe", "NaN on the 5th `arrivals`
+//! probe" — so tests and the CI smoke suite drive every recovery path
+//! through the supervisor, the queue guards, the ESS floor and the
+//! degradation ladder with full determinism: each spec fires exactly once,
+//! so a supervised retry of the same site succeeds.
+//!
+//! Instrumented code calls [`probe`] at its fault points; with nothing
+//! armed the probe is a mutex lock and a `None` (the harness stays out of
+//! the way of real runs).
+
+use crate::record_event;
+use std::sync::Mutex;
+
+/// What kind of fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the probe point (exercises `catch_unwind` containment).
+    Panic,
+    /// Replace a sample with NaN (exercises the non-finite guards).
+    NanSample,
+    /// Corrupt the ACF to a non-PD table (exercises regularization).
+    NonPdAcf,
+    /// Force the IS ESS floor to trip (exercises abort-and-report).
+    EssCollapse,
+    /// Exhaust the wall-clock deadline (exercises the degradation ladder).
+    Deadline,
+}
+
+impl FaultKind {
+    /// The spec token for this kind (`panic`, `nan`, `nonpd`, `ess`,
+    /// `deadline`).
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::NanSample => "nan",
+            FaultKind::NonPdAcf => "nonpd",
+            FaultKind::EssCollapse => "ess",
+            FaultKind::Deadline => "deadline",
+        }
+    }
+
+    fn from_token(tok: &str) -> Option<Self> {
+        match tok {
+            "panic" => Some(FaultKind::Panic),
+            "nan" => Some(FaultKind::NanSample),
+            "nonpd" => Some(FaultKind::NonPdAcf),
+            "ess" => Some(FaultKind::EssCollapse),
+            "deadline" => Some(FaultKind::Deadline),
+            _ => None,
+        }
+    }
+}
+
+/// One injection point: fire `kind` on the `at`-th probe of `site`
+/// (1-based), exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// The probe site name (e.g. `chunk`, `arrivals`, `acf`, `is`).
+    pub site: String,
+    /// 1-based occurrence of the probe at which to fire.
+    pub at: u64,
+}
+
+/// A parsed set of injection points.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Parse a comma-separated plan of `kind@site:occurrence` specs, e.g.
+    /// `panic@chunk:3,nan@arrivals:5,nonpd@acf:1,ess@is:1,deadline@chunk:2`.
+    /// The occurrence defaults to 1 when `:n` is omitted.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut specs = Vec::new();
+        for raw in text.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let (kind_tok, rest) = raw
+                .split_once('@')
+                .ok_or_else(|| format!("fault spec `{raw}`: expected kind@site[:occurrence]"))?;
+            let kind = FaultKind::from_token(kind_tok.trim()).ok_or_else(|| {
+                format!(
+                    "fault spec `{raw}`: unknown kind `{kind_tok}` (panic|nan|nonpd|ess|deadline)"
+                )
+            })?;
+            let (site, at) = match rest.split_once(':') {
+                Some((site, occ)) => {
+                    let at: u64 = occ
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("fault spec `{raw}`: bad occurrence `{occ}`"))?;
+                    (site.trim(), at)
+                }
+                None => (rest.trim(), 1),
+            };
+            if site.is_empty() || at == 0 {
+                return Err(format!(
+                    "fault spec `{raw}`: site must be non-empty and occurrence >= 1"
+                ));
+            }
+            specs.push(FaultSpec {
+                kind,
+                site: site.to_string(),
+                at,
+            });
+        }
+        Ok(Self { specs })
+    }
+
+    /// The parsed specs.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+struct Armed {
+    specs: Vec<(FaultSpec, bool)>, // (spec, fired)
+    counters: Vec<(String, u64)>,  // per-site probe counts
+}
+
+static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
+
+/// Arm a fault plan process-wide, replacing any previously armed plan and
+/// resetting all probe counters.
+pub fn arm(plan: FaultPlan) {
+    let mut slot = ARMED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *slot = Some(Armed {
+        specs: plan.specs.into_iter().map(|s| (s, false)).collect(),
+        counters: Vec::new(),
+    });
+}
+
+/// Disarm fault injection entirely.
+pub fn disarm() {
+    let mut slot = ARMED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *slot = None;
+}
+
+/// Probe a fault point. Increments the site's occurrence counter and, if
+/// an unfired spec matches (site, occurrence), marks it fired and returns
+/// its kind — exactly once per spec, so a supervised retry of the same
+/// site passes clean. The injection is recorded (counter
+/// `resilience.faults_injected` + event log) *before* returning, so even
+/// a probe that then panics leaves a trace.
+pub fn probe(site: &str) -> Option<FaultKind> {
+    let mut slot = ARMED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let armed = slot.as_mut()?;
+    let count = match armed.counters.iter_mut().find(|(s, _)| s == site) {
+        Some((_, c)) => {
+            *c += 1;
+            *c
+        }
+        None => {
+            armed.counters.push((site.to_string(), 1));
+            1
+        }
+    };
+    let (spec, fired) = armed
+        .specs
+        .iter_mut()
+        .find(|(spec, fired)| !fired && spec.site == site && spec.at == count)?;
+    *fired = true;
+    let kind = spec.kind;
+    drop(slot); // release before touching the event log / obsv sinks
+    svbr_obsv::counter("resilience.faults_injected").add(1);
+    record_event(format!(
+        "fault-injected: {} at site `{site}` occurrence {count}",
+        kind.token()
+    ));
+    Some(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests share the process-wide ARMED slot; serialize them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn parses_full_plan() {
+        let plan = match FaultPlan::parse(
+            "panic@chunk:3, nan@arrivals:5,nonpd@acf:1,ess@is:1,deadline@chunk:2",
+        ) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        assert_eq!(plan.specs().len(), 5);
+        assert_eq!(plan.specs()[0].kind, FaultKind::Panic);
+        assert_eq!(plan.specs()[0].site, "chunk");
+        assert_eq!(plan.specs()[0].at, 3);
+        assert_eq!(plan.specs()[4].kind, FaultKind::Deadline);
+        // Occurrence defaults to 1.
+        let short = match FaultPlan::parse("nan@arrivals") {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        assert_eq!(short.specs()[0].at, 1);
+        assert!(FaultPlan::parse("").map(|p| p.is_empty()).unwrap_or(false));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(FaultPlan::parse("panic").is_err(), "missing site");
+        assert!(FaultPlan::parse("frob@chunk:1").is_err(), "unknown kind");
+        assert!(FaultPlan::parse("panic@chunk:zero").is_err(), "bad count");
+        assert!(FaultPlan::parse("panic@chunk:0").is_err(), "zero count");
+        assert!(FaultPlan::parse("panic@:1").is_err(), "empty site");
+    }
+
+    #[test]
+    fn fires_exactly_once_at_the_named_occurrence() {
+        let _guard = LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let plan = match FaultPlan::parse("nan@arrivals:3") {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        arm(plan);
+        crate::drain_events();
+        assert_eq!(probe("arrivals"), None);
+        assert_eq!(probe("other-site"), None, "site counters are independent");
+        assert_eq!(probe("arrivals"), None);
+        assert_eq!(probe("arrivals"), Some(FaultKind::NanSample));
+        assert_eq!(probe("arrivals"), None, "specs fire exactly once");
+        let events = crate::drain_events();
+        assert!(
+            events.iter().any(|e| e.contains("fault-injected")),
+            "injection must be recorded: {events:?}"
+        );
+        disarm();
+    }
+
+    #[test]
+    fn disarmed_probes_are_inert() {
+        let _guard = LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        disarm();
+        for _ in 0..10 {
+            assert_eq!(probe("anything"), None);
+        }
+    }
+
+    #[test]
+    fn rearming_resets_counters() {
+        let _guard = LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let plan = match FaultPlan::parse("panic@chunk:2") {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        arm(plan.clone());
+        assert_eq!(probe("chunk"), None);
+        assert_eq!(probe("chunk"), Some(FaultKind::Panic));
+        arm(plan);
+        assert_eq!(probe("chunk"), None, "counter restarted");
+        assert_eq!(probe("chunk"), Some(FaultKind::Panic));
+        disarm();
+    }
+}

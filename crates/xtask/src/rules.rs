@@ -12,6 +12,7 @@
 //! | `todo-budget`     | TODO/FIXME inventory over the configured budget      |
 //! | `obsv-deps`       | a dependency declared in `crates/obsv/Cargo.toml`    |
 //! | `obsv-panic`      | `panic!` / `unreachable!` inside `crates/obsv/src`   |
+//! | `no-silent-catch` | `catch_unwind` with no nearby `svbr_obsv::` report   |
 //!
 //! A violation on line *n* is waived by `// svbr-lint: allow(<id>[, <id>…])`
 //! on line *n* or line *n − 1*. Waivers should name the safety invariant
@@ -40,6 +41,9 @@ pub enum Rule {
     /// `panic!` / `unreachable!` inside `crates/obsv/src` (instrumentation
     /// must never be able to abort the instrumented computation).
     ObsvPanic,
+    /// `catch_unwind` in library code with no `svbr_obsv::` report within
+    /// the following lines: a swallowed panic must never be silent.
+    NoSilentCatch,
 }
 
 impl Rule {
@@ -54,6 +58,7 @@ impl Rule {
             Rule::TodoBudget => "todo-budget",
             Rule::ObsvDeps => "obsv-deps",
             Rule::ObsvPanic => "obsv-panic",
+            Rule::NoSilentCatch => "no-silent-catch",
         }
     }
 }
@@ -91,6 +96,10 @@ pub enum FileClass {
     /// Examples, tests, benches, binaries: reproducibility rules only.
     Support,
 }
+
+/// How many masked lines after a `catch_unwind` may pass before an
+/// `svbr_obsv::` report must appear (the `no-silent-catch` rule).
+pub const SILENT_CATCH_WINDOW: usize = 10;
 
 /// Classify a workspace-relative path (forward slashes).
 pub fn classify(rel_path: &str) -> FileClass {
@@ -131,7 +140,8 @@ pub fn lint_source(rel_path: &str, src: &str, class: FileClass) -> FileReport {
     };
 
     let mut report = FileReport::default();
-    for (idx, line_text) in masked.code.lines().enumerate() {
+    let code_lines: Vec<&str> = masked.code.lines().collect();
+    for (idx, &line_text) in code_lines.iter().enumerate() {
         let line_no = idx + 1;
         let library_scope = class == FileClass::Library && !in_test(line_no);
         let mut push = |rule: Rule, message: String| {
@@ -187,6 +197,22 @@ pub fn lint_source(rel_path: &str, src: &str, class: FileClass) -> FileReport {
                      degrade (drop the event, return a detached metric), never \
                      abort the instrumented computation"
                         .to_string(),
+                );
+            }
+            if line_text.contains("catch_unwind")
+                && !line_text.trim_start().starts_with("use ")
+                && !line_text.trim_start().starts_with("pub use ")
+                && !code_lines[idx..code_lines.len().min(idx + 1 + SILENT_CATCH_WINDOW)]
+                    .iter()
+                    .any(|l| l.contains("svbr_obsv::"))
+            {
+                push(
+                    Rule::NoSilentCatch,
+                    format!(
+                        "`catch_unwind` with no `svbr_obsv::` report within {SILENT_CATCH_WINDOW} \
+                         lines: a swallowed panic must be recorded through an obsv sink \
+                         (counter/point) so no recovery is silent"
+                    ),
                 );
             }
         }
@@ -525,6 +551,65 @@ mod tests {
             FileClass::Library,
         );
         assert!(rule_lines(&r, Rule::ObsvPanic).is_empty());
+    }
+
+    #[test]
+    fn fixture_silent_catch_fires_without_nearby_report() {
+        let silent = "\
+use std::panic::catch_unwind;
+pub fn f() {
+    let r = catch_unwind(|| risky());
+    if r.is_err() {
+        // swallowed: nothing reported anywhere
+    }
+}
+";
+        // The `use` declaration is exempt; the call site fires.
+        let r = lint_lib(silent);
+        assert_eq!(rule_lines(&r, Rule::NoSilentCatch), vec![3]);
+    }
+
+    #[test]
+    fn fixture_silent_catch_satisfied_by_obsv_report() {
+        let reported = "\
+pub fn f() {
+    let r = std::panic::catch_unwind(|| risky());
+    svbr_obsv::counter(\"resilience.supervised_attempts\").add(1);
+    if r.is_err() {
+        handle();
+    }
+}
+";
+        let r = lint_lib(reported);
+        assert!(rule_lines(&r, Rule::NoSilentCatch).is_empty());
+        // A report farther than the window away does not count.
+        let far = format!(
+            "pub fn f() {{\n    let r = std::panic::catch_unwind(|| risky());\n{}    svbr_obsv::counter(\"x\").add(1);\n}}\n",
+            "    let _pad = 0;\n".repeat(SILENT_CATCH_WINDOW)
+        );
+        let r = lint_lib(&far);
+        assert_eq!(rule_lines(&r, Rule::NoSilentCatch), vec![2]);
+        // Waivers apply as usual.
+        let waived = "\
+pub fn f() {
+    // svbr-lint: allow(no-silent-catch) reported by the caller's supervisor
+    let r = std::panic::catch_unwind(|| risky());
+}
+";
+        let r = lint_lib(waived);
+        assert!(rule_lines(&r, Rule::NoSilentCatch).is_empty());
+        // Test scopes are exempt like the other library rules.
+        let in_test = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _ = std::panic::catch_unwind(|| 1);
+    }
+}
+";
+        let r = lint_lib(in_test);
+        assert!(rule_lines(&r, Rule::NoSilentCatch).is_empty());
     }
 
     #[test]

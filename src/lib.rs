@@ -21,6 +21,9 @@
 //!   background process, exact likelihood ratios, valley search.
 //! * [`model`] — the unified model itself: the 4-step fitting pipeline,
 //!   the composite I-B-P model, validation reports.
+//! * [`resilience`] — supervised, checkpointable runs: atomic bit-exact
+//!   checkpoints, `catch_unwind` supervision with retry budgets, the
+//!   generator degradation ladder, and deterministic fault injection.
 //!
 //! ## Quickstart
 //!
@@ -49,5 +52,6 @@ pub use svbr_is as is;
 pub use svbr_lrd as lrd;
 pub use svbr_marginal as marginal;
 pub use svbr_queue as queue;
+pub use svbr_resilience as resilience;
 pub use svbr_stats as stats;
 pub use svbr_video as video;
