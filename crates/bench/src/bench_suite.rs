@@ -1,0 +1,436 @@
+//! The unified micro-benchmark harness behind `repro bench`.
+//!
+//! A pinned suite of the codebase's hot kernels — exact Hosking,
+//! Davies–Harte, the truncated-AR ladder rung, the inverse-CDF marginal
+//! transform, the Lindley queue recursion, and the IS estimator — each run
+//! for a fixed number of timed iterations at a fixed size and seed. Per
+//! case the harness records throughput (samples/sec) and the p50/p95
+//! per-iteration latency, and the report carries enough host metadata
+//! (cpu model, core count, rustc version, git revision, timestamp) to
+//! interpret a number pulled out of CI months later.
+//!
+//! The report is written as `BENCH_svbr.json`;
+//! `cargo run -p svbr-xtask -- bench-compare --baseline <old> <new>`
+//! diffs two reports and fails on a throughput regression.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use svbr::is::{IsEstimator, IsEvent};
+use svbr::lrd::acf::FgnAcf;
+use svbr::lrd::davies_harte::DaviesHarte;
+use svbr::lrd::hosking::{HoskingSampler, TruncatedHosking};
+use svbr::marginal::transform::GaussianTransform;
+use svbr::marginal::Gamma;
+use svbr::queue::lindley::LindleyQueue;
+use svbr_obsv::Stopwatch;
+
+/// Seed shared by every case (each case derives its own `StdRng` from it,
+/// offset by the case index, so adding a case never reseeds the others).
+pub const BENCH_SEED: u64 = 0xbe7c_4a5e;
+
+/// Schema version of the JSON report, bumped on breaking field changes.
+pub const SCHEMA: u32 = 1;
+
+/// The paper's Hurst parameter, used by every generator case.
+const HURST: f64 = 0.9;
+
+/// One timed case: `iters` timed iterations, each processing `n` samples.
+struct CaseSpec {
+    name: &'static str,
+    n: usize,
+    iters: usize,
+}
+
+/// Measured outcome of one case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// Case name (stable across runs; `bench-compare` matches on it).
+    pub name: String,
+    /// Samples processed per iteration.
+    pub n: usize,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Throughput of the fastest timed iteration. Best-of-N rather than
+    /// the mean: minimum latency converges to the true cost of the kernel
+    /// while the mean absorbs scheduler noise, so the regression gate in
+    /// `bench-compare` flakes far less on shared CI hosts.
+    pub samples_per_sec: f64,
+    /// Median per-iteration latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile per-iteration latency, microseconds.
+    pub p95_us: f64,
+    /// Total timed wall-clock, seconds.
+    pub total_secs: f64,
+}
+
+/// Host metadata recorded alongside the numbers.
+#[derive(Debug, Clone)]
+pub struct HostInfo {
+    /// CPU model string from `/proc/cpuinfo` (or `"unknown"`).
+    pub cpu_model: String,
+    /// Available parallelism.
+    pub cores: usize,
+    /// `rustc --version` output (or `"unknown"`).
+    pub rustc: String,
+}
+
+/// A full bench report: suite outcome plus provenance.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Whether the quick (CI-sized) variant of the suite ran.
+    pub quick: bool,
+    /// The suite seed ([`BENCH_SEED`]).
+    pub seed: u64,
+    /// Git revision of the working tree (or `"unknown"`).
+    pub git_revision: String,
+    /// Unix timestamp of the run.
+    pub timestamp_unix_secs: u64,
+    /// Host metadata.
+    pub host: HostInfo,
+    /// Per-case results, in suite order.
+    pub cases: Vec<CaseResult>,
+}
+
+/// Collect host metadata (best effort; every field degrades to
+/// `"unknown"` rather than failing the run).
+pub fn host_info() -> HostInfo {
+    let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rustc = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    HostInfo {
+        cpu_model,
+        cores,
+        rustc,
+    }
+}
+
+/// Current Unix time in seconds (0 if the clock is before the epoch).
+pub fn unix_timestamp_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn suite(quick: bool) -> Vec<CaseSpec> {
+    let scale = |full: usize, q: usize| if quick { q } else { full };
+    vec![
+        CaseSpec {
+            name: "hosking",
+            n: scale(2048, 512),
+            iters: scale(5, 3),
+        },
+        CaseSpec {
+            name: "davies_harte",
+            n: scale(65_536, 8192),
+            iters: scale(20, 5),
+        },
+        CaseSpec {
+            name: "truncated_ar",
+            n: scale(32_768, 4096),
+            iters: scale(10, 3),
+        },
+        CaseSpec {
+            name: "inverse_cdf",
+            n: scale(65_536, 8192),
+            iters: scale(20, 5),
+        },
+        CaseSpec {
+            name: "lindley",
+            n: scale(262_144, 32_768),
+            iters: scale(20, 5),
+        },
+        CaseSpec {
+            name: "is_estimator",
+            n: scale(512, 128),
+            iters: scale(5, 3),
+        },
+    ]
+}
+
+/// Time `iters` calls of `iter`, which must process `n` samples per call.
+/// One untimed warmup call precedes the timed loop so cold caches and lazy
+/// page faults never land in the measurement.
+fn measure<F: FnMut()>(spec: &CaseSpec, mut iter: F) -> CaseResult {
+    iter();
+    let mut lat_us: Vec<f64> = Vec::with_capacity(spec.iters);
+    let total = Stopwatch::start();
+    for _ in 0..spec.iters {
+        let sw = Stopwatch::start();
+        iter();
+        lat_us.push(sw.elapsed_us() as f64);
+    }
+    let total_secs = total.elapsed_secs();
+    lat_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| {
+        let idx = ((lat_us.len() as f64 - 1.0) * p).round() as usize;
+        lat_us[idx.min(lat_us.len() - 1)]
+    };
+    let best_secs = lat_us[0] / 1e6;
+    CaseResult {
+        name: spec.name.to_string(),
+        n: spec.n,
+        iters: spec.iters,
+        samples_per_sec: if best_secs > 0.0 {
+            spec.n as f64 / best_secs
+        } else {
+            f64::INFINITY
+        },
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        total_secs,
+    }
+}
+
+/// Run the pinned suite. `quick` scales every case down to CI size.
+/// Progress goes to `out` as each case completes.
+pub fn run_suite(
+    quick: bool,
+    out: &mut dyn Write,
+) -> Result<BenchReport, Box<dyn std::error::Error>> {
+    let specs = suite(quick);
+    let mut cases = Vec::with_capacity(specs.len());
+    for (ci, spec) in specs.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED.wrapping_add(ci as u64));
+        let result = match spec.name {
+            "hosking" => {
+                let acf = FgnAcf::new(HURST)?;
+                measure(spec, || {
+                    // Setup is part of the measured cost: the O(n²) recursion
+                    // IS the workload.
+                    let sampler = HoskingSampler::new(&acf).unwrap_or_else(|e| die(spec.name, &e));
+                    let xs = sampler
+                        .generate(spec.n, &mut rng)
+                        .unwrap_or_else(|e| die(spec.name, &e));
+                    assert_eq!(xs.len(), spec.n);
+                })
+            }
+            "davies_harte" => {
+                let dh = DaviesHarte::new(FgnAcf::new(HURST)?, spec.n)?;
+                measure(spec, || {
+                    let xs = dh.generate(&mut rng);
+                    assert_eq!(xs.len(), spec.n);
+                })
+            }
+            "truncated_ar" => {
+                let acf = FgnAcf::new(HURST)?;
+                let trunc = TruncatedHosking::new(acf, 64)?;
+                measure(spec, || {
+                    let xs = trunc
+                        .generate(acf, spec.n, &mut rng)
+                        .unwrap_or_else(|e| die(spec.name, &e));
+                    assert_eq!(xs.len(), spec.n);
+                })
+            }
+            "inverse_cdf" => {
+                // The paper's Gamma body marginal; inputs drawn once so the
+                // timed region is purely Φ → F⁻¹ evaluation.
+                let transform = GaussianTransform::new(Gamma::new(2.0, 1.5)?);
+                let dh = DaviesHarte::new(FgnAcf::new(HURST)?, spec.n)?;
+                let xs = dh.generate(&mut rng);
+                measure(spec, || {
+                    let ys = transform.apply_slice(&xs);
+                    assert_eq!(ys.len(), spec.n);
+                })
+            }
+            "lindley" => {
+                let dh = DaviesHarte::new(FgnAcf::new(HURST)?, spec.n)?;
+                let arrivals: Vec<f64> = dh.generate(&mut rng).iter().map(|x| x + 3.0).collect();
+                measure(spec, || {
+                    let mut q = LindleyQueue::new(3.2).unwrap_or_else(|e| die(spec.name, &e));
+                    let level = q.run(&arrivals);
+                    assert!(level.is_finite());
+                })
+            }
+            "is_estimator" => {
+                // One "sample" = one replication of the twisted system.
+                let est = IsEstimator::new(
+                    FgnAcf::new(HURST)?,
+                    64,
+                    GaussianTransform::new(Gamma::new(2.0, 1.5)?),
+                    3.5,
+                    8.0,
+                    0.5,
+                    IsEvent::FirstPassage,
+                )?;
+                measure(spec, || {
+                    let e = est.run(spec.n, &mut rng);
+                    assert!(e.p.is_finite());
+                })
+            }
+            other => return Err(format!("unknown bench case `{other}`").into()),
+        };
+        writeln!(
+            out,
+            "  {:<14} {:>12.0} samples/s   p50 {:>10.0} µs   p95 {:>10.0} µs",
+            result.name, result.samples_per_sec, result.p50_us, result.p95_us
+        )?;
+        cases.push(result);
+    }
+    Ok(BenchReport {
+        quick,
+        seed: BENCH_SEED,
+        git_revision: svbr_obsv::manifest::git_revision(std::path::Path::new("."))
+            .unwrap_or_else(|| "unknown".to_string()),
+        timestamp_unix_secs: unix_timestamp_secs(),
+        host: host_info(),
+        cases,
+    })
+}
+
+fn die(case: &str, e: &dyn std::fmt::Display) -> ! {
+    eprintln!("[bench] case {case} FAILED: {e}");
+    std::process::exit(1);
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl BenchReport {
+    /// Serialize the report as the `BENCH_svbr.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"name\": \"svbr_bench_suite\",\n");
+        s.push_str(&format!("  \"schema\": {},\n", SCHEMA));
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!(
+            "  \"git_revision\": \"{}\",\n",
+            json_escape(&self.git_revision)
+        ));
+        s.push_str(&format!(
+            "  \"timestamp_unix_secs\": {},\n",
+            self.timestamp_unix_secs
+        ));
+        s.push_str(&format!(
+            "  \"host\": {{\"cpu_model\": \"{}\", \"cores\": {}, \"rustc\": \"{}\"}},\n",
+            json_escape(&self.host.cpu_model),
+            self.host.cores,
+            json_escape(&self.host.rustc)
+        ));
+        s.push_str("  \"cases\": [\n");
+        let rows: Vec<String> = self
+            .cases
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"name\": \"{}\", \"n\": {}, \"iters\": {}, \
+                     \"samples_per_sec\": {:.1}, \"p50_us\": {:.1}, \
+                     \"p95_us\": {:.1}, \"total_secs\": {:.6}}}",
+                    json_escape(&c.name),
+                    c.n,
+                    c.iters,
+                    c.samples_per_sec,
+                    c.p50_us,
+                    c.p95_us,
+                    c.total_secs
+                )
+            })
+            .collect();
+        s.push_str(&rows.join(",\n"));
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_throughput_are_sane() {
+        let spec = CaseSpec {
+            name: "noop",
+            n: 100,
+            iters: 8,
+        };
+        let mut count = 0u64;
+        let r = measure(&spec, || {
+            count += 1;
+        });
+        // iters timed calls plus the one untimed warmup.
+        assert_eq!(count, 9);
+        assert!(r.p50_us <= r.p95_us);
+        assert!(r.samples_per_sec > 0.0);
+        assert!(r.total_secs >= 0.0);
+    }
+
+    #[test]
+    fn report_serializes_to_parseable_json() {
+        let report = BenchReport {
+            quick: true,
+            seed: BENCH_SEED,
+            git_revision: "abc\"def".to_string(),
+            timestamp_unix_secs: 1_700_000_000,
+            host: HostInfo {
+                cpu_model: "Test \\ CPU".to_string(),
+                cores: 8,
+                rustc: "rustc 1.0".to_string(),
+            },
+            cases: vec![CaseResult {
+                name: "hosking".to_string(),
+                n: 2048,
+                iters: 5,
+                samples_per_sec: 12_345.6,
+                p50_us: 10.0,
+                p95_us: 20.0,
+                total_secs: 0.5,
+            }],
+        };
+        let json = report.to_json();
+        let parsed = svbr_obsv::event::parse_json(&json).expect("valid JSON");
+        let obj = match &parsed {
+            svbr_obsv::event::Json::Obj(o) => o,
+            other => panic!("expected object, got {other:?}"),
+        };
+        assert_eq!(obj.get("schema").and_then(|v| v.as_f64()), Some(1.0));
+        let cases = obj
+            .get("cases")
+            .and_then(|v| v.as_array())
+            .expect("cases array");
+        assert_eq!(cases.len(), 1);
+    }
+
+    #[test]
+    fn host_info_never_fails() {
+        let h = host_info();
+        assert!(h.cores >= 1);
+        assert!(!h.cpu_model.is_empty());
+        assert!(!h.rustc.is_empty());
+    }
+
+    #[test]
+    fn quick_suite_is_strictly_smaller() {
+        for (q, f) in suite(true).iter().zip(suite(false).iter()) {
+            assert_eq!(q.name, f.name);
+            assert!(q.n <= f.n && q.iters <= f.iters);
+            assert!(q.n < f.n || q.iters < f.iters);
+        }
+    }
+}

@@ -4,6 +4,9 @@
 //! Davies–Harte O(n log n) circulant method at n ∈ {2¹², 2¹⁴, 2¹⁶} on fGn
 //! with the paper's H = 0.9, fixed seed, and writes a JSON record (one per
 //! run) so the performance trajectory of the generators is tracked in-repo.
+//! Host metadata and the timestamp come from the shared bench harness
+//! ([`svbr_bench::bench_suite`]); the per-size field names are stable
+//! across revisions so the records stay comparable.
 //!
 //! ```text
 //! cargo run -p svbr-bench --release --bin bench_hosking [-- <out.json>]
@@ -11,10 +14,11 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 use svbr::lrd::acf::FgnAcf;
 use svbr::lrd::davies_harte::DaviesHarte;
 use svbr::lrd::hosking::HoskingSampler;
+use svbr_bench::bench_suite::{host_info, unix_timestamp_secs};
+use svbr_obsv::Stopwatch;
 
 const SEED: u64 = 42;
 const HURST: f64 = 0.9;
@@ -29,22 +33,22 @@ fn main() {
     for n in SIZES {
         let acf = FgnAcf::new(HURST).unwrap_or_else(|e| die(&format!("fgn acf: {e}")));
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let sampler =
             HoskingSampler::new(&acf).unwrap_or_else(|e| die(&format!("hosking setup: {e}")));
         let xs = sampler
             .generate(n, &mut rng)
             .unwrap_or_else(|e| die(&format!("hosking generate: {e}")));
-        let hosking_secs = t.elapsed().as_secs_f64();
+        let hosking_secs = t.elapsed_secs();
         assert_eq!(xs.len(), n);
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let dh =
             DaviesHarte::new(acf, n).unwrap_or_else(|e| die(&format!("davies-harte setup: {e}")));
-        let dh_setup_secs = t.elapsed().as_secs_f64();
-        let t = Instant::now();
+        let dh_setup_secs = t.elapsed_secs();
+        let t = Stopwatch::start();
         let ys = dh.generate(&mut rng);
-        let dh_generate_secs = t.elapsed().as_secs_f64();
+        let dh_generate_secs = t.elapsed_secs();
         assert_eq!(ys.len(), n);
 
         eprintln!(
@@ -66,15 +70,27 @@ fn main() {
     }
     let revision = svbr_obsv::manifest::git_revision(std::path::Path::new("."))
         .unwrap_or_else(|| "unknown".to_string());
+    let host = host_info();
     let json = format!(
         "{{\n  \"name\": \"hosking_vs_davies_harte\",\n  \"hurst\": {HURST},\n  \
-         \"seed\": {SEED},\n  \"git_revision\": \"{revision}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"seed\": {SEED},\n  \"git_revision\": \"{revision}\",\n  \
+         \"timestamp_unix_secs\": {},\n  \
+         \"host\": {{\"cpu_model\": \"{}\", \"cores\": {}, \"rustc\": \"{}\"}},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        unix_timestamp_secs(),
+        escape(&host.cpu_model),
+        host.cores,
+        escape(&host.rustc),
         rows.join(",\n")
     );
     if let Err(e) = std::fs::write(&out_path, json) {
         die(&format!("writing {out_path}: {e}"));
     }
     eprintln!("[bench_hosking] written {out_path}");
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn die(msg: &str) -> ! {

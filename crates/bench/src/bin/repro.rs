@@ -36,6 +36,11 @@ fn main() {
         usage();
         return;
     }
+    match args.first().map(String::as_str) {
+        Some("bench") => return run_bench(&args[1..]),
+        Some("profile") => return run_profile(&args[1..]),
+        _ => {}
+    }
     if args.iter().any(|a| a == "list") {
         for id in LIGHT.iter().chain(COMPOSITE).chain(HEAVY).chain(EXTRA) {
             println!("{id}");
@@ -161,43 +166,208 @@ fn main() {
     let stdout = std::io::stdout();
     for id in &ids {
         let out: &mut dyn std::io::Write = &mut stdout.lock();
-        let started = std::time::Instant::now();
-        let r: Result<(), Box<dyn std::error::Error>> = match id.as_str() {
-            "table1" => experiments::table1(out),
-            "fig1" => experiments::fig1(ctx.expect("ctx"), out),
-            "fig2" => experiments::fig2(ctx.expect("ctx"), out),
-            "fig3" => experiments::fig3(ctx.expect("ctx"), out),
-            "fig4" => experiments::fig4(ctx.expect("ctx"), out),
-            "fig5" => experiments::fig5(ctx.expect("ctx"), out),
-            "fig6" => experiments::fig6(ctx.expect("ctx"), out),
-            "fig7" => experiments::fig7(ctx.expect("ctx"), out),
-            "fig8" => experiments::fig8(ctx.expect("ctx"), out),
-            "fig9" => experiments::fig9_11(out),
-            "fig12" => experiments::fig12(out),
-            "fig13" => experiments::fig13(out),
-            "fig14" => experiments::fig14(ctx.expect("ctx"), out),
-            "fig15" => experiments::fig15(ctx.expect("ctx"), out),
-            "fig16" => experiments::fig16(ctx.expect("ctx"), out),
-            "fig17" => experiments::fig17(ctx.expect("ctx"), out),
-            "obsv" => experiments::obsv_demo(RUN_SEED, out),
-            "resilience" => {
-                let mut cfg = svbr_bench::resilience_run::ResilienceConfig::from_env(RUN_SEED);
-                cfg.checkpoint = checkpoint_path.clone();
-                cfg.resume = resume_path.clone();
-                svbr_bench::resilience_run::resilience_run(&cfg, out)
-            }
-            other => {
-                eprintln!("unknown experiment `{other}` — try `repro list`");
-                std::process::exit(2);
-            }
-        };
-        match r {
-            Ok(()) => eprintln!("[repro] {id} done in {:.1?}", started.elapsed()),
+        let started = svbr_obsv::Stopwatch::start();
+        match run_experiment(
+            id,
+            ctx,
+            checkpoint_path.as_deref(),
+            resume_path.as_deref(),
+            out,
+        ) {
+            Ok(()) => eprintln!("[repro] {id} done in {:.1}s", started.elapsed_secs()),
             Err(e) => fail(id, &*e),
         }
     }
 
     finish_observability(trace_path.as_deref(), manifest_path.as_deref(), manifest);
+}
+
+/// Dispatch one experiment id (exits with code 2 on an unknown id, like
+/// the historical inline dispatch did).
+fn run_experiment(
+    id: &str,
+    ctx: Option<&Context>,
+    checkpoint: Option<&Path>,
+    resume: Option<&Path>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    match id {
+        "table1" => experiments::table1(out),
+        "fig1" => experiments::fig1(ctx.expect("ctx"), out),
+        "fig2" => experiments::fig2(ctx.expect("ctx"), out),
+        "fig3" => experiments::fig3(ctx.expect("ctx"), out),
+        "fig4" => experiments::fig4(ctx.expect("ctx"), out),
+        "fig5" => experiments::fig5(ctx.expect("ctx"), out),
+        "fig6" => experiments::fig6(ctx.expect("ctx"), out),
+        "fig7" => experiments::fig7(ctx.expect("ctx"), out),
+        "fig8" => experiments::fig8(ctx.expect("ctx"), out),
+        "fig9" => experiments::fig9_11(out),
+        "fig12" => experiments::fig12(out),
+        "fig13" => experiments::fig13(out),
+        "fig14" => experiments::fig14(ctx.expect("ctx"), out),
+        "fig15" => experiments::fig15(ctx.expect("ctx"), out),
+        "fig16" => experiments::fig16(ctx.expect("ctx"), out),
+        "fig17" => experiments::fig17(ctx.expect("ctx"), out),
+        "obsv" => experiments::obsv_demo(RUN_SEED, out),
+        "resilience" => {
+            let mut cfg = svbr_bench::resilience_run::ResilienceConfig::from_env(RUN_SEED);
+            cfg.checkpoint = checkpoint.map(Path::to_path_buf);
+            cfg.resume = resume.map(Path::to_path_buf);
+            svbr_bench::resilience_run::resilience_run(&cfg, out)
+        }
+        other => {
+            eprintln!("unknown experiment `{other}` — try `repro list`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Static root-span name for a profiled experiment (span names are
+/// `&'static str` by design, so the fixed id set maps to fixed names).
+fn root_span_name(id: &str) -> &'static str {
+    match id {
+        "table1" => "repro.table1",
+        "fig1" => "repro.fig1",
+        "fig2" => "repro.fig2",
+        "fig3" => "repro.fig3",
+        "fig4" => "repro.fig4",
+        "fig5" => "repro.fig5",
+        "fig6" => "repro.fig6",
+        "fig7" => "repro.fig7",
+        "fig8" => "repro.fig8",
+        "fig9" => "repro.fig9",
+        "fig12" => "repro.fig12",
+        "fig13" => "repro.fig13",
+        "fig14" => "repro.fig14",
+        "fig15" => "repro.fig15",
+        "fig16" => "repro.fig16",
+        "fig17" => "repro.fig17",
+        "obsv" => "repro.obsv",
+        "resilience" => "repro.resilience",
+        _ => "repro.experiment",
+    }
+}
+
+/// `repro bench [--quick] [--out <path.json>]` — run the pinned
+/// micro-benchmark suite and write the `BENCH_svbr.json` report.
+fn run_bench(args: &[String]) {
+    let mut quick = false;
+    let mut out_path = PathBuf::from("BENCH_svbr.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = PathBuf::from(p),
+                None => fail_usage("--out requires a path"),
+            },
+            other => fail_usage(&format!("unknown bench argument `{other}`")),
+        }
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    use std::io::Write as _;
+    let _ = writeln!(
+        out,
+        "bench suite ({}):",
+        if quick { "quick" } else { "full" }
+    );
+    let report =
+        svbr_bench::bench_suite::run_suite(quick, &mut out).unwrap_or_else(|e| fail("bench", &*e));
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("[repro] cannot write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    eprintln!("[repro] bench report written to {}", out_path.display());
+}
+
+/// `repro profile [--folded <path>] [--top <n>] [<id>...]` — run the given
+/// experiments (default: the `obsv` smoke run) under an in-memory trace
+/// sink, rebuild the span forest, print the hot-path table and critical
+/// path, and optionally export flamegraph folded stacks.
+fn run_profile(args: &[String]) {
+    let mut folded_path: Option<PathBuf> = None;
+    let mut top = 15usize;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--folded" => match it.next() {
+                Some(p) => folded_path = Some(PathBuf::from(p)),
+                None => fail_usage("--folded requires a path"),
+            },
+            "--top" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => top = n,
+                None => fail_usage("--top requires a number"),
+            },
+            other if other.starts_with("--") => {
+                fail_usage(&format!("unknown profile argument `{other}`"))
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("obsv".to_string());
+    }
+    let needs_ctx = ids.iter().any(|id| {
+        matches!(
+            id.as_str(),
+            "fig1"
+                | "fig2"
+                | "fig3"
+                | "fig4"
+                | "fig5"
+                | "fig6"
+                | "fig7"
+                | "fig8"
+                | "fig14"
+                | "fig15"
+                | "fig16"
+                | "fig17"
+        )
+    });
+    let ctx = if needs_ctx {
+        Some(Context::load().unwrap_or_else(|e| fail("context", &*e)))
+    } else {
+        None
+    };
+
+    let sink = Arc::new(svbr_obsv::MemorySink::new());
+    svbr_obsv::install(sink.clone());
+    let stdout = std::io::stdout();
+    let wall = svbr_obsv::Stopwatch::start();
+    for id in &ids {
+        let out: &mut dyn std::io::Write = &mut stdout.lock();
+        let root = svbr_obsv::span(root_span_name(id));
+        let r = run_experiment(id, ctx.as_ref(), None, None, out);
+        root.end();
+        if let Err(e) = r {
+            svbr_obsv::uninstall();
+            fail(id, &*e);
+        }
+    }
+    let wall_us = wall.elapsed_us().max(1);
+    svbr_obsv::uninstall();
+
+    let events = sink.events();
+    let forest = svbr_profile::SpanForest::from_events(&events);
+    let mut out = stdout.lock();
+    use std::io::Write as _;
+    let _ = write!(out, "{}", svbr_profile::render(&forest, top));
+    let coverage = forest.root_total_us() as f64 / wall_us as f64;
+    let _ = writeln!(
+        out,
+        "\nroot spans cover {:.1}% of {:.3}s wall time",
+        100.0 * coverage,
+        wall_us as f64 / 1e6
+    );
+    if let Some(path) = folded_path {
+        if let Err(e) = std::fs::write(&path, svbr_profile::to_folded(&forest)) {
+            eprintln!("[repro] cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("[repro] folded stacks written to {}", path.display());
+    }
 }
 
 /// Flush the trace and write the manifest, pulling the fitted model
@@ -257,7 +427,14 @@ fn usage() {
          usage: repro [--trace <path.jsonl>] [--manifest <path.json>]\n\
                       [--checkpoint <path>] [--resume <path>]\n\
                       [--faults <kind@site:occurrence,...>]\n\
-                      <id>... | all | light | heavy | list\n\n\
+                      <id>... | all | light | heavy | list\n\
+                repro bench [--quick] [--out <path.json>]\n\
+                repro profile [--folded <path>] [--top <n>] [<id>...]\n\n\
+         `bench` runs the pinned micro-benchmark suite and writes\n\
+         BENCH_svbr.json (compare two reports with `svbr-xtask\n\
+         bench-compare`); `profile` runs experiments (default `obsv`)\n\
+         under an in-memory trace, prints the span-tree hot-path table,\n\
+         and exports flamegraph folded stacks with --folded.\n\n\
          ids: paper artifacts (table1, fig1..fig17) plus `obsv`, a tiny\n\
          traced smoke run exercising every instrumented layer, and\n\
          `resilience`, the supervised checkpointable run (checkpoints\n\

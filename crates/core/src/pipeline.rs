@@ -218,7 +218,11 @@ impl UnifiedFit {
         let mut best_err = f64::INFINITY;
         let mut iterations: Vec<IterationRecord> = Vec::new();
         let gauge = svbr_obsv::gauge("pipeline.attenuation");
-        for _ in 0..opts.max_iterations {
+        let l2_gauge = svbr_obsv::gauge("pipeline.acf_l2");
+        // Convergence watermark: records the first iteration whose ACF L2
+        // error reaches the declared tolerance.
+        let mut l2_watermark = svbr_obsv::Watermark::below("pipeline.acf_l2", opts.tolerance);
+        for iter_no in 0..opts.max_iterations {
             // Generate with the current candidate `a` and measure the mean
             // foreground ACF over the lag window.
             let model = composite.compensate(a)?;
@@ -231,14 +235,22 @@ impl UnifiedFit {
                     *slot += v / reps as f64;
                 }
             }
-            let (mut err, mut measured, mut target) = (0.0, 0.0, 0.0);
+            let (mut err, mut err_sq, mut measured, mut target) = (0.0, 0.0, 0.0, 0.0);
             for (k, &m) in acc.iter().enumerate().take(hi + 1).skip(lo) {
                 let t = composite.r(k);
                 err += (m - t).abs();
+                err_sq += (m - t) * (m - t);
                 measured += m;
                 target += t;
             }
-            err /= (hi - lo + 1) as f64;
+            let lags = (hi - lo + 1) as f64;
+            err /= lags;
+            let err_l2 = (err_sq / lags).sqrt();
+            // The L2 error is streamed for every candidate (accepted or
+            // not): the watermark tracks the fitting loop itself, not the
+            // monotone accepted trajectory.
+            l2_gauge.set(err_l2);
+            l2_watermark.observe(iter_no as u64, err_l2);
             if err >= best_err {
                 break; // no improvement — keep the previous iterate
             }
@@ -255,6 +267,7 @@ impl UnifiedFit {
                     ("iteration", (iterations.len() - 1) as f64),
                     ("attenuation", a),
                     ("acf_error", err),
+                    ("acf_error_l2", err_l2),
                 ],
             );
             if err <= opts.tolerance {

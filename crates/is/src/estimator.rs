@@ -10,6 +10,21 @@ use svbr_lrd::hosking::PreparedHosking;
 use svbr_marginal::transform::GaussianTransform;
 use svbr_marginal::Marginal;
 
+/// Replication interval between streaming-telemetry emissions in
+/// [`IsEstimator::run`] (a final emission always lands on the last
+/// replication, so short runs still report once).
+pub const PROGRESS_CHUNK: usize = 256;
+
+/// Kish effective sample size at which the `is.ess` convergence watermark
+/// declares the weighted sample healthy. Below this, a handful of huge
+/// likelihood ratios carry the estimate (cf. [`IsEstimator::run_checked`]).
+pub const ESS_TARGET: f64 = 64.0;
+
+/// Relative 95% CI half-width (`1.96·σ̂/P̂`) at which the
+/// `is.rel_ci_half_width` watermark declares the estimate converged —
+/// ±25%, roughly the precision of the paper's Fig. 16 points.
+pub const REL_CI_TARGET: f64 = 0.25;
+
 /// Which overflow event a replication scores.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum IsEvent {
@@ -112,6 +127,13 @@ impl IsEstimate {
         } else {
             f64::INFINITY
         }
+    }
+
+    /// Relative 95% CI half-width `1.96·std_err/p` (∞ when the estimate
+    /// is 0) — the streaming convergence quantity watched by the
+    /// `is.rel_ci_half_width` watermark in [`IsEstimator::run`].
+    pub fn rel_ci_half_width(&self) -> f64 {
+        1.96 * self.relative_error()
     }
 
     /// Merge two independent estimates of the same quantity (pooling their
@@ -305,10 +327,47 @@ impl<M: Marginal> IsEstimator<M> {
     }
 
     /// Run `n` replications sequentially.
+    ///
+    /// When tracing is enabled, every [`PROGRESS_CHUNK`] replications (and
+    /// once more on the last) this streams the running Kish effective
+    /// sample size and relative 95% CI half-width as `is.progress` points
+    /// plus `is.ess` / `is.rel_ci_half_width` gauges, and two
+    /// [`svbr_obsv::Watermark`]s record *when* each quantity first crossed
+    /// its declared target ([`ESS_TARGET`], [`REL_CI_TARGET`]). None of it
+    /// consumes randomness, so traced and untraced runs are bit-identical.
     pub fn run<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> IsEstimate {
         let mut acc = Accumulator::default();
-        for _ in 0..n {
+        let mut telemetry = svbr_obsv::enabled().then(|| {
+            (
+                svbr_obsv::Watermark::above("is.ess", ESS_TARGET),
+                svbr_obsv::Watermark::below("is.rel_ci_half_width", REL_CI_TARGET),
+            )
+        });
+        for i in 0..n {
             acc.add(&self.replicate(rng));
+            let Some((ess_wm, ci_wm)) = telemetry.as_mut() else {
+                continue;
+            };
+            let done = i + 1;
+            if !done.is_multiple_of(PROGRESS_CHUNK) && done != n {
+                continue;
+            }
+            let running = acc.finish();
+            let ess = acc.effective_sample_size();
+            let rel_ci = running.rel_ci_half_width();
+            svbr_obsv::gauge("is.ess").set(ess);
+            svbr_obsv::gauge("is.rel_ci_half_width").set(rel_ci);
+            svbr_obsv::point(
+                "is.progress",
+                &[
+                    ("n", done as f64),
+                    ("p", running.p),
+                    ("effective_sample_size", ess),
+                    ("rel_ci_half_width", rel_ci),
+                ],
+            );
+            ess_wm.observe(done as u64, ess);
+            ci_wm.observe(done as u64, rel_ci);
         }
         let est = acc.finish();
         self.observe_run(&acc, &est);

@@ -1,0 +1,77 @@
+//! Integration test (own process: it installs the global sink) for the
+//! IS estimator's streaming convergence telemetry: per-chunk progress
+//! points carry the running Kish ESS and relative CI half-width, the
+//! convergence watermarks fire, and none of it consumes randomness.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use svbr_is::estimator::PROGRESS_CHUNK;
+use svbr_is::{IsEstimator, IsEvent};
+use svbr_lrd::acf::FgnAcf;
+use svbr_marginal::transform::GaussianTransform;
+use svbr_marginal::Normal;
+
+fn white_noise_system() -> IsEstimator<Normal> {
+    // Untwisted white noise: weights are 0/1, so the Kish ESS equals the
+    // hit count and the CI is plain binomial — every streamed quantity has
+    // a closed form the assertions below can lean on.
+    IsEstimator::new(
+        FgnAcf::new(0.5).expect("valid H"),
+        30,
+        GaussianTransform::new(Normal::standard()),
+        0.5,
+        1.0,
+        0.0,
+        IsEvent::FirstPassage,
+    )
+    .expect("valid estimator")
+}
+
+#[test]
+fn run_streams_ess_and_ci_watermarks() {
+    let sink = Arc::new(svbr_obsv::MemorySink::new());
+    svbr_obsv::install(sink.clone());
+    let n = 2 * PROGRESS_CHUNK + 88;
+    let mut rng = StdRng::seed_from_u64(17);
+    let traced = white_noise_system().run(n, &mut rng);
+    svbr_obsv::uninstall();
+
+    // One progress point per chunk boundary plus the final partial chunk.
+    let progress = sink.events_named("is.progress");
+    assert_eq!(progress.len(), 3);
+    for (i, p) in progress.iter().enumerate() {
+        let expected_n = ((i + 1) * PROGRESS_CHUNK).min(n) as f64;
+        assert_eq!(p.field("n"), Some(expected_n));
+        let ess = p.field("effective_sample_size").expect("ess field");
+        assert!(ess >= 0.0 && ess <= expected_n);
+        let rel_ci = p.field("rel_ci_half_width").expect("rel ci field");
+        assert!(rel_ci > 0.0);
+    }
+
+    // The final streamed values agree with the returned estimate: with 0/1
+    // weights the ESS *is* the hit count.
+    let snap = svbr_obsv::snapshot();
+    let ess = snap.gauge("is.ess").expect("is.ess gauge");
+    assert!((ess - traced.hits as f64).abs() < 1e-9);
+    let rel_ci = snap
+        .gauge("is.rel_ci_half_width")
+        .expect("is.rel_ci_half_width gauge");
+    assert!((rel_ci - traced.rel_ci_half_width()).abs() < 1e-12);
+
+    // Both watermarks cross for this well-behaved system, each exactly
+    // once, at a chunk boundary, with the gauge mirroring the point.
+    for name in ["is.ess", "is.rel_ci_half_width"] {
+        let crossed = sink.events_named(&format!("{name}.converged"));
+        assert_eq!(crossed.len(), 1, "{name} watermark fires exactly once");
+        let at = crossed[0].field("at").expect("crossing index");
+        assert!(at >= PROGRESS_CHUNK as f64 && at <= n as f64);
+        assert_eq!(snap.gauge(&format!("{name}.converged_at")), Some(at));
+    }
+
+    // Instrumentation never consumes randomness: the same seed without a
+    // sink produces the identical estimate.
+    let mut rng = StdRng::seed_from_u64(17);
+    let untraced = white_noise_system().run(n, &mut rng);
+    assert_eq!(traced, untraced);
+}

@@ -372,7 +372,12 @@ impl<A: Acf> HoskingSampler<A> {
     /// With a trace sink installed this emits a `hosking.generate` span
     /// (with `n` and `samples_per_sec`) plus one `hosking.progress` point
     /// per [`PROGRESS_CHUNK`] samples carrying the Durbin–Levinson step
-    /// index and current innovation variance `v_k`. The instrumentation
+    /// index, the current innovation variance `v_k`, and a running
+    /// aggregated-variance Hurst estimate (see [`RunningHurst`]). Two
+    /// convergence watermarks record when the run settled:
+    /// `hosking.hurst_drift` (per-chunk drift of the running H below
+    /// [`HURST_DRIFT_TARGET`]) and `hosking.vtrend` (relative per-chunk
+    /// decrease of `v_k` below [`VTREND_TARGET`]). The instrumentation
     /// never touches `rng`, so fixed-seed output is identical with tracing
     /// on or off.
     pub fn generate<R: Rng + ?Sized>(
@@ -381,17 +386,41 @@ impl<A: Acf> HoskingSampler<A> {
         rng: &mut R,
     ) -> Result<Vec<f64>, LrdError> {
         let mut span = svbr_obsv::span("hosking.generate");
+        // Streaming telemetry exists only when a sink is installed: the
+        // estimator update is O(1) per sample but still not free.
+        let mut telemetry = svbr_obsv::enabled().then(|| {
+            (
+                RunningHurst::new(HURST_SCALE),
+                svbr_obsv::Watermark::below("hosking.hurst_drift", HURST_DRIFT_TARGET),
+                svbr_obsv::Watermark::below("hosking.vtrend", VTREND_TARGET),
+                f64::NAN, // previous chunk's running H
+                f64::NAN, // previous chunk's innovation variance
+            )
+        });
         while self.history.len() < n {
-            self.step(rng)?;
-            if svbr_obsv::enabled() && self.history.len().is_multiple_of(PROGRESS_CHUNK) {
-                svbr_obsv::point(
-                    "hosking.progress",
-                    &[
-                        ("k", self.history.len() as f64),
-                        ("innovation_variance", self.v),
-                    ],
-                );
+            let step = self.step(rng)?;
+            let Some((hurst, hurst_wm, vtrend_wm, prev_h, prev_v)) = telemetry.as_mut() else {
+                continue;
+            };
+            hurst.push(step.value);
+            let k = self.history.len();
+            if !k.is_multiple_of(PROGRESS_CHUNK) {
+                continue;
             }
+            let mut fields = vec![("k", k as f64), ("innovation_variance", self.v)];
+            if let Some(h) = hurst.estimate() {
+                fields.push(("running_hurst", h));
+                svbr_obsv::gauge("lrd.hosking.running_hurst").set(h);
+                if prev_h.is_finite() {
+                    hurst_wm.observe(k as u64, (h - *prev_h).abs());
+                }
+                *prev_h = h;
+            }
+            if prev_v.is_finite() && *prev_v > 0.0 {
+                vtrend_wm.observe(k as u64, (*prev_v - self.v) / *prev_v);
+            }
+            *prev_v = self.v;
+            svbr_obsv::point("hosking.progress", &fields);
         }
         self.history.truncate(n);
         svbr_obsv::counter("lrd.hosking.samples").add(n as u64);
@@ -411,6 +440,103 @@ impl<A: Acf> HoskingSampler<A> {
 /// Interval (in samples) between `hosking.progress` trace points emitted by
 /// [`HoskingSampler::generate`].
 pub const PROGRESS_CHUNK: usize = 4096;
+
+/// Aggregation scale of the running Hurst estimate (samples per block).
+pub const HURST_SCALE: usize = 64;
+
+/// `hosking.hurst_drift` watermark: the running Hurst estimate is
+/// considered converged once its per-chunk drift falls below this.
+pub const HURST_DRIFT_TARGET: f64 = 0.01;
+
+/// `hosking.vtrend` watermark: the Durbin–Levinson innovation variance is
+/// considered flat once its relative per-chunk decrease falls below this.
+pub const VTREND_TARGET: f64 = 1e-4;
+
+/// Streaming aggregated-variance Hurst estimator.
+///
+/// Maintains sample variance at two scales — individual samples and
+/// averages over blocks of `m` — in O(1) time and memory per sample. For
+/// fractional Gaussian noise the block means scale as
+/// `Var(X̄_m) = m^{2H−2}·Var(X)`, so
+///
+/// ```text
+/// Ĥ = 1 + log(Var_m / Var_1) / (2·log m)
+/// ```
+///
+/// This is the aggregated-variance method of §3.2 restated as an online
+/// computation: no buffering, usable from inside the generation loop.
+#[derive(Debug, Clone)]
+pub struct RunningHurst {
+    m: usize,
+    n: u64,
+    sum: f64,
+    sum_sq: f64,
+    block_fill: usize,
+    block_sum: f64,
+    blocks: u64,
+    block_mean_sum: f64,
+    block_mean_sum_sq: f64,
+}
+
+impl RunningHurst {
+    /// Estimator aggregating over blocks of `m` samples (`m >= 2`).
+    pub fn new(m: usize) -> Self {
+        Self {
+            m: m.max(2),
+            n: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            block_fill: 0,
+            block_sum: 0.0,
+            blocks: 0,
+            block_mean_sum: 0.0,
+            block_mean_sum_sq: 0.0,
+        }
+    }
+
+    /// Feed one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.block_sum += x;
+        self.block_fill += 1;
+        if self.block_fill == self.m {
+            let mean = self.block_sum / self.m as f64;
+            self.blocks += 1;
+            self.block_mean_sum += mean;
+            self.block_mean_sum_sq += mean * mean;
+            self.block_fill = 0;
+            self.block_sum = 0.0;
+        }
+    }
+
+    /// Samples fed so far.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The current estimate, or `None` until at least two full blocks have
+    /// been seen or while either variance is degenerate.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.blocks < 2 {
+            return None;
+        }
+        let n = self.n as f64;
+        let var1 = (self.sum_sq / n - (self.sum / n).powi(2)).max(0.0);
+        let nb = self.blocks as f64;
+        let varm = (self.block_mean_sum_sq / nb - (self.block_mean_sum / nb).powi(2)).max(0.0);
+        if var1 <= 0.0 || varm <= 0.0 {
+            return None;
+        }
+        Some(1.0 + (varm / var1).ln() / (2.0 * (self.m as f64).ln()))
+    }
+}
 
 /// Convenience: generate `n` samples of a zero-mean unit-variance Gaussian
 /// process with the given ACF using Hosking's exact method.
@@ -1120,5 +1246,42 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.history().len(), 2);
         Ok(())
+    }
+
+    #[test]
+    fn running_hurst_recovers_known_exponents() -> Result<(), Box<dyn std::error::Error>> {
+        // White noise: H ≈ 0.5.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut normal = Normal::new();
+        let mut est = RunningHurst::new(32);
+        assert!(est.is_empty() && est.estimate().is_none());
+        for _ in 0..20_000 {
+            est.push(normal.sample(&mut rng));
+        }
+        assert_eq!(est.len(), 20_000);
+        let h = est.estimate().ok_or("estimate available")?;
+        assert!((h - 0.5).abs() < 0.08, "white noise H ≈ 0.5, got {h}");
+
+        // Persistent FGN: the estimate must move decisively toward H = 0.9.
+        let path = HoskingSampler::new(FgnAcf::new(0.9)?)?.generate(8192, &mut rng)?;
+        let mut est = RunningHurst::new(32);
+        for &x in &path {
+            est.push(x);
+        }
+        let h = est.estimate().ok_or("estimate available")?;
+        assert!((h - 0.9).abs() < 0.12, "FGN H = 0.9, got {h}");
+        Ok(())
+    }
+
+    #[test]
+    fn running_hurst_needs_two_blocks_and_nonzero_variance() {
+        let mut est = RunningHurst::new(4);
+        for _ in 0..7 {
+            est.push(1.0);
+        }
+        // One full block only, then constant data: no estimate either way.
+        assert!(est.estimate().is_none());
+        est.push(1.0);
+        assert!(est.estimate().is_none(), "zero variance is degenerate");
     }
 }

@@ -1,0 +1,53 @@
+//! Integration test (own process: it installs the global sink) for the
+//! Hosking generation telemetry: per-chunk progress points carry a running
+//! Hurst estimate, the convergence watermarks fire, and none of it
+//! consumes randomness.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use svbr_lrd::acf::FgnAcf;
+use svbr_lrd::hosking::{HoskingSampler, PROGRESS_CHUNK};
+
+#[test]
+fn generate_emits_running_hurst_and_watermarks() {
+    let sink = Arc::new(svbr_obsv::MemorySink::new());
+    svbr_obsv::install(sink.clone());
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 3 * PROGRESS_CHUNK;
+    let traced = HoskingSampler::new(FgnAcf::new(0.8).expect("valid H"))
+        .expect("sampler")
+        .generate(n, &mut rng)
+        .expect("generate");
+    svbr_obsv::uninstall();
+
+    let progress = sink.events_named("hosking.progress");
+    assert_eq!(progress.len(), 3);
+    for p in &progress {
+        let h = p.field("running_hurst").expect("running_hurst field");
+        assert!((0.0..1.5).contains(&h), "plausible running H, got {h}");
+        let v = p.field("innovation_variance").expect("variance field");
+        assert!(v > 0.0 && v <= 1.0);
+    }
+
+    // The innovation variance of FGN is flat after thousands of steps, so
+    // the trend watermark must have fired at a chunk boundary and recorded
+    // the crossing both as a point and as a gauge.
+    let vtrend = sink.events_named("hosking.vtrend.converged");
+    assert_eq!(vtrend.len(), 1, "vtrend watermark fires exactly once");
+    let at = vtrend[0].field("at").expect("crossing index");
+    assert!(at >= (2 * PROGRESS_CHUNK) as f64 && at <= n as f64);
+    assert_eq!(
+        svbr_obsv::snapshot().gauge("hosking.vtrend.converged_at"),
+        Some(at)
+    );
+
+    // Instrumentation never consumes randomness: the same seed without a
+    // sink produces the identical path.
+    let mut rng = StdRng::seed_from_u64(3);
+    let untraced = HoskingSampler::new(FgnAcf::new(0.8).expect("valid H"))
+        .expect("sampler")
+        .generate(n, &mut rng)
+        .expect("generate");
+    assert_eq!(traced, untraced);
+}

@@ -13,8 +13,15 @@ pub enum Event {
     Span {
         /// Span name, e.g. `"hosking.generate"`.
         name: String,
+        /// Start time, microseconds since the process epoch
+        /// ([`crate::clock::now_us`]). 0 in traces from before the
+        /// profiling format (the parser defaults it).
+        start_us: u64,
         /// Wall-clock duration in microseconds (monotonic clock).
         dur_us: u64,
+        /// Ordinal of the emitting thread ([`crate::clock::thread_ordinal`]);
+        /// spans only nest within a thread.
+        tid: u64,
         /// Extra numeric attributes.
         fields: Vec<(String, f64)>,
     },
@@ -56,13 +63,19 @@ impl Event {
         match self {
             Event::Span {
                 name,
+                start_us,
                 dur_us,
+                tid,
                 fields,
             } => {
                 out.push_str("{\"t\":\"span\",\"name\":");
                 push_json_string(&mut out, name);
+                out.push_str(",\"start_us\":");
+                out.push_str(&start_us.to_string());
                 out.push_str(",\"dur_us\":");
                 out.push_str(&dur_us.to_string());
+                out.push_str(",\"tid\":");
+                out.push_str(&tid.to_string());
                 push_fields(&mut out, fields);
             }
             Event::Point { name, fields } => {
@@ -94,9 +107,13 @@ impl Event {
         match kind {
             "span" => {
                 let dur = obj.get("dur_us")?.as_f64()?;
+                // start_us / tid are absent in pre-profiling traces.
+                let get_u64 = |key: &str| obj.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64;
                 Some(Event::Span {
                     name,
+                    start_us: get_u64("start_us"),
                     dur_us: dur as u64,
+                    tid: get_u64("tid"),
                     fields,
                 })
             }
@@ -151,29 +168,41 @@ pub fn push_json_number(out: &mut String, v: f64) {
     }
 }
 
-/// Minimal JSON value for the parser.
+/// Minimal JSON value for the parser. Public so downstream tooling (the
+/// xtask bench-compare gate, the profiler) can read the JSON files this
+/// workspace writes without taking a serde dependency.
 #[derive(Clone, Debug, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
+    /// `null` (numeric readers see it as NaN).
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any JSON number.
     Num(f64),
+    /// A string.
     Str(String),
+    /// An object, insertion-ordered.
     Obj(JsonObj),
+    /// An array.
     Arr(Vec<Json>),
 }
 
+/// An insertion-ordered JSON object.
 #[derive(Clone, Debug, PartialEq, Default)]
-pub(crate) struct JsonObj {
+pub struct JsonObj {
+    /// Key → value pairs in document order.
     pub entries: Vec<(String, Json)>,
 }
 
 impl JsonObj {
+    /// First value stored under `key`.
     pub fn get(&self, key: &str) -> Option<&Json> {
         self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 }
 
 impl Json {
+    /// Numeric view: numbers as themselves, `null` as NaN.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(v) => Some(*v),
@@ -182,6 +211,7 @@ impl Json {
         }
     }
 
+    /// String view.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -189,9 +219,18 @@ impl Json {
         }
     }
 
+    /// Object view.
     pub fn as_object(&self) -> Option<&JsonObj> {
         match self {
             Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
             _ => None,
         }
     }
@@ -199,7 +238,7 @@ impl Json {
 
 /// Parse a complete JSON document; `None` on any syntax error or trailing
 /// garbage.
-pub(crate) fn parse_json(input: &str) -> Option<Json> {
+pub fn parse_json(input: &str) -> Option<Json> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,

@@ -30,18 +30,22 @@
 
 #![forbid(unsafe_code)]
 
+pub mod clock;
 pub mod event;
 pub mod manifest;
 pub mod metrics;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod watermark;
 
+pub use clock::{now_us, thread_ordinal, Stopwatch};
 pub use event::Event;
 pub use manifest::RunManifest;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
 pub use span::Span;
+pub use watermark::Watermark;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, PoisonError, RwLock};
@@ -141,6 +145,14 @@ pub fn snapshot() -> Snapshot {
     registry().snapshot()
 }
 
+/// Serialize tests that install/uninstall the process-wide sink, so a
+/// concurrent test cannot tear down another test's sink mid-assertion.
+#[cfg(test)]
+pub(crate) fn global_sink_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,7 +220,9 @@ mod tests {
         let events = vec![
             Event::Span {
                 name: "hosking.generate".to_string(),
+                start_us: 1_000,
                 dur_us: 12_345,
+                tid: 3,
                 fields: vec![("n".to_string(), 4096.0), ("v".to_string(), 0.8125)],
             },
             Event::Point {
@@ -266,6 +280,7 @@ mod tests {
 
     #[test]
     fn global_sink_span_and_point() {
+        let _guard = global_sink_lock();
         let sink = Arc::new(MemorySink::new());
         install(sink.clone());
         assert!(enabled());
@@ -353,6 +368,64 @@ mod tests {
         assert_eq!(counters.get("c.events").and_then(|v| v.as_f64()), Some(5.0));
         // In this git checkout a revision should resolve.
         assert!(obj.get("git_revision").is_some());
+    }
+
+    #[test]
+    fn span_lines_without_profiling_keys_still_parse() {
+        // Traces written before start_us/tid existed must keep parsing,
+        // with both defaulted to 0.
+        let legacy = r#"{"t":"span","name":"a","dur_us":100,"fields":{"n":8.0}}"#;
+        match Event::parse(legacy) {
+            Some(Event::Span {
+                name,
+                start_us,
+                dur_us,
+                tid,
+                fields,
+            }) => {
+                assert_eq!(name, "a");
+                assert_eq!((start_us, dur_us, tid), (0, 100, 0));
+                assert_eq!(fields, vec![("n".to_string(), 8.0)]);
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_non_finite_fields() {
+        let path = std::env::temp_dir().join("svbr_obsv_non_finite.jsonl");
+        let sink = JsonlSink::create(&path).expect("create sink");
+        let before = counter("obsv.non_finite").get();
+        sink.record(&Event::Point {
+            name: "bad".to_string(),
+            fields: vec![
+                ("nan".to_string(), f64::NAN),
+                ("inf".to_string(), f64::INFINITY),
+                ("ok".to_string(), 1.5),
+            ],
+        });
+        sink.record(&Event::Point {
+            name: "fine".to_string(),
+            fields: vec![("x".to_string(), 2.0)],
+        });
+        sink.flush();
+        assert_eq!(counter("obsv.non_finite").get() - before, 2);
+        // Every written line must still be valid JSON: the non-finite
+        // values are emitted as null, never as bare NaN/inf tokens.
+        let text = std::fs::read_to_string(&path).expect("read trace");
+        for line in text.lines() {
+            let v = event::parse_json(line).expect("line is valid json");
+            assert!(v.as_object().is_some());
+            // Value positions hold null, never bare NaN/inf tokens.
+            assert!(!line.contains(":NaN") && !line.contains(":inf"));
+            assert_eq!(line.contains("nan"), line.contains(":null"));
+        }
+        let bad = text.lines().next().expect("first line");
+        let parsed = Event::parse(bad).expect("parses as event");
+        assert!(parsed.field("nan").is_some_and(f64::is_nan));
+        assert!(parsed.field("inf").is_some_and(f64::is_nan));
+        assert_eq!(parsed.field("ok"), Some(1.5));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

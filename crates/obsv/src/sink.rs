@@ -73,6 +73,7 @@ impl Sink for MemorySink {
 /// Writes one JSON object per line to a buffered file.
 pub struct JsonlSink {
     writer: Mutex<std::io::BufWriter<std::fs::File>>,
+    non_finite: crate::Counter,
 }
 
 impl JsonlSink {
@@ -86,12 +87,24 @@ impl JsonlSink {
         let file = std::fs::File::create(path)?;
         Ok(Self {
             writer: Mutex::new(std::io::BufWriter::new(file)),
+            non_finite: crate::counter("obsv.non_finite"),
         })
     }
 }
 
 impl Sink for JsonlSink {
     fn record(&self, event: &Event) {
+        // Non-finite field values serialize as `null` (valid JSON, parsed
+        // back as NaN); count them so a silently degenerate metric — a NaN
+        // Hurst estimate, an Inf CI — is visible in the final snapshot.
+        let non_finite = event
+            .fields()
+            .iter()
+            .filter(|(_, v)| !v.is_finite())
+            .count();
+        if non_finite > 0 {
+            self.non_finite.add(non_finite as u64);
+        }
         let line = event.to_jsonl();
         let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         // Trace output is best-effort: a full disk must not abort the run.

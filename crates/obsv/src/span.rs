@@ -1,17 +1,21 @@
-//! Lightweight timed spans over the monotonic clock.
+//! Lightweight timed spans over the process-wide monotonic clock.
 
+use crate::clock;
 use crate::event::Event;
-use std::time::Instant;
 
 /// A timed region. Created by [`crate::span`]; emits a [`Event::Span`] to
 /// the installed sink when dropped (or explicitly [`Span::end`]ed).
+///
+/// Live spans record their start timestamp (µs since the process epoch)
+/// and the emitting thread's ordinal, so the profiler can rebuild
+/// per-thread span trees from a flat trace.
 ///
 /// When tracing is disabled at creation time the span is inert: no clock
 /// read, no allocation, and nothing is emitted on drop.
 #[derive(Debug)]
 pub struct Span {
     name: &'static str,
-    start: Option<Instant>,
+    start_us: Option<u64>,
     fields: Vec<(String, f64)>,
 }
 
@@ -19,14 +23,14 @@ impl Span {
     pub(crate) fn start(name: &'static str, enabled: bool) -> Self {
         Self {
             name,
-            start: enabled.then(Instant::now),
+            start_us: enabled.then(clock::now_us),
             fields: Vec::new(),
         }
     }
 
     /// Attach a numeric field (no-op when the span is inert).
     pub fn field(&mut self, key: &str, value: f64) -> &mut Self {
-        if self.start.is_some() {
+        if self.start_us.is_some() {
             self.fields.push((key.to_string(), value));
         }
         self
@@ -34,12 +38,13 @@ impl Span {
 
     /// Whether the span is live (tracing was enabled when it was created).
     pub fn is_live(&self) -> bool {
-        self.start.is_some()
+        self.start_us.is_some()
     }
 
     /// Seconds elapsed since the span started (0 when inert).
     pub fn elapsed_secs(&self) -> f64 {
-        self.start.map_or(0.0, |t| t.elapsed().as_secs_f64())
+        self.start_us
+            .map_or(0.0, |t| clock::now_us().saturating_sub(t) as f64 / 1e6)
     }
 
     /// Finish the span now, emitting it to the sink.
@@ -50,11 +55,13 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(start) = self.start.take() {
-            let dur_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        if let Some(start_us) = self.start_us.take() {
+            let dur_us = clock::now_us().saturating_sub(start_us);
             crate::emit(Event::Span {
                 name: self.name.to_string(),
+                start_us,
                 dur_us,
+                tid: clock::thread_ordinal(),
                 fields: std::mem::take(&mut self.fields),
             });
         }

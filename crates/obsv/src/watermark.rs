@@ -1,0 +1,136 @@
+//! Convergence watermarks: record *when* a streamed quantity first crossed
+//! its target, not just its final value.
+//!
+//! A hot loop declares a watermark up front (`Watermark::below("is.rel_hw",
+//! 0.05)`), then feeds it one `(index, value)` pair per observation. The
+//! first time the value crosses the target the watermark emits a
+//! `<name>.converged` point carrying the crossing index and value, and sets
+//! a `<name>.converged_at` gauge so the crossing survives into manifests.
+//! Every later observation is a single branch — cheap enough for
+//! per-replication loops.
+
+use crate::metrics::Gauge;
+
+/// Which side of the target counts as converged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Converged once `value <= target` (errors, CI half-widths).
+    Below,
+    /// Converged once `value >= target` (ESS, sample counts).
+    Above,
+}
+
+/// Streaming first-crossing detector for one named quantity.
+#[derive(Debug)]
+pub struct Watermark {
+    name: String,
+    target: f64,
+    direction: Direction,
+    crossed: Option<(u64, f64)>,
+    gauge: Gauge,
+}
+
+impl Watermark {
+    /// Watermark that fires once the value drops to `target` or below.
+    pub fn below(name: &str, target: f64) -> Self {
+        Self::new(name, target, Direction::Below)
+    }
+
+    /// Watermark that fires once the value rises to `target` or above.
+    pub fn above(name: &str, target: f64) -> Self {
+        Self::new(name, target, Direction::Above)
+    }
+
+    fn new(name: &str, target: f64, direction: Direction) -> Self {
+        Self {
+            name: name.to_string(),
+            target,
+            direction,
+            crossed: None,
+            gauge: crate::gauge(&format!("{name}.converged_at")),
+        }
+    }
+
+    /// The declared target.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Feed one observation; `index` is the caller's sample index or
+    /// iteration number. Returns `true` exactly once, on the first
+    /// crossing. NaN values never cross.
+    pub fn observe(&mut self, index: u64, value: f64) -> bool {
+        if self.crossed.is_some() {
+            return false;
+        }
+        let hit = match self.direction {
+            Direction::Below => value <= self.target,
+            Direction::Above => value >= self.target,
+        };
+        if !hit || value.is_nan() {
+            return false;
+        }
+        self.crossed = Some((index, value));
+        self.gauge.set(index as f64);
+        crate::point(
+            &format!("{}.converged", self.name),
+            &[
+                ("at", index as f64),
+                ("value", value),
+                ("target", self.target),
+            ],
+        );
+        true
+    }
+
+    /// The index of the first crossing, if it happened.
+    pub fn crossed_at(&self) -> Option<u64> {
+        self.crossed.map(|(i, _)| i)
+    }
+
+    /// The value at the first crossing, if it happened.
+    pub fn crossed_value(&self) -> Option<f64> {
+        self.crossed.map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySink;
+    use std::sync::Arc;
+
+    #[test]
+    fn below_watermark_fires_once_at_first_crossing() {
+        let _guard = crate::global_sink_lock();
+        let sink = Arc::new(MemorySink::new());
+        crate::install(sink.clone());
+        let mut w = Watermark::below("test.wm.err", 0.1);
+        assert!(!w.observe(0, 0.5));
+        assert!(!w.observe(1, 0.2));
+        assert!(w.observe(2, 0.07), "first crossing fires");
+        assert!(!w.observe(3, 0.01), "later crossings are silent");
+        assert_eq!(w.crossed_at(), Some(2));
+        assert_eq!(w.crossed_value(), Some(0.07));
+        let pts = sink.events_named("test.wm.err.converged");
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].field("at"), Some(2.0));
+        assert_eq!(pts[0].field("value"), Some(0.07));
+        assert_eq!(pts[0].field("target"), Some(0.1));
+        assert_eq!(
+            crate::snapshot().gauge("test.wm.err.converged_at"),
+            Some(2.0)
+        );
+        crate::uninstall();
+    }
+
+    #[test]
+    fn above_watermark_and_nan_handling() {
+        let mut w = Watermark::above("test.wm.ess", 100.0);
+        assert!(!w.observe(0, 50.0));
+        assert!(!w.observe(1, f64::NAN), "NaN never crosses");
+        assert!(w.observe(2, 100.0), "target itself counts");
+        assert_eq!(w.crossed_at(), Some(2));
+        assert_eq!(w.target(), 100.0);
+    }
+}

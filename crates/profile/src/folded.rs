@@ -1,0 +1,114 @@
+//! Flamegraph folded-stack export.
+//!
+//! The folded format is one line per unique call path:
+//! `root;child;leaf <self_us>` — exactly what `flamegraph.pl` /
+//! `inferno-flamegraph` consume. Weights are self times in microseconds,
+//! so the flame widths sum to profiled wall time without double counting.
+
+use crate::tree::SpanForest;
+
+/// Render the forest as folded stacks. Zero-weight paths are skipped
+/// (they would be invisible in the flame graph); frame names have `;` and
+/// whitespace replaced by `_` to keep the format unambiguous. Lines are
+/// ordered by descending weight, then path.
+pub fn to_folded(forest: &SpanForest) -> String {
+    let mut out = String::new();
+    for stats in forest.aggregate() {
+        if stats.self_us == 0 {
+            continue;
+        }
+        let path: Vec<String> = stats.path.iter().map(|f| sanitize(f)).collect();
+        out.push_str(&path.join(";"));
+        out.push(' ');
+        out.push_str(&stats.self_us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn sanitize(frame: &str) -> String {
+    frame
+        .chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Parse folded-stack text back into `(path, weight)` pairs. Returns
+/// `None` if any non-empty line is malformed (no weight, empty frame).
+pub fn parse_folded(text: &str) -> Option<Vec<(Vec<String>, u64)>> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, weight) = line.rsplit_once(' ')?;
+        let weight: u64 = weight.parse().ok()?;
+        let frames: Vec<String> = stack.split(';').map(str::to_string).collect();
+        if frames.iter().any(String::is_empty) {
+            return None;
+        }
+        out.push((frames, weight));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svbr_obsv::Event;
+
+    fn span(name: &str, start_us: u64, dur_us: u64) -> Event {
+        Event::Span {
+            name: name.to_string(),
+            start_us,
+            dur_us,
+            tid: 0,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn folded_output_roundtrips() {
+        let events = vec![
+            span("hosking.generate", 10, 50),
+            span("queue.sim", 70, 20),
+            span("repro.obsv", 0, 100),
+        ];
+        let f = crate::tree::SpanForest::from_events(&events);
+        let folded = to_folded(&f);
+        let parsed = parse_folded(&folded).expect("well-formed folded output");
+        assert_eq!(
+            parsed,
+            vec![
+                (
+                    vec!["repro.obsv".to_string(), "hosking.generate".to_string()],
+                    50
+                ),
+                (vec!["repro.obsv".to_string()], 30),
+                (vec!["repro.obsv".to_string(), "queue.sim".to_string()], 20),
+            ]
+        );
+        // Total weight equals profiled wall time.
+        let total: u64 = parsed.iter().map(|(_, w)| w).sum();
+        assert_eq!(total, f.root_total_us());
+    }
+
+    #[test]
+    fn frame_names_are_sanitized_and_bad_lines_rejected() {
+        let events = vec![span("has space;and;semis", 0, 10)];
+        let f = crate::tree::SpanForest::from_events(&events);
+        let folded = to_folded(&f);
+        assert_eq!(folded, "has_space_and_semis 10\n");
+        assert!(parse_folded("stack 12\n").is_some());
+        assert!(parse_folded("no-weight\n").is_none());
+        assert!(parse_folded("stack notanumber\n").is_none());
+        assert!(parse_folded("a;;b 3\n").is_none());
+    }
+}

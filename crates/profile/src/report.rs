@@ -1,0 +1,119 @@
+//! Plain-text profile rendering: top-N hot paths and the critical path.
+
+use crate::tree::SpanForest;
+
+/// Render the top-`n` hot paths by self time, one row per unique
+/// root-to-node path, followed by the critical path. Deterministic for a
+/// given forest.
+pub fn render(forest: &SpanForest, n: usize) -> String {
+    let mut out = String::new();
+    let agg = forest.aggregate();
+    let root_total = forest.root_total_us();
+    if agg.is_empty() {
+        out.push_str("(no spans)\n");
+        return out;
+    }
+    out.push_str(&format!("hot paths (top {n} by self time):\n"));
+    out.push_str(&format!(
+        "  {:<52} {:>6} {:>10} {:>10} {:>6}\n",
+        "path", "count", "self_ms", "total_ms", "self%"
+    ));
+    for stats in agg.iter().take(n) {
+        let pct = if root_total > 0 {
+            stats.self_us as f64 * 100.0 / root_total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:<52} {:>6} {:>10.3} {:>10.3} {:>5.1}%\n",
+            abbreviate(&stats.path),
+            stats.count,
+            stats.self_us as f64 / 1000.0,
+            stats.total_us as f64 / 1000.0,
+            pct,
+        ));
+    }
+    let critical = forest.critical_path();
+    if !critical.is_empty() {
+        out.push_str("critical path:\n");
+        for (depth, &idx) in critical.iter().enumerate() {
+            let node = &forest.nodes()[idx];
+            out.push_str(&format!(
+                "  {:indent$}{} {:.3} ms (self {:.3} ms)\n",
+                "",
+                node.name,
+                node.dur_us as f64 / 1000.0,
+                forest.self_us(idx) as f64 / 1000.0,
+                indent = depth * 2,
+            ));
+        }
+    }
+    out
+}
+
+/// `a;b;c;d;e` → `a;…;d;e` when the joined path would overflow the column.
+fn abbreviate(path: &[String]) -> String {
+    const WIDTH: usize = 52;
+    let full = path.join(";");
+    if full.chars().count() <= WIDTH || path.len() <= 2 {
+        return full;
+    }
+    // Keep the first frame and the longest tail that fits.
+    for tail_from in 1..path.len() - 1 {
+        let candidate = format!("{};…;{}", path[0], path[tail_from..].join(";"));
+        if candidate.chars().count() <= WIDTH {
+            return candidate;
+        }
+    }
+    format!("{};…;{}", path[0], path[path.len() - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svbr_obsv::Event;
+
+    fn span(name: &str, start_us: u64, dur_us: u64) -> Event {
+        Event::Span {
+            name: name.to_string(),
+            start_us,
+            dur_us,
+            tid: 0,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn render_lists_hot_paths_and_critical_path() {
+        let events = vec![
+            span("hosking.generate", 10, 60),
+            span("queue.sim", 80, 10),
+            span("repro.obsv", 0, 100),
+        ];
+        let f = SpanForest::from_events(&events);
+        let text = render(&f, 10);
+        assert!(text.contains("hot paths (top 10 by self time):"));
+        assert!(text.contains("repro.obsv;hosking.generate"));
+        assert!(text.contains("critical path:"));
+        assert!(text.contains("repro.obsv 0.100 ms") || text.contains("repro.obsv"));
+        // Hot-path rows are ordered by self time: generate (60) first.
+        let gen = text.find("repro.obsv;hosking.generate").expect("row");
+        let root_row = text.find("repro.obsv ").expect("root row");
+        assert!(gen < root_row || text.find("  repro.obsv ").is_some());
+        // Empty forest renders the placeholder.
+        let empty = SpanForest::from_events(&[]);
+        assert_eq!(render(&empty, 5), "(no spans)\n");
+    }
+
+    #[test]
+    fn long_paths_are_abbreviated() {
+        let path: Vec<String> = (0..12).map(|i| format!("frame_number_{i:02}")).collect();
+        let short = abbreviate(&path[..2]);
+        assert_eq!(short, "frame_number_00;frame_number_01");
+        let long = abbreviate(&path);
+        assert!(long.len() <= 60, "abbreviated form stays near the column");
+        assert!(long.contains('…'));
+        assert!(long.starts_with("frame_number_00;"));
+        assert!(long.ends_with("frame_number_11"));
+    }
+}

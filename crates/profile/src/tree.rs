@@ -1,0 +1,319 @@
+//! Span-tree reconstruction from a flat obsv event stream.
+//!
+//! Spans are emitted on drop, so a trace is ordered by *end* time and a
+//! parent's record arrives after all of its children. Each record carries
+//! its start timestamp (µs since the process epoch) and the ordinal of the
+//! emitting thread, which is enough to rebuild the call forest: within one
+//! thread, span intervals either nest or are disjoint, so sorting by
+//! `(start asc, end desc, arrival desc)` visits every parent immediately
+//! before its children and a single stack sweep recovers the tree. Spans
+//! from different threads never link.
+
+use svbr_obsv::Event;
+
+/// One reconstructed span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Emitting thread's ordinal.
+    pub tid: u64,
+    /// Start, µs since process epoch.
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Indices of direct children in [`SpanForest::nodes`], in start order.
+    pub children: Vec<usize>,
+}
+
+impl SpanNode {
+    /// End timestamp, µs since process epoch (saturating).
+    pub fn end_us(&self) -> u64 {
+        self.start_us.saturating_add(self.dur_us)
+    }
+}
+
+/// Aggregated statistics for one root-to-node path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathStats {
+    /// Span names from root to node.
+    pub path: Vec<String>,
+    /// Occurrences of this exact path.
+    pub count: u64,
+    /// Total time (sum of durations), µs.
+    pub total_us: u64,
+    /// Self time (durations minus child durations), µs.
+    pub self_us: u64,
+}
+
+/// The reconstructed call forest of one trace.
+#[derive(Clone, Debug, Default)]
+pub struct SpanForest {
+    nodes: Vec<SpanNode>,
+    roots: Vec<usize>,
+}
+
+impl SpanForest {
+    /// Rebuild the forest from parsed events (arrival order preserved);
+    /// non-span events are ignored.
+    pub fn from_events(events: &[Event]) -> Self {
+        struct Rec {
+            name: String,
+            tid: u64,
+            start: u64,
+            end: u64,
+            dur: u64,
+            arrival: usize,
+        }
+        let mut recs: Vec<Rec> = events
+            .iter()
+            .enumerate()
+            .filter_map(|(arrival, e)| match e {
+                Event::Span {
+                    name,
+                    start_us,
+                    dur_us,
+                    tid,
+                    ..
+                } => Some(Rec {
+                    name: name.clone(),
+                    tid: *tid,
+                    start: *start_us,
+                    end: start_us.saturating_add(*dur_us),
+                    dur: *dur_us,
+                    arrival,
+                }),
+                Event::Point { .. } => None,
+            })
+            .collect();
+        // Within a thread: parents sort before children (earlier start, or
+        // same start with later end, or — for identical intervals — later
+        // arrival, since a parent drops after its children).
+        recs.sort_by(|a, b| {
+            a.tid
+                .cmp(&b.tid)
+                .then(a.start.cmp(&b.start))
+                .then(b.end.cmp(&a.end))
+                .then(b.arrival.cmp(&a.arrival))
+        });
+
+        let mut forest = SpanForest {
+            nodes: Vec::with_capacity(recs.len()),
+            roots: Vec::new(),
+        };
+        let mut stack: Vec<usize> = Vec::new();
+        let mut current_tid: Option<u64> = None;
+        for rec in recs {
+            if current_tid != Some(rec.tid) {
+                stack.clear();
+                current_tid = Some(rec.tid);
+            }
+            while let Some(&top) = stack.last() {
+                let t = &forest.nodes[top];
+                if rec.start >= t.start_us && rec.end <= t.end_us() {
+                    break;
+                }
+                stack.pop();
+            }
+            let idx = forest.nodes.len();
+            forest.nodes.push(SpanNode {
+                name: rec.name,
+                tid: rec.tid,
+                start_us: rec.start,
+                dur_us: rec.dur,
+                children: Vec::new(),
+            });
+            match stack.last() {
+                Some(&parent) => forest.nodes[parent].children.push(idx),
+                None => forest.roots.push(idx),
+            }
+            stack.push(idx);
+        }
+        forest
+    }
+
+    /// All nodes, indexable by the ids in `children` / `roots`.
+    pub fn nodes(&self) -> &[SpanNode] {
+        &self.nodes
+    }
+
+    /// Indices of root spans (no enclosing span on their thread).
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Self time of a node: its duration minus the time covered by its
+    /// direct children, clamped at 0 (clock granularity can make child
+    /// durations sum past the parent by a few µs).
+    pub fn self_us(&self, idx: usize) -> u64 {
+        let Some(node) = self.nodes.get(idx) else {
+            return 0;
+        };
+        let child_total: u64 = node
+            .children
+            .iter()
+            .filter_map(|&c| self.nodes.get(c))
+            .map(|c| c.dur_us)
+            .sum();
+        node.dur_us.saturating_sub(child_total)
+    }
+
+    /// Total duration of all roots, µs — the profiled share of wall time.
+    pub fn root_total_us(&self) -> u64 {
+        self.roots
+            .iter()
+            .filter_map(|&r| self.nodes.get(r))
+            .map(|r| r.dur_us)
+            .sum()
+    }
+
+    /// The critical path: starting from the longest root, repeatedly
+    /// descend into the longest child. Returns node indices, root first.
+    pub fn critical_path(&self) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut cursor = self
+            .roots
+            .iter()
+            .copied()
+            .max_by_key(|&r| self.nodes.get(r).map_or(0, |n| n.dur_us));
+        while let Some(idx) = cursor {
+            path.push(idx);
+            cursor = self.nodes.get(idx).and_then(|n| {
+                n.children
+                    .iter()
+                    .copied()
+                    .max_by_key(|&c| self.nodes.get(c).map_or(0, |n| n.dur_us))
+            });
+        }
+        path
+    }
+
+    /// Aggregate by root-to-node name path (threads with identical call
+    /// paths merge). Sorted by descending self time, then path.
+    pub fn aggregate(&self) -> Vec<PathStats> {
+        use std::collections::BTreeMap;
+        let mut agg: BTreeMap<Vec<String>, (u64, u64, u64)> = BTreeMap::new();
+        // Iterative DFS carrying the name path.
+        let mut work: Vec<(usize, Vec<String>)> =
+            self.roots.iter().map(|&r| (r, Vec::new())).collect();
+        while let Some((idx, mut path)) = work.pop() {
+            let Some(node) = self.nodes.get(idx) else {
+                continue;
+            };
+            path.push(node.name.clone());
+            let entry = agg.entry(path.clone()).or_insert((0, 0, 0));
+            entry.0 += 1;
+            entry.1 += node.dur_us;
+            entry.2 += self.self_us(idx);
+            for &c in &node.children {
+                work.push((c, path.clone()));
+            }
+        }
+        let mut out: Vec<PathStats> = agg
+            .into_iter()
+            .map(|(path, (count, total_us, self_us))| PathStats {
+                path,
+                count,
+                total_us,
+                self_us,
+            })
+            .collect();
+        out.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.path.cmp(&b.path)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, tid: u64, start_us: u64, dur_us: u64) -> Event {
+        Event::Span {
+            name: name.to_string(),
+            start_us,
+            dur_us,
+            tid,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn nested_spans_rebuild_a_tree() {
+        // Emission order is end order: leaf, inner, root.
+        let events = vec![
+            span("leaf", 0, 20, 10),
+            span("inner", 0, 10, 40),
+            span("tail", 0, 60, 20),
+            span("root", 0, 0, 100),
+        ];
+        let f = SpanForest::from_events(&events);
+        assert_eq!(f.roots().len(), 1);
+        let root = &f.nodes()[f.roots()[0]];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.children.len(), 2);
+        let inner = &f.nodes()[root.children[0]];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.children.len(), 1);
+        assert_eq!(f.nodes()[inner.children[0]].name, "leaf");
+        assert_eq!(f.nodes()[root.children[1]].name, "tail");
+        // Self times: root 100-(40+20)=40, inner 40-10=30.
+        assert_eq!(f.self_us(f.roots()[0]), 40);
+        assert_eq!(f.self_us(root.children[0]), 30);
+        assert_eq!(f.root_total_us(), 100);
+    }
+
+    #[test]
+    fn threads_never_cross_link() {
+        // Thread 1's span falls inside thread 0's span timewise but must
+        // stay a separate root.
+        let events = vec![span("worker", 1, 10, 20), span("main", 0, 0, 100)];
+        let f = SpanForest::from_events(&events);
+        assert_eq!(f.roots().len(), 2);
+        let names: Vec<&str> = f
+            .roots()
+            .iter()
+            .map(|&r| f.nodes()[r].name.as_str())
+            .collect();
+        assert!(names.contains(&"main") && names.contains(&"worker"));
+        assert_eq!(f.root_total_us(), 120);
+    }
+
+    #[test]
+    fn critical_path_follows_longest_children() {
+        let events = vec![
+            span("short", 0, 10, 5),
+            span("long", 0, 20, 60),
+            span("long.leaf", 0, 30, 40),
+            span("root", 0, 0, 100),
+            span("other_root", 0, 200, 10),
+        ];
+        let f = SpanForest::from_events(&events);
+        let path: Vec<&str> = f
+            .critical_path()
+            .iter()
+            .map(|&i| f.nodes()[i].name.as_str())
+            .collect();
+        assert_eq!(path, vec!["root", "long", "long.leaf"]);
+    }
+
+    #[test]
+    fn aggregate_merges_repeated_paths() {
+        let events = vec![
+            span("work", 0, 10, 20),
+            span("work", 0, 40, 30),
+            span("root", 0, 0, 100),
+        ];
+        let f = SpanForest::from_events(&events);
+        let agg = f.aggregate();
+        let work = agg
+            .iter()
+            .find(|p| p.path == vec!["root".to_string(), "work".to_string()])
+            .expect("aggregated path");
+        assert_eq!((work.count, work.total_us, work.self_us), (2, 50, 50));
+        let root = agg
+            .iter()
+            .find(|p| p.path == vec!["root".to_string()])
+            .expect("root path");
+        assert_eq!((root.count, root.total_us, root.self_us), (1, 100, 50));
+    }
+}

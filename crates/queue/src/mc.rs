@@ -15,6 +15,16 @@
 use crate::lindley::{first_passage_slot, validate_arrivals, LindleyQueue, QueueStats};
 use crate::QueueError;
 
+/// Replication interval between streaming-telemetry emissions in
+/// [`estimate_overflow`] (a final emission always lands on the last
+/// replication, so short runs still report once).
+pub const PROGRESS_CHUNK: usize = 512;
+
+/// Overflow-probability 95% CI half-width at which the
+/// `queue.mc.ci_half_width` convergence watermark fires — an absolute
+/// ±0.01 on `Pr(Q_k > b)`, the resolution of the paper's Fig. 16 curves.
+pub const CI_TARGET: f64 = 0.01;
+
 /// A Monte-Carlo estimate with its sampling error.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McEstimate {
@@ -87,6 +97,11 @@ where
         });
     }
     let mut hits = 0usize;
+    // Streaming convergence telemetry: the running CI half-width of the
+    // overflow probability, with a watermark recording when it first drops
+    // to the declared target. Gated so untraced runs pay nothing.
+    let mut telemetry = svbr_obsv::enabled()
+        .then(|| svbr_obsv::Watermark::below("queue.mc.ci_half_width", CI_TARGET));
     for rep in 0..n_reps {
         let path = make_path(rep);
         if path.len() < horizon {
@@ -99,6 +114,21 @@ where
         if first_passage_slot(&path[..horizon], service, b).is_some() {
             hits += 1;
         }
+        let Some(wm) = telemetry.as_mut() else {
+            continue;
+        };
+        let done = rep + 1;
+        if !done.is_multiple_of(PROGRESS_CHUNK) && done != n_reps {
+            continue;
+        }
+        let p_run = hits as f64 / done as f64;
+        let half = 1.96 * (p_run * (1.0 - p_run) / done as f64).sqrt();
+        svbr_obsv::gauge("queue.mc.ci_half_width").set(half);
+        svbr_obsv::point(
+            "queue.mc.progress",
+            &[("n", done as f64), ("p", p_run), ("ci_half_width", half)],
+        );
+        wm.observe(done as u64, half);
     }
     svbr_obsv::counter("queue.mc.replications").add(n_reps as u64);
     svbr_obsv::counter("queue.overflows").add(hits as u64);

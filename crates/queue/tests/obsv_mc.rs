@@ -1,0 +1,64 @@
+//! Integration test (own process: it installs the global sink) for the
+//! Monte-Carlo overflow estimator's streaming telemetry: the running CI
+//! half-width is streamed per chunk and its convergence watermark records
+//! when the declared precision was first reached.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use svbr_queue::mc::{estimate_overflow, CI_TARGET, PROGRESS_CHUNK};
+
+#[test]
+fn estimate_overflow_streams_ci_half_width_watermark() {
+    let sink = Arc::new(svbr_obsv::MemorySink::new());
+    svbr_obsv::install(sink.clone());
+
+    // Phase 1: a noisy geometric-walk system whose CI half-width stays
+    // above the watermark target at these replication counts — progress
+    // points stream, but no convergence is declared.
+    let mut rng = StdRng::seed_from_u64(5);
+    let n1 = PROGRESS_CHUNK + 88;
+    let noisy = estimate_overflow(
+        |_| {
+            (0..60)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < 0.4 {
+                        2.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        },
+        n1,
+        60,
+        1.0,
+        2.0,
+    )
+    .expect("estimate");
+    let progress = sink.events_named("queue.mc.progress");
+    assert_eq!(progress.len(), 2);
+    assert_eq!(progress[0].field("n"), Some(PROGRESS_CHUNK as f64));
+    assert_eq!(progress[1].field("n"), Some(n1 as f64));
+    let final_half = progress[1].field("ci_half_width").expect("ci field");
+    assert!((final_half - 1.96 * noisy.std_err()).abs() < 1e-12);
+    assert!(final_half > CI_TARGET, "fixture must not converge yet");
+    assert!(sink
+        .events_named("queue.mc.ci_half_width.converged")
+        .is_empty());
+
+    // Phase 2: a certain-overflow system has zero estimator variance, so
+    // the (fresh, per-call) watermark crosses at the first emission — here
+    // the final-replication one, since n < PROGRESS_CHUNK.
+    let certain = estimate_overflow(|_| vec![10.0; 10], 4, 10, 1.0, 5.0).expect("estimate");
+    assert_eq!(certain.p, 1.0);
+    let crossed = sink.events_named("queue.mc.ci_half_width.converged");
+    assert_eq!(crossed.len(), 1, "watermark fires exactly once");
+    assert_eq!(crossed[0].field("at"), Some(4.0));
+    assert_eq!(crossed[0].field("value"), Some(0.0));
+    assert_eq!(
+        svbr_obsv::snapshot().gauge("queue.mc.ci_half_width.converged_at"),
+        Some(4.0)
+    );
+    svbr_obsv::uninstall();
+}

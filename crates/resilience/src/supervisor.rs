@@ -10,7 +10,8 @@
 
 use crate::record_event;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+use svbr_obsv::Stopwatch;
 
 /// What a single failed attempt looked like.
 #[derive(Debug, Clone)]
@@ -69,7 +70,7 @@ impl std::fmt::Display for RecoveryRecord {
 /// long-running work via [`Deadline::expired`]).
 #[derive(Debug, Clone, Copy)]
 pub struct Deadline {
-    start: Instant,
+    start: Stopwatch,
     budget: Duration,
 }
 
@@ -77,19 +78,20 @@ impl Deadline {
     /// Start a deadline clock now with the given budget.
     pub fn new(budget: Duration) -> Self {
         Self {
-            start: Instant::now(),
+            start: Stopwatch::start(),
             budget,
         }
     }
 
     /// Whether the budget is spent.
     pub fn expired(&self) -> bool {
-        self.start.elapsed() >= self.budget
+        u128::from(self.start.elapsed_us()) >= self.budget.as_micros()
     }
 
     /// Remaining budget (zero once expired).
     pub fn remaining(&self) -> Duration {
-        self.budget.saturating_sub(self.start.elapsed())
+        self.budget
+            .saturating_sub(Duration::from_micros(self.start.elapsed_us()))
     }
 }
 

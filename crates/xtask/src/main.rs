@@ -1,9 +1,11 @@
 //! `svbr-xtask` — workspace maintenance tasks. Depends only on the
-//! workspace's own zero-dependency `svbr-obsv` crate.
+//! workspace's own zero-dependency `svbr-obsv` crate and the `svbr-profile`
+//! span-tree profiler built on it.
 //!
 //! ```text
 //! cargo run -p svbr-xtask -- lint [--format text|json] [--todo-budget N]
 //! cargo run -p svbr-xtask -- obsv-report <trace.jsonl>
+//! cargo run -p svbr-xtask -- bench-compare --baseline <old.json> <new.json>
 //! ```
 //!
 //! `lint` walks every `.rs` file in the workspace (skipping `target/`,
@@ -13,7 +15,12 @@
 //! violation survives its waivers, 2 on usage errors.
 //!
 //! `obsv-report` summarizes a JSONL trace captured with
-//! `repro --trace <path>` into per-span timing and per-point field tables.
+//! `repro --trace <path>` into per-span timing and per-point field tables,
+//! followed by the span-tree hot-path table and critical path.
+//!
+//! `bench-compare` diffs two `BENCH_svbr.json` reports (written by
+//! `repro bench`) and exits 1 when any case's throughput regressed by more
+//! than the threshold (default 15%) or disappeared — the CI perf gate.
 
 #![forbid(unsafe_code)]
 
@@ -65,6 +72,39 @@ fn run(args: &[String], root: &Path) -> i32 {
                     2
                 }
             };
+        }
+        Some("bench-compare") => {
+            let mut baseline: Option<&String> = None;
+            let mut threshold = DEFAULT_BENCH_THRESHOLD;
+            let mut current: Option<&String> = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--baseline" => match it.next() {
+                        Some(p) => baseline = Some(p),
+                        None => {
+                            eprintln!("--baseline requires a path\n{USAGE}");
+                            return 2;
+                        }
+                    },
+                    "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                        Some(t) if t > 0.0 && t < 1.0 => threshold = t,
+                        _ => {
+                            eprintln!("--threshold takes a fraction in (0, 1)\n{USAGE}");
+                            return 2;
+                        }
+                    },
+                    p if !p.starts_with("--") && current.is_none() => current = Some(a),
+                    other => {
+                        eprintln!("unknown bench-compare argument `{other}`\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            let (Some(baseline), Some(current)) = (baseline, current) else {
+                eprintln!("bench-compare needs --baseline <old.json> and <current.json>\n{USAGE}");
+                return 2;
+            };
+            return bench_compare(baseline, current, threshold);
         }
         Some(other) => {
             eprintln!("unknown task `{other}`\n{USAGE}");
@@ -118,7 +158,15 @@ fn run(args: &[String], root: &Path) -> i32 {
 const USAGE: &str = "\
 usage: cargo run -p svbr-xtask -- <task>
   lint [--format text|json] [--todo-budget N]   enforce the svbr-lint rules
-  obsv-report <trace.jsonl>                     summarize an obsv trace";
+  obsv-report <trace.jsonl>                     summarize an obsv trace
+  bench-compare --baseline <old.json> <new.json> [--threshold F]
+                                                gate on bench regressions";
+
+/// Throughput drop (fractional) that fails `bench-compare` by default.
+const DEFAULT_BENCH_THRESHOLD: f64 = 0.15;
+
+/// How many hot paths `obsv-report` prints from the reconstructed span tree.
+const REPORT_HOT_PATHS: usize = 10;
 
 /// Summarize a JSONL trace (as written by `repro --trace`) to stdout.
 fn obsv_report(path: &str) -> i32 {
@@ -129,11 +177,130 @@ fn obsv_report(path: &str) -> i32 {
             return 1;
         }
     };
-    let summary = svbr_obsv::report::summarize(text.lines());
     // Best-effort write: a closed pipe (`… | head`) must not panic.
     use std::io::Write;
-    let _ = write!(std::io::stdout().lock(), "{summary}");
+    let _ = write!(std::io::stdout().lock(), "{}", obsv_report_text(&text));
     0
+}
+
+/// The full `obsv-report` document: the per-span/per-point summary followed
+/// by the span-tree hot-path table (self-time ranking + critical path).
+fn obsv_report_text(text: &str) -> String {
+    let summary = svbr_obsv::report::summarize(text.lines());
+    let events: Vec<svbr_obsv::Event> = text.lines().filter_map(svbr_obsv::Event::parse).collect();
+    let forest = svbr_profile::SpanForest::from_events(&events);
+    format!(
+        "{summary}\n{}",
+        svbr_profile::render(&forest, REPORT_HOT_PATHS)
+    )
+}
+
+/// One case pulled out of a bench report's `cases`/`results` array.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchCase {
+    name: String,
+    samples_per_sec: f64,
+}
+
+/// Parse a `BENCH_svbr.json` document into its named cases.
+fn parse_bench_cases(text: &str) -> Result<Vec<BenchCase>, String> {
+    use svbr_obsv::event::Json;
+    let parsed = svbr_obsv::event::parse_json(text).ok_or("not valid JSON")?;
+    let Json::Obj(obj) = &parsed else {
+        return Err("top level is not an object".to_string());
+    };
+    let cases = obj
+        .get("cases")
+        .and_then(Json::as_array)
+        .ok_or("no `cases` array")?;
+    let mut out = Vec::with_capacity(cases.len());
+    for (i, case) in cases.iter().enumerate() {
+        let Json::Obj(c) = case else {
+            return Err(format!("case {i} is not an object"));
+        };
+        let name = c
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("case {i} has no `name`"))?;
+        let sps = c
+            .get("samples_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("case `{name}` has no `samples_per_sec`"))?;
+        out.push(BenchCase {
+            name: name.to_string(),
+            samples_per_sec: sps,
+        });
+    }
+    Ok(out)
+}
+
+/// Diff two bench reports; exit 1 when any case's throughput regressed by
+/// more than `threshold` (or disappeared), 0 otherwise.
+fn bench_compare(baseline_path: &str, current_path: &str, threshold: f64) -> i32 {
+    let read = |path: &str| -> Result<Vec<BenchCase>, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        parse_bench_cases(&text).map_err(|e| format!("`{path}`: {e}"))
+    };
+    let (baseline, current) = match (read(baseline_path), read(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-compare: {e}");
+            return 1;
+        }
+    };
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut regressions = 0usize;
+    let _ = writeln!(
+        out,
+        "bench-compare (fail below {:.0}% of baseline):",
+        100.0 * (1.0 - threshold)
+    );
+    for b in &baseline {
+        match current.iter().find(|c| c.name == b.name) {
+            Some(c) if b.samples_per_sec > 0.0 => {
+                let ratio = c.samples_per_sec / b.samples_per_sec;
+                let regressed = ratio < 1.0 - threshold;
+                if regressed {
+                    regressions += 1;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:>14.0} -> {:>14.0} samples/s  {:>+7.1}%{}",
+                    b.name,
+                    b.samples_per_sec,
+                    c.samples_per_sec,
+                    100.0 * (ratio - 1.0),
+                    if regressed { "  REGRESSION" } else { "" }
+                );
+            }
+            Some(c) => {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} baseline throughput is 0; current {:.0} samples/s (skipped)",
+                    b.name, c.samples_per_sec
+                );
+            }
+            None => {
+                regressions += 1;
+                let _ = writeln!(out, "  {:<14} MISSING from current report", b.name);
+            }
+        }
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| b.name == c.name) {
+            let _ = writeln!(out, "  {:<14} new case (no baseline)", c.name);
+        }
+    }
+    if regressions > 0 {
+        let _ = writeln!(out, "bench-compare: {regressions} regression(s)");
+        1
+    } else {
+        let _ = writeln!(out, "bench-compare: ok");
+        0
+    }
 }
 
 /// Aggregated result over the whole tree.
@@ -472,6 +639,154 @@ mod tests {
         assert_eq!(obsv_report("/nonexistent/trace.jsonl"), 1);
     }
 
+    /// The bench-compare fixture: one report at given throughputs.
+    fn bench_json(cases: &[(&str, f64)]) -> String {
+        let rows: Vec<String> = cases
+            .iter()
+            .map(|(name, sps)| {
+                format!(
+                    "    {{\"name\": \"{name}\", \"n\": 100, \"iters\": 5, \
+                     \"samples_per_sec\": {sps}, \"p50_us\": 1.0, \
+                     \"p95_us\": 2.0, \"total_secs\": 0.1}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"name\": \"svbr_bench_suite\",\n  \"schema\": 1,\n  \
+             \"cases\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        )
+    }
+
+    #[test]
+    fn bench_compare_gates_on_a_slowed_case() {
+        let root = tmp_tree(&[
+            (
+                "baseline.json",
+                &bench_json(&[("hosking", 1000.0), ("lindley", 5000.0)]),
+            ),
+            (
+                // hosking deliberately slowed well past the 15% gate;
+                // lindley within noise.
+                "current.json",
+                &bench_json(&[("hosking", 700.0), ("lindley", 4900.0)]),
+            ),
+            (
+                "ok.json",
+                &bench_json(&[("hosking", 900.0), ("lindley", 5200.0)]),
+            ),
+        ]);
+        let path = |n: &str| root.join(n).to_string_lossy().into_owned();
+        // The slowed fixture fails the gate…
+        assert_eq!(
+            bench_compare(&path("baseline.json"), &path("current.json"), 0.15),
+            1
+        );
+        // …a within-threshold run passes…
+        assert_eq!(
+            bench_compare(&path("baseline.json"), &path("ok.json"), 0.15),
+            0
+        );
+        // …a looser threshold forgives the same slowdown…
+        assert_eq!(
+            bench_compare(&path("baseline.json"), &path("current.json"), 0.5),
+            0
+        );
+        // …and identical reports always pass.
+        assert_eq!(
+            bench_compare(&path("baseline.json"), &path("baseline.json"), 0.15),
+            0
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn bench_compare_fails_on_missing_case_or_bad_file() {
+        let root = tmp_tree(&[
+            (
+                "baseline.json",
+                &bench_json(&[("hosking", 1000.0), ("lindley", 5000.0)]),
+            ),
+            ("missing.json", &bench_json(&[("hosking", 1000.0)])),
+            ("garbage.json", "not json at all"),
+        ]);
+        let path = |n: &str| root.join(n).to_string_lossy().into_owned();
+        // A case vanishing from the suite is a gate failure, not a skip.
+        assert_eq!(
+            bench_compare(&path("baseline.json"), &path("missing.json"), 0.15),
+            1
+        );
+        // A new case appearing is fine.
+        assert_eq!(
+            bench_compare(&path("missing.json"), &path("baseline.json"), 0.15),
+            0
+        );
+        assert_eq!(
+            bench_compare(&path("baseline.json"), &path("garbage.json"), 0.15),
+            1
+        );
+        assert_eq!(
+            bench_compare("/nonexistent.json", &path("baseline.json"), 0.15),
+            1
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn bench_compare_via_cli_parses_flags() {
+        let root = tmp_tree(&[
+            ("b.json", &bench_json(&[("hosking", 1000.0)])),
+            ("c.json", &bench_json(&[("hosking", 700.0)])),
+        ]);
+        let path = |n: &str| root.join(n).to_string_lossy().into_owned();
+        let args = |v: &[String]| v.to_vec();
+        assert_eq!(
+            run(
+                &args(&[
+                    "bench-compare".into(),
+                    "--baseline".into(),
+                    path("b.json"),
+                    path("c.json"),
+                ]),
+                &root
+            ),
+            1
+        );
+        assert_eq!(
+            run(
+                &args(&[
+                    "bench-compare".into(),
+                    "--baseline".into(),
+                    path("b.json"),
+                    "--threshold".into(),
+                    "0.5".into(),
+                    path("c.json"),
+                ]),
+                &root
+            ),
+            0
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn obsv_report_includes_hot_path_table_golden() {
+        let trace = "\
+{\"t\":\"span\",\"name\":\"pipeline.fit\",\"start_us\":100,\"dur_us\":1500,\"tid\":0,\"fields\":{}}\n\
+{\"t\":\"span\",\"name\":\"hosking.generate\",\"start_us\":1700,\"dur_us\":2000,\"tid\":0,\"fields\":{}}\n\
+{\"t\":\"span\",\"name\":\"repro.obsv\",\"start_us\":0,\"dur_us\":4000,\"tid\":0,\"fields\":{}}\n\
+{\"t\":\"point\",\"name\":\"pipeline.iteration\",\"fields\":{\"attenuation\":0.8}}\n";
+        let golden_path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/obsv_report.txt");
+        let golden = std::fs::read_to_string(&golden_path).expect("golden file");
+        assert_eq!(
+            obsv_report_text(trace),
+            golden,
+            "obsv-report output drifted from tests/golden/obsv_report.txt; \
+             if the change is intentional, regenerate the golden file"
+        );
+    }
+
     #[test]
     fn usage_errors_exit_two() {
         let root = std::env::temp_dir();
@@ -481,6 +796,30 @@ mod tests {
         assert_eq!(run(&["obsv-report".into()], &root), 2);
         assert_eq!(
             run(&["obsv-report".into(), "a".into(), "b".into()], &root),
+            2
+        );
+        // bench-compare usage errors.
+        assert_eq!(run(&["bench-compare".into()], &root), 2);
+        assert_eq!(
+            run(&["bench-compare".into(), "current.json".into()], &root),
+            2
+        );
+        assert_eq!(
+            run(
+                &[
+                    "bench-compare".into(),
+                    "--baseline".into(),
+                    "b.json".into(),
+                    "--threshold".into(),
+                    "2.0".into(),
+                    "c.json".into(),
+                ],
+                &root
+            ),
+            2
+        );
+        assert_eq!(
+            run(&["bench-compare".into(), "--baseline".into()], &root),
             2
         );
         assert_eq!(

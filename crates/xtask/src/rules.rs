@@ -13,6 +13,7 @@
 //! | `obsv-deps`       | a dependency declared in `crates/obsv/Cargo.toml`    |
 //! | `obsv-panic`      | `panic!` / `unreachable!` inside `crates/obsv/src`   |
 //! | `no-silent-catch` | `catch_unwind` with no nearby `svbr_obsv::` report   |
+//! | `no-raw-instant`  | `std::time::Instant` outside `crates/obsv`/`profile` |
 //!
 //! A violation on line *n* is waived by `// svbr-lint: allow(<id>[, <id>…])`
 //! on line *n* or line *n − 1*. Waivers should name the safety invariant
@@ -44,6 +45,11 @@ pub enum Rule {
     /// `catch_unwind` in library code with no `svbr_obsv::` report within
     /// the following lines: a swallowed panic must never be silent.
     NoSilentCatch,
+    /// `std::time::Instant` outside `crates/obsv`/`crates/profile`: all
+    /// timing must flow through the obsv clock (`svbr_obsv::Stopwatch`,
+    /// `now_us`) so span timestamps, benchmark numbers and deadlines share
+    /// one process epoch.
+    NoRawInstant,
 }
 
 impl Rule {
@@ -59,6 +65,7 @@ impl Rule {
             Rule::ObsvDeps => "obsv-deps",
             Rule::ObsvPanic => "obsv-panic",
             Rule::NoSilentCatch => "no-silent-catch",
+            Rule::NoRawInstant => "no-raw-instant",
         }
     }
 }
@@ -226,6 +233,19 @@ pub fn lint_source(rel_path: &str, src: &str, class: FileClass) -> FileReport {
                     .to_string(),
             );
         }
+        // All timing flows through the obsv clock so span timestamps,
+        // benchmark numbers and deadlines share one process epoch; only
+        // the clock itself (and the profiler built on it) touch Instant.
+        if !instant_exempt_path(rel_path) && mentions_instant(line_text) {
+            push(
+                Rule::NoRawInstant,
+                "raw `std::time::Instant`: time with `svbr_obsv::Stopwatch` \
+                 (or `svbr_obsv::now_us`) so all timing shares the obsv \
+                 process epoch, or waive with \
+                 `// svbr-lint: allow(no-raw-instant) <why>`"
+                    .to_string(),
+            );
+        }
     }
 
     for Comment { line, text } in &masked.comments {
@@ -286,6 +306,34 @@ pub fn lint_obsv_manifest(rel_path: &str, src: &str) -> Vec<Violation> {
         });
     }
     violations
+}
+
+/// Paths allowed to use `std::time::Instant` directly: the obsv clock
+/// (which defines the process epoch on top of it) and the profiler crate
+/// built against that clock.
+fn instant_exempt_path(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/obsv/") || rel_path.starts_with("crates/profile/")
+}
+
+/// `Instant` as a standalone token (masked line, so strings and comments
+/// never fire): catches `std::time::Instant`, `use std::time::{…, Instant}`,
+/// and `Instant::now()` alike, but not identifiers merely containing it.
+fn mentions_instant(masked_line: &str) -> bool {
+    let bytes = masked_line.as_bytes();
+    let needle = b"Instant";
+    let mut i = 0;
+    while i + needle.len() <= bytes.len() {
+        if bytes[i..].starts_with(needle) {
+            let prev_ok = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+            let next = bytes.get(i + needle.len()).copied().unwrap_or(b' ');
+            let next_ok = !(next.is_ascii_alphanumeric() || next == b'_');
+            if prev_ok && next_ok {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
 }
 
 /// Does this original-source line carry a waiver for `rule_id`?
@@ -610,6 +658,35 @@ mod tests {
 ";
         let r = lint_lib(in_test);
         assert!(rule_lines(&r, Rule::NoSilentCatch).is_empty());
+    }
+
+    #[test]
+    fn fixture_raw_instant_fires_outside_obsv_and_profile() {
+        let src =
+            "use std::time::{Duration, Instant};\npub fn f() {\n    let _t = Instant::now();\n}\n";
+        let r = lint_source("crates/lrd/src/hosking.rs", src, FileClass::Library);
+        assert_eq!(rule_lines(&r, Rule::NoRawInstant), vec![1, 3]);
+        // Support files (binaries, benches) are covered too.
+        let r = lint_source("crates/bench/src/bin/repro.rs", src, FileClass::Support);
+        assert_eq!(rule_lines(&r, Rule::NoRawInstant), vec![1, 3]);
+        // The clock itself and the profiler crate are exempt.
+        for exempt in ["crates/obsv/src/clock.rs", "crates/profile/src/tree.rs"] {
+            let r = lint_source(exempt, src, FileClass::Library);
+            assert!(rule_lines(&r, Rule::NoRawInstant).is_empty(), "{exempt}");
+        }
+        // Tests are NOT exempt: timing in tests goes through the clock too.
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::time::Instant::now();\n    }\n}\n";
+        let r = lint_source("crates/lrd/src/hosking.rs", in_test, FileClass::Library);
+        assert_eq!(rule_lines(&r, Rule::NoRawInstant), vec![5]);
+        // Identifiers merely containing the word, and prose/strings, are fine.
+        let clean = "pub struct InstantView;\npub fn f() -> &'static str {\n    \"Instant::now\"\n}\n// std::time::Instant in prose\n";
+        let r = lint_source("crates/lrd/src/hosking.rs", clean, FileClass::Library);
+        assert!(rule_lines(&r, Rule::NoRawInstant).is_empty());
+        // Waivers apply as usual.
+        let waived = "// svbr-lint: allow(no-raw-instant) interop with external crate API\nuse std::time::Instant;\n";
+        let r = lint_source("crates/lrd/src/hosking.rs", waived, FileClass::Library);
+        assert!(rule_lines(&r, Rule::NoRawInstant).is_empty());
     }
 
     #[test]
