@@ -18,10 +18,11 @@ use rand::SeedableRng;
 use std::io::Write;
 use svbr::is::{IsEstimator, IsEvent};
 use svbr::lrd::acf::FgnAcf;
+use svbr::lrd::cache::{hosking_coefficients, CachedHosking};
 use svbr::lrd::davies_harte::DaviesHarte;
 use svbr::lrd::hosking::{HoskingSampler, TruncatedHosking};
 use svbr::marginal::transform::GaussianTransform;
-use svbr::marginal::Gamma;
+use svbr::marginal::{BinnedEmpirical, Gamma, Marginal, TabulatedEmpirical};
 use svbr::queue::lindley::LindleyQueue;
 use svbr_obsv::Stopwatch;
 
@@ -30,16 +31,23 @@ use svbr_obsv::Stopwatch;
 pub const BENCH_SEED: u64 = 0xbe7c_4a5e;
 
 /// Schema version of the JSON report, bumped on breaking field changes.
-pub const SCHEMA: u32 = 1;
+/// v2 added per-case `threads` and the host `available_parallelism` field.
+pub const SCHEMA: u32 = 2;
 
 /// The paper's Hurst parameter, used by every generator case.
 const HURST: f64 = 0.9;
 
-/// One timed case: `iters` timed iterations, each processing `n` samples.
+/// Replications in the `hosking_replicated*` cases (each replication is an
+/// independent path; `n / HOSKING_REPS` is the per-path length).
+const HOSKING_REPS: usize = 8;
+
+/// One timed case: `iters` timed iterations, each processing `n` samples
+/// across `threads` executor workers (1 = sequential).
 struct CaseSpec {
     name: &'static str,
     n: usize,
     iters: usize,
+    threads: usize,
 }
 
 /// Measured outcome of one case.
@@ -51,6 +59,9 @@ pub struct CaseResult {
     pub n: usize,
     /// Timed iterations.
     pub iters: usize,
+    /// Executor worker threads the case ran with (1 = sequential).
+    /// `bench-compare` matches cases on `(name, n, threads)`.
+    pub threads: usize,
     /// Throughput of the fastest timed iteration. Best-of-N rather than
     /// the mean: minimum latency converges to the true cost of the kernel
     /// while the mean absorbs scheduler noise, so the regression gate in
@@ -136,31 +147,72 @@ fn suite(quick: bool) -> Vec<CaseSpec> {
             name: "hosking",
             n: scale(2048, 512),
             iters: scale(5, 3),
+            threads: 1,
         },
         CaseSpec {
             name: "davies_harte",
             n: scale(65_536, 8192),
             iters: scale(20, 5),
+            threads: 1,
         },
         CaseSpec {
             name: "truncated_ar",
             n: scale(32_768, 4096),
             iters: scale(10, 3),
+            threads: 1,
         },
         CaseSpec {
             name: "inverse_cdf",
             n: scale(65_536, 8192),
             iters: scale(20, 5),
+            threads: 1,
         },
         CaseSpec {
             name: "lindley",
             n: scale(262_144, 32_768),
             iters: scale(20, 5),
+            threads: 1,
         },
         CaseSpec {
             name: "is_estimator",
             n: scale(512, 128),
             iters: scale(5, 3),
+            threads: 1,
+        },
+        // Multi-replication Hosking: per-replication recompute of the
+        // Durbin–Levinson schedule vs. the shared coefficient cache
+        // (svbr-lrd::cache), sequential and at 4 executor workers.
+        CaseSpec {
+            name: "hosking_replicated",
+            n: HOSKING_REPS * scale(512, 256),
+            iters: scale(5, 3),
+            threads: 1,
+        },
+        CaseSpec {
+            name: "hosking_replicated_cached",
+            n: HOSKING_REPS * scale(512, 256),
+            iters: scale(5, 3),
+            threads: 1,
+        },
+        CaseSpec {
+            name: "hosking_replicated_cached",
+            n: HOSKING_REPS * scale(512, 256),
+            iters: scale(5, 3),
+            threads: 4,
+        },
+        // Empirical (histogram-inversion) marginal: per-sample binary
+        // search vs. the precomputed quantile bracket table.
+        CaseSpec {
+            name: "inverse_cdf_empirical",
+            n: scale(65_536, 8192),
+            iters: scale(20, 5),
+            threads: 1,
+        },
+        CaseSpec {
+            name: "inverse_cdf_tabulated",
+            n: scale(65_536, 8192),
+            iters: scale(20, 5),
+            threads: 1,
         },
     ]
 }
@@ -188,6 +240,7 @@ fn measure<F: FnMut()>(spec: &CaseSpec, mut iter: F) -> CaseResult {
         name: spec.name.to_string(),
         n: spec.n,
         iters: spec.iters,
+        threads: spec.threads,
         samples_per_sec: if best_secs > 0.0 {
             spec.n as f64 / best_secs
         } else {
@@ -275,12 +328,92 @@ pub fn run_suite(
                     assert!(e.p.is_finite());
                 })
             }
+            "hosking_replicated" => {
+                // Per-replication recompute: every path pays the O(n²)
+                // Durbin–Levinson recursion again before sampling.
+                let acf = FgnAcf::new(HURST)?;
+                let path_len = spec.n / HOSKING_REPS;
+                measure(spec, || {
+                    for rep in 0..HOSKING_REPS {
+                        let seed = svbr::par::derive_seed(BENCH_SEED ^ ci as u64, rep as u64);
+                        let mut rep_rng = StdRng::seed_from_u64(seed);
+                        let sampler =
+                            HoskingSampler::new(&acf).unwrap_or_else(|e| die(spec.name, &e));
+                        let xs = sampler
+                            .generate(path_len, &mut rep_rng)
+                            .unwrap_or_else(|e| die(spec.name, &e));
+                        assert_eq!(xs.len(), path_len);
+                    }
+                })
+            }
+            "hosking_replicated_cached" => {
+                // Shared coefficient schedule: the warmup iteration pays
+                // the one-off recursion, timed iterations pay a cache
+                // lookup plus the per-sample dot products only.
+                let acf = FgnAcf::new(HURST)?;
+                let path_len = spec.n / HOSKING_REPS;
+                measure(spec, || {
+                    let prepared = match hosking_coefficients(&acf, path_len) {
+                        Ok(CachedHosking::Shared(p)) => p,
+                        Ok(CachedHosking::Streaming) => {
+                            die(spec.name, &"path length exceeds the cache entry cap")
+                        }
+                        Err(e) => die(spec.name, &e),
+                    };
+                    let paths = svbr::par::run_replications(
+                        BENCH_SEED ^ ci as u64,
+                        HOSKING_REPS,
+                        spec.threads,
+                        |_rep, seed| {
+                            let mut rep_rng = StdRng::seed_from_u64(seed);
+                            prepared.sample_path(&mut rep_rng)
+                        },
+                    );
+                    assert!(paths.iter().all(|p| p.len() == path_len));
+                })
+            }
+            "inverse_cdf_empirical" | "inverse_cdf_tabulated" => {
+                // The paper's own marginal choice — inverting the empirical
+                // histogram. Samples synthesized at deterministic Gamma
+                // quantile ranks so the histogram is identical every run;
+                // trace-sized bin count (the paper inverts the empirical
+                // CDF of a 238k-frame trace), so the per-sample binary
+                // search is ~11 levels deep — the cost the bracket table
+                // removes. Probabilities Φ(x) are precomputed so the timed
+                // region is purely the F⁻¹ evaluation both cases share
+                // with `GaussianTransform::apply`.
+                let gamma = Gamma::new(2.0, 1.5)?;
+                let samples: Vec<f64> = (1..=50_000)
+                    .map(|i| gamma.quantile(i as f64 / 50_001.0))
+                    .collect();
+                let binned = BinnedEmpirical::from_samples(&samples, 2000)?;
+                let dh = DaviesHarte::new(FgnAcf::new(HURST)?, spec.n)?;
+                let us: Vec<f64> = dh
+                    .generate(&mut rng)
+                    .iter()
+                    .map(|&x| svbr::marginal::norm_cdf(x))
+                    .collect();
+                let time_quantiles = |m: &dyn Marginal| {
+                    measure(spec, || {
+                        let mut acc = 0.0f64;
+                        for &u in &us {
+                            acc += m.quantile(u);
+                        }
+                        assert!(acc.is_finite());
+                    })
+                };
+                if spec.name == "inverse_cdf_tabulated" {
+                    time_quantiles(&TabulatedEmpirical::new(binned))
+                } else {
+                    time_quantiles(&binned)
+                }
+            }
             other => return Err(format!("unknown bench case `{other}`").into()),
         };
         writeln!(
             out,
-            "  {:<14} {:>12.0} samples/s   p50 {:>10.0} µs   p95 {:>10.0} µs",
-            result.name, result.samples_per_sec, result.p50_us, result.p95_us
+            "  {:<26} t{:<2} {:>12.0} samples/s   p50 {:>10.0} µs   p95 {:>10.0} µs",
+            result.name, result.threads, result.samples_per_sec, result.p50_us, result.p95_us
         )?;
         cases.push(result);
     }
@@ -329,9 +462,13 @@ impl BenchReport {
             self.timestamp_unix_secs
         ));
         s.push_str(&format!(
-            "  \"host\": {{\"cpu_model\": \"{}\", \"cores\": {}, \"rustc\": \"{}\"}},\n",
+            "  \"host\": {{\"cpu_model\": \"{}\", \"cores\": {}, \
+             \"available_parallelism\": {}, \"rustc\": \"{}\"}},\n",
             json_escape(&self.host.cpu_model),
             self.host.cores,
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             json_escape(&self.host.rustc)
         ));
         s.push_str("  \"cases\": [\n");
@@ -341,11 +478,13 @@ impl BenchReport {
             .map(|c| {
                 format!(
                     "    {{\"name\": \"{}\", \"n\": {}, \"iters\": {}, \
+                     \"threads\": {}, \
                      \"samples_per_sec\": {:.1}, \"p50_us\": {:.1}, \
                      \"p95_us\": {:.1}, \"total_secs\": {:.6}}}",
                     json_escape(&c.name),
                     c.n,
                     c.iters,
+                    c.threads,
                     c.samples_per_sec,
                     c.p50_us,
                     c.p95_us,
@@ -369,6 +508,7 @@ mod tests {
             name: "noop",
             n: 100,
             iters: 8,
+            threads: 1,
         };
         let mut count = 0u64;
         let r = measure(&spec, || {
@@ -397,6 +537,7 @@ mod tests {
                 name: "hosking".to_string(),
                 n: 2048,
                 iters: 5,
+                threads: 4,
                 samples_per_sec: 12_345.6,
                 p50_us: 10.0,
                 p95_us: 20.0,
@@ -409,12 +550,25 @@ mod tests {
             svbr_obsv::event::Json::Obj(o) => o,
             other => panic!("expected object, got {other:?}"),
         };
-        assert_eq!(obj.get("schema").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(obj.get("schema").and_then(|v| v.as_f64()), Some(2.0));
+        let host = match obj.get("host") {
+            Some(svbr_obsv::event::Json::Obj(h)) => h,
+            other => panic!("expected host object, got {other:?}"),
+        };
+        assert!(host
+            .get("available_parallelism")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|p| p >= 1.0));
         let cases = obj
             .get("cases")
             .and_then(|v| v.as_array())
             .expect("cases array");
         assert_eq!(cases.len(), 1);
+        let case = match &cases[0] {
+            svbr_obsv::event::Json::Obj(c) => c,
+            other => panic!("expected case object, got {other:?}"),
+        };
+        assert_eq!(case.get("threads").and_then(|v| v.as_f64()), Some(4.0));
     }
 
     #[test]

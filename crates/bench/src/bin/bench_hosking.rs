@@ -58,7 +58,7 @@ fn main() {
             dh_setup_secs
         );
         rows.push(format!(
-            "    {{\"n\": {n}, \
+            "    {{\"n\": {n}, \"threads\": 1, \
              \"hosking_secs\": {hosking_secs:.6}, \
              \"hosking_samples_per_sec\": {:.1}, \
              \"davies_harte_setup_secs\": {dh_setup_secs:.6}, \
@@ -75,11 +75,15 @@ fn main() {
         "{{\n  \"name\": \"hosking_vs_davies_harte\",\n  \"hurst\": {HURST},\n  \
          \"seed\": {SEED},\n  \"git_revision\": \"{revision}\",\n  \
          \"timestamp_unix_secs\": {},\n  \
-         \"host\": {{\"cpu_model\": \"{}\", \"cores\": {}, \"rustc\": \"{}\"}},\n  \
+         \"host\": {{\"cpu_model\": \"{}\", \"cores\": {}, \
+         \"available_parallelism\": {}, \"rustc\": \"{}\"}},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         unix_timestamp_secs(),
         escape(&host.cpu_model),
         host.cores,
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
         escape(&host.rustc),
         rows.join(",\n")
     );

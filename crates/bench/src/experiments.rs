@@ -941,7 +941,7 @@ pub fn obsv_demo(seed: u64, out: &mut dyn Write) -> AnyResult {
     // Steps 1–3 (emits the pipeline.fit span and parameter gauges), then
     // the measure-and-correct attenuation loop (pipeline.iteration points).
     let mut fit = UnifiedFit::fit(&series, &unified_opts(n))?;
-    let refinement = fit.refine_attenuation(
+    let refinement = fit.refine_attenuation_seeded(
         &svbr::model::RefineOptions {
             max_iterations: 3,
             reps: 6,
@@ -949,7 +949,8 @@ pub fn obsv_demo(seed: u64, out: &mut dyn Write) -> AnyResult {
             lag_window: (5, 80),
             tolerance: 5e-3,
         },
-        &mut rng,
+        seed,
+        threads().min(4),
     )?;
     writeln!(
         out,
@@ -975,12 +976,17 @@ pub fn obsv_demo(seed: u64, out: &mut dyn Write) -> AnyResult {
     }
     let model = fit.background_model(BackgroundKind::SrdLrd)?;
     let dh = DaviesHarte::new_approx(&model, 512, 5e-2)?;
-    let mc = svbr::queue::estimate_overflow(
-        |_| transform.apply_slice(&dh.generate(&mut rng)),
+    let mc = svbr::queue::estimate_overflow_seeded(
+        |_rep, rep_seed| {
+            let mut rep_rng = StdRng::seed_from_u64(rep_seed);
+            transform.apply_slice(&dh.generate(&mut rep_rng))
+        },
+        seed ^ 0x51ed,
         64,
         512,
         service,
         buffers[0],
+        threads().min(4),
     )?;
     writeln!(out, "MC first-passage: p = {:.4} (n = {})", mc.p, mc.n)?;
 

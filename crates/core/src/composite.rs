@@ -14,12 +14,14 @@
 
 use crate::pipeline::{UnifiedFit, UnifiedOptions};
 use crate::CoreError;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use svbr_lrd::acf::{LagScaledAcf, TabulatedAcf};
+use svbr_lrd::cache::{hosking_coefficients, CachedHosking};
 use svbr_lrd::davies_harte::{pd_project, DaviesHarte};
 use svbr_lrd::hosking::HoskingSampler;
 use svbr_marginal::transform::GaussianTransform;
-use svbr_marginal::BinnedEmpirical;
+use svbr_marginal::{BinnedEmpirical, TabulatedEmpirical};
 use svbr_video::{FrameTrace, FrameType, GopPattern};
 
 /// Options for fitting the composite I-B-P model.
@@ -119,19 +121,7 @@ impl CompositeVideoFit {
         fast: bool,
         rng: &mut R,
     ) -> Result<FrameTrace, CoreError> {
-        let xs = if fast {
-            // Embed the smooth rescaled model directly — a truncated table
-            // would put a discontinuity into the circulant first row.
-            let compensated = self
-                .i_fit
-                .composite_acf()?
-                .compensate(self.i_fit.attenuation)?;
-            let scaled = LagScaledAcf::new(compensated, self.pattern.period() as f64)?;
-            DaviesHarte::new_approx(&scaled, n, 5e-2)?.generate(rng)
-        } else {
-            let table = self.background_table(n.max(2))?;
-            HoskingSampler::new(&table)?.generate(n, rng)?
-        };
+        let xs = self.background_path(n, fast, rng)?;
         let t_i = GaussianTransform::new(&self.marginal_i);
         let t_p = GaussianTransform::new(&self.marginal_p);
         let t_b = GaussianTransform::new(&self.marginal_b);
@@ -148,6 +138,72 @@ impl CompositeVideoFit {
             })
             .collect();
         Ok(FrameTrace::new(sizes, self.pattern.clone()))
+    }
+
+    /// Deterministic-parallel form of [`Self::generate`].
+    ///
+    /// The background path is inherently sequential, so it is drawn from a
+    /// single `StdRng` seeded with `svbr_par::derive_seed(master_seed, 0)`;
+    /// the per-frame inverse-CDF transform — the per-sample hot path — is
+    /// sharded over `threads` workers, with the per-type quantile bracket
+    /// tables ([`TabulatedEmpirical`]) replacing the per-sample binary
+    /// search. Bracket-table quantiles are bit-identical to the binary
+    /// search, so the trace is **bit-identical for any thread count** and
+    /// to [`Self::generate`] handed an `StdRng` at the same derived seed.
+    pub fn generate_seeded(
+        &self,
+        n: usize,
+        fast: bool,
+        master_seed: u64,
+        threads: usize,
+    ) -> Result<FrameTrace, CoreError> {
+        let mut rng = StdRng::seed_from_u64(svbr_par::derive_seed(master_seed, 0));
+        let xs = self.background_path(n, fast, &mut rng)?;
+        let t_i = GaussianTransform::new(TabulatedEmpirical::new(self.marginal_i.clone()));
+        let t_p = GaussianTransform::new(TabulatedEmpirical::new(self.marginal_p.clone()));
+        let t_b = GaussianTransform::new(TabulatedEmpirical::new(self.marginal_b.clone()));
+        let sizes: Vec<u32> = svbr_par::par_map_blocks(n, threads, |range| {
+            range
+                .map(|k| {
+                    let y = match self.pattern.frame_type(k) {
+                        FrameType::I => t_i.apply(xs[k]),
+                        FrameType::P => t_p.apply(xs[k]),
+                        FrameType::B => t_b.apply(xs[k]),
+                    };
+                    y.round().clamp(1.0, u32::MAX as f64) as u32
+                })
+                .collect()
+        });
+        Ok(FrameTrace::new(sizes, self.pattern.clone()))
+    }
+
+    /// The shared background-path stage of both generate variants. The
+    /// Hosking branch pulls its Durbin–Levinson schedule from the process
+    /// cache ([`hosking_coefficients`]) and produces the same bits as the
+    /// streaming sampler at the same RNG state.
+    fn background_path<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        fast: bool,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, CoreError> {
+        if fast {
+            // Embed the smooth rescaled model directly — a truncated table
+            // would put a discontinuity into the circulant first row.
+            let compensated = self
+                .i_fit
+                .composite_acf()?
+                .compensate(self.i_fit.attenuation)?;
+            let scaled = LagScaledAcf::new(compensated, self.pattern.period() as f64)?;
+            Ok(DaviesHarte::new_approx(&scaled, n, 5e-2)?.generate(rng))
+        } else {
+            let table = self.background_table(n.max(2))?;
+            match hosking_coefficients(&table, n)? {
+                CachedHosking::Shared(prepared) => Ok(prepared.sample_path(rng)),
+                // Horizon past the cache's memory cap: stream the recursion.
+                CachedHosking::Streaming => Ok(HoskingSampler::new(&table)?.generate(n, rng)?),
+            }
+        }
     }
 }
 
@@ -293,6 +349,27 @@ mod tests {
         );
         // And it decays slowly — LRD carried through the rescaling.
         assert!(table.r(500) > 0.05);
+        Ok(())
+    }
+
+    #[test]
+    fn seeded_generate_is_bit_identical_across_thread_counts(
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let (_, fit) = fitted();
+        // Fast (Davies–Harte) branch: parallel transform vs. the sequential
+        // generator at the same derived seed.
+        let baseline = fit.generate_seeded(4_096, true, 5, 1)?;
+        let mut rng = StdRng::seed_from_u64(svbr_par::derive_seed(5, 0));
+        let sequential = fit.generate(4_096, true, &mut rng)?;
+        assert_eq!(baseline.as_f64(), sequential.as_f64());
+        for threads in [2usize, 8] {
+            let t = fit.generate_seeded(4_096, true, 5, threads)?;
+            assert_eq!(t.as_f64(), baseline.as_f64(), "threads={threads}");
+        }
+        // Hosking (cached-schedule) branch.
+        let h1 = fit.generate_seeded(300, false, 6, 1)?;
+        let h8 = fit.generate_seeded(300, false, 6, 8)?;
+        assert_eq!(h1.as_f64(), h8.as_f64());
         Ok(())
     }
 

@@ -4,10 +4,12 @@
 use crate::attenuation::theoretical_attenuation;
 use crate::hurst::{estimate_hurst, HurstEstimates, HurstOptions};
 use crate::CoreError;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use svbr_lrd::acf::{
     Acf, CompensatedAcf, CompositeAcf, ExpTerm, ExponentialAcf, FgnAcf, TabulatedAcf,
 };
+use svbr_lrd::cache::{davies_harte_cached, hosking_coefficients, CachedHosking};
 use svbr_lrd::davies_harte::{pd_project, DaviesHarte};
 use svbr_lrd::hosking::HoskingSampler;
 use svbr_marginal::transform::GaussianTransform;
@@ -208,12 +210,79 @@ impl UnifiedFit {
         opts: &RefineOptions,
         rng: &mut R,
     ) -> Result<AttenuationRefinement, CoreError> {
+        let transform = GaussianTransform::new(self.marginal.clone());
+        let reps = opts.reps.max(1);
+        let path_len = opts.path_len;
+        self.refine_with(opts, |model, hi, _iter_no| {
+            let dh = DaviesHarte::new_approx(model, path_len, 5e-2)?;
+            let mut acc = vec![0.0; hi + 1];
+            for _ in 0..reps {
+                let ys = transform.apply_slice(&dh.generate(rng));
+                let r = sample_acf_fft(&ys, hi)?;
+                for (slot, v) in acc.iter_mut().zip(r.iter()) {
+                    *slot += v / reps as f64;
+                }
+            }
+            Ok(acc)
+        })
+    }
+
+    /// Deterministic-parallel form of [`Self::refine_attenuation`].
+    ///
+    /// Iteration `j`'s measurement replications form their own seed
+    /// sub-schedule rooted at `svbr_par::derive_seed(master_seed, j)`, with
+    /// replication `i` drawing from `derive_seed(sub, i)`; per-replication
+    /// sample ACFs are averaged in replication-index order, so the accepted
+    /// trajectory is **bit-identical for any thread count**. The
+    /// Davies–Harte eigenvalue setup is fetched from the process cache
+    /// ([`davies_harte_cached`]), so repeated refinements over the same
+    /// model skip the circulant FFT.
+    pub fn refine_attenuation_seeded(
+        &mut self,
+        opts: &RefineOptions,
+        master_seed: u64,
+        threads: usize,
+    ) -> Result<AttenuationRefinement, CoreError> {
+        let transform = GaussianTransform::new(self.marginal.clone());
+        let reps = opts.reps.max(1);
+        let path_len = opts.path_len;
+        self.refine_with(opts, |model, hi, iter_no| {
+            let dh = davies_harte_cached(model, path_len, 5e-2)?;
+            let per_rep = svbr_par::run_replications(
+                svbr_par::derive_seed(master_seed, iter_no as u64),
+                reps,
+                threads,
+                |_rep, seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let ys = transform.apply_slice(&dh.generate(&mut rng));
+                    sample_acf_fft(&ys, hi).map_err(CoreError::from)
+                },
+            );
+            let mut acc = vec![0.0; hi + 1];
+            for r in per_rep {
+                for (slot, v) in acc.iter_mut().zip(r?.iter()) {
+                    *slot += v / reps as f64;
+                }
+            }
+            Ok(acc)
+        })
+    }
+
+    /// The shared measure-and-correct loop behind both refinement variants:
+    /// `measure(model, hi, iter_no)` returns the replication-averaged
+    /// foreground sample ACF (lags `0..=hi`) under the candidate model.
+    fn refine_with<F>(
+        &mut self,
+        opts: &RefineOptions,
+        mut measure: F,
+    ) -> Result<AttenuationRefinement, CoreError>
+    where
+        F: FnMut(&CompensatedAcf, usize, usize) -> Result<Vec<f64>, CoreError>,
+    {
         let mut span = svbr_obsv::span("pipeline.refine_attenuation");
         let composite = self.composite_acf()?;
-        let transform = GaussianTransform::new(self.marginal.clone());
         let lo = opts.lag_window.0.max(1);
         let hi = opts.lag_window.1.min(opts.path_len / 2).max(lo);
-        let reps = opts.reps.max(1);
         let mut a = self.attenuation;
         let mut best_err = f64::INFINITY;
         let mut iterations: Vec<IterationRecord> = Vec::new();
@@ -226,15 +295,7 @@ impl UnifiedFit {
             // Generate with the current candidate `a` and measure the mean
             // foreground ACF over the lag window.
             let model = composite.compensate(a)?;
-            let dh = DaviesHarte::new_approx(&model, opts.path_len, 5e-2)?;
-            let mut acc = vec![0.0; hi + 1];
-            for _ in 0..reps {
-                let ys = transform.apply_slice(&dh.generate(rng));
-                let r = sample_acf_fft(&ys, hi)?;
-                for (slot, v) in acc.iter_mut().zip(r.iter()) {
-                    *slot += v / reps as f64;
-                }
-            }
+            let acc = measure(&model, hi, iter_no)?;
             let (mut err, mut err_sq, mut measured, mut target) = (0.0, 0.0, 0.0, 0.0);
             for (k, &m) in acc.iter().enumerate().take(hi + 1).skip(lo) {
                 let t = composite.r(k);
@@ -456,6 +517,13 @@ impl UnifiedGenerator {
 
     /// Generate the background Gaussian path with Hosking's exact method
     /// (O(n²); the paper's generator).
+    ///
+    /// The Durbin–Levinson coefficient schedule comes from the process
+    /// cache ([`hosking_coefficients`]) — replications over the same
+    /// `(ACF, n)` share one schedule and only pay the per-sample dot
+    /// products. The path is bit-identical to the streaming
+    /// [`HoskingSampler`] at the same RNG state (the cache stores exactly
+    /// the coefficients the recursion would recompute).
     pub fn background_hosking<R: Rng + ?Sized>(
         &self,
         n: usize,
@@ -467,7 +535,11 @@ impl UnifiedGenerator {
                 constraint: "n <= max_len()",
             });
         }
-        Ok(HoskingSampler::new(&self.table)?.generate(n, rng)?)
+        match hosking_coefficients(&self.table, n)? {
+            CachedHosking::Shared(prepared) => Ok(prepared.sample_path(rng)),
+            // Horizon past the cache's memory cap: stream the recursion.
+            CachedHosking::Streaming => Ok(HoskingSampler::new(&self.table)?.generate(n, rng)?),
+        }
     }
 
     /// Generate the background Gaussian path with the Davies–Harte
@@ -682,6 +754,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let ys = g.generate(1024, true, &mut rng)?;
         assert_eq!(ys.len(), 1024);
+        Ok(())
+    }
+
+    #[test]
+    fn seeded_refinement_is_bit_identical_across_thread_counts(
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let fit = reference_fit()?;
+        let opts = RefineOptions {
+            max_iterations: 2,
+            reps: 4,
+            path_len: 512,
+            lag_window: (2, 40),
+            tolerance: 0.0,
+        };
+        let mut base_fit = fit.clone();
+        let baseline = base_fit.refine_attenuation_seeded(&opts, 17, 1)?;
+        assert!(!baseline.iterations.is_empty());
+        for threads in [2usize, 8] {
+            let mut f = fit.clone();
+            let refined = f.refine_attenuation_seeded(&opts, 17, threads)?;
+            assert_eq!(refined, baseline, "threads={threads}");
+            assert_eq!(f.attenuation.to_bits(), base_fit.attenuation.to_bits());
+        }
         Ok(())
     }
 

@@ -429,14 +429,14 @@ impl<M: Marginal> IsEstimator<M> {
     pub fn run_parallel_checked(
         &self,
         n: usize,
-        base_seed: u64,
+        master_seed: u64,
         threads: usize,
         min_ess: f64,
     ) -> Result<IsEstimate, crate::IsError>
     where
         M: Sync,
     {
-        self.check_ess(self.run_parallel(n, base_seed, threads), min_ess)
+        self.check_ess(self.run_parallel(n, master_seed, threads), min_ess)
     }
 
     fn check_ess(&self, estimate: IsEstimate, min_ess: f64) -> Result<IsEstimate, crate::IsError> {
@@ -467,7 +467,7 @@ impl<M: Marginal> IsEstimator<M> {
         target: f64,
         batch: usize,
         max_reps: usize,
-        base_seed: u64,
+        master_seed: u64,
         threads: usize,
     ) -> IsEstimate
     where
@@ -475,19 +475,17 @@ impl<M: Marginal> IsEstimator<M> {
     {
         let batch = batch.max(16);
         let mut pooled: Option<IsEstimate> = None;
-        let mut round = 0u64;
         while pooled.map_or(0, |e| e.n) < max_reps {
-            let remaining = max_reps - pooled.map_or(0, |e| e.n);
-            let e = self.run_parallel(
-                batch.min(remaining),
-                base_seed.wrapping_add(round.wrapping_mul(0x517c_c1b7_2722_0a95)),
-                threads,
-            );
+            let done = pooled.map_or(0, |e| e.n);
+            let remaining = max_reps - done;
+            // Each batch is the next contiguous slice of ONE master
+            // replication schedule, so the pooled run at any stopping point
+            // is a prefix of the run that a bigger budget would produce.
+            let e = self.run_parallel_from(batch.min(remaining), master_seed, done as u64, threads);
             pooled = Some(match pooled {
                 Some(prev) => prev.merge(&e),
                 None => e,
             });
-            round += 1;
             // svbr-lint: allow(no-expect) `pooled` is assigned on every loop iteration before this read
             if pooled.expect("just set").relative_error() <= target {
                 break;
@@ -502,40 +500,52 @@ impl<M: Marginal> IsEstimator<M> {
         })
     }
 
-    /// Run `n` replications across `threads` OS threads (deterministic
-    /// given `base_seed`; each thread derives its own `StdRng`).
-    pub fn run_parallel(&self, n: usize, base_seed: u64, threads: usize) -> IsEstimate
+    /// Run `n` replications across `threads` OS threads via
+    /// [`svbr_par::run_replications`].
+    ///
+    /// Replication `i` gets its own `StdRng` seeded with
+    /// `svbr_par::derive_seed(master_seed, i)`, and outcomes are folded into
+    /// the accumulator in replication-index order — the estimate is
+    /// **bit-identical for any thread count**, and replication `i` is the
+    /// same random experiment no matter how the run is sharded or batched
+    /// (see [`Self::run_parallel_from`]).
+    pub fn run_parallel(&self, n: usize, master_seed: u64, threads: usize) -> IsEstimate
     where
         M: Sync,
     {
-        let threads = threads.max(1).min(n.max(1));
-        let per = n / threads;
-        let extra = n % threads;
-        let mut accs: Vec<Accumulator> = Vec::new();
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let reps = per + usize::from(t < extra);
-                let est = &*self;
-                handles.push(s.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(
-                        base_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
-                    );
-                    let mut acc = Accumulator::default();
-                    for _ in 0..reps {
-                        acc.add(&est.replicate(&mut rng));
-                    }
-                    acc
-                }));
-            }
-            for h in handles {
-                // svbr-lint: allow(no-expect) worker threads only do arithmetic; a panic here is a bug worth propagating
-                accs.push(h.join().expect("replication thread panicked"));
-            }
+        self.run_parallel_from(n, master_seed, 0, threads)
+    }
+
+    /// Run replications `first_rep .. first_rep + n` of the master schedule
+    /// identified by `master_seed`.
+    ///
+    /// Because each replication's RNG stream depends only on
+    /// `(master_seed, global index)`, a run interrupted after `k`
+    /// replications (e.g. by an svbr-resilience checkpoint) can be resumed
+    /// with `first_rep = k` and will execute exactly the replications the
+    /// uninterrupted run would have.
+    pub fn run_parallel_from(
+        &self,
+        n: usize,
+        master_seed: u64,
+        first_rep: u64,
+        threads: usize,
+    ) -> IsEstimate
+    where
+        M: Sync,
+    {
+        let reps = svbr_par::par_map_blocks(n, threads, |range| {
+            range
+                .map(|i| {
+                    let seed = svbr_par::derive_seed(master_seed, first_rep + i as u64);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    self.replicate(&mut rng)
+                })
+                .collect()
         });
         let mut total = Accumulator::default();
-        for a in accs {
-            total.merge(&a);
+        for r in &reps {
+            total.add(r);
         }
         let est = total.finish();
         self.observe_run(&total, &est);
@@ -565,16 +575,6 @@ impl Accumulator {
         self.slots += r.slots_used as u64;
         self.log_lr_sum += r.log_lr;
         self.log_lr_sum_sq += r.log_lr * r.log_lr;
-    }
-
-    fn merge(&mut self, o: &Accumulator) {
-        self.n += o.n;
-        self.sum += o.sum;
-        self.sum_sq += o.sum_sq;
-        self.hits += o.hits;
-        self.slots += o.slots;
-        self.log_lr_sum += o.log_lr_sum;
-        self.log_lr_sum_sq += o.log_lr_sum_sq;
     }
 
     /// Kish effective sample size of the weighted sample,
@@ -789,6 +789,39 @@ mod tests {
         let a = est.run_parallel(1_000, 7, 3);
         let b = est.run_parallel(1_000, 7, 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_across_thread_counts() {
+        let est = white_noise_system(20, 0.6, 2.0, 0.5, IsEvent::FirstPassage);
+        let baseline = est.run_parallel(1_000, 11, 1);
+        assert!(baseline.hits > 0 && baseline.hits < 1_000);
+        for threads in [2usize, 8] {
+            let e = est.run_parallel(1_000, 11, threads);
+            assert_eq!(e.p.to_bits(), baseline.p.to_bits(), "threads={threads}");
+            assert_eq!(
+                e.variance.to_bits(),
+                baseline.variance.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(e.hits, baseline.hits);
+            assert_eq!(e.mean_slots.to_bits(), baseline.mean_slots.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_runs_reproduce_one_master_schedule() {
+        // Replications 60..100 of the schedule must be the same experiments
+        // whether run in one call or as a resumed continuation.
+        let est = white_noise_system(20, 0.6, 2.0, 0.5, IsEvent::FirstPassage);
+        let full = est.run_parallel(100, 13, 4);
+        let head = est.run_parallel_from(60, 13, 0, 2);
+        let tail = est.run_parallel_from(40, 13, 60, 8);
+        assert_eq!(head.hits + tail.hits, full.hits);
+        let merged = head.merge(&tail);
+        assert_eq!(merged.n, full.n);
+        assert!((merged.p - full.p).abs() < 1e-12);
+        assert!((merged.mean_slots - full.mean_slots).abs() < 1e-9);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 use crate::IsError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use svbr_lrd::acf::Acf;
+use svbr_lrd::cache::{hosking_coefficients, CachedHosking};
 use svbr_lrd::gauss::Normal;
 use svbr_lrd::hosking::PreparedHosking;
 use svbr_marginal::transform::GaussianTransform;
@@ -56,15 +58,23 @@ impl TransientEstimate {
 
 /// Estimate the transient overflow curve by importance sampling.
 ///
-/// The Durbin–Levinson recursion is prepared once for the full horizon;
-/// each replication runs to the horizon (no early termination — every stop
-/// time needs its indicator) and is scored at all stop times.
+/// The Durbin–Levinson coefficient schedule is fetched from the process
+/// cache ([`hosking_coefficients`]) — repeated curves over the same ACF and
+/// horizon (the Fig. 15 sweep) share one schedule instead of re-running the
+/// O(n²) recursion. Each replication runs to the horizon (no early
+/// termination — every stop time needs its indicator) and is scored at all
+/// stop times.
+///
+/// Replication `i` draws from the seed
+/// `svbr_par::derive_seed(master_seed, i)`; per-replication scores are
+/// folded in replication-index order, so the curve is **bit-identical for
+/// any thread count**.
 pub fn is_transient_curve<A, M>(
     acf: A,
     transform: &GaussianTransform<M>,
     config: &TransientConfig,
     n_reps: usize,
-    base_seed: u64,
+    master_seed: u64,
     threads: usize,
 ) -> Result<TransientEstimate, IsError>
 where
@@ -94,66 +104,51 @@ where
     }
     // svbr-lint: allow(no-expect) stop_times emptiness is rejected by the guard above
     let horizon = *config.stop_times.last().expect("non-empty");
-    let prepared = PreparedHosking::new(acf, horizon)?;
-    let threads = threads.max(1).min(n_reps);
-    let per = n_reps / threads;
-    let extra = n_reps % threads;
+    let prepared: Arc<PreparedHosking> = match hosking_coefficients(&acf, horizon)? {
+        CachedHosking::Shared(p) => p,
+        // Horizon past the cache's memory cap: pay the recursion locally.
+        CachedHosking::Streaming => Arc::new(PreparedHosking::new(acf, horizon)?),
+    };
     let m = config.stop_times.len();
-    let mut sums = vec![0.0f64; m];
-    let mut sums_sq = vec![0.0f64; m];
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let reps = per + usize::from(t < extra);
-            let prepared = &prepared;
-            let config = &*config;
-            handles.push(s.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(
-                    base_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
-                );
-                let mut normal = Normal::new();
-                let mut sums = vec![0.0f64; m];
-                let mut sums_sq = vec![0.0f64; m];
-                let mut hist: Vec<f64> = Vec::with_capacity(horizon);
-                for _ in 0..reps {
-                    hist.clear();
-                    let mut log_lr = 0.0f64;
-                    let mut q = config.initial;
-                    let mut next = 0usize;
-                    for i in 0..horizon {
-                        let mo = prepared.moments(i, &hist);
-                        let shift = config.twist * (1.0 - mo.phi_sum);
-                        let eps = normal.sample(&mut rng) * mo.var.sqrt();
-                        let x = mo.mean + shift + eps;
-                        hist.push(x);
-                        // svbr-lint: allow(float-eq) exact zero: untwisted replications must skip the LR update entirely
-                        if shift != 0.0 {
-                            log_lr -= shift * (2.0 * eps + shift) / (2.0 * mo.var);
-                        }
-                        let y = transform.apply(x);
-                        q = (q + y - config.service).max(0.0);
-                        while next < m && config.stop_times[next] == i + 1 {
-                            if q > config.buffer {
-                                let w = log_lr.exp();
-                                sums[next] += w;
-                                sums_sq[next] += w * w;
-                            }
-                            next += 1;
-                        }
-                    }
+    // One weight vector per replication (0.0 where the stop time missed),
+    // folded below in replication-index order for thread-count invariance.
+    let per_rep = svbr_par::run_replications(master_seed, n_reps, threads, |_rep, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut normal = Normal::new();
+        let mut weights = vec![0.0f64; m];
+        let mut hist: Vec<f64> = Vec::with_capacity(horizon);
+        let mut log_lr = 0.0f64;
+        let mut q = config.initial;
+        let mut next = 0usize;
+        for i in 0..horizon {
+            let mo = prepared.moments(i, &hist);
+            let shift = config.twist * (1.0 - mo.phi_sum);
+            let eps = normal.sample(&mut rng) * mo.var.sqrt();
+            let x = mo.mean + shift + eps;
+            hist.push(x);
+            // svbr-lint: allow(float-eq) exact zero: untwisted replications must skip the LR update entirely
+            if shift != 0.0 {
+                log_lr -= shift * (2.0 * eps + shift) / (2.0 * mo.var);
+            }
+            let y = transform.apply(x);
+            q = (q + y - config.service).max(0.0);
+            while next < m && config.stop_times[next] == i + 1 {
+                if q > config.buffer {
+                    weights[next] = log_lr.exp();
                 }
-                (sums, sums_sq)
-            }));
-        }
-        for h in handles {
-            // svbr-lint: allow(no-expect) worker threads only do arithmetic; a panic here is a bug worth propagating
-            let (s1, s2) = h.join().expect("transient thread panicked");
-            for i in 0..m {
-                sums[i] += s1[i];
-                sums_sq[i] += s2[i];
+                next += 1;
             }
         }
+        weights
     });
+    let mut sums = vec![0.0f64; m];
+    let mut sums_sq = vec![0.0f64; m];
+    for weights in &per_rep {
+        for (i, &w) in weights.iter().enumerate() {
+            sums[i] += w;
+            sums_sq[i] += w * w;
+        }
+    }
     let n = n_reps as f64;
     let p: Vec<f64> = sums.iter().map(|&s| s / n).collect();
     let variance: Vec<f64> = sums_sq
@@ -242,6 +237,31 @@ mod tests {
         );
         // Late: closer together (both near steady state).
         assert!((full.p[1] - empty.p[1]).abs() < (full.p[0] - empty.p[0]));
+        Ok(())
+    }
+
+    #[test]
+    fn curve_is_bit_identical_across_thread_counts() -> Result<(), Box<dyn std::error::Error>> {
+        let t = GaussianTransform::new(NormalDist::standard());
+        let acf = FgnAcf::new(0.7)?;
+        let cfg = config(vec![5, 20, 60], 0.4, 0.0);
+        let baseline = is_transient_curve(acf, &t, &cfg, 400, 21, 1)?;
+        assert!(baseline.p.iter().any(|&p| p > 0.0), "need non-trivial hits");
+        for threads in [2usize, 8] {
+            let est = is_transient_curve(acf, &t, &cfg, 400, 21, threads)?;
+            for (i, (p, v)) in est.p.iter().zip(est.variance.iter()).enumerate() {
+                assert_eq!(
+                    p.to_bits(),
+                    baseline.p[i].to_bits(),
+                    "p[{i}] at threads={threads}"
+                );
+                assert_eq!(
+                    v.to_bits(),
+                    baseline.variance[i].to_bits(),
+                    "variance[{i}] at threads={threads}"
+                );
+            }
+        }
         Ok(())
     }
 

@@ -1,0 +1,293 @@
+//! Shared read-only precomputation caches for the generation hot paths.
+//!
+//! Replicated experiments (the paper runs up to 1000 replications per
+//! point in Figs. 14–17) repeat two expensive *sample-independent*
+//! computations per replication:
+//!
+//! * the Durbin–Levinson coefficient schedule (`φ_{k,·}` rows and
+//!   innovation variances `v_k`) behind Hosking's method — O(n²) time and
+//!   O(n²/2) memory, a function of the ACF alone;
+//! * the circulant eigenvalue vector behind [`DaviesHarte`] — one
+//!   O(n log n) FFT, again a function of the ACF alone.
+//!
+//! This module memoizes both behind process-global caches keyed by an
+//! [`acf_fingerprint`] (FNV-1a over the exact bit patterns of the lags
+//! actually consumed) so concurrent replications share one `Arc`'d copy.
+//!
+//! **Memory cap and fallback.** A Hosking schedule costs
+//! `n(n+1)/2 + 2n` f64s. Entries beyond [`HOSKING_ENTRY_BYTES_CAP`] are
+//! never cached: [`hosking_coefficients`] returns
+//! [`CachedHosking::Streaming`] and the caller falls back to the O(k)-memory
+//! streaming [`HoskingSampler`](crate::hosking::HoskingSampler) recursion
+//! (identical output — the schedule is the same arithmetic either way).
+//! When a cache's *total* footprint would exceed its cap
+//! ([`HOSKING_CACHE_BYTES_CAP`] / [`DAVIES_HARTE_CACHE_BYTES_CAP`]) the
+//! cache is cleared wholesale before inserting — a crude but deterministic
+//! generation scheme that keeps the process footprint bounded without
+//! LRU bookkeeping on the hot path.
+//!
+//! Observability: `cache.hosking.{hit,miss,bypass}` and
+//! `cache.davies_harte.{hit,miss}` counters, plus `cache.hosking.bytes` /
+//! `cache.davies_harte.bytes` gauges tracking the resident footprint.
+
+use crate::acf::Acf;
+use crate::davies_harte::DaviesHarte;
+use crate::fft::next_power_of_two;
+use crate::hosking::PreparedHosking;
+use crate::LrdError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Largest single Hosking coefficient schedule the cache will hold
+/// (64 MiB ≈ n = 4090). Larger horizons bypass the cache entirely.
+pub const HOSKING_ENTRY_BYTES_CAP: usize = 64 << 20;
+
+/// Total resident cap for the Hosking schedule cache; exceeding it clears
+/// the cache before the next insert.
+pub const HOSKING_CACHE_BYTES_CAP: usize = 192 << 20;
+
+/// Total resident cap for the Davies–Harte eigenvalue cache (entries are
+/// O(n) so this is generous).
+pub const DAVIES_HARTE_CACHE_BYTES_CAP: usize = 32 << 20;
+
+/// Fingerprint the first `lags` autocorrelation values (exact f64 bit
+/// patterns, FNV-1a). Two ACFs agreeing bit-for-bit on every consumed lag
+/// are interchangeable for the cached computation, so this is a sound key.
+pub fn acf_fingerprint<A: Acf + ?Sized>(acf: &A, lags: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3); // FNV prime
+        }
+    };
+    mix(lags as u64);
+    for k in 0..lags {
+        mix(acf.r(k).to_bits());
+    }
+    h
+}
+
+/// Result of a Hosking coefficient-schedule lookup.
+#[derive(Debug, Clone)]
+pub enum CachedHosking {
+    /// The shared precomputed schedule: every replication pays only the
+    /// O(k) conditional-mean dot product per step.
+    Shared(Arc<PreparedHosking>),
+    /// The horizon exceeds [`HOSKING_ENTRY_BYTES_CAP`]: run the streaming
+    /// Durbin–Levinson recursion per path instead (same output, O(n)
+    /// memory, but the O(n²) coefficient work repeats per replication).
+    Streaming,
+}
+
+type HoskingMap = HashMap<(u64, usize), Arc<PreparedHosking>>;
+type DhMap = HashMap<(u64, usize, u64), Arc<DaviesHarte>>;
+
+struct Cache<M> {
+    map: M,
+    bytes: usize,
+}
+
+fn hosking_cache() -> &'static Mutex<Cache<HoskingMap>> {
+    static CACHE: OnceLock<Mutex<Cache<HoskingMap>>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(Cache {
+            map: HashMap::new(),
+            bytes: 0,
+        })
+    })
+}
+
+fn dh_cache() -> &'static Mutex<Cache<DhMap>> {
+    static CACHE: OnceLock<Mutex<Cache<DhMap>>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(Cache {
+            map: HashMap::new(),
+            bytes: 0,
+        })
+    })
+}
+
+/// Bytes held by one prepared schedule: the triangular `φ` rows plus the
+/// `v` and `phi_sum` vectors.
+fn hosking_entry_bytes(n: usize) -> usize {
+    (n * (n + 1) / 2 + 2 * n) * std::mem::size_of::<f64>()
+}
+
+/// Bytes held by one eigenvalue vector (`m = 2^⌈log₂ 2(n−1)⌉` scales).
+fn dh_entry_bytes(n: usize) -> usize {
+    next_power_of_two(2 * n.max(2)) * std::mem::size_of::<f64>()
+}
+
+/// Look up (or compute and insert) the Durbin–Levinson coefficient
+/// schedule for `(acf, n)`.
+///
+/// Returns [`CachedHosking::Streaming`] when the schedule would exceed
+/// [`HOSKING_ENTRY_BYTES_CAP`]; otherwise the shared schedule, computed at
+/// most once per distinct `(ACF fingerprint, n)` process-wide.
+pub fn hosking_coefficients<A: Acf>(acf: &A, n: usize) -> Result<CachedHosking, LrdError> {
+    if hosking_entry_bytes(n) > HOSKING_ENTRY_BYTES_CAP {
+        svbr_obsv::counter("cache.hosking.bypass").add(1);
+        return Ok(CachedHosking::Streaming);
+    }
+    let key = (acf_fingerprint(acf, n), n);
+    {
+        let cache = hosking_cache()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(hit) = cache.map.get(&key) {
+            svbr_obsv::counter("cache.hosking.hit").add(1);
+            return Ok(CachedHosking::Shared(Arc::clone(hit)));
+        }
+    }
+    // Computed outside the lock: preparing is O(n²) and must not serialize
+    // unrelated lookups. A racing duplicate insert is harmless (identical
+    // value; last writer wins).
+    svbr_obsv::counter("cache.hosking.miss").add(1);
+    let prepared = Arc::new(PreparedHosking::new(acf, n)?);
+    let mut cache = hosking_cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let entry = hosking_entry_bytes(n);
+    if cache.bytes + entry > HOSKING_CACHE_BYTES_CAP {
+        cache.map.clear();
+        cache.bytes = 0;
+        svbr_obsv::counter("cache.hosking.evictions").add(1);
+    }
+    if cache.map.insert(key, Arc::clone(&prepared)).is_none() {
+        cache.bytes += entry;
+    }
+    svbr_obsv::gauge("cache.hosking.bytes").set(cache.bytes as f64);
+    Ok(CachedHosking::Shared(prepared))
+}
+
+/// Look up (or build and insert) the Davies–Harte sampler for
+/// `(acf, n, rel_tol)` — see [`DaviesHarte::new_approx`] for `rel_tol`.
+///
+/// The eigenvalue/FFT-plan state is a pure function of the ACF over the
+/// circulant lags and of `n`, so replications and repeated generator
+/// constructions share one `Arc`'d sampler.
+pub fn davies_harte_cached<A: Acf>(
+    acf: &A,
+    n: usize,
+    rel_tol: f64,
+) -> Result<Arc<DaviesHarte>, LrdError> {
+    // The circulant row reads lags 0..=m/2; fingerprint exactly those so
+    // ACFs differing only beyond the consumed range cannot collide.
+    let half = if n <= 1 {
+        1
+    } else {
+        next_power_of_two(2 * (n - 1)).max(2) / 2 + 1
+    };
+    let key = (acf_fingerprint(acf, half), n, rel_tol.to_bits());
+    {
+        let cache = dh_cache().lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(hit) = cache.map.get(&key) {
+            svbr_obsv::counter("cache.davies_harte.hit").add(1);
+            return Ok(Arc::clone(hit));
+        }
+    }
+    svbr_obsv::counter("cache.davies_harte.miss").add(1);
+    let dh = Arc::new(DaviesHarte::new_approx(acf, n, rel_tol)?);
+    let mut cache = dh_cache().lock().unwrap_or_else(PoisonError::into_inner);
+    let entry = dh_entry_bytes(n);
+    if cache.bytes + entry > DAVIES_HARTE_CACHE_BYTES_CAP {
+        cache.map.clear();
+        cache.bytes = 0;
+        svbr_obsv::counter("cache.davies_harte.evictions").add(1);
+    }
+    if cache.map.insert(key, Arc::clone(&dh)).is_none() {
+        cache.bytes += entry;
+    }
+    svbr_obsv::gauge("cache.davies_harte.bytes").set(cache.bytes as f64);
+    Ok(dh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acf::{ExponentialAcf, FgnAcf};
+    use crate::hosking::HoskingSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fingerprint_distinguishes_acfs_and_lags() -> Result<(), Box<dyn std::error::Error>> {
+        let a = FgnAcf::new(0.8)?;
+        let b = FgnAcf::new(0.81)?;
+        assert_eq!(acf_fingerprint(&a, 64), acf_fingerprint(&a, 64));
+        assert_ne!(acf_fingerprint(&a, 64), acf_fingerprint(&b, 64));
+        assert_ne!(acf_fingerprint(&a, 64), acf_fingerprint(&a, 65));
+        Ok(())
+    }
+
+    #[test]
+    fn hosking_cache_returns_shared_schedule() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.77)?;
+        let a = hosking_coefficients(&acf, 96)?;
+        let b = hosking_coefficients(&acf, 96)?;
+        let (CachedHosking::Shared(a), CachedHosking::Shared(b)) = (a, b) else {
+            return Err("expected shared schedules".into());
+        };
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert_eq!(a.len(), 96);
+        Ok(())
+    }
+
+    #[test]
+    fn cached_path_matches_streaming_hosking_bitwise() -> Result<(), Box<dyn std::error::Error>> {
+        // The tentpole's exactness contract: the shared schedule drives the
+        // same arithmetic and the same rng consumption as the streaming
+        // recursion, so fixed-seed paths agree bit-for-bit.
+        for (h, n) in [(0.6, 17), (0.85, 128), (0.95, 300)] {
+            let acf = FgnAcf::new(h)?;
+            let CachedHosking::Shared(prep) = hosking_coefficients(&acf, n)? else {
+                return Err("within cap".into());
+            };
+            let mut r1 = StdRng::seed_from_u64(1234);
+            let mut r2 = StdRng::seed_from_u64(1234);
+            let cached = prep.sample_path(&mut r1);
+            let streamed = HoskingSampler::new(&acf)?.generate(n, &mut r2)?;
+            assert_eq!(cached, streamed, "H={h} n={n}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn oversized_horizon_bypasses_to_streaming() -> Result<(), Box<dyn std::error::Error>> {
+        // Just past the per-entry cap: (n(n+1)/2 + 2n)·8 > 64 MiB at n = 4100.
+        assert!(hosking_entry_bytes(4100) > HOSKING_ENTRY_BYTES_CAP);
+        let acf = ExponentialAcf::new(0.3)?;
+        assert!(matches!(
+            hosking_coefficients(&acf, 4100)?,
+            CachedHosking::Streaming
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn davies_harte_cache_shares_and_matches_uncached() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.72)?;
+        let a = davies_harte_cached(&acf, 256, 0.0)?;
+        let b = davies_harte_cached(&acf, 256, 0.0)?;
+        assert!(Arc::ptr_eq(&a, &b));
+        // Identical output to a freshly built sampler at the same seed.
+        let fresh = DaviesHarte::new(acf, 256)?;
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        assert_eq!(a.generate(&mut r1), fresh.generate(&mut r2));
+        // Different rel_tol is a different key (may differ in eigenvalue
+        // clamping), and must not alias.
+        let c = davies_harte_cached(&acf, 256, 1e-2)?;
+        assert!(!Arc::ptr_eq(&a, &c));
+        Ok(())
+    }
+
+    #[test]
+    fn entry_size_model_is_sane() {
+        assert_eq!(hosking_entry_bytes(0), 0);
+        assert_eq!(hosking_entry_bytes(1), 24);
+        assert!(hosking_entry_bytes(4090) <= HOSKING_ENTRY_BYTES_CAP);
+        assert!(dh_entry_bytes(1024) >= 2048 * 8);
+    }
+}

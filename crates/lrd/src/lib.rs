@@ -17,6 +17,10 @@
 //! * [`davies_harte`] — the circulant-embedding exact generator
 //!   (O(n log n)), used as a fast alternative for fGn and any ACF whose
 //!   circulant embedding is nonnegative definite.
+//! * [`cache`] — process-global, `Arc`-shared caches for the
+//!   sample-independent precomputations (Hosking's Durbin–Levinson
+//!   coefficient schedule, the Davies–Harte eigenvalue vector), memory
+//!   capped with a documented fallback to the streaming recursion.
 //! * [`fft`] — a self-contained radix-2 complex FFT (no external deps).
 //! * [`farima`] — FARIMA(0,d,0) and FARIMA(p,d,q) generators.
 //! * [`fbm`] — fractional Brownian motion (the cumulative view) and the
@@ -39,6 +43,7 @@
 
 pub mod acf;
 pub mod arma;
+pub mod cache;
 pub mod davies_harte;
 pub mod farima;
 pub mod fbm;
@@ -52,6 +57,7 @@ pub mod tes;
 pub use acf::{
     Acf, CompositeAcf, ExponentialAcf, FarimaAcf, FgnAcf, LagScaledAcf, PowerLawAcf, ScaledAcf,
 };
+pub use cache::{acf_fingerprint, davies_harte_cached, hosking_coefficients, CachedHosking};
 pub use davies_harte::{pd_project, DaviesHarte};
 pub use hosking::{
     regularize_to_pd, HoskingSampler, HoskingStep, NonPdPolicy, PreparedHosking, TruncatedHosking,

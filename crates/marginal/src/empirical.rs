@@ -9,6 +9,11 @@
 //! * [`BinnedEmpirical`] — built from a histogram (bin edges + counts);
 //!   the CDF is piecewise linear across bins. This is what a practical
 //!   traffic modeler stores and what Figs. 1–2 of the paper depict.
+//! * [`TabulatedEmpirical`] — a [`BinnedEmpirical`] plus a precomputed
+//!   monotone bracket table over a uniform p-grid, replacing the
+//!   per-sample binary search of the inverse-CDF transform
+//!   `Y = F_Y⁻¹(Φ(X))` with an O(1) grid lookup — **bit-identical**
+//!   quantiles, built once and shared across replications.
 
 use crate::{Marginal, MarginalError};
 
@@ -241,6 +246,123 @@ impl Marginal for BinnedEmpirical {
     }
 }
 
+/// A [`BinnedEmpirical`] with a precomputed monotone interpolation table
+/// for the inverse CDF.
+///
+/// [`BinnedEmpirical::quantile`] binary-searches the cumulative edge
+/// probabilities on every call — O(log B) with data-dependent branches, in
+/// the innermost loop of the `Y = F_Y⁻¹(Φ(X))` transform. This type
+/// precomputes, once, a uniform grid over `p ∈ [0, 1]` whose cell `g`
+/// stores the binary search's answer at the cell's lower bound
+/// (`partition_point(cum, g/G)`). Because the cumulative probabilities are
+/// nondecreasing, the answer for any `p` inside the cell lies at most a few
+/// entries to the right, so a lookup plus a short monotone scan replaces
+/// the full search.
+///
+/// The scan terminates at **exactly** the index the binary search would
+/// return and then runs the identical clamp/interpolation arithmetic, so
+/// quantiles (and anything built on them, like [`GaussianTransform`]
+/// outputs) are bit-identical to the untabulated path — verified by tests.
+///
+/// [`GaussianTransform`]: crate::transform::GaussianTransform
+#[derive(Debug, Clone)]
+pub struct TabulatedEmpirical {
+    base: BinnedEmpirical,
+    /// `grid[g] = cum.partition_point(|c| c < g / cells)`, nondecreasing.
+    grid: Vec<u32>,
+    cells: usize,
+}
+
+/// Default grid density multiplier: cells per histogram bin. At 4× the
+/// expected monotone scan length is well under one step.
+pub const QUANTILE_GRID_CELLS_PER_BIN: usize = 4;
+
+/// Minimum grid size, so coarse histograms still get O(1) lookups.
+pub const QUANTILE_GRID_MIN_CELLS: usize = 64;
+
+impl TabulatedEmpirical {
+    /// Build the table with the default grid density
+    /// ([`QUANTILE_GRID_CELLS_PER_BIN`] cells per bin, at least
+    /// [`QUANTILE_GRID_MIN_CELLS`]).
+    pub fn new(base: BinnedEmpirical) -> Self {
+        let cells = (base.bins() * QUANTILE_GRID_CELLS_PER_BIN).max(QUANTILE_GRID_MIN_CELLS);
+        Self::with_cells(base, cells)
+    }
+
+    /// Build the table with an explicit grid size (`cells >= 1`; 0 is
+    /// treated as 1).
+    pub fn with_cells(base: BinnedEmpirical, cells: usize) -> Self {
+        let cells = cells.max(1);
+        let grid = (0..cells)
+            .map(|g| {
+                let p0 = g as f64 / cells as f64;
+                base.cum.partition_point(|&c| c < p0) as u32
+            })
+            .collect();
+        svbr_obsv::point(
+            "cache.quantile.build",
+            &[("cells", cells as f64), ("bins", base.bins() as f64)],
+        );
+        Self { base, grid, cells }
+    }
+
+    /// The underlying histogram distribution.
+    pub fn base(&self) -> &BinnedEmpirical {
+        &self.base
+    }
+
+    /// Number of grid cells in the interpolation table.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+}
+
+impl Marginal for TabulatedEmpirical {
+    fn cdf(&self, x: f64) -> f64 {
+        self.base.cdf(x)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        // Mirror BinnedEmpirical::quantile exactly, replacing only the
+        // binary search with the bracketed monotone scan.
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return self.base.edges[0];
+        }
+        if p >= 1.0 {
+            // svbr-lint: allow(no-expect) constructor rejects histograms with no bins
+            return *self.base.edges.last().expect("non-empty");
+        }
+        let cell = ((p * self.cells as f64) as usize).min(self.cells - 1);
+        // grid[cell] brackets the search result; scan monotonically to the
+        // first cum >= p — the exact partition point. The backward step
+        // covers the half-ulp case where `p * cells` rounded up a cell.
+        let mut i = self.grid[cell] as usize;
+        let cum = &self.base.cum;
+        while i > 0 && cum[i - 1] >= p {
+            i -= 1;
+        }
+        while i < cum.len() && cum[i] < p {
+            i += 1;
+        }
+        let i = i.clamp(1, self.base.edges.len() - 1);
+        let (clo, chi) = (cum[i - 1], cum[i]);
+        if chi <= clo {
+            return self.base.edges[i];
+        }
+        let frac = (p - clo) / (chi - clo);
+        self.base.edges[i - 1] + frac * (self.base.edges[i] - self.base.edges[i - 1])
+    }
+
+    fn mean(&self) -> f64 {
+        self.base.mean()
+    }
+
+    fn variance(&self) -> f64 {
+        self.base.variance()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +471,55 @@ mod tests {
         assert!(BinnedEmpirical::new(vec![0.0, 1.0, 2.0], &[1]).is_err());
         assert!(BinnedEmpirical::from_samples(&[1.0, 1.0], 4).is_err());
         assert!(BinnedEmpirical::from_samples(&[1.0, 2.0], 0).is_err());
+    }
+
+    #[test]
+    fn tabulated_quantile_is_bit_identical_to_binned() -> Result<(), Box<dyn std::error::Error>> {
+        // Adversarial histogram: empty bins (flat CDF runs), uneven masses.
+        let base = BinnedEmpirical::new(
+            vec![0.0, 0.5, 1.0, 2.0, 2.25, 7.0, 11.0],
+            &[3, 0, 17, 1, 0, 4],
+        )?;
+        for cells in [1, 2, 7, 64, 1024] {
+            let tab = TabulatedEmpirical::with_cells(base.clone(), cells);
+            assert_eq!(tab.cells(), cells);
+            // Dense sweep plus the exact cumulative boundaries and their
+            // neighbouring representable values.
+            let mut ps: Vec<f64> = (0..=100_000).map(|i| i as f64 / 100_000.0).collect();
+            for &c in &base.cum {
+                ps.extend([c, c.next_up(), c.next_down()]);
+            }
+            ps.extend([-0.5, 0.0, 1.0, 1.5, 0.1f64.next_down(), 0.1f64.next_up()]);
+            for p in ps {
+                assert_eq!(
+                    tab.quantile(p).to_bits(),
+                    base.quantile(p).to_bits(),
+                    "cells={cells} p={p}"
+                );
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn tabulated_delegates_everything_but_quantile() -> Result<(), Box<dyn std::error::Error>> {
+        let base = BinnedEmpirical::new(vec![0.0, 1.0, 2.0, 5.0], &[2, 5, 3])?;
+        let tab = TabulatedEmpirical::new(base.clone());
+        assert_eq!(tab.cdf(1.5).to_bits(), base.cdf(1.5).to_bits());
+        assert_eq!(tab.mean().to_bits(), base.mean().to_bits());
+        assert_eq!(tab.variance().to_bits(), base.variance().to_bits());
+        assert_eq!(tab.base().bins(), 3);
+        // Default sizing: at least the minimum, scaled with bins.
+        assert!(tab.cells() >= QUANTILE_GRID_MIN_CELLS);
+        let wide = BinnedEmpirical::from_samples(
+            &(0..2000).map(|i| (i % 997) as f64).collect::<Vec<_>>(),
+            100,
+        )?;
+        assert_eq!(
+            TabulatedEmpirical::new(wide).cells(),
+            100 * QUANTILE_GRID_CELLS_PER_BIN
+        );
+        Ok(())
     }
 
     #[test]

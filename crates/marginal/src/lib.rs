@@ -31,7 +31,7 @@ pub mod pareto;
 pub mod special;
 pub mod transform;
 
-pub use empirical::{BinnedEmpirical, EmpiricalCdf};
+pub use empirical::{BinnedEmpirical, EmpiricalCdf, TabulatedEmpirical};
 pub use gamma::Gamma;
 pub use gamma_pareto::GammaPareto;
 pub use lognormal::Lognormal;

@@ -88,6 +88,7 @@ mod tests {
     fn thread_ordinals_are_distinct_and_stable() {
         let mine = thread_ordinal();
         assert_eq!(mine, thread_ordinal(), "ordinal is stable per thread");
+        // svbr-lint: allow(no-raw-thread) per-OS-thread ordinals need real threads
         let theirs = std::thread::scope(|s| {
             let h1 = s.spawn(thread_ordinal);
             let h2 = s.spawn(thread_ordinal);

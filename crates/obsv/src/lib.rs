@@ -199,6 +199,7 @@ mod tests {
         let reg = Registry::new();
         let threads = 8;
         let per_thread = 10_000u64;
+        // svbr-lint: allow(no-raw-thread) races the atomic counter on raw threads
         std::thread::scope(|s| {
             for _ in 0..threads {
                 let c = reg.counter("shared");

@@ -46,7 +46,7 @@ pub use lindley::{
     first_passage_slot, queue_exceeds, queue_path, sup_workload, validate_arrivals, LindleyQueue,
     QueueStats,
 };
-pub use mc::{estimate_overflow, tail_curve_from_path, McEstimate};
+pub use mc::{estimate_overflow, estimate_overflow_seeded, tail_curve_from_path, McEstimate};
 pub use mux::Mux;
 pub use norros::{norros_buffer_for_loss, norros_overflow, FbmTraffic};
 pub use superposition::{multiplexing_gain, required_capacity, superpose, CapacityEstimate};

@@ -11,6 +11,12 @@
 //!   fraction of slots with `Q > b` (the paper notes this was their only
 //!   option with one trace, and that it is why synthetic and empirical
 //!   curves disagree slightly).
+//!
+//! [`estimate_overflow_seeded`] is the deterministic-parallel form of the
+//! replicated mode: replication `i` draws its arrivals from the seed
+//! `svbr_par::derive_seed(master_seed, i)`, replications are sharded over
+//! worker threads, and hits are folded in replication order — the estimate
+//! is bit-identical for any thread count, including 1.
 
 use crate::lindley::{first_passage_slot, validate_arrivals, LindleyQueue, QueueStats};
 use crate::QueueError;
@@ -59,19 +65,12 @@ impl McEstimate {
     }
 }
 
-/// Estimate `Pr(Q_k > b)` (queue started empty) by first-passage of the
-/// workload over `N` replications. `make_path` is called once per
-/// replication and must yield at least `horizon` slots of arrivals.
-pub fn estimate_overflow<F>(
-    mut make_path: F,
+fn validate_overflow_params(
     n_reps: usize,
     horizon: usize,
     service: f64,
     b: f64,
-) -> Result<McEstimate, QueueError>
-where
-    F: FnMut(usize) -> Vec<f64>,
-{
+) -> Result<(), QueueError> {
     if n_reps == 0 {
         return Err(QueueError::InvalidParameter {
             name: "n_reps",
@@ -96,6 +95,46 @@ where
             constraint: "finite and >= 0",
         });
     }
+    Ok(())
+}
+
+fn overflow_estimate_from_hits(hits: usize, n_reps: usize, horizon: usize, b: f64) -> McEstimate {
+    svbr_obsv::counter("queue.mc.replications").add(n_reps as u64);
+    svbr_obsv::counter("queue.overflows").add(hits as u64);
+    let p = hits as f64 / n_reps as f64;
+    if svbr_obsv::enabled() {
+        svbr_obsv::point(
+            "queue.overflow",
+            &[
+                ("buffer", b),
+                ("horizon", horizon as f64),
+                ("n", n_reps as f64),
+                ("overflows", hits as f64),
+                ("p", p),
+            ],
+        );
+    }
+    McEstimate {
+        p,
+        n: n_reps,
+        variance: p * (1.0 - p) / n_reps as f64,
+    }
+}
+
+/// Estimate `Pr(Q_k > b)` (queue started empty) by first-passage of the
+/// workload over `N` replications. `make_path` is called once per
+/// replication and must yield at least `horizon` slots of arrivals.
+pub fn estimate_overflow<F>(
+    mut make_path: F,
+    n_reps: usize,
+    horizon: usize,
+    service: f64,
+    b: f64,
+) -> Result<McEstimate, QueueError>
+where
+    F: FnMut(usize) -> Vec<f64>,
+{
+    validate_overflow_params(n_reps, horizon, service, b)?;
     let mut hits = 0usize;
     // Streaming convergence telemetry: the running CI half-width of the
     // overflow probability, with a watermark recording when it first drops
@@ -130,26 +169,53 @@ where
         );
         wm.observe(done as u64, half);
     }
-    svbr_obsv::counter("queue.mc.replications").add(n_reps as u64);
-    svbr_obsv::counter("queue.overflows").add(hits as u64);
-    let p = hits as f64 / n_reps as f64;
-    if svbr_obsv::enabled() {
-        svbr_obsv::point(
-            "queue.overflow",
-            &[
-                ("buffer", b),
-                ("horizon", horizon as f64),
-                ("n", n_reps as f64),
-                ("overflows", hits as f64),
-                ("p", p),
-            ],
-        );
+    Ok(overflow_estimate_from_hits(hits, n_reps, horizon, b))
+}
+
+/// Deterministic-parallel form of [`estimate_overflow`].
+///
+/// Replication `i` is handed the derived seed
+/// `svbr_par::derive_seed(master_seed, i)`; `make_path(i, seed)` must be a
+/// pure function of its arguments. Replications are sharded over `threads`
+/// workers (clamped by [`svbr_par::par_map_blocks`]) and per-replication
+/// outcomes are folded in replication-index order, so the returned estimate
+/// is **bit-identical for any thread count** and any error reported is the
+/// one of the lowest failing replication index.
+///
+/// Unlike the sequential form, no streaming convergence telemetry is
+/// emitted (replications complete out of order across workers); the final
+/// `queue.overflow` point and counters are identical.
+pub fn estimate_overflow_seeded<F>(
+    make_path: F,
+    master_seed: u64,
+    n_reps: usize,
+    horizon: usize,
+    service: f64,
+    b: f64,
+    threads: usize,
+) -> Result<McEstimate, QueueError>
+where
+    F: Fn(usize, u64) -> Vec<f64> + Sync,
+{
+    validate_overflow_params(n_reps, horizon, service, b)?;
+    let outcomes = svbr_par::run_replications(master_seed, n_reps, threads, |rep, seed| {
+        let path = make_path(rep, seed);
+        if path.len() < horizon {
+            return Err(QueueError::PathTooShort {
+                needed: horizon,
+                got: path.len(),
+            });
+        }
+        validate_arrivals(&path[..horizon])?;
+        Ok(first_passage_slot(&path[..horizon], service, b).is_some())
+    });
+    let mut hits = 0usize;
+    for outcome in outcomes {
+        if outcome? {
+            hits += 1;
+        }
     }
-    Ok(McEstimate {
-        p,
-        n: n_reps,
-        variance: p * (1.0 - p) / n_reps as f64,
-    })
+    Ok(overflow_estimate_from_hits(hits, n_reps, horizon, b))
 }
 
 /// Steady-state tail curve from one long arrival path: for each requested
@@ -350,6 +416,97 @@ mod tests {
         // A NaN *after* the horizon is never fed to the queue, so it is fine.
         let ok = estimate_overflow(|_| vec![0.0, 0.0, f64::NAN], 5, 2, 1.0, 1.0);
         assert!(ok.is_ok());
+    }
+
+    /// Pure Bernoulli-batch arrival path derived from a replication seed —
+    /// the same recipe at the same seed must yield the same path, which is
+    /// the contract `estimate_overflow_seeded` requires of `make_path`.
+    fn seeded_bernoulli_path(seed: u64, len: usize, p: f64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                if rng.gen_range(0.0..1.0) < p {
+                    2.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seeded_estimate_is_bit_identical_across_thread_counts(
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let make_path = |_rep: usize, seed: u64| seeded_bernoulli_path(seed, 500, 0.3);
+        let baseline = estimate_overflow_seeded(make_path, 42, 600, 500, 1.0, 2.0, 1)?;
+        assert!(
+            baseline.p > 0.0 && baseline.p < 1.0,
+            "test must exercise both outcomes"
+        );
+        for threads in [2usize, 8] {
+            let est = estimate_overflow_seeded(make_path, 42, 600, 500, 1.0, 2.0, threads)?;
+            assert_eq!(est.p.to_bits(), baseline.p.to_bits(), "threads={threads}");
+            assert_eq!(est.n, baseline.n);
+            assert_eq!(
+                est.variance.to_bits(),
+                baseline.variance.to_bits(),
+                "threads={threads}"
+            );
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn seeded_estimate_matches_sequential_fold_of_derived_seeds(
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        // The parallel estimator over derived seeds must equal the plain
+        // sequential estimator fed the identical seed schedule.
+        let par = estimate_overflow_seeded(
+            |_rep, seed| seeded_bernoulli_path(seed, 400, 0.35),
+            7,
+            300,
+            400,
+            1.0,
+            2.0,
+            4,
+        )?;
+        let seq = estimate_overflow(
+            |rep| seeded_bernoulli_path(svbr_par::derive_seed(7, rep as u64), 400, 0.35),
+            300,
+            400,
+            1.0,
+            2.0,
+        )?;
+        assert_eq!(par.p.to_bits(), seq.p.to_bits());
+        Ok(())
+    }
+
+    #[test]
+    fn seeded_estimate_reports_lowest_index_error() {
+        // Replications 3 and 7 are too short; index order means rep 3's
+        // error must win regardless of which worker hits it first.
+        let err = estimate_overflow_seeded(
+            |rep, _seed| {
+                if rep == 3 || rep == 7 {
+                    vec![0.0; 2]
+                } else {
+                    vec![0.0; 10]
+                }
+            },
+            1,
+            16,
+            10,
+            1.0,
+            1.0,
+            8,
+        );
+        assert!(matches!(
+            err,
+            Err(QueueError::PathTooShort { needed: 10, got: 2 })
+        ));
+        // Validation failures short-circuit before any path is built.
+        assert!(estimate_overflow_seeded(|_, _| vec![0.0; 5], 1, 0, 5, 1.0, 1.0, 1).is_err());
+        assert!(estimate_overflow_seeded(|_, _| vec![0.0; 5], 1, 5, 5, 0.0, 1.0, 1).is_err());
     }
 
     #[test]

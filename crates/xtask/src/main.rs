@@ -199,7 +199,35 @@ fn obsv_report_text(text: &str) -> String {
 #[derive(Debug, Clone, PartialEq)]
 struct BenchCase {
     name: String,
+    /// Samples per iteration (absent in schema-1 reports).
+    n: Option<u64>,
+    /// Executor worker threads (absent in schema-1 reports).
+    threads: Option<u64>,
     samples_per_sec: f64,
+}
+
+impl BenchCase {
+    /// Case identity for the regression gate: `(name, n, threads)`. A side
+    /// missing `n` or `threads` (an old schema-1 baseline) matches any
+    /// value on the other side, so regenerating a baseline never strands
+    /// the gate.
+    fn same_case(&self, other: &BenchCase) -> bool {
+        let opt_eq = |a: Option<u64>, b: Option<u64>| match (a, b) {
+            (Some(x), Some(y)) => x == y,
+            _ => true,
+        };
+        self.name == other.name && opt_eq(self.n, other.n) && opt_eq(self.threads, other.threads)
+    }
+
+    /// Display key, e.g. `hosking_replicated_cached[n=4096,t=4]`.
+    fn key(&self) -> String {
+        match (self.n, self.threads) {
+            (Some(n), Some(t)) => format!("{}[n={n},t={t}]", self.name),
+            (Some(n), None) => format!("{}[n={n}]", self.name),
+            (None, Some(t)) => format!("{}[t={t}]", self.name),
+            (None, None) => self.name.clone(),
+        }
+    }
 }
 
 /// Parse a `BENCH_svbr.json` document into its named cases.
@@ -226,8 +254,11 @@ fn parse_bench_cases(text: &str) -> Result<Vec<BenchCase>, String> {
             .get("samples_per_sec")
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("case `{name}` has no `samples_per_sec`"))?;
+        let num = |field: &str| c.get(field).and_then(Json::as_f64).map(|v| v as u64);
         out.push(BenchCase {
             name: name.to_string(),
+            n: num("n"),
+            threads: num("threads"),
             samples_per_sec: sps,
         });
     }
@@ -259,7 +290,7 @@ fn bench_compare(baseline_path: &str, current_path: &str, threshold: f64) -> i32
         100.0 * (1.0 - threshold)
     );
     for b in &baseline {
-        match current.iter().find(|c| c.name == b.name) {
+        match current.iter().find(|c| c.same_case(b)) {
             Some(c) if b.samples_per_sec > 0.0 => {
                 let ratio = c.samples_per_sec / b.samples_per_sec;
                 let regressed = ratio < 1.0 - threshold;
@@ -268,8 +299,8 @@ fn bench_compare(baseline_path: &str, current_path: &str, threshold: f64) -> i32
                 }
                 let _ = writeln!(
                     out,
-                    "  {:<14} {:>14.0} -> {:>14.0} samples/s  {:>+7.1}%{}",
-                    b.name,
+                    "  {:<32} {:>14.0} -> {:>14.0} samples/s  {:>+7.1}%{}",
+                    b.key(),
                     b.samples_per_sec,
                     c.samples_per_sec,
                     100.0 * (ratio - 1.0),
@@ -279,19 +310,20 @@ fn bench_compare(baseline_path: &str, current_path: &str, threshold: f64) -> i32
             Some(c) => {
                 let _ = writeln!(
                     out,
-                    "  {:<14} baseline throughput is 0; current {:.0} samples/s (skipped)",
-                    b.name, c.samples_per_sec
+                    "  {:<32} baseline throughput is 0; current {:.0} samples/s (skipped)",
+                    b.key(),
+                    c.samples_per_sec
                 );
             }
             None => {
                 regressions += 1;
-                let _ = writeln!(out, "  {:<14} MISSING from current report", b.name);
+                let _ = writeln!(out, "  {:<32} MISSING from current report", b.key());
             }
         }
     }
     for c in &current {
-        if !baseline.iter().any(|b| b.name == c.name) {
-            let _ = writeln!(out, "  {:<14} new case (no baseline)", c.name);
+        if !baseline.iter().any(|b| b.same_case(c)) {
+            let _ = writeln!(out, "  {:<32} new case (no baseline)", c.key());
         }
     }
     if regressions > 0 {
@@ -639,7 +671,8 @@ mod tests {
         assert_eq!(obsv_report("/nonexistent/trace.jsonl"), 1);
     }
 
-    /// The bench-compare fixture: one report at given throughputs.
+    /// The bench-compare fixture: one schema-1 report (no `threads`
+    /// field) at given throughputs.
     fn bench_json(cases: &[(&str, f64)]) -> String {
         let rows: Vec<String> = cases
             .iter()
@@ -653,6 +686,25 @@ mod tests {
             .collect();
         format!(
             "{{\n  \"name\": \"svbr_bench_suite\",\n  \"schema\": 1,\n  \
+             \"cases\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        )
+    }
+
+    /// Schema-2 fixture: cases carry `(name, n, threads, samples_per_sec)`.
+    fn bench_json_v2(cases: &[(&str, u64, u64, f64)]) -> String {
+        let rows: Vec<String> = cases
+            .iter()
+            .map(|(name, n, threads, sps)| {
+                format!(
+                    "    {{\"name\": \"{name}\", \"n\": {n}, \"iters\": 5, \
+                     \"threads\": {threads}, \"samples_per_sec\": {sps}, \
+                     \"p50_us\": 1.0, \"p95_us\": 2.0, \"total_secs\": 0.1}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"name\": \"svbr_bench_suite\",\n  \"schema\": 2,\n  \
              \"cases\": [\n{}\n  ]\n}}\n",
             rows.join(",\n")
         )
@@ -695,6 +747,61 @@ mod tests {
         // …and identical reports always pass.
         assert_eq!(
             bench_compare(&path("baseline.json"), &path("baseline.json"), 0.15),
+            0
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn bench_compare_matches_on_name_n_threads() {
+        // The suite legitimately carries the same case name at two thread
+        // counts: the gate must pair rows by (name, n, threads), never by
+        // name alone.
+        let root = tmp_tree(&[
+            (
+                "baseline.json",
+                &bench_json_v2(&[("cached", 4096, 1, 1000.0), ("cached", 4096, 4, 3000.0)]),
+            ),
+            (
+                // Only the 4-thread variant regressed; name-only matching
+                // would pair both baseline rows with the first (healthy)
+                // current row and miss it.
+                "t4_slowed.json",
+                &bench_json_v2(&[("cached", 4096, 1, 1000.0), ("cached", 4096, 4, 1200.0)]),
+            ),
+            (
+                "ok.json",
+                &bench_json_v2(&[("cached", 4096, 1, 980.0), ("cached", 4096, 4, 2950.0)]),
+            ),
+            (
+                // A different n is a different case: its disappearance is
+                // a gate failure even though the name survives.
+                "n_changed.json",
+                &bench_json_v2(&[("cached", 8192, 1, 1000.0), ("cached", 4096, 4, 3000.0)]),
+            ),
+            // A schema-1 baseline (no threads recorded) still gates a
+            // schema-2 report: the missing `threads` matches any value.
+            ("v1_baseline.json", &bench_json(&[("cached", 1000.0)])),
+            (
+                "v2_current.json",
+                &bench_json_v2(&[("cached", 100, 4, 980.0)]),
+            ),
+        ]);
+        let path = |n: &str| root.join(n).to_string_lossy().into_owned();
+        assert_eq!(
+            bench_compare(&path("baseline.json"), &path("t4_slowed.json"), 0.15),
+            1
+        );
+        assert_eq!(
+            bench_compare(&path("baseline.json"), &path("ok.json"), 0.15),
+            0
+        );
+        assert_eq!(
+            bench_compare(&path("baseline.json"), &path("n_changed.json"), 0.15),
+            1
+        );
+        assert_eq!(
+            bench_compare(&path("v1_baseline.json"), &path("v2_current.json"), 0.15),
             0
         );
         std::fs::remove_dir_all(&root).ok();

@@ -14,6 +14,7 @@
 //! | `obsv-panic`      | `panic!` / `unreachable!` inside `crates/obsv/src`   |
 //! | `no-silent-catch` | `catch_unwind` with no nearby `svbr_obsv::` report   |
 //! | `no-raw-instant`  | `std::time::Instant` outside `crates/obsv`/`profile` |
+//! | `no-raw-thread`   | `thread::spawn`/`thread::scope` outside `crates/par` |
 //!
 //! A violation on line *n* is waived by `// svbr-lint: allow(<id>[, <id>…])`
 //! on line *n* or line *n − 1*. Waivers should name the safety invariant
@@ -50,6 +51,12 @@ pub enum Rule {
     /// `now_us`) so span timestamps, benchmark numbers and deadlines share
     /// one process epoch.
     NoRawInstant,
+    /// `thread::spawn` / `thread::scope` outside `crates/par`: all fan-out
+    /// must go through the deterministic replication executor
+    /// (`svbr_par::par_map_blocks` / `run_replications`) so results stay
+    /// bit-identical at any thread count and every worker inherits the
+    /// `(master_seed, index)` seed schedule.
+    NoRawThread,
 }
 
 impl Rule {
@@ -66,6 +73,7 @@ impl Rule {
             Rule::ObsvPanic => "obsv-panic",
             Rule::NoSilentCatch => "no-silent-catch",
             Rule::NoRawInstant => "no-raw-instant",
+            Rule::NoRawThread => "no-raw-thread",
         }
     }
 }
@@ -246,6 +254,18 @@ pub fn lint_source(rel_path: &str, src: &str, class: FileClass) -> FileReport {
                     .to_string(),
             );
         }
+        // All fan-out flows through the deterministic executor so thread
+        // count never changes results; only svbr-par itself spawns.
+        if !thread_exempt_path(rel_path) && mentions_raw_thread(line_text) {
+            push(
+                Rule::NoRawThread,
+                "raw `thread::spawn`/`thread::scope`: fan out with \
+                 `svbr_par::par_map_blocks` / `svbr_par::run_replications` \
+                 so replications stay bit-identical at any thread count, \
+                 or waive with `// svbr-lint: allow(no-raw-thread) <why>`"
+                    .to_string(),
+            );
+        }
     }
 
     for Comment { line, text } in &masked.comments {
@@ -313,6 +333,37 @@ pub fn lint_obsv_manifest(rel_path: &str, src: &str) -> Vec<Violation> {
 /// built against that clock.
 fn instant_exempt_path(rel_path: &str) -> bool {
     rel_path.starts_with("crates/obsv/") || rel_path.starts_with("crates/profile/")
+}
+
+/// Paths allowed to spawn OS threads directly: the deterministic
+/// replication executor, which owns all workspace fan-out.
+fn thread_exempt_path(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/par/")
+}
+
+/// `thread::spawn` / `thread::scope` as a qualified path (masked line, so
+/// strings and comments never fire): catches `std::thread::spawn(…)`,
+/// `thread::scope(|s| …)` after `use std::thread`, but not identifiers
+/// merely containing the words (`thread::scoped_thing`) and not
+/// `thread::sleep`/`available_parallelism`.
+fn mentions_raw_thread(masked_line: &str) -> bool {
+    let bytes = masked_line.as_bytes();
+    for needle in [b"thread::spawn".as_slice(), b"thread::scope".as_slice()] {
+        let mut i = 0;
+        while i + needle.len() <= bytes.len() {
+            if bytes[i..].starts_with(needle) {
+                let prev_ok =
+                    i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+                let next = bytes.get(i + needle.len()).copied().unwrap_or(b' ');
+                let next_ok = !(next.is_ascii_alphanumeric() || next == b'_');
+                if prev_ok && next_ok {
+                    return true;
+                }
+            }
+            i += 1;
+        }
+    }
+    false
 }
 
 /// `Instant` as a standalone token (masked line, so strings and comments
@@ -687,6 +738,33 @@ mod tests {
         let waived = "// svbr-lint: allow(no-raw-instant) interop with external crate API\nuse std::time::Instant;\n";
         let r = lint_source("crates/lrd/src/hosking.rs", waived, FileClass::Library);
         assert!(rule_lines(&r, Rule::NoRawInstant).is_empty());
+    }
+
+    #[test]
+    fn fixture_raw_thread_fires_outside_par() {
+        let src = "pub fn f() {\n    std::thread::scope(|s| {\n        s.spawn(|| 1);\n    });\n    let h = std::thread::spawn(|| 2);\n}\n";
+        let r = lint_source("crates/is/src/transient.rs", src, FileClass::Library);
+        assert_eq!(rule_lines(&r, Rule::NoRawThread), vec![2, 5]);
+        // Support files (binaries, benches) are covered too.
+        let r = lint_source("crates/bench/src/bin/repro.rs", src, FileClass::Support);
+        assert_eq!(rule_lines(&r, Rule::NoRawThread), vec![2, 5]);
+        // The executor crate itself is exempt.
+        let r = lint_source("crates/par/src/lib.rs", src, FileClass::Library);
+        assert!(rule_lines(&r, Rule::NoRawThread).is_empty());
+        // Tests are NOT exempt: replicated work in tests goes through the
+        // executor too (concurrency-primitive tests carry waivers).
+        let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        std::thread::scope(|s| { s.spawn(|| 1); });\n    }\n}\n";
+        let r = lint_source("crates/queue/src/mc.rs", in_test, FileClass::Library);
+        assert_eq!(rule_lines(&r, Rule::NoRawThread), vec![5]);
+        // `thread::sleep`, `available_parallelism`, prose and identifiers
+        // merely containing the words must not fire.
+        let clean = "pub fn f() {\n    std::thread::sleep(d);\n    let p = std::thread::available_parallelism();\n    let x = thread::scoped_thing();\n    // thread::spawn in prose\n    let s = \"thread::spawn\";\n}\n";
+        let r = lint_source("crates/lrd/src/hosking.rs", clean, FileClass::Library);
+        assert!(rule_lines(&r, Rule::NoRawThread).is_empty());
+        // Waivers apply as usual.
+        let waived = "pub fn f() {\n    // svbr-lint: allow(no-raw-thread) exercises the raw primitive itself\n    std::thread::scope(|s| { s.spawn(|| 1); });\n}\n";
+        let r = lint_source("crates/obsv/src/lib.rs", waived, FileClass::Library);
+        assert!(rule_lines(&r, Rule::NoRawThread).is_empty());
     }
 
     #[test]

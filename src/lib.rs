@@ -24,6 +24,10 @@
 //! * [`resilience`] — supervised, checkpointable runs: atomic bit-exact
 //!   checkpoints, `catch_unwind` supervision with retry budgets, the
 //!   generator degradation ladder, and deterministic fault injection.
+//! * [`par`] — the deterministic replication executor: per-replication
+//!   seed derivation from `(master_seed, index)` and static block
+//!   sharding, so every threaded entry point is bit-identical at any
+//!   thread count.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@ pub use svbr_domain as domain;
 pub use svbr_is as is;
 pub use svbr_lrd as lrd;
 pub use svbr_marginal as marginal;
+pub use svbr_par as par;
 pub use svbr_queue as queue;
 pub use svbr_resilience as resilience;
 pub use svbr_stats as stats;
