@@ -281,7 +281,6 @@ mod tests {
             7,
             4,
         )?;
-        // svbr-lint: allow(no-expect) `points` has one entry per twist and twists was checked non-empty
         let suggested_point = points.last().expect("non-empty");
         let best_nv = points[best].normalized_variance();
         assert!(

@@ -61,11 +61,13 @@ impl ArmaFilter {
             let mut x = e;
             for (j, &theta) in self.ma.iter().enumerate() {
                 if t > j {
+                    // svbr-analyze: allow(panic-surface) t > j so 0 <= t-j-1 < t <= innovations.len()
                     x += theta * innovations[t - j - 1];
                 }
             }
             for (i, &phi) in self.ar.iter().enumerate() {
                 if t > i {
+                    // svbr-analyze: allow(panic-surface) t > i so 0 <= t-i-1 < t == out.len() here
                     x += phi * out[t - i - 1];
                 }
             }
@@ -172,12 +174,15 @@ pub fn fit_ar(xs: &[f64], order: usize) -> Result<(Vec<f64>, f64), LrdError> {
     for k in 1..=order {
         let mut num = r[k];
         for j in 1..k {
+            // svbr-analyze: allow(panic-surface) 1 <= j < k <= order keeps j-1 and k-j in 0..order
             num -= prev[j - 1] * r[k - j];
         }
         let kappa = num / v;
         for j in 1..k {
+            // svbr-analyze: allow(panic-surface) 1 <= j < k <= order keeps j-1 and k-j-1 in 0..order
             phi[j - 1] = prev[j - 1] - kappa * prev[k - j - 1];
         }
+        // svbr-analyze: allow(panic-surface) k <= order == phi.len(), so k-1 is in bounds
         phi[k - 1] = kappa;
         v *= 1.0 - kappa * kappa;
         prev[..k].copy_from_slice(&phi[..k]);
@@ -283,6 +288,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn fit_ar_recovers_ar2() -> Result<(), Box<dyn std::error::Error>> {
         // X_t = 0.5 X_{t-1} + 0.3 X_{t-2} + ε
         let f = ArmaFilter::new(vec![0.5, 0.3], vec![])?;
@@ -299,6 +305,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn fit_ar_higher_order_finds_near_zero_extras() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(12);
         let xs = Ar1::new(0.6)?.generate(200_000, &mut rng);

@@ -35,7 +35,7 @@ use crate::davies_harte::DaviesHarte;
 use crate::fft::next_power_of_two;
 use crate::hosking::PreparedHosking;
 use crate::LrdError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Largest single Hosking coefficient schedule the cache will hold
@@ -80,32 +80,57 @@ pub enum CachedHosking {
     Streaming,
 }
 
-type HoskingMap = HashMap<(u64, usize), Arc<PreparedHosking>>;
-type DhMap = HashMap<(u64, usize, u64), Arc<DaviesHarte>>;
+// Ordered maps keep every walk over the cache deterministic (the analyze
+// pass's `det-unordered-collection` rule holds these crates to that), and
+// the key tuples are already `Ord`.
+type HoskingCache = Cache<(u64, usize), Arc<PreparedHosking>>;
+type DhCache = Cache<(u64, usize, u64), Arc<DaviesHarte>>;
 
-struct Cache<M> {
-    map: M,
+struct Cache<K: Ord, V> {
+    map: BTreeMap<K, V>,
     bytes: usize,
 }
 
-fn hosking_cache() -> &'static Mutex<Cache<HoskingMap>> {
-    static CACHE: OnceLock<Mutex<Cache<HoskingMap>>> = OnceLock::new();
-    CACHE.get_or_init(|| {
-        Mutex::new(Cache {
-            map: HashMap::new(),
+impl<K: Ord, V> Cache<K, V> {
+    fn empty() -> Self {
+        Self {
+            map: BTreeMap::new(),
             bytes: 0,
-        })
-    })
+        }
+    }
 }
 
-fn dh_cache() -> &'static Mutex<Cache<DhMap>> {
-    static CACHE: OnceLock<Mutex<Cache<DhMap>>> = OnceLock::new();
-    CACHE.get_or_init(|| {
-        Mutex::new(Cache {
-            map: HashMap::new(),
-            bytes: 0,
-        })
-    })
+/// Insert `value` under `key`, keeping the cache's resident footprint
+/// under `total_cap`: when the next entry would overflow, the whole map is
+/// cleared first (crude but deterministic generational eviction — no LRU
+/// bookkeeping on the hot path). Returns the footprint after the insert.
+fn insert_bounded<K: Ord, V>(
+    cache: &mut Cache<K, V>,
+    key: K,
+    value: V,
+    entry_bytes: usize,
+    total_cap: usize,
+    evictions: &svbr_obsv::Counter,
+) -> usize {
+    if cache.bytes + entry_bytes > total_cap {
+        cache.map.clear();
+        cache.bytes = 0;
+        evictions.add(1);
+    }
+    if cache.map.insert(key, value).is_none() {
+        cache.bytes += entry_bytes;
+    }
+    cache.bytes
+}
+
+fn hosking_cache() -> &'static Mutex<HoskingCache> {
+    static CACHE: OnceLock<Mutex<HoskingCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Cache::empty()))
+}
+
+fn dh_cache() -> &'static Mutex<DhCache> {
+    static CACHE: OnceLock<Mutex<DhCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Cache::empty()))
 }
 
 /// Bytes held by one prepared schedule: the triangular `φ` rows plus the
@@ -148,16 +173,15 @@ pub fn hosking_coefficients<A: Acf>(acf: &A, n: usize) -> Result<CachedHosking, 
     let mut cache = hosking_cache()
         .lock()
         .unwrap_or_else(PoisonError::into_inner);
-    let entry = hosking_entry_bytes(n);
-    if cache.bytes + entry > HOSKING_CACHE_BYTES_CAP {
-        cache.map.clear();
-        cache.bytes = 0;
-        svbr_obsv::counter("cache.hosking.evictions").add(1);
-    }
-    if cache.map.insert(key, Arc::clone(&prepared)).is_none() {
-        cache.bytes += entry;
-    }
-    svbr_obsv::gauge("cache.hosking.bytes").set(cache.bytes as f64);
+    let resident = insert_bounded(
+        &mut cache,
+        key,
+        Arc::clone(&prepared),
+        hosking_entry_bytes(n),
+        HOSKING_CACHE_BYTES_CAP,
+        &svbr_obsv::counter("cache.hosking.evictions"),
+    );
+    svbr_obsv::gauge("cache.hosking.bytes").set(resident as f64);
     Ok(CachedHosking::Shared(prepared))
 }
 
@@ -190,16 +214,15 @@ pub fn davies_harte_cached<A: Acf>(
     svbr_obsv::counter("cache.davies_harte.miss").add(1);
     let dh = Arc::new(DaviesHarte::new_approx(acf, n, rel_tol)?);
     let mut cache = dh_cache().lock().unwrap_or_else(PoisonError::into_inner);
-    let entry = dh_entry_bytes(n);
-    if cache.bytes + entry > DAVIES_HARTE_CACHE_BYTES_CAP {
-        cache.map.clear();
-        cache.bytes = 0;
-        svbr_obsv::counter("cache.davies_harte.evictions").add(1);
-    }
-    if cache.map.insert(key, Arc::clone(&dh)).is_none() {
-        cache.bytes += entry;
-    }
-    svbr_obsv::gauge("cache.davies_harte.bytes").set(cache.bytes as f64);
+    let resident = insert_bounded(
+        &mut cache,
+        key,
+        Arc::clone(&dh),
+        dh_entry_bytes(n),
+        DAVIES_HARTE_CACHE_BYTES_CAP,
+        &svbr_obsv::counter("cache.davies_harte.evictions"),
+    );
+    svbr_obsv::gauge("cache.davies_harte.bytes").set(resident as f64);
     Ok(dh)
 }
 
@@ -289,5 +312,81 @@ mod tests {
         assert_eq!(hosking_entry_bytes(1), 24);
         assert!(hosking_entry_bytes(4090) <= HOSKING_ENTRY_BYTES_CAP);
         assert!(dh_entry_bytes(1024) >= 2048 * 8);
+    }
+
+    /// Largest horizon whose schedule still fits the per-entry cap.
+    fn per_entry_boundary() -> usize {
+        let mut n = 1;
+        while hosking_entry_bytes(n + 1) <= HOSKING_ENTRY_BYTES_CAP {
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn per_entry_cap_boundary_is_sharp() {
+        let n = per_entry_boundary();
+        assert!(hosking_entry_bytes(n) <= HOSKING_ENTRY_BYTES_CAP);
+        assert!(hosking_entry_bytes(n + 1) > HOSKING_ENTRY_BYTES_CAP);
+        // The cap is 64 MiB, so the boundary sits near n ≈ 4093 — a sanity
+        // band rather than an exact pin, so retuning the cap only moves it.
+        assert!((4000..4200).contains(&n), "boundary moved: n = {n}");
+        // One past the boundary must bypass without computing anything.
+        let acf = ExponentialAcf::new(0.3).expect("valid acf");
+        assert!(matches!(
+            hosking_coefficients(&acf, n + 1).expect("bypass is not an error"),
+            CachedHosking::Streaming
+        ));
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // O(n²) at the 64 MiB boundary — minutes under Miri
+    fn streaming_fallback_is_bitwise_equal_to_cached_schedule(
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        // An entry straddling the per-entry cap takes the streaming path;
+        // the contract is that callers cannot tell: same seed, same bits.
+        // Build the over-cap schedule directly (only the cache refuses it)
+        // and compare against the streaming recursion.
+        let n = per_entry_boundary() + 1;
+        let acf = FgnAcf::new(0.8)?;
+        assert!(matches!(
+            hosking_coefficients(&acf, n)?,
+            CachedHosking::Streaming
+        ));
+        let prep = PreparedHosking::new(acf, n)?;
+        let mut r1 = StdRng::seed_from_u64(77);
+        let mut r2 = StdRng::seed_from_u64(77);
+        let cached = prep.sample_path(&mut r1);
+        let streamed = HoskingSampler::new(&acf)?.generate(n, &mut r2)?;
+        assert_eq!(cached, streamed, "fallback diverged at n = {n}");
+        Ok(())
+    }
+
+    #[test]
+    fn total_cap_eviction_clears_wholesale_and_accounts_bytes() {
+        let evictions = svbr_obsv::Counter::new();
+        let mut cache: Cache<u32, &str> = Cache {
+            map: BTreeMap::new(),
+            bytes: 0,
+        };
+        // Two 40-byte entries fit a 100-byte cap...
+        assert_eq!(insert_bounded(&mut cache, 1, "a", 40, 100, &evictions), 40);
+        assert_eq!(insert_bounded(&mut cache, 2, "b", 40, 100, &evictions), 80);
+        assert_eq!(evictions.get(), 0);
+        // ...the third would hit 120 > 100: wholesale clear, then insert.
+        assert_eq!(insert_bounded(&mut cache, 3, "c", 40, 100, &evictions), 40);
+        assert_eq!(evictions.get(), 1);
+        assert_eq!(cache.map.len(), 1);
+        assert!(cache.map.contains_key(&3), "only the new entry survives");
+        // Re-inserting an existing key must not double-count its bytes.
+        assert_eq!(insert_bounded(&mut cache, 3, "c2", 40, 100, &evictions), 40);
+        assert_eq!(cache.map.len(), 1);
+        // An entry larger than the whole cap still lands (the caller's
+        // per-entry cap is the real gate); the clear fires first.
+        assert_eq!(
+            insert_bounded(&mut cache, 4, "d", 150, 100, &evictions),
+            150
+        );
+        assert_eq!(evictions.get(), 2);
     }
 }

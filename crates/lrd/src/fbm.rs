@@ -94,6 +94,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn fbm_variance_grows_like_t_to_2h() -> Result<(), Box<dyn std::error::Error>> {
         // Var B_t = t^{2H}: estimate at two times across many paths and
         // compare the ratio with the theoretical power.
@@ -121,6 +122,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn fbm_is_nonstationary_but_increments_are_stationary() -> Result<(), Box<dyn std::error::Error>>
     {
         let fbm = Fbm::new(0.8, 512)?;
@@ -145,6 +147,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn aggregation_scaling_identity() -> Result<(), Box<dyn std::error::Error>> {
         // X^{(m)} =d m^{H-1} X: the variance of block means of size m is
         // m^{2H-2}.

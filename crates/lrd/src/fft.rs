@@ -136,17 +136,19 @@ fn transform(data: &mut [Complex], inverse: bool) {
     while len <= n {
         let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
         let wlen = Complex::new(ang.cos(), ang.sin());
-        let mut i = 0;
-        while i < n {
+        // `len` divides `n` (both powers of two), so `chunks_exact_mut`
+        // covers the whole buffer and every butterfly pairs `lo[k]` with
+        // `hi[k]` without any arithmetic indexing.
+        for chunk in data.chunks_exact_mut(len) {
             let mut w = Complex::real(1.0);
-            for k in 0..len / 2 {
-                let u = data[i + k];
-                let v = data[i + k + len / 2] * w;
-                data[i + k] = u + v;
-                data[i + k + len / 2] = u - v;
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *x;
+                let v = *y * w;
+                *x = u + v;
+                *y = u - v;
                 w = w * wlen;
             }
-            i += len;
         }
         len <<= 1;
     }

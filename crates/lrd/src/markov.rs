@@ -184,6 +184,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn poisson_mean_and_variance() {
         let mut rng = StdRng::seed_from_u64(1);
         for lambda in [0.5, 3.0, 25.0, 100.0] {
@@ -222,6 +223,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn mmpp_acf_decays_exponentially() -> Result<(), Box<dyn std::error::Error>> {
         // The SRD property: ACF ratio r(2k)/r(k) ≈ r(k) for geometric decay.
         let m = Mmpp2::new(0.0, 8.0, 0.05, 0.05)?;

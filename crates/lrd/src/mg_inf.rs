@@ -145,6 +145,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn busy_count_is_lrd() -> Result<(), Box<dyn std::error::Error>> {
         let src = MgInfinity::new(0.5, 1.3, 5.0)?;
         assert!((src.target_hurst() - 0.85).abs() < 1e-12);

@@ -196,6 +196,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn tes_acf_decays_geometrically_ie_srd() -> Result<(), Box<dyn std::error::Error>> {
         // The structural limitation vs the paper's model: log r(k) is
         // ~linear in k, so r(60)/r(30) ≈ r(30)/r(1)^{29/29}… test the ratio

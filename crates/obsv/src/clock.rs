@@ -92,7 +92,6 @@ mod tests {
         let theirs = std::thread::scope(|s| {
             let h1 = s.spawn(thread_ordinal);
             let h2 = s.spawn(thread_ordinal);
-            // svbr-lint: allow(no-expect) test threads cannot panic
             [h1.join().expect("join"), h2.join().expect("join")]
         });
         assert_ne!(theirs[0], theirs[1]);

@@ -38,6 +38,7 @@ impl RunManifest {
             git_revision: git_revision(root),
             params: Vec::new(),
             notes: Vec::new(),
+            // svbr-analyze: allow(seed-flow) wall-clock start is run metadata only; it never feeds an RNG or the sample path
             started_wall: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
                 .ok()

@@ -6,7 +6,7 @@
 //! when *resolving* a metric by name (do that once, outside loops) and when
 //! taking a [`Snapshot`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -192,10 +192,12 @@ enum Entry {
 
 /// Named metric registry. One global instance lives behind
 /// [`crate::counter`]/[`crate::gauge`]/[`crate::histogram`]; local
-/// registries can be created for tests.
+/// registries can be created for tests. Backed by a `BTreeMap` so every
+/// traversal (snapshots, dumps) is name-ordered without relying on hash
+/// state.
 #[derive(Debug, Default)]
 pub struct Registry {
-    inner: Mutex<HashMap<String, Entry>>,
+    inner: Mutex<BTreeMap<String, Entry>>,
 }
 
 impl Registry {
@@ -204,7 +206,7 @@ impl Registry {
         Self::default()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Entry>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
         // A poisoned registry only means another thread panicked mid-insert;
         // the map itself is still structurally valid, so keep going.
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
@@ -250,7 +252,9 @@ impl Registry {
         }
     }
 
-    /// Point-in-time copy of every registered metric, sorted by name.
+    /// Point-in-time copy of every registered metric, sorted by name
+    /// (the backing `BTreeMap` iterates in key order, so no post-sort is
+    /// needed).
     pub fn snapshot(&self) -> Snapshot {
         let map = self.lock();
         let mut snap = Snapshot::default();
@@ -261,9 +265,6 @@ impl Registry {
                 Entry::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
             }
         }
-        snap.counters.sort();
-        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
-        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
         snap
     }
 }

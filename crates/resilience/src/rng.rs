@@ -58,9 +58,9 @@ impl SeedableRng for CkptRng {
 
     fn from_seed(seed: Self::Seed) -> Self {
         let mut s = [0u64; 4];
-        for (i, word) in s.iter_mut().enumerate() {
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
             let mut b = [0u8; 8];
-            b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            b.copy_from_slice(chunk);
             *word = u64::from_le_bytes(b);
         }
         if s == [0; 4] {

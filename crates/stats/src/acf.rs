@@ -114,6 +114,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn ar1_acf_recovered() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(2);
         let xs = Ar1::new(0.8)?.generate(200_000, &mut rng);
@@ -181,6 +182,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn bartlett_bands_grow_under_persistence() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(6);
         let white = Ar1::new(0.0)?.generate(20_000, &mut rng);

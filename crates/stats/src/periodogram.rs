@@ -140,6 +140,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn gph_recovers_hurst_for_fgn() -> Result<(), Box<dyn std::error::Error>> {
         // Seed 2, not 3: seed 3's innovation path draws an unlucky
         // low-frequency excursion that biases the GPH slope by ≈ -0.09 at
@@ -153,6 +154,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn gph_white_noise_near_half() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.5, 32_768, 4);
         let est = gph_estimate(&xs, None)?;

@@ -185,6 +185,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn white_noise_hurst_half() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.5, 100_000, 1);
         let opts = RsOptions {
@@ -201,6 +202,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn lrd_hurst_detected() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.9, 200_000, 2);
         let opts = RsOptions {
@@ -216,6 +218,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn pox_points_grow_with_n() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.8, 50_000, 3);
         let pts = rs_pox(

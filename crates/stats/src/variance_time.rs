@@ -132,6 +132,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn white_noise_gives_half() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.5, 200_000, 1);
         let opts = VtOptions {
@@ -147,6 +148,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn strong_lrd_detected() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.9, 400_000, 2);
         let opts = VtOptions {
@@ -161,6 +163,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn moderate_lrd_detected() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.7, 400_000, 3);
         let opts = VtOptions {
@@ -175,6 +178,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn srd_process_reads_as_half_at_large_m() -> Result<(), Box<dyn std::error::Error>> {
         // An AR(1) has H = 1/2 asymptotically; with min_m past its
         // correlation length the estimator must not report LRD.
@@ -192,6 +196,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn slope_points_are_monotone_decreasing_for_lrd() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.85, 100_000, 5);
         let opts = VtOptions {

@@ -199,6 +199,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn haar_detail_energy_of_white_noise_is_flat() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.5, 65_536, 1);
         let spec = haar_spectrum(&xs, 32)?;
@@ -222,6 +223,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn recovers_hurst_for_fgn() -> Result<(), Box<dyn std::error::Error>> {
         for (h, tol) in [(0.6, 0.06), (0.8, 0.06), (0.9, 0.07)] {
             let xs = fgn(h, 131_072, 2);
@@ -247,6 +249,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn unweighted_agrees_roughly() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.75, 65_536, 4);
         let a = wavelet_hurst(&xs, 2, 11)?;

@@ -106,6 +106,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn recovers_hurst_across_range() -> Result<(), Box<dyn std::error::Error>> {
         for (h, tol) in [(0.55, 0.05), (0.7, 0.05), (0.9, 0.06)] {
             let xs = fgn(h, 65_536, 1);
@@ -120,6 +121,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn white_noise_reads_half() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.5, 32_768, 2);
         let est = local_whittle(&xs, None)?;
@@ -128,6 +130,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn robust_to_srd_contamination() -> Result<(), Box<dyn std::error::Error>> {
         // Composite knee ACF: local Whittle at low frequencies must read the
         // LRD exponent (H = 0.9), not the exponential part.
@@ -145,6 +148,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn ar1_is_not_mistaken_for_lrd_at_low_frequencies() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(4);
         let xs = Ar1::new(0.7)?.generate(131_072, &mut rng);
@@ -155,6 +159,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn std_err_shrinks_with_bandwidth() -> Result<(), Box<dyn std::error::Error>> {
         let xs = fgn(0.8, 32_768, 5);
         let narrow = local_whittle(&xs, Some(64))?;

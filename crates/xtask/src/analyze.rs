@@ -1,0 +1,1006 @@
+//! `svbr-xtask analyze` — the cross-file determinism & numeric-safety audit.
+//!
+//! Where `lint` is a per-line token scan, `analyze` builds a [`FileModel`]
+//! per file and enforces four rule families across the workspace:
+//!
+//! | ID                         | what it flags                                            |
+//! |----------------------------|----------------------------------------------------------|
+//! | `det-unordered-collection` | `HashMap`/`HashSet` (or an alias) in a bit-identity crate |
+//! | `det-unordered-iter`       | iteration over an unordered collection there             |
+//! | `det-float-reduction`      | `.sum()`/`.fold()`/… chained onto a `par_*` adapter      |
+//! | `seed-flow`                | a seeded `pub fn` leaking ambient entropy, or a dead seed |
+//! | `panic-surface`            | arithmetic slice indexing inside a loop body             |
+//! | `metric-name`              | a metric name outside the `<prefix>.<path>` convention   |
+//! | `metric-kind-conflict`     | one name registered as two kinds (or vs. DESIGN.md)      |
+//! | `metric-undocumented`      | a registered metric missing from DESIGN.md's registry    |
+//! | `metric-dead`              | a DESIGN.md registry row no code registers               |
+//!
+//! The determinism and panic-surface families apply only to the crates
+//! that promise bit-identical output ([`AUDITED_CRATES`]); seed-flow and
+//! the metric registry are workspace-wide. Waivers use the shared grammar
+//! (`// svbr-analyze: allow(<id>) [expires = "…"] <invariant>`, see
+//! [`crate::waivers`]) and get the same unused/expired audit as lint.
+
+use crate::model::{find_token_from, has_token, line_of, FileModel, MetricKind};
+use crate::rules::{audit_waivers, FileClass};
+use crate::waivers::{collect_waivers, WaiverBook};
+use std::path::Path;
+
+/// Crates whose public results must be bit-identical across thread counts
+/// and checkpoint resume: the determinism and panic-surface families apply
+/// to their library code.
+pub const AUDITED_CRATES: &[&str] = &["par", "lrd", "is", "queue", "core", "resilience"];
+
+/// Allowed first segments of an `svbr_obsv` metric name.
+pub const METRIC_PREFIXES: &[&str] = &[
+    "par",
+    "cache",
+    "is",
+    "queue",
+    "pipeline",
+    "lrd",
+    "resilience",
+];
+
+/// Rule IDs.
+pub const DET_UNORDERED_COLLECTION: &str = "det-unordered-collection";
+pub const DET_UNORDERED_ITER: &str = "det-unordered-iter";
+pub const DET_FLOAT_REDUCTION: &str = "det-float-reduction";
+pub const SEED_FLOW: &str = "seed-flow";
+pub const PANIC_SURFACE: &str = "panic-surface";
+pub const METRIC_NAME: &str = "metric-name";
+pub const METRIC_KIND_CONFLICT: &str = "metric-kind-conflict";
+pub const METRIC_UNDOCUMENTED: &str = "metric-undocumented";
+pub const METRIC_DEAD: &str = "metric-dead";
+
+/// The per-site-waivable subset this pass owns for the waiver audit
+/// (`metric-dead` anchors in DESIGN.md, which has no waiver comments).
+pub const ANALYZE_WAIVABLE_IDS: &[&str] = &[
+    DET_UNORDERED_COLLECTION,
+    DET_UNORDERED_ITER,
+    DET_FLOAT_REDUCTION,
+    SEED_FLOW,
+    PANIC_SURFACE,
+    METRIC_NAME,
+    METRIC_KIND_CONFLICT,
+    METRIC_UNDOCUMENTED,
+];
+
+/// One analyze diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (`DESIGN.md` for registry-side findings).
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: usize,
+    /// Stable rule ID.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Aggregated result over the whole tree.
+#[derive(Debug, Default)]
+pub struct AnalyzeReport {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files modeled.
+    pub files_scanned: usize,
+    /// Number of distinct metric names registered outside tests.
+    pub metric_names: usize,
+}
+
+/// Analyze every `.rs` file under `root` plus the DESIGN.md registry.
+pub fn analyze_tree(root: &Path, today: &str) -> AnalyzeReport {
+    let mut paths = Vec::new();
+    crate::collect_rs_files(root, &mut paths);
+    paths.sort();
+    let mut files: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for path in paths {
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push((rel, src));
+    }
+    let borrowed: Vec<(&str, &str)> = files
+        .iter()
+        .map(|(r, s)| (r.as_str(), s.as_str()))
+        .collect();
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    analyze_sources(&borrowed, design.as_deref(), today)
+}
+
+/// Analyze in-memory sources (the testable core of [`analyze_tree`]).
+pub fn analyze_sources(files: &[(&str, &str)], design: Option<&str>, today: &str) -> AnalyzeReport {
+    let mut ctxs: Vec<(FileModel, WaiverBook)> = files
+        .iter()
+        .map(|(rel, src)| {
+            let model = FileModel::build(rel, src);
+            let book = WaiverBook::new(collect_waivers(&model.masked.comments), today);
+            (model, book)
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+    for (model, book) in ctxs.iter_mut() {
+        file_rules(model, book, &mut findings);
+    }
+    let metric_names = metric_rules(&mut ctxs, design, &mut findings);
+    for (model, book) in &ctxs {
+        findings.extend(
+            audit_waivers(book, &model.rel_path, ANALYZE_WAIVABLE_IDS)
+                .into_iter()
+                .map(|v| Finding {
+                    file: v.file,
+                    line: v.line,
+                    rule: v.rule.id(),
+                    message: v.message,
+                }),
+        );
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    AnalyzeReport {
+        findings,
+        files_scanned: ctxs.len(),
+        metric_names,
+    }
+}
+
+/// The per-file families: determinism, panic-surface, seed-flow.
+fn file_rules(model: &FileModel, book: &mut WaiverBook, out: &mut Vec<Finding>) {
+    let audited =
+        model.class == FileClass::Library && AUDITED_CRATES.contains(&model.crate_name.as_str());
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        if !book.suppresses(line, rule) {
+            out.push(Finding {
+                file: model.rel_path.clone(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    if audited {
+        let lines: Vec<&str> = model.masked.code.lines().collect();
+        for (idx, &lt) in lines.iter().enumerate() {
+            let line_no = idx + 1;
+            if model.in_test(line_no) {
+                continue;
+            }
+            if let Some(ty) = model.unordered_types.iter().find(|t| has_token(lt, t)) {
+                push(
+                    line_no,
+                    DET_UNORDERED_COLLECTION,
+                    format!(
+                        "`{ty}` in bit-identity crate `{}`: iteration order is \
+                         nondeterministic — use `BTreeMap`/`BTreeSet` (or waive \
+                         with the invariant that no result depends on order)",
+                        model.crate_name
+                    ),
+                );
+            }
+            if let Some((ident, how)) = unordered_iteration(lt, &model.unordered_idents) {
+                push(
+                    line_no,
+                    DET_UNORDERED_ITER,
+                    format!(
+                        "{how} over unordered `{ident}`: order varies run-to-run — \
+                         iterate a `BTreeMap` or a sorted snapshot instead"
+                    ),
+                );
+            }
+            if model.in_loop(line_no) {
+                if let Some(expr) = arithmetic_index(lt) {
+                    push(
+                        line_no,
+                        PANIC_SURFACE,
+                        format!(
+                            "arithmetic slice index `[{expr}]` inside a loop: \
+                             prefer `get`/iterators/`split_at`, or waive with \
+                             the bounds invariant"
+                        ),
+                    );
+                }
+            }
+        }
+        for (line, chain) in float_reductions(&model.masked.code, model) {
+            push(
+                line,
+                DET_FLOAT_REDUCTION,
+                format!(
+                    "float reduction `{chain}` over a parallel adapter: \
+                     summation order is nondeterministic — merge per-block \
+                     results in index order (svbr_par-style) instead"
+                ),
+            );
+        }
+    }
+
+    if model.class == FileClass::Library {
+        seed_flow_rules(model, &mut push);
+    }
+}
+
+/// `seed-flow`: a `pub fn` that accepts a seed must thread it somewhere and
+/// must not reach ambient entropy inside its body.
+fn seed_flow_rules(model: &FileModel, push: &mut impl FnMut(usize, &'static str, String)) {
+    const ENTROPY: &[&str] = &["thread_rng", "from_entropy", "SystemTime", "RandomState"];
+    for f in &model.fns {
+        if !f.is_pub || model.in_test(f.line) {
+            continue;
+        }
+        let seed_params: Vec<&str> = f
+            .params
+            .iter()
+            .map(|p| p.name.as_str())
+            .filter(|n| *n == "seed" || *n == "master_seed" || n.ends_with("_seed"))
+            .collect();
+        if seed_params.is_empty() {
+            continue;
+        }
+        let Some((b0, b1)) = f.body else {
+            continue;
+        };
+        let body = &model.masked.code[b0..b1];
+        for tok in ENTROPY {
+            if let Some(p) = find_token_from(body, tok, 0) {
+                push(
+                    line_of(&model.masked.code, b0 + p),
+                    SEED_FLOW,
+                    format!(
+                        "`{}` takes `{}` but reaches ambient entropy `{tok}`: \
+                         every random/temporal input on a seeded path must \
+                         derive from the seed",
+                        f.name, seed_params[0]
+                    ),
+                );
+            }
+        }
+        for name in seed_params {
+            if !has_token(body, name) {
+                push(
+                    f.line,
+                    SEED_FLOW,
+                    format!(
+                        "`{}` accepts `{name}` but never uses it: a dead seed \
+                         parameter means the output cannot be replayed from \
+                         the recorded seed",
+                        f.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Iteration over a known unordered ident: either `ident.iter()`-style
+/// method calls or a `for … in … ident` header. Returns `(ident, how)`.
+fn unordered_iteration(line: &str, idents: &[String]) -> Option<(String, &'static str)> {
+    const METHODS: &[&str] = &[
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "into_iter",
+        "drain",
+        "retain",
+    ];
+    let bytes = line.as_bytes();
+    for meth in METHODS {
+        let pat = format!(".{meth}(");
+        let mut from = 0usize;
+        while let Some(rel) = line[from..].find(&pat) {
+            let at = from + rel;
+            from = at + pat.len();
+            // The ident immediately before the dot.
+            let mut s = at;
+            while s > 0 && (bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_') {
+                s -= 1;
+            }
+            let recv = &line[s..at];
+            if idents.iter().any(|id| id == recv) {
+                return Some((recv.to_string(), "method iteration"));
+            }
+        }
+    }
+    // `for (k, v) in &self.index {` / `for k in names {`
+    if has_token(line, "for") {
+        if let Some(at) = find_token_from(line, "in", 0) {
+            let tail = line[at + 2..]
+                .trim_start()
+                .trim_start_matches('&')
+                .trim_start_matches("mut ");
+            let tail = tail.strip_prefix("self.").unwrap_or(tail);
+            let ident: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            let rest = tail[ident.len()..].trim();
+            if idents.contains(&ident) && (rest.is_empty() || rest.starts_with('{')) {
+                return Some((ident, "`for … in`"));
+            }
+        }
+    }
+    None
+}
+
+/// `[…]` with an arithmetic index expression (`i + 1`, `2 * k - j`, …) on a
+/// masked line. Array types/repeats (`[0.0; n]`) and attribute lines are
+/// skipped; plain `[i]` is considered bounds-reviewed and allowed.
+fn arithmetic_index(line: &str) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'[' {
+            i += 1;
+            continue;
+        }
+        let mut p = i;
+        while p > 0 && bytes[p - 1] == b' ' {
+            p -= 1;
+        }
+        let prev = if p > 0 { bytes[p - 1] } else { b' ' };
+        let indexes_value =
+            prev.is_ascii_alphanumeric() || prev == b'_' || prev == b']' || prev == b')';
+        // Find the matching bracket on this line.
+        let mut depth = 0i32;
+        let mut close = None;
+        let mut j = i;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let close = close?;
+        if indexes_value {
+            let interior = &line[i + 1..close];
+            let structural =
+                interior.contains(';') || interior.contains('{') || interior.contains('|');
+            let arith = interior.bytes().any(|b| matches!(b, b'+' | b'-' | b'*'));
+            let has_var = interior.bytes().any(|b| b.is_ascii_alphabetic());
+            if !structural && arith && has_var {
+                return Some(interior.trim().to_string());
+            }
+        }
+        i = close + 1;
+    }
+    None
+}
+
+/// Statement-level scan for float reductions chained onto parallel
+/// adapters. Statements are delimited by `;`/`{`/`}` on masked code, so a
+/// multi-line builder chain stays one statement.
+fn float_reductions(code: &str, model: &FileModel) -> Vec<(usize, String)> {
+    const PAR: &[&str] = &["par_iter", "into_par_iter", "par_bridge", "par_chunks"];
+    const REDUCE: &[&str] = &[".sum(", ".fold(", ".reduce(", ".product("];
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut seg_start = 0usize;
+    let mut i = 0usize;
+    while i <= bytes.len() {
+        let boundary = i == bytes.len() || matches!(bytes[i], b';' | b'{' | b'}');
+        if boundary {
+            let seg = &code[seg_start..i];
+            if PAR.iter().any(|t| has_token(seg, t)) {
+                for red in REDUCE {
+                    if let Some(p) = seg.find(red) {
+                        let line = line_of(code, seg_start + p);
+                        if !model.in_test(line) {
+                            let name = red.trim_start_matches('.').trim_end_matches('(');
+                            out.push((line, format!("par_*…{name}()")));
+                        }
+                        break;
+                    }
+                }
+            }
+            seg_start = i + 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One parsed row of DESIGN.md's "Metric registry" table.
+#[derive(Debug)]
+struct RegistryRow {
+    name: String,
+    kind: String,
+    line: usize,
+}
+
+/// Parse the machine-readable registry table under a heading containing
+/// "Metric registry". Returns `None` when no such heading exists.
+fn parse_metric_registry(text: &str) -> Option<Vec<RegistryRow>> {
+    let mut rows = Vec::new();
+    let mut in_section = false;
+    let mut found = false;
+    for (idx, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.starts_with('#') {
+            in_section = t.to_ascii_lowercase().contains("metric registry");
+            found |= in_section;
+            continue;
+        }
+        if !in_section || !t.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = t
+            .trim_start_matches('|')
+            .trim_end_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if cells.len() < 2 || !cells[0].starts_with('`') {
+            continue; // header or separator row
+        }
+        let name = cells[0].trim_matches('`').to_string();
+        let kind = cells[1].to_ascii_lowercase();
+        if !name.is_empty() && ["counter", "gauge", "histogram"].contains(&kind.as_str()) {
+            rows.push(RegistryRow {
+                name,
+                kind,
+                line: idx + 1,
+            });
+        }
+    }
+    if found {
+        Some(rows)
+    } else {
+        None
+    }
+}
+
+/// Does a metric name follow `<prefix>.<lower_snake[.lower_snake…]>`?
+fn metric_name_ok(name: &str) -> bool {
+    let Some((prefix, rest)) = name.split_once('.') else {
+        return false;
+    };
+    METRIC_PREFIXES.contains(&prefix)
+        && !rest.is_empty()
+        && rest.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        })
+}
+
+/// The metric-registry family: naming, kind uniqueness, and the
+/// bidirectional DESIGN.md cross-check. Returns the distinct-name count.
+fn metric_rules(
+    ctxs: &mut [(FileModel, WaiverBook)],
+    design: Option<&str>,
+    out: &mut Vec<Finding>,
+) -> usize {
+    // (ctx index, line, kind, name) for every non-test registration.
+    let mut sites: Vec<(usize, usize, MetricKind, String)> = Vec::new();
+    for (idx, (model, _)) in ctxs.iter().enumerate() {
+        for m in &model.metrics {
+            if !m.in_test {
+                sites.push((idx, m.line, m.kind, m.name.clone()));
+            }
+        }
+    }
+    let mut push = |ctxs: &mut [(FileModel, WaiverBook)],
+                    idx: usize,
+                    line: usize,
+                    rule: &'static str,
+                    message: String| {
+        let (model, book) = &mut ctxs[idx];
+        if !book.suppresses(line, rule) {
+            out.push(Finding {
+                file: model.rel_path.clone(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    // Naming convention.
+    for (idx, line, _, name) in sites.clone() {
+        if !metric_name_ok(&name) {
+            push(
+                ctxs,
+                idx,
+                line,
+                METRIC_NAME,
+                format!(
+                    "metric `{name}` violates the naming convention \
+                     `<prefix>.<lower_snake…>` with prefix one of {}",
+                    METRIC_PREFIXES.join("/")
+                ),
+            );
+        }
+    }
+    // Kind uniqueness across code sites.
+    let mut first_kind: std::collections::BTreeMap<String, (MetricKind, String, usize)> =
+        std::collections::BTreeMap::new();
+    for (idx, line, kind, name) in sites.clone() {
+        let here = (ctxs[idx].0.rel_path.clone(), line);
+        match first_kind.get(&name) {
+            None => {
+                first_kind.insert(name, (kind, here.0, here.1));
+            }
+            Some((k0, f0, l0)) if *k0 != kind => {
+                let msg = format!(
+                    "metric `{name}` registered as {} here but as {} at {f0}:{l0}: \
+                     one name must map to one instrument",
+                    kind.name(),
+                    k0.name()
+                );
+                push(ctxs, idx, line, METRIC_KIND_CONFLICT, msg);
+            }
+            Some(_) => {}
+        }
+    }
+    // DESIGN.md cross-check.
+    match design.and_then(parse_metric_registry) {
+        None => {
+            if !sites.is_empty() {
+                out.push(Finding {
+                    file: String::from("DESIGN.md"),
+                    line: 0,
+                    rule: METRIC_UNDOCUMENTED,
+                    message: format!(
+                        "{} metric name(s) registered but DESIGN.md has no \
+                         `Metric registry` table to cross-check them against",
+                        first_kind.len()
+                    ),
+                });
+            }
+        }
+        Some(rows) => {
+            let by_name: std::collections::BTreeMap<&str, &RegistryRow> =
+                rows.iter().map(|r| (r.name.as_str(), r)).collect();
+            for (idx, line, kind, name) in sites.clone() {
+                match by_name.get(name.as_str()) {
+                    None => push(
+                        ctxs,
+                        idx,
+                        line,
+                        METRIC_UNDOCUMENTED,
+                        format!(
+                            "metric `{name}` is not in DESIGN.md's `Metric registry` \
+                             table: document it (name, kind, meaning) or remove it"
+                        ),
+                    ),
+                    Some(row) if row.kind != kind.name() => {
+                        let msg = format!(
+                            "metric `{name}` registered as {} but DESIGN.md \
+                             documents it as {} (row at DESIGN.md:{})",
+                            kind.name(),
+                            row.kind,
+                            row.line
+                        );
+                        push(ctxs, idx, line, METRIC_KIND_CONFLICT, msg);
+                    }
+                    Some(_) => {}
+                }
+            }
+            for row in &rows {
+                if !first_kind.contains_key(&row.name) {
+                    out.push(Finding {
+                        file: String::from("DESIGN.md"),
+                        line: row.line,
+                        rule: METRIC_DEAD,
+                        message: format!(
+                            "documented metric `{}` is registered nowhere in the \
+                             workspace: delete the row or restore the instrumentation",
+                            row.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    first_kind.len()
+}
+
+impl AnalyzeReport {
+    /// Plain-text rendering (one `file:line: [rule] message` per finding,
+    /// then a summary line), matching the lint output shape.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            if f.line == 0 {
+                s.push_str(&format!("{}: [{}] {}\n", f.file, f.rule, f.message));
+            } else {
+                s.push_str(&format!(
+                    "{}:{}: [{}] {}\n",
+                    f.file, f.line, f.rule, f.message
+                ));
+            }
+        }
+        s.push_str(&format!(
+            "svbr-analyze: {} file(s) scanned, {} metric name(s), {} finding(s)\n",
+            self.files_scanned,
+            self.metric_names,
+            self.findings.len()
+        ));
+        s
+    }
+
+    /// JSON rendering, matching the lint report's envelope style.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        s.push_str(&format!("\"metric_names\":{},", self.metric_names));
+        s.push_str("\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                crate::json_escape(&f.file),
+                f.line,
+                f.rule,
+                crate::json_escape(&f.message)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TODAY: &str = "2026-08-09";
+
+    fn findings(files: &[(&str, &str)], design: Option<&str>) -> Vec<Finding> {
+        analyze_sources(files, design, TODAY).findings
+    }
+
+    fn of_rule<'a>(fs: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+        fs.iter().filter(|f| f.rule == rule).collect()
+    }
+
+    // ---- determinism family ---------------------------------------------
+
+    #[test]
+    fn fixture_det_unordered_collection_fires() {
+        let src = "use std::collections::HashMap;\npub fn f() {\n    let m: HashMap<u8, u8> = HashMap::new();\n    let _ = m;\n}\n";
+        let fs = findings(&[("crates/par/src/lib.rs", src)], None);
+        let hits = of_rule(&fs, DET_UNORDERED_COLLECTION);
+        assert_eq!(
+            hits.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![1, 3],
+            "use line and binding line both fire"
+        );
+        // BTreeMap is clean.
+        let clean = src.replace("HashMap", "BTreeMap");
+        let fs = findings(&[("crates/par/src/lib.rs", clean.as_str())], None);
+        assert!(of_rule(&fs, DET_UNORDERED_COLLECTION).is_empty());
+        // Unaudited crates are out of scope.
+        let fs = findings(&[("crates/profile/src/lib.rs", src)], None);
+        assert!(of_rule(&fs, DET_UNORDERED_COLLECTION).is_empty());
+        // Test scopes are exempt.
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        let fs = findings(&[("crates/par/src/lib.rs", in_test.as_str())], None);
+        assert!(of_rule(&fs, DET_UNORDERED_COLLECTION).is_empty());
+        // A waiver suppresses, and is counted as used (no unused-waiver).
+        let waived = "// svbr-analyze: allow(det-unordered-collection) key order never observed\nuse std::collections::HashMap;\npub fn f(m: &HashMap<u8, u8>) -> usize { m.len() }\n";
+        let fs = findings(&[("crates/par/src/lib.rs", waived)], None);
+        assert_eq!(
+            of_rule(&fs, DET_UNORDERED_COLLECTION)
+                .iter()
+                .map(|f| f.line)
+                .collect::<Vec<_>>(),
+            vec![3],
+            "only the unwaived param line still fires"
+        );
+        assert!(of_rule(&fs, "unused-waiver").is_empty());
+    }
+
+    #[test]
+    fn fixture_det_unordered_iter_fires() {
+        let src = "\
+use std::collections::HashMap;
+pub struct S {
+    index: HashMap<String, u64>,
+}
+impl S {
+    pub fn walk(&self) -> u64 {
+        let mut acc = 0;
+        for (_k, v) in &self.index {
+            acc += v;
+        }
+        let _names: Vec<&String> = self.index.keys().collect();
+        acc
+    }
+}
+";
+        let fs = findings(&[("crates/queue/src/lib.rs", src)], None);
+        let hits = of_rule(&fs, DET_UNORDERED_ITER);
+        assert_eq!(
+            hits.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![8, 11],
+            "for-loop and .keys() both fire"
+        );
+        // Iterating a BTreeMap-typed ident does not fire.
+        let clean = src.replace("HashMap", "BTreeMap");
+        let fs = findings(&[("crates/queue/src/lib.rs", clean.as_str())], None);
+        assert!(of_rule(&fs, DET_UNORDERED_ITER).is_empty());
+    }
+
+    #[test]
+    fn fixture_det_float_reduction_fires() {
+        let src = "\
+pub fn total(chunks: &Chunks) -> f64 {
+    chunks
+        .par_iter()
+        .map(|c| c.energy())
+        .sum()
+}
+";
+        let fs = findings(&[("crates/is/src/lib.rs", src)], None);
+        let hits = of_rule(&fs, DET_FLOAT_REDUCTION);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            hits[0].line, 5,
+            "reported at the reduction, not the adapter"
+        );
+        // Sequential iterator reductions are fine.
+        let clean = "pub fn total(xs: &[f64]) -> f64 {\n    xs.iter().map(|x| x * 2.0).sum()\n}\n";
+        let fs = findings(&[("crates/is/src/lib.rs", clean)], None);
+        assert!(of_rule(&fs, DET_FLOAT_REDUCTION).is_empty());
+    }
+
+    // ---- seed-flow family -----------------------------------------------
+
+    #[test]
+    fn fixture_seed_flow_fires_on_entropy_and_dead_seed() {
+        let entropy = "\
+pub fn generate(seed: u64, n: usize) -> Vec<f64> {
+    let _forgot = seed;
+    let mut rng = rand::thread_rng();
+    draw(&mut rng, n)
+}
+";
+        let fs = findings(&[("crates/lrd/src/gen.rs", entropy)], None);
+        let hits = of_rule(&fs, SEED_FLOW);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 3);
+        assert!(hits[0].message.contains("thread_rng"));
+
+        let dead = "\
+pub fn generate(master_seed: u64, n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}
+";
+        let fs = findings(&[("crates/lrd/src/gen.rs", dead)], None);
+        let hits = of_rule(&fs, SEED_FLOW);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 1);
+        assert!(hits[0].message.contains("never uses it"));
+
+        let clean = "\
+pub fn generate(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    draw(&mut rng, n)
+}
+";
+        let fs = findings(&[("crates/lrd/src/gen.rs", clean)], None);
+        assert!(of_rule(&fs, SEED_FLOW).is_empty());
+        // Private fns and support files are out of scope.
+        let private = entropy.replace("pub fn", "fn");
+        let fs = findings(&[("crates/lrd/src/gen.rs", private.as_str())], None);
+        assert!(of_rule(&fs, SEED_FLOW).is_empty());
+        let fs = findings(&[("examples/demo.rs", entropy)], None);
+        assert!(of_rule(&fs, SEED_FLOW).is_empty());
+    }
+
+    // ---- panic-surface family -------------------------------------------
+
+    #[test]
+    fn fixture_panic_surface_fires_in_loops_only() {
+        let src = "\
+pub fn acf(w: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 1..w.len() {
+        acc += w[i - 1] * w[i];
+    }
+    let edge = w[w.len() - 1];
+    acc + edge
+}
+";
+        let fs = findings(&[("crates/lrd/src/acf.rs", src)], None);
+        let hits = of_rule(&fs, PANIC_SURFACE);
+        assert_eq!(
+            hits.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![4],
+            "arithmetic index in the loop fires; outside the loop it does not"
+        );
+        // Plain `w[i]` carries no arithmetic: allowed.
+        let plain = "pub fn s(w: &[f64]) -> f64 {\n    let mut a = 0.0;\n    for i in 0..w.len() {\n        a += w[i];\n    }\n    a\n}\n";
+        let fs = findings(&[("crates/lrd/src/acf.rs", plain)], None);
+        assert!(of_rule(&fs, PANIC_SURFACE).is_empty());
+        // Array-repeat syntax `[0.0; n]` is not an index.
+        let repeat = "pub fn z(n: usize) -> Vec<f64> {\n    let mut v = vec![0.0; n];\n    for i in 0..n {\n        v[i] = [0.0f64; 4][i % 4] + 0.0;\n    }\n    v\n}\n";
+        let fs = findings(&[("crates/lrd/src/acf.rs", repeat)], None);
+        // `[i % 4]` has no +-*: clean. (% is integer-safe modulo.)
+        assert!(of_rule(&fs, PANIC_SURFACE).is_empty());
+        // A waiver with the bounds invariant suppresses.
+        let waived = "\
+pub fn acf(w: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 1..w.len() {
+        // svbr-analyze: allow(panic-surface) i ranges over 1..len so i-1 is in bounds
+        acc += w[i - 1] * w[i];
+    }
+    acc
+}
+";
+        let fs = findings(&[("crates/lrd/src/acf.rs", waived)], None);
+        assert!(of_rule(&fs, PANIC_SURFACE).is_empty());
+        assert!(of_rule(&fs, "unused-waiver").is_empty());
+    }
+
+    // ---- metric-registry family -----------------------------------------
+
+    const DESIGN_OK: &str = "\
+# DESIGN
+
+## 7b. Metric registry
+
+| name | kind | meaning |
+|------|------|---------|
+| `par.tasks` | counter | tasks executed |
+| `cache.bytes` | gauge | resident cache size |
+
+## next section
+
+| `not.a.metric` | counter | outside the registry section |
+";
+
+    #[test]
+    fn fixture_metric_family_cross_checks_design() {
+        let code = "\
+pub fn f() {
+    svbr_obsv::counter(\"par.tasks\").add(1);
+    svbr_obsv::gauge(\"par.tasks\").set(1);
+    svbr_obsv::counter(\"par.undocumented\").add(1);
+    svbr_obsv::counter(\"BadName\").add(1);
+}
+";
+        let fs = findings(&[("crates/par/src/lib.rs", code)], Some(DESIGN_OK));
+        // Kind conflict: gauge vs the counter registered first.
+        let kc = of_rule(&fs, METRIC_KIND_CONFLICT);
+        assert!(kc
+            .iter()
+            .any(|f| f.line == 3 && f.message.contains("par.tasks")));
+        // Undocumented code-side name.
+        let un = of_rule(&fs, METRIC_UNDOCUMENTED);
+        assert!(un.iter().any(|f| f.line == 4));
+        // Naming convention.
+        let nm = of_rule(&fs, METRIC_NAME);
+        assert_eq!(nm.len(), 1);
+        assert_eq!(nm[0].line, 5);
+        // Documented-but-dead row (cache.bytes never registered), and the
+        // table outside the registry section is ignored.
+        let dead = of_rule(&fs, METRIC_DEAD);
+        assert_eq!(dead.len(), 1);
+        assert!(dead[0].message.contains("cache.bytes"));
+        assert_eq!(dead[0].file, "DESIGN.md");
+    }
+
+    #[test]
+    fn fixture_metric_family_clean_and_missing_table() {
+        let code = "\
+pub fn f() {
+    svbr_obsv::counter(\"par.tasks\").add(1);
+    svbr_obsv::gauge(\"cache.bytes\").set(1);
+}
+";
+        let report = analyze_sources(&[("crates/par/src/lib.rs", code)], Some(DESIGN_OK), TODAY);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.metric_names, 2);
+        // Registrations inside #[cfg(test)] are invisible to the registry.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() {\n        svbr_obsv::counter(\"scratch.x\").add(1);\n    }\n}\n";
+        let fs = findings(&[("crates/par/src/lib.rs", test_only)], Some(DESIGN_OK));
+        assert!(of_rule(&fs, METRIC_UNDOCUMENTED).is_empty());
+        // No registry table at all: one aggregate finding.
+        let fs = findings(&[("crates/par/src/lib.rs", code)], None);
+        let un = of_rule(&fs, METRIC_UNDOCUMENTED);
+        assert_eq!(un.len(), 1);
+        assert_eq!(un[0].file, "DESIGN.md");
+        assert_eq!(un[0].line, 0);
+    }
+
+    // ---- waiver audit ----------------------------------------------------
+
+    #[test]
+    fn unused_and_expired_analyze_waivers_surface() {
+        let unused = "// svbr-analyze: allow(seed-flow) nothing here needs it\npub fn ok() {}\n";
+        let fs = findings(&[("crates/lrd/src/gen.rs", unused)], None);
+        let uw = of_rule(&fs, "unused-waiver");
+        assert_eq!(uw.len(), 1);
+        assert_eq!(uw[0].line, 1);
+        // An expired waiver stops suppressing and reports itself once.
+        let expired = "\
+pub fn acf(w: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 1..w.len() {
+        // svbr-analyze: allow(panic-surface) expires = \"2026-01-01\" temporary
+        acc += w[i - 1];
+    }
+    acc
+}
+";
+        let fs = findings(&[("crates/lrd/src/acf.rs", expired)], None);
+        assert_eq!(of_rule(&fs, PANIC_SURFACE).len(), 1, "no longer suppressed");
+        assert_eq!(of_rule(&fs, "waiver-expired").len(), 1);
+        assert!(
+            of_rule(&fs, "unused-waiver").is_empty(),
+            "not double-reported"
+        );
+        // Lint-owned waivers are not analyze's to audit.
+        let foreign = "// svbr-lint: allow(no-unwrap) lint's business\npub fn ok() {}\n";
+        let fs = findings(&[("crates/lrd/src/gen.rs", foreign)], None);
+        assert!(of_rule(&fs, "unused-waiver").is_empty());
+    }
+
+    // ---- report rendering -----------------------------------------------
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let src = "use std::collections::HashMap;\n";
+        let report = analyze_sources(&[("crates/par/src/lib.rs", src)], None, TODAY);
+        let text = report.render_text();
+        assert!(text.contains("crates/par/src/lib.rs:1: [det-unordered-collection]"));
+        assert!(text.contains("svbr-analyze: 1 file(s) scanned"));
+        let json = report.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rule\":\"det-unordered-collection\""));
+        assert!(json.contains("\"files_scanned\":1"));
+        let clean = analyze_sources(
+            &[("crates/par/src/lib.rs", "pub fn ok() {}\n")],
+            None,
+            TODAY,
+        );
+        assert!(clean.findings.is_empty());
+        assert!(clean.render_json().contains("\"findings\":[]"));
+    }
+
+    #[test]
+    fn metric_name_convention() {
+        for ok in [
+            "par.tasks",
+            "cache.hosking.bytes",
+            "queue.depth_p99",
+            "is.ci_width",
+        ] {
+            assert!(metric_name_ok(ok), "{ok}");
+        }
+        for bad in [
+            "",
+            "par",
+            "par.",
+            ".tasks",
+            "demo.items",
+            "par.Tasks",
+            "par.a b",
+        ] {
+            assert!(!metric_name_ok(bad), "{bad}");
+        }
+    }
+}

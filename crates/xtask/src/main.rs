@@ -24,8 +24,11 @@
 
 #![forbid(unsafe_code)]
 
+mod analyze;
 mod lexer;
+mod model;
 mod rules;
+mod waivers;
 
 use rules::{classify, lint_source, FileReport, TodoItem, Violation};
 use std::path::{Path, PathBuf};
@@ -64,6 +67,41 @@ fn run(args: &[String], root: &Path) -> i32 {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("lint") => {}
+        Some("analyze") => {
+            let mut format = Format::Text;
+            let mut today: Option<String> = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("text") => format = Format::Text,
+                        Some("json") => format = Format::Json,
+                        other => {
+                            eprintln!("--format takes `text` or `json`, got {other:?}\n{USAGE}");
+                            return 2;
+                        }
+                    },
+                    "--today" => match it.next() {
+                        Some(d) if waivers::is_iso_date(d) => today = Some(d.clone()),
+                        _ => {
+                            eprintln!("--today takes a YYYY-MM-DD date\n{USAGE}");
+                            return 2;
+                        }
+                    },
+                    other => {
+                        eprintln!("unknown flag `{other}`\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            let report = analyze::analyze_tree(root, &waivers::build_date(today.as_deref()));
+            match format {
+                // svbr-lint: allow(no-print) emitting diagnostics to stdout is this binary's purpose
+                Format::Text => print!("{}", report.render_text()),
+                // svbr-lint: allow(no-print) emitting diagnostics to stdout is this binary's purpose
+                Format::Json => println!("{}", report.render_json()),
+            }
+            return if report.findings.is_empty() { 0 } else { 1 };
+        }
         Some("obsv-report") => {
             return match (it.next(), it.next()) {
                 (Some(path), None) => obsv_report(path),
@@ -117,6 +155,7 @@ fn run(args: &[String], root: &Path) -> i32 {
     }
     let mut format = Format::Text;
     let mut todo_budget = DEFAULT_TODO_BUDGET;
+    let mut today: Option<String> = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--format" => match it.next().map(String::as_str) {
@@ -134,6 +173,13 @@ fn run(args: &[String], root: &Path) -> i32 {
                     return 2;
                 }
             },
+            "--today" => match it.next() {
+                Some(d) if waivers::is_iso_date(d) => today = Some(d.clone()),
+                _ => {
+                    eprintln!("--today takes a YYYY-MM-DD date\n{USAGE}");
+                    return 2;
+                }
+            },
             other => {
                 eprintln!("unknown flag `{other}`\n{USAGE}");
                 return 2;
@@ -141,7 +187,7 @@ fn run(args: &[String], root: &Path) -> i32 {
         }
     }
 
-    let report = lint_tree(root, todo_budget);
+    let report = lint_tree(root, todo_budget, &waivers::build_date(today.as_deref()));
     match format {
         // svbr-lint: allow(no-print) emitting diagnostics to stdout is this binary's purpose
         Format::Text => print!("{}", report.render_text()),
@@ -157,7 +203,10 @@ fn run(args: &[String], root: &Path) -> i32 {
 
 const USAGE: &str = "\
 usage: cargo run -p svbr-xtask -- <task>
-  lint [--format text|json] [--todo-budget N]   enforce the svbr-lint rules
+  lint [--format text|json] [--todo-budget N] [--today YYYY-MM-DD]
+                                                enforce the svbr-lint rules
+  analyze [--format text|json] [--today YYYY-MM-DD]
+                                                cross-file determinism / numeric-safety audit
   obsv-report <trace.jsonl>                     summarize an obsv trace
   bench-compare --baseline <old.json> <new.json> [--threshold F]
                                                 gate on bench regressions";
@@ -284,6 +333,7 @@ fn bench_compare(baseline_path: &str, current_path: &str, threshold: f64) -> i32
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut regressions = 0usize;
+    let mut missing = 0usize;
     let _ = writeln!(
         out,
         "bench-compare (fail below {:.0}% of baseline):",
@@ -317,20 +367,31 @@ fn bench_compare(baseline_path: &str, current_path: &str, threshold: f64) -> i32
             }
             None => {
                 regressions += 1;
+                missing += 1;
                 let _ = writeln!(out, "  {:<32} MISSING from current report", b.key());
             }
         }
     }
+    let mut added = 0usize;
     for c in &current {
         if !baseline.iter().any(|b| b.same_case(c)) {
+            added += 1;
             let _ = writeln!(out, "  {:<32} new case (no baseline)", c.key());
         }
     }
+    // Case-set drift is part of the verdict line in both directions: a
+    // vanished case is a regression (a silently-dropped bench would
+    // otherwise pass forever), a new case is informational until a
+    // baseline refresh adopts it.
+    let drift = match (missing, added) {
+        (0, 0) => String::new(),
+        (m, a) => format!(" (case-set drift: {m} vanished, {a} new)"),
+    };
     if regressions > 0 {
-        let _ = writeln!(out, "bench-compare: {regressions} regression(s)");
+        let _ = writeln!(out, "bench-compare: {regressions} regression(s){drift}");
         1
     } else {
-        let _ = writeln!(out, "bench-compare: ok");
+        let _ = writeln!(out, "bench-compare: ok{drift}");
         0
     }
 }
@@ -344,7 +405,7 @@ struct TreeReport {
     todo_budget: usize,
 }
 
-fn lint_tree(root: &Path, todo_budget: usize) -> TreeReport {
+fn lint_tree(root: &Path, todo_budget: usize, today: &str) -> TreeReport {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files);
     files.sort();
@@ -362,7 +423,7 @@ fn lint_tree(root: &Path, todo_budget: usize) -> TreeReport {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let FileReport { violations, todos } = lint_source(&rel, &src, classify(&rel));
+        let FileReport { violations, todos } = lint_source(&rel, &src, classify(&rel), today);
         tree.violations.extend(violations);
         tree.todos.extend(todos);
         tree.files_scanned += 1;
@@ -370,8 +431,11 @@ fn lint_tree(root: &Path, todo_budget: usize) -> TreeReport {
     // The obsv crate must stay dependency-free: lint its manifest too.
     let obsv_manifest = root.join("crates/obsv/Cargo.toml");
     if let Ok(src) = std::fs::read_to_string(&obsv_manifest) {
-        tree.violations
-            .extend(rules::lint_obsv_manifest("crates/obsv/Cargo.toml", &src));
+        tree.violations.extend(rules::lint_obsv_manifest(
+            "crates/obsv/Cargo.toml",
+            &src,
+            today,
+        ));
     }
     if tree.todos.len() > todo_budget {
         tree.violations.push(Violation {
@@ -551,12 +615,12 @@ mod tests {
             "crates/demo/src/lib.rs",
             "// TODO one\n// TODO two\npub fn ok() {}\n",
         )]);
-        let report = lint_tree(&root, 1);
+        let report = lint_tree(&root, 1, "2026-08-09");
         assert_eq!(report.todos.len(), 2);
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].rule, rules::Rule::TodoBudget);
         // Within budget: inventory only, no violation.
-        let report = lint_tree(&root, 5);
+        let report = lint_tree(&root, 5, "2026-08-09");
         assert!(report.violations.is_empty());
         assert_eq!(report.todos.len(), 2);
         std::fs::remove_dir_all(&root).ok();
@@ -575,7 +639,7 @@ mod tests {
             ),
             ("crates/demo/src/lib.rs", "pub fn ok() {}\n"),
         ]);
-        let report = lint_tree(&root, 20);
+        let report = lint_tree(&root, 20, "2026-08-09");
         assert!(report.violations.is_empty());
         assert_eq!(report.files_scanned, 1);
         std::fs::remove_dir_all(&root).ok();
@@ -587,7 +651,7 @@ mod tests {
             "crates/demo/src/lib.rs",
             "// TODO tidy \"quotes\"\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
         )]);
-        let report = lint_tree(&root, 20);
+        let report = lint_tree(&root, 20, "2026-08-09");
         let json = report.render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"rule\":\"no-unwrap\""));
@@ -616,7 +680,7 @@ mod tests {
             ),
             ("crates/obsv/src/lib.rs", "pub fn ok() {}\n"),
         ]);
-        let report = lint_tree(&root, 20);
+        let report = lint_tree(&root, 20, "2026-08-09");
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].rule, rules::Rule::ObsvDeps);
         assert_eq!(report.violations[0].file, "crates/obsv/Cargo.toml");
@@ -641,7 +705,7 @@ mod tests {
             "crates/obsv/src/lib.rs",
             "pub fn f() {\n    panic!(\"no\");\n}\n",
         )]);
-        let report = lint_tree(&root, 20);
+        let report = lint_tree(&root, 20, "2026-08-09");
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].rule, rules::Rule::ObsvPanic);
         std::fs::remove_dir_all(&root).ok();
@@ -651,7 +715,7 @@ mod tests {
             "crates/obsv/src/lib.rs",
             "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
         )]);
-        let report = lint_tree(&root, 20);
+        let report = lint_tree(&root, 20, "2026-08-09");
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].rule, rules::Rule::NoUnwrap);
         std::fs::remove_dir_all(&root).ok();
@@ -941,12 +1005,103 @@ mod tests {
     }
 
     #[test]
+    fn analyze_cli_gates_and_renders() {
+        // A clean tree (with a registry-free code base) exits 0.
+        let root = tmp_tree(&[("crates/par/src/lib.rs", "pub fn ok() {}\n")]);
+        assert_eq!(run(&["analyze".into()], &root), 0);
+        std::fs::remove_dir_all(&root).ok();
+
+        // An unordered collection in a bit-identity crate exits 1, and the
+        // JSON rendering carries the finding.
+        let root = tmp_tree(&[(
+            "crates/par/src/lib.rs",
+            "use std::collections::HashMap;\npub fn f(m: &HashMap<u8, u8>) -> usize { m.len() }\n",
+        )]);
+        assert_eq!(run(&["analyze".into()], &root), 1);
+        assert_eq!(
+            run(&["analyze".into(), "--format".into(), "json".into()], &root),
+            1
+        );
+        let report = analyze::analyze_tree(&root, "2026-08-09");
+        let json = report.render_json();
+        assert!(json.contains("\"rule\":\"det-unordered-collection\""));
+        std::fs::remove_dir_all(&root).ok();
+
+        // Usage errors exit 2.
+        let root = std::env::temp_dir();
+        assert_eq!(
+            run(&["analyze".into(), "--format".into(), "xml".into()], &root),
+            2
+        );
+        assert_eq!(
+            run(&["analyze".into(), "--today".into(), "soon".into()], &root),
+            2
+        );
+        assert_eq!(run(&["analyze".into(), "--bogus".into()], &root), 2);
+    }
+
+    #[test]
+    fn analyze_cli_respects_today_for_expiry() {
+        let src = "\
+pub fn acf(w: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 1..w.len() {
+        // svbr-analyze: allow(panic-surface) expires = \"2027-01-01\" i >= 1
+        acc += w[i - 1];
+    }
+    acc
+}
+";
+        let root = tmp_tree(&[("crates/lrd/src/acf.rs", src)]);
+        // Before expiry the waiver holds…
+        assert_eq!(
+            run(
+                &["analyze".into(), "--today".into(), "2026-08-09".into()],
+                &root
+            ),
+            0
+        );
+        // …after expiry the finding and the expired waiver both surface.
+        assert_eq!(
+            run(
+                &["analyze".into(), "--today".into(), "2027-06-01".into()],
+                &root
+            ),
+            1
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn lint_cli_reports_unused_and_expired_waivers() {
+        let root = tmp_tree(&[(
+            "crates/demo/src/lib.rs",
+            "// svbr-lint: allow(no-unwrap) nothing here unwraps\npub fn ok() {}\n",
+        )]);
+        let report = lint_tree(&root, 20, "2026-08-09");
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, rules::Rule::UnusedWaiver);
+        assert_eq!(run(&["lint".into()], &root), 1);
+        std::fs::remove_dir_all(&root).ok();
+
+        let root = tmp_tree(&[(
+            "crates/demo/src/lib.rs",
+            "pub fn f(x: Option<u8>) -> u8 {\n    // svbr-lint: allow(no-unwrap) expires = \"2026-01-01\" tmp\n    x.unwrap()\n}\n",
+        )]);
+        let report = lint_tree(&root, 20, "2026-08-09");
+        let rules_fired: Vec<&str> = report.violations.iter().map(|v| v.rule.id()).collect();
+        assert!(rules_fired.contains(&"no-unwrap"), "{rules_fired:?}");
+        assert!(rules_fired.contains(&"waiver-expired"), "{rules_fired:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
     fn text_output_has_file_line_rule() {
         let root = tmp_tree(&[(
             "crates/demo/src/lib.rs",
             "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
         )]);
-        let report = lint_tree(&root, 20);
+        let report = lint_tree(&root, 20, "2026-08-09");
         let text = report.render_text();
         assert!(text.contains("crates/demo/src/lib.rs:1: [no-unwrap]"));
         std::fs::remove_dir_all(&root).ok();

@@ -15,12 +15,17 @@
 //! | `no-silent-catch` | `catch_unwind` with no nearby `svbr_obsv::` report   |
 //! | `no-raw-instant`  | `std::time::Instant` outside `crates/obsv`/`profile` |
 //! | `no-raw-thread`   | `thread::spawn`/`thread::scope` outside `crates/par` |
+//! | `unused-waiver`   | a waiver comment that suppressed no finding          |
+//! | `waiver-expired`  | a waiver whose `expires` date has passed             |
 //!
 //! A violation on line *n* is waived by `// svbr-lint: allow(<id>[, <id>…])`
 //! on line *n* or line *n − 1*. Waivers should name the safety invariant
-//! that makes the flagged pattern sound.
+//! that makes the flagged pattern sound, and may carry an
+//! `expires = "YYYY-MM-DD"` field after the closing paren — see
+//! [`crate::waivers`] for the shared grammar and the unused/expired audits.
 
 use crate::lexer::{mask_source, test_scopes, Comment};
+use crate::waivers::{collect_waivers, parse_waiver_line, WaiverBook};
 
 /// Stable identity of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +62,13 @@ pub enum Rule {
     /// bit-identical at any thread count and every worker inherits the
     /// `(master_seed, index)` seed schedule.
     NoRawThread,
+    /// A waiver comment naming a lint rule that suppressed no finding:
+    /// the code it excused has been fixed or moved, and the stale waiver
+    /// would silently excuse the next violation near it.
+    UnusedWaiver,
+    /// A waiver whose `expires = "YYYY-MM-DD"` date has passed (it no
+    /// longer suppresses, and is reported until removed or renewed).
+    WaiverExpired,
 }
 
 impl Rule {
@@ -74,9 +86,27 @@ impl Rule {
             Rule::NoSilentCatch => "no-silent-catch",
             Rule::NoRawInstant => "no-raw-instant",
             Rule::NoRawThread => "no-raw-thread",
+            Rule::UnusedWaiver => "unused-waiver",
+            Rule::WaiverExpired => "waiver-expired",
         }
     }
 }
+
+/// The rule IDs the lint pass owns for waiver auditing (the per-line
+/// waivable subset: `todo-budget` is a tree-level budget, and the two
+/// waiver-audit rules are not themselves waivable).
+pub const LINT_WAIVABLE_IDS: &[&str] = &[
+    "no-unwrap",
+    "no-expect",
+    "float-eq",
+    "no-unseeded-rng",
+    "no-print",
+    "obsv-deps",
+    "obsv-panic",
+    "no-silent-catch",
+    "no-raw-instant",
+    "no-raw-thread",
+];
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,21 +168,13 @@ pub struct FileReport {
     pub todos: Vec<TodoItem>,
 }
 
-/// Lint one file's source text.
-pub fn lint_source(rel_path: &str, src: &str, class: FileClass) -> FileReport {
+/// Lint one file's source text. `today` (ISO `YYYY-MM-DD`) is the build
+/// date that waiver `expires` fields are audited against.
+pub fn lint_source(rel_path: &str, src: &str, class: FileClass, today: &str) -> FileReport {
     let masked = mask_source(src);
     let scopes = test_scopes(&masked.code);
     let in_test = |line: usize| scopes.iter().any(|&(lo, hi)| line >= lo && line <= hi);
-    let orig_lines: Vec<&str> = src.lines().collect();
-    let waived = |line: usize, rule: Rule| {
-        let check = |l: usize| {
-            l >= 1
-                && orig_lines
-                    .get(l - 1)
-                    .is_some_and(|t| waiver_allows(t, rule.id()))
-        };
-        check(line) || check(line.saturating_sub(1))
-    };
+    let mut book = WaiverBook::new(collect_waivers(&masked.comments), today);
 
     let mut report = FileReport::default();
     let code_lines: Vec<&str> = masked.code.lines().collect();
@@ -160,7 +182,7 @@ pub fn lint_source(rel_path: &str, src: &str, class: FileClass) -> FileReport {
         let line_no = idx + 1;
         let library_scope = class == FileClass::Library && !in_test(line_no);
         let mut push = |rule: Rule, message: String| {
-            if !waived(line_no, rule) {
+            if !book.suppresses(line_no, rule.id()) {
                 report.violations.push(Violation {
                     file: rel_path.to_string(),
                     line: line_no,
@@ -279,16 +301,60 @@ pub fn lint_source(rel_path: &str, src: &str, class: FileClass) -> FileReport {
         }
     }
     report
+        .violations
+        .extend(audit_waivers(&book, rel_path, LINT_WAIVABLE_IDS));
+    report
+}
+
+/// Turn a file's waiver audit into `unused-waiver` / `waiver-expired`
+/// violations for the rule set a pass owns. Shared by lint and analyze.
+pub fn audit_waivers(book: &WaiverBook, rel_path: &str, own_ids: &[&str]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (w, expired, used) in book.audit(own_ids) {
+        let ids = w.ids.join(", ");
+        if expired {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: w.line,
+                rule: Rule::WaiverExpired,
+                message: format!(
+                    "waiver for `{ids}` expired on {}: fix the underlying \
+                     finding or renew the date deliberately",
+                    w.expires.as_deref().unwrap_or("?")
+                ),
+            });
+        } else if !used {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: w.line,
+                rule: Rule::UnusedWaiver,
+                message: format!(
+                    "waiver for `{ids}` matched no finding: the code it \
+                     excused was fixed or moved — delete the stale waiver"
+                ),
+            });
+        }
+    }
+    out
 }
 
 /// Lint `crates/obsv/Cargo.toml`: the observability crate must stay
 /// dependency-free (so every workspace crate can use it without cycles and
 /// tier-1 builds pull in nothing new). Any entry under `[dependencies]`,
 /// `[dev-dependencies]`, `[build-dependencies]`, or a `[target.….dependencies]`
-/// table is a violation. A `# svbr-lint: allow(obsv-deps) …` comment on the
-/// entry's line or the line above waives it.
-pub fn lint_obsv_manifest(rel_path: &str, src: &str) -> Vec<Violation> {
+/// table is a violation. An `allow(obsv-deps)` waiver comment (with the
+/// usual `# svbr-lint:` marker) on the entry's line or the line above
+/// waives it.
+pub fn lint_obsv_manifest(rel_path: &str, src: &str, today: &str) -> Vec<Violation> {
     let lines: Vec<&str> = src.lines().collect();
+    // TOML comments start with `#`; the shared waiver grammar applies.
+    let waivers = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.trim_start().starts_with('#'))
+        .filter_map(|(idx, l)| parse_waiver_line(l, idx + 1))
+        .collect();
+    let mut book = WaiverBook::new(waivers, today);
     let mut violations = Vec::new();
     let mut in_dep_table = false;
     for (idx, raw) in lines.iter().enumerate() {
@@ -305,13 +371,7 @@ pub fn lint_obsv_manifest(rel_path: &str, src: &str) -> Vec<Violation> {
             continue;
         }
         let line_no = idx + 1;
-        let waived = |l: usize| {
-            l >= 1
-                && lines
-                    .get(l - 1)
-                    .is_some_and(|t| waiver_allows(t, Rule::ObsvDeps.id()))
-        };
-        if waived(line_no) || waived(line_no - 1) {
+        if book.suppresses(line_no, Rule::ObsvDeps.id()) {
             continue;
         }
         let name = line.split(['=', '.']).next().unwrap_or(line).trim();
@@ -325,6 +385,7 @@ pub fn lint_obsv_manifest(rel_path: &str, src: &str) -> Vec<Violation> {
             ),
         });
     }
+    violations.extend(audit_waivers(&book, rel_path, &[Rule::ObsvDeps.id()]));
     violations
 }
 
@@ -385,22 +446,6 @@ fn mentions_instant(masked_line: &str) -> bool {
         i += 1;
     }
     false
-}
-
-/// Does this original-source line carry a waiver for `rule_id`?
-fn waiver_allows(line: &str, rule_id: &str) -> bool {
-    let Some(pos) = line.find("svbr-lint:") else {
-        return false;
-    };
-    let rest = &line[pos + "svbr-lint:".len()..];
-    let Some(open) = rest.find("allow(") else {
-        return false;
-    };
-    let rest = &rest[open + "allow(".len()..];
-    let Some(close) = rest.find(')') else {
-        return false;
-    };
-    rest[..close].split(',').any(|id| id.trim() == rule_id)
 }
 
 /// `.expect(` as a method call — not `.expect_err(`, not `expect(` as a
@@ -554,8 +599,10 @@ fn is_float_token(tok: &str) -> bool {
 mod tests {
     use super::*;
 
+    const TODAY: &str = "2026-08-09";
+
     fn lint_lib(src: &str) -> FileReport {
-        lint_source("crates/demo/src/lib.rs", src, FileClass::Library)
+        lint_source("crates/demo/src/lib.rs", src, FileClass::Library, TODAY)
     }
 
     fn rule_lines(report: &FileReport, rule: Rule) -> Vec<usize> {
@@ -632,22 +679,24 @@ mod tests {
     #[test]
     fn fixture_obsv_panic_fires_only_inside_obsv() {
         let src = "pub fn f() {\n    panic!(\"boom\");\n}\n";
-        let r = lint_source("crates/obsv/src/lib.rs", src, FileClass::Library);
+        let r = lint_source("crates/obsv/src/lib.rs", src, FileClass::Library, TODAY);
         assert_eq!(rule_lines(&r, Rule::ObsvPanic), vec![2]);
         let r = lint_source(
             "crates/obsv/src/sink.rs",
             "fn g() {\n    unreachable!()\n}\n",
             FileClass::Library,
+            TODAY,
         );
         assert_eq!(rule_lines(&r, Rule::ObsvPanic), vec![2]);
         // Same source outside obsv: rule does not apply.
-        let r = lint_source("crates/lrd/src/fft.rs", src, FileClass::Library);
+        let r = lint_source("crates/lrd/src/fft.rs", src, FileClass::Library, TODAY);
         assert!(rule_lines(&r, Rule::ObsvPanic).is_empty());
         // `#[should_panic]` and prose mentions must not fire.
         let r = lint_source(
             "crates/obsv/src/lib.rs",
             "// a panic!(…) here would be bad\n#[should_panic]\nfn t() {}\n",
             FileClass::Library,
+            TODAY,
         );
         assert!(rule_lines(&r, Rule::ObsvPanic).is_empty());
     }
@@ -715,65 +764,95 @@ mod tests {
     fn fixture_raw_instant_fires_outside_obsv_and_profile() {
         let src =
             "use std::time::{Duration, Instant};\npub fn f() {\n    let _t = Instant::now();\n}\n";
-        let r = lint_source("crates/lrd/src/hosking.rs", src, FileClass::Library);
+        let r = lint_source("crates/lrd/src/hosking.rs", src, FileClass::Library, TODAY);
         assert_eq!(rule_lines(&r, Rule::NoRawInstant), vec![1, 3]);
         // Support files (binaries, benches) are covered too.
-        let r = lint_source("crates/bench/src/bin/repro.rs", src, FileClass::Support);
+        let r = lint_source(
+            "crates/bench/src/bin/repro.rs",
+            src,
+            FileClass::Support,
+            TODAY,
+        );
         assert_eq!(rule_lines(&r, Rule::NoRawInstant), vec![1, 3]);
         // The clock itself and the profiler crate are exempt.
         for exempt in ["crates/obsv/src/clock.rs", "crates/profile/src/tree.rs"] {
-            let r = lint_source(exempt, src, FileClass::Library);
+            let r = lint_source(exempt, src, FileClass::Library, TODAY);
             assert!(rule_lines(&r, Rule::NoRawInstant).is_empty(), "{exempt}");
         }
         // Tests are NOT exempt: timing in tests goes through the clock too.
         let in_test =
             "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::time::Instant::now();\n    }\n}\n";
-        let r = lint_source("crates/lrd/src/hosking.rs", in_test, FileClass::Library);
+        let r = lint_source(
+            "crates/lrd/src/hosking.rs",
+            in_test,
+            FileClass::Library,
+            TODAY,
+        );
         assert_eq!(rule_lines(&r, Rule::NoRawInstant), vec![5]);
         // Identifiers merely containing the word, and prose/strings, are fine.
         let clean = "pub struct InstantView;\npub fn f() -> &'static str {\n    \"Instant::now\"\n}\n// std::time::Instant in prose\n";
-        let r = lint_source("crates/lrd/src/hosking.rs", clean, FileClass::Library);
+        let r = lint_source(
+            "crates/lrd/src/hosking.rs",
+            clean,
+            FileClass::Library,
+            TODAY,
+        );
         assert!(rule_lines(&r, Rule::NoRawInstant).is_empty());
         // Waivers apply as usual.
         let waived = "// svbr-lint: allow(no-raw-instant) interop with external crate API\nuse std::time::Instant;\n";
-        let r = lint_source("crates/lrd/src/hosking.rs", waived, FileClass::Library);
+        let r = lint_source(
+            "crates/lrd/src/hosking.rs",
+            waived,
+            FileClass::Library,
+            TODAY,
+        );
         assert!(rule_lines(&r, Rule::NoRawInstant).is_empty());
     }
 
     #[test]
     fn fixture_raw_thread_fires_outside_par() {
         let src = "pub fn f() {\n    std::thread::scope(|s| {\n        s.spawn(|| 1);\n    });\n    let h = std::thread::spawn(|| 2);\n}\n";
-        let r = lint_source("crates/is/src/transient.rs", src, FileClass::Library);
+        let r = lint_source("crates/is/src/transient.rs", src, FileClass::Library, TODAY);
         assert_eq!(rule_lines(&r, Rule::NoRawThread), vec![2, 5]);
         // Support files (binaries, benches) are covered too.
-        let r = lint_source("crates/bench/src/bin/repro.rs", src, FileClass::Support);
+        let r = lint_source(
+            "crates/bench/src/bin/repro.rs",
+            src,
+            FileClass::Support,
+            TODAY,
+        );
         assert_eq!(rule_lines(&r, Rule::NoRawThread), vec![2, 5]);
         // The executor crate itself is exempt.
-        let r = lint_source("crates/par/src/lib.rs", src, FileClass::Library);
+        let r = lint_source("crates/par/src/lib.rs", src, FileClass::Library, TODAY);
         assert!(rule_lines(&r, Rule::NoRawThread).is_empty());
         // Tests are NOT exempt: replicated work in tests goes through the
         // executor too (concurrency-primitive tests carry waivers).
         let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        std::thread::scope(|s| { s.spawn(|| 1); });\n    }\n}\n";
-        let r = lint_source("crates/queue/src/mc.rs", in_test, FileClass::Library);
+        let r = lint_source("crates/queue/src/mc.rs", in_test, FileClass::Library, TODAY);
         assert_eq!(rule_lines(&r, Rule::NoRawThread), vec![5]);
         // `thread::sleep`, `available_parallelism`, prose and identifiers
         // merely containing the words must not fire.
         let clean = "pub fn f() {\n    std::thread::sleep(d);\n    let p = std::thread::available_parallelism();\n    let x = thread::scoped_thing();\n    // thread::spawn in prose\n    let s = \"thread::spawn\";\n}\n";
-        let r = lint_source("crates/lrd/src/hosking.rs", clean, FileClass::Library);
+        let r = lint_source(
+            "crates/lrd/src/hosking.rs",
+            clean,
+            FileClass::Library,
+            TODAY,
+        );
         assert!(rule_lines(&r, Rule::NoRawThread).is_empty());
         // Waivers apply as usual.
         let waived = "pub fn f() {\n    // svbr-lint: allow(no-raw-thread) exercises the raw primitive itself\n    std::thread::scope(|s| { s.spawn(|| 1); });\n}\n";
-        let r = lint_source("crates/obsv/src/lib.rs", waived, FileClass::Library);
+        let r = lint_source("crates/obsv/src/lib.rs", waived, FileClass::Library, TODAY);
         assert!(rule_lines(&r, Rule::NoRawThread).is_empty());
     }
 
     #[test]
     fn obsv_manifest_dependency_fires() {
         let clean = "[package]\nname = \"svbr-obsv\"\n\n[lib]\nbench = false\n\n[lints]\nworkspace = true\n";
-        assert!(lint_obsv_manifest("crates/obsv/Cargo.toml", clean).is_empty());
+        assert!(lint_obsv_manifest("crates/obsv/Cargo.toml", clean, TODAY).is_empty());
 
         let dirty = "[package]\nname = \"svbr-obsv\"\n\n[dependencies]\nserde = \"1\"\n";
-        let v = lint_obsv_manifest("crates/obsv/Cargo.toml", dirty);
+        let v = lint_obsv_manifest("crates/obsv/Cargo.toml", dirty, TODAY);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::ObsvDeps);
         assert_eq!(v[0].line, 5);
@@ -781,20 +860,20 @@ mod tests {
 
         // dev- and build-dependencies count too; comments and blanks do not.
         let dirty = "[dev-dependencies]\n# just a comment\n\nproptest.workspace = true\n";
-        let v = lint_obsv_manifest("crates/obsv/Cargo.toml", dirty);
+        let v = lint_obsv_manifest("crates/obsv/Cargo.toml", dirty, TODAY);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("proptest"));
         let dirty = "[build-dependencies]\ncc = \"1\"\n";
-        assert_eq!(lint_obsv_manifest("x", dirty).len(), 1);
+        assert_eq!(lint_obsv_manifest("x", dirty, TODAY).len(), 1);
 
         // A following non-dependency table ends the scope.
         let ok = "[dependencies]\n\n[lints]\nworkspace = true\n";
-        assert!(lint_obsv_manifest("x", ok).is_empty());
+        assert!(lint_obsv_manifest("x", ok, TODAY).is_empty());
 
         // Waiver on the preceding line suppresses.
         let waived =
             "[dependencies]\n# svbr-lint: allow(obsv-deps) vendored shim, temporary\nserde = \"1\"\n";
-        assert!(lint_obsv_manifest("x", waived).is_empty());
+        assert!(lint_obsv_manifest("x", waived, TODAY).is_empty());
     }
 
     // ---- waivers --------------------------------------------------------
@@ -873,7 +952,7 @@ mod tests {
     fn support_files_skip_library_rules() {
         let src =
             "fn main() {\n    let x: Option<u8> = Some(1);\n    println!(\"{}\", x.unwrap());\n}\n";
-        let r = lint_source("examples/demo.rs", src, FileClass::Support);
+        let r = lint_source("examples/demo.rs", src, FileClass::Support, TODAY);
         assert!(r.violations.is_empty());
     }
 
