@@ -49,12 +49,16 @@ fn main() {
     }
 
     // Flag parsing: --trace <path> / --manifest <path> / --checkpoint
-    // <path> / --resume <path> / --faults <plan> may appear anywhere.
+    // <path> / --resume <path> / --faults <plan> / --expose <addr> /
+    // --windows <path> may appear anywhere.
     let mut trace_path: Option<PathBuf> = None;
     let mut manifest_path: Option<PathBuf> = None;
     let mut checkpoint_path: Option<PathBuf> = None;
     let mut resume_path: Option<PathBuf> = None;
     let mut fault_plan: Option<String> = None;
+    let mut expose_addr: Option<String> = None;
+    let mut expose_wait = false;
+    let mut windows_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -66,6 +70,15 @@ fn main() {
             "--manifest" => match it.next() {
                 Some(p) => manifest_path = Some(PathBuf::from(p)),
                 None => fail_usage("--manifest requires a path"),
+            },
+            "--expose" => match it.next() {
+                Some(a) => expose_addr = Some(a.clone()),
+                None => fail_usage("--expose requires an address (e.g. 127.0.0.1:9184)"),
+            },
+            "--expose-wait" => expose_wait = true,
+            "--windows" => match it.next() {
+                Some(p) => windows_path = Some(PathBuf::from(p)),
+                None => fail_usage("--windows requires a path"),
             },
             "--checkpoint" => match it.next() {
                 Some(p) => checkpoint_path = Some(PathBuf::from(p)),
@@ -114,6 +127,7 @@ fn main() {
         }
     }
 
+    let telemetry = trace_path.is_some() || expose_addr.is_some() || windows_path.is_some();
     if let Some(path) = &trace_path {
         match svbr_obsv::JsonlSink::create(path) {
             Ok(sink) => svbr_obsv::install(Arc::new(sink)),
@@ -123,6 +137,20 @@ fn main() {
             }
         }
         eprintln!("[repro] tracing to {}", path.display());
+    } else if telemetry {
+        // --expose / --windows without --trace: enable instrumentation so
+        // the registry and flight recorder are live, but drop the events.
+        svbr_obsv::install(Arc::new(svbr_obsv::NullSink));
+    }
+    if telemetry {
+        let every = std::env::var("SVBR_WINDOW_EVERY")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(svbr_obsv::recorder::DEFAULT_WINDOW_EVERY);
+        svbr_obsv::install_recorder(every, svbr_obsv::recorder::DEFAULT_WINDOW_CAPACITY);
+    }
+    if let Some(addr) = &expose_addr {
+        start_exposer(addr);
     }
     let manifest = svbr_obsv::RunManifest::new("repro", RUN_SEED, Path::new("."));
 
@@ -179,7 +207,61 @@ fn main() {
         }
     }
 
-    finish_observability(trace_path.as_deref(), manifest_path.as_deref(), manifest);
+    if expose_wait && expose_addr.is_some() {
+        // Keep the process alive until the endpoint has been scraped once
+        // (bounded), so CI can curl a short run without racing its exit.
+        eprintln!("[repro] waiting for first scrape (up to 60s)");
+        let wall = svbr_obsv::Stopwatch::start();
+        while SCRAPES.load(std::sync::atomic::Ordering::Relaxed) == 0 && wall.elapsed_secs() < 60.0
+        {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+
+    finish_observability(
+        telemetry,
+        manifest_path.as_deref(),
+        windows_path.as_deref(),
+        manifest,
+    );
+}
+
+/// Requests served by the `--expose` listener (used by `--expose-wait`).
+static SCRAPES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Bind the `--expose` address and serve the current registry as
+/// Prometheus-style text: one blocking request per connection on a
+/// detached thread. Purely read-only over the global registry — no
+/// simulation state, dies with the process.
+fn start_exposer(addr: &str) {
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("[repro] cannot bind --expose {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Ok(local) = listener.local_addr() {
+        eprintln!("[repro] exposing metrics on http://{local}/metrics");
+    }
+    // svbr-lint: allow(no-raw-thread) detached read-only I/O listener; all simulation parallelism stays in svbr-par
+    std::thread::spawn(move || {
+        use std::io::{Read as _, Write as _};
+        for conn in listener.incoming() {
+            let Ok(mut stream) = conn else { continue };
+            // Drain (part of) the request; the path is ignored — every
+            // request gets the metrics page.
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            let body = svbr_obsv::TextExposer::new().render(&svbr_obsv::snapshot());
+            let resp = format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let _ = stream.write_all(resp.as_bytes());
+            SCRAPES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    });
 }
 
 /// Dispatch one experiment id (exits with code 2 on an unknown id, like
@@ -370,14 +452,34 @@ fn run_profile(args: &[String]) {
     }
 }
 
-/// Flush the trace and write the manifest, pulling the fitted model
-/// parameters (H, β, Kt, a) out of the final gauge snapshot.
+/// Flush the recorder and trace and write the manifest, pulling the fitted
+/// model parameters (H, β, Kt, a) out of the final gauge snapshot.
 fn finish_observability(
-    trace_path: Option<&Path>,
+    telemetry: bool,
     manifest_path: Option<&Path>,
+    windows_path: Option<&Path>,
     mut manifest: svbr_obsv::RunManifest,
 ) {
-    if trace_path.is_some() {
+    if let Some(rec) = svbr_obsv::uninstall_recorder() {
+        // Final window: even a run shorter than one tick interval records
+        // (and traces) its end state.
+        rec.flush_window();
+        if let Some(path) = windows_path {
+            let mut out = String::new();
+            for (seq, snapshot) in rec.windows() {
+                out.push_str(&svbr_obsv::Event::Window { seq, snapshot }.to_jsonl());
+                out.push('\n');
+            }
+            match std::fs::write(path, out) {
+                Ok(()) => eprintln!("[repro] windows written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("[repro] cannot write windows {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if telemetry {
         svbr_obsv::flush();
         svbr_obsv::uninstall();
     }
@@ -427,6 +529,7 @@ fn usage() {
          usage: repro [--trace <path.jsonl>] [--manifest <path.json>]\n\
                       [--checkpoint <path>] [--resume <path>]\n\
                       [--faults <kind@site:occurrence,...>]\n\
+                      [--expose <addr>] [--expose-wait] [--windows <path.jsonl>]\n\
                       <id>... | all | light | heavy | list\n\
                 repro bench [--quick] [--out <path.json>]\n\
                 repro profile [--folded <path>] [--top <n>] [<id>...]\n\n\
@@ -439,9 +542,15 @@ fn usage() {
          traced smoke run exercising every instrumented layer, and\n\
          `resilience`, the supervised checkpointable run (checkpoints\n\
          every chunk; resume a killed run to byte-identical output)\n\n\
+         `--expose <addr>` serves the live registry as Prometheus-style\n\
+         text over TCP (curl it mid-run; `--expose-wait` keeps the process\n\
+         alive until the first scrape); `--windows <path.jsonl>` dumps the\n\
+         flight-recorder snapshot ring at exit (window interval:\n\
+         SVBR_WINDOW_EVERY ticks, default 256)\n\n\
          env: SVBR_REPS (default 1000), SVBR_TRACE_LEN (default 238626),\n\
          SVBR_THREADS (default #cores), SVBR_FAST=1 (smoke mode),\n\
          SVBR_RESULTS_DIR (default ./results), SVBR_CKPT_CHUNKS,\n\
-         SVBR_CKPT_LEN, SVBR_CKPT_EVERY, SVBR_DEADLINE_MS, SVBR_FAULTS"
+         SVBR_CKPT_LEN, SVBR_CKPT_EVERY, SVBR_DEADLINE_MS, SVBR_FAULTS,\n\
+         SVBR_WINDOW_EVERY"
     );
 }

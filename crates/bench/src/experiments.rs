@@ -974,6 +974,24 @@ pub fn obsv_demo(seed: u64, out: &mut dyn Write) -> AnyResult {
     for (b, p) in &curve {
         writeln!(out, "trace tail: Pr(Q > {b:.0}) = {p:.4}")?;
     }
+
+    // Multi-source superposition: registers the labeled per-source
+    // queue.source.* series (source="0".."3") that live exposition and the
+    // flight recorder surface mid-run.
+    let n_sources = 4;
+    let quarter = ys.len() / n_sources;
+    let sources: Vec<Vec<f64>> = (0..n_sources)
+        .map(|s| ys[s * quarter..(s + 1) * quarter].to_vec())
+        .collect();
+    let mux_path = svbr::queue::superpose(&sources)?;
+    let mux_mean = mux_path.iter().sum::<f64>() / mux_path.len() as f64;
+    writeln!(
+        out,
+        "superposed {} sources: {} slots, mean arrival {:.1}",
+        n_sources,
+        mux_path.len(),
+        mux_mean
+    )?;
     let model = fit.background_model(BackgroundKind::SrdLrd)?;
     let dh = DaviesHarte::new_approx(&model, 512, 5e-2)?;
     let mc = svbr::queue::estimate_overflow_seeded(

@@ -144,6 +144,9 @@ impl UnifiedFit {
     /// Run Steps 1–3 on an empirical bytes-per-frame series.
     pub fn fit(series: &[f64], opts: &UnifiedOptions) -> Result<Self, CoreError> {
         let mut span = svbr_obsv::span("pipeline.fit");
+        if svbr_obsv::enabled() {
+            svbr_obsv::counter_with("pipeline.stage.calls", &[("stage", "fit")]).inc();
+        }
         // Step 1: Hurst parameter.
         let hurst = estimate_hurst(series, &opts.hurst)?;
         // Step 2: sample ACF + composite fit.
@@ -280,6 +283,10 @@ impl UnifiedFit {
         F: FnMut(&CompensatedAcf, usize, usize) -> Result<Vec<f64>, CoreError>,
     {
         let mut span = svbr_obsv::span("pipeline.refine_attenuation");
+        if svbr_obsv::enabled() {
+            svbr_obsv::counter_with("pipeline.stage.calls", &[("stage", "refine_attenuation")])
+                .inc();
+        }
         let composite = self.composite_acf()?;
         let lo = opts.lag_window.0.max(1);
         let hi = opts.lag_window.1.min(opts.path_len / 2).max(lo);

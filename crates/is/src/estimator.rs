@@ -370,7 +370,7 @@ impl<M: Marginal> IsEstimator<M> {
             ci_wm.observe(done as u64, rel_ci);
         }
         let est = acc.finish();
-        self.observe_run(&acc, &est);
+        self.observe_run(&acc, &est, "sequential");
         est
     }
 
@@ -378,8 +378,13 @@ impl<M: Marginal> IsEstimator<M> {
     /// mean/variance (in log space), Kish effective sample size, and the
     /// twist used — the quantities that tell whether the change of measure
     /// is healthy (cf. `crate::diagnostics`).
-    fn observe_run(&self, acc: &Accumulator, est: &IsEstimate) {
+    fn observe_run(&self, acc: &Accumulator, est: &IsEstimate, mode: &str) {
         svbr_obsv::counter("is.replications").add(acc.n as u64);
+        if svbr_obsv::enabled() {
+            // Same total, split by execution mode (sequential vs parallel).
+            svbr_obsv::counter_with("is.batch.replications", &[("mode", mode)]).add(acc.n as u64);
+            svbr_obsv::record_tick(acc.n as u64);
+        }
         svbr_obsv::counter("is.hits").add(acc.hits as u64);
         let ess = acc.effective_sample_size();
         svbr_obsv::gauge("is.effective_sample_size").set(ess);
@@ -548,7 +553,7 @@ impl<M: Marginal> IsEstimator<M> {
             total.add(r);
         }
         let est = total.finish();
-        self.observe_run(&total, &est);
+        self.observe_run(&total, &est, "parallel");
         est
     }
 }

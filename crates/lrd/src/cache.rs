@@ -144,6 +144,19 @@ fn dh_entry_bytes(n: usize) -> usize {
     next_power_of_two(2 * n.max(2)) * std::mem::size_of::<f64>()
 }
 
+/// Dimensional view of the flat `cache.<backend>.hit/miss` counters: one
+/// `cache.lookups` family labeled by backend and outcome.
+fn observe_lookup(backend: &str, outcome: &str) {
+    if !svbr_obsv::enabled() {
+        return;
+    }
+    svbr_obsv::counter_with(
+        "cache.lookups",
+        &[("backend", backend), ("outcome", outcome)],
+    )
+    .inc();
+}
+
 /// Look up (or compute and insert) the Durbin–Levinson coefficient
 /// schedule for `(acf, n)`.
 ///
@@ -162,6 +175,7 @@ pub fn hosking_coefficients<A: Acf>(acf: &A, n: usize) -> Result<CachedHosking, 
             .unwrap_or_else(PoisonError::into_inner);
         if let Some(hit) = cache.map.get(&key) {
             svbr_obsv::counter("cache.hosking.hit").add(1);
+            observe_lookup("hosking", "hit");
             return Ok(CachedHosking::Shared(Arc::clone(hit)));
         }
     }
@@ -169,6 +183,7 @@ pub fn hosking_coefficients<A: Acf>(acf: &A, n: usize) -> Result<CachedHosking, 
     // unrelated lookups. A racing duplicate insert is harmless (identical
     // value; last writer wins).
     svbr_obsv::counter("cache.hosking.miss").add(1);
+    observe_lookup("hosking", "miss");
     let prepared = Arc::new(PreparedHosking::new(acf, n)?);
     let mut cache = hosking_cache()
         .lock()
@@ -208,10 +223,12 @@ pub fn davies_harte_cached<A: Acf>(
         let cache = dh_cache().lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(hit) = cache.map.get(&key) {
             svbr_obsv::counter("cache.davies_harte.hit").add(1);
+            observe_lookup("davies_harte", "hit");
             return Ok(Arc::clone(hit));
         }
     }
     svbr_obsv::counter("cache.davies_harte.miss").add(1);
+    observe_lookup("davies_harte", "miss");
     let dh = Arc::new(DaviesHarte::new_approx(acf, n, rel_tol)?);
     let mut cache = dh_cache().lock().unwrap_or_else(PoisonError::into_inner);
     let resident = insert_bounded(

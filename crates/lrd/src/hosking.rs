@@ -427,6 +427,11 @@ impl<A: Acf> HoskingSampler<A> {
         }
         self.history.truncate(n);
         svbr_obsv::counter("lrd.hosking.samples").add(n as u64);
+        if svbr_obsv::enabled() {
+            svbr_obsv::counter_with("lrd.generator.samples", &[("backend", "hosking")])
+                .add(n as u64);
+            svbr_obsv::record_tick(1);
+        }
         svbr_obsv::gauge("lrd.hosking.innovation_variance").set(self.v);
         let elapsed = span.elapsed_secs();
         if span.is_live() && elapsed > 0.0 {

@@ -32,20 +32,32 @@ pub enum Event {
         /// Numeric attributes.
         fields: Vec<(String, f64)>,
     },
+    /// A flight-recorder window: a full registry snapshot flushed
+    /// periodically (driven by work counts, not wall clock), turning one
+    /// trace into a replayable metric time series.
+    Window {
+        /// Monotone window ordinal within the run (0-based).
+        seq: u64,
+        /// The registry state at flush time; labeled series appear under
+        /// their rendered `name{k="v",...}` keys.
+        snapshot: crate::metrics::Snapshot,
+    },
 }
 
 impl Event {
-    /// The event's name regardless of variant.
+    /// The event's name regardless of variant (`"window"` for windows).
     pub fn name(&self) -> &str {
         match self {
             Event::Span { name, .. } | Event::Point { name, .. } => name,
+            Event::Window { .. } => "window",
         }
     }
 
-    /// The event's fields regardless of variant.
+    /// The event's fields regardless of variant (empty for windows).
     pub fn fields(&self) -> &[(String, f64)] {
         match self {
             Event::Span { fields, .. } | Event::Point { fields, .. } => fields,
+            Event::Window { .. } => &[],
         }
     }
 
@@ -83,6 +95,52 @@ impl Event {
                 push_json_string(&mut out, name);
                 push_fields(&mut out, fields);
             }
+            Event::Window { seq, snapshot } => {
+                out.push_str("{\"t\":\"window\",\"seq\":");
+                out.push_str(&seq.to_string());
+                out.push_str(",\"counters\":{");
+                for (i, (name, v)) in snapshot.counters.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_string(&mut out, name);
+                    out.push(':');
+                    out.push_str(&v.to_string());
+                }
+                out.push_str("},\"gauges\":{");
+                for (i, (name, v)) in snapshot.gauges.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_string(&mut out, name);
+                    out.push(':');
+                    push_json_number(&mut out, *v);
+                }
+                out.push_str("},\"histograms\":{");
+                for (i, (name, h)) in snapshot.histograms.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_string(&mut out, name);
+                    out.push_str(":{\"count\":");
+                    out.push_str(&h.count.to_string());
+                    out.push_str(",\"sum\":");
+                    out.push_str(&h.sum.to_string());
+                    out.push_str(",\"buckets\":[");
+                    for (j, (lo, n)) in h.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push('[');
+                        out.push_str(&lo.to_string());
+                        out.push(',');
+                        out.push_str(&n.to_string());
+                        out.push(']');
+                    }
+                    out.push_str("]}");
+                }
+                out.push('}');
+            }
         }
         out.push('}');
         out
@@ -94,6 +152,9 @@ impl Event {
         let value = parse_json(line)?;
         let obj = value.as_object()?;
         let kind = obj.get("t")?.as_str()?;
+        if kind == "window" {
+            return Self::parse_window(obj);
+        }
         let name = obj.get("name")?.as_str()?.to_string();
         let fields = match obj.get("fields") {
             Some(v) => v
@@ -120,6 +181,38 @@ impl Event {
             "point" => Some(Event::Point { name, fields }),
             _ => None,
         }
+    }
+
+    fn parse_window(obj: &JsonObj) -> Option<Event> {
+        use crate::metrics::{HistogramSnapshot, Snapshot};
+        let seq = obj.get("seq")?.as_f64()? as u64;
+        let mut snapshot = Snapshot::default();
+        for (name, v) in &obj.get("counters")?.as_object()?.entries {
+            snapshot.counters.push((name.clone(), v.as_f64()? as u64));
+        }
+        for (name, v) in &obj.get("gauges")?.as_object()?.entries {
+            snapshot.gauges.push((name.clone(), v.as_f64()?));
+        }
+        for (name, v) in &obj.get("histograms")?.as_object()?.entries {
+            let h = v.as_object()?;
+            let mut buckets = Vec::new();
+            for pair in h.get("buckets")?.as_array()? {
+                let pair = pair.as_array()?;
+                if pair.len() != 2 {
+                    return None;
+                }
+                buckets.push((pair[0].as_f64()? as u64, pair[1].as_f64()? as u64));
+            }
+            snapshot.histograms.push((
+                name.clone(),
+                HistogramSnapshot {
+                    count: h.get("count")?.as_f64()? as u64,
+                    sum: h.get("sum")?.as_f64()? as u64,
+                    buckets,
+                },
+            ));
+        }
+        Some(Event::Window { seq, snapshot })
     }
 }
 

@@ -1,0 +1,227 @@
+//! Prometheus-style text exposition of a registry [`Snapshot`].
+//!
+//! Pure `std`, no HTTP here: [`TextExposer::render`] turns a snapshot into
+//! the text format (`# TYPE` comments, `name{label="v"} value` samples,
+//! cumulative `_bucket`/`_sum`/`_count` lines for histograms). The `repro`
+//! binary serves the rendered text over an opt-in TCP listener
+//! (`--expose`), and `svbr-xtask obsv-tail` re-renders the latest
+//! flight-recorder window of a growing trace.
+//!
+//! Metric names use `.` separators internally; the name part (not the
+//! labels) is mangled to `_` for exposition, so `queue.source.arrivals`
+//! with label `source="3"` becomes `queue_source_arrivals{source="3"}`.
+
+use crate::metrics::{bucket_bounds, bucket_index, split_series, Snapshot};
+
+/// Renders snapshots in the Prometheus text exposition format.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TextExposer;
+
+impl TextExposer {
+    /// A new exposer (stateless).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Render `snap` as exposition text (ends with a trailing newline when
+    /// non-empty).
+    pub fn render(&self, snap: &Snapshot) -> String {
+        render_text(snap)
+    }
+}
+
+/// Mangle a dotted metric name into a Prometheus-legal identifier.
+fn mangle(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Split a rendered series key into the mangled name and the `{...}` label
+/// block (empty string when unlabeled).
+fn expo_key(key: &str) -> (String, String) {
+    let (name, labels) = split_series(key);
+    let block = match labels {
+        Some(l) => format!("{{{l}}}"),
+        None => String::new(),
+    };
+    (mangle(name), block)
+}
+
+/// A sample line `name{labels} value`, with `extra_label` (e.g.
+/// `le="16"`) merged into the existing label block when present.
+fn push_sample(out: &mut String, name: &str, block: &str, extra_label: Option<&str>, value: &str) {
+    out.push_str(name);
+    match (block.is_empty(), extra_label) {
+        (true, None) => {}
+        (true, Some(extra)) => {
+            out.push('{');
+            out.push_str(extra);
+            out.push('}');
+        }
+        (false, None) => out.push_str(block),
+        (false, Some(extra)) => {
+            out.push_str(&block[..block.len() - 1]);
+            out.push(',');
+            out.push_str(extra);
+            out.push('}');
+        }
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+/// Emit a `# TYPE` header the first time each mangled base name appears.
+fn push_type(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    if last != name {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
+        last.clear();
+        last.push_str(name);
+    }
+}
+
+/// Render `snap` in the Prometheus text exposition format. Series sharing a
+/// base name (labeled families) are contiguous in the snapshot, so each
+/// family gets exactly one `# TYPE` line.
+pub fn render_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last = String::new();
+    for (key, v) in &snap.counters {
+        let (name, block) = expo_key(key);
+        push_type(&mut out, &mut last, &name, "counter");
+        push_sample(&mut out, &name, &block, None, &v.to_string());
+    }
+    for (key, v) in &snap.gauges {
+        let (name, block) = expo_key(key);
+        push_type(&mut out, &mut last, &name, "gauge");
+        push_sample(&mut out, &name, &block, None, &fmt_f64(*v));
+    }
+    for (key, h) in &snap.histograms {
+        let (name, block) = expo_key(key);
+        push_type(&mut out, &mut last, &name, "histogram");
+        let bucket_name = format!("{name}_bucket");
+        let mut cum = 0u64;
+        for &(lo, n) in &h.buckets {
+            cum += n;
+            let (_, hi) = bucket_bounds(bucket_index(lo));
+            let le = if hi == u64::MAX {
+                "le=\"+Inf\"".to_string()
+            } else {
+                format!("le=\"{hi}\"")
+            };
+            push_sample(&mut out, &bucket_name, &block, Some(&le), &cum.to_string());
+        }
+        if h.buckets
+            .last()
+            .map(|&(lo, _)| bucket_bounds(bucket_index(lo)).1)
+            != Some(u64::MAX)
+        {
+            push_sample(
+                &mut out,
+                &bucket_name,
+                &block,
+                Some("le=\"+Inf\""),
+                &h.count.to_string(),
+            );
+        }
+        push_sample(
+            &mut out,
+            &format!("{name}_sum"),
+            &block,
+            None,
+            &h.sum.to_string(),
+        );
+        push_sample(
+            &mut out,
+            &format!("{name}_count"),
+            &block,
+            None,
+            &h.count.to_string(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn renders_counters_gauges_and_labels() {
+        let reg = Registry::new();
+        reg.counter("queue.overflows").add(7);
+        reg.counter_with("queue.source.arrivals", &[("source", "3")])
+            .add(42);
+        reg.gauge("pipeline.hurst").set(0.79);
+        let text = render_text(&reg.snapshot());
+        assert!(text.contains("# TYPE queue_overflows counter\n"));
+        assert!(text.contains("queue_overflows 7\n"));
+        assert!(text.contains("queue_source_arrivals{source=\"3\"} 42\n"));
+        assert!(text.contains("# TYPE pipeline_hurst gauge\n"));
+        assert!(text.contains("pipeline_hurst 0.79\n"));
+    }
+
+    #[test]
+    fn one_type_line_per_labeled_family() {
+        let reg = Registry::new();
+        for s in ["0", "1", "2"] {
+            reg.counter_with("queue.source.arrivals", &[("source", s)])
+                .inc();
+        }
+        let text = render_text(&reg.snapshot());
+        let type_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE queue_source_arrivals "))
+            .count();
+        assert_eq!(type_lines, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf_terminal() {
+        let reg = Registry::new();
+        let h = reg.histogram_with("lrd.fft.len", &[("backend", "davies_harte")]);
+        h.record(3); // bucket [2,4) -> le="4"
+        h.record(3);
+        h.record(100); // bucket [64,128) -> le="128"
+        let text = render_text(&reg.snapshot());
+        assert!(text.contains("lrd_fft_len_bucket{backend=\"davies_harte\",le=\"4\"} 2\n"));
+        assert!(text.contains("lrd_fft_len_bucket{backend=\"davies_harte\",le=\"128\"} 3\n"));
+        assert!(text.contains("lrd_fft_len_bucket{backend=\"davies_harte\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lrd_fft_len_sum{backend=\"davies_harte\"} 106\n"));
+        assert!(text.contains("lrd_fft_len_count{backend=\"davies_harte\"} 3\n"));
+    }
+
+    #[test]
+    fn non_finite_gauges_render_as_prometheus_literals() {
+        let reg = Registry::new();
+        reg.gauge("a.nan").set(f64::NAN);
+        reg.gauge("b.inf").set(f64::INFINITY);
+        let text = render_text(&reg.snapshot());
+        assert!(text.contains("a_nan NaN\n"));
+        assert!(text.contains("b_inf +Inf\n"));
+    }
+}

@@ -32,8 +32,10 @@
 
 pub mod clock;
 pub mod event;
+pub mod expose;
 pub mod manifest;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
 pub mod sink;
 pub mod span;
@@ -41,8 +43,13 @@ pub mod watermark;
 
 pub use clock::{now_us, thread_ordinal, Stopwatch};
 pub use event::Event;
+pub use expose::TextExposer;
 pub use manifest::RunManifest;
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use metrics::{
+    render_series, split_series, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
+    CARDINALITY_CAP, CARDINALITY_DROPPED, OVERFLOW_LABEL,
+};
+pub use recorder::FlightRecorder;
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
 pub use span::Span;
 pub use watermark::Watermark;
@@ -53,6 +60,7 @@ use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
 static REGISTRY: OnceLock<Registry> = OnceLock::new();
+static RECORDER: RwLock<Option<Arc<FlightRecorder>>> = RwLock::new(None);
 
 /// Whether a sink is installed. Instrumented code uses this to skip any
 /// per-event work beyond a relaxed load.
@@ -63,9 +71,52 @@ pub fn enabled() -> bool {
 
 /// Install a sink and enable event emission process-wide.
 pub fn install(sink: Arc<dyn Sink>) {
+    // Pre-register the layer's self-metric so it shows up (at zero) in
+    // every snapshot, making "no series were dropped" an observable fact
+    // rather than an absence. Spelled as a literal (it equals
+    // `metrics::CARDINALITY_DROPPED`) so the analyze metric-registry
+    // audit, which reads names from literal call sites, can see it.
+    let _ = crate::counter("obsv.cardinality_dropped");
     let mut slot = SINK.write().unwrap_or_else(PoisonError::into_inner);
     *slot = Some(sink);
     ENABLED.store(true, Ordering::Release);
+}
+
+/// Install a flight recorder that snapshots the global registry every
+/// `every` ticks, retaining the most recent `capacity` windows. Returns the
+/// recorder handle (also reachable via [`recorder_handle`]).
+pub fn install_recorder(every: u64, capacity: usize) -> Arc<FlightRecorder> {
+    let rec = Arc::new(FlightRecorder::new(every, capacity));
+    let mut slot = RECORDER.write().unwrap_or_else(PoisonError::into_inner);
+    *slot = Some(rec.clone());
+    rec
+}
+
+/// Remove and return the installed flight recorder, if any.
+pub fn uninstall_recorder() -> Option<Arc<FlightRecorder>> {
+    let mut slot = RECORDER.write().unwrap_or_else(PoisonError::into_inner);
+    slot.take()
+}
+
+/// The installed flight recorder, if any.
+pub fn recorder_handle() -> Option<Arc<FlightRecorder>> {
+    let slot = RECORDER.read().unwrap_or_else(PoisonError::into_inner);
+    slot.clone()
+}
+
+/// Account `n` units of completed work (replications, generated samples)
+/// toward the flight recorder's window schedule. A single relaxed load when
+/// telemetry is disabled or no recorder is installed; never touches the
+/// RNG path.
+#[inline]
+pub fn record_tick(n: u64) {
+    if !enabled() {
+        return;
+    }
+    let slot = RECORDER.read().unwrap_or_else(PoisonError::into_inner);
+    if let Some(rec) = slot.as_ref() {
+        rec.tick(n);
+    }
 }
 
 /// Disable emission and return the previously installed sink (flushed), if
@@ -130,14 +181,34 @@ pub fn counter(name: &str) -> Counter {
     registry().counter(name)
 }
 
+/// Resolve a labeled counter series in the global registry. Labels are
+/// sorted internally; past the per-name cardinality cap the reserved
+/// `{other="true"}` series is returned and `obsv.cardinality_dropped`
+/// incremented. Resolve once, outside loops.
+pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> Counter {
+    registry().counter_with(name, labels)
+}
+
 /// Resolve a gauge in the global registry.
 pub fn gauge(name: &str) -> Gauge {
     registry().gauge(name)
 }
 
+/// Resolve a labeled gauge series in the global registry (see
+/// [`counter_with`] for label and cap semantics).
+pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> Gauge {
+    registry().gauge_with(name, labels)
+}
+
 /// Resolve a histogram in the global registry.
 pub fn histogram(name: &str) -> Histogram {
     registry().histogram(name)
+}
+
+/// Resolve a labeled histogram series in the global registry (see
+/// [`counter_with`] for label and cap semantics).
+pub fn histogram_with(name: &str, labels: &[(&str, &str)]) -> Histogram {
+    registry().histogram_with(name, labels)
 }
 
 /// Snapshot the global registry.
@@ -436,5 +507,12 @@ mod tests {
         assert_eq!(g.get(), -0.125);
         g.set(f64::INFINITY);
         assert!(g.get().is_infinite());
+    }
+
+    #[test]
+    fn install_preregisters_the_literal_cardinality_counter() {
+        // `install` spells the self-metric as a literal so the static
+        // registry audit can see it; keep it in sync with the constant.
+        assert_eq!("obsv.cardinality_dropped", metrics::CARDINALITY_DROPPED);
     }
 }

@@ -1,10 +1,23 @@
-//! Thread-safe metric registry: counters, gauges, and log-scale histograms.
+//! Thread-safe metric registry: counters, gauges, and log-scale histograms,
+//! optionally dimensioned by labels.
 //!
 //! The hot path is lock-free: every metric handle is an `Arc` around plain
 //! atomics, so `Counter::add`, `Gauge::set`, and `Histogram::record` are a
 //! handful of relaxed atomic operations. The registry mutex is only taken
 //! when *resolving* a metric by name (do that once, outside loops) and when
 //! taking a [`Snapshot`].
+//!
+//! ## Labeled series
+//!
+//! [`Registry::counter_with`] / [`Registry::gauge_with`] /
+//! [`Registry::histogram_with`] resolve a *labeled* series: the registry is
+//! keyed on `(name, sorted labels)`, so `("queue.source.arrivals",
+//! [("source", "3")])` and `("queue.source.arrivals", [("source", "4")])`
+//! are independent instruments under one name. Each name may hold at most
+//! [`CARDINALITY_CAP`] distinct label sets; a resolution past the cap is
+//! routed to the reserved `{other="true"}` series and counted in the
+//! `obsv.cardinality_dropped` counter, so a million distinct sources cost
+//! bounded memory by design rather than by luck.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,6 +26,19 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// Number of histogram buckets: one for zero plus one per bit-length of a
 /// `u64` value (powers of two), so bucket `i >= 1` covers `[2^(i-1), 2^i)`.
 pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Hard cap on the number of *labeled* series a single metric name may
+/// hold. Resolutions past the cap are routed to the reserved
+/// [`OVERFLOW_LABEL`] series and counted in [`CARDINALITY_DROPPED`].
+pub const CARDINALITY_CAP: usize = 64;
+
+/// Name of the counter that tracks label sets rejected by the cardinality
+/// cap (one increment per rejected resolution, not per rejected label set).
+pub const CARDINALITY_DROPPED: &str = "obsv.cardinality_dropped";
+
+/// Label of the reserved per-name overflow series that absorbs resolutions
+/// past [`CARDINALITY_CAP`].
+pub const OVERFLOW_LABEL: (&str, &str) = ("other", "true");
 
 /// Monotone event counter.
 #[derive(Clone, Debug, Default)]
@@ -181,6 +207,81 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`; 0 when empty).
+    ///
+    /// The histogram only stores per-power-of-two bucket counts, so the
+    /// estimate walks the cumulative counts to the bucket where they cross
+    /// `q * count` and linearly interpolates inside that bucket's `[lo, hi)`
+    /// range. The true quantile is guaranteed to lie in the same bucket, so
+    /// the absolute error is below one bucket width and — because bucket
+    /// `i` spans `[2^(i-1), 2^i)` — the relative error is bounded by a
+    /// factor of 2 regardless of the data.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0.0f64;
+        for &(lo, n) in &self.buckets {
+            let next = cum + n as f64;
+            if next >= target {
+                let (blo, bhi) = bucket_bounds(bucket_index(lo));
+                let frac = if n == 0 {
+                    0.0
+                } else {
+                    (target - cum) / n as f64
+                };
+                return blo as f64 + frac * bhi.saturating_sub(blo) as f64;
+            }
+            cum = next;
+        }
+        self.buckets
+            .last()
+            .map(|&(lo, _)| bucket_bounds(bucket_index(lo)).1 as f64)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Render a series key for snapshots and exposition: `name` when unlabeled,
+/// otherwise `name{k="v",k2="v2"}` with label values `\`/`"`/newline
+/// escaped (the Prometheus text-format label syntax).
+pub fn render_series(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Split a rendered series key back into `(name, label_block)`, where the
+/// label block is the `k="v",...` text without the surrounding braces
+/// (`None` for an unlabeled series).
+pub fn split_series(key: &str) -> (&str, Option<&str>) {
+    match key.find('{') {
+        Some(i) if key.ends_with('}') => (&key[..i], Some(&key[i + 1..key.len() - 1])),
+        _ => (key, None),
+    }
 }
 
 #[derive(Debug)]
@@ -190,14 +291,32 @@ enum Entry {
     Histogram(Histogram),
 }
 
+/// Registry key: metric name plus a *sorted* list of `(key, value)` labels.
+/// The derived ordering (name first, then labels) keeps every series of one
+/// name contiguous in the backing `BTreeMap`, which is what the
+/// cardinality-cap scan relies on.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn is_overflow(&self) -> bool {
+        self.labels.len() == 1
+            && self.labels[0].0 == OVERFLOW_LABEL.0
+            && self.labels[0].1 == OVERFLOW_LABEL.1
+    }
+}
+
 /// Named metric registry. One global instance lives behind
 /// [`crate::counter`]/[`crate::gauge`]/[`crate::histogram`]; local
-/// registries can be created for tests. Backed by a `BTreeMap` so every
-/// traversal (snapshots, dumps) is name-ordered without relying on hash
-/// state.
+/// registries can be created for tests. Backed by a `BTreeMap` keyed on
+/// `(name, sorted labels)` so every traversal (snapshots, dumps) is
+/// series-ordered without relying on hash state.
 #[derive(Debug, Default)]
 pub struct Registry {
-    inner: Mutex<BTreeMap<String, Entry>>,
+    inner: Mutex<BTreeMap<SeriesKey, Entry>>,
 }
 
 impl Registry {
@@ -206,19 +325,77 @@ impl Registry {
         Self::default()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<SeriesKey, Entry>> {
         // A poisoned registry only means another thread panicked mid-insert;
         // the map itself is still structurally valid, so keep going.
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admit a `(name, labels)` pair, enforcing [`CARDINALITY_CAP`]: a new
+    /// label set on a name that already holds `CARDINALITY_CAP` labeled
+    /// series is routed to the reserved [`OVERFLOW_LABEL`] series, and the
+    /// [`CARDINALITY_DROPPED`] counter is incremented.
+    fn admit(
+        map: &mut BTreeMap<SeriesKey, Entry>,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> SeriesKey {
+        let mut sorted: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        sorted.sort();
+        let key = SeriesKey {
+            name: name.to_string(),
+            labels: sorted,
+        };
+        if key.labels.is_empty() || map.contains_key(&key) {
+            return key;
+        }
+        let floor = SeriesKey {
+            name: key.name.clone(),
+            labels: Vec::new(),
+        };
+        let live = map
+            .range(floor..)
+            .take_while(|(k, _)| k.name == key.name)
+            .filter(|(k, _)| !k.labels.is_empty() && !k.is_overflow())
+            .count();
+        if live < CARDINALITY_CAP {
+            return key;
+        }
+        let dropped = SeriesKey {
+            name: CARDINALITY_DROPPED.to_string(),
+            labels: Vec::new(),
+        };
+        if let Entry::Counter(c) = map
+            .entry(dropped)
+            .or_insert_with(|| Entry::Counter(Counter::new()))
+        {
+            c.inc();
+        }
+        SeriesKey {
+            name: key.name,
+            labels: vec![(OVERFLOW_LABEL.0.to_string(), OVERFLOW_LABEL.1.to_string())],
+        }
     }
 
     /// Resolve (creating if absent) the counter `name`. If the name is
     /// already registered as a different kind, a detached counter is
     /// returned so callers never panic on a kind mismatch.
     pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Resolve (creating if absent) the counter series `name` with the
+    /// given labels (sorted internally, so call-site order is irrelevant).
+    /// Detached on kind mismatch; past the per-name cardinality cap the
+    /// reserved `{other="true"}` series is returned instead.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let mut map = self.lock();
+        let key = Self::admit(&mut map, name, labels);
         match map
-            .entry(name.to_string())
+            .entry(key)
             .or_insert_with(|| Entry::Counter(Counter::new()))
         {
             Entry::Counter(c) => c.clone(),
@@ -229,11 +406,15 @@ impl Registry {
     /// Resolve (creating if absent) the gauge `name`; detached on kind
     /// mismatch.
     pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Labeled gauge resolution; same cap and mismatch semantics as
+    /// [`Registry::counter_with`].
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let mut map = self.lock();
-        match map
-            .entry(name.to_string())
-            .or_insert_with(|| Entry::Gauge(Gauge::new()))
-        {
+        let key = Self::admit(&mut map, name, labels);
+        match map.entry(key).or_insert_with(|| Entry::Gauge(Gauge::new())) {
             Entry::Gauge(g) => g.clone(),
             _ => Gauge::new(),
         }
@@ -242,9 +423,16 @@ impl Registry {
     /// Resolve (creating if absent) the histogram `name`; detached on kind
     /// mismatch.
     pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Labeled histogram resolution; same cap and mismatch semantics as
+    /// [`Registry::counter_with`].
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         let mut map = self.lock();
+        let key = Self::admit(&mut map, name, labels);
         match map
-            .entry(name.to_string())
+            .entry(key)
             .or_insert_with(|| Entry::Histogram(Histogram::new()))
         {
             Entry::Histogram(h) => h.clone(),
@@ -252,17 +440,25 @@ impl Registry {
         }
     }
 
-    /// Point-in-time copy of every registered metric, sorted by name
+    /// Number of registered series (all names and label sets). Exposed so
+    /// the cardinality-cap bound can be asserted directly.
+    pub fn series_count(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Point-in-time copy of every registered metric, sorted by series key.
+    /// Labeled series appear under their rendered `name{k="v",...}` key
     /// (the backing `BTreeMap` iterates in key order, so no post-sort is
     /// needed).
     pub fn snapshot(&self) -> Snapshot {
         let map = self.lock();
         let mut snap = Snapshot::default();
-        for (name, entry) in map.iter() {
+        for (key, entry) in map.iter() {
+            let name = render_series(&key.name, &key.labels);
             match entry {
-                Entry::Counter(c) => snap.counters.push((name.clone(), c.get())),
-                Entry::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
-                Entry::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+                Entry::Counter(c) => snap.counters.push((name, c.get())),
+                Entry::Gauge(g) => snap.gauges.push((name, g.get())),
+                Entry::Histogram(h) => snap.histograms.push((name, h.snapshot())),
             }
         }
         snap
@@ -292,5 +488,177 @@ impl Snapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive round trip over every bucket index: the bounds of bucket
+    /// `i` map back to `i` at both ends, buckets tile the `u64` range with
+    /// no gaps, and the edge values 0, 1, and `u64::MAX` land where the
+    /// scheme says they must.
+    #[test]
+    fn bucket_bounds_round_trip_for_all_indices() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo < hi, "bucket {i}: empty range [{lo}, {hi})");
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            // The top bucket's `hi` is the inclusive u64::MAX sentinel; all
+            // others are exclusive, so `hi - 1` is the last member.
+            let last = if i == HISTOGRAM_BUCKETS - 1 {
+                hi
+            } else {
+                hi - 1
+            };
+            assert_eq!(bucket_index(last), i, "last member of bucket {i}");
+            // Contiguity: each bucket starts where the previous one ends.
+            if i + 1 < HISTOGRAM_BUCKETS {
+                assert_eq!(bucket_bounds(i + 1).0, hi, "gap after bucket {i}");
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // An out-of-range index clamps to the top bucket instead of
+        // overflowing the shift.
+        assert_eq!(bucket_bounds(HISTOGRAM_BUCKETS + 7), bucket_bounds(64));
+    }
+
+    /// Property sweep: every probed value is contained in the bucket its
+    /// index points at. Probes every power of two and its neighbors plus a
+    /// deterministic multiplicative sweep — no RNG, per workspace policy.
+    #[test]
+    fn bucket_index_containment_property() {
+        let mut probes: Vec<u64> = vec![0, 1, 2, 3, u64::MAX, u64::MAX - 1];
+        for bit in 1..64u32 {
+            let p = 1u64 << bit;
+            probes.extend([p - 1, p, p + 1]);
+        }
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            probes.push(x);
+        }
+        for v in probes {
+            let i = bucket_index(v);
+            assert!(i < HISTOGRAM_BUCKETS, "index {i} out of range for {v}");
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v, "{v} below bucket {i} = [{lo}, {hi})");
+            assert!(
+                v < hi || (i == HISTOGRAM_BUCKETS - 1 && v <= hi),
+                "{v} above bucket {i} = [{lo}, {hi})"
+            );
+        }
+    }
+
+    /// The per-name cardinality cap is a hard memory bound: unbounded
+    /// distinct label sets collapse into the reserved overflow series and
+    /// are tallied in `obsv.cardinality_dropped`.
+    #[test]
+    fn cardinality_cap_bounds_series_and_counts_drops() {
+        let reg = Registry::new();
+        const ATTEMPTS: usize = 3 * CARDINALITY_CAP;
+        for i in 0..ATTEMPTS {
+            let v = i.to_string();
+            reg.counter_with("queue.source.arrivals", &[("source", v.as_str())])
+                .inc();
+        }
+        // CAP distinct series + 1 overflow + 1 dropped counter.
+        assert_eq!(reg.series_count(), CARDINALITY_CAP + 2);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter(CARDINALITY_DROPPED),
+            Some((ATTEMPTS - CARDINALITY_CAP) as u64)
+        );
+        // Every post-cap increment landed on the overflow series.
+        assert_eq!(
+            snap.counter("queue.source.arrivals{other=\"true\"}"),
+            Some((ATTEMPTS - CARDINALITY_CAP) as u64)
+        );
+        // Re-resolving an admitted label set never counts as a drop.
+        reg.counter_with("queue.source.arrivals", &[("source", "0")])
+            .inc();
+        assert_eq!(
+            reg.snapshot().counter(CARDINALITY_DROPPED),
+            Some((ATTEMPTS - CARDINALITY_CAP) as u64)
+        );
+        assert_eq!(reg.series_count(), CARDINALITY_CAP + 2);
+        // The cap is per name: a second name gets its own budget.
+        reg.counter_with("queue.source.mean", &[("source", "0")])
+            .inc();
+        assert_eq!(reg.series_count(), CARDINALITY_CAP + 3);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized_and_values_escaped() {
+        let reg = Registry::new();
+        reg.counter_with(
+            "cache.lookups",
+            &[("outcome", "hit"), ("backend", "hosking")],
+        )
+        .add(2);
+        reg.counter_with(
+            "cache.lookups",
+            &[("backend", "hosking"), ("outcome", "hit")],
+        )
+        .add(3);
+        let snap = reg.snapshot();
+        // Both call-site orders resolve to one sorted series.
+        assert_eq!(
+            snap.counter("cache.lookups{backend=\"hosking\",outcome=\"hit\"}"),
+            Some(5)
+        );
+        assert_eq!(
+            render_series("m", &[("k".into(), "a\"b\\c\nd".into())]),
+            "m{k=\"a\\\"b\\\\c\\nd\"}"
+        );
+        let key = render_series("m", &[("k".into(), "v".into())]);
+        assert_eq!(split_series(&key), ("m", Some("k=\"v\"")));
+        assert_eq!(split_series("plain"), ("plain", None));
+    }
+
+    /// Quantile estimates stay within the documented factor-of-2 bound of
+    /// the true quantile for a known sample set.
+    #[test]
+    fn quantile_estimates_respect_bucket_resolution_bound() {
+        let h = Histogram::new();
+        // 100 samples: 50x 10, 45x 100, 5x 1000.
+        for _ in 0..50 {
+            h.record(10);
+        }
+        for _ in 0..45 {
+            h.record(100);
+        }
+        for _ in 0..5 {
+            h.record(1000);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.50);
+        let p95 = snap.quantile(0.95);
+        // True p50 = 10, true p95 = 100; estimates must stay within the
+        // enclosing power-of-two bucket ([8,16] and [64,128], upper edge
+        // inclusive: interpolation returns the edge when the target lands
+        // exactly on a cumulative-count boundary).
+        assert!((8.0..=16.0).contains(&p50), "p50 = {p50}");
+        assert!((64.0..=128.0).contains(&p95), "p95 = {p95}");
+        assert!(p50 / 10.0 <= 2.0 && 10.0 / p50 <= 2.0, "p50 = {p50}");
+        assert!(p95 / 100.0 <= 2.0 && 100.0 / p95 <= 2.0, "p95 = {p95}");
+        // Degenerate inputs.
+        assert!(
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                buckets: Vec::new()
+            }
+            .quantile(0.5)
+            .abs()
+                < 1e-12
+        );
+        // Out-of-range q clamps instead of panicking.
+        assert!(snap.quantile(-1.0) <= snap.quantile(2.0));
+        // q = 1.0 lands in the last occupied bucket.
+        assert!(snap.quantile(1.0) >= 512.0);
     }
 }

@@ -1,0 +1,150 @@
+//! Flight recorder: a fixed-capacity ring of periodic registry snapshots.
+//!
+//! Long runs need a metric *time series*, not one end-of-run total. The
+//! recorder holds the last `capacity` snapshots of the global registry and
+//! emits each flush as an [`Event::Window`] JSONL record, so a trace can be
+//! replayed window by window (`svbr-xtask obsv-tail`) or diffed against
+//! another run (`svbr-xtask obsv-diff`).
+//!
+//! Flushes are driven by *work counts* ([`FlightRecorder::tick`] from
+//! replication/sample loops), never by wall clock, so the flush schedule is
+//! deterministic for a fixed seed and stays entirely off the RNG path.
+//! Snapshot *values* may still include timing gauges; determinism here is
+//! about when windows happen and that recording never perturbs simulation
+//! output.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::event::Event;
+use crate::metrics::Snapshot;
+
+/// Default tick interval between window flushes. Ticks count completed
+/// replications / generation batches, so a few hundred ticks per window
+/// keeps a typical run at a handful of windows.
+pub const DEFAULT_WINDOW_EVERY: u64 = 256;
+
+/// Default ring capacity (windows retained in memory).
+pub const DEFAULT_WINDOW_CAPACITY: usize = 128;
+
+/// Fixed-capacity ring of periodic registry snapshots. See the module docs
+/// for the determinism contract.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    every: u64,
+    capacity: usize,
+    ticks: AtomicU64,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<(u64, Snapshot)>>,
+}
+
+impl FlightRecorder {
+    /// Recorder flushing every `every` ticks (clamped to at least 1) and
+    /// retaining the most recent `capacity` windows (at least 1).
+    pub fn new(every: u64, capacity: usize) -> Self {
+        Self {
+            every: every.max(1),
+            capacity: capacity.max(1),
+            ticks: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<(u64, Snapshot)>> {
+        self.ring.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Account `n` units of completed work (replications, generated
+    /// samples, ...). Flushes a window whenever the running total crosses a
+    /// multiple of the configured interval. Cheap when no flush is due: one
+    /// relaxed `fetch_add`.
+    pub fn tick(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let prev = self.ticks.fetch_add(n, Ordering::Relaxed);
+        if (prev + n) / self.every != prev / self.every {
+            self.flush_window();
+        }
+    }
+
+    /// Snapshot the global registry into the ring now and emit the window
+    /// to the installed sink (if tracing is enabled).
+    pub fn flush_window(&self) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let snapshot = crate::snapshot();
+        {
+            let mut ring = self.lock();
+            if ring.len() == self.capacity {
+                ring.pop_front();
+            }
+            ring.push_back((seq, snapshot.clone()));
+        }
+        crate::emit(Event::Window { seq, snapshot });
+    }
+
+    /// Copies of the retained windows, oldest first.
+    pub fn windows(&self) -> Vec<(u64, Snapshot)> {
+        self.lock().iter().cloned().collect()
+    }
+
+    /// The most recent window, if any has been flushed.
+    pub fn latest(&self) -> Option<(u64, Snapshot)> {
+        self.lock().back().cloned()
+    }
+
+    /// Number of windows currently retained (bounded by the capacity).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no window has been flushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_WINDOW_EVERY, DEFAULT_WINDOW_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_capacity_is_bounded_and_seq_monotone() {
+        let rec = FlightRecorder::new(1, 3);
+        for _ in 0..10 {
+            rec.tick(1);
+        }
+        let windows = rec.windows();
+        assert_eq!(windows.len(), 3, "ring must drop oldest past capacity");
+        let seqs: Vec<u64> = windows.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        assert_eq!(rec.latest().map(|(s, _)| s), Some(9));
+    }
+
+    #[test]
+    fn tick_flushes_once_per_interval_crossing() {
+        let rec = FlightRecorder::new(10, 16);
+        rec.tick(4);
+        rec.tick(5);
+        assert!(rec.is_empty(), "9 ticks < interval 10: no window yet");
+        rec.tick(1);
+        assert_eq!(rec.len(), 1, "crossing 10 flushes exactly one window");
+        rec.tick(25);
+        assert_eq!(rec.len(), 2, "a large batch still flushes one window");
+    }
+
+    #[test]
+    fn zero_interval_is_clamped() {
+        let rec = FlightRecorder::new(0, 0);
+        rec.tick(1);
+        assert_eq!(rec.len(), 1);
+    }
+}

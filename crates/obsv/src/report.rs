@@ -2,6 +2,7 @@
 //! point-field statistics, rendered as a plain-text table.
 
 use crate::event::Event;
+use crate::metrics::Snapshot;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -82,6 +83,10 @@ pub struct TraceSummary {
     pub points: BTreeMap<String, u64>,
     /// `(point_name, field)` → statistics.
     pub fields: BTreeMap<(String, String), FieldStats>,
+    /// Flight-recorder window records seen.
+    pub windows: u64,
+    /// The registry snapshot of the last window record, if any.
+    pub last_window: Option<Snapshot>,
 }
 
 impl TraceSummary {
@@ -102,6 +107,10 @@ impl TraceSummary {
                         .or_default()
                         .observe(*v);
                 }
+            }
+            Event::Window { snapshot, .. } => {
+                self.windows += 1;
+                self.last_window = Some(snapshot.clone());
             }
         }
     }
@@ -198,12 +207,97 @@ impl fmt::Display for TraceSummary {
                 }
             }
         }
+        if let Some(snap) = &self.last_window {
+            if !snap.histograms.is_empty() {
+                writeln!(f, "histograms (last of {} windows):", self.windows)?;
+                writeln!(
+                    f,
+                    "  {:<40} {:>8} {:>12} {:>12} {:>12}",
+                    "series", "count", "mean", "~p50", "~p95"
+                )?;
+                for (name, h) in &snap.histograms {
+                    writeln!(
+                        f,
+                        "  {:<40} {:>8} {:>12} {:>12} {:>12}",
+                        name,
+                        h.count,
+                        fmt_val(h.mean()),
+                        // Log2-bucket estimates: within 2x of the true
+                        // quantile by construction (see
+                        // HistogramSnapshot::quantile).
+                        fmt_val(h.quantile(0.50)),
+                        fmt_val(h.quantile(0.95)),
+                    )?;
+                }
+            }
+        }
         if self.malformed_lines > 0 {
             writeln!(f, "malformed lines: {}", self.malformed_lines)?;
         }
-        if self.spans.is_empty() && self.points.is_empty() {
+        if self.spans.is_empty() && self.points.is_empty() && self.windows == 0 {
             writeln!(f, "(empty trace)")?;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn windows_are_counted_and_last_snapshot_kept() {
+        let reg = Registry::new();
+        reg.counter("queue.superpositions").add(1);
+        let first = Event::Window {
+            seq: 0,
+            snapshot: reg.snapshot(),
+        };
+        reg.counter("queue.superpositions").add(9);
+        let second = Event::Window {
+            seq: 1,
+            snapshot: reg.snapshot(),
+        };
+        let summary = summarize([first.to_jsonl(), second.to_jsonl()]);
+        assert_eq!(summary.windows, 2);
+        assert_eq!(summary.malformed_lines, 0);
+        let last = summary.last_window.as_ref().expect("kept the last window");
+        assert_eq!(last.counter("queue.superpositions"), Some(10));
+        // A trace that only carries windows is not "(empty trace)".
+        assert!(!summary.to_string().contains("(empty trace)"));
+    }
+
+    #[test]
+    fn histogram_table_renders_estimated_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram_with("queue.depth", &[("source", "2")]);
+        for _ in 0..50 {
+            h.record(10);
+        }
+        for _ in 0..50 {
+            h.record(100);
+        }
+        let summary = summarize([Event::Window {
+            seq: 0,
+            snapshot: reg.snapshot(),
+        }
+        .to_jsonl()]);
+        let text = summary.to_string();
+        assert!(text.contains("histograms (last of 1 windows):"), "{text}");
+        assert!(text.contains("~p50"), "{text}");
+        assert!(text.contains("~p95"), "{text}");
+        assert!(text.contains("queue.depth{source=\"2\"}"), "{text}");
+        // The rendered estimates honor the factor-of-2 bucket bound: p50
+        // lands in [8,16], p95 in [64,128] (bucket edges inclusive).
+        let row = text
+            .lines()
+            .find(|l| l.contains("queue.depth"))
+            .expect("histogram row");
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        let p50: f64 = cols[cols.len() - 2].parse().expect("p50 cell");
+        let p95: f64 = cols[cols.len() - 1].parse().expect("p95 cell");
+        assert!((8.0..=16.0).contains(&p50), "{row}");
+        assert!((64.0..=128.0).contains(&p95), "{row}");
     }
 }

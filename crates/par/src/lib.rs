@@ -152,10 +152,25 @@ fn observe_run(reps: usize, workers: usize) {
     svbr_obsv::counter("par.runs").add(1);
     svbr_obsv::counter("par.replications").add(reps as u64);
     svbr_obsv::gauge("par.workers").set(workers as f64);
+    // Per-shard item counts, labeled by shard ordinal. Mirrors the static
+    // block layout below; cardinality is bounded by the worker count.
+    let chunk = reps.div_ceil(workers.max(1));
+    for t in 0..workers {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(reps);
+        if lo >= hi {
+            break;
+        }
+        let shard = t.to_string();
+        svbr_obsv::counter_with("par.shard.items", &[("shard", shard.as_str())])
+            .add((hi - lo) as u64);
+    }
     svbr_obsv::point(
         "par.run",
         &[("replications", reps as f64), ("workers", workers as f64)],
     );
+    // Completed replications drive the flight-recorder window schedule.
+    svbr_obsv::record_tick(reps as u64);
 }
 
 #[cfg(test)]

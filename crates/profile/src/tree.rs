@@ -83,7 +83,7 @@ impl SpanForest {
                     dur: *dur_us,
                     arrival,
                 }),
-                Event::Point { .. } => None,
+                Event::Point { .. } | Event::Window { .. } => None,
             })
             .collect();
         // Within a thread: parents sort before children (earlier start, or

@@ -32,6 +32,22 @@ pub fn superpose(paths: &[Vec<f64>]) -> Result<Vec<f64>, QueueError> {
             *o += v;
         }
     }
+    if svbr_obsv::enabled() {
+        // Per-source arrival telemetry, labeled by source ordinal — the
+        // landing pad for N-source multiplexing runs. Past the registry's
+        // per-name cardinality cap, extra sources aggregate into the
+        // reserved `{other="true"}` series, so this stays bounded for any
+        // N.
+        for (i, p) in paths.iter().enumerate() {
+            let source = i.to_string();
+            svbr_obsv::counter_with("queue.source.arrivals", &[("source", source.as_str())])
+                .add(len as u64);
+            let mean = p.iter().take(len).sum::<f64>() / len as f64;
+            svbr_obsv::gauge_with("queue.source.mean", &[("source", source.as_str())]).set(mean);
+        }
+        svbr_obsv::counter("queue.superpositions").inc();
+        svbr_obsv::record_tick(1);
+    }
     Ok(out)
 }
 

@@ -14,6 +14,7 @@
 //! | `metric-kind-conflict`     | one name registered as two kinds (or vs. DESIGN.md)      |
 //! | `metric-undocumented`      | a registered metric missing from DESIGN.md's registry    |
 //! | `metric-dead`              | a DESIGN.md registry row no code registers               |
+//! | `metric-labels`            | label keys off the documented set, malformed, reserved, or over the per-site cap |
 //!
 //! The determinism and panic-surface families apply only to the crates
 //! that promise bit-identical output ([`AUDITED_CRATES`]); seed-flow and
@@ -40,7 +41,18 @@ pub const METRIC_PREFIXES: &[&str] = &[
     "pipeline",
     "lrd",
     "resilience",
+    "obsv",
 ];
+
+/// Most label keys a single call site may carry. Every key multiplies the
+/// potential series count, and the registry's per-name cardinality cap
+/// turns overflow into a lossy `other` bucket — more than this many
+/// dimensions on one metric is a design smell, not an instrumentation
+/// detail.
+pub const MAX_METRIC_LABEL_KEYS: usize = 3;
+
+/// The label key reserved by `svbr_obsv` for cardinality-cap overflow.
+pub const RESERVED_LABEL_KEY: &str = "other";
 
 /// Rule IDs.
 pub const DET_UNORDERED_COLLECTION: &str = "det-unordered-collection";
@@ -52,6 +64,7 @@ pub const METRIC_NAME: &str = "metric-name";
 pub const METRIC_KIND_CONFLICT: &str = "metric-kind-conflict";
 pub const METRIC_UNDOCUMENTED: &str = "metric-undocumented";
 pub const METRIC_DEAD: &str = "metric-dead";
+pub const METRIC_LABELS: &str = "metric-labels";
 
 /// The per-site-waivable subset this pass owns for the waiver audit
 /// (`metric-dead` anchors in DESIGN.md, which has no waiver comments).
@@ -64,6 +77,7 @@ pub const ANALYZE_WAIVABLE_IDS: &[&str] = &[
     METRIC_NAME,
     METRIC_KIND_CONFLICT,
     METRIC_UNDOCUMENTED,
+    METRIC_LABELS,
 ];
 
 /// One analyze diagnostic.
@@ -421,11 +435,17 @@ fn float_reductions(code: &str, model: &FileModel) -> Vec<(usize, String)> {
 struct RegistryRow {
     name: String,
     kind: String,
+    /// Documented label keys (4-column table form). Empty for unlabeled
+    /// metrics (`-` cell) and for legacy 3-column rows.
+    labels: Vec<String>,
     line: usize,
 }
 
 /// Parse the machine-readable registry table under a heading containing
-/// "Metric registry". Returns `None` when no such heading exists.
+/// "Metric registry". Returns `None` when no such heading exists. Rows
+/// may be the legacy 3-column `name | kind | meaning` form or the
+/// 4-column `name | kind | labels | meaning` form; a labels cell of `-`
+/// means the metric carries no labels.
 fn parse_metric_registry(text: &str) -> Option<Vec<RegistryRow>> {
     let mut rows = Vec::new();
     let mut in_section = false;
@@ -451,10 +471,16 @@ fn parse_metric_registry(text: &str) -> Option<Vec<RegistryRow>> {
         }
         let name = cells[0].trim_matches('`').to_string();
         let kind = cells[1].to_ascii_lowercase();
+        let labels = if cells.len() >= 4 {
+            parse_label_cell(cells[2])
+        } else {
+            Vec::new()
+        };
         if !name.is_empty() && ["counter", "gauge", "histogram"].contains(&kind.as_str()) {
             rows.push(RegistryRow {
                 name,
                 kind,
+                labels,
                 line: idx + 1,
             });
         }
@@ -464,6 +490,26 @@ fn parse_metric_registry(text: &str) -> Option<Vec<RegistryRow>> {
     } else {
         None
     }
+}
+
+/// Split a registry `labels` cell into keys: backtick-quoted or bare,
+/// comma-separated; `-` (or empty) means none.
+fn parse_label_cell(cell: &str) -> Vec<String> {
+    if cell == "-" || cell.is_empty() {
+        return Vec::new();
+    }
+    cell.split(',')
+        .map(|k| k.trim().trim_matches('`').to_string())
+        .filter(|k| !k.is_empty())
+        .collect()
+}
+
+/// Is a label key well-formed (`lower_snake`, starting with a letter)?
+fn label_key_ok(key: &str) -> bool {
+    key.as_bytes().first().is_some_and(u8::is_ascii_lowercase)
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
 }
 
 /// Does a metric name follow `<prefix>.<lower_snake[.lower_snake…]>`?
@@ -481,19 +527,35 @@ fn metric_name_ok(name: &str) -> bool {
         })
 }
 
-/// The metric-registry family: naming, kind uniqueness, and the
-/// bidirectional DESIGN.md cross-check. Returns the distinct-name count.
+/// One non-test metric registration site, flattened for the rule passes.
+#[derive(Clone)]
+struct MetricSite {
+    idx: usize,
+    line: usize,
+    kind: MetricKind,
+    name: String,
+    labels: Vec<String>,
+}
+
+/// The metric-registry family: naming, kind uniqueness, label-key
+/// validation, and the bidirectional DESIGN.md cross-check. Returns the
+/// distinct-name count.
 fn metric_rules(
     ctxs: &mut [(FileModel, WaiverBook)],
     design: Option<&str>,
     out: &mut Vec<Finding>,
 ) -> usize {
-    // (ctx index, line, kind, name) for every non-test registration.
-    let mut sites: Vec<(usize, usize, MetricKind, String)> = Vec::new();
+    let mut sites: Vec<MetricSite> = Vec::new();
     for (idx, (model, _)) in ctxs.iter().enumerate() {
         for m in &model.metrics {
             if !m.in_test {
-                sites.push((idx, m.line, m.kind, m.name.clone()));
+                sites.push(MetricSite {
+                    idx,
+                    line: m.line,
+                    kind: m.kind,
+                    name: m.name.clone(),
+                    labels: m.labels.clone(),
+                });
             }
         }
     }
@@ -514,12 +576,13 @@ fn metric_rules(
     };
 
     // Naming convention.
-    for (idx, line, _, name) in sites.clone() {
-        if !metric_name_ok(&name) {
+    for s in sites.clone() {
+        if !metric_name_ok(&s.name) {
+            let name = &s.name;
             push(
                 ctxs,
-                idx,
-                line,
+                s.idx,
+                s.line,
                 METRIC_NAME,
                 format!(
                     "metric `{name}` violates the naming convention \
@@ -529,25 +592,66 @@ fn metric_rules(
             );
         }
     }
+    // Per-site label-key hygiene: well-formed keys, no reserved key, and
+    // a hard per-site dimension cap (cardinality guard).
+    for s in sites.clone() {
+        let name = &s.name;
+        for key in &s.labels {
+            if key == RESERVED_LABEL_KEY {
+                let msg = format!(
+                    "metric `{name}` uses label key `{RESERVED_LABEL_KEY}`, which \
+                     svbr_obsv reserves for cardinality-cap overflow series"
+                );
+                push(ctxs, s.idx, s.line, METRIC_LABELS, msg);
+            } else if !label_key_ok(key) {
+                let msg = format!(
+                    "metric `{name}` label key `{key}` is not lower_snake \
+                     starting with a letter"
+                );
+                push(ctxs, s.idx, s.line, METRIC_LABELS, msg);
+            }
+        }
+        if s.labels.len() > MAX_METRIC_LABEL_KEYS {
+            let msg = format!(
+                "metric `{name}` carries {} label keys; more than \
+                 {MAX_METRIC_LABEL_KEYS} multiplies series cardinality past \
+                 the registry's per-name cap",
+                s.labels.len()
+            );
+            push(ctxs, s.idx, s.line, METRIC_LABELS, msg);
+        }
+    }
     // Kind uniqueness across code sites.
     let mut first_kind: std::collections::BTreeMap<String, (MetricKind, String, usize)> =
         std::collections::BTreeMap::new();
-    for (idx, line, kind, name) in sites.clone() {
-        let here = (ctxs[idx].0.rel_path.clone(), line);
-        match first_kind.get(&name) {
+    for s in sites.clone() {
+        let here = (ctxs[s.idx].0.rel_path.clone(), s.line);
+        match first_kind.get(&s.name) {
             None => {
-                first_kind.insert(name, (kind, here.0, here.1));
+                first_kind.insert(s.name, (s.kind, here.0, here.1));
             }
-            Some((k0, f0, l0)) if *k0 != kind => {
+            Some((k0, f0, l0)) if *k0 != s.kind => {
+                let name = &s.name;
                 let msg = format!(
                     "metric `{name}` registered as {} here but as {} at {f0}:{l0}: \
                      one name must map to one instrument",
-                    kind.name(),
+                    s.kind.name(),
                     k0.name()
                 );
-                push(ctxs, idx, line, METRIC_KIND_CONFLICT, msg);
+                push(ctxs, s.idx, s.line, METRIC_KIND_CONFLICT, msg);
             }
             Some(_) => {}
+        }
+    }
+    // Per-name union of statically visible label keys across sites.
+    let mut used_keys: std::collections::BTreeMap<String, Vec<String>> =
+        std::collections::BTreeMap::new();
+    for s in &sites {
+        let entry = used_keys.entry(s.name.clone()).or_default();
+        for key in &s.labels {
+            if !entry.contains(key) {
+                entry.push(key.clone());
+            }
         }
     }
     // DESIGN.md cross-check.
@@ -569,29 +673,48 @@ fn metric_rules(
         Some(rows) => {
             let by_name: std::collections::BTreeMap<&str, &RegistryRow> =
                 rows.iter().map(|r| (r.name.as_str(), r)).collect();
-            for (idx, line, kind, name) in sites.clone() {
-                match by_name.get(name.as_str()) {
-                    None => push(
-                        ctxs,
-                        idx,
-                        line,
-                        METRIC_UNDOCUMENTED,
-                        format!(
+            for s in sites.clone() {
+                let name = &s.name;
+                match by_name.get(s.name.as_str()) {
+                    None => {
+                        let msg = format!(
                             "metric `{name}` is not in DESIGN.md's `Metric registry` \
                              table: document it (name, kind, meaning) or remove it"
-                        ),
-                    ),
-                    Some(row) if row.kind != kind.name() => {
+                        );
+                        push(ctxs, s.idx, s.line, METRIC_UNDOCUMENTED, msg);
+                    }
+                    Some(row) if row.kind != s.kind.name() => {
                         let msg = format!(
                             "metric `{name}` registered as {} but DESIGN.md \
                              documents it as {} (row at DESIGN.md:{})",
-                            kind.name(),
+                            s.kind.name(),
                             row.kind,
                             row.line
                         );
-                        push(ctxs, idx, line, METRIC_KIND_CONFLICT, msg);
+                        push(ctxs, s.idx, s.line, METRIC_KIND_CONFLICT, msg);
                     }
-                    Some(_) => {}
+                    Some(row) => {
+                        // Code→DESIGN: every key used at this site must be
+                        // documented in the row's labels column.
+                        let undocumented: Vec<&String> = s
+                            .labels
+                            .iter()
+                            .filter(|k| !row.labels.iter().any(|d| d == *k))
+                            .collect();
+                        if !undocumented.is_empty() {
+                            let keys = undocumented
+                                .iter()
+                                .map(|k| format!("`{k}`"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let msg = format!(
+                                "metric `{name}` uses label key(s) {keys} not in \
+                                 DESIGN.md's labels column (row at DESIGN.md:{})",
+                                row.line
+                            );
+                            push(ctxs, s.idx, s.line, METRIC_LABELS, msg);
+                        }
+                    }
                 }
             }
             for row in &rows {
@@ -606,6 +729,25 @@ fn metric_rules(
                             row.name
                         ),
                     });
+                    continue;
+                }
+                // DESIGN→code: every documented label key must be visible at
+                // some registration site of that name.
+                let used = used_keys.get(&row.name);
+                for key in &row.labels {
+                    if !used.is_some_and(|u| u.contains(key)) {
+                        out.push(Finding {
+                            file: String::from("DESIGN.md"),
+                            line: row.line,
+                            rule: METRIC_LABELS,
+                            message: format!(
+                                "documented label key `{key}` of metric `{}` \
+                                 appears at no registration site: drop it from \
+                                 the labels column or label the call sites",
+                                row.name
+                            ),
+                        });
+                    }
                 }
             }
         }
@@ -924,6 +1066,95 @@ pub fn f() {
         assert_eq!(un.len(), 1);
         assert_eq!(un[0].file, "DESIGN.md");
         assert_eq!(un[0].line, 0);
+    }
+
+    const DESIGN_LABELED: &str = "\
+# DESIGN
+
+## 7b. Metric registry
+
+| name | kind | labels | meaning |
+|------|------|--------|---------|
+| `cache.lookups` | counter | `backend`, `outcome` | cache lookups |
+| `queue.source.mean` | gauge | `source` | per-source mean |
+| `par.tasks` | counter | - | tasks executed |
+";
+
+    #[test]
+    fn fixture_metric_labels_cross_check_is_bidirectional() {
+        // Clean: keys at the sites match the labels column exactly.
+        let clean = "\
+pub fn f(id: &str) {
+    svbr_obsv::counter_with(\"cache.lookups\", &[(\"backend\", id), (\"outcome\", \"hit\")]).add(1);
+    svbr_obsv::gauge_with(\"queue.source.mean\", &[(\"source\", id)]).set(1.0);
+    svbr_obsv::counter(\"par.tasks\").add(1);
+}
+";
+        let fs = findings(&[("crates/queue/src/lib.rs", clean)], Some(DESIGN_LABELED));
+        assert!(fs.is_empty(), "{fs:?}");
+        // Code→DESIGN: an undocumented key at a call site fires there.
+        let extra_key = clean.replace("(\"source\", id)", "(\"region\", id)");
+        let fs = findings(
+            &[("crates/queue/src/lib.rs", extra_key.as_str())],
+            Some(DESIGN_LABELED),
+        );
+        let ml = of_rule(&fs, METRIC_LABELS);
+        assert_eq!(ml.len(), 2, "{ml:?}");
+        // …once for the undocumented `region`, once for the now-unused
+        // documented `source` on the DESIGN.md row.
+        assert!(ml
+            .iter()
+            .any(|f| f.line == 3 && f.message.contains("`region`")));
+        assert!(ml
+            .iter()
+            .any(|f| f.file == "DESIGN.md" && f.message.contains("`source`")));
+        // DESIGN→code: dropping a documented key's call-site usage fires
+        // on the table row.
+        let missing_outcome = clean.replace(", (\"outcome\", \"hit\")", "");
+        let fs = findings(
+            &[("crates/queue/src/lib.rs", missing_outcome.as_str())],
+            Some(DESIGN_LABELED),
+        );
+        let ml = of_rule(&fs, METRIC_LABELS);
+        assert_eq!(ml.len(), 1, "{ml:?}");
+        assert_eq!(ml[0].file, "DESIGN.md");
+        assert!(ml[0].message.contains("`outcome`"));
+        // A waiver on the call site suppresses the code-side finding.
+        let waived = extra_key.replace(
+            "    svbr_obsv::gauge_with",
+            "    // svbr-analyze: allow(metric-labels) region key lands in DESIGN next PR\n    svbr_obsv::gauge_with",
+        );
+        let fs = findings(
+            &[("crates/queue/src/lib.rs", waived.as_str())],
+            Some(DESIGN_LABELED),
+        );
+        let ml = of_rule(&fs, METRIC_LABELS);
+        assert_eq!(ml.len(), 1, "{ml:?}");
+        assert_eq!(ml[0].file, "DESIGN.md");
+        assert!(of_rule(&fs, "unused-waiver").is_empty());
+    }
+
+    #[test]
+    fn fixture_metric_labels_site_hygiene() {
+        // Reserved key, malformed key, and the per-site cap each fire.
+        let code = "\
+pub fn f(id: &str) {
+    svbr_obsv::counter_with(\"par.tasks\", &[(\"other\", id)]).add(1);
+    svbr_obsv::counter_with(\"par.tasks\", &[(\"BadKey\", id)]).add(1);
+    svbr_obsv::counter_with(\"par.tasks\", &[(\"a\", id), (\"b\", id), (\"c\", id), (\"d\", id)]).add(1);
+}
+";
+        let fs = findings(&[("crates/par/src/lib.rs", code)], None);
+        let ml = of_rule(&fs, METRIC_LABELS);
+        assert!(ml
+            .iter()
+            .any(|f| f.line == 2 && f.message.contains("reserve")));
+        assert!(ml
+            .iter()
+            .any(|f| f.line == 3 && f.message.contains("lower_snake")));
+        assert!(ml
+            .iter()
+            .any(|f| f.line == 4 && f.message.contains("cardinality")));
     }
 
     // ---- waiver audit ----------------------------------------------------

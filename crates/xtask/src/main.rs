@@ -5,6 +5,8 @@
 //! ```text
 //! cargo run -p svbr-xtask -- lint [--format text|json] [--todo-budget N]
 //! cargo run -p svbr-xtask -- obsv-report <trace.jsonl>
+//! cargo run -p svbr-xtask -- obsv-tail [--once] <trace.jsonl>
+//! cargo run -p svbr-xtask -- obsv-diff <a> <b>
 //! cargo run -p svbr-xtask -- bench-compare --baseline <old.json> <new.json>
 //! ```
 //!
@@ -18,6 +20,11 @@
 //! `repro --trace <path>` into per-span timing and per-point field tables,
 //! followed by the span-tree hot-path table and critical path.
 //!
+//! `obsv-tail` renders the latest flight-recorder window of a trace in the
+//! Prometheus text format and (without `--once`) follows the file as it
+//! grows. `obsv-diff` compares the final metric series of two runs —
+//! traces or run manifests — and exits 1 on drift; see [`obsv`].
+//!
 //! `bench-compare` diffs two `BENCH_svbr.json` reports (written by
 //! `repro bench`) and exits 1 when any case's throughput regressed by more
 //! than the threshold (default 15%) or disappeared — the CI perf gate.
@@ -27,6 +34,7 @@
 mod analyze;
 mod lexer;
 mod model;
+mod obsv;
 mod rules;
 mod waivers;
 
@@ -107,6 +115,36 @@ fn run(args: &[String], root: &Path) -> i32 {
                 (Some(path), None) => obsv_report(path),
                 _ => {
                     eprintln!("obsv-report takes exactly one trace path\n{USAGE}");
+                    2
+                }
+            };
+        }
+        Some("obsv-tail") => {
+            let mut once = false;
+            let mut path: Option<&String> = None;
+            for a in it.by_ref() {
+                match a.as_str() {
+                    "--once" => once = true,
+                    p if !p.starts_with("--") && path.is_none() => path = Some(a),
+                    other => {
+                        eprintln!("unknown obsv-tail argument `{other}`\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            let Some(path) = path else {
+                eprintln!("obsv-tail takes a trace path\n{USAGE}");
+                return 2;
+            };
+            return obsv::tail(path, once);
+        }
+        Some("obsv-diff") => {
+            return match (it.next(), it.next(), it.next()) {
+                (Some(a), Some(b), None) => obsv::diff(a, b),
+                _ => {
+                    eprintln!(
+                        "obsv-diff takes exactly two paths (JSONL trace or run manifest)\n{USAGE}"
+                    );
                     2
                 }
             };
@@ -208,6 +246,10 @@ usage: cargo run -p svbr-xtask -- <task>
   analyze [--format text|json] [--today YYYY-MM-DD]
                                                 cross-file determinism / numeric-safety audit
   obsv-report <trace.jsonl>                     summarize an obsv trace
+  obsv-tail [--once] <trace.jsonl>              render the latest flight-recorder window
+                                                (follows the file unless --once)
+  obsv-diff <a> <b>                             diff two runs' final series (trace or
+                                                manifest); exit 1 on drift
   bench-compare --baseline <old.json> <new.json> [--threshold F]
                                                 gate on bench regressions";
 
@@ -218,14 +260,24 @@ const DEFAULT_BENCH_THRESHOLD: f64 = 0.15;
 const REPORT_HOT_PATHS: usize = 10;
 
 /// Summarize a JSONL trace (as written by `repro --trace`) to stdout.
+/// Empty or non-JSONL input is a single-line error and exit 1 — never an
+/// empty table.
 fn obsv_report(path: &str) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("cannot read trace `{path}`: {e}");
+            eprintln!("obsv-report: cannot read trace `{path}`: {e}");
             return 1;
         }
     };
+    if text.trim().is_empty() {
+        eprintln!("obsv-report: `{path}` is empty (expected a JSONL trace)");
+        return 1;
+    }
+    if !text.lines().any(|l| svbr_obsv::Event::parse(l).is_some()) {
+        eprintln!("obsv-report: `{path}` is not a JSONL trace (no line parsed as an event)");
+        return 1;
+    }
     // Best-effort write: a closed pipe (`… | head`) must not panic.
     use std::io::Write;
     let _ = write!(std::io::stdout().lock(), "{}", obsv_report_text(&text));
@@ -279,6 +331,60 @@ impl BenchCase {
     }
 }
 
+/// Run provenance pulled from a bench report's header fields (both absent
+/// in schema-1 reports — tolerated, rendered as `unknown`).
+#[derive(Debug, Default)]
+struct BenchMeta {
+    git_revision: Option<String>,
+    host: Option<String>,
+}
+
+impl BenchMeta {
+    /// One-line rendering for the bench-compare header, e.g.
+    /// `rev=173d3b7a4be2 host=AMD EPYC 7B13 (16 cores, rustc 1.82.0)`.
+    fn render(&self) -> String {
+        let rev = match &self.git_revision {
+            // Abbreviate full SHAs; `get` keeps a malformed (non-ASCII or
+            // short) revision from panicking the gate.
+            Some(r) => r.get(..12).unwrap_or(r),
+            None => "unknown",
+        };
+        format!(
+            "rev={rev} host={}",
+            self.host.as_deref().unwrap_or("unknown")
+        )
+    }
+}
+
+/// Best-effort provenance extraction: never fails, missing fields stay
+/// `None`.
+fn parse_bench_meta(text: &str) -> BenchMeta {
+    use svbr_obsv::event::Json;
+    let Some(Json::Obj(obj)) = svbr_obsv::event::parse_json(text) else {
+        return BenchMeta::default();
+    };
+    let git_revision = obj
+        .get("git_revision")
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    let host = obj.get("host").and_then(Json::as_object).map(|h| {
+        let cpu = h
+            .get("cpu_model")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown-cpu");
+        let cores = h
+            .get("cores")
+            .and_then(Json::as_f64)
+            .map_or("? cores".to_string(), |c| format!("{} cores", c as u64));
+        let rustc = h
+            .get("rustc")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown rustc");
+        format!("{cpu} ({cores}, {rustc})")
+    });
+    BenchMeta { git_revision, host }
+}
+
 /// Parse a `BENCH_svbr.json` document into its named cases.
 fn parse_bench_cases(text: &str) -> Result<Vec<BenchCase>, String> {
     use svbr_obsv::event::Json;
@@ -317,18 +423,20 @@ fn parse_bench_cases(text: &str) -> Result<Vec<BenchCase>, String> {
 /// Diff two bench reports; exit 1 when any case's throughput regressed by
 /// more than `threshold` (or disappeared), 0 otherwise.
 fn bench_compare(baseline_path: &str, current_path: &str, threshold: f64) -> i32 {
-    let read = |path: &str| -> Result<Vec<BenchCase>, String> {
+    let read = |path: &str| -> Result<(Vec<BenchCase>, BenchMeta), String> {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-        parse_bench_cases(&text).map_err(|e| format!("`{path}`: {e}"))
+        let cases = parse_bench_cases(&text).map_err(|e| format!("`{path}`: {e}"))?;
+        Ok((cases, parse_bench_meta(&text)))
     };
-    let (baseline, current) = match (read(baseline_path), read(current_path)) {
-        (Ok(b), Ok(c)) => (b, c),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("bench-compare: {e}");
-            return 1;
-        }
-    };
+    let ((baseline, base_meta), (current, cur_meta)) =
+        match (read(baseline_path), read(current_path)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench-compare: {e}");
+                return 1;
+            }
+        };
     use std::io::Write;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -339,6 +447,11 @@ fn bench_compare(baseline_path: &str, current_path: &str, threshold: f64) -> i32
         "bench-compare (fail below {:.0}% of baseline):",
         100.0 * (1.0 - threshold)
     );
+    // Provenance header: which revisions/machines produced the two sides.
+    // A cross-host or cross-revision comparison is still allowed, but the
+    // verdict should say so out loud.
+    let _ = writeln!(out, "  baseline: {}", base_meta.render());
+    let _ = writeln!(out, "  current:  {}", cur_meta.render());
     for b in &baseline {
         match current.iter().find(|c| c.same_case(b)) {
             Some(c) if b.samples_per_sec > 0.0 => {
@@ -735,6 +848,52 @@ mod tests {
         assert_eq!(obsv_report("/nonexistent/trace.jsonl"), 1);
     }
 
+    #[test]
+    fn obsv_report_rejects_empty_and_non_jsonl_input() {
+        let root = tmp_tree(&[
+            ("empty.jsonl", "\n  \n"),
+            ("garbage.jsonl", "this is not\na trace at all\n"),
+            // Truncated mid-record: the one whole line still parses.
+            (
+                "truncated.jsonl",
+                "{\"t\":\"point\",\"name\":\"pipeline.iteration\",\"fields\":{\"a\":1}}\n\
+                 {\"t\":\"span\",\"name\":\"pipel",
+            ),
+        ]);
+        let path = |n: &str| root.join(n).to_string_lossy().into_owned();
+        assert_eq!(obsv_report(&path("empty.jsonl")), 1);
+        assert_eq!(obsv_report(&path("garbage.jsonl")), 1);
+        assert_eq!(obsv_report(&path("truncated.jsonl")), 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn bench_meta_renders_revision_and_host_tolerating_absence() {
+        let v2 = "{\n  \"schema\": 2,\n  \
+                  \"git_revision\": \"0123456789abcdef0123\",\n  \
+                  \"host\": {\"cpu_model\": \"Test CPU\", \"cores\": 16, \
+                  \"available_parallelism\": 16, \"rustc\": \"rustc 1.82.0\"},\n  \
+                  \"cases\": []\n}\n";
+        let meta = parse_bench_meta(v2);
+        assert_eq!(
+            meta.render(),
+            "rev=0123456789ab host=Test CPU (16 cores, rustc 1.82.0)"
+        );
+        // Schema-1 reports carry neither field.
+        let v1 = bench_json(&[("hosking", 1000.0)]);
+        assert_eq!(parse_bench_meta(&v1).render(), "rev=unknown host=unknown");
+        // Host without a cores field still renders.
+        let partial = "{\"git_revision\": \"ab\", \"host\": {\"cpu_model\": \"X\"}, \"cases\": []}";
+        assert_eq!(
+            parse_bench_meta(partial).render(),
+            "rev=ab host=X (? cores, unknown rustc)"
+        );
+        assert_eq!(
+            parse_bench_meta("not json").render(),
+            "rev=unknown host=unknown"
+        );
+    }
+
     /// The bench-compare fixture: one schema-1 report (no `threads`
     /// field) at given throughputs.
     fn bench_json(cases: &[(&str, f64)]) -> String {
@@ -967,6 +1126,22 @@ mod tests {
         assert_eq!(run(&["obsv-report".into()], &root), 2);
         assert_eq!(
             run(&["obsv-report".into(), "a".into(), "b".into()], &root),
+            2
+        );
+        // obsv-tail / obsv-diff usage errors.
+        assert_eq!(run(&["obsv-tail".into()], &root), 2);
+        assert_eq!(run(&["obsv-tail".into(), "--once".into()], &root), 2);
+        assert_eq!(
+            run(&["obsv-tail".into(), "--bogus".into(), "t".into()], &root),
+            2
+        );
+        assert_eq!(run(&["obsv-diff".into()], &root), 2);
+        assert_eq!(run(&["obsv-diff".into(), "a".into()], &root), 2);
+        assert_eq!(
+            run(
+                &["obsv-diff".into(), "a".into(), "b".into(), "c".into()],
+                &root
+            ),
             2
         );
         // bench-compare usage errors.

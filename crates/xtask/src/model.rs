@@ -11,9 +11,10 @@
 //!   idents (lets, fields, params) are bound to such a type;
 //! * every `fn` signature: name, `pub`-ness, parameter names/types, and the
 //!   byte span of the body (for the seed-flow audit);
-//! * every `svbr_obsv::counter/gauge/histogram("…")` registration with its
-//!   metric name read back from the *original* source (masking is
-//!   length-preserving, so byte offsets line up);
+//! * every `svbr_obsv::counter/gauge/histogram[_with]("…")` registration
+//!   with its metric name — and any inline label keys — read back from the
+//!   *original* source (masking is length-preserving, so byte offsets
+//!   line up);
 //! * which lines sit inside a `for`/`while`/`loop` body (for the
 //!   panic-surface audit).
 
@@ -52,6 +53,11 @@ pub struct MetricUse {
     pub kind: MetricKind,
     /// The metric name literal, read from the original source.
     pub name: String,
+    /// Label keys of a `*_with` call, read from an inline
+    /// `&[("key", …), …]` slice literal. Empty for unlabeled calls and
+    /// for labeled calls whose slice is not an inline literal (dynamic
+    /// labels are invisible to the static model).
+    pub labels: Vec<String>,
     /// 1-based line of the call.
     pub line: usize,
     /// Whether the call sits inside a `#[cfg(test)]` scope.
@@ -124,11 +130,12 @@ impl FileModel {
                 }
             }
         }
-        let metrics = extract_metrics(&masked.code, src, &scopes);
+        let crate_name = crate_of(rel_path);
+        let metrics = extract_metrics(&masked.code, src, &scopes, &crate_name);
         let loop_lines = compute_loop_lines(&masked.code);
         FileModel {
             rel_path: rel_path.to_string(),
-            crate_name: crate_of(rel_path),
+            crate_name,
             class: classify(rel_path),
             masked,
             scopes,
@@ -518,20 +525,38 @@ fn split_params(text: &str) -> Vec<Param> {
     out
 }
 
-/// Extract every `svbr_obsv::counter/gauge/histogram("…")` call. The name
-/// is read from the *original* source at the masked literal's byte span
-/// (masking is length-preserving).
-fn extract_metrics(code: &str, src: &str, scopes: &[(usize, usize)]) -> Vec<MetricUse> {
+/// Extract every `svbr_obsv::counter/gauge/histogram[_with]("…")` call.
+/// The name is read from the *original* source at the masked literal's
+/// byte span (masking is length-preserving). Inside the `obsv` crate
+/// itself the same constructors are reached as `crate::counter(…)` etc.,
+/// so those prefixes are honored there too.
+fn extract_metrics(
+    code: &str,
+    src: &str,
+    scopes: &[(usize, usize)],
+    crate_name: &str,
+) -> Vec<MetricUse> {
     let mut out = Vec::new();
-    let kinds = [
-        (MetricKind::Counter, "svbr_obsv::counter("),
-        (MetricKind::Gauge, "svbr_obsv::gauge("),
-        (MetricKind::Histogram, "svbr_obsv::histogram("),
-    ];
+    let mut pats: Vec<(MetricKind, String, bool)> = Vec::new();
+    let prefixes: &[&str] = if crate_name == "obsv" {
+        &["svbr_obsv::", "crate::"]
+    } else {
+        &["svbr_obsv::"]
+    };
+    for prefix in prefixes {
+        for (kind, stem) in [
+            (MetricKind::Counter, "counter"),
+            (MetricKind::Gauge, "gauge"),
+            (MetricKind::Histogram, "histogram"),
+        ] {
+            pats.push((kind, format!("{prefix}{stem}("), false));
+            pats.push((kind, format!("{prefix}{stem}_with("), true));
+        }
+    }
     let bytes = code.as_bytes();
-    for (kind, pat) in kinds {
+    for (kind, pat, labeled) in pats {
         let mut from = 0usize;
-        while let Some(rel) = code[from..].find(pat) {
+        while let Some(rel) = code[from..].find(&pat) {
             let at = from + rel;
             from = at + pat.len();
             let j = skip_ws(bytes, at + pat.len());
@@ -546,10 +571,16 @@ fn extract_metrics(code: &str, src: &str, scopes: &[(usize, usize)]) -> Vec<Metr
             if name.is_empty() {
                 continue;
             }
+            let labels = if labeled {
+                extract_label_keys(code, src, q1 + q2rel + 1)
+            } else {
+                Vec::new()
+            };
             let line = line_of(code, at);
             out.push(MetricUse {
                 kind,
                 name,
+                labels,
                 line,
                 in_test: scopes.iter().any(|&(lo, hi)| line >= lo && line <= hi),
             });
@@ -557,6 +588,73 @@ fn extract_metrics(code: &str, src: &str, scopes: &[(usize, usize)]) -> Vec<Metr
     }
     out.sort_by_key(|m| m.line);
     out
+}
+
+/// Label keys of a `*_with` call: the first string literal of each tuple
+/// in an inline `&[("key", …), …]` slice argument. `i` points just past
+/// the name literal's closing quote, inside the call's parentheses.
+/// Returns empty when the slice is not an inline literal (e.g. a
+/// `&labels` variable) — such calls carry no statically visible keys.
+fn extract_label_keys(code: &str, src: &str, mut i: usize) -> Vec<String> {
+    let bytes = code.as_bytes();
+    let mut keys = Vec::new();
+    // Find the `[` opening the slice literal, staying inside the call.
+    let mut depth = 1i32;
+    loop {
+        match bytes.get(i) {
+            None => return keys,
+            Some(b'(') => depth += 1,
+            Some(b')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return keys; // call closed without a slice literal
+                }
+            }
+            Some(b'[') if depth == 1 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i += 1;
+    let mut bdepth = 1i32;
+    while bdepth > 0 {
+        match bytes.get(i) {
+            None => break,
+            Some(b'[') => bdepth += 1,
+            Some(b']') => bdepth -= 1,
+            Some(b'(') if bdepth == 1 => {
+                // The key is the first string literal of this tuple.
+                let mut j = i + 1;
+                while matches!(bytes.get(j), Some(b) if !matches!(b, b'"' | b',' | b')')) {
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    let q1 = j + 1;
+                    if let Some(q2rel) = code[q1..].find('"') {
+                        if let Some(k) = src.get(q1..q1 + q2rel) {
+                            keys.push(k.to_string());
+                        }
+                    }
+                }
+                // Skip past the tuple's matching `)`.
+                let mut pd = 1i32;
+                i += 1;
+                while pd > 0 {
+                    match bytes.get(i) {
+                        None => return keys,
+                        Some(b'(') => pd += 1,
+                        Some(b')') => pd -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    keys
 }
 
 #[cfg(test)]
@@ -677,10 +775,55 @@ mod tests {
         assert_eq!(m.metrics[0].kind, MetricKind::Counter);
         assert_eq!(m.metrics[0].line, 2);
         assert!(!m.metrics[0].in_test);
+        assert!(m.metrics[0].labels.is_empty());
         assert_eq!(m.metrics[1].name, "cache.bytes");
         assert_eq!(m.metrics[1].kind, MetricKind::Gauge);
         assert_eq!(m.metrics[2].name, "scratch.test_only");
         assert!(m.metrics[2].in_test);
+    }
+
+    #[test]
+    fn extracts_label_keys_from_labeled_calls() {
+        let src = "\
+pub fn f(id: &str) {
+    svbr_obsv::counter_with(\"cache.lookups\", &[(\"backend\", id), (\"outcome\", \"hit\")]).add(1);
+    svbr_obsv::gauge_with(\"queue.source.mean\", &[(\"source\", id)]).set(1.0);
+    svbr_obsv::histogram_with(
+        \"queue.depth\",
+        &[(\"source\", id)],
+    )
+    .record(3);
+    let labels = [(\"shard\", id)];
+    svbr_obsv::counter_with(\"par.shard.items\", &labels).add(1);
+}
+";
+        let m = FileModel::build("crates/queue/src/lib.rs", src);
+        assert_eq!(m.metrics.len(), 4);
+        assert_eq!(m.metrics[0].name, "cache.lookups");
+        assert_eq!(m.metrics[0].labels, vec!["backend", "outcome"]);
+        assert_eq!(m.metrics[1].name, "queue.source.mean");
+        assert_eq!(m.metrics[1].labels, vec!["source"]);
+        // Multiline calls still yield their keys.
+        assert_eq!(m.metrics[2].name, "queue.depth");
+        assert_eq!(m.metrics[2].labels, vec!["source"]);
+        // A non-literal slice argument carries no statically visible keys.
+        assert_eq!(m.metrics[3].name, "par.shard.items");
+        assert!(m.metrics[3].labels.is_empty());
+    }
+
+    #[test]
+    fn crate_prefixed_calls_count_only_inside_obsv() {
+        let src = "\
+pub fn install() {
+    crate::counter(\"obsv.cardinality_dropped\").add(0);
+}
+";
+        let m = FileModel::build("crates/obsv/src/lib.rs", src);
+        assert_eq!(m.metrics.len(), 1);
+        assert_eq!(m.metrics[0].name, "obsv.cardinality_dropped");
+        // Outside obsv, `crate::counter` is some other crate's own helper.
+        let m = FileModel::build("crates/par/src/lib.rs", src);
+        assert!(m.metrics.is_empty());
     }
 
     #[test]
