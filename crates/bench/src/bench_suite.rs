@@ -22,9 +22,12 @@ use svbr::lrd::cache::{hosking_coefficients, CachedHosking};
 use svbr::lrd::davies_harte::DaviesHarte;
 use svbr::lrd::hosking::{HoskingSampler, TruncatedHosking};
 use svbr::marginal::transform::GaussianTransform;
+use svbr::marginal::Lognormal;
 use svbr::marginal::{BinnedEmpirical, Gamma, Marginal, TabulatedEmpirical};
 use svbr::queue::lindley::LindleyQueue;
 use svbr_obsv::Stopwatch;
+use svbr_resilience::degrade::{prepare_table, GeneratorTier};
+use svbr_serve::{drain_session, generate_chunk, GenState, SessionSpec};
 
 /// Seed shared by every case (each case derives its own `StdRng` from it,
 /// offset by the case index, so adding a case never reseeds the others).
@@ -40,6 +43,11 @@ const HURST: f64 = 0.9;
 /// Replications in the `hosking_replicated*` cases (each replication is an
 /// independent path; `n / HOSKING_REPS` is the per-path length).
 const HOSKING_REPS: usize = 8;
+
+/// Geometry of the serve-layer cases: every benched session streams
+/// [`SERVE_CHUNKS`] chunks of [`SERVE_CHUNK_LEN`] samples.
+const SERVE_CHUNKS: u64 = 4;
+const SERVE_CHUNK_LEN: usize = 256;
 
 /// One timed case: `iters` timed iterations, each processing `n` samples
 /// across `threads` executor workers (1 = sequential).
@@ -212,6 +220,21 @@ fn suite(quick: bool) -> Vec<CaseSpec> {
             name: "inverse_cdf_tabulated",
             n: scale(65_536, 8192),
             iters: scale(20, 5),
+            threads: 1,
+        },
+        // Serve layer: raw checkpointable chunk generation (n = samples),
+        // and whole sessions drained through the bounded worker channel
+        // (n = sessions, so samples_per_sec reads as sessions/sec).
+        CaseSpec {
+            name: "serve_chunk_generate",
+            n: scale(4096, 1024),
+            iters: scale(10, 3),
+            threads: 1,
+        },
+        CaseSpec {
+            name: "serve_session_stream",
+            n: scale(64, 16),
+            iters: scale(5, 3),
             threads: 1,
         },
     ]
@@ -408,6 +431,55 @@ pub fn run_suite(
                     time_quantiles(&binned)
                 }
             }
+            "serve_chunk_generate" => {
+                // The session worker's inner loop: exact-Hosking chunks
+                // resumed from committed generator state, checkpoint-shaped
+                // hand-off included (GenState clone + save-back per chunk).
+                let (table, _shrink) = prepare_table(FgnAcf::new(HURST)?, spec.n + 1)?;
+                let transform = GaussianTransform::new(Lognormal::from_moments(1.0, 0.25)?);
+                measure(spec, || {
+                    let mut st = GenState::fresh(BENCH_SEED ^ ci as u64);
+                    let mut total = 0usize;
+                    while total < spec.n {
+                        let (next, ys) = generate_chunk(
+                            &st,
+                            GeneratorTier::HoskingExact,
+                            &table,
+                            &transform,
+                            SERVE_CHUNK_LEN,
+                        )
+                        .unwrap_or_else(|e| die(spec.name, &e));
+                        total += ys.len();
+                        st = next;
+                    }
+                })
+            }
+            "serve_session_stream" => {
+                // Full sessions (spawn worker, stream every chunk through
+                // the bounded channel, join); one "sample" = one session,
+                // so the gated throughput is sessions/sec. Per-chunk
+                // latency lands in the `serve.chunk_us` histogram, echoed
+                // below the case rows.
+                let samples = SERVE_CHUNKS as usize * SERVE_CHUNK_LEN;
+                let (table, _shrink) = prepare_table(FgnAcf::new(HURST)?, samples + 1)?;
+                let transform = GaussianTransform::new(Lognormal::from_moments(1.0, 0.25)?);
+                measure(spec, || {
+                    for s in 0..spec.n as u64 {
+                        let seed = svbr::par::derive_seed(BENCH_SEED ^ ci as u64, s);
+                        let sspec = SessionSpec {
+                            id: s,
+                            seed,
+                            chunk_len: SERVE_CHUNK_LEN,
+                            chunks: SERVE_CHUNKS,
+                            deadline_ms: None,
+                        };
+                        let delivered =
+                            drain_session(&sspec, GenState::fresh(seed), &table, &transform, 4)
+                                .unwrap_or_else(|e| die(spec.name, &e));
+                        assert_eq!(delivered, SERVE_CHUNKS);
+                    }
+                })
+            }
             other => return Err(format!("unknown bench case `{other}`").into()),
         };
         writeln!(
@@ -416,6 +488,21 @@ pub fn run_suite(
             result.name, result.threads, result.samples_per_sec, result.p50_us, result.p95_us
         )?;
         cases.push(result);
+    }
+    // The serve cases also feed the labeled obsv histogram the live
+    // service records; echo its p95 so the bench log carries the same
+    // per-chunk latency view an operator sees on `/metrics`.
+    if let Some((_, h)) = svbr_obsv::snapshot()
+        .histograms
+        .iter()
+        .find(|(name, _)| name == "serve.chunk_us")
+    {
+        writeln!(
+            out,
+            "  serve.chunk_us histogram      p50 {:>10.0} µs   p95 {:>10.0} µs",
+            h.quantile(0.50),
+            h.quantile(0.95)
+        )?;
     }
     Ok(BenchReport {
         quick,

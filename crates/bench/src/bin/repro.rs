@@ -234,10 +234,12 @@ static SCRAPES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new
 /// detached thread. Purely read-only over the global registry — no
 /// simulation state, dies with the process.
 fn start_exposer(addr: &str) {
-    let listener = match std::net::TcpListener::bind(addr) {
+    // Typed bind failure (port in use, permission denied): one line,
+    // clean nonzero exit — never a panic or a silently dead endpoint.
+    let listener = match svbr_bench::expose::bind_exposer(addr) {
         Ok(l) => l,
         Err(e) => {
-            eprintln!("[repro] cannot bind --expose {addr}: {e}");
+            eprintln!("[repro] {e}");
             std::process::exit(1);
         }
     };

@@ -1,0 +1,94 @@
+//! Typed binding for the `repro --expose` metrics listener.
+//!
+//! Bind failures used to surface through the generic I/O error text; the
+//! CLI now maps them to one [`ExposeBindError`] line (port already in use,
+//! permission denied for privileged ports, or the raw error otherwise) and
+//! exits nonzero cleanly instead of serving nothing.
+
+use std::net::TcpListener;
+
+/// Why the `--expose` listener could not bind.
+#[derive(Debug)]
+pub enum ExposeBindError {
+    /// Another process (often a previous `repro --expose`) holds the port.
+    AddrInUse(String),
+    /// Binding needs privileges this process lacks (ports below 1024).
+    PermissionDenied(String),
+    /// Any other socket-level failure, with the OS error text.
+    Other(String, std::io::Error),
+}
+
+impl std::fmt::Display for ExposeBindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExposeBindError::AddrInUse(addr) => {
+                write!(f, "cannot bind --expose {addr}: address already in use")
+            }
+            ExposeBindError::PermissionDenied(addr) => {
+                write!(
+                    f,
+                    "cannot bind --expose {addr}: permission denied (privileged port?)"
+                )
+            }
+            ExposeBindError::Other(addr, e) => write!(f, "cannot bind --expose {addr}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExposeBindError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExposeBindError::Other(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Bind the exposition address, classifying the failure.
+pub fn bind_exposer(addr: &str) -> Result<TcpListener, ExposeBindError> {
+    TcpListener::bind(addr).map_err(|e| match e.kind() {
+        std::io::ErrorKind::AddrInUse => ExposeBindError::AddrInUse(addr.to_string()),
+        std::io::ErrorKind::PermissionDenied => ExposeBindError::PermissionDenied(addr.to_string()),
+        _ => ExposeBindError::Other(addr.to_string(), e),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_the_same_port_twice_is_a_typed_addr_in_use() {
+        let first = match bind_exposer("127.0.0.1:0") {
+            Ok(l) => l,
+            Err(e) => panic!("free-port bind must succeed: {e}"),
+        };
+        let addr = match first.local_addr() {
+            Ok(a) => a.to_string(),
+            Err(e) => panic!("{e}"),
+        };
+        match bind_exposer(&addr) {
+            Err(ExposeBindError::AddrInUse(reported)) => {
+                assert_eq!(reported, addr);
+                let line = ExposeBindError::AddrInUse(reported).to_string();
+                assert!(
+                    line.contains("address already in use"),
+                    "one-line operator-readable message: {line}"
+                );
+            }
+            other => panic!("expected AddrInUse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_addresses_keep_the_os_error_text() {
+        match bind_exposer("not-an-address") {
+            Err(e @ ExposeBindError::Other(..)) => {
+                assert!(e
+                    .to_string()
+                    .starts_with("cannot bind --expose not-an-address:"));
+            }
+            other => panic!("expected Other, got {other:?}"),
+        }
+    }
+}

@@ -82,6 +82,42 @@ pub struct DegradeEvent {
     pub reason: String,
 }
 
+/// The ladder's typed terminal error: a step-down was demanded with no
+/// cheaper tier left. Carries the full per-rung failure history so the
+/// caller can surface *why* every tier was abandoned, not a generic abort.
+#[derive(Debug, Clone)]
+pub struct LadderExhausted {
+    /// The (cheapest) tier the ladder was stuck on.
+    pub tier: GeneratorTier,
+    /// The reason of the final, unsatisfiable step-down request.
+    pub last_reason: String,
+    /// Every transition taken before exhaustion, in order.
+    pub history: Vec<DegradeEvent>,
+}
+
+impl std::fmt::Display for LadderExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "generator ladder exhausted at `{}` ({})",
+            self.tier.name(),
+            self.last_reason
+        )?;
+        for ev in &self.history {
+            write!(
+                f,
+                "; {} -> {} ({})",
+                ev.from.name(),
+                ev.to.name(),
+                ev.reason
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LadderExhausted {}
+
 /// The degradation state machine: current tier plus transition history.
 #[derive(Debug, Clone, Default)]
 pub struct Ladder {
@@ -141,6 +177,25 @@ impl Ladder {
             reason: reason.to_string(),
         });
         Some(to)
+    }
+
+    /// Step down like [`Ladder::degrade`], but make the terminal case a
+    /// typed [`LadderExhausted`] carrying the full per-rung history.
+    /// Exhaustion is counted (`resilience.ladder_exhausted`) and written to
+    /// the event log, so run drivers that fold [`crate::drain_events`] into
+    /// the manifest record the complete failure trail automatically.
+    pub fn degrade_or_exhaust(&mut self, reason: &str) -> Result<GeneratorTier, LadderExhausted> {
+        if let Some(to) = self.degrade(reason) {
+            return Ok(to);
+        }
+        let err = LadderExhausted {
+            tier: self.tier,
+            last_reason: reason.to_string(),
+            history: self.events.clone(),
+        };
+        svbr_obsv::counter("resilience.ladder_exhausted").add(1);
+        record_event(format!("exhausted: {err}"));
+        Err(err)
     }
 }
 
@@ -202,6 +257,56 @@ mod tests {
         assert_eq!(ladder.degrade("still slow"), None, "bottom of the ladder");
         assert_eq!(ladder.events().len(), 2);
         assert_eq!(ladder.events()[0].reason, "deadline");
+    }
+
+    #[test]
+    fn exhausted_ladder_returns_typed_error_with_full_history() {
+        let mut ladder = Ladder::new();
+        let t1 = ladder.degrade_or_exhaust("deadline pressure");
+        assert!(matches!(t1, Ok(GeneratorTier::TruncatedAr)), "{t1:?}");
+        let t2 = ladder.degrade_or_exhaust("still too slow");
+        assert!(matches!(t2, Ok(GeneratorTier::DaviesHarte)), "{t2:?}");
+        let before = svbr_obsv::counter("resilience.ladder_exhausted").get();
+        let err = match ladder.degrade_or_exhaust("chunk 3 deadline") {
+            Ok(t) => panic!("bottom rung must not degrade further, got {t:?}"),
+            Err(e) => e,
+        };
+        assert_eq!(err.tier, GeneratorTier::DaviesHarte);
+        assert_eq!(err.last_reason, "chunk 3 deadline");
+        assert_eq!(err.history.len(), 2, "both prior rungs in the history");
+        assert_eq!(err.history[0].reason, "deadline pressure");
+        assert_eq!(err.history[1].reason, "still too slow");
+        let msg = err.to_string();
+        assert!(msg.contains("hosking-exact -> truncated-ar (deadline pressure)"));
+        assert!(msg.contains("truncated-ar -> davies-harte (still too slow)"));
+        assert!(
+            svbr_obsv::counter("resilience.ladder_exhausted").get() > before,
+            "exhaustion must be counted"
+        );
+        // The ladder itself is unchanged: still parked on the bottom rung.
+        assert_eq!(ladder.tier(), GeneratorTier::DaviesHarte);
+        assert_eq!(ladder.events().len(), 2);
+    }
+
+    #[test]
+    fn exhaustion_records_manifest_event_with_per_rung_reasons() {
+        let mut ladder = Ladder::from_tier(GeneratorTier::TruncatedAr);
+        let _ = ladder.degrade_or_exhaust("watermark crossed");
+        let err = ladder
+            .degrade_or_exhaust("final budget blown")
+            .expect_err("davies-harte is the last rung");
+        assert_eq!(err.history.len(), 1);
+        // record_event feeds RunManifest notes via drain_events; the log is
+        // process-wide, so scan rather than compare exactly.
+        let events = crate::drain_events();
+        assert!(
+            events.iter().any(|e| {
+                e.starts_with("exhausted:")
+                    && e.contains("final budget blown")
+                    && e.contains("truncated-ar -> davies-harte (watermark crossed)")
+            }),
+            "exhaustion event with per-rung history must be logged: {events:?}"
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod rng;
 pub mod supervisor;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
-pub use degrade::{DegradeEvent, GeneratorTier, Ladder};
+pub use degrade::{DegradeEvent, GeneratorTier, Ladder, LadderExhausted};
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use rng::{CkptNormal, CkptRng};
 pub use supervisor::{Deadline, FailureKind, RecoveryRecord, RetryPolicy, Supervisor};
@@ -48,6 +48,7 @@ use std::sync::Mutex;
 /// Process-wide recovery/annotation log. The supervisor, ladder and fault
 /// harness append one line per notable event; the run driver drains the
 /// log into the `RunManifest` notes at shutdown so no recovery is silent.
+// svbr-analyze: allow(no-unbounded-channel) bounded by O(notable events per run), drained into the manifest once at shutdown; never a request-rate queue
 static EVENTS: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
 /// Append a line to the process-wide resilience event log.

@@ -1,0 +1,114 @@
+//! `svbr-serve` — the supervised session server daemon.
+//!
+//! ```text
+//! svbr-serve [--addr HOST:PORT] [--max-sessions N] [--degrade-at N]
+//!            [--buffer CHUNKS] [--ckpt-dir DIR] [--ckpt-every N]
+//!            [--resume] [--hurst H] [--horizon SAMPLES]
+//! ```
+//!
+//! Speaks a tiny HTTP/1.0 protocol; see README "Serving" for the curl-able
+//! walkthrough (`/open`, `/pull`, `/close`, `/metrics`, `/shutdown`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use svbr_serve::{Server, ServerConfig};
+
+fn usage() -> &'static str {
+    "usage: svbr-serve [--addr HOST:PORT] [--max-sessions N] [--degrade-at N]\n\
+     \x20                 [--buffer CHUNKS] [--ckpt-dir DIR] [--ckpt-every N]\n\
+     \x20                 [--resume] [--hurst H] [--horizon SAMPLES]"
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    let mut resume = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> Option<String> {
+            let v = args.next();
+            if v.is_none() {
+                eprintln!("svbr-serve: {what} needs a value\n{}", usage());
+            }
+            v
+        };
+        match arg.as_str() {
+            "--addr" => match take("--addr") {
+                Some(v) => cfg.addr = v,
+                None => return ExitCode::from(2),
+            },
+            "--max-sessions" => match take("--max-sessions").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_sessions = v,
+                None => return ExitCode::from(2),
+            },
+            "--degrade-at" => match take("--degrade-at").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.degrade_watermark = v,
+                None => return ExitCode::from(2),
+            },
+            "--buffer" => match take("--buffer").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.buffer_chunks = v,
+                None => return ExitCode::from(2),
+            },
+            "--ckpt-dir" => match take("--ckpt-dir") {
+                Some(v) => cfg.ckpt_dir = Some(PathBuf::from(v)),
+                None => return ExitCode::from(2),
+            },
+            "--ckpt-every" => match take("--ckpt-every").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.ckpt_every = v,
+                None => return ExitCode::from(2),
+            },
+            "--resume" => resume = true,
+            "--hurst" => match take("--hurst").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.hurst = v,
+                None => return ExitCode::from(2),
+            },
+            "--horizon" => match take("--horizon").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_session_samples = v,
+                None => return ExitCode::from(2),
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("svbr-serve: unknown flag `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if resume && cfg.ckpt_dir.is_none() {
+        eprintln!("svbr-serve: --resume requires --ckpt-dir");
+        return ExitCode::from(2);
+    }
+
+    let server = match Server::new(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("svbr-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if resume {
+        match server.resume_sessions() {
+            Ok(n) => eprintln!("svbr-serve: resumed {n} session(s)"),
+            Err(e) => {
+                eprintln!("svbr-serve: resume failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let listener = match server.bind() {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("svbr-serve: cannot bind {}: {e}", server.addr());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("svbr-serve: listening on http://{}", server.addr());
+    match server.serve_on(listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("svbr-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

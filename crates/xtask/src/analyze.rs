@@ -1,7 +1,7 @@
 //! `svbr-xtask analyze` — the cross-file determinism & numeric-safety audit.
 //!
 //! Where `lint` is a per-line token scan, `analyze` builds a [`FileModel`]
-//! per file and enforces four rule families across the workspace:
+//! per file and enforces five rule families across the workspace:
 //!
 //! | ID                         | what it flags                                            |
 //! |----------------------------|----------------------------------------------------------|
@@ -15,12 +15,19 @@
 //! | `metric-undocumented`      | a registered metric missing from DESIGN.md's registry    |
 //! | `metric-dead`              | a DESIGN.md registry row no code registers               |
 //! | `metric-labels`            | label keys off the documented set, malformed, reserved, or over the per-site cap |
+//! | `no-unbounded-channel`     | an unbounded cross-thread queue in a bit-identity or serve crate |
 //!
 //! The determinism and panic-surface families apply only to the crates
-//! that promise bit-identical output ([`AUDITED_CRATES`]); seed-flow and
-//! the metric registry are workspace-wide. Waivers use the shared grammar
+//! that promise bit-identical output ([`AUDITED_CRATES`]); the channel
+//! rule extends that set with the session service
+//! ([`CHANNEL_AUDITED_CRATES`]); seed-flow and the metric registry are
+//! workspace-wide. Waivers use the shared grammar
 //! (`// svbr-analyze: allow(<id>) [expires = "…"] <invariant>`, see
 //! [`crate::waivers`]) and get the same unused/expired audit as lint.
+//! The channel rule additionally inspects the waiver's invariant text: an
+//! unbounded queue may only be excused by a *stated capacity invariant*
+//! (the text must say what bounds it — "bounded by …" / "capacity …"), so
+//! a bare waiver cannot smuggle an unbounded queue past review.
 
 use crate::model::{find_token_from, has_token, line_of, FileModel, MetricKind};
 use crate::rules::{audit_waivers, FileClass};
@@ -32,6 +39,12 @@ use std::path::Path;
 /// to their library code.
 pub const AUDITED_CRATES: &[&str] = &["par", "lrd", "is", "queue", "core", "resilience"];
 
+/// Extra crates (beyond [`AUDITED_CRATES`]) the `no-unbounded-channel`
+/// rule covers. The session service's backpressure guarantee — a slow
+/// client never blocks other sessions or grows server memory — holds only
+/// if every inter-thread queue carries an explicit capacity.
+pub const CHANNEL_AUDITED_CRATES: &[&str] = &["serve"];
+
 /// Allowed first segments of an `svbr_obsv` metric name.
 pub const METRIC_PREFIXES: &[&str] = &[
     "par",
@@ -42,6 +55,7 @@ pub const METRIC_PREFIXES: &[&str] = &[
     "lrd",
     "resilience",
     "obsv",
+    "serve",
 ];
 
 /// Most label keys a single call site may carry. Every key multiplies the
@@ -65,6 +79,7 @@ pub const METRIC_KIND_CONFLICT: &str = "metric-kind-conflict";
 pub const METRIC_UNDOCUMENTED: &str = "metric-undocumented";
 pub const METRIC_DEAD: &str = "metric-dead";
 pub const METRIC_LABELS: &str = "metric-labels";
+pub const NO_UNBOUNDED_CHANNEL: &str = "no-unbounded-channel";
 
 /// The per-site-waivable subset this pass owns for the waiver audit
 /// (`metric-dead` anchors in DESIGN.md, which has no waiver comments).
@@ -78,6 +93,7 @@ pub const ANALYZE_WAIVABLE_IDS: &[&str] = &[
     METRIC_KIND_CONFLICT,
     METRIC_UNDOCUMENTED,
     METRIC_LABELS,
+    NO_UNBOUNDED_CHANNEL,
 ];
 
 /// One analyze diagnostic.
@@ -167,6 +183,7 @@ pub fn analyze_sources(files: &[(&str, &str)], design: Option<&str>, today: &str
 
 /// The per-file families: determinism, panic-surface, seed-flow.
 fn file_rules(model: &FileModel, book: &mut WaiverBook, out: &mut Vec<Finding>) {
+    channel_rules(model, book, out);
     let audited =
         model.class == FileClass::Library && AUDITED_CRATES.contains(&model.crate_name.as_str());
     let mut push = |line: usize, rule: &'static str, message: String| {
@@ -239,6 +256,78 @@ fn file_rules(model: &FileModel, book: &mut WaiverBook, out: &mut Vec<Finding>) 
     if model.class == FileClass::Library {
         seed_flow_rules(model, &mut push);
     }
+}
+
+/// `no-unbounded-channel`: cross-thread queues in the bit-identity crates
+/// and the session service must carry an explicit capacity. An unbounded
+/// `mpsc::channel`, a crossbeam-style `unbounded()`, or a `Vec`/`VecDeque`
+/// behind a lock used as a hand-off queue lets one slow consumer grow
+/// memory without limit and breaks the serve-layer backpressure story. A
+/// waiver only counts if its invariant text states what bounds the queue.
+fn channel_rules(model: &FileModel, book: &mut WaiverBook, out: &mut Vec<Finding>) {
+    let scoped = model.class == FileClass::Library
+        && (AUDITED_CRATES.contains(&model.crate_name.as_str())
+            || CHANNEL_AUDITED_CRATES.contains(&model.crate_name.as_str()));
+    if !scoped {
+        return;
+    }
+    for (idx, lt) in model.masked.code.lines().enumerate() {
+        let line_no = idx + 1;
+        if model.in_test(line_no) {
+            continue;
+        }
+        let Some(what) = unbounded_queue(lt) else {
+            continue;
+        };
+        if book.suppresses(line_no, NO_UNBOUNDED_CHANNEL) {
+            let reason = book
+                .reason_at(line_no, NO_UNBOUNDED_CHANNEL)
+                .unwrap_or_default();
+            let lower = reason.to_lowercase();
+            if !(lower.contains("bound") || lower.contains("capacit")) {
+                // Pushed directly: the waiver that failed the invariant
+                // check must not also suppress the check's own finding.
+                out.push(Finding {
+                    file: model.rel_path.clone(),
+                    line: line_no,
+                    rule: NO_UNBOUNDED_CHANNEL,
+                    message: format!(
+                        "waiver for {what} must state the capacity invariant \
+                         that bounds the queue (say what bounds it, e.g. \
+                         \"bounded by …\"); found: \"{reason}\""
+                    ),
+                });
+            }
+            continue;
+        }
+        out.push(Finding {
+            file: model.rel_path.clone(),
+            line: line_no,
+            rule: NO_UNBOUNDED_CHANNEL,
+            message: format!(
+                "{what} in `{}`: use a bounded queue (`mpsc::sync_channel`) \
+                 or waive with the stated capacity invariant",
+                model.crate_name
+            ),
+        });
+    }
+}
+
+/// What makes a line an unbounded cross-thread queue, if anything.
+fn unbounded_queue(lt: &str) -> Option<&'static str> {
+    // `mpsc::channel(` / `mpsc::channel::<` — never matches `sync_channel`.
+    if lt.contains("mpsc::channel") {
+        return Some("unbounded `mpsc::channel`");
+    }
+    // crossbeam/tokio spellings, should they ever be vendored.
+    if lt.contains("unbounded_channel") || has_token(lt, "unbounded") {
+        return Some("unbounded channel constructor");
+    }
+    // Vec-as-queue behind a lock (covers `VecDeque` via the prefix).
+    if lt.contains("Mutex<Vec") || lt.contains("RwLock<Vec") {
+        return Some("`Vec`-as-queue behind a lock");
+    }
+    None
 }
 
 /// `seed-flow`: a `pub fn` that accepts a seed must thread it somewhere and
@@ -905,6 +994,94 @@ pub fn total(chunks: &Chunks) -> f64 {
         let clean = "pub fn total(xs: &[f64]) -> f64 {\n    xs.iter().map(|x| x * 2.0).sum()\n}\n";
         let fs = findings(&[("crates/is/src/lib.rs", clean)], None);
         assert!(of_rule(&fs, DET_FLOAT_REDUCTION).is_empty());
+    }
+
+    // ---- no-unbounded-channel -------------------------------------------
+
+    #[test]
+    fn fixture_no_unbounded_channel_fires_in_scope() {
+        let src = "\
+use std::sync::mpsc;
+pub fn start() {
+    let (tx, rx) = mpsc::channel::<u64>();
+    let _ = (tx, rx);
+}
+";
+        // Fires in bit-identity crates and in the serve crate.
+        for path in ["crates/par/src/lib.rs", "crates/serve/src/server.rs"] {
+            let fs = findings(&[(path, src)], None);
+            let hits = of_rule(&fs, NO_UNBOUNDED_CHANNEL);
+            assert_eq!(
+                hits.iter().map(|f| f.line).collect::<Vec<_>>(),
+                vec![3],
+                "{path}"
+            );
+            assert!(
+                hits[0].message.contains("mpsc::channel"),
+                "{}",
+                hits[0].message
+            );
+        }
+        // A bounded channel is clean.
+        let bounded = src.replace("mpsc::channel::<u64>()", "mpsc::sync_channel::<u64>(4)");
+        let fs = findings(&[("crates/serve/src/server.rs", bounded.as_str())], None);
+        assert!(of_rule(&fs, NO_UNBOUNDED_CHANNEL).is_empty());
+        // Out-of-scope crates and test scopes are exempt.
+        let fs = findings(&[("crates/obsv/src/lib.rs", src)], None);
+        assert!(of_rule(&fs, NO_UNBOUNDED_CHANNEL).is_empty());
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        let fs = findings(&[("crates/serve/src/server.rs", in_test.as_str())], None);
+        assert!(of_rule(&fs, NO_UNBOUNDED_CHANNEL).is_empty());
+    }
+
+    #[test]
+    fn fixture_vec_as_queue_behind_lock_fires() {
+        let src = "\
+use std::sync::Mutex;
+pub struct Q {
+    jobs: Mutex<VecDeque<u64>>,
+}
+";
+        let fs = findings(&[("crates/queue/src/lib.rs", src)], None);
+        let hits = of_rule(&fs, NO_UNBOUNDED_CHANNEL);
+        assert_eq!(hits.iter().map(|f| f.line).collect::<Vec<_>>(), vec![3]);
+        assert!(
+            hits[0].message.contains("`Vec`-as-queue"),
+            "{}",
+            hits[0].message
+        );
+    }
+
+    #[test]
+    fn fixture_channel_waiver_must_state_capacity_invariant() {
+        // A waiver whose text states what bounds the queue suppresses.
+        let good = "\
+// svbr-analyze: allow(no-unbounded-channel) bounded by sessions x one pending event each
+static PENDING: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+";
+        let fs = findings(&[("crates/serve/src/server.rs", good)], None);
+        assert!(of_rule(&fs, NO_UNBOUNDED_CHANNEL).is_empty(), "{fs:?}");
+        assert!(of_rule(&fs, "unused-waiver").is_empty());
+        // A waiver whose text states no capacity is itself a finding — the
+        // queue stays excused from the base rule, but the reviewer is told
+        // the justification is missing its load-bearing half.
+        let bare = "\
+// svbr-analyze: allow(no-unbounded-channel) reviewed, looks fine
+static PENDING: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+";
+        let fs = findings(&[("crates/serve/src/server.rs", bare)], None);
+        let hits = of_rule(&fs, NO_UNBOUNDED_CHANNEL);
+        assert_eq!(hits.len(), 1, "{fs:?}");
+        assert!(
+            hits[0].message.contains("capacity invariant"),
+            "{}",
+            hits[0].message
+        );
+        assert!(
+            hits[0].message.contains("reviewed, looks fine"),
+            "{}",
+            hits[0].message
+        );
     }
 
     // ---- seed-flow family -----------------------------------------------

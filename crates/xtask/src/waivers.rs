@@ -39,6 +39,11 @@ pub struct Waiver {
     pub ids: Vec<String>,
     /// Expiry date as an ISO `YYYY-MM-DD` string, if declared.
     pub expires: Option<String>,
+    /// The stated invariant: the free text after `allow(…)` (and after the
+    /// `expires = "…"` clause, when present). Rules that demand a specific
+    /// kind of justification — e.g. `no-unbounded-channel` requires a
+    /// capacity invariant — inspect this.
+    pub reason: String,
 }
 
 /// Parse every waiver out of a file's comments.
@@ -78,7 +83,21 @@ pub fn parse_waiver_line(text: &str, line: usize) -> Option<Waiver> {
         line,
         ids,
         expires: parse_expires(tail),
+        reason: reason_text(tail),
     })
+}
+
+/// The invariant text after `allow(…)`, with the `expires = "…"` clause
+/// (if any) stripped. A malformed expiry clause is left in place — it
+/// already surfaces through the `0000-00-00` sentinel.
+fn reason_text(tail: &str) -> String {
+    let after_expiry = tail.find("expires").and_then(|at| {
+        let rest = &tail[at..];
+        let q1 = rest.find('"')?;
+        let q2 = rest[q1 + 1..].find('"')?;
+        Some(&rest[q1 + 1 + q2 + 1..])
+    });
+    after_expiry.unwrap_or(tail).trim().to_string()
 }
 
 /// Extract `expires = "YYYY-MM-DD"` from the text after `allow(…)`.
@@ -194,6 +213,19 @@ impl WaiverBook {
         hit
     }
 
+    /// The stated invariant of the waiver covering `rule_id` on `line`
+    /// (same window as [`WaiverBook::suppresses`]), for rules that check
+    /// *what* the justification says, not just that one exists. Does not
+    /// mark the waiver used — call `suppresses` first.
+    pub fn reason_at(&self, line: usize, rule_id: &str) -> Option<&str> {
+        self.waivers
+            .iter()
+            .find(|w| {
+                (w.line == line || w.line + 1 == line) && w.ids.iter().any(|id| id == rule_id)
+            })
+            .map(|w| w.reason.as_str())
+    }
+
     /// Audit results for this file: `(waiver, expired, used)` per waiver
     /// that names at least one rule in `own_rules` (each pass audits only
     /// the waivers it owns; foreign and placeholder IDs are skipped).
@@ -228,10 +260,12 @@ mod tests {
         assert_eq!(w.ids, vec!["no-unwrap", "float-eq"]);
         assert_eq!(w.expires.as_deref(), Some("2027-03-01"));
         assert_eq!(w.line, 7);
-        // No expiry: None.
+        assert_eq!(w.reason, "bounded above");
+        // No expiry: None, and the whole tail is the reason.
         let w = parse_waiver_line("// svbr-analyze: allow(seed-flow) threads via CkptRng", 1)
             .expect("waiver");
         assert!(w.expires.is_none());
+        assert_eq!(w.reason, "threads via CkptRng");
         // Malformed date: sentinel that always reads as expired.
         let w = parse_waiver_line("// svbr-lint: allow(no-unwrap) expires = \"soon\" x", 1)
             .expect("waiver");
@@ -252,6 +286,10 @@ mod tests {
         let audit = book.audit(&["no-unwrap"]);
         assert_eq!(audit.len(), 1);
         assert!(audit[0].2, "waiver must be marked used");
+        // reason_at uses the same window and reads back the invariant.
+        assert_eq!(book.reason_at(4, "no-unwrap"), Some("just set"));
+        assert_eq!(book.reason_at(5, "no-unwrap"), None);
+        assert_eq!(book.reason_at(3, "no-expect"), None);
     }
 
     #[test]
