@@ -148,6 +148,9 @@ fn main() {
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or(svbr_obsv::recorder::DEFAULT_WINDOW_EVERY);
         svbr_obsv::install_recorder(every, svbr_obsv::recorder::DEFAULT_WINDOW_CAPACITY);
+        // Alert rules evaluate on every flight-recorder window; the paper's
+        // target H = 0.9 centers the fidelity band.
+        svbr_obsv::install_alerts(svbr_obsv::default_rules(0.9));
     }
     if let Some(addr) = &expose_addr {
         start_exposer(addr);
@@ -481,6 +484,12 @@ fn finish_observability(
             }
         }
     }
+    // Fired alerts land in the manifest notes next to the resilience log:
+    // an SLO burn or fidelity breach is part of the run's provenance.
+    for alert in svbr_obsv::alerts::fired() {
+        manifest.add_note(alert.note());
+    }
+    svbr_obsv::uninstall_alerts();
     if telemetry {
         svbr_obsv::flush();
         svbr_obsv::uninstall();

@@ -5,6 +5,8 @@
 //! is dependency-free by policy, so no serde). Non-finite floats serialize
 //! as `null` and parse back as `f64::NAN`.
 
+use crate::trace::{fmt_hex16, parse_hex16, TraceCtx};
+
 /// One trace record.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
@@ -22,6 +24,12 @@ pub enum Event {
         /// Ordinal of the emitting thread ([`crate::clock::thread_ordinal`]);
         /// spans only nest within a thread.
         tid: u64,
+        /// Causal trace context ([`TraceCtx::NONE`] for untraced spans).
+        /// Ids are 64-bit and would not survive the f64 `fields` channel,
+        /// so they serialize as dedicated 16-digit hex string keys
+        /// (`"trace"`, `"span"`, `"parent"`), emitted only when traced;
+        /// the parser defaults absent keys to `NONE`.
+        ctx: TraceCtx,
         /// Extra numeric attributes.
         fields: Vec<(String, f64)>,
     },
@@ -42,22 +50,43 @@ pub enum Event {
         /// their rendered `name{k="v",...}` keys.
         snapshot: crate::metrics::Snapshot,
     },
+    /// A fired alert rule (see [`crate::alerts`]): which rule breached, on
+    /// which series, the observed value against its threshold, and the
+    /// flight-recorder window ordinal the breach completed in.
+    Alert {
+        /// Rule name from the DESIGN §7b alert table, e.g. `"hurst-band"`.
+        rule: String,
+        /// `"warning"` or `"critical"`.
+        severity: String,
+        /// The breached series, e.g. `"serve.chunk_us"` or
+        /// `"session-3.mavar_hurst"`.
+        series: String,
+        /// Observed value at fire time.
+        observed: f64,
+        /// The threshold (for band rules: the violated edge).
+        threshold: f64,
+        /// Flight-recorder window ordinal.
+        window: u64,
+    },
 }
 
 impl Event {
-    /// The event's name regardless of variant (`"window"` for windows).
+    /// The event's name regardless of variant (`"window"` for windows, the
+    /// rule name for alerts).
     pub fn name(&self) -> &str {
         match self {
             Event::Span { name, .. } | Event::Point { name, .. } => name,
             Event::Window { .. } => "window",
+            Event::Alert { rule, .. } => rule,
         }
     }
 
-    /// The event's fields regardless of variant (empty for windows).
+    /// The event's fields regardless of variant (empty for windows and
+    /// alerts).
     pub fn fields(&self) -> &[(String, f64)] {
         match self {
             Event::Span { fields, .. } | Event::Point { fields, .. } => fields,
-            Event::Window { .. } => &[],
+            Event::Window { .. } | Event::Alert { .. } => &[],
         }
     }
 
@@ -78,6 +107,7 @@ impl Event {
                 start_us,
                 dur_us,
                 tid,
+                ctx,
                 fields,
             } => {
                 out.push_str("{\"t\":\"span\",\"name\":");
@@ -88,6 +118,14 @@ impl Event {
                 out.push_str(&dur_us.to_string());
                 out.push_str(",\"tid\":");
                 out.push_str(&tid.to_string());
+                if !ctx.is_none() {
+                    out.push_str(",\"trace\":");
+                    push_json_string(&mut out, &fmt_hex16(ctx.trace_id));
+                    out.push_str(",\"span\":");
+                    push_json_string(&mut out, &fmt_hex16(ctx.span_id));
+                    out.push_str(",\"parent\":");
+                    push_json_string(&mut out, &fmt_hex16(ctx.parent));
+                }
                 push_fields(&mut out, fields);
             }
             Event::Point { name, fields } => {
@@ -141,6 +179,27 @@ impl Event {
                 }
                 out.push('}');
             }
+            Event::Alert {
+                rule,
+                severity,
+                series,
+                observed,
+                threshold,
+                window,
+            } => {
+                out.push_str("{\"t\":\"alert\",\"rule\":");
+                push_json_string(&mut out, rule);
+                out.push_str(",\"severity\":");
+                push_json_string(&mut out, severity);
+                out.push_str(",\"series\":");
+                push_json_string(&mut out, series);
+                out.push_str(",\"observed\":");
+                push_json_number(&mut out, *observed);
+                out.push_str(",\"threshold\":");
+                push_json_number(&mut out, *threshold);
+                out.push_str(",\"window\":");
+                out.push_str(&window.to_string());
+            }
         }
         out.push('}');
         out
@@ -154,6 +213,16 @@ impl Event {
         let kind = obj.get("t")?.as_str()?;
         if kind == "window" {
             return Self::parse_window(obj);
+        }
+        if kind == "alert" {
+            return Some(Event::Alert {
+                rule: obj.get("rule")?.as_str()?.to_string(),
+                severity: obj.get("severity")?.as_str()?.to_string(),
+                series: obj.get("series")?.as_str()?.to_string(),
+                observed: obj.get("observed")?.as_f64()?,
+                threshold: obj.get("threshold")?.as_f64()?,
+                window: obj.get("window")?.as_f64()? as u64,
+            });
         }
         let name = obj.get("name")?.as_str()?.to_string();
         let fields = match obj.get("fields") {
@@ -170,11 +239,23 @@ impl Event {
                 let dur = obj.get("dur_us")?.as_f64()?;
                 // start_us / tid are absent in pre-profiling traces.
                 let get_u64 = |key: &str| obj.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                // Trace keys are absent on untraced spans (and in all
+                // pre-tracing traces): default to NONE.
+                let get_id = |key: &str| obj.get(key).and_then(Json::as_str).and_then(parse_hex16);
+                let ctx = match get_id("trace") {
+                    Some(trace_id) => TraceCtx {
+                        trace_id,
+                        span_id: get_id("span").unwrap_or(0),
+                        parent: get_id("parent").unwrap_or(0),
+                    },
+                    None => TraceCtx::NONE,
+                };
                 Some(Event::Span {
                     name,
                     start_us: get_u64("start_us"),
                     dur_us: dur as u64,
                     tid: get_u64("tid"),
+                    ctx,
                     fields,
                 })
             }

@@ -30,6 +30,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod alerts;
 pub mod clock;
 pub mod event;
 pub mod expose;
@@ -39,8 +40,13 @@ pub mod recorder;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod trace;
 pub mod watermark;
 
+pub use alerts::{
+    default_rules, install_alerts, uninstall_alerts, Alert, AlertEngine, AlertRule, RuleKind,
+    Severity,
+};
 pub use clock::{now_us, thread_ordinal, Stopwatch};
 pub use event::Event;
 pub use expose::TextExposer;
@@ -51,7 +57,8 @@ pub use metrics::{
 };
 pub use recorder::FlightRecorder;
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
-pub use span::Span;
+pub use span::{emit_span, Span};
+pub use trace::{TraceCtx, TRACE_HEADER};
 pub use watermark::Watermark;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -169,6 +176,12 @@ pub fn flush() {
 /// is disabled at the call site.
 pub fn span(name: &'static str) -> Span {
     Span::start(name, enabled())
+}
+
+/// Start a timed span carrying a causal [`TraceCtx`] (see [`trace`]). Inert
+/// when tracing is disabled, exactly like [`span`].
+pub fn span_ctx(name: &'static str, ctx: TraceCtx) -> Span {
+    Span::start_ctx(name, enabled(), ctx)
 }
 
 /// The process-wide metric registry.
@@ -295,7 +308,24 @@ mod tests {
                 start_us: 1_000,
                 dur_us: 12_345,
                 tid: 3,
+                ctx: TraceCtx::NONE,
                 fields: vec![("n".to_string(), 4096.0), ("v".to_string(), 0.8125)],
+            },
+            Event::Span {
+                name: "serve.chunk".to_string(),
+                start_us: 2_000,
+                dur_us: 77,
+                tid: 1,
+                ctx: TraceCtx::for_chunk(42, 7, trace::role::WORKER_CHUNK),
+                fields: vec![("idx".to_string(), 7.0)],
+            },
+            Event::Alert {
+                rule: "hurst-band".to_string(),
+                severity: "critical".to_string(),
+                series: "session-3.mavar_hurst".to_string(),
+                observed: 0.512,
+                threshold: 0.85,
+                window: 4,
             },
             Event::Point {
                 name: "pipeline.iteration".to_string(),
@@ -453,14 +483,46 @@ mod tests {
                 start_us,
                 dur_us,
                 tid,
+                ctx,
                 fields,
             }) => {
                 assert_eq!(name, "a");
                 assert_eq!((start_us, dur_us, tid), (0, 100, 0));
+                assert_eq!(ctx, TraceCtx::NONE, "absent trace keys parse as NONE");
                 assert_eq!(fields, vec![("n".to_string(), 8.0)]);
             }
             other => panic!("expected span, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_span_keys_only_appear_when_traced() {
+        let ctx = TraceCtx::for_chunk(5, 2, trace::role::SERVER_PULL);
+        let traced = Event::Span {
+            name: "serve.pull".to_string(),
+            start_us: 10,
+            dur_us: 20,
+            tid: 0,
+            ctx,
+            fields: Vec::new(),
+        };
+        let line = traced.to_jsonl();
+        assert!(line.contains("\"trace\":\"") && line.contains("\"span\":\""));
+        assert_eq!(Event::parse(&line), Some(traced));
+
+        let untraced = Event::Span {
+            name: "serve.pull".to_string(),
+            start_us: 10,
+            dur_us: 20,
+            tid: 0,
+            ctx: TraceCtx::NONE,
+            fields: Vec::new(),
+        };
+        let line = untraced.to_jsonl();
+        assert!(
+            !line.contains("\"trace\""),
+            "untraced spans must serialize byte-identically to the pre-tracing format: {line}"
+        );
     }
 
     #[test]

@@ -71,7 +71,9 @@ impl FlightRecorder {
     }
 
     /// Snapshot the global registry into the ring now and emit the window
-    /// to the installed sink (if tracing is enabled).
+    /// to the installed sink (if tracing is enabled). Each flushed window is
+    /// also evaluated by the installed alert engine (if any), so alert
+    /// rules fire on the same deterministic work-count schedule.
     pub fn flush_window(&self) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let snapshot = crate::snapshot();
@@ -82,6 +84,7 @@ impl FlightRecorder {
             }
             ring.push_back((seq, snapshot.clone()));
         }
+        crate::alerts::on_window(seq, &snapshot);
         crate::emit(Event::Window { seq, snapshot });
     }
 

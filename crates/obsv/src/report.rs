@@ -112,6 +112,11 @@ impl TraceSummary {
                 self.windows += 1;
                 self.last_window = Some(snapshot.clone());
             }
+            // Alerts are surfaced by obsv-tail / the manifest, not the
+            // timing summary; count them as points so they stay visible.
+            Event::Alert { rule, .. } => {
+                *self.points.entry(format!("alert.{rule}")).or_default() += 1;
+            }
         }
     }
 }

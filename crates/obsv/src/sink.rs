@@ -73,12 +73,28 @@ impl Sink for MemorySink {
 /// Writes one JSON object per line to a buffered file.
 pub struct JsonlSink {
     writer: Mutex<std::io::BufWriter<std::fs::File>>,
+    /// Flush after every record. A `BufWriter` holds lines in *process*
+    /// memory, which a `kill -9` discards; per-line flushing hands each
+    /// record to the OS page cache, which survives the process. Daemons
+    /// whose crash-recovery contract is audited from the trace (svbr-serve)
+    /// need this; batch runs keep the cheaper buffered default.
+    line_flush: bool,
     non_finite: crate::Counter,
 }
 
 impl JsonlSink {
     /// Create (truncating) the trace file at `path`.
     pub fn create(path: &Path) -> std::io::Result<Self> {
+        Self::create_inner(path, false)
+    }
+
+    /// Create (truncating) the trace file at `path`, flushing after every
+    /// line so records survive `kill -9` of the writing process.
+    pub fn create_line_buffered(path: &Path) -> std::io::Result<Self> {
+        Self::create_inner(path, true)
+    }
+
+    fn create_inner(path: &Path, line_flush: bool) -> std::io::Result<Self> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
@@ -87,6 +103,7 @@ impl JsonlSink {
         let file = std::fs::File::create(path)?;
         Ok(Self {
             writer: Mutex::new(std::io::BufWriter::new(file)),
+            line_flush,
             non_finite: crate::counter("obsv.non_finite"),
         })
     }
@@ -109,6 +126,9 @@ impl Sink for JsonlSink {
         let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         // Trace output is best-effort: a full disk must not abort the run.
         let _ = writeln!(w, "{line}");
+        if self.line_flush {
+            let _ = w.flush();
+        }
     }
 
     fn flush(&self) {

@@ -2,13 +2,16 @@
 
 use crate::clock;
 use crate::event::Event;
+use crate::trace::TraceCtx;
 
 /// A timed region. Created by [`crate::span`]; emits a [`Event::Span`] to
 /// the installed sink when dropped (or explicitly [`Span::end`]ed).
 ///
 /// Live spans record their start timestamp (µs since the process epoch)
 /// and the emitting thread's ordinal, so the profiler can rebuild
-/// per-thread span trees from a flat trace.
+/// per-thread span trees from a flat trace. A span created via
+/// [`crate::span_ctx`] additionally carries a [`TraceCtx`], stitching it
+/// into a cross-process causal trace tree.
 ///
 /// When tracing is disabled at creation time the span is inert: no clock
 /// read, no allocation, and nothing is emitted on drop.
@@ -16,6 +19,7 @@ use crate::event::Event;
 pub struct Span {
     name: &'static str,
     start_us: Option<u64>,
+    ctx: TraceCtx,
     fields: Vec<(String, f64)>,
 }
 
@@ -24,8 +28,17 @@ impl Span {
         Self {
             name,
             start_us: enabled.then(clock::now_us),
+            ctx: TraceCtx::NONE,
             fields: Vec::new(),
         }
+    }
+
+    pub(crate) fn start_ctx(name: &'static str, enabled: bool, ctx: TraceCtx) -> Self {
+        let mut span = Self::start(name, enabled);
+        if span.start_us.is_some() {
+            span.ctx = ctx;
+        }
+        span
     }
 
     /// Attach a numeric field (no-op when the span is inert).
@@ -34,6 +47,11 @@ impl Span {
             self.fields.push((key.to_string(), value));
         }
         self
+    }
+
+    /// The span's trace context ([`TraceCtx::NONE`] when untraced or inert).
+    pub fn ctx(&self) -> TraceCtx {
+        self.ctx
     }
 
     /// Whether the span is live (tracing was enabled when it was created).
@@ -57,13 +75,43 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start_us) = self.start_us.take() {
             let dur_us = clock::now_us().saturating_sub(start_us);
+            if !self.ctx.is_none() {
+                crate::counter("trace.spans").add(1);
+            }
             crate::emit(Event::Span {
                 name: self.name.to_string(),
                 start_us,
                 dur_us,
                 tid: clock::thread_ordinal(),
+                ctx: self.ctx,
                 fields: std::mem::take(&mut self.fields),
             });
         }
     }
+}
+
+/// Emit a traced span whose timing was measured by the caller (for code
+/// that only learns the span's identity — e.g. which chunk a pull served —
+/// after the region has already run). No-op when tracing is disabled.
+pub fn emit_span(
+    name: &str,
+    start_us: u64,
+    dur_us: u64,
+    ctx: TraceCtx,
+    fields: Vec<(String, f64)>,
+) {
+    if !crate::enabled() {
+        return;
+    }
+    if !ctx.is_none() {
+        crate::counter("trace.spans").add(1);
+    }
+    crate::emit(Event::Span {
+        name: name.to_string(),
+        start_us,
+        dur_us,
+        tid: clock::thread_ordinal(),
+        ctx,
+        fields,
+    });
 }

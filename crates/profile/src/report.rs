@@ -79,6 +79,7 @@ mod tests {
             start_us,
             dur_us,
             tid: 0,
+            ctx: svbr_obsv::TraceCtx::NONE,
             fields: Vec::new(),
         }
     }

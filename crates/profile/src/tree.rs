@@ -83,7 +83,7 @@ impl SpanForest {
                     dur: *dur_us,
                     arrival,
                 }),
-                Event::Point { .. } | Event::Window { .. } => None,
+                Event::Point { .. } | Event::Window { .. } | Event::Alert { .. } => None,
             })
             .collect();
         // Within a thread: parents sort before children (earlier start, or
@@ -233,6 +233,7 @@ mod tests {
             start_us,
             dur_us,
             tid,
+            ctx: svbr_obsv::TraceCtx::NONE,
             fields: Vec::new(),
         }
     }

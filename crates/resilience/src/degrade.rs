@@ -157,6 +157,15 @@ impl Ladder {
     /// `resilience.degrade` counter + point, and an event-log line the
     /// run driver folds into the manifest notes.
     pub fn degrade(&mut self, reason: &str) -> Option<GeneratorTier> {
+        self.degrade_traced(reason, 0)
+    }
+
+    /// [`Ladder::degrade`] with a causal trace id: when `trace_id` is
+    /// nonzero (tracing on), the recorded reason carries a
+    /// `[trace <id:016x>]` suffix so a manifest note or event-log line can
+    /// be joined back to the exact chunk's span tree. With `trace_id == 0`
+    /// the emitted text is byte-identical to the untraced form.
+    pub fn degrade_traced(&mut self, reason: &str, trace_id: u64) -> Option<GeneratorTier> {
         let from = self.tier;
         let to = from.cheaper()?;
         self.tier = to;
@@ -166,16 +175,13 @@ impl Ladder {
             "resilience.degrade",
             &[("from", from.index() as f64), ("to", to.index() as f64)],
         );
+        let reason = tag_trace(reason, trace_id);
         record_event(format!(
             "degraded: generator tier {} -> {} ({reason})",
             from.name(),
             to.name()
         ));
-        self.events.push(DegradeEvent {
-            from,
-            to,
-            reason: reason.to_string(),
-        });
+        self.events.push(DegradeEvent { from, to, reason });
         Some(to)
     }
 
@@ -185,17 +191,37 @@ impl Ladder {
     /// the event log, so run drivers that fold [`crate::drain_events`] into
     /// the manifest record the complete failure trail automatically.
     pub fn degrade_or_exhaust(&mut self, reason: &str) -> Result<GeneratorTier, LadderExhausted> {
-        if let Some(to) = self.degrade(reason) {
+        self.degrade_or_exhaust_traced(reason, 0)
+    }
+
+    /// [`Ladder::degrade_or_exhaust`] with a causal trace id (see
+    /// [`Ladder::degrade_traced`] for the tagging contract).
+    pub fn degrade_or_exhaust_traced(
+        &mut self,
+        reason: &str,
+        trace_id: u64,
+    ) -> Result<GeneratorTier, LadderExhausted> {
+        if let Some(to) = self.degrade_traced(reason, trace_id) {
             return Ok(to);
         }
         let err = LadderExhausted {
             tier: self.tier,
-            last_reason: reason.to_string(),
+            last_reason: tag_trace(reason, trace_id),
             history: self.events.clone(),
         };
         svbr_obsv::counter("resilience.ladder_exhausted").add(1);
         record_event(format!("exhausted: {err}"));
         Err(err)
+    }
+}
+
+/// Append a ` [trace <id:016x>]` suffix for nonzero trace ids; identity for
+/// id 0 so untraced runs keep byte-identical event text.
+fn tag_trace(reason: &str, trace_id: u64) -> String {
+    if trace_id == 0 {
+        reason.to_string()
+    } else {
+        format!("{reason} [trace {trace_id:016x}]")
     }
 }
 
@@ -307,6 +333,29 @@ mod tests {
             }),
             "exhaustion event with per-rung history must be logged: {events:?}"
         );
+    }
+
+    #[test]
+    fn traced_degrade_tags_the_reason_and_zero_is_identity() {
+        let mut traced = Ladder::new();
+        assert_eq!(
+            traced.degrade_traced("deadline", 0xabcd),
+            Some(GeneratorTier::TruncatedAr)
+        );
+        assert_eq!(
+            traced.events()[0].reason,
+            "deadline [trace 000000000000abcd]"
+        );
+        // trace id 0 (tracing off) must leave the text byte-identical.
+        let mut plain = Ladder::new();
+        let _ = plain.degrade_traced("deadline", 0);
+        assert_eq!(plain.events()[0].reason, "deadline");
+        // The typed exhaustion error carries the tag too.
+        let mut bottom = Ladder::from_tier(GeneratorTier::DaviesHarte);
+        let err = bottom
+            .degrade_or_exhaust_traced("budget blown", 0x1f)
+            .expect_err("bottom rung");
+        assert!(err.last_reason.ends_with("[trace 000000000000001f]"));
     }
 
     #[test]

@@ -4,7 +4,14 @@
 //! svbr-loadgen [--addr HOST:PORT] [--sessions N] [--chunks C]
 //!              [--chunk-len L] [--seed S] [--out DIR] [--faults]
 //!              [--slow-ms MS] [--pace-ms MS] [--retry-secs S]
+//!              [--trace PATH.jsonl]
 //! ```
+//!
+//! With `--trace`, every pull emits a `loadgen.pull` span into the given
+//! JSONL file under the chunk's deterministic trace id (derived from the
+//! session seed and chunk index), and the request carries the
+//! `x-svbr-trace` header so the server's `serve.pull` span links to it —
+//! stitch both files with `svbr-xtask trace-report`.
 //!
 //! Drives `--sessions` concurrent sessions and reports throughput, pull
 //! latency (client-observed, via the `serve.pull_us` obsv histogram) and
@@ -27,6 +34,7 @@ use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
+use svbr_obsv::trace::{self, TraceCtx};
 use svbr_obsv::Stopwatch;
 
 #[derive(Debug, Clone)]
@@ -43,6 +51,7 @@ struct Config {
     /// a CI kill lands mid-stream); independent of the fault schedule.
     pace_ms: u64,
     retry_secs: u64,
+    trace: Option<PathBuf>,
 }
 
 impl Default for Config {
@@ -58,6 +67,7 @@ impl Default for Config {
             slow_ms: 50,
             pace_ms: 0,
             retry_secs: 20,
+            trace: None,
         }
     }
 }
@@ -91,11 +101,25 @@ struct Outcome {
     note: String,
 }
 
-fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+fn http_get(addr: &str, path: &str, ctx: TraceCtx) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    write!(stream, "GET {path} HTTP/1.0\r\n\r\n")?;
-    stream.flush()?;
+    // One write_all so the request usually lands in a single segment: a
+    // split request races the server's close-after-respond (see
+    // `handle_conn`, which drains to the header terminator for the same
+    // reason).
+    let mut req = format!("GET {path} HTTP/1.0\r\n");
+    if !ctx.is_none() {
+        use std::fmt::Write as _;
+        let _ = write!(
+            req,
+            "{}: {}\r\n",
+            svbr_obsv::TRACE_HEADER,
+            ctx.header_value()
+        );
+    }
+    req.push_str("\r\n");
+    stream.write_all(req.as_bytes())?;
     let mut text = String::new();
     stream.read_to_string(&mut text)?;
     let code = text
@@ -112,10 +136,15 @@ fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
 
 /// GET with retry/backoff: rides out a server that is being killed and
 /// restarted with `--resume` mid-run.
-fn http_get_retry(addr: &str, path: &str, budget_secs: u64) -> std::io::Result<(u16, String)> {
+fn http_get_retry(
+    addr: &str,
+    path: &str,
+    budget_secs: u64,
+    ctx: TraceCtx,
+) -> std::io::Result<(u16, String)> {
     let sw = Stopwatch::start();
     loop {
-        match http_get(addr, path) {
+        match http_get(addr, path, ctx) {
             Ok(r) => return Ok(r),
             Err(e) => {
                 if sw.elapsed_secs() >= budget_secs as f64 {
@@ -143,7 +172,7 @@ fn drive_session(cfg: &Config, i: u64) -> Outcome {
         // walking the ladder to its typed exhaustion.
         open_path.push_str("&deadline_ms=0");
     }
-    let (code, body) = match http_get_retry(&cfg.addr, &open_path, cfg.retry_secs) {
+    let (code, body) = match http_get_retry(&cfg.addr, &open_path, cfg.retry_secs, TraceCtx::NONE) {
         Ok(r) => r,
         Err(e) => {
             return Outcome {
@@ -188,13 +217,32 @@ fn drive_session(cfg: &Config, i: u64) -> Outcome {
     let mut pulls = 0u64;
     loop {
         if abandon && pulls >= cfg.chunks / 2 {
-            let _ = http_get_retry(&cfg.addr, &format!("/close?session={id}"), cfg.retry_secs);
+            let _ = http_get_retry(
+                &cfg.addr,
+                &format!("/close?session={id}"),
+                cfg.retry_secs,
+                TraceCtx::NONE,
+            );
             terminal = Terminal::Closed;
             note = "abandoned mid-stream (client close)".into();
             break;
         }
+        // The chunk we expect next is the first one we don't hold yet;
+        // the header carries its deterministic trace context so the
+        // server's serve.pull span links back to this client span.
+        let ctx = if svbr_obsv::enabled() {
+            TraceCtx::for_chunk(seed, bodies.len() as u64, trace::role::CLIENT_PULL)
+        } else {
+            TraceCtx::NONE
+        };
+        let t0 = svbr_obsv::enabled().then(svbr_obsv::now_us);
         let sw = Stopwatch::start();
-        let pull = http_get_retry(&cfg.addr, &format!("/pull?session={id}"), cfg.retry_secs);
+        let pull = http_get_retry(
+            &cfg.addr,
+            &format!("/pull?session={id}"),
+            cfg.retry_secs,
+            ctx,
+        );
         match pull {
             Ok((200, body)) if body == "end\n" => {
                 terminal = Terminal::Closed;
@@ -208,6 +256,20 @@ fn drive_session(cfg: &Config, i: u64) -> Outcome {
                     .nth(1)
                     .and_then(|t| t.parse().ok())
                     .unwrap_or(u64::MAX);
+                if let Some(t0) = t0 {
+                    if idx != u64::MAX {
+                        // Re-key on the *served* index: a resumed server
+                        // may re-serve an acknowledged chunk, and the span
+                        // must land in that chunk's trace tree.
+                        svbr_obsv::emit_span(
+                            "loadgen.pull",
+                            t0,
+                            svbr_obsv::now_us().saturating_sub(t0),
+                            TraceCtx::for_chunk(seed, idx, trace::role::CLIENT_PULL),
+                            vec![("idx".to_string(), idx as f64)],
+                        );
+                    }
+                }
                 if let Some(prev) = bodies.get(&idx) {
                     // A resumed server may re-serve an acknowledged chunk;
                     // the duplicate must be byte-identical.
@@ -304,6 +366,7 @@ fn parse_args() -> Result<Config, String> {
             "--retry-secs" => {
                 cfg.retry_secs = take("--retry-secs")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--trace" => cfg.trace = Some(PathBuf::from(take("--trace")?)),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -327,11 +390,23 @@ fn main() -> ExitCode {
             eprintln!(
                 "svbr-loadgen: {msg}\nusage: svbr-loadgen [--addr HOST:PORT] [--sessions N] \
                  [--chunks C] [--chunk-len L] [--seed S] [--out DIR] [--faults] \
-                 [--slow-ms MS] [--retry-secs S]"
+                 [--slow-ms MS] [--pace-ms MS] [--retry-secs S] [--trace PATH.jsonl]"
             );
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &cfg.trace {
+        match svbr_obsv::JsonlSink::create_line_buffered(path) {
+            Ok(sink) => svbr_obsv::install(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!(
+                    "svbr-loadgen: cannot create trace file {}: {e}",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let sw = Stopwatch::start();
     // svbr-lint: allow(no-raw-thread) load harness: one blocking HTTP client per concurrent session is the workload being generated
@@ -396,6 +471,11 @@ fn main() -> ExitCode {
         quantile_us("serve.pull_us", 0.95),
         100.0 * shed as f64 / cfg.sessions.max(1) as f64,
     );
+
+    if cfg.trace.is_some() {
+        svbr_obsv::flush();
+        svbr_obsv::uninstall();
+    }
 
     let hung = counts.get("hung").copied().unwrap_or(0);
     if hung > 0 || dup_mismatch > 0 || missing > 0 {

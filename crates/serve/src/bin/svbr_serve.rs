@@ -4,24 +4,68 @@
 //! svbr-serve [--addr HOST:PORT] [--max-sessions N] [--degrade-at N]
 //!            [--buffer CHUNKS] [--ckpt-dir DIR] [--ckpt-every N]
 //!            [--resume] [--hurst H] [--horizon SAMPLES]
+//!            [--trace PATH.jsonl] [--manifest PATH.json]
 //! ```
 //!
 //! Speaks a tiny HTTP/1.0 protocol; see README "Serving" for the curl-able
-//! walkthrough (`/open`, `/pull`, `/close`, `/metrics`, `/shutdown`).
+//! walkthrough (`/open`, `/pull`, `/close`, `/metrics`, `/alerts`,
+//! `/shutdown`).
+//!
+//! `--trace` installs a line-buffered JSONL sink (every record hits the OS
+//! before the next pull, so a `kill -9` loses at most the in-flight line),
+//! arms the flight recorder (window interval: `SVBR_WINDOW_EVERY` ticks)
+//! and the default alert rules centered on `--hurst`. `--manifest` writes a
+//! run manifest at clean shutdown with every fired alert and resilience
+//! recovery folded into its notes.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use svbr_serve::{Server, ServerConfig};
 
 fn usage() -> &'static str {
     "usage: svbr-serve [--addr HOST:PORT] [--max-sessions N] [--degrade-at N]\n\
      \x20                 [--buffer CHUNKS] [--ckpt-dir DIR] [--ckpt-every N]\n\
-     \x20                 [--resume] [--hurst H] [--horizon SAMPLES]"
+     \x20                 [--resume] [--hurst H] [--horizon SAMPLES]\n\
+     \x20                 [--trace PATH.jsonl] [--manifest PATH.json]"
+}
+
+/// Flush telemetry and write the manifest after the accept loop exits.
+fn finish_observability(tracing: bool, manifest_path: Option<&Path>) -> std::io::Result<()> {
+    if let Some(rec) = svbr_obsv::uninstall_recorder() {
+        // Final window: even a run shorter than one tick interval records
+        // (and alert-evaluates) its end state.
+        rec.flush_window();
+    }
+    let alerts: Vec<String> = svbr_obsv::alerts::fired()
+        .iter()
+        .map(svbr_obsv::Alert::note)
+        .collect();
+    svbr_obsv::uninstall_alerts();
+    if tracing {
+        svbr_obsv::flush();
+        svbr_obsv::uninstall();
+    }
+    let Some(path) = manifest_path else {
+        return Ok(());
+    };
+    let mut manifest = svbr_obsv::RunManifest::new("svbr-serve", 0, Path::new("."));
+    for note in alerts {
+        manifest.add_note(note);
+    }
+    for note in svbr_resilience::drain_events() {
+        manifest.add_note(note);
+    }
+    manifest.write(path, &svbr_obsv::snapshot())?;
+    eprintln!("svbr-serve: manifest written to {}", path.display());
+    Ok(())
 }
 
 fn main() -> ExitCode {
     let mut cfg = ServerConfig::default();
     let mut resume = false;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut manifest_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |what: &str| -> Option<String> {
@@ -65,6 +109,14 @@ fn main() -> ExitCode {
                 Some(v) => cfg.max_session_samples = v,
                 None => return ExitCode::from(2),
             },
+            "--trace" => match take("--trace") {
+                Some(v) => trace_path = Some(PathBuf::from(v)),
+                None => return ExitCode::from(2),
+            },
+            "--manifest" => match take("--manifest") {
+                Some(v) => manifest_path = Some(PathBuf::from(v)),
+                None => return ExitCode::from(2),
+            },
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -78,6 +130,27 @@ fn main() -> ExitCode {
     if resume && cfg.ckpt_dir.is_none() {
         eprintln!("svbr-serve: --resume requires --ckpt-dir");
         return ExitCode::from(2);
+    }
+
+    let tracing = trace_path.is_some();
+    if let Some(path) = &trace_path {
+        match svbr_obsv::JsonlSink::create_line_buffered(path) {
+            Ok(sink) => svbr_obsv::install(Arc::new(sink)),
+            Err(e) => {
+                eprintln!(
+                    "svbr-serve: cannot create trace file {}: {e}",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        let every = std::env::var("SVBR_WINDOW_EVERY")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(svbr_obsv::recorder::DEFAULT_WINDOW_EVERY);
+        svbr_obsv::install_recorder(every, svbr_obsv::recorder::DEFAULT_WINDOW_CAPACITY);
+        svbr_obsv::install_alerts(svbr_obsv::default_rules(cfg.hurst));
+        eprintln!("svbr-serve: tracing to {}", path.display());
     }
 
     let server = match Server::new(cfg) {
@@ -104,10 +177,16 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("svbr-serve: listening on http://{}", server.addr());
-    match server.serve_on(listener) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+    let served = server.serve_on(listener);
+    let finished = finish_observability(tracing, manifest_path.as_deref());
+    match (served, finished) {
+        (Ok(()), Ok(())) => ExitCode::SUCCESS,
+        (Err(e), _) => {
             eprintln!("svbr-serve: {e}");
+            ExitCode::FAILURE
+        }
+        (Ok(()), Err(e)) => {
+            eprintln!("svbr-serve: cannot write manifest: {e}");
             ExitCode::FAILURE
         }
     }

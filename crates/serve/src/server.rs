@@ -26,6 +26,7 @@ use std::time::Duration;
 use svbr::lrd::acf::{FgnAcf, TabulatedAcf};
 use svbr::marginal::transform::GaussianTransform;
 use svbr::marginal::Lognormal;
+use svbr_obsv::trace::{self, TraceCtx};
 use svbr_resilience::checkpoint::Checkpoint;
 use svbr_resilience::degrade::{prepare_table, GeneratorTier};
 use svbr_resilience::record_event;
@@ -159,6 +160,7 @@ impl Inner {
         sess.rx = None;
         sess.pending_ckpt = None;
         self.active.fetch_sub(1, Ordering::SeqCst);
+        svbr_obsv::alerts::forget_session(sess.spec.id);
         if let Some(path) = self.ckpt_path(sess.spec.id) {
             let _ = std::fs::remove_file(path);
         }
@@ -175,7 +177,25 @@ impl Inner {
             return Ok(());
         }
         if let Some(path) = self.ckpt_path(sess.spec.id) {
+            let t0 = svbr_obsv::enabled().then(svbr_obsv::now_us);
             post.to_checkpoint(&sess.spec).write_atomic(&path)?;
+            // The checkpoint acknowledges the previously delivered chunk:
+            // its span joins that chunk's trace under the server pull span.
+            if let Some(t0) = t0 {
+                let idx = delivered.saturating_sub(1);
+                let trace_id = trace::chunk_trace_id(sess.spec.seed, idx);
+                svbr_obsv::emit_span(
+                    "serve.ckpt",
+                    t0,
+                    svbr_obsv::now_us().saturating_sub(t0),
+                    TraceCtx {
+                        trace_id,
+                        span_id: trace::span_id(trace_id, trace::role::CHECKPOINT, 0),
+                        parent: trace::span_id(trace_id, trace::role::SERVER_PULL, 0),
+                    },
+                    vec![("idx".to_string(), idx as f64)],
+                );
+            }
             if !sess.degraded {
                 self.set_state(sess, SessionState::Checkpointed);
             }
@@ -251,6 +271,7 @@ impl Server {
                 cap: self.inner.cfg.max_sessions,
             });
         }
+        svbr_obsv::counter("serve.opened").add(1);
         let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
         let spec = SessionSpec {
             id,
@@ -300,7 +321,23 @@ impl Server {
     /// chunk: its post-state checkpoint is flushed here, before the new
     /// chunk is handed out, so persistence never runs ahead of the client.
     pub fn pull_chunk(&self, id: u64) -> Result<PullOutcome, ServeError> {
-        let rx = {
+        self.pull_chunk_traced(id, None)
+    }
+
+    /// [`Server::pull_chunk`] with an optional remote trace context parsed
+    /// from the client's `x-svbr-trace` header. When tracing is on, the
+    /// served chunk emits `serve.queue_wait` + `serve.pull` spans into the
+    /// chunk's deterministic trace tree; the remote span is adopted as the
+    /// pull span's parent when its trace id matches the chunk actually
+    /// served (a stale prediction after a resume re-pull falls back to a
+    /// root span rather than mislinking).
+    pub fn pull_chunk_traced(
+        &self,
+        id: u64,
+        remote: Option<TraceCtx>,
+    ) -> Result<PullOutcome, ServeError> {
+        let t0 = svbr_obsv::enabled().then(svbr_obsv::now_us);
+        let (rx, seed) = {
             let mut sessions = lock(&self.inner.sessions);
             let sess = sessions
                 .get_mut(&id)
@@ -317,13 +354,15 @@ impl Server {
             }
             self.inner.flush_pending_ckpt(sess)?;
             match &sess.rx {
-                Some(rx) => Arc::clone(rx),
+                Some(rx) => (Arc::clone(rx), sess.spec.seed),
                 None => return Err(ServeError::UnknownSession(id)),
             }
         };
         // Receive outside the session map lock: a slow worker must never
         // stall other sessions' pulls.
+        let recv0 = t0.map(|_| svbr_obsv::now_us());
         let msg = lock(&rx).recv_timeout(self.inner.cfg.pull_timeout);
+        let recv1 = t0.map(|_| svbr_obsv::now_us());
         let mut sessions = lock(&self.inner.sessions);
         let sess = sessions
             .get_mut(&id)
@@ -335,6 +374,35 @@ impl Server {
                 body,
                 post,
             }) => {
+                if let (Some(t0), Some(recv0), Some(recv1)) = (t0, recv0, recv1) {
+                    let trace_id = trace::chunk_trace_id(seed, idx);
+                    let pull_span = trace::span_id(trace_id, trace::role::SERVER_PULL, 0);
+                    let parent = remote
+                        .filter(|r| r.trace_id == trace_id)
+                        .map_or(0, |r| r.span_id);
+                    svbr_obsv::emit_span(
+                        "serve.queue_wait",
+                        recv0,
+                        recv1.saturating_sub(recv0),
+                        TraceCtx {
+                            trace_id,
+                            span_id: trace::span_id(trace_id, trace::role::QUEUE_WAIT, 0),
+                            parent: pull_span,
+                        },
+                        Vec::new(),
+                    );
+                    svbr_obsv::emit_span(
+                        "serve.pull",
+                        t0,
+                        svbr_obsv::now_us().saturating_sub(t0),
+                        TraceCtx {
+                            trace_id,
+                            span_id: pull_span,
+                            parent,
+                        },
+                        vec![("idx".to_string(), idx as f64)],
+                    );
+                }
                 svbr_obsv::record_tick(sess.spec.chunk_len as u64);
                 svbr_obsv::counter_with("serve.chunks", &[("outcome", "delivered")]).add(1);
                 if tier != GeneratorTier::HoskingExact && !sess.degraded {
@@ -505,15 +573,49 @@ fn parse_u64(params: &BTreeMap<&str, &str>, key: &str) -> Result<u64, ServeError
         .ok_or_else(|| ServeError::BadRequest(format!("missing or invalid `{key}`")))
 }
 
+/// Extract a [`TraceCtx`] from the request's `x-svbr-trace` header, if
+/// present and well-formed (header names are case-insensitive).
+fn parse_trace_header(request: &str) -> Option<TraceCtx> {
+    for line in request.lines().skip(1) {
+        if line.trim().is_empty() {
+            break; // end of headers
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case(trace::TRACE_HEADER) {
+            return TraceCtx::from_header_value(value);
+        }
+    }
+    None
+}
+
 /// Handle one request on one connection (HTTP/1.0, connection: close).
 fn handle_conn(server: &Server, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    // Read until the blank line that ends the headers. Responding while
+    // request bytes are still in flight leaves them unread at close, which
+    // turns the close into an RST — and an RST can destroy the buffered
+    // response on the client side, silently un-delivering a chunk.
     let mut buf = [0u8; 4096];
-    let n = match stream.read(&mut buf) {
-        Ok(n) => n,
-        Err(_) => return,
-    };
+    let mut n = 0usize;
+    loop {
+        match stream.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(m) => {
+                n += m;
+                if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") || n == buf.len() {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    if n == 0 {
+        return;
+    }
     let request = String::from_utf8_lossy(&buf[..n]);
+    let remote = parse_trace_header(&request);
     let mut parts = request.split_whitespace();
     let (method, target) = match (parts.next(), parts.next()) {
         (Some(m), Some(t)) => (m, t),
@@ -536,7 +638,9 @@ fn handle_conn(server: &Server, mut stream: TcpStream) {
                 Err(e) => respond(&mut stream, status_of(&e), &format!("{e}\n")),
             }
         }
-        "/pull" => match parse_u64(&params, "session").and_then(|id| server.pull_chunk(id)) {
+        "/pull" => match parse_u64(&params, "session")
+            .and_then(|id| server.pull_chunk_traced(id, remote))
+        {
             Ok(PullOutcome::Chunk(body)) => respond(&mut stream, 200, &body),
             Ok(PullOutcome::End) => respond(&mut stream, 200, "end\n"),
             Err(e) => respond(&mut stream, status_of(&e), &format!("{e}\n")),
@@ -550,6 +654,16 @@ fn handle_conn(server: &Server, mut stream: TcpStream) {
         },
         "/metrics" | "/stats" => {
             let text = svbr_obsv::TextExposer::new().render(&svbr_obsv::snapshot());
+            respond(&mut stream, 200, &text);
+        }
+        "/alerts" => {
+            // Fired alerts in their JSONL wire form, one per line — the
+            // same records the trace carries, replayable by Event::parse.
+            let mut text = String::new();
+            for alert in svbr_obsv::alerts::fired() {
+                text.push_str(&alert.to_event().to_jsonl());
+                text.push('\n');
+            }
             respond(&mut stream, 200, &text);
         }
         "/shutdown" => {
@@ -794,11 +908,206 @@ mod tests {
             metrics.contains("serve_chunks{outcome=\"delivered\"}"),
             "exposition must carry serve metrics: {metrics}"
         );
+        // The exposition must parse line-by-line: every sample line is
+        // `name[{labels}] value` with a finite numeric value, and every
+        // histogram carries its `_sum` / `_count` aggregate lines.
+        for line in metrics.lines().filter(|l| !l.starts_with('#')) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (name, value) = match line.rsplit_once(' ') {
+                Some(p) => p,
+                None => panic!("unparseable exposition line: {line:?}"),
+            };
+            assert!(!name.is_empty(), "{line:?}");
+            let v: f64 = match value.parse() {
+                Ok(v) => v,
+                Err(e) => panic!("bad sample value in {line:?}: {e}"),
+            };
+            assert!(v.is_finite() || value == "+Inf", "{line:?}");
+        }
+        assert!(
+            metrics.contains("serve_chunk_us_sum ") && metrics.contains("serve_chunk_us_count "),
+            "histograms must expose _sum and _count: {metrics}"
+        );
+        let (code, alerts) = get("/alerts");
+        assert_eq!(code, 200);
+        for line in alerts.lines() {
+            assert!(
+                matches!(
+                    svbr_obsv::Event::parse(line),
+                    Some(svbr_obsv::Event::Alert { .. })
+                ),
+                "every /alerts line must be a JSONL alert event: {line:?}"
+            );
+        }
         let (code, _) = get("/shutdown");
         assert_eq!(code, 200);
         match accept.join() {
             Ok(Ok(())) => {}
             other => panic!("accept loop: {other:?}"),
         }
+    }
+
+    #[test]
+    fn alerts_endpoint_replays_fired_rules_as_jsonl() {
+        use svbr_obsv::{AlertRule, Event, RuleKind, Severity};
+        let server = match Server::new(test_cfg(None)) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        };
+        let listener = match server.bind() {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
+        };
+        let addr = match listener.local_addr() {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        };
+        let inner = Arc::clone(&server.inner);
+        // svbr-lint: allow(no-raw-thread) test harness: the accept loop must run while this test drives it as a client
+        let accept = std::thread::spawn(move || Server { inner }.serve_on(listener));
+
+        let engine = svbr_obsv::install_alerts(vec![AlertRule::new(
+            "latency-slo-chunk",
+            Severity::Warning,
+            RuleKind::P95AboveUs {
+                series: "serve.chunk_us",
+                threshold_us: 1.0,
+            },
+        )]);
+        let reg = svbr_obsv::Registry::new();
+        reg.histogram("serve.chunk_us").record(1_000_000);
+        engine.evaluate(0, &reg.snapshot());
+        assert_eq!(engine.fired().len(), 1);
+
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => panic!("connect: {e}"),
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        match write!(stream, "GET /alerts HTTP/1.0\r\n\r\n") {
+            Ok(()) => {}
+            Err(e) => panic!("write: {e}"),
+        }
+        let mut text = String::new();
+        let _ = stream.read_to_string(&mut text);
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        let parsed: Vec<Event> = body.lines().filter_map(Event::parse).collect();
+        assert!(
+            parsed.iter().any(|e| matches!(
+                e,
+                Event::Alert { rule, series, .. }
+                    if rule == "latency-slo-chunk" && series == "serve.chunk_us"
+            )),
+            "fired alert must replay on /alerts: {body:?}"
+        );
+        svbr_obsv::uninstall_alerts();
+
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => panic!("connect: {e}"),
+        };
+        let _ = write!(stream, "GET /shutdown HTTP/1.0\r\n\r\n");
+        let mut drain = String::new();
+        let _ = stream.read_to_string(&mut drain);
+        match accept.join() {
+            Ok(Ok(())) => {}
+            other => panic!("accept loop: {other:?}"),
+        }
+    }
+
+    /// The set of traced span identities for `seed`'s chunks: every
+    /// `(name, trace_id, span_id, parent)` whose trace id belongs to one of
+    /// the session's `chunks` chunk trees.
+    fn traced_span_set(
+        events: &[svbr_obsv::Event],
+        seed: u64,
+        chunks: u64,
+    ) -> std::collections::BTreeSet<(String, u64, u64, u64)> {
+        let ids: std::collections::BTreeSet<u64> = (0..chunks)
+            .map(|k| trace::chunk_trace_id(seed, k))
+            .collect();
+        events
+            .iter()
+            .filter_map(|e| match e {
+                svbr_obsv::Event::Span { name, ctx, .. } if ids.contains(&ctx.trace_id) => {
+                    Some((name.clone(), ctx.trace_id, ctx.span_id, ctx.parent))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resume_regenerates_identical_traced_span_ids() {
+        let seed = 0x7ace_5eed_u64;
+        let chunks = 5u64;
+        let sink = Arc::new(svbr_obsv::MemorySink::new());
+        svbr_obsv::install(sink.clone());
+
+        // Uninterrupted reference run (checkpointing on, so serve.ckpt
+        // spans appear in both runs).
+        let ref_dir = tmp_dir("trace-ref");
+        let server = match Server::new(test_cfg(Some(ref_dir.clone()))) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        };
+        let id = match server.open_session(seed, 16, chunks, None) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        };
+        pull_all(&server, id);
+        drop(server);
+        let reference = traced_span_set(&sink.events(), seed, chunks);
+        assert!(
+            reference.iter().any(|(name, ..)| name == "serve.pull"),
+            "reference run must contain pull spans"
+        );
+        assert!(
+            reference.iter().any(|(name, ..)| name == "serve.chunk"),
+            "reference run must contain worker spans"
+        );
+        sink.clear();
+
+        // Interrupted run: two pulls, cold drop, resume, finish.
+        let dir = tmp_dir("trace-resume");
+        let server = match Server::new(test_cfg(Some(dir.clone()))) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        };
+        let id = match server.open_session(seed, 16, chunks, None) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        };
+        for _ in 0..2 {
+            match server.pull_chunk(id) {
+                Ok(PullOutcome::Chunk(_)) => {}
+                other => panic!("expected chunk, got {other:?}"),
+            }
+        }
+        drop(server);
+        let revived = match Server::new(test_cfg(Some(dir.clone()))) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        };
+        match revived.resume_sessions() {
+            Ok(1) => {}
+            other => panic!("expected 1 restored session, got {other:?}"),
+        }
+        pull_all(&revived, id);
+        drop(revived);
+        let resumed = traced_span_set(&sink.events(), seed, chunks);
+        svbr_obsv::uninstall();
+
+        // Deterministic derivation means re-served chunks regenerate the
+        // *same* span ids: after dedup the interrupted run's span set
+        // equals the uninterrupted run's exactly.
+        assert_eq!(resumed, reference);
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

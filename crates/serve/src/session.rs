@@ -26,6 +26,7 @@ use svbr::lrd::hosking::{HoskingSampler, NonPdPolicy};
 use svbr::marginal::transform::GaussianTransform;
 use svbr::marginal::Lognormal;
 use svbr::queue::validate_arrivals;
+use svbr_obsv::trace::{self, TraceCtx};
 use svbr_resilience::checkpoint::Checkpoint;
 use svbr_resilience::degrade::{GeneratorTier, Ladder};
 use svbr_resilience::rng::{CkptNormal, CkptRng};
@@ -339,8 +340,25 @@ pub fn run_session(
     let mut committed = start;
     let mut ladder = Ladder::from_tier(committed.tier);
     while committed.delivered < spec.chunks {
+        // The chunk's trace tree is derived from (seed, index) alone, so the
+        // worker's span stitches under the server pull span for the same
+        // chunk without any shared state (see svbr_obsv::trace). NONE (id 0)
+        // when tracing is off keeps event text bit-identical.
+        let chunk_ctx = if svbr_obsv::enabled() {
+            TraceCtx::for_chunk(spec.seed, committed.delivered, trace::role::WORKER_CHUNK)
+                .with_parent(trace::span_id(
+                    trace::chunk_trace_id(spec.seed, committed.delivered),
+                    trace::role::SERVER_PULL,
+                    0,
+                ))
+        } else {
+            TraceCtx::NONE
+        };
         if pressure() && ladder.tier() == GeneratorTier::HoskingExact {
-            let _ = ladder.degrade("overload: active sessions past the degrade watermark");
+            let _ = ladder.degrade_traced(
+                "overload: active sessions past the degrade watermark",
+                chunk_ctx.trace_id,
+            );
         }
         let tier = ladder.tier();
         let deadline = spec
@@ -351,13 +369,22 @@ pub fn run_session(
             deadline,
         });
         let site = format!("serve-{}-chunk-{}", spec.id, committed.delivered);
+        let mut chunk_span = svbr_obsv::span_ctx("serve.chunk", chunk_ctx);
+        chunk_span.field("idx", committed.delivered as f64);
         let sw = svbr_obsv::Stopwatch::start();
-        let outcome = supervisor.run(&site, |_attempt| {
+        let outcome = supervisor.run(&site, |attempt| {
+            let mut gen_span = svbr_obsv::span_ctx(
+                "serve.generate",
+                chunk_ctx.child_attempt(trace::role::GENERATE, attempt as u64),
+            );
+            gen_span.field("tier", tier.index() as f64);
             generate_chunk(&committed, tier, table, transform, spec.chunk_len)
         });
         match outcome {
             Ok((post, ys)) => {
+                chunk_span.end();
                 svbr_obsv::histogram("serve.chunk_us").record(sw.elapsed_us());
+                svbr_obsv::alerts::observe_session(spec.id, &ys);
                 let outcome_label = if tier == GeneratorTier::HoskingExact {
                     "generated"
                 } else {
@@ -381,7 +408,10 @@ pub fn run_session(
                 // Retry budget or per-chunk deadline exhausted: step down
                 // and re-attempt the same chunk on the cheaper tier; at the
                 // bottom, the typed exhaustion history ends the session.
-                match ladder.degrade_or_exhaust(&format!("chunk {}: {e}", committed.delivered)) {
+                match ladder.degrade_or_exhaust_traced(
+                    &format!("chunk {}: {e}", committed.delivered),
+                    chunk_ctx.trace_id,
+                ) {
                     Ok(_) => continue,
                     Err(exhausted) => {
                         svbr_obsv::counter_with("serve.chunks", &[("outcome", "failed")]).add(1);

@@ -16,6 +16,7 @@
 //! | `metric-dead`              | a DESIGN.md registry row no code registers               |
 //! | `metric-labels`            | label keys off the documented set, malformed, reserved, or over the per-site cap |
 //! | `no-unbounded-channel`     | an unbounded cross-thread queue in a bit-identity or serve crate |
+//! | `alert-rule-undocumented`  | an `AlertRule::new("…")` name missing from DESIGN.md's alert table |
 //!
 //! The determinism and panic-surface families apply only to the crates
 //! that promise bit-identical output ([`AUDITED_CRATES`]); the channel
@@ -56,6 +57,8 @@ pub const METRIC_PREFIXES: &[&str] = &[
     "resilience",
     "obsv",
     "serve",
+    "trace",
+    "alert",
 ];
 
 /// Most label keys a single call site may carry. Every key multiplies the
@@ -80,6 +83,7 @@ pub const METRIC_UNDOCUMENTED: &str = "metric-undocumented";
 pub const METRIC_DEAD: &str = "metric-dead";
 pub const METRIC_LABELS: &str = "metric-labels";
 pub const NO_UNBOUNDED_CHANNEL: &str = "no-unbounded-channel";
+pub const ALERT_RULE_UNDOCUMENTED: &str = "alert-rule-undocumented";
 
 /// The per-site-waivable subset this pass owns for the waiver audit
 /// (`metric-dead` anchors in DESIGN.md, which has no waiver comments).
@@ -94,6 +98,7 @@ pub const ANALYZE_WAIVABLE_IDS: &[&str] = &[
     METRIC_UNDOCUMENTED,
     METRIC_LABELS,
     NO_UNBOUNDED_CHANNEL,
+    ALERT_RULE_UNDOCUMENTED,
 ];
 
 /// One analyze diagnostic.
@@ -161,6 +166,7 @@ pub fn analyze_sources(files: &[(&str, &str)], design: Option<&str>, today: &str
         file_rules(model, book, &mut findings);
     }
     let metric_names = metric_rules(&mut ctxs, design, &mut findings);
+    alert_rule_rules(&mut ctxs, files, design, &mut findings);
     for (model, book) in &ctxs {
         findings.extend(
             audit_waivers(book, &model.rel_path, ANALYZE_WAIVABLE_IDS)
@@ -844,6 +850,104 @@ fn metric_rules(
     first_kind.len()
 }
 
+/// Every `AlertRule::new("…")` construction site in masked code. The rule
+/// name is read from the *original* source at the masked literal's byte
+/// span (masking is length-preserving), mirroring the metric extraction.
+fn alert_rule_sites(model: &FileModel, src: &str) -> Vec<(String, usize)> {
+    const PAT: &str = "AlertRule::new(";
+    let code = model.masked.code.as_str();
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find(PAT) {
+        let at = from + rel;
+        from = at + PAT.len();
+        let j = crate::model::skip_ws(bytes, from);
+        if bytes.get(j) != Some(&b'"') {
+            continue;
+        }
+        let q1 = j + 1;
+        let Some(q2rel) = code[q1..].find('"') else {
+            continue;
+        };
+        let name = src.get(q1..q1 + q2rel).unwrap_or("").to_string();
+        if !name.is_empty() {
+            out.push((name, line_of(code, at)));
+        }
+    }
+    out
+}
+
+/// Parse the rule-name column of DESIGN.md's alert table (under a heading
+/// containing "alert rules"): the first backticked cell of each row.
+/// Returns `None` when no such heading exists.
+fn parse_alert_rule_table(text: &str) -> Option<Vec<String>> {
+    let mut names = Vec::new();
+    let mut in_section = false;
+    let mut found = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with('#') {
+            in_section = t.to_ascii_lowercase().contains("alert rules");
+            found |= in_section;
+            continue;
+        }
+        if !in_section || !t.starts_with('|') {
+            continue;
+        }
+        let first = t
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or("")
+            .trim();
+        if first.starts_with('`') {
+            let name = first.trim_matches('`');
+            if !name.is_empty() {
+                names.push(name.to_string());
+            }
+        }
+    }
+    found.then_some(names)
+}
+
+/// The alert-rule registry cross-check: every `AlertRule::new("…")`
+/// outside tests must name a rule documented in DESIGN.md's `Alert rules`
+/// table. Fired alerts land in run manifests and the `/alerts` endpoint,
+/// so a name nobody documented is an unreviewable operator signal.
+fn alert_rule_rules(
+    ctxs: &mut [(FileModel, WaiverBook)],
+    files: &[(&str, &str)],
+    design: Option<&str>,
+    out: &mut Vec<Finding>,
+) {
+    let table = design.and_then(parse_alert_rule_table);
+    for (idx, (model, book)) in ctxs.iter_mut().enumerate() {
+        for (name, line) in alert_rule_sites(model, files[idx].1) {
+            if model.in_test(line) || book.suppresses(line, ALERT_RULE_UNDOCUMENTED) {
+                continue;
+            }
+            let message = match &table {
+                Some(rows) if rows.iter().any(|r| r == &name) => continue,
+                Some(_) => format!(
+                    "alert rule `{name}` is not in DESIGN.md's `Alert rules` \
+                     table: document it (name, severity, fires when) or remove it"
+                ),
+                None => format!(
+                    "alert rule `{name}` is constructed but DESIGN.md has no \
+                     `Alert rules` table to cross-check it against"
+                ),
+            };
+            out.push(Finding {
+                file: model.rel_path.clone(),
+                line,
+                rule: ALERT_RULE_UNDOCUMENTED,
+                message,
+            });
+        }
+    }
+}
+
 impl AnalyzeReport {
     /// Plain-text rendering (one `file:line: [rule] message` per finding,
     /// then a summary line), matching the lint output shape.
@@ -1309,6 +1413,82 @@ pub fn f(id: &str) {
         assert_eq!(ml.len(), 1, "{ml:?}");
         assert_eq!(ml[0].file, "DESIGN.md");
         assert!(of_rule(&fs, "unused-waiver").is_empty());
+    }
+
+    // ---- alert-rule registry --------------------------------------------
+
+    const DESIGN_ALERTS: &str = "\
+# DESIGN
+
+## 7b. Metric registry
+
+| name | kind | meaning |
+|------|------|---------|
+| `par.tasks` | counter | tasks executed |
+
+## 7c. Alert rules
+
+| rule | severity | fires when |
+|------|----------|------------|
+| `latency-slo-chunk` | warning | chunk p95 over budget |
+| `hurst-band` | critical | MAVAR Hurst outside band |
+";
+
+    #[test]
+    fn fixture_alert_rules_cross_check_design_table() {
+        let code = "\
+pub fn rules() -> Vec<AlertRule> {
+    vec![
+        AlertRule::new(\"latency-slo-chunk\", Severity::Warning, kind()),
+        AlertRule::new(\"made-up-rule\", Severity::Critical, kind()),
+    ]
+}
+";
+        let fs = findings(&[("crates/obsv/src/alerts.rs", code)], Some(DESIGN_ALERTS));
+        let hits = of_rule(&fs, ALERT_RULE_UNDOCUMENTED);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 4);
+        assert!(hits[0].message.contains("`made-up-rule`"));
+        // Documented names are clean.
+        let clean = code.replace("made-up-rule", "hurst-band");
+        let fs = findings(
+            &[("crates/obsv/src/alerts.rs", clean.as_str())],
+            Some(DESIGN_ALERTS),
+        );
+        assert!(of_rule(&fs, ALERT_RULE_UNDOCUMENTED).is_empty());
+        // Constructions inside #[cfg(test)] are exempt: tests may invent
+        // throwaway rule names.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() {\n        let _ = AlertRule::new(\"scratch-rule\", Severity::Warning, kind());\n    }\n}\n";
+        let fs = findings(
+            &[("crates/obsv/src/alerts.rs", test_only)],
+            Some(DESIGN_ALERTS),
+        );
+        assert!(of_rule(&fs, ALERT_RULE_UNDOCUMENTED).is_empty());
+        // A waiver on the construction site suppresses.
+        let waived = code.replace(
+            "        AlertRule::new(\"made-up-rule\"",
+            "        // svbr-analyze: allow(alert-rule-undocumented) table row lands next PR\n        AlertRule::new(\"made-up-rule\"",
+        );
+        let fs = findings(
+            &[("crates/obsv/src/alerts.rs", waived.as_str())],
+            Some(DESIGN_ALERTS),
+        );
+        assert!(of_rule(&fs, ALERT_RULE_UNDOCUMENTED).is_empty());
+        assert!(of_rule(&fs, "unused-waiver").is_empty());
+    }
+
+    #[test]
+    fn fixture_alert_rules_without_design_table_fire_per_site() {
+        let code = "pub fn r() -> AlertRule {\n    AlertRule::new(\"latency-slo-chunk\", Severity::Warning, kind())\n}\n";
+        // DESIGN_OK has a metric registry but no alert table: every
+        // non-test construction fires, naming the missing table.
+        let fs = findings(&[("crates/obsv/src/alerts.rs", code)], Some(DESIGN_OK));
+        let hits = of_rule(&fs, ALERT_RULE_UNDOCUMENTED);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("no `Alert rules` table"));
+        // trace./alert. are valid metric prefixes now.
+        assert!(metric_name_ok("trace.spans"));
+        assert!(metric_name_ok("alert.fired"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! cargo run -p svbr-xtask -- obsv-report <trace.jsonl>
 //! cargo run -p svbr-xtask -- obsv-tail [--once] <trace.jsonl>
 //! cargo run -p svbr-xtask -- obsv-diff <a> <b>
+//! cargo run -p svbr-xtask -- trace-report [--format json] <trace.jsonl>...
 //! cargo run -p svbr-xtask -- bench-compare --baseline <old.json> <new.json>
 //! ```
 //!
@@ -25,6 +26,11 @@
 //! grows. `obsv-diff` compares the final metric series of two runs —
 //! traces or run manifests — and exits 1 on drift; see [`obsv`].
 //!
+//! `trace-report` stitches the span streams of several traced processes
+//! (server incarnations, loadgen clients) into per-chunk trees keyed by
+//! the deterministic trace id and prints each chunk's critical-path
+//! attribution; see [`trace_report`].
+//!
 //! `bench-compare` diffs two `BENCH_svbr.json` reports (written by
 //! `repro bench`) and exits 1 when any case's throughput regressed by more
 //! than the threshold (default 15%) or disappeared — the CI perf gate.
@@ -36,6 +42,7 @@ mod lexer;
 mod model;
 mod obsv;
 mod rules;
+mod trace_report;
 mod waivers;
 
 use rules::{classify, lint_source, FileReport, TodoItem, Violation};
@@ -137,6 +144,32 @@ fn run(args: &[String], root: &Path) -> i32 {
                 return 2;
             };
             return obsv::tail(path, once);
+        }
+        Some("trace-report") => {
+            let mut json = false;
+            let mut paths: Vec<String> = Vec::new();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("text") => json = false,
+                        Some("json") => json = true,
+                        other => {
+                            eprintln!("--format takes `text` or `json`, got {other:?}\n{USAGE}");
+                            return 2;
+                        }
+                    },
+                    p if !p.starts_with("--") => paths.push(a.clone()),
+                    other => {
+                        eprintln!("unknown trace-report argument `{other}`\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            if paths.is_empty() {
+                eprintln!("trace-report takes one or more trace paths\n{USAGE}");
+                return 2;
+            }
+            return trace_report::report(&paths, json);
         }
         Some("obsv-diff") => {
             return match (it.next(), it.next(), it.next()) {
@@ -250,6 +283,9 @@ usage: cargo run -p svbr-xtask -- <task>
                                                 (follows the file unless --once)
   obsv-diff <a> <b>                             diff two runs' final series (trace or
                                                 manifest); exit 1 on drift
+  trace-report [--format text|json] <trace.jsonl>...
+                                                stitch cross-process spans by trace id into
+                                                per-chunk critical-path trees
   bench-compare --baseline <old.json> <new.json> [--threshold F]
                                                 gate on bench regressions";
 
@@ -1133,6 +1169,34 @@ mod tests {
         assert_eq!(run(&["obsv-tail".into(), "--once".into()], &root), 2);
         assert_eq!(
             run(&["obsv-tail".into(), "--bogus".into(), "t".into()], &root),
+            2
+        );
+        // trace-report usage errors.
+        assert_eq!(run(&["trace-report".into()], &root), 2);
+        assert_eq!(
+            run(
+                &["trace-report".into(), "--format".into(), "json".into()],
+                &root
+            ),
+            2
+        );
+        assert_eq!(
+            run(
+                &[
+                    "trace-report".into(),
+                    "--format".into(),
+                    "yaml".into(),
+                    "t.jsonl".into()
+                ],
+                &root
+            ),
+            2
+        );
+        assert_eq!(
+            run(
+                &["trace-report".into(), "--bogus".into(), "t.jsonl".into()],
+                &root
+            ),
             2
         );
         assert_eq!(run(&["obsv-diff".into()], &root), 2);

@@ -371,7 +371,7 @@ fn compute_loop_lines(code: &str) -> Vec<bool> {
     marks
 }
 
-fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+pub(crate) fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
     while i < bytes.len() && bytes[i].is_ascii_whitespace() {
         i += 1;
     }

@@ -39,6 +39,68 @@ struct LoadedSeries {
     kind: &'static str,
 }
 
+/// Typed failure to load flight-recorder windows from a trace file. Every
+/// variant renders as exactly one line naming the path, and `obsv-tail`
+/// and `obsv-diff` share these variants verbatim — an empty file, a
+/// header-only trace (events but no windows) and truncated/non-JSONL
+/// content all fail with the same one-line shape instead of each tool
+/// wording its own diagnostic.
+#[derive(Debug, PartialEq, Eq)]
+enum TraceLoadError {
+    /// The file cannot be read at all.
+    Unreadable { path: String, err: String },
+    /// The file exists but holds no bytes (or only whitespace).
+    Empty { path: String },
+    /// No line parsed as an obsv event (garbage or truncated JSON).
+    NotJsonl { path: String },
+    /// A real trace, but no [`Event::Window`] record landed yet.
+    NoWindows { path: String },
+}
+
+impl std::fmt::Display for TraceLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceLoadError::Unreadable { path, err } => write!(f, "cannot read `{path}`: {err}"),
+            TraceLoadError::Empty { path } => {
+                write!(f, "`{path}` is empty (expected a JSONL trace)")
+            }
+            TraceLoadError::NotJsonl { path } => write!(
+                f,
+                "`{path}` is not a JSONL trace (no line parsed as an event)"
+            ),
+            TraceLoadError::NoWindows { path } => write!(
+                f,
+                "`{path}` has no flight-recorder windows (re-run repro with --trace or --windows)"
+            ),
+        }
+    }
+}
+
+/// Load every flight-recorder window of a JSONL trace, in file order.
+fn load_windows(path: &str) -> Result<Vec<(u64, Snapshot)>, TraceLoadError> {
+    let text = std::fs::read_to_string(path).map_err(|e| TraceLoadError::Unreadable {
+        path: path.to_string(),
+        err: e.to_string(),
+    })?;
+    if text.trim().is_empty() {
+        return Err(TraceLoadError::Empty {
+            path: path.to_string(),
+        });
+    }
+    let (events, windows) = trace_windows(&text);
+    if events == 0 {
+        return Err(TraceLoadError::NotJsonl {
+            path: path.to_string(),
+        });
+    }
+    if windows.is_empty() {
+        return Err(TraceLoadError::NoWindows {
+            path: path.to_string(),
+        });
+    }
+    Ok(windows)
+}
+
 /// Parse every [`Event::Window`] out of a JSONL trace body, in file order.
 fn trace_windows(text: &str) -> (usize, Vec<(u64, Snapshot)>) {
     let mut events = 0usize;
@@ -82,28 +144,32 @@ fn manifest_snapshot(obj: &JsonObj) -> Option<Snapshot> {
 }
 
 /// Load the final series of a run from `path` (trace or manifest). Every
-/// failure is a single human-readable line naming the path.
+/// failure is a single human-readable line naming the path (the trace-side
+/// failures are the shared [`TraceLoadError`] wordings).
 fn load_series(path: &str) -> Result<LoadedSeries, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    if text.trim().is_empty() {
-        return Err(format!(
-            "`{path}` is empty (expected a JSONL trace or run-manifest JSON)"
-        ));
-    }
-    let (events, mut windows) = trace_windows(&text);
-    if events > 0 {
-        return match windows.pop() {
-            Some((_, snapshot)) => Ok(LoadedSeries {
+    match load_windows(path) {
+        Ok(mut windows) => {
+            let total = windows.len();
+            let Some((_, snapshot)) = windows.pop() else {
+                // load_windows never returns an empty vec; keep the typed
+                // wording rather than panicking if that ever changes.
+                return Err(TraceLoadError::NoWindows {
+                    path: path.to_string(),
+                }
+                .to_string());
+            };
+            return Ok(LoadedSeries {
                 snapshot,
-                windows: windows.len() + 1,
+                windows: total,
                 kind: "trace",
-            }),
-            None => Err(format!(
-                "`{path}` has no flight-recorder windows (re-run repro with --trace or --windows)"
-            )),
-        };
+            });
+        }
+        // Not line-parseable as events: fall through and try the whole
+        // file as one run-manifest object.
+        Err(TraceLoadError::NotJsonl { .. }) => {}
+        Err(e) => return Err(e.to_string()),
     }
-    // Not line-parseable: try the whole file as one run-manifest object.
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     match parse_json(&text) {
         Some(Json::Obj(obj)) if obj.get("counters").is_some() => match manifest_snapshot(&obj) {
             Some(snapshot) => Ok(LoadedSeries {
@@ -344,28 +410,9 @@ fn render_window(path: &str, seq: u64, total: usize, snap: &Snapshot) -> String 
 pub fn tail(path: &str, once: bool) -> i32 {
     let mut last_seq: Option<u64> = None;
     loop {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("obsv-tail: cannot read `{path}`: {e}");
-                return 1;
-            }
-        };
-        // An empty file in follow mode is a trace that hasn't started yet;
-        // non-JSONL content is terminal either way.
-        if text.trim().is_empty() {
-            if once {
-                eprintln!("obsv-tail: `{path}` is empty (expected a JSONL trace)");
-                return 1;
-            }
-        } else {
-            let (events, windows) = trace_windows(&text);
-            if events == 0 {
-                eprintln!("obsv-tail: `{path}` is not a JSONL trace (no line parsed as an event)");
-                return 1;
-            }
-            match windows.last() {
-                Some((seq, snapshot)) => {
+        match load_windows(path) {
+            Ok(windows) => {
+                if let Some((seq, snapshot)) = windows.last() {
                     if last_seq != Some(*seq) {
                         last_seq = Some(*seq);
                         let mut out = std::io::stdout().lock();
@@ -376,18 +423,24 @@ pub fn tail(path: &str, once: bool) -> i32 {
                         );
                         let _ = out.flush();
                     }
-                    if once {
-                        return 0;
-                    }
                 }
-                None if once => {
-                    eprintln!(
-                        "obsv-tail: `{path}` has no flight-recorder windows \
-                         (re-run repro with --trace or --windows)"
-                    );
+                if once {
+                    return 0;
+                }
+            }
+            // Unreadable or non-JSONL content is terminal in either mode.
+            Err(e @ (TraceLoadError::Unreadable { .. } | TraceLoadError::NotJsonl { .. })) => {
+                eprintln!("obsv-tail: {e}");
+                return 1;
+            }
+            // An empty or still window-less trace is one a follow can wait
+            // out; with --once it fails with the same one-line typed error
+            // truncated input gets.
+            Err(e) => {
+                if once {
+                    eprintln!("obsv-tail: {e}");
                     return 1;
                 }
-                None => {}
             }
         }
         std::thread::sleep(std::time::Duration::from_millis(TAIL_POLL_MS));
@@ -565,6 +618,35 @@ mod tests {
         }
         assert_eq!(diff("/nonexistent/a.jsonl", "/nonexistent/b.jsonl"), 1);
         assert_eq!(tail("/nonexistent/trace.jsonl", true), 1);
+    }
+
+    #[test]
+    fn tail_once_empty_and_header_only_fail_like_truncated_input() {
+        // Three degenerate traces: no bytes at all, events but no windows
+        // yet ("header-only"), and truncated JSON. `--once` must exit 1 on
+        // each with the shared one-line typed error — not hang in follow
+        // mode and not invent per-tool wording.
+        let empty = tmp_file("once-empty.jsonl", "");
+        let header_only = tmp_file(
+            "once-header.jsonl",
+            "{\"t\":\"point\",\"name\":\"pipeline.iteration\",\"fields\":{\"a\":1}}\n",
+        );
+        let truncated = tmp_file("once-trunc.jsonl", "{\"t\":\"window\",\"seq\":0,");
+        for (path, needle) in [
+            (&empty, "is empty"),
+            (&header_only, "has no flight-recorder windows"),
+            (&truncated, "is not a JSONL trace"),
+        ] {
+            let path = path.to_string_lossy();
+            assert_eq!(tail(&path, true), 1);
+            let err = load_windows(&path).expect_err("must fail").to_string();
+            assert!(err.contains(&*path), "error must name the path: `{err}`");
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+            assert!(!err.contains('\n'), "one-line error: `{err}`");
+        }
+        for p in [empty, header_only, truncated] {
+            std::fs::remove_file(&p).ok();
+        }
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! `trace-report`: stitch cross-process span streams into per-chunk trees.
+//!
+//! A traced serve run writes spans into several JSONL files — the server's
+//! (possibly one file per incarnation around a crash) and each loadgen
+//! client's. Every span of one chunk carries the same deterministic trace
+//! id (derived from the session seed and chunk index), so stitching needs
+//! no clock alignment: group by trace id, dedup by span id, and the
+//! client-side `loadgen.pull`, server-side `serve.pull`/`serve.queue_wait`
+//! /`serve.ckpt` and worker-side `serve.chunk`/`serve.generate` spans of a
+//! chunk land in one tree.
+//!
+//! Duplicate span ids arise legitimately: a killed-and-resumed server
+//! re-serves acknowledged chunks, regenerating byte-identical ids. The
+//! *first* record parsed wins (pass files in server-before-client order),
+//! so a resumed run reports the same tree as an uninterrupted one.
+//!
+//! Text mode prints one critical-path line per chunk, attributing the
+//! client-observed latency to queue-wait / generate / checkpoint / deliver.
+//! `--format json` emits only derivation-deterministic content — ids,
+//! names, parent edges, chunk indices; never durations or thread ordinals
+//! — so two same-seed runs produce byte-identical reports (the CI check).
+
+use std::collections::BTreeMap;
+use svbr_obsv::event::push_json_string;
+use svbr_obsv::Event;
+
+/// One traced span as read from a JSONL file.
+#[derive(Debug, Clone)]
+struct SpanRec {
+    name: String,
+    trace: u64,
+    span: u64,
+    parent: u64,
+    dur_us: u64,
+    /// The `idx` span field (chunk index), when the span carries one.
+    idx: Option<u64>,
+}
+
+/// Everything known about one chunk's trace after stitching.
+#[derive(Debug)]
+struct ChunkTrace {
+    trace: u64,
+    idx: Option<u64>,
+    spans: Vec<SpanRec>,
+}
+
+impl ChunkTrace {
+    fn dur_of(&self, name: &str) -> Option<u64> {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_us)
+            .max()
+    }
+
+    fn sum_of(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_us)
+            .sum()
+    }
+
+    /// A chunk is two-sided when both the client pull span and the server
+    /// pull span made it into the stitched tree.
+    fn two_sided(&self) -> bool {
+        self.dur_of("loadgen.pull").is_some() && self.dur_of("serve.pull").is_some()
+    }
+}
+
+/// Load traced spans from every file, in argument order. Untraced spans
+/// (no trace context) and non-span events are skipped; a file that yields
+/// no parseable event at all is an error.
+fn load_spans(paths: &[String]) -> Result<Vec<SpanRec>, String> {
+    let mut out = Vec::new();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let mut events = 0usize;
+        for line in text.lines() {
+            let Some(ev) = Event::parse(line) else {
+                continue;
+            };
+            events += 1;
+            if let Event::Span {
+                name,
+                dur_us,
+                ctx,
+                fields,
+                ..
+            } = ev
+            {
+                if ctx.is_none() {
+                    continue;
+                }
+                let idx = fields
+                    .iter()
+                    .find(|(k, _)| k == "idx")
+                    .map(|&(_, v)| v as u64);
+                out.push(SpanRec {
+                    name,
+                    trace: ctx.trace_id,
+                    span: ctx.span_id,
+                    parent: ctx.parent,
+                    dur_us,
+                    idx,
+                });
+            }
+        }
+        if events == 0 {
+            return Err(format!(
+                "`{path}` is not a JSONL trace (no line parsed as an event)"
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Dedup by span id (first record wins) and group by trace id.
+fn stitch(spans: Vec<SpanRec>) -> Vec<ChunkTrace> {
+    let mut by_span: BTreeMap<u64, SpanRec> = BTreeMap::new();
+    for rec in spans {
+        by_span.entry(rec.span).or_insert(rec);
+    }
+    let mut by_trace: BTreeMap<u64, Vec<SpanRec>> = BTreeMap::new();
+    for rec in by_span.into_values() {
+        by_trace.entry(rec.trace).or_default().push(rec);
+    }
+    by_trace
+        .into_iter()
+        .map(|(trace, mut spans)| {
+            spans.sort_by(|a, b| a.name.cmp(&b.name).then(a.span.cmp(&b.span)));
+            let idx = spans.iter().find_map(|s| s.idx);
+            ChunkTrace { trace, idx, spans }
+        })
+        .collect()
+}
+
+/// The per-chunk critical-path table plus a summary head line.
+fn render_text(file_count: usize, traces: &[ChunkTrace]) -> String {
+    let span_count: usize = traces.iter().map(|t| t.spans.len()).sum();
+    let two_sided = traces.iter().filter(|t| t.two_sided()).count();
+    let mut out = format!(
+        "trace-report: {file_count} file(s), {span_count} span(s), {} chunk trace(s): \
+         {two_sided} two-sided, {} incomplete\n",
+        traces.len(),
+        traces.len() - two_sided,
+    );
+    // Stable human order: chunk index first, then trace id.
+    let mut order: Vec<&ChunkTrace> = traces.iter().collect();
+    order.sort_by_key(|t| (t.idx, t.trace));
+    for t in order {
+        let idx = t.idx.map_or_else(|| "?".to_string(), |i| i.to_string());
+        let client = t.dur_of("loadgen.pull");
+        let server = t.dur_of("serve.pull");
+        let queue = t.sum_of("serve.queue_wait");
+        let generate = t.sum_of("serve.generate");
+        let ckpt = t.sum_of("serve.ckpt");
+        let side = match (client, server) {
+            (Some(_), Some(_)) => "",
+            (Some(_), None) => " [client-only]",
+            (None, Some(_)) => " [server-only]",
+            (None, None) => " [worker-only]",
+        };
+        // Critical path: the client-observed pull, split into what the
+        // server accounts for and the delivery remainder.
+        let total = client.or(server).unwrap_or(0);
+        let deliver = match (client, server) {
+            (Some(c), Some(s)) => c.saturating_sub(s),
+            _ => 0,
+        };
+        out.push_str(&format!(
+            "  trace {:016x} idx {idx}: {total} us = queue-wait {queue} + generate {generate} \
+             + checkpoint {ckpt} + deliver {deliver}{side}\n",
+            t.trace,
+        ));
+    }
+    out
+}
+
+/// Deterministic JSON: ids, names, edges and chunk indices only — no
+/// durations, no thread ordinals, no file paths. Byte-identical across
+/// same-seed runs and across crash/resume.
+fn render_json(traces: &[ChunkTrace]) -> String {
+    let two_sided = traces.iter().filter(|t| t.two_sided()).count();
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "{{\n  \"chunks\": {},\n  \"two_sided\": {two_sided},\n  \"incomplete\": {},\n  \"traces\": [",
+        traces.len(),
+        traces.len() - two_sided,
+    ));
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"trace\": \"{:016x}\", \"idx\": ",
+            t.trace
+        ));
+        match t.idx {
+            Some(idx) => out.push_str(&idx.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"spans\": [");
+        for (j, s) in t.spans.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"name\": ");
+            push_json_string(&mut out, &s.name);
+            out.push_str(&format!(
+                ", \"span\": \"{:016x}\", \"parent\": \"{:016x}\"}}",
+                s.span, s.parent
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// `svbr-xtask trace-report [--format text|json] <trace.jsonl>...`
+pub fn report(paths: &[String], json: bool) -> i32 {
+    let spans = match load_spans(paths) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace-report: {e}");
+            return 1;
+        }
+    };
+    let traces = stitch(spans);
+    let body = if json {
+        render_json(&traces)
+    } else {
+        render_text(paths.len(), &traces)
+    };
+    // Best-effort write: a closed pipe must not panic.
+    use std::io::Write as _;
+    let _ = write!(std::io::stdout().lock(), "{body}");
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svbr_obsv::trace::{self, TraceCtx};
+
+    /// A serialized span line exactly as the production writer emits it.
+    fn span_line(name: &str, dur_us: u64, ctx: TraceCtx, idx: Option<u64>) -> String {
+        let ev = Event::Span {
+            name: name.to_string(),
+            start_us: 10,
+            dur_us,
+            tid: 0,
+            ctx,
+            fields: idx
+                .map(|i| ("idx".to_string(), i as f64))
+                .into_iter()
+                .collect(),
+        };
+        format!("{}\n", ev.to_jsonl())
+    }
+
+    /// The full two-sided span file set for one chunk: client pull, server
+    /// pull + queue-wait + checkpoint, worker chunk + generate.
+    fn chunk_files(seed: u64, idx: u64) -> (String, String) {
+        let tid = trace::chunk_trace_id(seed, idx);
+        let client = TraceCtx::for_chunk(seed, idx, trace::role::CLIENT_PULL);
+        let server =
+            TraceCtx::for_chunk(seed, idx, trace::role::SERVER_PULL).with_parent(client.span_id);
+        let queue = server.child(trace::role::QUEUE_WAIT);
+        let ckpt = TraceCtx {
+            trace_id: tid,
+            span_id: trace::span_id(tid, trace::role::CHECKPOINT, 0),
+            parent: server.span_id,
+        };
+        let worker =
+            TraceCtx::for_chunk(seed, idx, trace::role::WORKER_CHUNK).with_parent(server.span_id);
+        let generate = worker.child(trace::role::GENERATE);
+        let server_file = [
+            span_line("serve.queue_wait", 5, queue, None),
+            span_line("serve.pull", 40, server, Some(idx)),
+            span_line("serve.ckpt", 7, ckpt, Some(idx)),
+            span_line("serve.generate", 20, generate, None),
+            span_line("serve.chunk", 25, worker, Some(idx)),
+        ]
+        .concat();
+        let client_file = span_line("loadgen.pull", 100, client, Some(idx));
+        (server_file, client_file)
+    }
+
+    fn tmp_file(name: &str, content: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "svbr-trace-report-{}-{}-{name}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, content).expect("write fixture");
+        path
+    }
+
+    fn load_fixture(files: &[(&str, &str)]) -> Vec<ChunkTrace> {
+        let paths: Vec<std::path::PathBuf> = files
+            .iter()
+            .map(|(name, content)| tmp_file(name, content))
+            .collect();
+        let args: Vec<String> = paths
+            .iter()
+            .map(|p| p.to_string_lossy().into_owned())
+            .collect();
+        let spans = load_spans(&args).expect("fixture loads");
+        for p in paths {
+            std::fs::remove_file(&p).ok();
+        }
+        stitch(spans)
+    }
+
+    #[test]
+    fn stitches_client_and_server_spans_into_one_two_sided_tree() {
+        let (server, client) = chunk_files(42, 3);
+        let traces = load_fixture(&[("server.jsonl", &server), ("client.jsonl", &client)]);
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.trace, trace::chunk_trace_id(42, 3));
+        assert_eq!(t.idx, Some(3));
+        assert!(t.two_sided());
+        assert_eq!(t.spans.len(), 6);
+        // Parent edges survive the stitch: serve.pull hangs off the
+        // client span, the worker chunk hangs off serve.pull.
+        let by_name = |n: &str| t.spans.iter().find(|s| s.name == n).expect(n);
+        assert_eq!(by_name("serve.pull").parent, by_name("loadgen.pull").span);
+        assert_eq!(by_name("serve.chunk").parent, by_name("serve.pull").span);
+        assert_eq!(
+            by_name("serve.generate").parent,
+            by_name("serve.chunk").span
+        );
+
+        let text = render_text(2, &traces);
+        assert!(
+            text.contains("1 chunk trace(s): 1 two-sided, 0 incomplete"),
+            "{text}"
+        );
+        assert!(
+            text.contains("idx 3: 100 us = queue-wait 5 + generate 20 + checkpoint 7 + deliver 60"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn duplicate_span_ids_keep_the_first_record() {
+        // A resumed server re-serves a chunk: identical span ids, longer
+        // durations in the second incarnation's file. First record wins,
+        // so the stitched tree matches the uninterrupted run's.
+        let (server_a, client) = chunk_files(7, 0);
+        let server_b = server_a.replace("\"dur_us\":40", "\"dur_us\":4000");
+        assert_ne!(server_a, server_b);
+        let traces = load_fixture(&[
+            ("pre.jsonl", &server_a),
+            ("post.jsonl", &server_b),
+            ("client.jsonl", &client),
+        ]);
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].dur_of("serve.pull"), Some(40));
+        assert_eq!(traces[0].spans.len(), 6);
+    }
+
+    #[test]
+    fn json_report_is_deterministic_and_duration_free() {
+        let (s0, c0) = chunk_files(9, 0);
+        let (s1, c1) = chunk_files(9, 1);
+        let merged_sc = format!("{s0}{s1}");
+        let merged_cc = format!("{c0}{c1}");
+        let a = render_json(&load_fixture(&[
+            ("s.jsonl", &merged_sc),
+            ("c.jsonl", &merged_cc),
+        ]));
+        // Same spans, different file split and arrival order: same bytes.
+        let merged_all = format!("{c1}{s1}{c0}{s0}");
+        let b = render_json(&load_fixture(&[("all.jsonl", &merged_all)]));
+        assert_eq!(a, b);
+        assert!(a.contains("\"chunks\": 2"), "{a}");
+        assert!(a.contains("\"two_sided\": 2"), "{a}");
+        assert!(a.contains("\"incomplete\": 0"), "{a}");
+        assert!(!a.contains("dur"), "durations must not leak: {a}");
+        assert!(!a.contains("tid"), "thread ordinals must not leak: {a}");
+    }
+
+    #[test]
+    fn one_sided_chunks_are_counted_incomplete() {
+        let (server, client) = chunk_files(11, 0);
+        let (_, lonely_client) = chunk_files(11, 1);
+        let traces = load_fixture(&[
+            ("server.jsonl", &server),
+            ("client.jsonl", &format!("{client}{lonely_client}")),
+        ]);
+        assert_eq!(traces.len(), 2);
+        let text = render_text(2, &traces);
+        assert!(
+            text.contains("2 chunk trace(s): 1 two-sided, 1 incomplete"),
+            "{text}"
+        );
+        assert!(text.contains("[client-only]"), "{text}");
+        let json = render_json(&traces);
+        assert!(json.contains("\"incomplete\": 1"), "{json}");
+    }
+
+    #[test]
+    fn unreadable_and_eventless_files_are_one_line_errors() {
+        let err = load_spans(&["/nonexistent/trace.jsonl".to_string()]).expect_err("must fail");
+        assert!(err.starts_with("cannot read"), "{err}");
+        let garbage = tmp_file("garbage.jsonl", "not json at all\n");
+        let err = load_spans(&[garbage.to_string_lossy().into_owned()]).expect_err("must fail");
+        assert!(err.contains("not a JSONL trace"), "{err}");
+        assert!(!err.contains('\n'), "one-line error: {err}");
+        std::fs::remove_file(&garbage).ok();
+    }
+}
