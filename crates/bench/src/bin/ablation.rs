@@ -12,6 +12,12 @@
 //!    vs j=2): SRD-region residuals.
 //! 4. **TES baseline**: exact marginal, but geometric ACF — the gap the
 //!    unified model fills.
+//! 5. **Vectorized kernels** (DESIGN.md §5): for every lane-batched or
+//!    tabulated hot-path kernel, either an assertion that it is
+//!    bit-identical to the scalar reference, or the measured fidelity
+//!    cost — ACF-L2 delta and MAVAR-Hurst delta against a same-seed
+//!    scalar run. These numbers ARE the §5 ablation table; rerun this
+//!    binary to regenerate them.
 //!
 //! ```text
 //! cargo run -p svbr-bench --release --bin ablation
@@ -135,5 +141,225 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rmse(&r_tes),
         rmse(&r_comp)
     );
+
+    vectorization_ablation()?;
     Ok(())
+}
+
+/// Ablation 5: fidelity cost of the lane-batched / tabulated kernels.
+///
+/// Every kernel is either *asserted* bit-identical to its scalar
+/// reference, or its error is *measured* end-to-end: generate the same
+/// trace (same seed, same normal-variate sequence) through the scalar and
+/// the vectorized path, then compare sample-ACF L2 distance and the
+/// MAVAR Hurst estimate (Bregni) — an estimator that shares no code with
+/// the generation stack.
+fn vectorization_ablation() -> Result<(), Box<dyn std::error::Error>> {
+    use svbr::lrd::acf::FgnAcf;
+    use svbr::lrd::fft::{self, Complex};
+    use svbr::lrd::kernels;
+    use svbr::lrd::{fft_plan, DaviesHarte as Dh, HoskingSampler};
+    use svbr::marginal::{Gamma, TabulatedTransform};
+    use svbr::queue::lindley::{LindleyLanes, LindleyQueue, LANES};
+    use svbr::stats::{mavar_hurst, sample_acf_fft as acf_fft, MavarOptions};
+
+    const HURST: f64 = 0.9;
+    const SEED: u64 = 0x5eed;
+    let acf_l2 = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let mavar_opts = MavarOptions {
+        min_n: 4,
+        max_n: 1024,
+        points: 15,
+        min_terms: 50,
+    };
+
+    println!("\n=== ablation 5: vectorized kernels (DESIGN.md §5) ===");
+
+    // 5a. dot_rev + sum: lane-batched Hosking vs a same-seed scalar
+    // Durbin–Levinson reference (textbook loops, sequential sums).
+    let n = 16_384usize;
+    let fgn = FgnAcf::new(HURST)?;
+    let lane = {
+        let sampler = HoskingSampler::new(&fgn)?;
+        let mut rng = StdRng::seed_from_u64(SEED);
+        sampler.generate(n, &mut rng)?
+    };
+    let scalar = scalar_hosking(&fgn, n, SEED);
+    let max_dx = lane
+        .iter()
+        .zip(scalar.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    let acf_lane = acf_fft(&lane, 100)?;
+    let acf_scalar = acf_fft(&scalar, 100)?;
+    let h_lane = mavar_hurst(&lane, &mavar_opts)?.hurst;
+    let h_scalar = mavar_hurst(&scalar, &mavar_opts)?.hurst;
+    println!(
+        "dot_rev/sum (Hosking, H={HURST}, n={n}): max |Δx| = {:.3e}",
+        max_dx
+    );
+    println!(
+        "  ACF-L2 delta (lags 0..100) = {:.3e}   MAVAR-H: lane {:.4} vs scalar {:.4} (ΔH = {:+.2e})",
+        acf_l2(&acf_lane, &acf_scalar),
+        h_lane,
+        h_scalar,
+        h_lane - h_scalar
+    );
+    let phi_seq: f64 = (0..64).map(|j| 0.4 / (j + 1) as f64).sum();
+    let phi_vec: Vec<f64> = (0..64).map(|j| 0.4 / (j + 1) as f64).collect();
+    println!(
+        "  sum kernel on a φ-shaped vector: |Δ| = {:.3e}",
+        (kernels::sum(&phi_vec) - phi_seq).abs()
+    );
+
+    // 5b. reflect_update: elementwise, asserted bit-identical.
+    {
+        let prev: Vec<f64> = (0..65).map(|j| (j as f64 * 0.13).sin() * 0.5).collect();
+        let mut lanes_out = prev.clone();
+        kernels::reflect_update(&mut lanes_out, &prev, 0.37);
+        let textbook: Vec<f64> = (0..prev.len())
+            .map(|j| prev[j] - 0.37 * prev[prev.len() - 1 - j])
+            .collect();
+        assert_eq!(lanes_out, textbook);
+        println!("reflect_update: bit-identical to the textbook loop (asserted)");
+    }
+
+    // 5c. FftPlan: twiddles tabulated by the exact recurrence the
+    // unplanned butterfly runs — asserted bitwise-identical (and
+    // property-tested across sizes in svbr-lrd).
+    {
+        let plan = fft_plan(4096);
+        let mut rng = StdRng::seed_from_u64(SEED ^ 1);
+        let dh = Dh::new(FgnAcf::new(HURST)?, 4096)?;
+        let mut a: Vec<Complex> = dh
+            .generate(&mut rng)
+            .iter()
+            .map(|&x| Complex::real(x))
+            .collect();
+        let mut b = a.clone();
+        plan.fft(&mut a);
+        fft::fft(&mut b);
+        assert_eq!(a, b);
+        println!("FftPlan: bitwise-identical to the unplanned transform (asserted)");
+    }
+
+    // 5d. TabulatedTransform: the bracket-table inverse-CDF path vs the
+    // exact Φ→F⁻¹ composition, same Gaussian input.
+    {
+        let exact = GaussianTransform::new(Gamma::new(2.0, 1.5)?);
+        let tab = TabulatedTransform::new(GaussianTransform::new(Gamma::new(2.0, 1.5)?));
+        let dh = Dh::new(FgnAcf::new(HURST)?, 262_144)?;
+        let mut rng = StdRng::seed_from_u64(SEED ^ 2);
+        let xs = dh.generate(&mut rng);
+        let ys_exact = exact.apply_slice(&xs);
+        let ys_tab = tab.apply_slice(&xs);
+        let max_rel = ys_exact
+            .iter()
+            .zip(ys_tab.iter())
+            .map(|(e, t)| (e - t).abs() / e.abs().max(1e-12))
+            .fold(0.0f64, f64::max);
+        let ae = acf_fft(&ys_exact, 100)?;
+        let at = acf_fft(&ys_tab, 100)?;
+        let he = mavar_hurst(&ys_exact, &mavar_opts)?.hurst;
+        let ht = mavar_hurst(&ys_tab, &mavar_opts)?.hurst;
+        println!(
+            "TabulatedTransform (Gamma marginal, n=262144): max rel err = {:.3e}",
+            max_rel
+        );
+        println!(
+            "  ACF-L2 delta (lags 0..100) = {:.3e}   MAVAR-H: tab {:.4} vs exact {:.4} (ΔH = {:+.2e})",
+            acf_l2(&ae, &at),
+            ht,
+            he,
+            ht - he
+        );
+    }
+
+    // 5e. LindleyLanes: per-lane arithmetic identical to the scalar
+    // recursion — asserted bit-identical.
+    {
+        let dh = Dh::new(FgnAcf::new(HURST)?, 65_536)?;
+        let mut rng = StdRng::seed_from_u64(SEED ^ 3);
+        let arrivals: Vec<f64> = dh.generate(&mut rng).iter().map(|x| x + 3.0).collect();
+        let slot = arrivals.len() / LANES;
+        let paths: Vec<&[f64]> = arrivals.chunks_exact(slot).take(LANES).collect();
+        let mut lanes = LindleyLanes::new(3.2, LANES)?;
+        let batched = lanes.run_paths(&paths).to_vec();
+        let scalar: Vec<f64> = paths
+            .iter()
+            .map(|p| {
+                let mut q = LindleyQueue::new(3.2).expect("valid service rate");
+                q.run(p)
+            })
+            .collect();
+        assert_eq!(batched, scalar);
+        println!("LindleyLanes: bit-identical to the scalar Lindley recursion (asserted)");
+    }
+    Ok(())
+}
+
+/// Scalar Durbin–Levinson Hosking reference: textbook sequential loops in
+/// place of every lane-batched kernel, driven by the same polar-method
+/// normal sequence as [`svbr::lrd::HoskingSampler`] — so any trace
+/// difference is purely the kernels' float reassociation.
+fn scalar_hosking(acf: &dyn svbr::lrd::acf::Acf, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spare: Option<f64> = None;
+    let mut normal = |rng: &mut StdRng| -> f64 {
+        if let Some(z) = spare.take() {
+            return z;
+        }
+        loop {
+            let u: f64 = rand::Rng::gen_range(rng, -1.0..1.0);
+            let v: f64 = rand::Rng::gen_range(rng, -1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                spare = Some(v * f);
+                return u * f;
+            }
+        }
+    };
+    let mut r = vec![acf.r(0)];
+    let mut phi: Vec<f64> = Vec::new();
+    let mut var = 1.0f64;
+    let mut hist: Vec<f64> = Vec::new();
+    for k in 0..n {
+        let (mean, v) = if k == 0 {
+            (0.0, 1.0)
+        } else {
+            while r.len() <= k {
+                r.push(acf.r(r.len()));
+            }
+            let mut num = r[k];
+            for (j, p) in phi.iter().enumerate() {
+                num -= p * r[k - 1 - j];
+            }
+            let kappa = num / var;
+            assert!(
+                kappa.abs() < 1.0,
+                "fGn schedule must stay positive definite"
+            );
+            let prev = phi.clone();
+            for j in 0..prev.len() {
+                phi[j] = prev[j] - kappa * prev[prev.len() - 1 - j];
+            }
+            phi.push(kappa);
+            var *= 1.0 - kappa * kappa;
+            let mut mean = 0.0;
+            for (j, p) in phi.iter().enumerate() {
+                mean += p * hist[k - 1 - j];
+            }
+            (mean, var)
+        };
+        let z = normal(&mut rng);
+        hist.push(mean + v.sqrt() * z);
+    }
+    hist
 }

@@ -11,6 +11,7 @@ use svbr_lrd::acf::{
 };
 use svbr_lrd::cache::{davies_harte_cached, hosking_coefficients, CachedHosking};
 use svbr_lrd::davies_harte::{pd_project, DaviesHarte};
+use svbr_lrd::fft::Complex;
 use svbr_lrd::hosking::HoskingSampler;
 use svbr_marginal::transform::GaussianTransform;
 use svbr_marginal::BinnedEmpirical;
@@ -216,16 +217,29 @@ impl UnifiedFit {
         let transform = GaussianTransform::new(self.marginal.clone());
         let reps = opts.reps.max(1);
         let path_len = opts.path_len;
+        // Measurement buffers live in an arena across iterations: each
+        // iteration takes them warm, every replication reuses them in
+        // place (generate_into/apply_into are bit-identical to their
+        // allocating forms), and they return to the pool on the way out.
+        let mut arena: svbr_par::Arena<f64> = svbr_par::Arena::new();
+        let mut fft_arena: svbr_par::Arena<Complex> = svbr_par::Arena::new();
         self.refine_with(opts, |model, hi, _iter_no| {
             let dh = DaviesHarte::new_approx(model, path_len, 5e-2)?;
             let mut acc = vec![0.0; hi + 1];
+            let mut xs = arena.take(path_len);
+            let mut ys = arena.take(path_len);
+            let mut scratch = fft_arena.take(0);
             for _ in 0..reps {
-                let ys = transform.apply_slice(&dh.generate(rng));
+                dh.generate_into(rng, &mut xs, &mut scratch);
+                transform.apply_into(&xs, &mut ys);
                 let r = sample_acf_fft(&ys, hi)?;
                 for (slot, v) in acc.iter_mut().zip(r.iter()) {
                     *slot += v / reps as f64;
                 }
             }
+            arena.put(xs);
+            arena.put(ys);
+            fft_arena.put(scratch);
             Ok(acc)
         })
     }
@@ -251,16 +265,28 @@ impl UnifiedFit {
         let path_len = opts.path_len;
         self.refine_with(opts, |model, hi, iter_no| {
             let dh = davies_harte_cached(model, path_len, 5e-2)?;
-            let per_rep = svbr_par::run_replications(
-                svbr_par::derive_seed(master_seed, iter_no as u64),
-                reps,
-                threads,
-                |_rep, seed| {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let ys = transform.apply_slice(&dh.generate(&mut rng));
-                    sample_acf_fft(&ys, hi).map_err(CoreError::from)
-                },
-            );
+            let sub_seed = svbr_par::derive_seed(master_seed, iter_no as u64);
+            let per_rep = svbr_par::par_map_blocks(reps, threads, |range| {
+                // Per-worker arena: the generate/transform buffers warm up
+                // on the block's first replication and are reused in place
+                // for the rest — the seed schedule is exactly
+                // `run_replications`' (`derive_seed(sub_seed, rep)`), so
+                // the fold below stays bit-identical for any thread count.
+                let mut arena: svbr_par::Arena<f64> = svbr_par::Arena::new();
+                let mut fft_arena: svbr_par::Arena<Complex> = svbr_par::Arena::new();
+                let mut xs = arena.take(path_len);
+                let mut ys = arena.take(path_len);
+                let mut scratch = fft_arena.take(0);
+                let mut out = Vec::with_capacity(range.len());
+                for rep in range {
+                    let mut rng =
+                        StdRng::seed_from_u64(svbr_par::derive_seed(sub_seed, rep as u64));
+                    dh.generate_into(&mut rng, &mut xs, &mut scratch);
+                    transform.apply_into(&xs, &mut ys);
+                    out.push(sample_acf_fft(&ys, hi).map_err(CoreError::from));
+                }
+                out
+            });
             let mut acc = vec![0.0; hi + 1];
             for r in per_rep {
                 for (slot, v) in acc.iter_mut().zip(r?.iter()) {

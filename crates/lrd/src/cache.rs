@@ -26,13 +26,18 @@
 //! generation scheme that keeps the process footprint bounded without
 //! LRU bookkeeping on the hot path.
 //!
-//! Observability: `cache.hosking.{hit,miss,bypass}` and
-//! `cache.davies_harte.{hit,miss}` counters, plus `cache.hosking.bytes` /
-//! `cache.davies_harte.bytes` gauges tracking the resident footprint.
+//! Observability: `cache.hosking.{hit,miss,bypass}`,
+//! `cache.davies_harte.{hit,miss}`, and `cache.fft_plan.{hit,miss}`
+//! counters, plus `cache.hosking.bytes` / `cache.davies_harte.bytes` /
+//! `cache.fft_plan.bytes` gauges tracking the resident footprint.
+//!
+//! A third cache memoizes the [`FftPlan`] (twiddle tables + bit-reversal
+//! permutation) keyed by transform length alone, so every Davies–Harte
+//! setup and per-path transform at one length shares a single plan.
 
 use crate::acf::Acf;
 use crate::davies_harte::DaviesHarte;
-use crate::fft::next_power_of_two;
+use crate::fft::{next_power_of_two, FftPlan};
 use crate::hosking::PreparedHosking;
 use crate::LrdError;
 use std::collections::BTreeMap;
@@ -49,6 +54,11 @@ pub const HOSKING_CACHE_BYTES_CAP: usize = 192 << 20;
 /// Total resident cap for the Davies–Harte eigenvalue cache (entries are
 /// O(n) so this is generous).
 pub const DAVIES_HARTE_CACHE_BYTES_CAP: usize = 32 << 20;
+
+/// Total resident cap for the FFT-plan cache. Plans are keyed by transform
+/// length alone and cost ~48 bytes per point, so this holds every length
+/// the workloads in this repo touch simultaneously.
+pub const FFT_PLAN_CACHE_BYTES_CAP: usize = 8 << 20;
 
 /// Fingerprint the first `lags` autocorrelation values (exact f64 bit
 /// patterns, FNV-1a). Two ACFs agreeing bit-for-bit on every consumed lag
@@ -85,6 +95,7 @@ pub enum CachedHosking {
 // the key tuples are already `Ord`.
 type HoskingCache = Cache<(u64, usize), Arc<PreparedHosking>>;
 type DhCache = Cache<(u64, usize, u64), Arc<DaviesHarte>>;
+type PlanCache = Cache<usize, Arc<FftPlan>>;
 
 struct Cache<K: Ord, V> {
     map: BTreeMap<K, V>,
@@ -130,6 +141,11 @@ fn hosking_cache() -> &'static Mutex<HoskingCache> {
 
 fn dh_cache() -> &'static Mutex<DhCache> {
     static CACHE: OnceLock<Mutex<DhCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Cache::empty()))
+}
+
+fn plan_cache() -> &'static Mutex<PlanCache> {
+    static CACHE: OnceLock<Mutex<PlanCache>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(Cache::empty()))
 }
 
@@ -243,6 +259,41 @@ pub fn davies_harte_cached<A: Acf>(
     Ok(dh)
 }
 
+/// Look up (or build and insert) the [`FftPlan`] for transforms of length
+/// `n`. The plan is a pure function of the length, so every Davies–Harte
+/// setup, replication fan-out, and serve chunk generator targeting the same
+/// power of two shares one `Arc`'d table.
+///
+/// # Panics
+/// Panics if `n` is not a power of two (same contract as [`FftPlan::new`]).
+pub fn fft_plan(n: usize) -> Arc<FftPlan> {
+    {
+        let cache = plan_cache().lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(hit) = cache.map.get(&n) {
+            svbr_obsv::counter("cache.fft_plan.hit").add(1);
+            observe_lookup("fft_plan", "hit");
+            return Arc::clone(hit);
+        }
+    }
+    // Built outside the lock, like the other caches: planning is O(n) but
+    // a racing duplicate insert is harmless (identical tables).
+    svbr_obsv::counter("cache.fft_plan.miss").add(1);
+    observe_lookup("fft_plan", "miss");
+    let plan = Arc::new(FftPlan::new(n));
+    let bytes = plan.footprint_bytes();
+    let mut cache = plan_cache().lock().unwrap_or_else(PoisonError::into_inner);
+    let resident = insert_bounded(
+        &mut cache,
+        n,
+        Arc::clone(&plan),
+        bytes,
+        FFT_PLAN_CACHE_BYTES_CAP,
+        &svbr_obsv::counter("cache.fft_plan.evictions"),
+    );
+    svbr_obsv::gauge("cache.fft_plan.bytes").set(resident as f64);
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +372,27 @@ mod tests {
         let c = davies_harte_cached(&acf, 256, 1e-2)?;
         assert!(!Arc::ptr_eq(&a, &c));
         Ok(())
+    }
+
+    #[test]
+    fn fft_plan_cache_shares_and_matches_fresh_plan() {
+        let a = fft_plan(512);
+        let b = fft_plan(512);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert_eq!(a.len(), 512);
+        // The cached plan produces the same bits as a freshly built one.
+        let data: Vec<crate::fft::Complex> = (0..512)
+            .map(|i| crate::fft::Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let fresh = FftPlan::new(512);
+        let mut x = data.clone();
+        a.fft(&mut x);
+        let mut y = data;
+        fresh.fft(&mut y);
+        for (p, q) in x.iter().zip(y.iter()) {
+            assert_eq!(p.re.to_bits(), q.re.to_bits());
+            assert_eq!(p.im.to_bits(), q.im.to_bits());
+        }
     }
 
     #[test]

@@ -23,10 +23,11 @@
 //! `svbr-bench` (ablation: exact-slow vs exact-fast).
 
 use crate::acf::{Acf, TabulatedAcf};
-use crate::fft::{fft, ifft, next_power_of_two, Complex};
+use crate::fft::{fft, ifft, next_power_of_two, Complex, FftPlan};
 use crate::gauss::Normal;
 use crate::LrdError;
 use rand::Rng;
+use std::sync::Arc;
 
 /// A prepared Davies–Harte sampler: the eigenvalue square roots are
 /// precomputed once and each trace costs one FFT.
@@ -49,6 +50,9 @@ pub struct DaviesHarte {
     scale: Vec<f64>,
     /// Number of usable samples per generated path.
     n: usize,
+    /// Shared FFT plan for the length-`m` per-path transform (bitwise
+    /// identical to the unplanned transform; see [`FftPlan`]).
+    plan: Arc<FftPlan>,
 }
 
 impl DaviesHarte {
@@ -90,6 +94,7 @@ impl DaviesHarte {
             return Ok(Self {
                 scale: vec![1.0],
                 n,
+                plan: crate::cache::fft_plan(1),
             });
         }
         let m = next_power_of_two(2 * (n - 1)).max(2);
@@ -122,7 +127,11 @@ impl DaviesHarte {
             .iter()
             .map(|z| (z.re.max(0.0) / m as f64).sqrt())
             .collect();
-        Ok(Self { scale, n })
+        // The per-path transform reuses one shared plan for length m; the
+        // planned butterflies are bitwise-identical to the unplanned ones,
+        // so committed fixed-seed traces are unchanged.
+        let plan = crate::cache::fft_plan(m);
+        Ok(Self { scale, n, plan })
     }
 
     /// Number of samples each generated path contains.
@@ -137,6 +146,26 @@ impl DaviesHarte {
 
     /// Generate one exact sample path of length `n`.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.generate_into(rng, &mut out, &mut scratch);
+        out
+    }
+
+    /// Generate one exact sample path of length `n` into `out`, reusing
+    /// `scratch` for the length-`m` spectrum.
+    ///
+    /// Identical output (same values, same RNG consumption) to
+    /// [`Self::generate`]; once both buffers have been warmed to capacity —
+    /// `out` to `n`, `scratch` to the embedding length — repeated calls
+    /// allocate nothing, which is what the pipeline arenas thread through
+    /// replication fan-outs and the serve chunk generator.
+    pub fn generate_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+        scratch: &mut Vec<Complex>,
+    ) {
         let mut span = svbr_obsv::span("davies_harte.generate");
         span.field("n", self.n as f64);
         svbr_obsv::counter("lrd.davies_harte.samples").add(self.n as u64);
@@ -145,14 +174,18 @@ impl DaviesHarte {
                 .add(self.n as u64);
             svbr_obsv::record_tick(1);
         }
+        out.clear();
         if self.n == 1 {
             let mut g = Normal::new();
-            return vec![g.sample(rng)];
+            out.push(g.sample(rng));
+            return;
         }
         let m = self.scale.len();
         let half = m / 2;
         let mut g = Normal::new();
-        let mut spec = vec![Complex::default(); m];
+        scratch.clear();
+        scratch.resize(m, Complex::default());
+        let spec = &mut scratch[..];
         // Hermitian-symmetric Gaussian spectrum:
         //  - j = 0 and j = m/2: real N(0,1)
         //  - 0 < j < m/2: (N + iN)/√2, mirrored conjugate at m−j.
@@ -166,10 +199,10 @@ impl DaviesHarte {
             // svbr-analyze: allow(panic-surface) 1 <= j < half = m/2, so half < m-j <= m-1 < m
             spec[m - j] = Complex::new(self.scale[m - j] * a, -self.scale[m - j] * b);
         }
-        // One forward FFT of the Hermitian spectrum yields a real path.
-        fft(&mut spec);
-        spec.truncate(self.n);
-        spec.into_iter().map(|z| z.re).collect()
+        // One forward FFT of the Hermitian spectrum yields a real path; the
+        // shared plan is bitwise-identical to the unplanned transform.
+        self.plan.fft(spec);
+        out.extend(spec[..self.n].iter().map(|z| z.re));
     }
 
     /// Generate `paths` independent sample paths.
@@ -374,6 +407,26 @@ mod tests {
         let mut r1 = StdRng::seed_from_u64(5);
         let mut r2 = StdRng::seed_from_u64(5);
         assert_eq!(dh.generate(&mut r1), dh.generate(&mut r2));
+        Ok(())
+    }
+
+    #[test]
+    fn generate_into_is_bit_identical_to_generate() -> Result<(), Box<dyn std::error::Error>> {
+        let acf = FgnAcf::new(0.82)?;
+        let dh = DaviesHarte::new(acf, 300)?;
+        let mut r1 = StdRng::seed_from_u64(21);
+        let mut r2 = StdRng::seed_from_u64(21);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        // Two rounds through the same buffers: same bits as the allocating
+        // path each time, and the second round reuses warmed capacity.
+        for _ in 0..2 {
+            dh.generate_into(&mut r1, &mut out, &mut scratch);
+            let fresh = dh.generate(&mut r2);
+            assert_eq!(out, fresh);
+            let (out_cap, scratch_cap) = (out.capacity(), scratch.capacity());
+            assert!(out_cap >= 300 && scratch_cap >= 512);
+        }
         Ok(())
     }
 

@@ -100,11 +100,9 @@ pub fn ifft(data: &mut [Complex]) {
     }
 }
 
-fn transform(data: &mut [Complex], inverse: bool) {
-    let n = data.len();
-    assert!(is_power_of_two(n), "FFT length {n} is not a power of two");
-    // One counter bump + histogram record per transform (not per element);
-    // handles are resolved once so the per-call cost is two relaxed atomics.
+/// One counter bump + histogram record per transform (not per element);
+/// handles are resolved once so the per-call cost is two relaxed atomics.
+fn observe_transform(n: usize) {
     use std::sync::OnceLock;
     static FFT_CALLS: OnceLock<svbr_obsv::Counter> = OnceLock::new();
     static FFT_LEN: OnceLock<svbr_obsv::Histogram> = OnceLock::new();
@@ -114,6 +112,12 @@ fn transform(data: &mut [Complex], inverse: bool) {
     FFT_LEN
         .get_or_init(|| svbr_obsv::histogram("lrd.fft.len"))
         .record(n as u64);
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(is_power_of_two(n), "FFT length {n} is not a power of two");
+    observe_transform(n);
     if n <= 1 {
         return;
     }
@@ -151,6 +155,155 @@ fn transform(data: &mut [Complex], inverse: bool) {
             }
         }
         len <<= 1;
+    }
+}
+
+/// A precomputed plan for repeated FFTs of one fixed power-of-two length:
+/// the bit-reversal permutation (as swap pairs) and the per-stage twiddle
+/// factors, tabulated once and reused on every transform.
+///
+/// The twiddle tables are produced by running the *exact* recurrence the
+/// unplanned [`fft`]/[`ifft`] butterflies run (`w ← w · w_len` starting from
+/// `1`), so every planned butterfly multiplies by exactly the bits the
+/// unplanned path would have computed on the fly — planned output is
+/// **bitwise-identical** to the unplanned transform by construction (the
+/// property tests in this module prove it across sizes 2⁴..2¹⁴). This is
+/// what lets the Davies–Harte generator adopt the plan without perturbing
+/// any committed fixed-seed trace.
+///
+/// A plan for length `n` holds `n − 1` twiddles per direction plus at most
+/// `n` swap pairs — a few hundred KiB even at the longest horizons in this
+/// repo — and is itself cached process-wide by
+/// [`crate::cache::fft_plan`] alongside the eigenvalue cache.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal swaps `(i, j)` with `i < j`, so each pair swaps once.
+    swaps: Vec<(u32, u32)>,
+    /// Stage-major forward twiddles: stage `len = 2, 4, …, n` contributes
+    /// `len/2` entries, `n − 1` total.
+    fwd: Vec<Complex>,
+    /// Inverse-sign twiddles, same layout.
+    inv: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Build a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two (same contract as [`fft`]).
+    pub fn new(n: usize) -> Self {
+        assert!(is_power_of_two(n), "FFT length {n} is not a power of two");
+        let mut swaps = Vec::new();
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                swaps.push((i as u32, j as u32));
+            }
+        }
+        Self {
+            n,
+            swaps,
+            fwd: Self::twiddles(n, false),
+            inv: Self::twiddles(n, true),
+        }
+    }
+
+    /// Tabulate per-stage twiddles with the same `w ← w · w_len` recurrence
+    /// the unplanned transform runs, preserving its exact rounding.
+    fn twiddles(n: usize, inverse: bool) -> Vec<Complex> {
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut tw = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2usize;
+        while len <= n {
+            let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+            let wlen = Complex::new(ang.cos(), ang.sin());
+            let mut w = Complex::real(1.0);
+            for _ in 0..len / 2 {
+                tw.push(w);
+                w = w * wlen;
+            }
+            len <<= 1;
+        }
+        tw
+    }
+
+    /// Transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (plans are built for length ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Resident bytes of the tabulated state (for cache accounting).
+    pub fn footprint_bytes(&self) -> usize {
+        self.swaps.len() * std::mem::size_of::<(u32, u32)>()
+            + (self.fwd.len() + self.inv.len()) * std::mem::size_of::<Complex>()
+    }
+
+    /// In-place forward FFT using the precomputed tables. Bitwise-identical
+    /// to [`fft`].
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn fft(&self, data: &mut [Complex]) {
+        self.run(data, &self.fwd);
+    }
+
+    /// In-place inverse FFT (including the `1/n` normalization) using the
+    /// precomputed tables. Bitwise-identical to [`ifft`].
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn ifft(&self, data: &mut [Complex]) {
+        self.run(data, &self.inv);
+        let scale = 1.0 / data.len() as f64;
+        for z in data.iter_mut() {
+            z.re *= scale;
+            z.im *= scale;
+        }
+    }
+
+    fn run(&self, data: &mut [Complex], tw: &[Complex]) {
+        let n = data.len();
+        assert_eq!(
+            n, self.n,
+            "plan is for length {}, data has length {n}",
+            self.n
+        );
+        observe_transform(n);
+        if n <= 1 {
+            return;
+        }
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+        let mut len = 2usize;
+        let mut off = 0usize;
+        while len <= n {
+            // svbr-analyze: allow(panic-surface) stage-major layout: Σ len/2 over len = 2,4,..,n is exactly tw.len() = n-1, so off+len/2 <= tw.len()
+            let stage = &tw[off..off + len / 2];
+            for chunk in data.chunks_exact_mut(len) {
+                let (lo, hi) = chunk.split_at_mut(len / 2);
+                for ((x, y), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
+                    let u = *x;
+                    let v = *y * w;
+                    *x = u + v;
+                    *y = u - v;
+                }
+            }
+            off += len / 2;
+            len <<= 1;
+        }
     }
 }
 
@@ -326,6 +479,59 @@ mod tests {
         assert_eq!(spec.len(), 8);
         assert_close(spec[0].re, 6.0, 1e-12);
     }
+
+    #[test]
+    fn planned_fft_is_bitwise_identical_to_unplanned() {
+        for log_n in 0usize..=8 {
+            let n = 1usize << log_n;
+            let orig: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+                .collect();
+            let plan = FftPlan::new(n);
+            assert_eq!(plan.len(), n);
+            assert!(!plan.is_empty());
+
+            let mut unplanned = orig.clone();
+            fft(&mut unplanned);
+            let mut planned = orig.clone();
+            plan.fft(&mut planned);
+            for (i, (a, b)) in planned.iter().zip(unplanned.iter()).enumerate() {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "fft n={n} re[{i}]");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "fft n={n} im[{i}]");
+            }
+
+            let mut unplanned = orig.clone();
+            ifft(&mut unplanned);
+            let mut planned = orig.clone();
+            plan.ifft(&mut planned);
+            for (i, (a, b)) in planned.iter().zip(unplanned.iter()).enumerate() {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "ifft n={n} re[{i}]");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "ifft n={n} im[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_footprint_is_linear_in_length() {
+        let p = FftPlan::new(1024);
+        // 2 × (n − 1) complex twiddles plus at most n swap pairs.
+        assert!(p.footprint_bytes() >= 2 * 1023 * 16);
+        assert!(p.footprint_bytes() <= 2 * 1023 * 16 + 1024 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn plan_rejects_non_power_of_two() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan is for length")]
+    fn plan_rejects_mismatched_length() {
+        let plan = FftPlan::new(8);
+        let mut data = vec![Complex::default(); 16];
+        plan.fft(&mut data);
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +581,63 @@ mod proptests {
             for i in 0..n {
                 prop_assert!((combo[i].re - (fa[i].re + c * fb[i].re)).abs() < 1e-8);
                 prop_assert!((combo[i].im - (fa[i].im + c * fb[i].im)).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn planned_transform_is_bitwise_identical(log_n in 4usize..15, seed in 0u64..1000) {
+            // Satellite coverage: across sizes 2^4..2^14 the planned path
+            // must reproduce the unplanned transform to the last bit, both
+            // directions, on arbitrary data.
+            let n = 1usize << log_n;
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(0x2545f4914f6cdd1d);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            };
+            let orig: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+            let plan = FftPlan::new(n);
+
+            let mut unplanned = orig.clone();
+            fft(&mut unplanned);
+            let mut planned = orig.clone();
+            plan.fft(&mut planned);
+            for (a, b) in planned.iter().zip(unplanned.iter()) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+
+            ifft(&mut unplanned);
+            plan.ifft(&mut planned);
+            for (a, b) in planned.iter().zip(unplanned.iter()) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+
+        #[test]
+        fn planned_roundtrip_error_is_bounded(log_n in 4usize..15, seed in 0u64..1000) {
+            // forward→inverse through the plan must return the input within
+            // an O(log n · ε) bound on the data scale (|x| ≤ 0.5 here).
+            let n = 1usize << log_n;
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            };
+            let orig: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+            let plan = FftPlan::new(n);
+            let mut x = orig.clone();
+            plan.fft(&mut x);
+            plan.ifft(&mut x);
+            let bound = 1e-13 * (log_n as f64 + 1.0);
+            for (a, b) in x.iter().zip(orig.iter()) {
+                prop_assert!((a.re - b.re).abs() < bound, "re err {}", (a.re - b.re).abs());
+                prop_assert!((a.im - b.im).abs() < bound, "im err {}", (a.im - b.im).abs());
             }
         }
 

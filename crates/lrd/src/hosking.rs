@@ -25,6 +25,7 @@
 
 use crate::acf::{Acf, TabulatedAcf};
 use crate::gauss::Normal;
+use crate::kernels;
 use crate::LrdError;
 use rand::Rng;
 use svbr_domain::{Correlation, SvbrError};
@@ -281,12 +282,12 @@ impl<A: Acf> HoskingSampler<A> {
             }
         } else {
             if self.frozen_at.is_none() {
-                // Numerator: r(k) − Σ_{j=1}^{k−1} φ_{k−1,j}·r(k−j)
-                let mut num = self.r_at(k);
-                for j in 1..k {
-                    // svbr-analyze: allow(panic-surface) 1 <= j < k and phi.len() == k-1, so j-1 is in bounds
-                    num -= self.phi[j - 1] * self.r_at(k - j);
-                }
+                // Numerator: r(k) − Σ_{j=1}^{k−1} φ_{k−1,j}·r(k−j), as a
+                // lane-batched reversed dot over the ACF cache. `r_at(k)`
+                // extends the cache through index k first, so the slice
+                // `r[1..k]` (length k−1 == phi.len()) is fully populated.
+                let rk = self.r_at(k);
+                let num = rk - kernels::dot_rev(&self.phi, &self.r[1..k]);
                 let kappa = num / self.v;
                 if kappa.abs() >= 1.0 {
                     match self.policy {
@@ -298,13 +299,11 @@ impl<A: Acf> HoskingSampler<A> {
                         }
                     }
                 } else {
-                    // φ_{k,j} = φ_{k−1,j} − κ·φ_{k−1,k−j}
+                    // φ_{k,j} = φ_{k−1,j} − κ·φ_{k−1,k−j} — elementwise, so
+                    // the kernel is bit-identical to the textbook loop.
                     self.phi_prev.clear();
                     self.phi_prev.extend_from_slice(&self.phi);
-                    for j in 1..k {
-                        // svbr-analyze: allow(panic-surface) 1 <= j < k with phi/phi_prev of len k-1: j-1, k-j-1 in 0..k-1
-                        self.phi[j - 1] = self.phi_prev[j - 1] - kappa * self.phi_prev[k - j - 1];
-                    }
+                    kernels::reflect_update(&mut self.phi, &self.phi_prev, kappa);
                     self.phi.push(kappa);
                     let prev_v = self.v;
                     self.v *= 1.0 - kappa * kappa;
@@ -323,19 +322,14 @@ impl<A: Acf> HoskingSampler<A> {
                 }
             }
             // Frozen or not, the moments come from the current coefficient
-            // vector regressing on the most recent phi.len() values.
-            let p = self.phi.len();
-            let mut mean = 0.0;
-            let mut phi_sum = 0.0;
-            for j in 1..=p {
-                // svbr-analyze: allow(panic-surface) 1 <= j <= p == phi.len() and p <= k <= history.len()
-                mean += self.phi[j - 1] * self.history[k - j];
-                phi_sum += self.phi[j - 1]; // svbr-analyze: allow(panic-surface) same bound: j-1 < p == phi.len()
-            }
+            // vector regressing on the most recent phi.len() values —
+            // the same lane-batched kernel every other consumer uses, so
+            // prepared/streaming/resumed paths agree bit-for-bit.
+            debug_assert!(self.phi.len() <= self.history.len());
             CondMoments {
-                mean,
+                mean: kernels::dot_rev(&self.phi, &self.history),
                 var: self.v,
-                phi_sum,
+                phi_sum: kernels::sum(&self.phi),
             }
         };
         self.pending = Some(m);
@@ -410,6 +404,7 @@ impl<A: Acf> HoskingSampler<A> {
             if !k.is_multiple_of(PROGRESS_CHUNK) {
                 continue;
             }
+            // svbr-analyze: allow(alloc-in-hot-loop) amortized: telemetry path only, once per PROGRESS_CHUNK samples, capacity <= 4 fields
             let mut fields = vec![("k", k as f64), ("innovation_variance", self.v)];
             if let Some(h) = hurst.estimate() {
                 fields.push(("running_hurst", h));
@@ -580,6 +575,7 @@ pub fn regularize_to_pd<A: Acf>(acf: A, n: usize) -> Result<(TabulatedAcf, f64),
     let mut shrink = 0.0_f64;
     loop {
         let rho = 1.0 - shrink;
+        // svbr-analyze: allow(alloc-in-hot-loop) one-time setup: a handful of shrink attempts at table preparation, never on the per-sample path
         let table: Vec<f64> = (0..n).map(|k| acf.r(k) * rho.powi(k as i32)).collect();
         let attempt = TabulatedAcf::new(table.clone()).and_then(|t| {
             let mut s = HoskingSampler::new(&t)?;
@@ -664,14 +660,10 @@ impl PreparedHosking {
     pub fn moments(&self, k: usize, history: &[f64]) -> CondMoments {
         let row = &self.rows[k];
         assert!(history.len() >= k, "need k history values");
-        let mut mean = 0.0;
-        let h = history.len();
-        for (j, &phi) in row.iter().enumerate() {
-            // svbr-analyze: allow(panic-surface) j < row.len() == k <= h (asserted above), so h-1-j in 0..h
-            mean += phi * history[h - 1 - j];
-        }
+        // Same kernel as the incremental sampler: row.len() == k <= history
+        // length, so the reversed window reads the most recent k values.
         CondMoments {
-            mean,
+            mean: kernels::dot_rev(row, history),
             var: self.v[k],
             phi_sum: self.phi_sum[k],
         }
@@ -732,7 +724,7 @@ impl TruncatedHosking {
             let _ = s.next_moments()?;
             s.push(0.0);
         }
-        let frozen_phi_sum = s.phi.iter().sum();
+        let frozen_phi_sum = kernels::sum(&s.phi);
         Ok(Self {
             coeffs: s.phi,
             frozen_var: s.v,
@@ -776,12 +768,10 @@ impl TruncatedHosking {
         // M, leaving fewer than `memory` coefficients — regress on however
         // many are actually frozen.
         let m = self.coeffs.len().min(self.memory);
-        for k in warm..n {
-            let mut mean = 0.0;
-            for j in 1..=m {
-                // svbr-analyze: allow(panic-surface) 1 <= j <= m <= coeffs.len() and m <= warm <= k < xs.len()
-                mean += self.coeffs[j - 1] * xs[k - j];
-            }
+        let coeffs = &self.coeffs[..m];
+        for _ in warm..n {
+            // xs.len() >= warm > m, so the reversed window is in bounds.
+            let mean = kernels::dot_rev(coeffs, &xs);
             xs.push(normal.sample_with(rng, mean, self.frozen_var));
         }
         Ok(xs)

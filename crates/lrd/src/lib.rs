@@ -21,7 +21,12 @@
 //!   sample-independent precomputations (Hosking's Durbin–Levinson
 //!   coefficient schedule, the Davies–Harte eigenvalue vector), memory
 //!   capped with a documented fallback to the streaming recursion.
-//! * [`fft`] — a self-contained radix-2 complex FFT (no external deps).
+//! * [`fft`] — a self-contained radix-2 complex FFT (no external deps),
+//!   with a precomputed [`fft::FftPlan`] (twiddles + bit-reversal) for
+//!   repeated same-length transforms.
+//! * [`kernels`] — lane-batched (4-accumulator) dot-product kernels shared
+//!   by every Durbin–Levinson consumer, with documented per-kernel
+//!   bit-identity decisions.
 //! * [`farima`] — FARIMA(0,d,0) and FARIMA(p,d,q) generators.
 //! * [`fbm`] — fractional Brownian motion (the cumulative view) and the
 //!   aggregation identities behind the variance-time method.
@@ -50,6 +55,7 @@ pub mod fbm;
 pub mod fft;
 pub mod gauss;
 pub mod hosking;
+pub mod kernels;
 pub mod markov;
 pub mod mg_inf;
 pub mod tes;
@@ -57,8 +63,11 @@ pub mod tes;
 pub use acf::{
     Acf, CompositeAcf, ExponentialAcf, FarimaAcf, FgnAcf, LagScaledAcf, PowerLawAcf, ScaledAcf,
 };
-pub use cache::{acf_fingerprint, davies_harte_cached, hosking_coefficients, CachedHosking};
+pub use cache::{
+    acf_fingerprint, davies_harte_cached, fft_plan, hosking_coefficients, CachedHosking,
+};
 pub use davies_harte::{pd_project, DaviesHarte};
+pub use fft::FftPlan;
 pub use hosking::{
     regularize_to_pd, HoskingSampler, HoskingStep, NonPdPolicy, PreparedHosking, TruncatedHosking,
 };

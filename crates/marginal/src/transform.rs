@@ -64,6 +64,14 @@ impl<M: Marginal> GaussianTransform<M> {
         xs.iter().map(|&x| self.apply(x)).collect()
     }
 
+    /// Apply the transform to a whole background path into `out` (cleared
+    /// first). Identical values to [`Self::apply_slice`]; allocation-free
+    /// once `out` has capacity, which is what the pipeline arenas rely on.
+    pub fn apply_into(&self, xs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.apply(x)));
+    }
+
     /// The theoretical attenuation factor of this transform (Appendix A).
     pub fn attenuation(&self, quad_points: usize) -> f64 {
         attenuation_factor(&self.target, quad_points)

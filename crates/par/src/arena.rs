@@ -1,0 +1,116 @@
+//! Reusable buffer arena for replication fan-outs and chunk pipelines.
+//!
+//! The hot loops of this workspace (attenuation-refinement measurement
+//! replications, Monte-Carlo overflow replications, serve chunk
+//! generation) all follow the same shape: a steady-state loop that fills,
+//! consumes and discards same-sized `Vec` buffers. [`Arena`] makes the
+//! discard step a return-to-pool instead of a deallocation, so after a
+//! warm-up pass the loop body performs **zero heap allocation** — the
+//! property the serve crate's counting-allocator test pins down.
+//!
+//! The arena is deliberately minimal: a LIFO free list of `Vec<T>` with
+//! explicit [`Arena::take`]/[`Arena::put`] discipline and no interior
+//! mutability — each worker thread owns its own arena (the same ownership
+//! story as the rest of this crate: workers share nothing mutable).
+//! Buffers come back cleared but with their capacity intact; `take`
+//! reserves the requested capacity, which is a no-op once the pool has
+//! warmed up to the steady-state buffer size.
+//!
+//! Observability: `par.arena.reuse` / `par.arena.alloc` count pool hits
+//! and cold allocations (see DESIGN.md §7b).
+
+/// A LIFO pool of reusable `Vec<T>` buffers. See the [module
+/// docs](self) for the usage discipline.
+#[derive(Debug, Default)]
+pub struct Arena<T> {
+    free: Vec<Vec<T>>,
+}
+
+impl<T> Arena<T> {
+    /// An empty arena (no buffers pooled; the first `take`s allocate).
+    pub const fn new() -> Self {
+        Self { free: Vec::new() }
+    }
+
+    /// Take a cleared buffer with at least `capacity` slots reserved.
+    ///
+    /// Pops the most recently returned buffer when one is pooled (its
+    /// existing capacity is kept — growing to `capacity` is a no-op in
+    /// steady state), otherwise allocates fresh.
+    pub fn take(&mut self, capacity: usize) -> Vec<T> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                svbr_obsv::counter("par.arena.reuse").inc();
+                buf.clear();
+                buf.reserve(capacity);
+                buf
+            }
+            None => {
+                svbr_obsv::counter("par.arena.alloc").inc();
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Return a buffer to the pool. Contents are dropped lazily on the
+    /// next `take` (via `clear`), so `put` itself never runs element
+    /// destructors early; zero-capacity buffers are not pooled.
+    pub fn put(&mut self, buf: Vec<T>) {
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_capacity() {
+        let mut arena: Arena<f64> = Arena::new();
+        let mut a = arena.take(100);
+        a.resize(100, 1.0);
+        let cap = a.capacity();
+        let ptr = a.as_ptr();
+        arena.put(a);
+        assert_eq!(arena.pooled(), 1);
+        let b = arena.take(50);
+        assert!(b.is_empty(), "reused buffer must come back cleared");
+        assert_eq!(b.capacity(), cap, "capacity survives the pool");
+        assert_eq!(b.as_ptr(), ptr, "same allocation, not a new one");
+        assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn take_grows_small_buffers_to_the_request() {
+        let mut arena: Arena<u8> = Arena::new();
+        arena.put(Vec::with_capacity(4));
+        let b = arena.take(64);
+        assert!(b.capacity() >= 64);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_pooled() {
+        let mut arena: Arena<u8> = Arena::new();
+        arena.put(Vec::new());
+        assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn lifo_order_keeps_the_hot_buffer_hot() {
+        let mut arena: Arena<u32> = Arena::new();
+        let a = arena.take(8);
+        let b = arena.take(16);
+        let b_ptr = b.as_ptr();
+        arena.put(a);
+        arena.put(b);
+        let hot = arena.take(1);
+        assert_eq!(hot.as_ptr(), b_ptr, "LIFO: last put, first out");
+    }
+}

@@ -32,6 +32,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+
+pub use arena::Arena;
+
 use std::ops::Range;
 
 /// The SplitMix64 stream increment (odd, ≈ 2⁶⁴/φ): consecutive replication

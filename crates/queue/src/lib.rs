@@ -43,8 +43,8 @@ pub mod transient;
 
 pub use batch_means::{batch_means, BatchMeansEstimate};
 pub use lindley::{
-    first_passage_slot, queue_exceeds, queue_path, sup_workload, validate_arrivals, LindleyQueue,
-    QueueStats,
+    first_passage_lanes, first_passage_lanes_into, first_passage_slot, queue_exceeds, queue_path,
+    sup_workload, validate_arrivals, LindleyLanes, LindleyQueue, QueueStats,
 };
 pub use mc::{estimate_overflow, estimate_overflow_seeded, tail_curve_from_path, McEstimate};
 pub use mux::Mux;

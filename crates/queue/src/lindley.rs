@@ -69,7 +69,182 @@ impl LindleyQueue {
     }
 }
 
-/// Streaming summary of a queue-level path: maximum depth, busy-period
+/// Number of independent replications the struct-of-arrays Lindley kernel
+/// advances per slot group. Matches the accumulator-lane count of the
+/// `svbr-lrd` Durbin–Levinson kernels: four f64 lanes fill one AVX2
+/// register.
+pub const LANES: usize = 4;
+
+/// `k` independent Lindley queues advanced in struct-of-arrays lanes.
+///
+/// The scalar [`LindleyQueue`] recursion `Q ← ⟨Q + y − μ⟩⁺` is a serial
+/// dependency chain — each slot's add/max must retire before the next
+/// starts, so a single queue is latency-bound no matter how wide the
+/// machine is. Replicated experiments run many *independent* queues,
+/// though, and advancing `k` of them per slot turns the chain into `k`
+/// independent chains that pipeline and vectorize.
+///
+/// **Bit-identity decision (DESIGN.md §5):** each lane performs exactly
+/// the scalar recursion in the scalar order — lanes never mix — so every
+/// lane's levels are bit-identical to a [`LindleyQueue`] fed the same
+/// arrivals. No tolerance entry needed.
+///
+/// ```
+/// use svbr_queue::lindley::LindleyLanes;
+///
+/// let mut lanes = LindleyLanes::new(2.0, 2).unwrap();
+/// // One slot for two replications: arrivals 5 and 1.
+/// assert_eq!(lanes.step(&[5.0, 1.0]), &[3.0, 0.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LindleyLanes {
+    service: f64,
+    q: Vec<f64>,
+}
+
+impl LindleyLanes {
+    /// `k` empty queues with common service rate `μ > 0`.
+    pub fn new(service: f64, lanes: usize) -> Result<Self, QueueError> {
+        if lanes == 0 {
+            return Err(QueueError::InvalidParameter {
+                name: "lanes",
+                constraint: "lanes >= 1",
+            });
+        }
+        // Reuse the scalar validation for the service rate.
+        LindleyQueue::new(service)?;
+        Ok(Self {
+            service,
+            q: vec![0.0; lanes],
+        })
+    }
+
+    /// Number of lanes (independent replications).
+    pub fn lanes(&self) -> usize {
+        self.q.len()
+    }
+
+    /// The common service rate μ.
+    pub fn service(&self) -> f64 {
+        self.service
+    }
+
+    /// Current per-lane queue levels.
+    pub fn levels(&self) -> &[f64] {
+        &self.q
+    }
+
+    /// Apply one slot to every lane: `Q_l ← ⟨Q_l + y_l − μ⟩⁺`. The
+    /// elementwise loop carries no cross-lane dependency, so it
+    /// auto-vectorizes.
+    ///
+    /// # Panics
+    /// Panics if `arrivals.len()` differs from the lane count.
+    pub fn step(&mut self, arrivals: &[f64]) -> &[f64] {
+        assert_eq!(
+            arrivals.len(),
+            self.q.len(),
+            "one arrival per lane required"
+        );
+        let mu = self.service;
+        for (q, &y) in self.q.iter_mut().zip(arrivals.iter()) {
+            *q = (*q + y - mu).max(0.0);
+        }
+        &self.q
+    }
+
+    /// Run a slot-major interleaved arrival block: `arrivals[s·k + l]` is
+    /// slot `s` of lane `l`. Returns the final per-lane levels.
+    ///
+    /// # Panics
+    /// Panics if `arrivals.len()` is not a multiple of the lane count.
+    pub fn run_interleaved(&mut self, arrivals: &[f64]) -> &[f64] {
+        let k = self.q.len();
+        assert!(
+            arrivals.len().is_multiple_of(k),
+            "interleaved block must hold whole slots"
+        );
+        for slot in arrivals.chunks_exact(k) {
+            self.step(slot);
+        }
+        &self.q
+    }
+
+    /// Run `k` separate per-lane arrival paths (all the same length).
+    /// Slot-major over the lanes, so the memory walk is `k` parallel
+    /// streams. Returns the final per-lane levels.
+    ///
+    /// # Panics
+    /// Panics if `paths.len()` differs from the lane count or the paths
+    /// have unequal lengths.
+    pub fn run_paths(&mut self, paths: &[&[f64]]) -> &[f64] {
+        let k = self.q.len();
+        assert_eq!(paths.len(), k, "one path per lane required");
+        let n = paths.first().map_or(0, |p| p.len());
+        assert!(
+            paths.iter().all(|p| p.len() == n),
+            "lane paths must have equal length"
+        );
+        let mu = self.service;
+        for s in 0..n {
+            for (q, p) in self.q.iter_mut().zip(paths.iter()) {
+                *q = (*q + p[s] - mu).max(0.0);
+            }
+        }
+        &self.q
+    }
+}
+
+/// Lane-batched form of [`first_passage_slot`]: the first crossing slot of
+/// each path in `paths`, advanced slot-major so the per-lane workload
+/// accumulators are independent dependency chains.
+///
+/// Each lane runs exactly the scalar recursion in the scalar order, so
+/// `out[l] == first_passage_slot(paths[l], service, b)` bit-for-bit; this
+/// is what lets `svbr-par` replication fan-outs feed one batched kernel
+/// without perturbing any seeded estimate. Early-exits once every lane has
+/// crossed.
+pub fn first_passage_lanes(paths: &[&[f64]], service: f64, b: f64) -> Vec<Option<usize>> {
+    let mut out = vec![None; paths.len()];
+    first_passage_lanes_into(paths, service, b, &mut out);
+    out
+}
+
+/// Allocation-free form of [`first_passage_lanes`]: results land in `out`
+/// (`out[l] == first_passage_slot(paths[l], service, b)`). Lanes are
+/// processed in groups of [`LANES`] with stack-resident workload
+/// accumulators, so replication fan-outs can reuse one output buffer across
+/// groups.
+///
+/// # Panics
+/// Panics if `out.len()` differs from `paths.len()`.
+pub fn first_passage_lanes_into(paths: &[&[f64]], service: f64, b: f64, out: &mut [Option<usize>]) {
+    assert_eq!(paths.len(), out.len(), "one output slot per lane required");
+    for (group, group_out) in paths.chunks(LANES).zip(out.chunks_mut(LANES)) {
+        let mut w = [0.0f64; LANES];
+        let max_len = group.iter().map(|p| p.len()).max().unwrap_or(0);
+        let mut remaining = group.len();
+        group_out.fill(None);
+        for s in 0..max_len {
+            if remaining == 0 {
+                break;
+            }
+            for (l, (slot, path)) in group_out.iter_mut().zip(group.iter()).enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                let Some(&y) = path.get(s) else {
+                    continue;
+                };
+                w[l] += y - service;
+                if w[l] > b {
+                    *slot = Some(s + 1);
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+}
 /// count and lengths. Feed it every level produced by
 /// [`LindleyQueue::step`]; O(1) state, no allocation.
 ///
@@ -277,6 +452,91 @@ mod tests {
         assert!(LindleyQueue::new(0.0).is_err());
         assert!(LindleyQueue::new(f64::NAN).is_err());
         assert!(LindleyQueue::with_initial(1.0, -1.0).is_err());
+    }
+
+    /// Deterministic pseudo-random arrivals for lane/scalar comparisons.
+    fn pseudo_path(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 6.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lanes_are_bit_identical_to_scalar_queues() -> Result<(), Box<dyn std::error::Error>> {
+        let mu = 2.7;
+        let n = 500;
+        let paths: Vec<Vec<f64>> = (0..LANES as u64 + 1).map(|s| pseudo_path(s, n)).collect();
+        let refs: Vec<&[f64]> = paths.iter().map(Vec::as_slice).collect();
+        let mut lanes = LindleyLanes::new(mu, refs.len())?;
+        assert_eq!(lanes.lanes(), refs.len());
+        assert_eq!(lanes.service(), mu);
+        let finals = lanes.run_paths(&refs).to_vec();
+        for (l, path) in paths.iter().enumerate() {
+            let mut scalar = LindleyQueue::new(mu)?;
+            let want = scalar.run(path);
+            assert_eq!(finals[l].to_bits(), want.to_bits(), "lane {l}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn interleaved_run_matches_per_slot_steps() -> Result<(), Box<dyn std::error::Error>> {
+        let mu = 1.5;
+        // Two lanes, three slots, slot-major: (5,1), (0,4), (2,0).
+        let block = [5.0, 1.0, 0.0, 4.0, 2.0, 0.0];
+        let mut a = LindleyLanes::new(mu, 2)?;
+        a.run_interleaved(&block);
+        let mut b = LindleyLanes::new(mu, 2)?;
+        b.step(&[5.0, 1.0]);
+        b.step(&[0.0, 4.0]);
+        b.step(&[2.0, 0.0]);
+        assert_eq!(a.levels(), b.levels());
+        Ok(())
+    }
+
+    #[test]
+    fn lanes_validation() -> Result<(), Box<dyn std::error::Error>> {
+        assert!(LindleyLanes::new(0.0, 4).is_err());
+        assert!(LindleyLanes::new(f64::NAN, 4).is_err());
+        assert!(LindleyLanes::new(1.0, 0).is_err());
+        let mut ok = LindleyLanes::new(1.0, 2)?;
+        assert_eq!(ok.levels(), &[0.0, 0.0]);
+        let caught = std::panic::catch_unwind(move || {
+            ok.step(&[1.0]);
+        });
+        assert!(caught.is_err(), "lane/arrival mismatch must panic");
+        Ok(())
+    }
+
+    #[test]
+    fn first_passage_lanes_matches_scalar() {
+        let mu = 1.1;
+        let b = 40.0;
+        let paths: Vec<Vec<f64>> = (10..18u64).map(|s| pseudo_path(s, 300)).collect();
+        let refs: Vec<&[f64]> = paths.iter().map(Vec::as_slice).collect();
+        let batched = first_passage_lanes(&refs, mu, b);
+        for (l, path) in paths.iter().enumerate() {
+            assert_eq!(
+                batched[l],
+                first_passage_slot(path, mu, b),
+                "lane {l} diverged"
+            );
+        }
+        // Unequal lengths: each lane still resolves against its own path.
+        let short = pseudo_path(99, 20);
+        let long = pseudo_path(100, 200);
+        let mixed = first_passage_lanes(&[&short, &long], mu, 5.0);
+        assert_eq!(mixed[0], first_passage_slot(&short, mu, 5.0));
+        assert_eq!(mixed[1], first_passage_slot(&long, mu, 5.0));
+        // Degenerate inputs.
+        assert!(first_passage_lanes(&[], mu, b).is_empty());
+        assert_eq!(first_passage_lanes(&[&[]], mu, b), vec![None]);
     }
 
     #[test]

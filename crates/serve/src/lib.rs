@@ -46,7 +46,10 @@ pub mod server;
 pub mod session;
 
 pub use server::{PullOutcome, Server, ServerConfig};
-pub use session::{drain_session, generate_chunk, GenState, SessionSpec, SessionState, WorkerMsg};
+pub use session::{
+    drain_session, generate_chunk, generate_chunk_into, ChunkScratch, GenState, SessionSpec,
+    SessionState, WorkerMsg,
+};
 
 use svbr_resilience::CheckpointError;
 

@@ -22,6 +22,7 @@ use std::sync::mpsc;
 use std::time::Duration;
 use svbr::lrd::acf::TabulatedAcf;
 use svbr::lrd::davies_harte::DaviesHarte;
+use svbr::lrd::fft::Complex;
 use svbr::lrd::hosking::{HoskingSampler, NonPdPolicy};
 use svbr::marginal::transform::GaussianTransform;
 use svbr::marginal::Lognormal;
@@ -96,7 +97,7 @@ impl SessionState {
 
 /// The full committed generation state of a session — everything a
 /// checkpoint carries and everything a retried chunk restarts from.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct GenState {
     /// xoshiro256++ state words.
     pub rng: [u64; 4],
@@ -112,6 +113,34 @@ pub struct GenState {
     pub tier: GeneratorTier,
     /// Chunks committed (equals the next chunk index).
     pub delivered: u64,
+}
+
+impl Clone for GenState {
+    fn clone(&self) -> Self {
+        Self {
+            rng: self.rng,
+            spare: self.spare,
+            history: self.history.clone(),
+            phi: self.phi.clone(),
+            v: self.v,
+            tier: self.tier,
+            delivered: self.delivered,
+        }
+    }
+
+    /// Capacity-reusing clone: the derived `clone_from` would reallocate
+    /// `history`/`phi` on every chunk attempt; this one writes into the
+    /// existing buffers, which is what lets a worker's scratch state reach
+    /// zero steady-state allocation (see [`ChunkScratch`]).
+    fn clone_from(&mut self, src: &Self) {
+        self.rng = src.rng;
+        self.spare = src.spare;
+        self.history.clone_from(&src.history);
+        self.phi.clone_from(&src.phi);
+        self.v = src.v;
+        self.tier = src.tier;
+        self.delivered = src.delivered;
+    }
 }
 
 impl GenState {
@@ -202,9 +231,46 @@ impl GenState {
     }
 }
 
+/// Reusable per-worker buffers for [`generate_chunk_into`] — the serve
+/// side of the workspace buffer arena (`svbr::par::Arena` is the generic
+/// pool; a session worker's buffer population is fixed, so it holds them
+/// by name instead). After the first chunk on a tier warms the
+/// capacities, steady-state chunk generation performs **zero heap
+/// allocation** on the truncated-AR tier (asserted by the
+/// counting-allocator test in `tests/zero_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct ChunkScratch {
+    /// The post-chunk state: a capacity-reusing clone of `committed` that
+    /// every mutation lands on (restartable by construction — a failed
+    /// attempt never touches the committed state).
+    pub state: GenState,
+    /// Background Gaussian samples of the chunk.
+    xs: Vec<f64>,
+    /// Transformed (lognormal frame-size) samples — the chunk body.
+    pub ys: Vec<f64>,
+    /// Davies–Harte FFT workspace.
+    fft: Vec<Complex>,
+}
+
+impl Default for GenState {
+    fn default() -> Self {
+        Self::fresh(0)
+    }
+}
+
+impl ChunkScratch {
+    /// Empty scratch; buffers warm up on the first generated chunk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Generate one chunk against a clone of `committed`; returns the new
 /// committed state and the transformed (lognormal frame-size) samples.
 /// Restartable by construction: every mutation lands on the clone.
+///
+/// Allocating convenience wrapper over [`generate_chunk_into`] — loops
+/// should hold a [`ChunkScratch`] and call the `_into` form instead.
 pub fn generate_chunk(
     committed: &GenState,
     tier: GeneratorTier,
@@ -212,12 +278,33 @@ pub fn generate_chunk(
     transform: &GaussianTransform<Lognormal>,
     chunk_len: usize,
 ) -> Result<(GenState, Vec<f64>), ServeError> {
+    let mut scratch = ChunkScratch::new();
+    generate_chunk_into(committed, tier, table, transform, chunk_len, &mut scratch)?;
+    let ChunkScratch { state, ys, .. } = scratch;
+    Ok((state, ys))
+}
+
+/// Buffer-reusing form of [`generate_chunk`]: the post-chunk state lands
+/// in `scratch.state` and the chunk samples in `scratch.ys`, with every
+/// intermediate buffer recycled from the previous call.
+pub fn generate_chunk_into(
+    committed: &GenState,
+    tier: GeneratorTier,
+    table: &TabulatedAcf,
+    transform: &GaussianTransform<Lognormal>,
+    chunk_len: usize,
+    scratch: &mut ChunkScratch,
+) -> Result<(), ServeError> {
     let gen_err = |e: &dyn std::fmt::Display| ServeError::Generate(e.to_string());
-    let mut st = committed.clone();
+    scratch.state.clone_from(committed);
+    let st = &mut scratch.state;
     let mut rng = CkptRng::from_state(st.rng);
     let mut normal = CkptNormal { spare: st.spare };
 
-    let xs: Vec<f64> = match tier {
+    let xs = &mut scratch.xs;
+    xs.clear();
+    xs.reserve(chunk_len);
+    match tier {
         GeneratorTier::HoskingExact => {
             let mut sampler = HoskingSampler::resume(
                 table,
@@ -228,55 +315,58 @@ pub fn generate_chunk(
                 None,
             )
             .map_err(|e| gen_err(&e))?;
-            let mut out = Vec::with_capacity(chunk_len);
             for _ in 0..chunk_len {
                 let m = sampler.next_moments().map_err(|e| gen_err(&e))?;
                 let x = normal.sample_with(&mut rng, m.mean, m.var);
                 sampler.push(x);
-                out.push(x);
+                xs.push(x);
             }
-            st.phi = sampler.phi().to_vec();
+            st.phi.extend_from_slice(sampler.phi());
             st.v = sampler.innovation_variance();
-            st.history = sampler.history().to_vec();
-            out
+            st.history.extend_from_slice(sampler.history());
         }
         GeneratorTier::TruncatedAr => {
             // Frozen-coefficient AR(p) continuation with the φ/v captured
             // when the ladder stepped down.
             let p = st.phi.len();
-            let mut out = Vec::with_capacity(chunk_len);
             for _ in 0..chunk_len {
                 let k = st.history.len();
                 let depth = p.min(k);
-                let mut mean = 0.0;
-                for j in 1..=depth {
-                    mean += st.phi[j - 1] * st.history[k - j];
-                }
+                // Lane-batched kernel shared with the Durbin–Levinson
+                // recursion: Σ_j φ[j−1]·X[k−j] (see svbr_lrd::kernels for
+                // the bit-identity decision).
+                let mean = svbr::lrd::kernels::dot_rev(&st.phi[..depth], &st.history[k - depth..]);
                 let x = normal.sample_with(&mut rng, mean, st.v);
                 st.history.push(x);
-                out.push(x);
+                xs.push(x);
             }
-            out
+            // Only the last `p` samples condition the AR(p) continuation,
+            // so the retained window (and with it the checkpoint size and
+            // the per-chunk push capacity) is bounded: future chunks are
+            // bit-identical with or without the discarded prefix.
+            if st.history.len() > p {
+                st.history.drain(..st.history.len() - p);
+            }
         }
         GeneratorTier::DaviesHarte => {
             // Independent exact-ACF block per chunk; cross-chunk
             // correlation is the tier's recorded caveat.
             let dh = DaviesHarte::new_approx(table, chunk_len, 5e-2).map_err(|e| gen_err(&e))?;
-            let block = dh.generate(&mut rng);
-            st.history.extend_from_slice(&block);
-            block
+            dh.generate_into(&mut rng, xs, &mut scratch.fft);
+            st.history.extend_from_slice(xs);
         }
-    };
+    }
 
-    let ys = transform.apply_slice(&xs);
+    transform.apply_into(&scratch.xs, &mut scratch.ys);
     // A NaN arrival must never reach a client's queue recursion.
-    validate_arrivals(&ys).map_err(|e| gen_err(&e))?;
+    validate_arrivals(&scratch.ys).map_err(|e| gen_err(&e))?;
 
+    let st = &mut scratch.state;
     st.delivered += 1;
     st.tier = tier;
     st.rng = rng.state();
     st.spare = normal.spare;
-    Ok((st, ys))
+    Ok(())
 }
 
 /// Encode a chunk as the wire body: a one-line header followed by the
@@ -339,6 +429,10 @@ pub fn run_session(
 ) {
     let mut committed = start;
     let mut ladder = Ladder::from_tier(committed.tier);
+    // One scratch for the whole session: chunk buffers (and the clone of
+    // the committed state every attempt restarts from) are reused across
+    // chunks and retries.
+    let mut scratch = ChunkScratch::new();
     while committed.delivered < spec.chunks {
         // The chunk's trace tree is derived from (seed, index) alone, so the
         // worker's span stitches under the server pull span for the same
@@ -378,13 +472,20 @@ pub fn run_session(
                 chunk_ctx.child_attempt(trace::role::GENERATE, attempt as u64),
             );
             gen_span.field("tier", tier.index() as f64);
-            generate_chunk(&committed, tier, table, transform, spec.chunk_len)
+            generate_chunk_into(
+                &committed,
+                tier,
+                table,
+                transform,
+                spec.chunk_len,
+                &mut scratch,
+            )
         });
         match outcome {
-            Ok((post, ys)) => {
+            Ok(()) => {
                 chunk_span.end();
                 svbr_obsv::histogram("serve.chunk_us").record(sw.elapsed_us());
-                svbr_obsv::alerts::observe_session(spec.id, &ys);
+                svbr_obsv::alerts::observe_session(spec.id, &scratch.ys);
                 let outcome_label = if tier == GeneratorTier::HoskingExact {
                     "generated"
                 } else {
@@ -392,8 +493,8 @@ pub fn run_session(
                 };
                 svbr_obsv::counter_with("serve.chunks", &[("outcome", outcome_label)]).add(1);
                 let idx = committed.delivered;
-                let body = encode_chunk(idx, tier, &ys);
-                committed = post;
+                let body = encode_chunk(idx, tier, &scratch.ys);
+                committed.clone_from(&scratch.state);
                 let msg = WorkerMsg::Chunk {
                     idx,
                     tier,

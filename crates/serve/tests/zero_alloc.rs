@@ -1,0 +1,117 @@
+//! Counting-allocator proof that steady-state chunk generation is
+//! allocation-free.
+//!
+//! The session worker's hot loop — [`svbr_serve::generate_chunk_into`] on
+//! the truncated-AR tier, the tier a long-lived degraded session settles
+//! on — is built around reused buffers ([`svbr_serve::ChunkScratch`], the
+//! capacity-reusing `GenState::clone_from`, the bounded AR conditioning
+//! window). This test pins the property down: after a short warm-up, a
+//! whole chunk (generate → transform → validate → commit) performs **zero
+//! heap allocations**, counted by a wrapping global allocator.
+//!
+//! The allocator is process-global, so this file holds exactly one test —
+//! a second test thread would race the counter.
+
+// The counting allocator is the one place the serve tests need `unsafe`:
+// implementing `GlobalAlloc` requires it. The workspace-level `deny` is
+// overridden for this file only; the wrapper adds nothing but a counter
+// bump in front of the system allocator.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use svbr::lrd::acf::FgnAcf;
+use svbr::marginal::transform::GaussianTransform;
+use svbr::marginal::Lognormal;
+use svbr_resilience::degrade::{prepare_table, GeneratorTier};
+use svbr_serve::{generate_chunk_into, ChunkScratch, GenState};
+
+/// System allocator with an allocation-event counter (`alloc`, `realloc`
+/// and `alloc_zeroed` all count; `dealloc` is free and irrelevant here).
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_truncated_ar_chunks_do_not_allocate() {
+    const CHUNK_LEN: usize = 256;
+    const AR_DEPTH: usize = 24;
+
+    let acf = FgnAcf::new(0.8).unwrap_or_else(|e| panic!("{e}"));
+    let (table, _shrink) = prepare_table(acf, 4 * CHUNK_LEN + 1).unwrap_or_else(|e| panic!("{e}"));
+    let marginal = Lognormal::from_moments(1.0, 0.25).unwrap_or_else(|e| panic!("{e}"));
+    let transform = GaussianTransform::new(marginal);
+
+    // A session that stepped down to the truncated-AR tier: frozen AR(p)
+    // coefficients and the matching conditioning window, as the ladder
+    // leaves them after a degrade.
+    let mut committed = GenState::fresh(7);
+    committed.tier = GeneratorTier::TruncatedAr;
+    committed.phi = (0..AR_DEPTH).map(|j| 0.4 / (j + 1) as f64 / 2.0).collect();
+    committed.history = (0..AR_DEPTH).map(|j| (j as f64 * 0.37).sin()).collect();
+    committed.v = 0.5;
+
+    let mut scratch = ChunkScratch::new();
+    let run_chunk = |committed: &mut GenState, scratch: &mut ChunkScratch| {
+        generate_chunk_into(
+            committed,
+            GeneratorTier::TruncatedAr,
+            &table,
+            &transform,
+            CHUNK_LEN,
+            scratch,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        committed.clone_from(&scratch.state);
+    };
+
+    // Warm-up: buffer capacities (xs/ys, the scratch state's history and
+    // the committed state's own vectors) reach steady state.
+    for _ in 0..3 {
+        run_chunk(&mut committed, &mut scratch);
+    }
+
+    let before = alloc_events();
+    for _ in 0..8 {
+        run_chunk(&mut committed, &mut scratch);
+    }
+    let events = alloc_events() - before;
+    assert_eq!(
+        events, 0,
+        "steady-state chunk generation must be allocation-free ({events} allocation events over 8 chunks)"
+    );
+
+    // Sanity: the chunks are real — full-length, finite, non-degenerate.
+    assert_eq!(scratch.ys.len(), CHUNK_LEN);
+    assert!(scratch.ys.iter().all(|y| y.is_finite() && *y > 0.0));
+    assert_eq!(committed.delivered, 11);
+}

@@ -19,6 +19,8 @@
 //!   (Figs. 1, 12).
 //! * [`quantiles`] — empirical quantiles and Q-Q data (Fig. 13).
 //! * [`ks`] — Kolmogorov–Smirnov distances for marginal-match validation.
+//! * [`mavar`] — the Modified Allan Variance Hurst estimator (Bregni),
+//!   the code-independent cross-check behind the vectorization ablation.
 //! * [`aggregate`] — the `X^{(m)}` block-mean aggregation underlying the
 //!   variance-time method.
 
@@ -30,6 +32,7 @@ pub mod aggregate;
 pub mod fitting;
 pub mod histogram;
 pub mod ks;
+pub mod mavar;
 pub mod periodogram;
 pub mod quantiles;
 pub mod regression;
@@ -44,6 +47,7 @@ pub use aggregate::aggregate;
 pub use fitting::{fit_composite, refine_mixture, CompositeFit, FitOptions, MixtureFit};
 pub use histogram::Histogram;
 pub use ks::{ks_distance_sorted, two_sample_ks};
+pub use mavar::{mavar_hurst, mavar_points, MavarEstimate, MavarOptions};
 pub use periodogram::{gph_estimate, periodogram};
 pub use quantiles::{qq_points, quantile_sorted, quantiles};
 pub use regression::{linear_fit, LinearFit};

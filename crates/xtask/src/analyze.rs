@@ -17,6 +17,7 @@
 //! | `metric-labels`            | label keys off the documented set, malformed, reserved, or over the per-site cap |
 //! | `no-unbounded-channel`     | an unbounded cross-thread queue in a bit-identity or serve crate |
 //! | `alert-rule-undocumented`  | an `AlertRule::new("…")` name missing from DESIGN.md's alert table |
+//! | `alloc-in-hot-loop`        | a heap allocation (`Vec::new`/`vec!`/`collect`/`to_vec`/`Box::new`) in a loop body of a bit-identity crate |
 //!
 //! The determinism and panic-surface families apply only to the crates
 //! that promise bit-identical output ([`AUDITED_CRATES`]); the channel
@@ -84,6 +85,7 @@ pub const METRIC_DEAD: &str = "metric-dead";
 pub const METRIC_LABELS: &str = "metric-labels";
 pub const NO_UNBOUNDED_CHANNEL: &str = "no-unbounded-channel";
 pub const ALERT_RULE_UNDOCUMENTED: &str = "alert-rule-undocumented";
+pub const ALLOC_IN_HOT_LOOP: &str = "alloc-in-hot-loop";
 
 /// The per-site-waivable subset this pass owns for the waiver audit
 /// (`metric-dead` anchors in DESIGN.md, which has no waiver comments).
@@ -99,6 +101,7 @@ pub const ANALYZE_WAIVABLE_IDS: &[&str] = &[
     METRIC_LABELS,
     NO_UNBOUNDED_CHANNEL,
     ALERT_RULE_UNDOCUMENTED,
+    ALLOC_IN_HOT_LOOP,
 ];
 
 /// One analyze diagnostic.
@@ -190,6 +193,7 @@ pub fn analyze_sources(files: &[(&str, &str)], design: Option<&str>, today: &str
 /// The per-file families: determinism, panic-surface, seed-flow.
 fn file_rules(model: &FileModel, book: &mut WaiverBook, out: &mut Vec<Finding>) {
     channel_rules(model, book, out);
+    alloc_rules(model, book, out);
     let audited =
         model.class == FileClass::Library && AUDITED_CRATES.contains(&model.crate_name.as_str());
     let mut push = |line: usize, rule: &'static str, message: String| {
@@ -332,6 +336,90 @@ fn unbounded_queue(lt: &str) -> Option<&'static str> {
     // Vec-as-queue behind a lock (covers `VecDeque` via the prefix).
     if lt.contains("Mutex<Vec") || lt.contains("RwLock<Vec") {
         return Some("`Vec`-as-queue behind a lock");
+    }
+    None
+}
+
+/// `alloc-in-hot-loop`: heap allocation inside a loop body of a
+/// bit-identity crate's library code. A per-iteration `Vec::new`/`vec!`/
+/// `.collect()`/`.to_vec()`/`Box::new` turns the sample loop into an
+/// allocator benchmark — hoist the buffer out of the loop (arena, scratch
+/// struct, `clear()` + reuse) or take an `_into(&mut out)` parameter. A
+/// waiver only counts if its invariant text states *why* the allocation is
+/// acceptable: either a capacity argument ("capacity is …", "bounded by
+/// …") or a one-time/amortized argument ("one-time", "once per …",
+/// "amortized") — a bare waiver cannot excuse a per-sample allocation.
+fn alloc_rules(model: &FileModel, book: &mut WaiverBook, out: &mut Vec<Finding>) {
+    let scoped =
+        model.class == FileClass::Library && AUDITED_CRATES.contains(&model.crate_name.as_str());
+    if !scoped {
+        return;
+    }
+    for (idx, lt) in model.masked.code.lines().enumerate() {
+        let line_no = idx + 1;
+        if model.in_test(line_no) || !model.in_loop(line_no) {
+            continue;
+        }
+        let Some(what) = loop_allocation(lt) else {
+            continue;
+        };
+        if book.suppresses(line_no, ALLOC_IN_HOT_LOOP) {
+            let reason = book
+                .reason_at(line_no, ALLOC_IN_HOT_LOOP)
+                .unwrap_or_default();
+            let lower = reason.to_lowercase();
+            let capacity_invariant = lower.contains("capacit") || lower.contains("bound");
+            let one_time_invariant = lower.contains("one-time")
+                || lower.contains("one time")
+                || lower.contains("once")
+                || lower.contains("amortiz");
+            if !(capacity_invariant || one_time_invariant) {
+                // Pushed directly: the waiver that failed the invariant
+                // check must not also suppress the check's own finding.
+                out.push(Finding {
+                    file: model.rel_path.clone(),
+                    line: line_no,
+                    rule: ALLOC_IN_HOT_LOOP,
+                    message: format!(
+                        "waiver for {what} must state a capacity or one-time \
+                         invariant (why this allocation is bounded or happens \
+                         once, e.g. \"one-time per …\", \"capacity bounded by \
+                         …\"); found: \"{reason}\""
+                    ),
+                });
+            }
+            continue;
+        }
+        out.push(Finding {
+            file: model.rel_path.clone(),
+            line: line_no,
+            rule: ALLOC_IN_HOT_LOOP,
+            message: format!(
+                "{what} inside a loop in bit-identity crate `{}`: hoist the \
+                 buffer (scratch/arena/`_into` parameter) or waive with the \
+                 capacity/one-time invariant",
+                model.crate_name
+            ),
+        });
+    }
+}
+
+/// What makes a line a per-iteration heap allocation, if anything.
+fn loop_allocation(lt: &str) -> Option<&'static str> {
+    if lt.contains("Vec::new(") || lt.contains("VecDeque::new(") {
+        return Some("`Vec::new` allocation");
+    }
+    if lt.contains("vec!") {
+        return Some("`vec!` allocation");
+    }
+    if lt.contains(".collect(") || lt.contains(".collect::<") {
+        return Some("`.collect()` allocation");
+    }
+    if lt.contains(".to_vec(") {
+        return Some("`.to_vec()` allocation");
+    }
+    if lt.contains("Box::new(") {
+        return Some("`Box::new` allocation");
     }
     None
 }
@@ -1230,6 +1318,70 @@ pub fn generate(seed: u64, n: usize) -> Vec<f64> {
         assert!(of_rule(&fs, SEED_FLOW).is_empty());
         let fs = findings(&[("examples/demo.rs", entropy)], None);
         assert!(of_rule(&fs, SEED_FLOW).is_empty());
+    }
+
+    // ---- alloc-in-hot-loop family ---------------------------------------
+
+    #[test]
+    fn fixture_alloc_in_hot_loop_fires_in_loops_of_audited_library_code() {
+        let src = "\
+pub fn paths(n: usize) -> Vec<Vec<f64>> {
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let mut p = Vec::new();
+        let q = vec![0.0; 8];
+        let r: Vec<f64> = q.iter().map(|x| x + 1.0).collect();
+        let s = q.to_vec();
+        let b = Box::new(1.0f64);
+        p.push(q[0] + r[0] + s[0] + *b);
+        out.push(p);
+    }
+    out
+}
+";
+        let fs = findings(&[("crates/queue/src/gen.rs", src)], None);
+        let hits = of_rule(&fs, ALLOC_IN_HOT_LOOP);
+        assert_eq!(
+            hits.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![4, 5, 6, 7, 8],
+            "every in-loop allocator fires; the hoisted Vec::new on line 2 does not"
+        );
+        // Out-of-scope locations never fire: unaudited crates, tests.
+        let fs = findings(&[("crates/bench/src/gen.rs", src)], None);
+        assert!(of_rule(&fs, ALLOC_IN_HOT_LOOP).is_empty());
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        let fs = findings(&[("crates/queue/src/gen.rs", in_test.as_str())], None);
+        assert!(of_rule(&fs, ALLOC_IN_HOT_LOOP).is_empty());
+    }
+
+    #[test]
+    fn fixture_alloc_in_hot_loop_waiver_needs_capacity_or_one_time_invariant() {
+        // A stated capacity/one-time invariant suppresses…
+        let waived = "\
+pub fn restore(lines: &[&str]) -> Vec<Vec<f64>> {
+    let mut out = Vec::new();
+    for l in lines {
+        // svbr-analyze: allow(alloc-in-hot-loop) one-time restore path, bounded by checkpoint size
+        let row: Vec<f64> = l.split(',').map(|_| 0.0).collect();
+        out.push(row);
+    }
+    out
+}
+";
+        let fs = findings(&[("crates/resilience/src/ck.rs", waived)], None);
+        assert!(of_rule(&fs, ALLOC_IN_HOT_LOOP).is_empty());
+        assert!(of_rule(&fs, "unused-waiver").is_empty());
+        // …a bare waiver does not: the invariant check fires instead.
+        let bare = waived.replace(
+            "one-time restore path, bounded by checkpoint size",
+            "reviewed, looks fine",
+        );
+        let fs = findings(&[("crates/resilience/src/ck.rs", bare.as_str())], None);
+        let hits = of_rule(&fs, ALLOC_IN_HOT_LOOP);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0]
+            .message
+            .contains("must state a capacity or one-time"));
     }
 
     // ---- panic-surface family -------------------------------------------

@@ -373,6 +373,11 @@ impl BenchCase {
 struct BenchMeta {
     git_revision: Option<String>,
     host: Option<String>,
+    /// `host.available_parallelism` from a schema-2 report: what the
+    /// producing machine could actually run. Lets the gate tell "case was
+    /// dropped" apart from "case cannot exist on this host" (the suite
+    /// clamps its thread matrix to the host).
+    available_parallelism: Option<u64>,
 }
 
 impl BenchMeta {
@@ -403,7 +408,8 @@ fn parse_bench_meta(text: &str) -> BenchMeta {
         .get("git_revision")
         .and_then(Json::as_str)
         .map(str::to_string);
-    let host = obj.get("host").and_then(Json::as_object).map(|h| {
+    let host_obj = obj.get("host").and_then(Json::as_object);
+    let host = host_obj.map(|h| {
         let cpu = h
             .get("cpu_model")
             .and_then(Json::as_str)
@@ -418,7 +424,15 @@ fn parse_bench_meta(text: &str) -> BenchMeta {
             .unwrap_or("unknown rustc");
         format!("{cpu} ({cores}, {rustc})")
     });
-    BenchMeta { git_revision, host }
+    let available_parallelism = host_obj
+        .and_then(|h| h.get("available_parallelism"))
+        .and_then(Json::as_f64)
+        .map(|p| p as u64);
+    BenchMeta {
+        git_revision,
+        host,
+        available_parallelism,
+    }
 }
 
 /// Parse a `BENCH_svbr.json` document into its named cases.
@@ -515,9 +529,28 @@ fn bench_compare(baseline_path: &str, current_path: &str, threshold: f64) -> i32
                 );
             }
             None => {
-                regressions += 1;
-                missing += 1;
-                let _ = writeln!(out, "  {:<32} MISSING from current report", b.key());
+                // A baseline thread-matrix entry the current host cannot
+                // run (suite clamps threads to available_parallelism) is
+                // a host mismatch, not a dropped bench: skip with a note
+                // instead of failing the gate. Applies only to the
+                // cross-host direction we can prove from the reports.
+                let host_cannot_run = match (b.threads, cur_meta.available_parallelism) {
+                    (Some(t), Some(p)) => t > p,
+                    _ => false,
+                };
+                if host_cannot_run {
+                    let _ = writeln!(
+                        out,
+                        "  {:<32} skipped: baseline threads exceed current host \
+                         available_parallelism={} (cross-host thread case)",
+                        b.key(),
+                        cur_meta.available_parallelism.unwrap_or(0)
+                    );
+                } else {
+                    regressions += 1;
+                    missing += 1;
+                    let _ = writeln!(out, "  {:<32} MISSING from current report", b.key());
+                }
             }
         }
     }
@@ -1062,6 +1095,76 @@ mod tests {
         assert_eq!(
             bench_compare(&path("v1_baseline.json"), &path("v2_current.json"), 0.15),
             0
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Schema-2 fixture with a host header carrying
+    /// `available_parallelism` — what the cross-host skip keys on.
+    fn bench_json_v2_host(cases: &[(&str, u64, u64, f64)], avail: u64) -> String {
+        let rows: Vec<String> = cases
+            .iter()
+            .map(|(name, n, threads, sps)| {
+                format!(
+                    "    {{\"name\": \"{name}\", \"n\": {n}, \"iters\": 5, \
+                     \"threads\": {threads}, \"samples_per_sec\": {sps}, \
+                     \"p50_us\": 1.0, \"p95_us\": 2.0, \"total_secs\": 0.1}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"name\": \"svbr_bench_suite\",\n  \"schema\": 2,\n  \
+             \"host\": {{\"cpu_model\": \"X\", \"cores\": {avail}, \
+             \"available_parallelism\": {avail}, \"rustc\": \"rustc 1.82.0\"}},\n  \
+             \"cases\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        )
+    }
+
+    #[test]
+    fn bench_compare_skips_cross_host_thread_cases() {
+        // A 16-way baseline carries a threads=4 row; on a 1-core host the
+        // suite clamps that entry away. The gate must tell this apart from
+        // a genuinely dropped bench: skip when the current host cannot run
+        // the case, fail when it could have.
+        let root = tmp_tree(&[
+            (
+                "baseline16.json",
+                &bench_json_v2_host(
+                    &[("cached", 4096, 1, 1000.0), ("cached", 4096, 4, 3000.0)],
+                    16,
+                ),
+            ),
+            (
+                "current1.json",
+                &bench_json_v2_host(&[("cached", 4096, 1, 990.0)], 1),
+            ),
+            (
+                "current8.json",
+                &bench_json_v2_host(&[("cached", 4096, 1, 990.0)], 8),
+            ),
+            (
+                // No host header at all (schema-1-ish current): cannot
+                // prove the mismatch, so the vanished case still fails.
+                "current_nohost.json",
+                &bench_json_v2(&[("cached", 4096, 1, 990.0)]),
+            ),
+        ]);
+        let path = |n: &str| root.join(n).to_string_lossy().into_owned();
+        // 1-core host cannot run threads=4: skip-with-note, gate passes.
+        assert_eq!(
+            bench_compare(&path("baseline16.json"), &path("current1.json"), 0.15),
+            0
+        );
+        // 8-core host could have run it: the missing case is a failure.
+        assert_eq!(
+            bench_compare(&path("baseline16.json"), &path("current8.json"), 0.15),
+            1
+        );
+        // Unknown current host: no proof, fail closed.
+        assert_eq!(
+            bench_compare(&path("baseline16.json"), &path("current_nohost.json"), 0.15),
+            1
         );
         std::fs::remove_dir_all(&root).ok();
     }
